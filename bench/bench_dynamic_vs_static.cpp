@@ -1,0 +1,87 @@
+// E8 (§1 motivation): dynamic layout vs static layout on a degrading WAN.
+//
+// Two identical client/worker/data applications run side by side. The WAN
+// link between the worker's core and the data's core degrades over time
+// (latency grows). The dynamic copy is governed by a relocation policy
+// (invocation-rate colocation rule); the static copy keeps its deploy-time
+// layout. The table reports each app's request latency over time — the
+// dynamic app adapts, the static one tracks the degradation.
+#include "bench/support.h"
+
+using namespace fargo;
+using namespace fargo::bench;
+
+int main() {
+  std::printf("== E8: dynamic vs static layout under WAN degradation (§1) "
+              "==\n\n");
+  World w(3, Millis(10), 1.25e6);  // admin+clients, host A, host B
+  core::Core& admin = w[0];
+  core::Core& host_a = w[1];
+  core::Core& host_b = w[2];
+
+  auto mk = [&](const char* tag) {
+    auto worker = host_a.New<Worker>();
+    auto data = host_b.New<Data>(std::size_t{200});
+    worker.Call("bind", {Value(data.handle())});
+    (void)tag;
+    return std::pair{worker, data};
+  };
+  auto [dyn_worker, dyn_data] = mk("dynamic");
+  auto [sta_worker, sta_data] = mk("static");
+  auto dyn_client = admin.RefFromHandle(dyn_worker.handle());
+  auto sta_client = admin.RefFromHandle(sta_worker.handle());
+
+  // The dynamic app's policy, in the scripting language.
+  script::Engine engine(w.rt, admin);
+  engine.Run(
+      "$c = %1\n"
+      "on methodInvokeRate(2) from $c[0] to $c[1] every 0.5 do\n"
+      "  move $c[0] to coreOf $c[1]\n"
+      "end",
+      {Value(Value::List{Value(dyn_worker.handle()),
+                         Value(dyn_data.handle())})});
+
+  std::printf("phase 1 (t<6s): healthy link A<->B (10 ms). phase 2: link "
+              "degrades 10 ms -> 160 ms, doubling every 2 s.\n\n");
+  TableHeader({"t (sim s)", "A<->B latency (ms)", "dynamic (sim ms)",
+               "static (sim ms)", "dynamic layout"});
+
+  SimTime ab_latency = Millis(10);
+  double dyn_total = 0, sta_total = 0;
+  for (int step = 0; step < 16; ++step) {
+    // Degradation schedule: after 6 s, the link worsens every 2 s.
+    if (step >= 6 && step % 2 == 0 && ab_latency < Millis(160)) {
+      ab_latency *= 2;
+      w.rt.network().SetLink(host_a.id(), host_b.id(),
+                             {ab_latency, 1.25e6, true});
+    }
+    // Each app serves 5 requests per second of simulated time.
+    double dyn_ms = 0, sta_ms = 0;
+    for (int r = 0; r < 5; ++r) {
+      SimTime t0 = w.rt.Now();
+      dyn_client.Call("work");
+      dyn_ms += ToMillis(w.rt.Now() - t0);
+      t0 = w.rt.Now();
+      sta_client.Call("work");
+      sta_ms += ToMillis(w.rt.Now() - t0);
+      w.rt.RunFor(Millis(200));
+    }
+    dyn_total += dyn_ms;
+    sta_total += sta_ms;
+    const char* layout =
+        host_b.repository().Contains(dyn_worker.target())
+            ? "worker+data @ B"
+            : "worker @ A, data @ B";
+    Row("| %9.1f | %18.0f | %16.1f | %15.1f | %-20s |",
+        ToSeconds(w.rt.Now()), ToMillis(ab_latency), dyn_ms / 5, sta_ms / 5,
+        layout);
+  }
+
+  std::printf("\ntotals: dynamic %.1f ms, static %.1f ms  (dynamic/static = "
+              "%.2f)\n",
+              dyn_total, sta_total, dyn_total / sta_total);
+  std::printf("Shape check: identical until the policy colocates; once the "
+              "link degrades the static app's latency tracks it while the "
+              "dynamic app stays flat.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the experiment benches (E1..E8, DESIGN.md §4).
+//
+// Each bench binary regenerates one experiment's table(s) on the simulated
+// WAN. Simulated time measures protocol behaviour (latency, messages,
+// bytes); google-benchmark is used where wall-clock CPU overhead is itself
+// the subject (E3, E4).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/fargo.h"
+#include "tests/support/comlets.h"
+
+namespace fargo::bench {
+
+using testing::Counter;
+using testing::Data;
+using testing::Message;
+using testing::Node;
+using testing::Printer;
+using testing::Worker;
+
+/// Prints a table header: "| col | col |" with a separator row.
+inline void TableHeader(const std::vector<std::string>& cols) {
+  std::string row = "|", sep = "|";
+  for (const std::string& c : cols) {
+    row += " " + c + " |";
+    sep += std::string(c.size() + 2, '-') + "|";
+  }
+  std::printf("%s\n%s\n", row.c_str(), sep.c_str());
+}
+
+/// Prints one formatted row.
+template <class... Args>
+void Row(const char* fmt, Args... args) {
+  std::printf(fmt, args...);
+  std::printf("\n");
+}
+
+/// A fresh deployment with n cores on a uniform WAN.
+struct World {
+  explicit World(int n, SimTime latency = Millis(10),
+                 double bytes_per_sec = 1.25e6) {
+    testing::RegisterTestComlets();
+    for (int i = 0; i < n; ++i)
+      cores.push_back(&rt.CreateCore("core" + std::to_string(i)));
+    rt.network().SetDefaultLink({latency, bytes_per_sec, true});
+  }
+  core::Core& operator[](std::size_t i) { return *cores[i]; }
+
+  core::Runtime rt;
+  std::vector<core::Core*> cores;
+};
+
+}  // namespace fargo::bench

@@ -1,0 +1,11 @@
+#include "src/common/ids.h"
+
+namespace fargo {
+
+std::string ToString(CoreId id) { return "core:" + std::to_string(id.value); }
+
+std::string ToString(ComletId id) {
+  return "c" + std::to_string(id.origin.value) + "." + std::to_string(id.seq);
+}
+
+}  // namespace fargo

@@ -1,0 +1,57 @@
+// Strongly-typed identifiers used throughout the FarGo runtime.
+//
+// A Core is a stationary runtime node (one "JVM process" in the paper).
+// A complet is the unit of relocation; its identity is global and stable
+// across moves: (origin core, per-core sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fargo {
+
+/// Identifier of a Core (a stationary runtime node).
+struct CoreId {
+  std::uint32_t value = 0;
+
+  constexpr bool valid() const { return value != 0; }
+  friend constexpr auto operator<=>(CoreId, CoreId) = default;
+};
+
+/// Globally unique, location-independent identity of a complet instance.
+/// Assigned at instantiation time by the instantiating Core and never
+/// changed by movement.
+struct ComletId {
+  CoreId origin;           ///< Core that instantiated the complet.
+  std::uint64_t seq = 0;   ///< Per-origin sequence number.
+
+  constexpr bool valid() const { return origin.valid(); }
+  friend constexpr auto operator<=>(ComletId, ComletId) = default;
+};
+
+/// Renders "core:3" style identifiers for logs and the shell.
+std::string ToString(CoreId id);
+/// Renders "c3.17" style identifiers for logs and the shell.
+std::string ToString(ComletId id);
+
+}  // namespace fargo
+
+template <>
+struct std::hash<fargo::CoreId> {
+  std::size_t operator()(fargo::CoreId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<fargo::ComletId> {
+  std::size_t operator()(fargo::ComletId id) const noexcept {
+    // splitmix-style combine; ids are small so this is plenty.
+    std::uint64_t x = (std::uint64_t{id.origin.value} << 40) ^ id.seq;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,35 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace fargo {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[fargo %s] %s\n", LevelName(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace fargo

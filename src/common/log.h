@@ -1,0 +1,48 @@
+// Minimal leveled logging for the runtime. Off (kWarn) by default so tests
+// and benchmarks stay quiet; the shell and examples raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fargo {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+}
+
+/// Streams a log record at `level`; cheap no-op when below the global level.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= GetLogLevel()) {}
+  ~LogLine() {
+    if (enabled_) detail::Emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+inline LogLine LogTrace() { return LogLine(LogLevel::kTrace); }
+inline LogLine LogDebug() { return LogLine(LogLevel::kDebug); }
+inline LogLine LogInfo() { return LogLine(LogLevel::kInfo); }
+inline LogLine LogWarn() { return LogLine(LogLevel::kWarn); }
+inline LogLine LogError() { return LogLine(LogLevel::kError); }
+
+}  // namespace fargo

@@ -1,0 +1,27 @@
+// Virtual-time primitives for the discrete-event runtime.
+//
+// The paper's FarGo runs on wall-clock time over RMI; this reproduction runs
+// all Cores on one deterministic simulated clock so tests and benchmarks are
+// reproducible (see DESIGN.md, substitution table). All durations and
+// timestamps are integer nanoseconds of simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace fargo {
+
+/// Simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration helpers (all return nanoseconds).
+constexpr SimTime Nanos(std::int64_t n) { return n; }
+constexpr SimTime Micros(std::int64_t n) { return n * 1'000; }
+constexpr SimTime Millis(std::int64_t n) { return n * 1'000'000; }
+constexpr SimTime Seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Converts a simulated timestamp/duration to (floating) seconds.
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+/// Converts a simulated timestamp/duration to (floating) milliseconds.
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace fargo

@@ -1,0 +1,69 @@
+#include "src/common/value.h"
+
+#include <sstream>
+
+namespace fargo {
+
+double Value::AsReal() const {
+  if (const double* d = std::get_if<double>(&v_)) return *d;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v_))
+    return static_cast<double>(*i);
+  throw TypeError("Value is not numeric: " + ToDebugString());
+}
+
+std::string Value::ToDebugString() const {
+  std::ostringstream os;
+  switch (tag()) {
+    case Tag::kNull:
+      os << "null";
+      break;
+    case Tag::kBool:
+      os << (AsBool() ? "true" : "false");
+      break;
+    case Tag::kInt:
+      os << AsInt();
+      break;
+    case Tag::kReal:
+      os << std::get<double>(v_);
+      break;
+    case Tag::kString:
+      os << '"' << AsString() << '"';
+      break;
+    case Tag::kBytes:
+      os << "bytes[" << AsBytes().size() << "]";
+      break;
+    case Tag::kList: {
+      os << '[';
+      const char* sep = "";
+      for (const Value& v : AsList()) {
+        os << sep << v.ToDebugString();
+        sep = ", ";
+      }
+      os << ']';
+      break;
+    }
+    case Tag::kMap: {
+      os << '{';
+      const char* sep = "";
+      for (const auto& [k, v] : AsMap()) {
+        os << sep << k << ": " << v.ToDebugString();
+        sep = ", ";
+      }
+      os << '}';
+      break;
+    }
+    case Tag::kHandle: {
+      const ComletHandle& h = AsHandle();
+      os << "ref<" << h.anchor_type << ">(" << ToString(h.id) << "@"
+         << ToString(h.last_known) << ")";
+      break;
+    }
+    case Tag::kBlob:
+      os << "blob<" << AsBlob().type_name << ">[" << AsBlob().bytes.size()
+         << "]";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace fargo

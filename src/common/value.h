@@ -1,0 +1,157 @@
+// The runtime's wire-level value model.
+//
+// All cross-complet method invocations carry `Value` arguments and return a
+// `Value`. This realizes the paper's parameter-passing semantics (§3.1):
+//   - regular data: passed by value (scalars, strings, lists, maps, and
+//     whole serialized object graphs as ObjectBlob);
+//   - complets (anchors): passed by reference as a ComletHandle, which the
+//     receiving Core re-binds to a local tracker with the reference type
+//     degraded to `link`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace fargo {
+
+/// Raised on Value type mismatches and other programmer-visible misuse.
+class TypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised for operational failures of the runtime (unknown complet, core
+/// down, movement refused, ...).
+class FargoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Transport-level failure: the peer (or the route to it) is gone, the
+/// request was never executed. Distinct from application errors so callers
+/// (and the home-registry retry) can safely re-route and retry.
+class UnreachableError : public FargoError {
+ public:
+  using FargoError::FargoError;
+};
+
+/// A by-reference handle to a complet, as carried across the wire. The
+/// `last_known` core is only a routing hint: the tracker chain starting at
+/// that core finds the complet wherever it currently lives.
+struct ComletHandle {
+  ComletId id;
+  CoreId last_known;
+  std::string anchor_type;  ///< Registered type name of the anchor class.
+
+  friend bool operator==(const ComletHandle&, const ComletHandle&) = default;
+};
+
+/// A serialized object graph passed by value. Produced by the serialization
+/// substrate; embedded complet references inside the graph are encoded as
+/// ComletHandles (never the complets themselves), per §3.1.
+struct ObjectBlob {
+  std::string type_name;  ///< Root object's registered type name.
+  std::vector<std::uint8_t> bytes;
+
+  friend bool operator==(const ObjectBlob&, const ObjectBlob&) = default;
+};
+
+/// Variant value used for invocation arguments, return values, profiling
+/// samples and script variables.
+class Value {
+ public:
+  using List = std::vector<Value>;
+  using Map = std::map<std::string, Value>;
+
+  Value() = default;  // null
+  Value(bool b) : v_(b) {}
+  Value(std::int64_t i) : v_(i) {}
+  Value(int i) : v_(std::int64_t{i}) {}
+  Value(double d) : v_(d) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(std::vector<std::uint8_t> bytes) : v_(std::move(bytes)) {}
+  Value(List l) : v_(std::move(l)) {}
+  Value(Map m) : v_(std::move(m)) {}
+  Value(ComletHandle h) : v_(std::move(h)) {}
+  Value(ObjectBlob b) : v_(std::move(b)) {}
+
+  bool IsNull() const { return std::holds_alternative<std::monostate>(v_); }
+  bool IsBool() const { return std::holds_alternative<bool>(v_); }
+  bool IsInt() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool IsReal() const { return std::holds_alternative<double>(v_); }
+  bool IsString() const { return std::holds_alternative<std::string>(v_); }
+  bool IsBytes() const {
+    return std::holds_alternative<std::vector<std::uint8_t>>(v_);
+  }
+  bool IsList() const { return std::holds_alternative<List>(v_); }
+  bool IsMap() const { return std::holds_alternative<Map>(v_); }
+  bool IsHandle() const { return std::holds_alternative<ComletHandle>(v_); }
+  bool IsBlob() const { return std::holds_alternative<ObjectBlob>(v_); }
+
+  bool AsBool() const { return Get<bool>("bool"); }
+  std::int64_t AsInt() const { return Get<std::int64_t>("int"); }
+  /// Numeric accessor: accepts both int and real payloads.
+  double AsReal() const;
+  const std::string& AsString() const { return Get<std::string>("string"); }
+  const std::vector<std::uint8_t>& AsBytes() const {
+    return Get<std::vector<std::uint8_t>>("bytes");
+  }
+  const List& AsList() const { return Get<List>("list"); }
+  const Map& AsMap() const { return Get<Map>("map"); }
+  const ComletHandle& AsHandle() const {
+    return Get<ComletHandle>("comlet handle");
+  }
+  const ObjectBlob& AsBlob() const { return Get<ObjectBlob>("object blob"); }
+
+  List& MutableList() { return GetMutable<List>("list"); }
+  Map& MutableMap() { return GetMutable<Map>("map"); }
+
+  /// Wire-format tag, also used by the codec in src/serial.
+  enum class Tag : std::uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt = 2,
+    kReal = 3,
+    kString = 4,
+    kBytes = 5,
+    kList = 6,
+    kMap = 7,
+    kHandle = 8,
+    kBlob = 9,
+  };
+  Tag tag() const { return static_cast<Tag>(v_.index()); }
+
+  /// Human-readable rendering for the shell and logs.
+  std::string ToDebugString() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  template <class T>
+  const T& Get(const char* what) const {
+    if (const T* p = std::get_if<T>(&v_)) return *p;
+    throw TypeError(std::string("Value is not a ") + what + ": " +
+                    ToDebugString());
+  }
+  template <class T>
+  T& GetMutable(const char* what) {
+    if (T* p = std::get_if<T>(&v_)) return *p;
+    throw TypeError(std::string("Value is not a ") + what + ": " +
+                    ToDebugString());
+  }
+
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               std::vector<std::uint8_t>, List, Map, ComletHandle, ObjectBlob>
+      v_;
+};
+
+}  // namespace fargo

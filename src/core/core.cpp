@@ -1,0 +1,655 @@
+#include "src/core/core.h"
+
+#include "src/common/log.h"
+#include "src/core/invocation.h"
+#include "src/core/movement.h"
+#include "src/core/relocator.h"
+#include "src/core/runtime.h"
+#include "src/core/wire.h"
+#include "src/monitor/events.h"
+#include "src/monitor/profiler.h"
+#include "src/serial/graph.h"
+#include "src/serial/value_codec.h"
+
+namespace fargo::core {
+
+namespace {
+// System methods handled by the Core itself, never dispatched to anchors.
+constexpr std::string_view kPingMethod = "__fargo.ping";
+constexpr std::string_view kMoveMethod = "__fargo.move";
+constexpr std::string_view kMethodsMethod = "__fargo.methods";
+
+// kControl payload subkinds (home-registry protocol).
+constexpr std::uint8_t kCtrlHomeUpdate = 1;
+constexpr std::uint8_t kCtrlHomeQuery = 2;
+}  // namespace
+
+Core::Core(Runtime& runtime, CoreId id, std::string name)
+    : runtime_(runtime), id_(id), name_(std::move(name)) {
+  invocation_ = std::make_unique<InvocationUnit>(*this);
+  movement_ = std::make_unique<MovementUnit>(*this);
+  profiler_ = std::make_unique<monitor::Profiler>(*this);
+  events_ = std::make_unique<monitor::EventBus>(*this);
+  start_time_ = scheduler().Now();
+  network().Register(id_, [this](net::Message m) { HandleMessage(std::move(m)); });
+}
+
+Core::~Core() {
+  if (alive_) network().Unregister(id_);
+}
+
+net::Network& Core::network() { return runtime_.network(); }
+sim::Scheduler& Core::scheduler() { return runtime_.scheduler(); }
+
+// ==== instantiation ==========================================================
+
+ComletRefBase Core::Install(std::shared_ptr<Anchor> anchor) {
+  if (!alive_) throw FargoError("core " + name_ + " is shut down");
+  if (!anchor->id_.valid()) anchor->id_ = MintComletId();
+  anchor->core_ = this;
+  const ComletId id = anchor->id_;
+  std::string type(anchor->TypeName());
+  repository_.Add(id, anchor);
+  trackers_.SetLocal(id, *anchor, type);
+  events_->Fire(monitor::Event{monitor::EventKind::kComletArrived, id_, id,
+                               {}, 0.0});
+  // Home registry (§7 future work): report this arrival to the complet's
+  // origin Core (asynchronously; ordering races are resolved by as-of
+  // timestamps on the home side).
+  if (runtime_.home_registry_enabled()) {
+    if (id.origin == id_) {
+      home_locations_[id] = HomeEntry{id_, scheduler().Now()};
+    } else {
+      serial::Writer w;
+      w.WriteU8(kCtrlHomeUpdate);
+      wire::WriteComletId(w, id);
+      wire::WriteCoreId(w, id_);
+      w.WriteVarint(static_cast<std::uint64_t>(scheduler().Now()));
+      net::Message msg;
+      msg.from = id_;
+      msg.to = id.origin;
+      msg.kind = net::MessageKind::kControl;
+      msg.payload = w.Take();
+      network().Send(std::move(msg));
+    }
+  }
+  DrainParked(id);
+  ComletRefBase ref;
+  ref.Bind(*this, ComletHandle{id, id_, type}, nullptr);
+  return ref;
+}
+
+ComletRefBase Core::NewRemote(CoreId dest, std::string_view anchor_type) {
+  if (dest == id_) {
+    auto obj = serial::TypeRegistry::Instance().Create(anchor_type);
+    auto anchor = std::dynamic_pointer_cast<Anchor>(obj);
+    if (!anchor)
+      throw FargoError(std::string(anchor_type) + " is not an anchor type");
+    return Install(std::move(anchor));
+  }
+  serial::Writer w;
+  w.WriteString(anchor_type);
+  std::vector<std::uint8_t> reply =
+      SendAndAwait(dest, net::MessageKind::kNewRequest, w.Take());
+  serial::Reader r(reply);
+  wire::CheckOk(r);
+  return RefFromHandle(wire::ReadHandle(r));
+}
+
+// ==== movement ===============================================================
+
+void Core::Move(const ComletRefBase& ref, CoreId dest) {
+  Move(ref, dest, {}, {});
+}
+
+void Core::Move(const ComletRefBase& ref, CoreId dest, std::string continuation,
+                std::vector<Value> args) {
+  if (!ref.bound()) throw FargoError("move through an unbound reference");
+  MoveId(ref.target(), dest, std::move(continuation), std::move(args));
+}
+
+void Core::MoveId(ComletId target, CoreId dest, std::string continuation,
+                  std::vector<Value> args) {
+  if (repository_.Contains(target)) {
+    movement_->MoveLocal(target, dest, std::move(continuation),
+                         std::move(args));
+    return;
+  }
+  // Not hosted here: route a move command through the tracker chain to
+  // wherever the complet lives, via the system move method.
+  TrackerEntry* entry = trackers_.Find(target);
+  ComletHandle handle{target, entry != nullptr ? entry->next : CoreId{},
+                      entry != nullptr ? entry->anchor_type : std::string()};
+  if (!handle.last_known.valid())
+    throw FargoError("move: no route to complet " + ToString(target));
+  Value::List cont_args(args.begin(), args.end());
+  invocation_->Invoke(handle, kMoveMethod,
+                      {Value(static_cast<std::int64_t>(dest.value)),
+                       Value(std::move(continuation)),
+                       Value(std::move(cont_args))});
+}
+
+// ==== reflection & tracking ===================================================
+
+MetaRef& Core::GetMetaRef(const ComletRefBase& ref) {
+  if (!ref.meta()) throw FargoError("meta reference of an unbound reference");
+  return *ref.meta();
+}
+
+CoreId Core::ResolveLocation(const ComletRefBase& ref) {
+  if (!ref.bound()) throw FargoError("resolve of an unbound reference");
+  return invocation_->Invoke(ref.handle(), kPingMethod, {}).location;
+}
+
+ComletRefBase Core::RefFromHandle(const ComletHandle& handle, ComletId owner) {
+  // Parameter-passing rule (§3.1): an anchor passed by reference arrives
+  // degraded to the default link type. A reference materialized while a
+  // complet's method executes belongs to that complet (ref-level profiling
+  // and the live-reference registry attribute it there).
+  if (!owner.valid()) owner = CurrentComlet();
+  ComletRefBase ref;
+  ref.Bind(*this, handle, std::make_shared<MetaRef>(handle.id), owner);
+  return ref;
+}
+
+// ==== naming =================================================================
+
+void Core::BindName(std::string name, const ComletRefBase& ref) {
+  if (!ref.bound()) throw FargoError("binding a name to an unbound reference");
+  naming_.Bind(std::move(name), ref.handle());
+}
+
+std::optional<ComletHandle> Core::LookupAt(CoreId where,
+                                           const std::string& name) {
+  if (where == id_) return naming_.Lookup(name);
+  serial::Writer w;
+  w.WriteString(name);
+  std::vector<std::uint8_t> reply =
+      SendAndAwait(where, net::MessageKind::kNameRequest, w.Take());
+  serial::Reader r(reply);
+  wire::CheckOk(r);
+  if (!r.ReadBool()) return std::nullopt;
+  return wire::ReadHandle(r);
+}
+
+// ==== parameter passing helpers ==============================================
+
+ObjectBlob Core::CaptureObject(const serial::Serializable& root) {
+  serial::Writer body;
+  auto hook = [this](serial::GraphWriter& gw, const void* p) {
+    const auto* ref = static_cast<const ComletRefBase*>(p);
+    serial::Writer& raw = gw.raw();
+    // Copy the reference, not the complet; degrade to link by omitting the
+    // relocator (§3.1).
+    ComletHandle handle = ref->handle();
+    if (const TrackerEntry* e = trackers_.Find(handle.id)) {
+      handle.last_known = e->is_local() ? id_ : e->next;
+    }
+    wire::WriteHandle(raw, handle);
+  };
+  serial::GraphWriter gw(body, hook);
+  gw.WriteObject(&root);
+  return ObjectBlob{std::string(root.TypeName()), body.Take()};
+}
+
+std::shared_ptr<serial::Serializable> Core::MaterializeObject(
+    const ObjectBlob& blob) {
+  serial::Reader body(blob.bytes);
+  const ComletId owner = CurrentComlet();
+  auto hook = [this, owner](serial::GraphReader& gr, void* p) {
+    auto* ref = static_cast<ComletRefBase*>(p);
+    serial::Reader& raw = gr.raw();
+    ComletHandle handle = wire::ReadHandle(raw);
+    ref->Bind(*this, handle, std::make_shared<MetaRef>(handle.id), owner);
+  };
+  serial::GraphReader gr(body, hook);
+  return gr.ReadObject();
+}
+
+// ==== dispatch ===============================================================
+
+Value Core::DispatchLocal(ComletId target, std::string_view method,
+                          const std::vector<Value>& args) {
+  std::shared_ptr<Anchor> anchor = repository_.Get(target);
+  if (!anchor)
+    throw FargoError("complet " + ToString(target) + " is not hosted at " +
+                     name_);
+  if (method == kPingMethod) return Value();
+  if (method == kMoveMethod) {
+    CoreId dest{static_cast<std::uint32_t>(args.at(0).AsInt())};
+    std::string continuation = args.at(1).AsString();
+    std::vector<Value> cont_args = args.at(2).AsList();
+    movement_->MoveLocal(target, dest, std::move(continuation),
+                         std::move(cont_args));
+    return Value();
+  }
+  if (method == kMethodsMethod) {
+    Value::List names;
+    for (std::string& n : anchor->methods().Names())
+      names.push_back(Value(std::move(n)));
+    return Value(std::move(names));
+  }
+  exec_stack_.push_back(target);
+  try {
+    Value result = anchor->Dispatch(method, args);
+    exec_stack_.pop_back();
+    return result;
+  } catch (...) {
+    exec_stack_.pop_back();
+    throw;
+  }
+}
+
+// ==== messaging ==============================================================
+
+std::vector<std::uint8_t> Core::SendAndAwait(
+    CoreId to, net::MessageKind kind, std::vector<std::uint8_t> payload) {
+  const std::uint64_t corr = NextCorrelation();
+  pending_replies_.try_emplace(corr);
+
+  net::Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.kind = kind;
+  msg.correlation = corr;
+  msg.payload = std::move(payload);
+  network().Send(std::move(msg));
+
+  const SimTime deadline = scheduler().Now() + rpc_timeout_;
+  bool done = scheduler().RunUntilOr(
+      [&] {
+        auto it = pending_replies_.find(corr);
+        return it != pending_replies_.end() && it->second.done;
+      },
+      deadline);
+  auto node = pending_replies_.extract(corr);
+  if (!done)
+    throw UnreachableError(std::string(net::ToString(kind)) + " to " +
+                           ToString(to) + " timed out");
+  return std::move(node.mapped().payload);
+}
+
+void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
+                 std::vector<std::uint8_t> payload) {
+  net::Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.kind = kind;
+  msg.correlation = correlation;
+  msg.payload = std::move(payload);
+  network().Send(std::move(msg));
+}
+
+void Core::Park(ComletId id, net::Message msg, CoreId error_reply_to) {
+  const std::uint64_t correlation = msg.correlation;
+  parked_[id].push_back(std::move(msg));
+  // Expiry: if the complet hasn't arrived by then, fail the request as a
+  // transport error (never executed) instead of holding it forever — a
+  // late arrival must not execute a request whose origin already gave up.
+  scheduler().ScheduleAfter(
+      rpc_timeout_ / 2, [this, id, correlation, error_reply_to] {
+        auto it = parked_.find(id);
+        if (it == parked_.end()) return;
+        auto& queue = it->second;
+        for (auto msg_it = queue.begin(); msg_it != queue.end(); ++msg_it) {
+          if (msg_it->correlation != correlation) continue;
+          queue.erase(msg_it);
+          if (queue.empty()) parked_.erase(it);
+          if (error_reply_to.valid()) {
+            serial::Writer w;
+            w.WriteBool(false);  // not ok
+            w.WriteBool(true);   // transport failure: never executed
+            w.WriteString("no route to complet " + ToString(id) + " at " +
+                          name_ + " (parked request expired)");
+            Reply(error_reply_to, net::MessageKind::kInvokeReply, correlation,
+                  w.Take());
+          }
+          return;
+        }
+      });
+}
+
+std::vector<const ComletRefBase*> Core::RefsOwnedBy(ComletId owner) const {
+  std::vector<const ComletRefBase*> out;
+  for (const ComletRefBase* ref : live_refs_)
+    if (ref->owner() == owner) out.push_back(ref);
+  return out;
+}
+
+std::vector<const ComletRefBase*> Core::RefsTo(ComletId target) const {
+  std::vector<const ComletRefBase*> out;
+  for (const ComletRefBase* ref : live_refs_)
+    if (ref->target() == target) out.push_back(ref);
+  return out;
+}
+
+void Core::DrainParked(ComletId id) {
+  auto it = parked_.find(id);
+  if (it == parked_.end()) return;
+  std::vector<net::Message> msgs = std::move(it->second);
+  parked_.erase(it);
+  // Re-handle after the current handler completes (post-arrival ordering).
+  for (net::Message& m : msgs) {
+    scheduler().ScheduleAfter(0, [this, m = std::move(m)]() mutable {
+      HandleMessage(std::move(m));
+    });
+  }
+}
+
+void Core::HandleMessage(net::Message msg) {
+  if (!alive_) return;
+  // A malformed or unexpected message must not unwind into the scheduler:
+  // log and drop (the sender's await times out).
+  try {
+    DispatchMessage(std::move(msg));
+  } catch (const std::exception& e) {
+    LogWarn() << "core " << name_ << " dropped a bad message: " << e.what();
+  }
+}
+
+void Core::DispatchMessage(net::Message msg) {
+  switch (msg.kind) {
+    case net::MessageKind::kInvokeRequest:
+      invocation_->HandleRequest(std::move(msg));
+      return;
+    case net::MessageKind::kInvokeReply:
+      invocation_->HandleReply(std::move(msg));
+      return;
+    case net::MessageKind::kTrackerUpdate:
+      invocation_->HandleTrackerUpdate(std::move(msg));
+      return;
+    case net::MessageKind::kMoveRequest:
+      movement_->HandleMoveRequest(std::move(msg));
+      return;
+    case net::MessageKind::kMoveReply:
+    case net::MessageKind::kNameReply:
+    case net::MessageKind::kNewReply: {
+      auto it = pending_replies_.find(msg.correlation);
+      if (it != pending_replies_.end()) {
+        it->second.done = true;
+        it->second.payload = std::move(msg.payload);
+      }
+      return;
+    }
+    case net::MessageKind::kNameRequest:
+      HandleNameRequest(msg);
+      return;
+    case net::MessageKind::kNewRequest:
+      HandleNewRequest(msg);
+      return;
+    case net::MessageKind::kEventRegister: {
+      serial::Reader r(msg.payload);
+      const std::uint64_t token = r.ReadVarint();
+      const bool has_threshold = r.ReadBool();
+      const CoreId subscriber = msg.from;
+      monitor::Listener forward = [this, subscriber,
+                                   token](const monitor::Event& e) {
+        serial::Writer w;
+        w.WriteVarint(token);
+        monitor::WriteEventWire(w, e);
+        net::Message notify;
+        notify.from = id_;
+        notify.to = subscriber;
+        notify.kind = net::MessageKind::kEventNotify;
+        notify.payload = w.Take();
+        network().Send(std::move(notify));
+      };
+      monitor::SubId sub;
+      if (has_threshold) {
+        monitor::ProbeKey probe = monitor::ReadProbeWire(r);
+        double threshold = r.ReadDouble();
+        auto trigger = static_cast<monitor::Trigger>(r.ReadU8());
+        SimTime interval = static_cast<SimTime>(r.ReadVarint());
+        sub = events_->ListenThreshold(probe, threshold, trigger, interval,
+                                       std::move(forward));
+      } else {
+        auto kind = static_cast<monitor::EventKind>(r.ReadU8());
+        sub = events_->Listen(kind, std::move(forward));
+      }
+      serial::Writer ok;
+      wire::WriteOk(ok);
+      ok.WriteVarint(sub);
+      Reply(msg.from, net::MessageKind::kControl, msg.correlation, ok.Take());
+      return;
+    }
+    case net::MessageKind::kEventUnregister: {
+      serial::Reader r(msg.payload);
+      events_->Unlisten(r.ReadVarint());
+      return;
+    }
+    case net::MessageKind::kEventNotify: {
+      serial::Reader r(msg.payload);
+      const std::uint64_t token = r.ReadVarint();
+      monitor::Event e = monitor::ReadEventWire(r);
+      auto it = remote_subs_.find(token);
+      if (it == remote_subs_.end()) return;
+      // Asynchronous notification, like local event dispatch.
+      monitor::Listener& listener = it->second.listener;
+      scheduler().ScheduleAfter(0, [listener, e] { listener(e); });
+      return;
+    }
+    case net::MessageKind::kControl: {
+      HandleControl(std::move(msg));
+      return;
+    }
+  }
+}
+
+void Core::HandleControl(net::Message msg) {
+  // Generic acks (e.g. event registration, home answers) resolve pending
+  // awaits; anything else is a control request, dispatched by subkind.
+  auto it = pending_replies_.find(msg.correlation);
+  if (it != pending_replies_.end()) {
+    it->second.done = true;
+    it->second.payload = std::move(msg.payload);
+    return;
+  }
+  serial::Reader r(msg.payload);
+  switch (r.ReadU8()) {
+    case kCtrlHomeUpdate: {
+      ComletId id = wire::ReadComletId(r);
+      CoreId where = wire::ReadCoreId(r);
+      auto as_of = static_cast<SimTime>(r.ReadVarint());
+      HomeEntry& entry = home_locations_[id];
+      if (as_of > entry.as_of) entry = HomeEntry{where, as_of};
+      return;
+    }
+    case kCtrlHomeQuery: {
+      ComletId id = wire::ReadComletId(r);
+      serial::Writer w;
+      wire::WriteOk(w);
+      auto entry = home_locations_.find(id);
+      // Prefer live local knowledge: if it is hosted here, say so.
+      CoreId where = repository_.Contains(id) ? id_
+                     : entry != home_locations_.end() ? entry->second.location
+                                                      : CoreId{};
+      w.WriteBool(where.valid());
+      if (where.valid()) wire::WriteCoreId(w, where);
+      Reply(msg.from, net::MessageKind::kControl, msg.correlation, w.Take());
+      return;
+    }
+    default:
+      LogDebug() << "unknown control message at " << name_;
+  }
+}
+
+CoreId Core::LocateViaHome(ComletId id) {
+  if (!runtime_.home_registry_enabled() || !id.valid()) return CoreId{};
+  if (id.origin == id_) {
+    if (repository_.Contains(id)) return id_;
+    auto it = home_locations_.find(id);
+    return it == home_locations_.end() ? CoreId{} : it->second.location;
+  }
+  serial::Writer w;
+  w.WriteU8(kCtrlHomeQuery);
+  wire::WriteComletId(w, id);
+  std::vector<std::uint8_t> reply =
+      SendAndAwait(id.origin, net::MessageKind::kControl, w.Take());
+  serial::Reader r(reply);
+  wire::CheckOk(r);
+  if (!r.ReadBool()) return CoreId{};
+  return wire::ReadCoreId(r);
+}
+
+void Core::Crash() {
+  if (!alive_) return;
+  LogInfo() << "core " << name_ << " CRASHED";
+  alive_ = false;
+  network().Unregister(id_);
+  for (ComletId id : repository_.All()) {
+    std::shared_ptr<Anchor> anchor = repository_.Remove(id);
+    if (anchor) anchor->core_ = nullptr;
+  }
+}
+
+void Core::HandleNameRequest(const net::Message& msg) {
+  serial::Reader r(msg.payload);
+  std::string name = r.ReadString();
+  serial::Writer w;
+  wire::WriteOk(w);
+  std::optional<ComletHandle> handle = naming_.Lookup(name);
+  w.WriteBool(handle.has_value());
+  if (handle) wire::WriteHandle(w, *handle);
+  Reply(msg.from, net::MessageKind::kNameReply, msg.correlation, w.Take());
+}
+
+void Core::HandleNewRequest(const net::Message& msg) {
+  serial::Reader r(msg.payload);
+  std::string type = r.ReadString();
+  serial::Writer w;
+  try {
+    auto obj = serial::TypeRegistry::Instance().Create(type);
+    auto anchor = std::dynamic_pointer_cast<Anchor>(obj);
+    if (!anchor) throw FargoError(type + " is not an anchor type");
+    ComletRefBase ref = Install(std::move(anchor));
+    wire::WriteOk(w);
+    wire::WriteHandle(w, ref.handle());
+  } catch (const std::exception& e) {
+    serial::Writer err;
+    wire::WriteError(err, e.what());
+    Reply(msg.from, net::MessageKind::kNewReply, msg.correlation, err.Take());
+    return;
+  }
+  Reply(msg.from, net::MessageKind::kNewReply, msg.correlation, w.Take());
+}
+
+// ==== distributed events ======================================================
+
+monitor::SubId Core::ListenAt(CoreId where, monitor::EventKind kind,
+                              monitor::Listener listener) {
+  const monitor::SubId token = next_token_++;
+  if (where == id_) {
+    monitor::SubId sub = events_->Listen(kind, std::move(listener));
+    remote_subs_[token] = RemoteSub{where, sub, nullptr};
+    return token;
+  }
+  serial::Writer w;
+  w.WriteVarint(token);
+  w.WriteBool(false);
+  w.WriteU8(static_cast<std::uint8_t>(kind));
+  std::vector<std::uint8_t> reply =
+      SendAndAwait(where, net::MessageKind::kEventRegister, w.Take());
+  serial::Reader r(reply);
+  wire::CheckOk(r);
+  remote_subs_[token] = RemoteSub{where, r.ReadVarint(), std::move(listener)};
+  return token;
+}
+
+monitor::SubId Core::ListenThresholdAt(CoreId where,
+                                       const monitor::ProbeKey& probe,
+                                       double threshold,
+                                       monitor::Trigger trigger,
+                                       SimTime interval,
+                                       monitor::Listener listener) {
+  const monitor::SubId token = next_token_++;
+  if (where == id_) {
+    monitor::SubId sub = events_->ListenThreshold(probe, threshold, trigger,
+                                                  interval, std::move(listener));
+    remote_subs_[token] = RemoteSub{where, sub, nullptr};
+    return token;
+  }
+  serial::Writer w;
+  w.WriteVarint(token);
+  w.WriteBool(true);
+  monitor::WriteProbeWire(w, probe);
+  w.WriteDouble(threshold);
+  w.WriteU8(static_cast<std::uint8_t>(trigger));
+  w.WriteVarint(static_cast<std::uint64_t>(interval));
+  std::vector<std::uint8_t> reply =
+      SendAndAwait(where, net::MessageKind::kEventRegister, w.Take());
+  serial::Reader r(reply);
+  wire::CheckOk(r);
+  remote_subs_[token] = RemoteSub{where, r.ReadVarint(), std::move(listener)};
+  return token;
+}
+
+void Core::UnlistenAt(monitor::SubId token) {
+  auto it = remote_subs_.find(token);
+  if (it == remote_subs_.end()) return;
+  RemoteSub sub = std::move(it->second);
+  remote_subs_.erase(it);
+  if (sub.where == id_) {
+    events_->Unlisten(sub.remote_id);
+    return;
+  }
+  serial::Writer w;
+  w.WriteVarint(sub.remote_id);
+  net::Message msg;
+  msg.from = id_;
+  msg.to = sub.where;
+  msg.kind = net::MessageKind::kEventUnregister;
+  msg.payload = w.Take();
+  network().Send(std::move(msg));
+}
+
+// ==== shutdown ================================================================
+
+void Core::Shutdown(SimTime grace) {
+  if (!alive_) return;
+  LogInfo() << "core " << name_ << " shutting down (grace "
+            << ToMillis(grace) << " ms)";
+  events_->Fire(monitor::Event{monitor::EventKind::kCoreShutdown, id_, {},
+                               {}, 0.0});
+  // Let shutdown listeners evacuate complets while we still serve moves.
+  scheduler().RunFor(grace);
+  // Final forwarding flush: hand our tracker knowledge to every peer, so
+  // chains that pass through this Core keep resolving after it is gone.
+  // (Abrupt crashes still sever chains — the paper defers that to a future
+  // location-independent naming scheme.)
+  for (const TrackerEntry* t : trackers_.All()) {
+    if (t->is_local() || !t->next.valid()) continue;
+    for (Core* peer : runtime_.Cores()) {
+      if (peer == this || !peer->alive()) continue;
+      serial::Writer upd;
+      wire::WriteComletId(upd, t->target);
+      wire::WriteCoreId(upd, t->next);
+      upd.WriteString(t->anchor_type);
+      net::Message u;
+      u.from = id_;
+      u.to = peer->id();
+      u.kind = net::MessageKind::kTrackerUpdate;
+      u.payload = upd.Take();
+      network().Send(std::move(u));
+    }
+  }
+  alive_ = false;
+  network().Unregister(id_);
+  for (ComletId id : repository_.All()) {
+    std::shared_ptr<Anchor> anchor = repository_.Remove(id);
+    if (anchor) anchor->core_ = nullptr;
+  }
+}
+
+// ==== application profiling counters =========================================
+
+void Core::RecordInvocation(ComletId src, ComletId dst) {
+  ++invocation_counts_[{src, dst}];
+  ++total_invocations_;
+}
+
+std::uint64_t Core::InvocationCount(ComletId src, ComletId dst) const {
+  auto it = invocation_counts_.find({src, dst});
+  return it == invocation_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace fargo::core

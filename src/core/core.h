@@ -1,0 +1,297 @@
+// The FarGo Core (Fig 1): the stationary runtime node.
+//
+// A Core hosts complets (Repository), realizes complet references (tracker
+// table + stubs), migrates complets (MovementUnit), implements the
+// invocation/parameter-passing scheme (InvocationUnit), provides naming,
+// remote instantiation, monitoring (Profiler) and asynchronous events
+// (EventBus), and talks to peer Cores through the Network (Peer Interface).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/common/value.h"
+#include "src/core/anchor.h"
+#include "src/core/fwd.h"
+#include "src/core/naming.h"
+#include "src/core/ref.h"
+#include "src/core/repository.h"
+#include "src/core/tracker.h"
+#include "src/monitor/events.h"
+#include "src/net/network.h"
+#include "src/serial/registry.h"
+#include "src/sim/scheduler.h"
+
+namespace fargo::core {
+
+/// Outcome of one routed invocation, including tracking telemetry.
+struct InvokeResult {
+  Value value;
+  CoreId location;  ///< Core where the target actually executed
+  int hops = 0;     ///< forwarding hops the request traversed
+};
+
+class Core {
+ public:
+  Core(Runtime& runtime, CoreId id, std::string name);
+  ~Core();
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  CoreId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool alive() const { return alive_; }
+
+  // ==== Core API (paper §3) ==================================================
+
+  /// Instantiates a complet locally — the C++ rendering of Fig 3's
+  /// `Message msg = new Message_("...")`.
+  template <class T, class... Args>
+  ComletRef<T> New(Args&&... args) {
+    static_assert(std::is_base_of_v<Anchor, T>, "T must be an Anchor");
+    auto anchor = std::make_shared<T>(std::forward<Args>(args)...);
+    return ComletRef<T>(Install(std::move(anchor)));
+  }
+
+  /// Remote instantiation: default-constructs `anchor_type` at `dest`.
+  ComletRefBase NewRemote(CoreId dest, std::string_view anchor_type);
+
+  template <class T>
+  ComletRef<T> NewAt(CoreId dest) {
+    return ComletRef<T>(NewRemote(dest, T::kTypeName));
+  }
+
+  /// Moves the referenced complet to `dest`, honouring the relocation
+  /// semantics of all its outgoing references (§3.3). Works for complets
+  /// hosted anywhere: the command is routed through the tracker chain.
+  void Move(const ComletRefBase& ref, CoreId dest);
+
+  /// Move with continuation (§3.3): after unmarshaling, the destination
+  /// Core invokes `continuation` on the moved complet with `args`.
+  void Move(const ComletRefBase& ref, CoreId dest, std::string continuation,
+            std::vector<Value> args);
+
+  /// Id-addressed variant used by the scripting engine and the shell.
+  void MoveId(ComletId target, CoreId dest, std::string continuation = {},
+              std::vector<Value> args = {});
+
+  /// Reflection entry point (§3.2): the meta reference of a complet
+  /// reference, reifying its relocation semantics.
+  static MetaRef& GetMetaRef(const ComletRefBase& ref);
+
+  /// Authoritative current location of the target: walks (and thereby
+  /// shortens) the tracker chain.
+  CoreId ResolveLocation(const ComletRefBase& ref);
+
+  /// Materializes a stub from a wire handle, with reference semantics
+  /// degraded to `link` (parameter-passing rule of §3.1).
+  ComletRefBase RefFromHandle(const ComletHandle& handle, ComletId owner = {});
+
+  template <class T>
+  ComletRef<T> RefTo(const ComletHandle& handle) {
+    return ComletRef<T>(RefFromHandle(handle));
+  }
+  template <class T>
+  ComletRef<T> RefTo(const Value& v) {
+    return RefTo<T>(v.AsHandle());
+  }
+
+  // -- naming -----------------------------------------------------------------
+  Naming& naming() { return naming_; }
+  void BindName(std::string name, const ComletRefBase& ref);
+  /// Looks a name up at a (possibly remote) Core.
+  std::optional<ComletHandle> LookupAt(CoreId where, const std::string& name);
+
+  // -- parameter passing helpers (§3.1) ----------------------------------------
+  /// Serializes an object graph for pass-by-value. Embedded complet
+  /// references are encoded as handles degraded to `link`; referenced
+  /// anchors are never copied.
+  ObjectBlob CaptureObject(const serial::Serializable& root);
+  /// Reconstructs a passed-by-value graph, re-binding embedded references
+  /// at this Core.
+  std::shared_ptr<serial::Serializable> MaterializeObject(
+      const ObjectBlob& blob);
+  template <class T>
+  std::shared_ptr<T> MaterializeObjectAs(const ObjectBlob& blob) {
+    auto obj = std::dynamic_pointer_cast<T>(MaterializeObject(blob));
+    if (!obj) throw FargoError("materialized object has unexpected type");
+    return obj;
+  }
+
+  // -- monitoring (§4) ----------------------------------------------------------
+  monitor::Profiler& profiler() { return *profiler_; }
+  monitor::EventBus& events() { return *events_; }
+
+  /// Distributed events (§4.2): registers `listener` for lifecycle events
+  /// fired by the (possibly remote) Core `where`. Returns a local token for
+  /// UnlistenAt.
+  monitor::SubId ListenAt(CoreId where, monitor::EventKind kind,
+                          monitor::Listener listener);
+  /// Distributed threshold event on a profiling service of Core `where`.
+  monitor::SubId ListenThresholdAt(CoreId where, const monitor::ProbeKey& probe,
+                                   double threshold, monitor::Trigger trigger,
+                                   SimTime interval,
+                                   monitor::Listener listener);
+  /// Cancels a subscription made with ListenAt/ListenThresholdAt.
+  void UnlistenAt(monitor::SubId token);
+
+  /// Announces shutdown: fires CoreShutdown (locally and to remote
+  /// listeners), pumps the scheduler for `grace` so listeners can evacuate
+  /// complets, then detaches from the network and drops what remains.
+  void Shutdown(SimTime grace = Millis(500));
+
+  /// Abrupt failure (fault injection): detaches immediately — no event, no
+  /// evacuation window, no forwarding flush. Chains through this Core are
+  /// severed; only the home registry (Runtime::EnableHomeRegistry) can
+  /// recover routes afterwards.
+  void Crash();
+
+  /// Location-independent naming (§7 future work): asks the complet's home
+  /// (origin) Core for its current location. Returns an invalid CoreId if
+  /// the home doesn't know (or the registry is disabled).
+  CoreId LocateViaHome(ComletId id);
+
+  // -- introspection -------------------------------------------------------------
+  std::vector<ComletId> ComletsHere() const { return repository_.All(); }
+  Repository& repository() { return repository_; }
+  const Repository& repository() const { return repository_; }
+  TrackerTable& trackers() { return trackers_; }
+  const TrackerTable& trackers() const { return trackers_; }
+  Runtime& runtime() { return runtime_; }
+  net::Network& network();
+  sim::Scheduler& scheduler();
+
+  // ==== runtime internals (used by the units, monitor, script, shell) ========
+
+  /// Executes a method on a locally hosted complet (invocation unit's final
+  /// dispatch; also used for continuations and event delivery).
+  Value DispatchLocal(ComletId target, std::string_view method,
+                      const std::vector<Value>& args);
+
+  /// Network receive entry point.
+  void HandleMessage(net::Message msg);
+
+  /// Sends a request and pumps the scheduler until its reply (matched by
+  /// correlation) arrives; throws FargoError on timeout. Returns payload.
+  std::vector<std::uint8_t> SendAndAwait(CoreId to, net::MessageKind kind,
+                                         std::vector<std::uint8_t> payload);
+  /// Sends a reply carrying `correlation`.
+  void Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
+             std::vector<std::uint8_t> payload);
+
+  ComletId MintComletId() { return ComletId{id_, ++next_comlet_seq_}; }
+  std::uint64_t NextCorrelation() { return ++next_correlation_; }
+
+  /// Installs an anchor as a hosted complet: assigns identity (unless it
+  /// already has one, i.e. it arrived by movement), registers repository +
+  /// tracker, drains parked requests, fires completArrived.
+  ComletRefBase Install(std::shared_ptr<Anchor> anchor);
+
+  /// Parks a message that targets a complet believed to be in transit to
+  /// us. Parked requests expire after half the RPC timeout: expiry sends a
+  /// transport-flagged error reply to `error_reply_to` (the request was
+  /// never executed), which keeps gave-up-and-retried origins from seeing
+  /// double execution.
+  void Park(ComletId id, net::Message msg, CoreId error_reply_to = {});
+
+  // -- live-reference registry (§4.1 premise: refs are visible to the Core) --
+  void RegisterRef(const ComletRefBase* ref) { live_refs_.insert(ref); }
+  void UnregisterRef(const ComletRefBase* ref) { live_refs_.erase(ref); }
+  /// All live references whose containing complet is `owner` (invalid id =
+  /// references held by top-level application code at this Core).
+  std::vector<const ComletRefBase*> RefsOwnedBy(ComletId owner) const;
+  /// All live references at this Core pointing at `target`.
+  std::vector<const ComletRefBase*> RefsTo(ComletId target) const;
+  std::size_t live_ref_count() const { return live_refs_.size(); }
+
+  // -- application profiling counters (§4.1) -----------------------------------
+  void RecordInvocation(ComletId src, ComletId dst);
+  std::uint64_t InvocationCount(ComletId src, ComletId dst) const;
+  std::uint64_t TotalInvocations() const { return total_invocations_; }
+
+  /// Complet whose method is currently executing (invalid at top level);
+  /// used to attribute materialized references to their containing complet.
+  ComletId CurrentComlet() const {
+    return exec_stack_.empty() ? ComletId{} : exec_stack_.back();
+  }
+
+  InvocationUnit& invocation() { return *invocation_; }
+  MovementUnit& movement() { return *movement_; }
+
+  void SetRpcTimeout(SimTime t) { rpc_timeout_ = t; }
+  SimTime rpc_timeout() const { return rpc_timeout_; }
+  SimTime start_time() const { return start_time_; }
+
+ private:
+  friend class InvocationUnit;
+  friend class MovementUnit;
+
+  struct PendingReply {
+    bool done = false;
+    std::vector<std::uint8_t> payload;
+  };
+
+  void DrainParked(ComletId id);
+  void DispatchMessage(net::Message msg);
+  void HandleNameRequest(const net::Message& msg);
+  void HandleNewRequest(const net::Message& msg);
+  void HandleControl(net::Message msg);
+
+  Runtime& runtime_;
+  CoreId id_;
+  std::string name_;
+  bool alive_ = true;
+  SimTime start_time_ = 0;
+
+  Repository repository_;
+  TrackerTable trackers_;
+  Naming naming_;
+  std::unique_ptr<InvocationUnit> invocation_;
+  std::unique_ptr<MovementUnit> movement_;
+  std::unique_ptr<monitor::Profiler> profiler_;
+  std::unique_ptr<monitor::EventBus> events_;
+
+  std::uint64_t next_comlet_seq_ = 0;
+  std::uint64_t next_correlation_ = 0;
+  SimTime rpc_timeout_ = Seconds(30);
+
+  std::unordered_map<std::uint64_t, PendingReply> pending_replies_;
+  std::unordered_map<ComletId, std::vector<net::Message>> parked_;
+
+  /// Home-registry state: latest known location (with observation time)
+  /// for complets whose origin is this Core.
+  struct HomeEntry {
+    CoreId location;
+    SimTime as_of = -1;
+  };
+  std::unordered_map<ComletId, HomeEntry> home_locations_;
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<ComletId, ComletId>& p) const {
+      return std::hash<ComletId>{}(p.first) * 1315423911u ^
+             std::hash<ComletId>{}(p.second);
+    }
+  };
+  std::unordered_map<std::pair<ComletId, ComletId>, std::uint64_t, PairHash>
+      invocation_counts_;
+  std::uint64_t total_invocations_ = 0;
+  std::vector<ComletId> exec_stack_;
+
+  struct RemoteSub {
+    CoreId where;
+    monitor::SubId remote_id = 0;
+    monitor::Listener listener;  ///< local callback (remote subscriptions)
+  };
+  std::unordered_map<monitor::SubId, RemoteSub> remote_subs_;
+  monitor::SubId next_token_ = 1;
+  std::unordered_set<const ComletRefBase*> live_refs_;
+};
+
+}  // namespace fargo::core

@@ -1,0 +1,25 @@
+// Forward declarations for the core module.
+#pragma once
+
+namespace fargo::monitor {
+class Profiler;
+class EventBus;
+}  // namespace fargo::monitor
+
+namespace fargo::core {
+
+class Anchor;
+class ComletRefBase;
+template <class T>
+class ComletRef;
+class MetaRef;
+class Relocator;
+class TrackerTable;
+class Repository;
+class Naming;
+class InvocationUnit;
+class MovementUnit;
+class Core;
+class Runtime;
+
+}  // namespace fargo::core

@@ -1,0 +1,294 @@
+#include "src/core/invocation.h"
+
+#include "src/common/log.h"
+#include "src/core/wire.h"
+#include "src/serial/value_codec.h"
+
+namespace fargo::core {
+
+namespace {
+
+struct Request {
+  ComletHandle handle;
+  std::string method;
+  std::vector<Value> args;
+  CoreId origin;
+  std::vector<CoreId> path;  ///< Cores that forwarded this request so far
+};
+
+std::vector<std::uint8_t> EncodeRequest(const Request& rq) {
+  serial::Writer w;
+  wire::WriteHandle(w, rq.handle);
+  w.WriteString(rq.method);
+  serial::WriteValues(w, rq.args);
+  wire::WriteCoreId(w, rq.origin);
+  wire::WriteCoreList(w, rq.path);
+  return w.Take();
+}
+
+Request DecodeRequest(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r(payload);
+  Request rq;
+  rq.handle = wire::ReadHandle(r);
+  rq.method = r.ReadString();
+  rq.args = serial::ReadValues(r);
+  rq.origin = wire::ReadCoreId(r);
+  rq.path = wire::ReadCoreList(r);
+  return rq;
+}
+
+}  // namespace
+
+InvokeResult InvocationUnit::Invoke(const ComletHandle& handle,
+                                    std::string_view method,
+                                    std::vector<Value> args) {
+  try {
+    return DoInvoke(handle, method, args);
+  } catch (const UnreachableError&) {
+    // The chain is severed. With the home registry (§7 future work), ask
+    // the target's home Core for a fresh route and retry once.
+    TrackerEntry* entry = core_.trackers().Find(handle.id);
+    if (entry != nullptr && entry->is_local()) throw;  // can't improve
+    CoreId home_route;
+    try {
+      home_route = core_.LocateViaHome(handle.id);
+    } catch (const std::exception&) {
+      throw UnreachableError("home registry of " + ToString(handle.id) +
+                             " is unreachable too");
+    }
+    if (!home_route.valid() || home_route == core_.id()) throw;
+    if (entry != nullptr && !entry->is_local() && entry->next == home_route)
+      throw;  // home has no better route than what just failed
+    core_.trackers().SetForward(handle.id, home_route, handle.anchor_type);
+    return DoInvoke(handle, method, args);
+  }
+}
+
+void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
+                          std::vector<Value> args) {
+  TrackerEntry& entry = core_.trackers().Ensure(handle);
+  if (entry.is_local()) {
+    // Asynchronous even locally: dispatched as a scheduled task, like the
+    // paper's per-invocation thread.
+    core_.scheduler().ScheduleAfter(
+        0, [this, id = handle.id, method = std::string(method),
+            args = std::move(args)] {
+          try {
+            core_.DispatchLocal(id, method, args);
+          } catch (const std::exception& e) {
+            LogWarn() << "one-way invocation of " << method << " failed: "
+                      << e.what();
+          }
+        });
+    return;
+  }
+  if (!entry.next.valid() || entry.next == core_.id()) {
+    LogWarn() << "one-way invocation dropped: no route to "
+              << ToString(handle.id);
+    return;
+  }
+  Request rq{handle, std::string(method), std::move(args), core_.id(), {}};
+  rq.handle.last_known = entry.next;
+  ++entry.forwarded;
+  net::Message msg;
+  msg.from = core_.id();
+  msg.to = entry.next;
+  msg.kind = net::MessageKind::kInvokeRequest;
+  msg.correlation = core_.NextCorrelation();  // reply will find no waiter
+  msg.payload = EncodeRequest(rq);
+  core_.network().Send(std::move(msg));
+}
+
+InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
+                                      std::string_view method,
+                                      const std::vector<Value>& args) {
+  sim::Scheduler& sched = core_.scheduler();
+  TrackerEntry* entry = &core_.trackers().Ensure(handle);
+
+  // Fast path: the single extra indirection of the stub/tracker split —
+  // target hosted here means a plain local dispatch.
+  if (entry->is_local()) {
+    Value v = core_.DispatchLocal(handle.id, method, args);
+    return InvokeResult{std::move(v), core_.id(), 0};
+  }
+
+  // The target may be in transit *to us*; wait for it to land.
+  if (!entry->next.valid() || entry->next == core_.id()) {
+    const SimTime deadline = sched.Now() + core_.rpc_timeout();
+    bool settled = sched.RunUntilOr(
+        [&] {
+          entry = core_.trackers().Find(handle.id);
+          return entry != nullptr &&
+                 (entry->is_local() ||
+                  (entry->next.valid() && entry->next != core_.id()));
+        },
+        deadline);
+    if (!settled)
+      throw UnreachableError("invocation target " + ToString(handle.id) +
+                             " unreachable from " + ToString(core_.id()));
+    if (entry->is_local()) {
+      Value v = core_.DispatchLocal(handle.id, method, args);
+      return InvokeResult{std::move(v), core_.id(), 0};
+    }
+  }
+
+  // Remote: forward along the tracker chain and await the reply.
+  const std::uint64_t corr = core_.NextCorrelation();
+  waiters_.try_emplace(corr);
+  Request rq{handle, std::string(method), args, core_.id(), {}};
+  // Route by our tracker's knowledge, not the stub's stale hint, so the
+  // next hop parks rather than bouncing the request back at us.
+  rq.handle.last_known = entry->next;
+  ++entry->forwarded;
+
+  net::Message msg;
+  msg.from = core_.id();
+  msg.to = entry->next;
+  msg.kind = net::MessageKind::kInvokeRequest;
+  msg.correlation = corr;
+  msg.payload = EncodeRequest(rq);
+  core_.network().Send(std::move(msg));
+
+  const SimTime deadline = sched.Now() + core_.rpc_timeout();
+  bool done = sched.RunUntilOr([&] { return waiters_[corr].done; }, deadline);
+  Waiter result = std::move(waiters_[corr]);
+  waiters_.erase(corr);
+  if (!done)
+    throw UnreachableError("invocation of " + std::string(method) + " on " +
+                           ToString(handle.id) + " timed out");
+  if (!result.ok) {
+    // Transport failures are retry-safe (the method never executed);
+    // application errors are the anchor's own exceptions.
+    if (result.transport_failure) throw UnreachableError(result.error);
+    throw FargoError(result.error);
+  }
+
+  // Chain shortening at the origin (§3.1): point our tracker straight at
+  // the Core that answered — unless the complet meanwhile arrived *here*
+  // (e.g. the invocation was a routed move command with us as destination).
+  if (shortening_ && result.location.valid() &&
+      result.location != core_.id()) {
+    TrackerEntry* current = core_.trackers().Find(handle.id);
+    if (current == nullptr || !current->is_local())
+      core_.trackers().SetForward(handle.id, result.location,
+                                  handle.anchor_type);
+  }
+  return InvokeResult{std::move(result.value), result.location, result.hops};
+}
+
+void InvocationUnit::HandleRequest(net::Message msg) {
+  Request rq = DecodeRequest(msg.payload);
+  TrackerEntry& entry = core_.trackers().Ensure(rq.handle);
+
+  if (entry.is_local()) {
+    ExecuteAndReply(msg, rq.handle, rq.method, rq.args, rq.origin,
+                    msg.correlation, rq.path);
+    return;
+  }
+
+  // Target in transit to this Core (the stream is still in flight): park
+  // the request; it is drained on arrival or failed on expiry.
+  if (!entry.next.valid() || entry.next == core_.id()) {
+    core_.Park(rq.handle.id, std::move(msg), rq.origin);
+    return;
+  }
+
+  if (static_cast<int>(rq.path.size()) + 1 > max_hops_) {
+    serial::Writer w;
+    w.WriteBool(false);  // not ok
+    w.WriteBool(true);   // transport failure: never executed
+    w.WriteString("invocation exceeded max forwarding hops (loop?)");
+    core_.Reply(rq.origin, net::MessageKind::kInvokeReply, msg.correlation,
+                w.Take());
+    return;
+  }
+
+  // Forward one hop down the chain.
+  ++entry.forwarded;
+  rq.path.push_back(core_.id());
+  rq.handle.last_known = entry.next;
+  net::Message fwd;
+  fwd.from = core_.id();
+  fwd.to = entry.next;
+  fwd.kind = net::MessageKind::kInvokeRequest;
+  fwd.correlation = msg.correlation;
+  fwd.payload = EncodeRequest(rq);
+  core_.network().Send(std::move(fwd));
+}
+
+void InvocationUnit::ExecuteAndReply(const net::Message& msg,
+                                     const ComletHandle& handle,
+                                     std::string_view method,
+                                     const std::vector<Value>& args,
+                                     CoreId origin, std::uint64_t correlation,
+                                     const std::vector<CoreId>& path) {
+  (void)msg;
+  serial::Writer w;
+  try {
+    Value result = core_.DispatchLocal(handle.id, method, args);
+    wire::WriteOk(w);
+    serial::WriteValue(w, result);
+    wire::WriteCoreId(w, core_.id());
+    w.WriteVarint(path.size() + 1);  // hops traversed by the request
+  } catch (const std::exception& e) {
+    serial::Writer err;
+    err.WriteBool(false);  // not ok
+    err.WriteBool(false);  // application error: the method DID run/throw
+    err.WriteString(e.what());
+    core_.Reply(origin, net::MessageKind::kInvokeReply, correlation,
+                err.Take());
+    return;
+  }
+  // Reply straight to the origin...
+  core_.Reply(origin, net::MessageKind::kInvokeReply, correlation, w.Take());
+
+  // ...and shorten the whole chain: every tracker that forwarded the
+  // request is repointed directly at us (§3.1).
+  if (!shortening_) return;
+  for (CoreId hop : path) {
+    if (hop == core_.id()) continue;
+    serial::Writer upd;
+    wire::WriteComletId(upd, handle.id);
+    wire::WriteCoreId(upd, core_.id());
+    upd.WriteString(handle.anchor_type);
+    net::Message u;
+    u.from = core_.id();
+    u.to = hop;
+    u.kind = net::MessageKind::kTrackerUpdate;
+    u.payload = upd.Take();
+    core_.network().Send(std::move(u));
+  }
+}
+
+void InvocationUnit::HandleReply(net::Message msg) {
+  auto it = waiters_.find(msg.correlation);
+  if (it == waiters_.end()) {
+    LogDebug() << "orphan invoke reply at " << ToString(core_.id());
+    return;
+  }
+  Waiter& waiter = it->second;
+  serial::Reader r(msg.payload);
+  waiter.ok = r.ReadBool();
+  if (!waiter.ok) {
+    waiter.transport_failure = r.ReadBool();
+    waiter.error = r.ReadString();
+  } else {
+    waiter.value = serial::ReadValue(r);
+    waiter.location = wire::ReadCoreId(r);
+    waiter.hops = static_cast<int>(r.ReadVarint());
+  }
+  waiter.done = true;
+}
+
+void InvocationUnit::HandleTrackerUpdate(net::Message msg) {
+  serial::Reader r(msg.payload);
+  ComletId id = wire::ReadComletId(r);
+  CoreId location = wire::ReadCoreId(r);
+  std::string type = r.ReadString();
+  TrackerEntry* entry = core_.trackers().Find(id);
+  if (entry == nullptr || entry->is_local()) return;
+  if (location == core_.id()) return;  // stale update; we'd self-loop
+  core_.trackers().SetForward(id, location, type);
+}
+
+}  // namespace fargo::core

@@ -1,0 +1,85 @@
+// The Invocation unit (Fig 1, §3.1): routes method invocations from stubs
+// through tracker chains to the target anchor, implements the parameter
+// passing scheme, and shortens chains on return.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+#include "src/core/core.h"
+#include "src/net/network.h"
+
+namespace fargo::core {
+
+class InvocationUnit {
+ public:
+  explicit InvocationUnit(Core& core) : core_(core) {}
+
+  /// Invokes `method` on the complet named by `handle`. Dispatches directly
+  /// when the target is hosted here; otherwise forwards along the tracker
+  /// chain, blocks for the reply, and repoints this Core's tracker to the
+  /// target's answered location (chain shortening, §3.1).
+  ///
+  /// On a transport failure (severed chain, dead Core) with the home
+  /// registry enabled, the target's home is consulted and the invocation
+  /// retried once along the fresh route — safe because UnreachableError
+  /// means the request never executed.
+  InvokeResult Invoke(const ComletHandle& handle, std::string_view method,
+                      std::vector<Value> args);
+
+  /// One-way invocation: routes exactly like Invoke but returns
+  /// immediately; the result (or error) is discarded. The paper's Core
+  /// starts a thread per invocation — this is the sender-side analogue for
+  /// fire-and-forget interactions.
+  void Post(const ComletHandle& handle, std::string_view method,
+            std::vector<Value> args);
+
+  /// Request arriving from the network: execute here, forward to the next
+  /// tracker hop, or park if the target is in transit to this Core.
+  void HandleRequest(net::Message msg);
+
+  /// Reply arriving at the origin.
+  void HandleReply(net::Message msg);
+
+  /// Chain-shortening notification: repoint our tracker for a complet.
+  void HandleTrackerUpdate(net::Message msg);
+
+  /// Maximum forwarding hops before a request is failed (routing-loop
+  /// safety net).
+  void SetMaxHops(int n) { max_hops_ = n; }
+
+  /// Ablation switch: disables automatic chain shortening (§3.1) at this
+  /// Core — no origin repoint, no TrackerUpdate fan-out when executing.
+  void SetChainShortening(bool on) { shortening_ = on; }
+  bool chain_shortening() const { return shortening_; }
+
+ private:
+  InvokeResult DoInvoke(const ComletHandle& handle, std::string_view method,
+                        const std::vector<Value>& args);
+
+  struct Waiter {
+    bool done = false;
+    bool ok = false;
+    bool transport_failure = false;  ///< error, and the method never ran
+    std::string error;
+    Value value;
+    CoreId location;
+    int hops = 0;
+  };
+
+  void ExecuteAndReply(const net::Message& msg, const ComletHandle& handle,
+                       std::string_view method, const std::vector<Value>& args,
+                       CoreId origin, std::uint64_t correlation,
+                       const std::vector<CoreId>& path);
+
+  Core& core_;
+  int max_hops_ = 64;
+  bool shortening_ = true;
+  std::unordered_map<std::uint64_t, Waiter> waiters_;
+};
+
+}  // namespace fargo::core

@@ -1,0 +1,19 @@
+#include "src/core/meta_ref.h"
+
+#include "src/core/core.h"
+
+namespace fargo::core {
+
+void MetaRef::SetRelocator(std::shared_ptr<Relocator> relocator) {
+  if (!relocator) throw FargoError("null relocator");
+  relocator_ = std::move(relocator);
+}
+
+CoreId MetaRef::KnownLocation(const Core& from) const {
+  const TrackerEntry* entry = from.trackers().Find(target_);
+  if (entry == nullptr) return CoreId{};
+  if (entry->is_local()) return from.id();
+  return entry->next;
+}
+
+}  // namespace fargo::core

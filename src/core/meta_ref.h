@@ -1,0 +1,48 @@
+// MetaRef: reflection on complet references (§3.2).
+//
+// "each complet reference has a meta reference object that reifies its
+//  relocation semantics and allows to change it" — fetched with
+// Core::GetMetaRef(ref). The rest of the program keeps using the reference
+// transparently; only the meta level changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/ids.h"
+#include "src/core/fwd.h"
+#include "src/core/relocator.h"
+
+namespace fargo::core {
+
+class MetaRef {
+ public:
+  explicit MetaRef(ComletId target,
+                   std::shared_ptr<Relocator> relocator = nullptr)
+      : target_(target),
+        relocator_(relocator ? std::move(relocator) : MakeDefaultRelocator()) {}
+
+  ComletId target() const { return target_; }
+
+  /// The object reifying the reference's relocation semantics.
+  const std::shared_ptr<Relocator>& GetRelocator() const { return relocator_; }
+
+  /// Replaces the relocation semantics at runtime (e.g. link → pull).
+  void SetRelocator(std::shared_ptr<Relocator> relocator);
+
+  /// Best locally-known location of the target: the next hop recorded by
+  /// this Core's tracker. May be stale after uncoordinated movement; use
+  /// Core::ResolveLocation for an authoritative (chain-walking) answer.
+  CoreId KnownLocation(const Core& from) const;
+
+  // -- reference-level profiling hooks (application profiling, §4.1) --------
+  std::uint64_t invocation_count() const { return invocations_; }
+  void RecordInvocation() { ++invocations_; }
+
+ private:
+  ComletId target_;
+  std::shared_ptr<Relocator> relocator_;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace fargo::core

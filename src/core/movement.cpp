@@ -1,0 +1,339 @@
+#include "src/core/movement.h"
+
+#include "src/common/log.h"
+#include "src/core/invocation.h"
+#include "src/core/meta_ref.h"
+#include "src/core/relocator.h"
+#include "src/core/runtime.h"
+#include "src/core/wire.h"
+#include "src/serial/graph.h"
+#include "src/serial/value_codec.h"
+
+namespace fargo::core {
+
+namespace {
+// Ref descriptor tags inside a migration stream (bound references only; the
+// stub writes its own bound/unbound flag before the hook runs).
+constexpr std::uint8_t kRefNormal = 0;  // relocator + handle
+constexpr std::uint8_t kRefStamp = 1;   // relocator + anchor type (rebind)
+}  // namespace
+
+void MovementUnit::MarshalSection(
+    serial::Writer& out, const Section& section, CoreId dest,
+    std::vector<Section>& worklist, std::unordered_set<ComletId>& in_stream,
+    std::unordered_map<ComletId, ComletId>& dup_ids,
+    std::vector<ComletId>& deferred_pulls) {
+  // preDeparture fires at the sending Core before marshaling (§3.3);
+  // duplicated complets do not depart.
+  if (!section.is_duplicate) section.anchor->PreDeparture();
+
+  serial::Writer body;
+  auto hook = [&](serial::GraphWriter& gw, const void* p) {
+    const auto* ref = static_cast<const ComletRefBase*>(p);
+    serial::Writer& raw = gw.raw();
+    const std::shared_ptr<Relocator>& relocator =
+        ref->meta()->GetRelocator();
+    if (!ref->bound()) {
+      // Latent typed reference (stamp that found no equivalent at this
+      // site): carry the type so the destination re-attempts the rebind.
+      raw.WriteU8(kRefStamp);
+      gw.WriteObject(relocator.get());
+      raw.WriteString(ref->anchor_type());
+      ++stats_.refs_stamped;
+      return;
+    }
+    const ComletId target = ref->target();
+    const bool target_local = core_.repository().Contains(target);
+    RelocContext ctx{core_, target, dest, target_local};
+    RelocEffect effect = relocator->EffectOnMove(ctx);
+
+    // A reference to a complet already travelling in this stream keeps its
+    // identity regardless of requested effect; it will be local at dest.
+    auto write_normal = [&](ComletId id, CoreId hint,
+                            const std::string& type) {
+      raw.WriteU8(kRefNormal);
+      gw.WriteObject(relocator.get());
+      wire::WriteHandle(raw, ComletHandle{id, hint, type});
+    };
+
+    switch (effect) {
+      case RelocEffect::kMoveAlong: {
+        if (in_stream.contains(target)) {
+          write_normal(target, dest, ref->anchor_type());
+        } else if (target_local) {
+          worklist.push_back(Section{target, ref->anchor_type(), false,
+                                     core_.repository().Get(target)});
+          in_stream.insert(target);
+          write_normal(target, dest, ref->anchor_type());
+        } else {
+          // Remote pull target: keep tracking for now; after the primary
+          // move commits, a move command is routed to the target's host.
+          ++stats_.deferred_remote_pulls;
+          deferred_pulls.push_back(target);
+          const TrackerEntry* e = core_.trackers().Find(target);
+          write_normal(target, e != nullptr ? e->next : ref->handle().last_known,
+                       ref->anchor_type());
+        }
+        ++stats_.refs_linked;
+        return;
+      }
+      case RelocEffect::kCopyAlong: {
+        if (in_stream.contains(target)) {
+          write_normal(target, dest, ref->anchor_type());
+          ++stats_.refs_linked;
+          return;
+        }
+        if (!target_local) {
+          // The paper leaves remote duplication unspecified; degrade to
+          // tracking and say so.
+          LogWarn() << "duplicate reference to remote complet "
+                    << ToString(target) << " degraded to link for this move";
+          break;  // falls through to kTrack handling below
+        }
+        ComletId copy_id;
+        if (auto it = dup_ids.find(target); it != dup_ids.end()) {
+          copy_id = it->second;
+        } else {
+          copy_id = core_.MintComletId();
+          dup_ids.emplace(target, copy_id);
+          worklist.push_back(Section{copy_id, ref->anchor_type(), true,
+                                     core_.repository().Get(target)});
+          in_stream.insert(copy_id);
+          ++stats_.complets_duplicated;
+        }
+        write_normal(copy_id, dest, ref->anchor_type());
+        ++stats_.refs_linked;
+        return;
+      }
+      case RelocEffect::kRebind: {
+        raw.WriteU8(kRefStamp);
+        gw.WriteObject(relocator.get());
+        raw.WriteString(ref->anchor_type());
+        ++stats_.refs_stamped;
+        return;
+      }
+      case RelocEffect::kTrack:
+        break;
+    }
+
+    // link semantics (also the degraded cases above): hand out our best
+    // routing knowledge; tracker chains absorb any staleness.
+    CoreId hint;
+    if (in_stream.contains(target)) {
+      hint = dest;
+    } else if (target_local) {
+      hint = core_.id();  // target stays behind; we keep hosting it
+    } else if (const TrackerEntry* e = core_.trackers().Find(target)) {
+      hint = e->next;
+    } else {
+      hint = ref->handle().last_known;
+    }
+    write_normal(target, hint, ref->anchor_type());
+    ++stats_.refs_linked;
+  };
+
+  serial::GraphWriter gw(body, hook);
+  gw.WriteObject(section.anchor.get());
+
+  wire::WriteComletId(out, section.id);
+  out.WriteString(section.anchor_type);
+  out.WriteBool(section.is_duplicate);
+  out.WriteBytes(body.buffer());
+}
+
+void MovementUnit::MoveLocal(ComletId primary, CoreId dest,
+                             std::string continuation,
+                             std::vector<Value> args) {
+  std::shared_ptr<Anchor> anchor = core_.repository().Get(primary);
+  if (!anchor)
+    throw FargoError("move: complet " + ToString(primary) +
+                     " is not hosted at " + ToString(core_.id()));
+  if (dest == core_.id()) {
+    if (!continuation.empty()) core_.DispatchLocal(primary, continuation, args);
+    return;
+  }
+
+  stats_ = MoveStats{};
+  std::vector<Section> worklist{
+      Section{primary, std::string(anchor->TypeName()), false, anchor}};
+  std::unordered_set<ComletId> in_stream{primary};
+  std::unordered_map<ComletId, ComletId> dup_ids;
+  std::vector<ComletId> deferred_pulls;
+
+  // Marshal sections; the worklist grows as pull/duplicate references are
+  // discovered during traversal. All sections share one stream — a single
+  // inter-Core message per movement request (§3.3).
+  serial::Writer sections;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < worklist.size(); ++i) {
+    // Copy: worklist may reallocate while this section marshals.
+    Section section = worklist[i];
+    MarshalSection(sections, section, dest, worklist, in_stream, dup_ids,
+                   deferred_pulls);
+    ++count;
+  }
+
+  serial::Writer payload;
+  wire::WriteComletId(payload, primary);
+  payload.WriteVarint(count);
+  payload.WriteRaw(sections.buffer().data(), sections.buffer().size());
+  payload.WriteBool(!continuation.empty());
+  if (!continuation.empty()) {
+    payload.WriteString(continuation);
+    serial::WriteValues(payload, args);
+  }
+  stats_.stream_bytes = payload.size();
+
+  // Transition: departing complets leave the repository and forward via the
+  // tracker; invocations racing the stream park at `dest` until it lands.
+  struct Departing {
+    ComletId id;
+    std::string type;
+    std::shared_ptr<Anchor> anchor;
+  };
+  std::vector<Departing> departing;
+  for (const Section& s : worklist) {
+    if (s.is_duplicate) continue;
+    departing.push_back(Departing{s.id, s.anchor_type, s.anchor});
+    core_.repository().Remove(s.id);
+    core_.trackers().SetForward(s.id, dest, s.anchor_type);
+  }
+  stats_.complets_moved = departing.size();
+
+  std::vector<std::uint8_t> reply;
+  try {
+    reply = core_.SendAndAwait(dest, net::MessageKind::kMoveRequest,
+                               payload.Take());
+    serial::Reader r(reply);
+    wire::CheckOk(r);
+  } catch (...) {
+    // Roll back: the complets never left.
+    for (const Departing& d : departing) {
+      core_.repository().Add(d.id, d.anchor);
+      core_.trackers().SetLocal(d.id, *d.anchor, d.type);
+    }
+    throw;
+  }
+
+  // Committed: release the stale copies (§3.3 postDeparture) and announce.
+  for (const Departing& d : departing) {
+    d.anchor->PostDeparture();
+    d.anchor->core_ = nullptr;
+    core_.events().Fire(monitor::Event{monitor::EventKind::kComletDeparted,
+                                       core_.id(), d.id, {}, 0.0});
+  }
+
+  // Remote pull targets follow with their own move requests.
+  for (ComletId id : deferred_pulls) {
+    try {
+      core_.MoveId(id, dest);
+    } catch (const std::exception& e) {
+      LogWarn() << "deferred pull of " << ToString(id) << " failed: "
+                << e.what();
+    }
+  }
+}
+
+void MovementUnit::HandleMoveRequest(net::Message msg) {
+  serial::Reader r(msg.payload);
+  ComletId primary = wire::ReadComletId(r);
+  std::uint64_t count = r.ReadVarint();
+
+  std::vector<std::shared_ptr<Anchor>> installed;
+  std::vector<ComletId> arrived;
+  std::string continuation;
+  std::vector<Value> cont_args;
+
+  try {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ComletId id = wire::ReadComletId(r);
+      std::string type = r.ReadString();
+      bool is_duplicate = r.ReadBool();
+      (void)is_duplicate;  // same install path either way
+      std::vector<std::uint8_t> body = r.ReadBytes();
+
+      auto hook = [this, id](serial::GraphReader& gr, void* p) {
+        auto* ref = static_cast<ComletRefBase*>(p);
+        serial::Reader& raw = gr.raw();
+        std::uint8_t tag = raw.ReadU8();
+        switch (tag) {
+          case kRefNormal: {
+            auto relocator = gr.ReadObjectAs<Relocator>();
+            ComletHandle handle = wire::ReadHandle(raw);
+            ref->Bind(core_, handle,
+                      std::make_shared<MetaRef>(handle.id, relocator), id);
+            return;
+          }
+          case kRefStamp: {
+            auto relocator = gr.ReadObjectAs<Relocator>();
+            std::string anchor_type = raw.ReadString();
+            // Re-bind to an equivalent-type complet at this Core (§3.3);
+            // unbound if none is hosted here.
+            std::shared_ptr<Anchor> local =
+                core_.repository().FindByType(anchor_type);
+            if (local) {
+              ComletHandle handle{local->id(), core_.id(), anchor_type};
+              ref->Bind(core_, handle,
+                        std::make_shared<MetaRef>(handle.id, relocator), id);
+            } else {
+              // No equivalent here: stay latent (typed but unbound) so the
+              // next movement re-attempts the rebind.
+              ref->Bind(core_, ComletHandle{ComletId{}, CoreId{}, anchor_type},
+                        std::make_shared<MetaRef>(ComletId{}, relocator), id);
+            }
+            return;
+          }
+          default:
+            throw serial::SerialError("corrupt ref descriptor in stream");
+        }
+      };
+
+      serial::Reader body_reader(body);
+      serial::GraphReader gr(body_reader, hook);
+      std::shared_ptr<Anchor> anchor = gr.ReadObjectAs<Anchor>();
+      if (!anchor) throw FargoError("migration stream carried a null anchor");
+      anchor->id_ = id;
+      anchor->PreArrival();
+      core_.Install(anchor);
+      anchor->PostArrival();
+      installed.push_back(anchor);
+      arrived.push_back(id);
+    }
+  } catch (const std::exception& e) {
+    // Unwind partial arrivals so the sender's rollback is authoritative.
+    for (const std::shared_ptr<Anchor>& a : installed) {
+      core_.repository().Remove(a->id());
+      a->core_ = nullptr;
+    }
+    serial::Writer err;
+    wire::WriteError(err, e.what());
+    core_.Reply(msg.from, net::MessageKind::kMoveReply, msg.correlation,
+                err.Take());
+    return;
+  }
+
+  bool has_continuation = r.ReadBool();
+  if (has_continuation) {
+    continuation = r.ReadString();
+    cont_args = serial::ReadValues(r);
+  }
+
+  serial::Writer ok;
+  wire::WriteOk(ok);
+  wire::WriteComletList(ok, arrived);
+  core_.Reply(msg.from, net::MessageKind::kMoveReply, msg.correlation,
+              ok.Take());
+
+  // "Call with continuation" (§3.3): the receiving Core invokes the given
+  // method after unmarshaling.
+  if (has_continuation) {
+    try {
+      core_.DispatchLocal(primary, continuation, cont_args);
+    } catch (const std::exception& e) {
+      LogWarn() << "continuation " << continuation << " on "
+                << ToString(primary) << " failed: " << e.what();
+    }
+  }
+}
+
+}  // namespace fargo::core

@@ -1,0 +1,83 @@
+// The Movement unit (Fig 1, §3.3): marshals complet closures under layout
+// constraints and migrates them between Cores.
+//
+// During the object-graph traversal every outgoing complet reference is
+// handed to this unit (via the serializer's ref hook), which dispatches on
+// the reference's Relocator:
+//   - link:      a descriptor (handle + relocator) is written; the target
+//                stays tracked through chains.
+//   - pull:      a locally hosted target joins the same stream (single
+//                inter-Core message); remote targets get a forwarded move
+//                request after the primary move commits.
+//   - duplicate: a copy of a locally hosted target joins the stream under a
+//                freshly minted identity; the original stays. (A remote
+//                duplicate target degrades to link with a warning — the
+//                paper leaves this case unspecified.)
+//   - stamp:     only the target's anchor type is written; the destination
+//                re-binds to an equivalent-type local complet, or leaves the
+//                reference unbound if none exists.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+#include "src/core/core.h"
+#include "src/net/network.h"
+
+namespace fargo::core {
+
+/// Statistics of the last outbound move performed by this Core (bench/test
+/// telemetry).
+struct MoveStats {
+  std::size_t complets_moved = 0;       ///< primary + pulled
+  std::size_t complets_duplicated = 0;
+  std::size_t refs_linked = 0;
+  std::size_t refs_stamped = 0;
+  std::size_t stream_bytes = 0;
+  std::size_t deferred_remote_pulls = 0;
+};
+
+class MovementUnit {
+ public:
+  explicit MovementUnit(Core& core) : core_(core) {}
+
+  /// Moves a locally hosted complet (and whatever its references' layout
+  /// semantics drag along) to `dest` in one inter-Core message. Blocks
+  /// until the destination acknowledges; rolls the complets back on
+  /// failure.
+  void MoveLocal(ComletId primary, CoreId dest, std::string continuation,
+                 std::vector<Value> args);
+
+  /// Handles an inbound migration stream.
+  void HandleMoveRequest(net::Message msg);
+
+  const MoveStats& last_move_stats() const { return stats_; }
+
+ private:
+  struct Section {
+    ComletId id;
+    std::string anchor_type;
+    bool is_duplicate = false;
+    std::shared_ptr<Anchor> anchor;  ///< sending side
+  };
+
+  /// Serializes one complet section; ref hooks may append further sections
+  /// to `worklist`. `dup_ids` maps originals to their one-per-move copy so
+  /// duplicate references from different sections share a single copy.
+  void MarshalSection(serial::Writer& out, const Section& section,
+                      CoreId dest, std::vector<Section>& worklist,
+                      std::unordered_set<ComletId>& in_stream,
+                      std::unordered_map<ComletId, ComletId>& dup_ids,
+                      std::vector<ComletId>& deferred_pulls);
+
+  Core& core_;
+  MoveStats stats_;
+};
+
+}  // namespace fargo::core

@@ -1,0 +1,21 @@
+#include "src/core/naming.h"
+
+namespace fargo::core {
+
+void Naming::Bind(std::string name, ComletHandle handle) {
+  bindings_[std::move(name)] = std::move(handle);
+}
+
+void Naming::Unbind(const std::string& name) { bindings_.erase(name); }
+
+std::optional<ComletHandle> Naming::Lookup(const std::string& name) const {
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, ComletHandle>> Naming::All() const {
+  return {bindings_.begin(), bindings_.end()};
+}
+
+}  // namespace fargo::core

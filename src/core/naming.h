@@ -1,0 +1,32 @@
+// Naming service (Fig 1): maps logical names to complet handles, per Core.
+// Cross-Core lookups go through the network (Core::LookupAt).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace fargo::core {
+
+class Naming {
+ public:
+  /// Binds (or rebinds) a logical name to a complet.
+  void Bind(std::string name, ComletHandle handle);
+
+  void Unbind(const std::string& name);
+
+  std::optional<ComletHandle> Lookup(const std::string& name) const;
+
+  /// All bound names, sorted (shell `names` command).
+  std::vector<std::pair<std::string, ComletHandle>> All() const;
+
+  std::size_t size() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, ComletHandle> bindings_;
+};
+
+}  // namespace fargo::core

@@ -1,0 +1,129 @@
+#include "src/core/persistence.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/log.h"
+#include "src/core/meta_ref.h"
+#include "src/core/relocator.h"
+#include "src/core/wire.h"
+#include "src/serial/graph.h"
+
+namespace fargo::core {
+
+namespace {
+constexpr std::uint32_t kImageMagic = 0x464152u;  // "FAR"
+constexpr std::uint8_t kImageVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> SaveCoreImage(Core& core) {
+  serial::Writer out;
+  out.WriteVarint(kImageMagic);
+  out.WriteU8(kImageVersion);
+
+  const std::vector<ComletId> ids = core.ComletsHere();
+  out.WriteVarint(ids.size());
+  for (ComletId id : ids) {
+    std::shared_ptr<Anchor> anchor = core.repository().Get(id);
+    wire::WriteComletId(out, id);
+    out.WriteString(anchor->TypeName());
+
+    // Closure with verbatim reference semantics: relocator object + handle
+    // carrying this Core's best routing knowledge.
+    serial::Writer body;
+    auto hook = [&core](serial::GraphWriter& gw, const void* p) {
+      const auto* ref = static_cast<const ComletRefBase*>(p);
+      gw.WriteObject(ref->meta()->GetRelocator().get());
+      ComletHandle handle = ref->handle();
+      if (const TrackerEntry* e = core.trackers().Find(handle.id))
+        handle.last_known = e->is_local() ? core.id() : e->next;
+      wire::WriteHandle(gw.raw(), handle);
+    };
+    serial::GraphWriter gw(body, hook);
+    gw.WriteObject(anchor.get());
+    out.WriteBytes(body.buffer());
+  }
+
+  // Name bindings.
+  const auto names = core.naming().All();
+  out.WriteVarint(names.size());
+  for (const auto& [name, handle] : names) {
+    out.WriteString(name);
+    wire::WriteHandle(out, handle);
+  }
+  return out.Take();
+}
+
+std::vector<ComletId> LoadCoreImage(Core& core,
+                                    const std::vector<std::uint8_t>& image) {
+  serial::Reader in(image);
+  if (in.ReadVarint() != kImageMagic)
+    throw serial::SerialError("not a FarGo core image");
+  if (in.ReadU8() != kImageVersion)
+    throw serial::SerialError("unsupported core-image version");
+
+  std::vector<ComletId> restored;
+  const std::uint64_t count = in.ReadVarint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ComletId id = wire::ReadComletId(in);
+    std::string type = in.ReadString();
+    (void)type;
+    std::vector<std::uint8_t> body = in.ReadBytes();
+
+    if (core.repository().Contains(id)) {
+      LogWarn() << "restore skipped " << ToString(id)
+                << ": already hosted at " << core.name();
+      continue;
+    }
+
+    auto hook = [&core, id](serial::GraphReader& gr, void* p) {
+      auto* ref = static_cast<ComletRefBase*>(p);
+      auto relocator = gr.ReadObjectAs<Relocator>();
+      ComletHandle handle = wire::ReadHandle(gr.raw());
+      ref->Bind(core, handle, std::make_shared<MetaRef>(handle.id, relocator),
+                id);
+    };
+    serial::Reader body_reader(body);
+    serial::GraphReader gr(body_reader, hook);
+    std::shared_ptr<Anchor> anchor = gr.ReadObjectAs<Anchor>();
+    if (!anchor) throw serial::SerialError("image carried a null anchor");
+    anchor->id_ = id;
+    anchor->PreArrival();
+    core.Install(anchor);
+    anchor->PostArrival();
+    restored.push_back(id);
+  }
+
+  const std::uint64_t names = in.ReadVarint();
+  for (std::uint64_t i = 0; i < names; ++i) {
+    std::string name = in.ReadString();
+    ComletHandle handle = wire::ReadHandle(in);
+    core.naming().Bind(std::move(name), std::move(handle));
+  }
+  return restored;
+}
+
+void SaveCoreImageToFile(Core& core, const std::string& path) {
+  std::vector<std::uint8_t> image = SaveCoreImage(core);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw FargoError("cannot open for writing: " + path);
+  const std::size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  std::fclose(f);
+  if (written != image.size())
+    throw FargoError("short write to checkpoint file: " + path);
+}
+
+std::vector<ComletId> LoadCoreImageFromFile(Core& core,
+                                            const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw FargoError("cannot open checkpoint: " + path);
+  std::vector<std::uint8_t> image;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    image.insert(image.end(), buf, buf + n);
+  std::fclose(f);
+  return LoadCoreImage(core, image);
+}
+
+}  // namespace fargo::core

@@ -1,0 +1,34 @@
+// Complet persistence (§7 future work): checkpointing the complets hosted
+// at a Core into a byte image and restoring them later — possibly at a
+// different Core (crash recovery, cold migration).
+//
+// The image preserves complet identities, closures (with aliasing), the
+// relocation semantics of every outgoing reference (with best routing
+// hints), and the Core's name bindings. Restoring installs the complets
+// like arrivals: trackers go local, completArrived fires, parked requests
+// drain, and — with the home registry enabled — the homes learn the new
+// location, so stale references recover.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/core.h"
+
+namespace fargo::core {
+
+/// Serializes every complet hosted at `core` (plus its name bindings).
+std::vector<std::uint8_t> SaveCoreImage(Core& core);
+
+/// Restores an image into `core`. Complets whose id is already hosted
+/// there are skipped (with a warning). Returns the restored ids.
+std::vector<ComletId> LoadCoreImage(Core& core,
+                                    const std::vector<std::uint8_t>& image);
+
+/// File convenience wrappers. Throw FargoError on I/O failure.
+void SaveCoreImageToFile(Core& core, const std::string& path);
+std::vector<ComletId> LoadCoreImageFromFile(Core& core,
+                                            const std::string& path);
+
+}  // namespace fargo::core

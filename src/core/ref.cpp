@@ -1,0 +1,119 @@
+#include "src/core/ref.h"
+
+#include "src/core/core.h"
+#include "src/core/invocation.h"
+#include "src/serial/graph.h"
+
+namespace fargo::core {
+
+ComletRefBase::ComletRefBase(const ComletRefBase& other)
+    : core_(other.core_),
+      handle_(other.handle_),
+      meta_(other.meta_),
+      owner_(other.owner_) {
+  AddTrackerRef();
+}
+
+// Moves re-register the new address with the Core's live-reference set, so
+// they are implemented as copy + release of the source.
+ComletRefBase::ComletRefBase(ComletRefBase&& other) noexcept
+    : ComletRefBase(static_cast<const ComletRefBase&>(other)) {
+  other.Reset();
+}
+
+ComletRefBase& ComletRefBase::operator=(const ComletRefBase& other) {
+  if (this == &other) return *this;
+  DropTrackerRef();
+  core_ = other.core_;
+  handle_ = other.handle_;
+  meta_ = other.meta_;
+  owner_ = other.owner_;
+  AddTrackerRef();
+  return *this;
+}
+
+ComletRefBase& ComletRefBase::operator=(ComletRefBase&& other) noexcept {
+  if (this == &other) return *this;
+  *this = static_cast<const ComletRefBase&>(other);
+  other.Reset();
+  return *this;
+}
+
+ComletRefBase::~ComletRefBase() { DropTrackerRef(); }
+
+void ComletRefBase::Reset() {
+  DropTrackerRef();
+  core_ = nullptr;
+  handle_ = ComletHandle{};
+  meta_.reset();
+  owner_ = ComletId{};
+}
+
+Value ComletRefBase::Call(std::string_view method,
+                          std::vector<Value> args) const {
+  if (!bound()) throw FargoError("call through an unbound complet reference");
+  // Application profiling (§4.1): count the invocation on the reference and
+  // in the Core's per-pair counters.
+  meta_->RecordInvocation();
+  core_->RecordInvocation(owner_, handle_.id);
+  InvokeResult result =
+      core_->invocation().Invoke(handle_, method, std::move(args));
+  return std::move(result.value);
+}
+
+void ComletRefBase::Post(std::string_view method,
+                         std::vector<Value> args) const {
+  if (!bound()) throw FargoError("post through an unbound complet reference");
+  meta_->RecordInvocation();
+  core_->RecordInvocation(owner_, handle_.id);
+  core_->invocation().Post(handle_, method, std::move(args));
+}
+
+void ComletRefBase::Bind(Core& core, ComletHandle handle,
+                         std::shared_ptr<MetaRef> meta, ComletId owner) {
+  DropTrackerRef();
+  core_ = &core;
+  handle_ = std::move(handle);
+  meta_ = meta ? std::move(meta) : std::make_shared<MetaRef>(handle_.id);
+  owner_ = owner;
+  // One tracker per target complet per Core, shared by all local stubs.
+  // Latent references (no target yet) have nothing to track.
+  if (handle_.id.valid()) {
+    core_->trackers().Ensure(handle_);
+    AddTrackerRef();
+  }
+}
+
+void ComletRefBase::AddTrackerRef() {
+  if (core_ != nullptr && handle_.id.valid()) {
+    core_->trackers().AddStubRef(handle_.id);
+    core_->RegisterRef(this);
+  }
+}
+
+void ComletRefBase::DropTrackerRef() {
+  if (core_ != nullptr && handle_.id.valid()) {
+    core_->trackers().DropStubRef(handle_.id);
+    core_->UnregisterRef(this);
+  }
+}
+
+void ComletRefBase::SerializeTo(serial::GraphWriter& w) const {
+  // The stub records whether it carries anything: a bound target, or a
+  // "latent" typed reference (e.g. a stamp that found no local equivalent
+  // at the last site but should re-attempt at the next one). Only those go
+  // through the context's marshaling hook.
+  const bool latent = meta_ != nullptr && !handle_.anchor_type.empty();
+  w.raw().WriteBool(bound() || latent);
+  if (bound() || latent) w.OnComletRef(this);
+}
+
+void ComletRefBase::DeserializeFrom(serial::GraphReader& r) {
+  if (!r.raw().ReadBool()) {
+    Reset();
+    return;
+  }
+  r.OnComletRef(this);
+}
+
+}  // namespace fargo::core

@@ -1,0 +1,133 @@
+// Complet references: the stub side of the stub/tracker split (§3.1).
+//
+// A ComletRef is the always-local "stub": user code holds it like a plain
+// object reference and calls through it; the stub forwards to the single
+// per-target tracker of its Core, which handles locality and movement. The
+// stub also carries the MetaRef reifying the reference's relocation
+// semantics (Fig 2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+#include "src/core/fwd.h"
+#include "src/core/meta_ref.h"
+
+namespace fargo::serial {
+class GraphWriter;
+class GraphReader;
+}  // namespace fargo::serial
+
+namespace fargo::core {
+
+/// Untyped complet reference (stub). Copyable; copies alias the same
+/// MetaRef, like multiple local pointers to one generated stub instance.
+class ComletRefBase {
+ public:
+  ComletRefBase() = default;
+  ComletRefBase(const ComletRefBase& other);
+  ComletRefBase(ComletRefBase&& other) noexcept;
+  ComletRefBase& operator=(const ComletRefBase& other);
+  ComletRefBase& operator=(ComletRefBase&& other) noexcept;
+  ~ComletRefBase();
+
+  // NOTE: every bound stub registers with its Core (the paper's premise
+  // that "complet references are accessible by the Core", §4.1), which is
+  // what lets the shell/monitor inspect and retype references (Fig 4).
+
+  /// True once the reference points at a complet.
+  bool bound() const { return core_ != nullptr && handle_.id.valid(); }
+  explicit operator bool() const { return bound(); }
+
+  /// Invokes `method` on the target anchor with FarGo parameter-passing
+  /// semantics. Blocks (pumping the scheduler) until the reply arrives.
+  Value Call(std::string_view method, std::vector<Value> args = {}) const;
+
+  /// One-way invocation: fire-and-forget; the result is discarded. Routing
+  /// and movement-tracking are identical to Call.
+  void Post(std::string_view method, std::vector<Value> args = {}) const;
+
+  /// The wire handle (identity + routing hint) of the target.
+  const ComletHandle& handle() const { return handle_; }
+  ComletId target() const { return handle_.id; }
+  const std::string& anchor_type() const { return handle_.anchor_type; }
+
+  /// Core in whose context this stub lives (the source side).
+  Core* source_core() const { return core_; }
+
+  /// Complet containing this reference (invalid id when held by top-level
+  /// application code); used for per-reference invocation profiling.
+  ComletId owner() const { return owner_; }
+
+  /// Meta reference (reflection, §3.2). Prefer Core::GetMetaRef for the
+  /// paper-shaped API.
+  const std::shared_ptr<MetaRef>& meta() const { return meta_; }
+
+  /// Releases the reference (drops the stub's tracker refcount).
+  void Reset();
+
+  // -- serialization participation -------------------------------------------
+  /// Routes through GraphWriter's ref hook: the movement/invocation unit
+  /// decides how this reference is marshaled (relocator semantics).
+  void SerializeTo(serial::GraphWriter& w) const;
+  /// Routes through GraphReader's ref hook: re-binds in place at the
+  /// receiving Core.
+  void DeserializeFrom(serial::GraphReader& r);
+
+  // -- runtime internals ------------------------------------------------------
+  /// Binds this stub within `core` to `handle`, creating/refcounting the
+  /// Core's tracker for the target. Used by Core and the unmarshal hooks.
+  void Bind(Core& core, ComletHandle handle, std::shared_ptr<MetaRef> meta,
+            ComletId owner = {});
+
+ private:
+  void AddTrackerRef();
+  void DropTrackerRef();
+
+  Core* core_ = nullptr;
+  ComletHandle handle_;
+  std::shared_ptr<MetaRef> meta_;
+  ComletId owner_{};
+};
+
+/// Typed complet reference. T is the anchor class; this plays the role of
+/// the compiler-generated stub type (e.g. `Message` for anchor `Message_`
+/// in Fig 3).
+template <class T>
+class ComletRef : public ComletRefBase {
+ public:
+  ComletRef() = default;
+  explicit ComletRef(const ComletRefBase& base) : ComletRefBase(base) {}
+  explicit ComletRef(ComletRefBase&& base) : ComletRefBase(std::move(base)) {}
+
+  /// Typed convenience: `ref.Call(...)` then converts the result.
+  template <class R = Value, class... Args>
+  R Invoke(std::string_view method, Args&&... args) const {
+    std::vector<Value> argv;
+    argv.reserve(sizeof...(Args));
+    (argv.push_back(Value(std::forward<Args>(args))), ...);
+    Value result = Call(method, std::move(argv));
+    if constexpr (std::is_same_v<R, Value>) {
+      return result;
+    } else if constexpr (std::is_same_v<R, void>) {
+      return;
+    } else if constexpr (std::is_same_v<R, bool>) {
+      return result.AsBool();
+    } else if constexpr (std::is_integral_v<R>) {
+      return static_cast<R>(result.AsInt());
+    } else if constexpr (std::is_floating_point_v<R>) {
+      return static_cast<R>(result.AsReal());
+    } else if constexpr (std::is_same_v<R, std::string>) {
+      return result.AsString();
+    } else {
+      static_assert(std::is_same_v<R, Value>, "unsupported return type");
+    }
+  }
+};
+
+}  // namespace fargo::core

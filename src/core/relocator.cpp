@@ -1,0 +1,40 @@
+#include "src/core/relocator.h"
+
+#include "src/common/value.h"
+
+namespace fargo::core {
+
+const char* ToString(RelocEffect effect) {
+  switch (effect) {
+    case RelocEffect::kTrack:
+      return "track";
+    case RelocEffect::kMoveAlong:
+      return "move-along";
+    case RelocEffect::kCopyAlong:
+      return "copy-along";
+    case RelocEffect::kRebind:
+      return "rebind";
+  }
+  return "?";
+}
+
+void RegisterBuiltinRelocators() {
+  serial::RegisterType<Link>();
+  serial::RegisterType<Pull>();
+  serial::RegisterType<Duplicate>();
+  serial::RegisterType<Stamp>();
+}
+
+std::shared_ptr<Relocator> MakeDefaultRelocator() {
+  return std::make_shared<Link>();
+}
+
+std::shared_ptr<Relocator> MakeRelocator(std::string_view kind) {
+  if (kind == "link") return std::make_shared<Link>();
+  if (kind == "pull") return std::make_shared<Pull>();
+  if (kind == "duplicate") return std::make_shared<Duplicate>();
+  if (kind == "stamp") return std::make_shared<Stamp>();
+  throw FargoError("unknown reference type: " + std::string(kind));
+}
+
+}  // namespace fargo::core

@@ -1,0 +1,115 @@
+// Relocators: the reified relocation semantics of complet references (§2,
+// §3.3).
+//
+// "The behavior imposed by the type of each complet reference is implemented
+//  by a special Relocator object, which is contained in the meta reference.
+//  ... A new reference type can be implemented as a new Relocator object,
+//  possibly by extending one of the predefined Relocators."
+//
+// The movement protocol consults `EffectOnMove` for every outgoing complet
+// reference of a moving complet:
+//   kTrack     (link)      — reference keeps tracking the target.
+//   kMoveAlong (pull)      — target complet moves in the same stream.
+//   kCopyAlong (duplicate) — a copy of the target moves; original stays.
+//   kRebind    (stamp)     — re-bind by anchor type at the destination.
+// User-defined relocators choose an effect dynamically (see
+// tests/core/relocator_extension_test.cpp for a pull-if-small example).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "src/common/ids.h"
+#include "src/core/fwd.h"
+#include "src/serial/graph.h"
+#include "src/serial/registry.h"
+
+namespace fargo::core {
+
+/// Primitive marshaling behaviours a relocator can select.
+enum class RelocEffect { kTrack, kMoveAlong, kCopyAlong, kRebind };
+
+const char* ToString(RelocEffect effect);
+
+/// Context available to a relocator when its containing complet is about to
+/// move: which complet the reference targets, where the source is going,
+/// and the sending Core (for size/locality queries by smart relocators).
+struct RelocContext {
+  Core& source_core;
+  ComletId target;
+  CoreId destination;
+  bool target_is_local;  ///< target hosted at the sending Core
+};
+
+/// Base of all reference-relocation semantics. Relocators are serializable
+/// so a reference keeps its semantics when its containing complet moves.
+class Relocator : public serial::Serializable {
+ public:
+  /// Decides what the movement protocol does with the reference's target.
+  virtual RelocEffect EffectOnMove(const RelocContext& ctx) const = 0;
+
+  /// Short semantic name for shell/monitor display ("link", "pull", ...).
+  virtual std::string_view Kind() const = 0;
+
+  // Stateless relocators serialize nothing by default.
+  void Serialize(serial::GraphWriter&) const override {}
+  void Deserialize(serial::GraphReader&) override {}
+};
+
+/// Default semantics: remote reference that tracks the (moving) target.
+class Link final : public Relocator {
+ public:
+  static constexpr std::string_view kTypeName = "fargo.Link";
+  std::string_view TypeName() const override { return kTypeName; }
+  std::string_view Kind() const override { return "link"; }
+  RelocEffect EffectOnMove(const RelocContext&) const override {
+    return RelocEffect::kTrack;
+  }
+};
+
+/// The target complet moves along with the source.
+class Pull final : public Relocator {
+ public:
+  static constexpr std::string_view kTypeName = "fargo.Pull";
+  std::string_view TypeName() const override { return kTypeName; }
+  std::string_view Kind() const override { return "pull"; }
+  RelocEffect EffectOnMove(const RelocContext&) const override {
+    return RelocEffect::kMoveAlong;
+  }
+};
+
+/// A copy of the target moves along; the original stays put.
+class Duplicate final : public Relocator {
+ public:
+  static constexpr std::string_view kTypeName = "fargo.Duplicate";
+  std::string_view TypeName() const override { return kTypeName; }
+  std::string_view Kind() const override { return "duplicate"; }
+  RelocEffect EffectOnMove(const RelocContext&) const override {
+    return RelocEffect::kCopyAlong;
+  }
+};
+
+/// Re-bind to an equivalent-type complet at the destination (e.g. the local
+/// printer after a mobile desktop arrives somewhere new).
+class Stamp final : public Relocator {
+ public:
+  static constexpr std::string_view kTypeName = "fargo.Stamp";
+  std::string_view TypeName() const override { return kTypeName; }
+  std::string_view Kind() const override { return "stamp"; }
+  RelocEffect EffectOnMove(const RelocContext&) const override {
+    return RelocEffect::kRebind;
+  }
+};
+
+/// Registers the four built-in relocators with the type registry. Called by
+/// Runtime construction; safe to call repeatedly.
+void RegisterBuiltinRelocators();
+
+/// Creates a fresh default (link) relocator.
+std::shared_ptr<Relocator> MakeDefaultRelocator();
+
+/// Creates a built-in relocator by semantic kind: "link", "pull",
+/// "duplicate" or "stamp". Throws FargoError on unknown kinds.
+std::shared_ptr<Relocator> MakeRelocator(std::string_view kind);
+
+}  // namespace fargo::core

@@ -1,0 +1,50 @@
+#include "src/core/repository.h"
+
+#include <algorithm>
+
+#include "src/common/value.h"
+
+namespace fargo::core {
+
+void Repository::Add(ComletId id, std::shared_ptr<Anchor> anchor) {
+  if (!anchor) throw FargoError("null anchor registered");
+  anchors_[id] = std::move(anchor);
+}
+
+std::shared_ptr<Anchor> Repository::Get(ComletId id) const {
+  auto it = anchors_.find(id);
+  return it == anchors_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Anchor> Repository::Remove(ComletId id) {
+  auto it = anchors_.find(id);
+  if (it == anchors_.end()) return nullptr;
+  std::shared_ptr<Anchor> anchor = std::move(it->second);
+  anchors_.erase(it);
+  return anchor;
+}
+
+std::shared_ptr<Anchor> Repository::FindByType(
+    std::string_view anchor_type) const {
+  // Deterministic choice: smallest ComletId wins.
+  std::shared_ptr<Anchor> best;
+  ComletId best_id{};
+  for (const auto& [id, anchor] : anchors_) {
+    if (anchor->TypeName() != anchor_type) continue;
+    if (!best || id < best_id) {
+      best = anchor;
+      best_id = id;
+    }
+  }
+  return best;
+}
+
+std::vector<ComletId> Repository::All() const {
+  std::vector<ComletId> ids;
+  ids.reserve(anchors_.size());
+  for (const auto& [id, anchor] : anchors_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace fargo::core

@@ -1,0 +1,40 @@
+// The Complet Repository (Fig 1): owns the complets hosted by a Core.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/anchor.h"
+
+namespace fargo::core {
+
+class Repository {
+ public:
+  /// Takes ownership of a hosted complet.
+  void Add(ComletId id, std::shared_ptr<Anchor> anchor);
+
+  /// The hosted anchor, or nullptr.
+  std::shared_ptr<Anchor> Get(ComletId id) const;
+
+  /// Removes and returns the anchor (used when a complet departs).
+  std::shared_ptr<Anchor> Remove(ComletId id);
+
+  bool Contains(ComletId id) const { return anchors_.contains(id); }
+
+  /// Any hosted complet whose anchor type matches (stamp re-binding).
+  std::shared_ptr<Anchor> FindByType(std::string_view anchor_type) const;
+
+  /// Ids of all hosted complets, in a deterministic (sorted) order.
+  std::vector<ComletId> All() const;
+
+  /// The Core's "complet load" (§4.1 completLoad profiling service).
+  std::size_t size() const { return anchors_.size(); }
+
+ private:
+  std::unordered_map<ComletId, std::shared_ptr<Anchor>> anchors_;
+};
+
+}  // namespace fargo::core

@@ -1,0 +1,41 @@
+#include "src/core/runtime.h"
+
+#include "src/core/relocator.h"
+
+namespace fargo::core {
+
+Runtime::Runtime() : network_(scheduler_) { RegisterBuiltinRelocators(); }
+
+Runtime::~Runtime() {
+  // Pending events may hold complet references (periodic tasks, parked
+  // notifications); destroy them while the Cores they point into are
+  // still alive.
+  scheduler_.Clear();
+}
+
+Core& Runtime::CreateCore(std::string name) {
+  const CoreId id{++next_core_id_};
+  cores_.push_back(std::make_unique<Core>(*this, id, std::move(name)));
+  return *cores_.back();
+}
+
+Core* Runtime::Find(CoreId id) const {
+  for (const auto& core : cores_)
+    if (core->id() == id) return core.get();
+  return nullptr;
+}
+
+Core* Runtime::FindByName(std::string_view name) const {
+  for (const auto& core : cores_)
+    if (core->name() == name) return core.get();
+  return nullptr;
+}
+
+std::vector<Core*> Runtime::Cores() const {
+  std::vector<Core*> out;
+  out.reserve(cores_.size());
+  for (const auto& core : cores_) out.push_back(core.get());
+  return out;
+}
+
+}  // namespace fargo::core

@@ -1,0 +1,60 @@
+// The deployment space: one scheduler + one network + the set of Cores.
+//
+// In the paper each Core runs in its own JVM/OS process across a WAN; here
+// all Cores of a run live in one process on a deterministic simulated
+// network (DESIGN.md §2), which is what makes the benchmarks reproducible.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/core.h"
+#include "src/net/network.h"
+#include "src/sim/scheduler.h"
+
+namespace fargo::core {
+
+class Runtime {
+ public:
+  Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  /// Boots a new Core named `name` (e.g. "acadia") and attaches it to the
+  /// network.
+  Core& CreateCore(std::string name);
+
+  Core* Find(CoreId id) const;
+  Core* FindByName(std::string_view name) const;
+  /// All Cores ever created (including shut-down ones, which report
+  /// !alive()).
+  std::vector<Core*> Cores() const;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  net::Network& network() { return network_; }
+
+  /// Enables the location-independent naming scheme the paper lists as
+  /// future work (§7): every complet's origin Core doubles as its *home
+  /// registry*. Hosts report arrivals to the home; a stub whose tracker
+  /// chain is severed (e.g. by a crashed Core) consults the home and
+  /// re-routes. Costs one extra (asynchronous) message per movement.
+  void EnableHomeRegistry(bool on) { home_registry_ = on; }
+  bool home_registry_enabled() const { return home_registry_; }
+
+  /// Convenience pumps for drivers/tests.
+  void RunFor(SimTime d) { scheduler_.RunFor(d); }
+  void RunUntilIdle() { scheduler_.RunUntilIdle(); }
+  SimTime Now() const { return scheduler_.Now(); }
+
+ private:
+  sim::Scheduler scheduler_;
+  net::Network network_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::uint32_t next_core_id_ = 0;
+  bool home_registry_ = false;
+};
+
+}  // namespace fargo::core

@@ -1,0 +1,78 @@
+#include "src/core/tracker.h"
+
+namespace fargo::core {
+
+TrackerEntry& TrackerTable::Ensure(const ComletHandle& handle) {
+  auto [it, inserted] = entries_.try_emplace(handle.id);
+  TrackerEntry& e = it->second;
+  if (inserted) {
+    e.target = handle.id;
+    e.anchor_type = handle.anchor_type;
+    e.next = handle.last_known;
+  }
+  if (e.anchor_type.empty()) e.anchor_type = handle.anchor_type;
+  return e;
+}
+
+TrackerEntry* TrackerTable::Find(ComletId id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const TrackerEntry* TrackerTable::Find(ComletId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+TrackerEntry& TrackerTable::SetLocal(ComletId id, Anchor& anchor,
+                                     std::string anchor_type) {
+  TrackerEntry& e = entries_[id];
+  e.target = id;
+  e.local = &anchor;
+  e.next = CoreId{};
+  if (!anchor_type.empty()) e.anchor_type = std::move(anchor_type);
+  return e;
+}
+
+TrackerEntry& TrackerTable::SetForward(ComletId id, CoreId next,
+                                       std::string anchor_type) {
+  TrackerEntry& e = entries_[id];
+  e.target = id;
+  e.local = nullptr;
+  e.next = next;
+  if (!anchor_type.empty()) e.anchor_type = std::move(anchor_type);
+  return e;
+}
+
+void TrackerTable::AddStubRef(ComletId id) {
+  if (TrackerEntry* e = Find(id)) ++e->stub_refs;
+}
+
+void TrackerTable::DropStubRef(ComletId id) {
+  if (TrackerEntry* e = Find(id)) {
+    if (e->stub_refs > 0) --e->stub_refs;
+  }
+}
+
+std::size_t TrackerTable::CollectGarbage() {
+  std::size_t reclaimed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const TrackerEntry& e = it->second;
+    if (!e.is_local() && e.stub_refs == 0) {
+      it = entries_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+std::vector<const TrackerEntry*> TrackerTable::All() const {
+  std::vector<const TrackerEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(&e);
+  return out;
+}
+
+}  // namespace fargo::core

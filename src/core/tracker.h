@@ -1,0 +1,70 @@
+// Trackers: per-Core, per-target forwarding entries (§3.1, Fig 2).
+//
+// Each Core keeps at most one tracker per target complet, no matter how many
+// local stubs point at it ("this design enhances scalability"). A tracker
+// either points directly at a locally hosted anchor, or forwards to the
+// tracker of another Core — successive moves create chains, which the
+// runtime shortens on invocation return; trackers left unpointed become
+// collectable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+#include "src/core/fwd.h"
+
+namespace fargo::core {
+
+struct TrackerEntry {
+  ComletId target;
+  std::string anchor_type;
+  /// Non-owning; the Repository owns hosted anchors. Null when forwarding.
+  Anchor* local = nullptr;
+  /// Next hop when not local.
+  CoreId next{};
+  /// Number of local stubs currently bound through this tracker.
+  int stub_refs = 0;
+  /// Invocations forwarded through this tracker (profiling/bench telemetry).
+  std::uint64_t forwarded = 0;
+
+  bool is_local() const { return local != nullptr; }
+};
+
+class TrackerTable {
+ public:
+  /// Returns the tracker for `handle.id`, creating one that forwards to
+  /// `handle.last_known` if none exists.
+  TrackerEntry& Ensure(const ComletHandle& handle);
+
+  TrackerEntry* Find(ComletId id);
+  const TrackerEntry* Find(ComletId id) const;
+
+  /// Points the tracker at a locally hosted anchor.
+  TrackerEntry& SetLocal(ComletId id, Anchor& anchor, std::string anchor_type);
+
+  /// Points the tracker at another Core (movement / chain shortening).
+  TrackerEntry& SetForward(ComletId id, CoreId next, std::string anchor_type);
+
+  void AddStubRef(ComletId id);
+  void DropStubRef(ComletId id);
+
+  /// Drops entries that host nothing locally and have no local stubs —
+  /// "trackers that are not pointed at all ... become available for garbage
+  /// collection". Returns the number reclaimed.
+  std::size_t CollectGarbage();
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Snapshot for the shell and monitor.
+  std::vector<const TrackerEntry*> All() const;
+
+ private:
+  std::unordered_map<ComletId, TrackerEntry> entries_;
+};
+
+}  // namespace fargo::core

@@ -1,0 +1,80 @@
+// Wire-format helpers shared by the invocation, movement, naming and event
+// protocols (the Peer Interface payloads of Fig 1).
+#pragma once
+
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+#include "src/serial/bytes.h"
+
+namespace fargo::core::wire {
+
+inline void WriteCoreId(serial::Writer& w, CoreId id) {
+  w.WriteVarint(id.value);
+}
+inline CoreId ReadCoreId(serial::Reader& r) {
+  return CoreId{static_cast<std::uint32_t>(r.ReadVarint())};
+}
+
+inline void WriteComletId(serial::Writer& w, ComletId id) {
+  WriteCoreId(w, id.origin);
+  w.WriteVarint(id.seq);
+}
+inline ComletId ReadComletId(serial::Reader& r) {
+  ComletId id;
+  id.origin = ReadCoreId(r);
+  id.seq = r.ReadVarint();
+  return id;
+}
+
+inline void WriteHandle(serial::Writer& w, const ComletHandle& h) {
+  WriteComletId(w, h.id);
+  WriteCoreId(w, h.last_known);
+  w.WriteString(h.anchor_type);
+}
+inline ComletHandle ReadHandle(serial::Reader& r) {
+  ComletHandle h;
+  h.id = ReadComletId(r);
+  h.last_known = ReadCoreId(r);
+  h.anchor_type = r.ReadString();
+  return h;
+}
+
+inline void WriteCoreList(serial::Writer& w, const std::vector<CoreId>& ids) {
+  w.WriteVarint(ids.size());
+  for (CoreId id : ids) WriteCoreId(w, id);
+}
+inline std::vector<CoreId> ReadCoreList(serial::Reader& r) {
+  std::uint64_t n = r.ReadVarint();
+  std::vector<CoreId> ids;
+  ids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) ids.push_back(ReadCoreId(r));
+  return ids;
+}
+
+inline void WriteComletList(serial::Writer& w,
+                            const std::vector<ComletId>& ids) {
+  w.WriteVarint(ids.size());
+  for (ComletId id : ids) WriteComletId(w, id);
+}
+inline std::vector<ComletId> ReadComletList(serial::Reader& r) {
+  std::uint64_t n = r.ReadVarint();
+  std::vector<ComletId> ids;
+  ids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) ids.push_back(ReadComletId(r));
+  return ids;
+}
+
+/// Standard reply preamble: ok flag, then an error message when not ok.
+inline void WriteOk(serial::Writer& w) { w.WriteBool(true); }
+inline void WriteError(serial::Writer& w, const std::string& message) {
+  w.WriteBool(false);
+  w.WriteString(message);
+}
+/// Reads the preamble; throws FargoError when the reply carries an error.
+inline void CheckOk(serial::Reader& r) {
+  if (!r.ReadBool()) throw FargoError(r.ReadString());
+}
+
+}  // namespace fargo::core::wire

@@ -1,0 +1,41 @@
+// Exponential moving average — the paper's "typically an exponential
+// average" for continuous profiling services (§4.1).
+#pragma once
+
+namespace fargo::monitor {
+
+class Ema {
+ public:
+  /// `alpha` is the weight of each new sample (0 < alpha <= 1).
+  explicit Ema(double alpha = 0.25) : alpha_(alpha) {}
+
+  void Add(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+    ++samples_;
+  }
+
+  /// Current average; 0 until the first sample.
+  double value() const { return seeded_ ? value_ : 0.0; }
+  bool seeded() const { return seeded_; }
+  unsigned long long samples() const { return samples_; }
+  double alpha() const { return alpha_; }
+
+  void Reset() {
+    seeded_ = false;
+    value_ = 0.0;
+    samples_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+  unsigned long long samples_ = 0;
+};
+
+}  // namespace fargo::monitor

@@ -1,0 +1,60 @@
+#include "src/monitor/probe.h"
+
+#include "src/common/value.h"
+
+namespace fargo::monitor {
+
+const char* ToString(Service s) {
+  switch (s) {
+    case Service::kComletLoad:
+      return "completLoad";
+    case Service::kMemoryUse:
+      return "memoryUse";
+    case Service::kComletSize:
+      return "completSize";
+    case Service::kBandwidth:
+      return "bandwidth";
+    case Service::kLatency:
+      return "latency";
+    case Service::kThroughput:
+      return "throughput";
+    case Service::kMessageRate:
+      return "messageRate";
+    case Service::kInvocationRate:
+      return "methodInvokeRate";
+  }
+  return "?";
+}
+
+Service ParseService(const std::string& name) {
+  if (name == "completLoad" || name == "comletLoad") return Service::kComletLoad;
+  if (name == "memoryUse") return Service::kMemoryUse;
+  if (name == "completSize" || name == "comletSize")
+    return Service::kComletSize;
+  if (name == "bandwidth") return Service::kBandwidth;
+  if (name == "latency") return Service::kLatency;
+  if (name == "throughput") return Service::kThroughput;
+  if (name == "messageRate") return Service::kMessageRate;
+  if (name == "methodInvokeRate" || name == "invocationRate")
+    return Service::kInvocationRate;
+  throw FargoError("unknown profiling service: " + name);
+}
+
+std::string ToString(const ProbeKey& key) {
+  std::string s = ToString(key.service);
+  switch (key.service) {
+    case Service::kComletSize:
+      return s + "(" + ToString(key.a) + ")";
+    case Service::kBandwidth:
+    case Service::kLatency:
+    case Service::kThroughput:
+    case Service::kMessageRate:
+      return s + "(" + ToString(key.peer) + ")";
+    case Service::kInvocationRate:
+      return s + "(" + ToString(key.a) + " -> " + ToString(key.b) + ")";
+    default:
+      return s;
+  }
+}
+
+}  // namespace fargo::monitor

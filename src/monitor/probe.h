@@ -1,0 +1,78 @@
+// Profiling service identifiers (§4.1).
+//
+// A ProbeKey names one measurable quantity at one Core: a system service
+// (complet load, link bandwidth/latency, message rate) or an application
+// service (invocation rate along a complet reference, complet size) — the
+// latter possible because complet references are visible to the Core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/ids.h"
+
+namespace fargo::monitor {
+
+enum class Service : std::uint8_t {
+  kComletLoad = 0,      ///< number of complets hosted at this Core
+  kMemoryUse = 1,       ///< total serialized size of hosted complets (bytes)
+  kComletSize = 2,      ///< serialized size of complet `a` (bytes)
+  kBandwidth = 3,       ///< link capacity to `peer` (bytes/second)
+  kLatency = 4,         ///< link propagation latency to `peer` (seconds)
+  kThroughput = 5,      ///< observed bytes/second sent to `peer`
+  kMessageRate = 6,     ///< observed messages/second sent to `peer`
+  kInvocationRate = 7,  ///< invocations/second along the reference a -> b
+};
+
+const char* ToString(Service s);
+/// Parses the script-facing service name ("methodInvokeRate", "bandwidth",
+/// "completLoad", ...); throws FargoError on unknown names.
+Service ParseService(const std::string& name);
+
+/// Subject of one measurement.
+struct ProbeKey {
+  Service service = Service::kComletLoad;
+  ComletId a{};    ///< source complet (invocation rate) or subject (size)
+  ComletId b{};    ///< target complet (invocation rate)
+  CoreId peer{};   ///< remote Core (bandwidth/latency/throughput/rate)
+
+  friend bool operator==(const ProbeKey&, const ProbeKey&) = default;
+};
+
+std::string ToString(const ProbeKey& key);
+
+// -- convenience constructors -------------------------------------------------
+inline ProbeKey ComletLoadProbe() { return {Service::kComletLoad, {}, {}, {}}; }
+inline ProbeKey MemoryUseProbe() { return {Service::kMemoryUse, {}, {}, {}}; }
+inline ProbeKey ComletSizeProbe(ComletId c) {
+  return {Service::kComletSize, c, {}, {}};
+}
+inline ProbeKey BandwidthProbe(CoreId peer) {
+  return {Service::kBandwidth, {}, {}, peer};
+}
+inline ProbeKey LatencyProbe(CoreId peer) {
+  return {Service::kLatency, {}, {}, peer};
+}
+inline ProbeKey ThroughputProbe(CoreId peer) {
+  return {Service::kThroughput, {}, {}, peer};
+}
+inline ProbeKey MessageRateProbe(CoreId peer) {
+  return {Service::kMessageRate, {}, {}, peer};
+}
+inline ProbeKey InvocationRateProbe(ComletId from, ComletId to) {
+  return {Service::kInvocationRate, from, to, {}};
+}
+
+}  // namespace fargo::monitor
+
+template <>
+struct std::hash<fargo::monitor::ProbeKey> {
+  std::size_t operator()(const fargo::monitor::ProbeKey& k) const noexcept {
+    std::size_t h = std::hash<fargo::ComletId>{}(k.a);
+    h = h * 1315423911u ^ std::hash<fargo::ComletId>{}(k.b);
+    h = h * 1315423911u ^ std::hash<fargo::CoreId>{}(k.peer);
+    h = h * 1315423911u ^ static_cast<std::size_t>(k.service);
+    return h;
+  }
+};

@@ -1,0 +1,99 @@
+// The Profiler (§4.1): system and application profiling services.
+//
+// Every service has two interfaces, as in the paper:
+//  - instant:    Instant(key) — current value, served from a short-TTL cache
+//                so "successive instant requests can be served without
+//                re-evaluation";
+//  - continuous: Start(key, interval) / Get(key) / Stop(key) — a periodic
+//                sampler feeding an exponential average. Start/Stop are
+//                reference-counted so the Core "monitors only resources that
+//                some application has interest in".
+//
+// Rate services (invocation rate, throughput, message rate) are measured as
+// counter deltas per interval; gauges (complet load, bandwidth, latency,
+// sizes) are read directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/core/fwd.h"
+#include "src/monitor/ema.h"
+#include "src/monitor/probe.h"
+#include "src/sim/scheduler.h"
+
+namespace fargo::monitor {
+
+class Profiler {
+ public:
+  explicit Profiler(core::Core& core) : core_(core) {}
+  ~Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Instant interface: the current value of the service. Cached for the
+  /// configured TTL.
+  double Instant(const ProbeKey& key);
+
+  /// Begins (or joins) continuous profiling of `key`, sampling every
+  /// `interval`. The first caller fixes the interval; later callers join.
+  void Start(const ProbeKey& key, SimTime interval);
+
+  /// Current exponential average of a continuously profiled service.
+  /// Throws FargoError if Start was not called.
+  double Get(const ProbeKey& key) const;
+
+  /// Releases one interest; sampling stops when no caller remains.
+  void Stop(const ProbeKey& key);
+
+  bool Running(const ProbeKey& key) const { return continuous_.contains(key); }
+  std::size_t active_probes() const { return continuous_.size(); }
+
+  void SetCacheTtl(SimTime ttl) { cache_ttl_ = ttl; }
+  void SetAlpha(double alpha) { alpha_ = alpha; }
+
+  /// Hook invoked after every continuous sample with the smoothed value;
+  /// installed by the EventBus to drive threshold events.
+  using SampleHook = std::function<void(const ProbeKey&, double)>;
+  void SetSampleHook(SampleHook hook) { hook_ = std::move(hook); }
+
+  /// Number of raw measurements performed (benchmarks use this to show the
+  /// cache and the single-sampler design at work).
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  struct Continuous {
+    std::unique_ptr<sim::PeriodicTask> task;
+    Ema ema;
+    int refs = 0;
+    double prev_counter = 0;
+    SimTime interval = 0;
+  };
+
+  /// One raw measurement, bypassing the cache.
+  double Evaluate(const ProbeKey& key);
+  /// Monotonic counter backing a rate service.
+  double RawCounter(const ProbeKey& key) const;
+  static bool IsRate(Service s) {
+    return s == Service::kThroughput || s == Service::kMessageRate ||
+           s == Service::kInvocationRate;
+  }
+  void TakeSample(const ProbeKey& key);
+
+  core::Core& core_;
+  std::unordered_map<ProbeKey, Continuous> continuous_;
+  struct CacheEntry {
+    double value = 0;
+    SimTime at = -1;
+  };
+  std::unordered_map<ProbeKey, CacheEntry> cache_;
+  SimTime cache_ttl_ = Millis(50);
+  double alpha_ = 0.25;
+  SampleHook hook_;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace fargo::monitor

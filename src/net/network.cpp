@@ -1,0 +1,125 @@
+#include "src/net/network.h"
+
+#include <cmath>
+
+#include "src/common/log.h"
+
+namespace fargo::net {
+
+const char* ToString(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kInvokeRequest:
+      return "InvokeRequest";
+    case MessageKind::kInvokeReply:
+      return "InvokeReply";
+    case MessageKind::kMoveRequest:
+      return "MoveRequest";
+    case MessageKind::kMoveReply:
+      return "MoveReply";
+    case MessageKind::kTrackerUpdate:
+      return "TrackerUpdate";
+    case MessageKind::kEventRegister:
+      return "EventRegister";
+    case MessageKind::kEventUnregister:
+      return "EventUnregister";
+    case MessageKind::kEventNotify:
+      return "EventNotify";
+    case MessageKind::kNameRequest:
+      return "NameRequest";
+    case MessageKind::kNameReply:
+      return "NameReply";
+    case MessageKind::kNewRequest:
+      return "NewRequest";
+    case MessageKind::kNewReply:
+      return "NewReply";
+    case MessageKind::kControl:
+      return "Control";
+  }
+  return "?";
+}
+
+void Network::Register(CoreId id, Handler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void Network::Unregister(CoreId id) { handlers_.erase(id); }
+
+void Network::SetLink(CoreId a, CoreId b, LinkModel model) {
+  links_[Key(a, b)] = model;
+  links_[Key(b, a)] = model;
+}
+
+void Network::SetLinkOneWay(CoreId from, CoreId to, LinkModel model) {
+  links_[Key(from, to)] = model;
+}
+
+LinkModel Network::GetLink(CoreId from, CoreId to) const {
+  if (from == to) return LinkModel{.latency = 0, .bytes_per_sec = 1e12};
+  if (auto it = links_.find(Key(from, to)); it != links_.end())
+    return it->second;
+  return default_link_;
+}
+
+void Network::SetPartitioned(CoreId a, CoreId b, bool partitioned) {
+  LinkModel m = GetLink(a, b);
+  m.up = !partitioned;
+  SetLink(a, b, m);
+}
+
+void Network::Send(Message msg) {
+  if (tap_) tap_(msg);
+  if (msg.from == msg.to) {
+    // Intra-Core loopback: free and excluded from link statistics.
+    sched_.ScheduleAfter(0, [this, msg = std::move(msg)]() mutable {
+      auto it = handlers_.find(msg.to);
+      if (it == handlers_.end()) {
+        ++dropped_;
+        return;
+      }
+      it->second(std::move(msg));
+    });
+    return;
+  }
+  const LinkModel link = GetLink(msg.from, msg.to);
+  if (!link.up) {
+    ++dropped_;
+    LogDebug() << "drop " << ToString(msg.kind) << " " << ToString(msg.from)
+               << " -> " << ToString(msg.to) << " (link down)";
+    return;
+  }
+  const std::size_t wire_bytes = msg.size() + header_bytes_;
+  LinkStats& s = stats_[Key(msg.from, msg.to)];
+  s.messages += 1;
+  s.bytes += wire_bytes;
+  total_.messages += 1;
+  total_.bytes += wire_bytes;
+
+  const SimTime transfer = static_cast<SimTime>(
+      std::llround(static_cast<double>(wire_bytes) / link.bytes_per_sec * 1e9));
+  const SimTime arrival_delay = link.latency + transfer;
+
+  sched_.ScheduleAfter(arrival_delay, [this, msg = std::move(msg)]() mutable {
+    auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) {
+      ++dropped_;
+      LogDebug() << "drop " << ToString(msg.kind) << " to unregistered "
+                 << ToString(msg.to);
+      return;
+    }
+    it->second(std::move(msg));
+  });
+}
+
+LinkStats Network::StatsBetween(CoreId from, CoreId to) const {
+  if (auto it = stats_.find(Key(from, to)); it != stats_.end())
+    return it->second;
+  return LinkStats{};
+}
+
+void Network::ResetStats() {
+  stats_.clear();
+  total_ = LinkStats{};
+  dropped_ = 0;
+}
+
+}  // namespace fargo::net

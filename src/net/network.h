@@ -1,0 +1,132 @@
+// Simulated wide-area network connecting Cores.
+//
+// Replaces the paper's Java-RMI-over-WAN transport (see DESIGN.md §2).
+// Each directed Core pair has a LinkModel (propagation latency, bandwidth,
+// up/down) that can be changed while the application runs — the paper's
+// motivating "dynamically changing transfer rates". Message cost:
+//   arrival = now + latency + (header + payload) / bandwidth
+// Per-link byte/message counters feed the monitoring layer (§4.1 bandwidth
+// profiling) and the benchmarks (message-count claims of §3.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/sim/scheduler.h"
+
+namespace fargo::net {
+
+/// Transport-level message types exchanged by Cores (the Peer Interface of
+/// Fig 1).
+enum class MessageKind : std::uint8_t {
+  kInvokeRequest = 0,
+  kInvokeReply = 1,
+  kMoveRequest = 2,
+  kMoveReply = 3,
+  kTrackerUpdate = 4,   ///< chain-shortening repoint (§3.1)
+  kEventRegister = 5,   ///< remote listener registration (§4.2)
+  kEventUnregister = 6,
+  kEventNotify = 7,
+  kNameRequest = 8,
+  kNameReply = 9,
+  kNewRequest = 10,     ///< remote complet instantiation
+  kNewReply = 11,
+  kControl = 12,
+};
+
+const char* ToString(MessageKind kind);
+
+/// A Core-to-Core message.
+struct Message {
+  CoreId from;
+  CoreId to;
+  MessageKind kind = MessageKind::kControl;
+  std::uint64_t correlation = 0;  ///< request/reply matching token
+  std::vector<std::uint8_t> payload;
+
+  std::size_t size() const { return payload.size(); }
+};
+
+/// Quality of a directed link.
+struct LinkModel {
+  SimTime latency = Millis(5);
+  double bytes_per_sec = 1.25e6;  ///< 10 Mbit/s default WAN link
+  bool up = true;
+};
+
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The deterministic message fabric. Cores register a handler; Send()
+/// charges the link model and schedules delivery on the shared scheduler.
+class Network {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches a Core's receive handler.
+  void Register(CoreId id, Handler handler);
+  /// Detaches a Core; in-flight messages to it are dropped on arrival.
+  void Unregister(CoreId id);
+  bool IsRegistered(CoreId id) const { return handlers_.contains(id); }
+
+  /// Sets the link model in both directions between `a` and `b`.
+  void SetLink(CoreId a, CoreId b, LinkModel model);
+  /// Sets a single direction only (asymmetric links).
+  void SetLinkOneWay(CoreId from, CoreId to, LinkModel model);
+  /// Model used for pairs without an explicit link.
+  void SetDefaultLink(LinkModel model) { default_link_ = model; }
+  /// Effective model for the directed pair.
+  LinkModel GetLink(CoreId from, CoreId to) const;
+  /// Cuts or restores both directions.
+  void SetPartitioned(CoreId a, CoreId b, bool partitioned);
+
+  /// Fixed framing overhead charged per message (default 64 bytes).
+  void SetHeaderBytes(std::size_t n) { header_bytes_ = n; }
+
+  /// Sends `msg`; delivery is scheduled per the link model. Messages on a
+  /// down link or to an unregistered Core are counted as dropped.
+  void Send(Message msg);
+
+  /// Observability tap: invoked for every message at send time (before
+  /// drop/delivery decisions). Used by protocol tests and debug tooling.
+  using Tap = std::function<void(const Message&)>;
+  void SetTap(Tap tap) { tap_ = std::move(tap); }
+
+  // -- telemetry -------------------------------------------------------------
+  LinkStats StatsBetween(CoreId from, CoreId to) const;
+  std::uint64_t total_messages() const { return total_.messages; }
+  std::uint64_t total_bytes() const { return total_.bytes; }
+  std::uint64_t dropped() const { return dropped_; }
+  void ResetStats();
+
+  sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  using PairKey = std::uint64_t;
+  static PairKey Key(CoreId from, CoreId to) {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  }
+
+  sim::Scheduler& sched_;
+  std::unordered_map<CoreId, Handler> handlers_;
+  std::unordered_map<PairKey, LinkModel> links_;
+  std::unordered_map<PairKey, LinkStats> stats_;
+  LinkModel default_link_;
+  LinkStats total_;
+  std::uint64_t dropped_ = 0;
+  std::size_t header_bytes_ = 64;
+  Tap tap_;
+};
+
+}  // namespace fargo::net

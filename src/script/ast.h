@@ -1,0 +1,95 @@
+// AST of the layout scripting language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/common/value.h"
+
+namespace fargo::script {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Expressions: literals, variables, positional args, indexing, the layout
+/// primitives `coreOf e` and `completsIn e`, and list construction.
+struct Expr {
+  enum class Kind {
+    kLiteral,    // number/string
+    kVar,        // $name
+    kArg,        // %n
+    kIndex,      // base[i]
+    kCoreOf,     // coreOf e
+    kComletsIn,  // completsIn e
+    kList,       // [a, b, ...] — convenience extension
+  };
+
+  Kind kind = Kind::kLiteral;
+  int line = 0;
+  Value literal;            // kLiteral
+  std::string var;          // kVar
+  int arg_index = 0;        // kArg (1-based, like %1)
+  ExprPtr base;             // kIndex / kCoreOf / kComletsIn
+  std::size_t index = 0;    // kIndex
+  std::vector<ExprPtr> items;  // kList
+};
+
+/// Commands allowed in rule bodies and at top level.
+struct Command {
+  enum class Kind {
+    kMove,    // move <subject> to <dest>
+    kLog,     // log <expr>
+    kAction,  // <name> <expr>... — user-registered native action (the
+              //   paper's "any user-defined class" extension point)
+  };
+
+  Kind kind = Kind::kMove;
+  int line = 0;
+  ExprPtr subject;  // kMove
+  ExprPtr dest;     // kMove
+  std::string action;          // kAction name / unused otherwise
+  std::vector<ExprPtr> args;   // kLog (single) / kAction
+};
+
+/// An event→action rule — or a standalone periodic rule
+/// (`every N do ... end`), which runs its body on a timer instead of an
+/// event (an extension for policies like periodic rebalancing).
+struct Rule {
+  int line = 0;
+
+  bool is_periodic = false;  // standalone `every N do ... end`
+
+  // Event part. Either a lifecycle event (shutdown / completArrived /
+  // completDeparted) or a profiling threshold event (service + threshold).
+  bool is_threshold = false;
+  std::string event_name;      // raw name as written
+  double threshold = 0;        // threshold rules
+  bool below = false;          // on service(<N): fire when value drops below
+  SimTime interval = Seconds(1);  // sampling interval ('every N' seconds)
+
+  // Bindings and subjects.
+  std::string firedby_var;  // binds the firing Core in the rule body
+  ExprPtr listen_at;        // lifecycle: core (or list) to listen at
+  ExprPtr from;             // threshold: source complet / core
+  ExprPtr to;               // threshold: target complet / core
+  ExprPtr at;               // threshold: core to measure at (completLoad...)
+
+  std::vector<Command> body;
+};
+
+struct Assignment {
+  int line = 0;
+  std::string var;
+  ExprPtr value;
+};
+
+using Statement = std::variant<Assignment, Rule, Command>;
+
+struct Script {
+  std::vector<Statement> statements;
+};
+
+}  // namespace fargo::script

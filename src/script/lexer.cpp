@@ -1,0 +1,174 @@
+#include "src/script/lexer.h"
+
+#include <cctype>
+
+namespace fargo::script {
+
+const char* ToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVar:
+      return "variable";
+    case TokenKind::kArg:
+      return "argument";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEof:
+      return "end of script";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto error = [&](const std::string& what) {
+    throw ScriptError("script lex error (line " + std::to_string(line) +
+                      "): " + what);
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' || (c == '/' && i + 1 < n && source[i + 1] == '/')) {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.line = line;
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      t.kind = TokenKind::kIdent;
+      t.text = source.substr(start, i - start);
+    } else if (c == '$') {
+      ++i;
+      std::size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      if (start == i) error("empty variable name after '$'");
+      t.kind = TokenKind::kVar;
+      t.text = source.substr(start, i - start);
+    } else if (c == '%') {
+      ++i;
+      std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (start == i) error("expected digits after '%'");
+      t.kind = TokenKind::kArg;
+      t.number = std::stod(source.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.' || source[i] == 'e' ||
+                       source[i] == 'E' ||
+                       ((source[i] == '+' || source[i] == '-') && i > start &&
+                        (source[i - 1] == 'e' || source[i - 1] == 'E'))))
+        ++i;
+      t.kind = TokenKind::kNumber;
+      try {
+        t.number = std::stod(source.substr(start, i - start));
+      } catch (const std::exception&) {
+        error("malformed number: " + source.substr(start, i - start));
+      }
+    } else if (c == '"') {
+      ++i;
+      std::string s;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (source[i]) {
+            case 'n':
+              s.push_back('\n');
+              break;
+            case 't':
+              s.push_back('\t');
+              break;
+            default:
+              s.push_back(source[i]);
+          }
+        } else {
+          if (source[i] == '\n') ++line;
+          s.push_back(source[i]);
+        }
+        ++i;
+      }
+      if (i >= n) error("unterminated string literal");
+      ++i;  // closing quote
+      t.kind = TokenKind::kString;
+      t.text = std::move(s);
+    } else {
+      switch (c) {
+        case '=':
+          t.kind = TokenKind::kAssign;
+          break;
+        case '(':
+          t.kind = TokenKind::kLParen;
+          break;
+        case ')':
+          t.kind = TokenKind::kRParen;
+          break;
+        case '[':
+          t.kind = TokenKind::kLBracket;
+          break;
+        case ']':
+          t.kind = TokenKind::kRBracket;
+          break;
+        case '<':
+          t.kind = TokenKind::kLess;
+          break;
+        case ',':
+          t.kind = TokenKind::kComma;
+          break;
+        default:
+          error(std::string("unexpected character '") + c + "'");
+      }
+      ++i;
+    }
+    tokens.push_back(std::move(t));
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", 0, line});
+  return tokens;
+}
+
+}  // namespace fargo::script

@@ -1,0 +1,53 @@
+// Lexer for the FarGo layout scripting language (§4.3).
+//
+// The language is event-driven: a script is a sequence of variable
+// assignments and rules of the form
+//   on EVENT [args] [firedby $v] [listenAt expr] [from e to e] [at e]
+//     [every N] do <commands> end
+// matching the paper's example (shutdown evacuation + invocation-rate
+// colocation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace fargo::script {
+
+/// Raised on lexical or syntactic errors, with line information.
+class ScriptError : public FargoError {
+ public:
+  using FargoError::FargoError;
+};
+
+enum class TokenKind : std::uint8_t {
+  kIdent,    // on, do, end, move, coreOf, shutdown, ... (keywords are contextual)
+  kVar,      // $name
+  kArg,      // %1
+  kNumber,   // 3, 2.5, 1e6
+  kString,   // "text"
+  kAssign,   // =
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kLess,     // < (threshold direction)
+  kComma,    // ,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier / variable name / string literal
+  double number = 0;  // numeric literals and %n indices
+  int line = 0;
+};
+
+/// Tokenizes `source`; '#' and '//' start comments running to end of line.
+std::vector<Token> Lex(const std::string& source);
+
+const char* ToString(TokenKind kind);
+
+}  // namespace fargo::script

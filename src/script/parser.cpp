@@ -1,0 +1,264 @@
+#include "src/script/parser.h"
+
+#include <unordered_set>
+
+namespace fargo::script {
+
+namespace {
+
+// Lifecycle event names understood by the rule engine; everything else used
+// as an event is a profiling-service threshold event.
+const std::unordered_set<std::string> kLifecycleEvents = {
+    "shutdown",        "coreShutdown",    "completArrived",
+    "comletArrived",   "completDeparted", "comletDeparted",
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Script ParseScript() {
+    Script script;
+    while (!At(TokenKind::kEof)) script.statements.push_back(ParseStatement());
+    return script;
+  }
+
+ private:
+  [[noreturn]] void Error(const std::string& what) const {
+    throw ScriptError("script parse error (line " +
+                      std::to_string(Peek().line) + "): " + what);
+  }
+
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  bool AtIdent(std::string_view word) const {
+    return At(TokenKind::kIdent) && Peek().text == word;
+  }
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  Token Expect(TokenKind kind, const std::string& context) {
+    if (!At(kind))
+      Error("expected " + std::string(ToString(kind)) + " " + context +
+            ", found " + std::string(ToString(Peek().kind)) +
+            (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+    return Take();
+  }
+  void ExpectIdent(std::string_view word) {
+    if (!AtIdent(word))
+      Error("expected '" + std::string(word) + "', found '" + Peek().text +
+            "'");
+    Take();
+  }
+
+  Statement ParseStatement() {
+    if (At(TokenKind::kVar) && Peek(1).kind == TokenKind::kAssign) {
+      Assignment a;
+      a.line = Peek().line;
+      a.var = Take().text;
+      Take();  // '='
+      a.value = ParseExpr();
+      return a;
+    }
+    if (AtIdent("on")) return ParseRule();
+    if (AtIdent("every")) return ParsePeriodicRule();
+    return ParseCommand();
+  }
+
+  Rule ParsePeriodicRule() {
+    Rule rule;
+    rule.line = Peek().line;
+    rule.is_periodic = true;
+    ExpectIdent("every");
+    double seconds = Expect(TokenKind::kNumber, "after 'every'").number;
+    if (seconds <= 0) Error("'every' interval must be positive");
+    rule.interval = static_cast<SimTime>(seconds * 1e9);
+    ExpectIdent("do");
+    while (!AtIdent("end")) {
+      if (At(TokenKind::kEof)) Error("missing 'end' of periodic rule body");
+      rule.body.push_back(ParseCommand());
+    }
+    Take();  // 'end'
+    return rule;
+  }
+
+  Rule ParseRule() {
+    Rule rule;
+    rule.line = Peek().line;
+    ExpectIdent("on");
+    Token name = Expect(TokenKind::kIdent, "after 'on'");
+    rule.event_name = name.text;
+    if (kLifecycleEvents.contains(rule.event_name)) {
+      rule.is_threshold = false;
+    } else {
+      rule.is_threshold = true;
+      Expect(TokenKind::kLParen, "after threshold event name");
+      if (At(TokenKind::kLess)) {
+        Take();
+        rule.below = true;
+      }
+      rule.threshold = Expect(TokenKind::kNumber, "threshold value").number;
+      Expect(TokenKind::kRParen, "after threshold value");
+    }
+
+    // Optional clauses, in any order.
+    for (;;) {
+      if (AtIdent("firedby")) {
+        Take();
+        rule.firedby_var = Expect(TokenKind::kVar, "after 'firedby'").text;
+      } else if (AtIdent("listenAt")) {
+        Take();
+        rule.listen_at = ParseExpr();
+      } else if (AtIdent("from")) {
+        Take();
+        rule.from = ParseExpr();
+        ExpectIdent("to");
+        rule.to = ParseExpr();
+      } else if (AtIdent("at")) {
+        Take();
+        rule.at = ParseExpr();
+      } else if (AtIdent("every")) {
+        Take();
+        double seconds = Expect(TokenKind::kNumber, "after 'every'").number;
+        if (seconds <= 0) Error("'every' interval must be positive");
+        rule.interval = static_cast<SimTime>(seconds * 1e9);
+      } else {
+        break;
+      }
+    }
+
+    ExpectIdent("do");
+    while (!AtIdent("end")) {
+      if (At(TokenKind::kEof)) Error("missing 'end' of rule body");
+      rule.body.push_back(ParseCommand());
+    }
+    Take();  // 'end'
+
+    if (rule.is_threshold && !rule.from && !rule.at)
+      Error("threshold rule needs 'from ... to ...' or 'at ...'");
+    if (!rule.is_threshold && !rule.listen_at)
+      Error("lifecycle rule needs 'listenAt ...'");
+    return rule;
+  }
+
+  Command ParseCommand() {
+    Command cmd;
+    cmd.line = Peek().line;
+    if (AtIdent("move")) {
+      Take();
+      cmd.kind = Command::Kind::kMove;
+      cmd.subject = ParseExpr();
+      ExpectIdent("to");
+      cmd.dest = ParseExpr();
+      return cmd;
+    }
+    if (AtIdent("log")) {
+      Take();
+      cmd.kind = Command::Kind::kLog;
+      cmd.args.push_back(ParseExpr());
+      return cmd;
+    }
+    if (At(TokenKind::kIdent)) {
+      // User-registered native action: NAME expr...
+      cmd.kind = Command::Kind::kAction;
+      cmd.action = Take().text;
+      while (At(TokenKind::kVar) || At(TokenKind::kArg) ||
+             At(TokenKind::kNumber) || At(TokenKind::kString) ||
+             At(TokenKind::kLBracket) || AtIdent("coreOf") ||
+             AtIdent("completsIn"))
+        cmd.args.push_back(ParseExpr());
+      return cmd;
+    }
+    Error("expected a command");
+  }
+
+  ExprPtr ParseExpr() {
+    ExprPtr e = ParsePrimary();
+    while (At(TokenKind::kLBracket)) {
+      Take();
+      auto idx = std::make_shared<Expr>();
+      idx->kind = Expr::Kind::kIndex;
+      idx->line = e->line;
+      idx->base = std::move(e);
+      idx->index = static_cast<std::size_t>(
+          Expect(TokenKind::kNumber, "index").number);
+      Expect(TokenKind::kRBracket, "after index");
+      e = std::move(idx);
+    }
+    return e;
+  }
+
+  ExprPtr ParsePrimary() {
+    auto e = std::make_shared<Expr>();
+    e->line = Peek().line;
+    if (At(TokenKind::kVar)) {
+      e->kind = Expr::Kind::kVar;
+      e->var = Take().text;
+      return e;
+    }
+    if (At(TokenKind::kArg)) {
+      e->kind = Expr::Kind::kArg;
+      e->arg_index = static_cast<int>(Take().number);
+      return e;
+    }
+    if (At(TokenKind::kNumber)) {
+      double d = Take().number;
+      e->kind = Expr::Kind::kLiteral;
+      if (d == static_cast<double>(static_cast<std::int64_t>(d)))
+        e->literal = Value(static_cast<std::int64_t>(d));
+      else
+        e->literal = Value(d);
+      return e;
+    }
+    if (At(TokenKind::kString)) {
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = Value(Take().text);
+      return e;
+    }
+    if (AtIdent("coreOf")) {
+      Take();
+      e->kind = Expr::Kind::kCoreOf;
+      e->base = ParseExpr();
+      return e;
+    }
+    if (AtIdent("completsIn") || AtIdent("comletsIn")) {
+      Take();
+      e->kind = Expr::Kind::kComletsIn;
+      e->base = ParseExpr();
+      return e;
+    }
+    if (At(TokenKind::kLBracket)) {
+      Take();
+      e->kind = Expr::Kind::kList;
+      if (!At(TokenKind::kRBracket)) {
+        e->items.push_back(ParseExpr());
+        while (At(TokenKind::kComma)) {
+          Take();
+          e->items.push_back(ParseExpr());
+        }
+      }
+      Expect(TokenKind::kRBracket, "to close list");
+      return e;
+    }
+    if (At(TokenKind::kIdent)) {
+      // Bare identifiers double as string literals (core names, etc.).
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = Value(Take().text);
+      return e;
+    }
+    Error("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Script Parse(const std::string& source) {
+  Parser parser(Lex(source));
+  return parser.ParseScript();
+}
+
+}  // namespace fargo::script

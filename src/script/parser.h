@@ -1,0 +1,15 @@
+// Recursive-descent parser for the layout scripting language.
+#pragma once
+
+#include <string>
+
+#include "src/script/ast.h"
+#include "src/script/lexer.h"
+
+namespace fargo::script {
+
+/// Parses a complete script; throws ScriptError with line info on syntax
+/// errors.
+Script Parse(const std::string& source);
+
+}  // namespace fargo::script

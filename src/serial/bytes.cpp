@@ -1,0 +1,3 @@
+#include "src/serial/bytes.h"
+
+// All members are inline; this translation unit anchors the module.

@@ -1,0 +1,151 @@
+// Byte-stream primitives for the serialization substrate.
+//
+// The paper relies on Java Serialization for complet marshaling (§3.3); this
+// module is its from-scratch replacement: a compact, deterministic binary
+// encoding (unsigned LEB128 varints, zig-zag signed ints, IEEE doubles,
+// length-prefixed strings) with strict bounds checking on the read side.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fargo::serial {
+
+/// Raised on malformed or truncated input.
+class SerialError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends primitive values to a growable byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+
+  /// Unsigned LEB128.
+  void WriteVarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Zig-zag-encoded signed integer.
+  void WriteInt(std::int64_t v) {
+    WriteVarint((static_cast<std::uint64_t>(v) << 1) ^
+                static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteDouble(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+
+  void WriteString(std::string_view s) {
+    WriteVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void WriteBytes(const std::vector<std::uint8_t>& b) {
+    WriteVarint(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  /// Appends raw bytes without a length prefix.
+  void WriteRaw(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes primitive values from a byte span, validating bounds.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  std::uint8_t ReadU8() {
+    Require(1);
+    return data_[pos_++];
+  }
+
+  std::uint64_t ReadVarint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      std::uint8_t b = ReadU8();
+      if (shift >= 64) throw SerialError("varint too long");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t ReadInt() {
+    std::uint64_t z = ReadVarint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  bool ReadBool() { return ReadU8() != 0; }
+
+  double ReadDouble() {
+    Require(8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+  }
+
+  std::string ReadString() {
+    std::uint64_t n = ReadVarint();
+    Require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint8_t> ReadBytes() {
+    std::uint64_t n = ReadVarint();
+    Require(n);
+    std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void Require(std::uint64_t n) const {
+    if (n > size_ - pos_) throw SerialError("truncated input");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fargo::serial

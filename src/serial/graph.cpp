@@ -1,0 +1,69 @@
+#include "src/serial/graph.h"
+
+namespace fargo::serial {
+
+namespace {
+// Object stream tags.
+constexpr std::uint8_t kNullObj = 0;
+constexpr std::uint8_t kNewObj = 1;
+constexpr std::uint8_t kBackRef = 2;
+}  // namespace
+
+void GraphWriter::WriteObject(const Serializable* obj) {
+  if (obj == nullptr) {
+    out_.WriteU8(kNullObj);
+    return;
+  }
+  if (auto it = ids_.find(obj); it != ids_.end()) {
+    out_.WriteU8(kBackRef);
+    out_.WriteVarint(it->second);
+    return;
+  }
+  std::uint32_t id = next_id_++;
+  ids_.emplace(obj, id);
+  out_.WriteU8(kNewObj);
+  out_.WriteVarint(id);
+  out_.WriteString(obj->TypeName());
+  obj->Serialize(*this);
+}
+
+void GraphWriter::OnComletRef(const void* ref) {
+  if (!ref_hook_)
+    throw SerialError(
+        "complet reference serialized outside a Core marshal context");
+  ref_hook_(*this, ref);
+}
+
+std::shared_ptr<Serializable> GraphReader::ReadObject() {
+  std::uint8_t tag = in_.ReadU8();
+  switch (tag) {
+    case kNullObj:
+      return nullptr;
+    case kBackRef: {
+      std::uint32_t id = static_cast<std::uint32_t>(in_.ReadVarint());
+      auto it = objects_.find(id);
+      if (it == objects_.end()) throw SerialError("dangling back-reference");
+      return it->second;
+    }
+    case kNewObj: {
+      std::uint32_t id = static_cast<std::uint32_t>(in_.ReadVarint());
+      std::string type = in_.ReadString();
+      std::shared_ptr<Serializable> obj = TypeRegistry::Instance().Create(type);
+      // Register before Deserialize so cyclic graphs resolve.
+      objects_.emplace(id, obj);
+      obj->Deserialize(*this);
+      return obj;
+    }
+    default:
+      throw SerialError("corrupt object tag");
+  }
+}
+
+void GraphReader::OnComletRef(void* ref) {
+  if (!ref_hook_)
+    throw SerialError(
+        "complet reference deserialized outside a Core unmarshal context");
+  ref_hook_(*this, ref);
+}
+
+}  // namespace fargo::serial

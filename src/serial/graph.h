@@ -1,0 +1,112 @@
+// Object-graph marshaling with aliasing/cycle preservation and complet
+// reference hooks — the reproduction of the paper's §3.3 mobility protocol
+// core: "during the graph traversal, the mobility protocol detects all the
+// complet references that are pointing out of the moved complet, and for
+// each such reference it applies a special routine".
+//
+// The special routines are installed as `ref hooks` by the Core's movement
+// and invocation units; the serializer itself is layout-agnostic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/serial/bytes.h"
+#include "src/serial/registry.h"
+
+namespace fargo::serial {
+
+/// Serializes an object graph. Shared sub-objects are written once and
+/// back-referenced so aliasing and cycles survive the round trip.
+class GraphWriter {
+ public:
+  /// Invoked for every complet reference encountered during traversal.
+  /// `ref` is a `core::ComletRefBase*` (opaque at this layer).
+  using RefHook = std::function<void(GraphWriter&, const void* ref)>;
+
+  explicit GraphWriter(Writer& out, RefHook ref_hook = nullptr)
+      : out_(out), ref_hook_(std::move(ref_hook)) {}
+
+  // -- primitives ----------------------------------------------------------
+  void WriteBool(bool v) { out_.WriteBool(v); }
+  void WriteInt(std::int64_t v) { out_.WriteInt(v); }
+  void WriteVarint(std::uint64_t v) { out_.WriteVarint(v); }
+  void WriteDouble(double v) { out_.WriteDouble(v); }
+  void WriteString(std::string_view s) { out_.WriteString(s); }
+  void WriteBytes(const std::vector<std::uint8_t>& b) { out_.WriteBytes(b); }
+
+  // -- objects -------------------------------------------------------------
+  /// Writes a nested object (or nullptr). Writes each distinct object once;
+  /// later occurrences become back-references, preserving identity.
+  void WriteObject(const Serializable* obj);
+  void WriteObject(const std::shared_ptr<Serializable>& obj) {
+    WriteObject(obj.get());
+  }
+  template <class T>
+  void WriteObject(const std::shared_ptr<T>& obj) {
+    WriteObject(static_cast<const Serializable*>(obj.get()));
+  }
+
+  /// Dispatches a complet reference to the installed hook. Called by
+  /// core::ComletRefBase during its field serialization.
+  void OnComletRef(const void* ref);
+
+  /// Raw access for codec helpers (Value encoding).
+  Writer& raw() { return out_; }
+
+ private:
+  Writer& out_;
+  RefHook ref_hook_;
+  std::unordered_map<const Serializable*, std::uint32_t> ids_;
+  std::uint32_t next_id_ = 1;
+};
+
+/// Reconstructs an object graph written by GraphWriter.
+class GraphReader {
+ public:
+  /// Invoked for every complet reference encountered during reconstruction;
+  /// `ref` is a `core::ComletRefBase*` to be re-bound in place.
+  using RefHook = std::function<void(GraphReader&, void* ref)>;
+
+  explicit GraphReader(Reader& in, RefHook ref_hook = nullptr)
+      : in_(in), ref_hook_(std::move(ref_hook)) {}
+
+  // -- primitives ----------------------------------------------------------
+  bool ReadBool() { return in_.ReadBool(); }
+  std::int64_t ReadInt() { return in_.ReadInt(); }
+  std::uint64_t ReadVarint() { return in_.ReadVarint(); }
+  double ReadDouble() { return in_.ReadDouble(); }
+  std::string ReadString() { return in_.ReadString(); }
+  std::vector<std::uint8_t> ReadBytes() { return in_.ReadBytes(); }
+
+  // -- objects -------------------------------------------------------------
+  /// Reads a nested object; returns nullptr where nullptr was written.
+  /// Identity of shared sub-objects is restored.
+  std::shared_ptr<Serializable> ReadObject();
+
+  /// Typed variant; throws SerialError if the object is not a T.
+  template <class T>
+  std::shared_ptr<T> ReadObjectAs() {
+    std::shared_ptr<Serializable> obj = ReadObject();
+    if (!obj) return nullptr;
+    auto typed = std::dynamic_pointer_cast<T>(obj);
+    if (!typed)
+      throw SerialError("object of type " + std::string(obj->TypeName()) +
+                        " is not of the requested C++ type");
+    return typed;
+  }
+
+  /// Dispatches a complet reference to the installed hook. Called by
+  /// core::ComletRefBase during its field deserialization.
+  void OnComletRef(void* ref);
+
+  Reader& raw() { return in_; }
+
+ private:
+  Reader& in_;
+  RefHook ref_hook_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Serializable>> objects_;
+};
+
+}  // namespace fargo::serial

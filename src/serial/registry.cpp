@@ -1,0 +1,28 @@
+#include "src/serial/registry.h"
+
+#include "src/serial/bytes.h"
+
+namespace fargo::serial {
+
+TypeRegistry& TypeRegistry::Instance() {
+  static TypeRegistry registry;
+  return registry;
+}
+
+void TypeRegistry::Register(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+std::shared_ptr<Serializable> TypeRegistry::Create(
+    std::string_view name) const {
+  auto it = factories_.find(std::string(name));
+  if (it == factories_.end())
+    throw SerialError("unregistered type: " + std::string(name));
+  return it->second();
+}
+
+bool TypeRegistry::Contains(std::string_view name) const {
+  return factories_.contains(std::string(name));
+}
+
+}  // namespace fargo::serial

@@ -1,0 +1,68 @@
+// Polymorphic type registry: maps registered type names to factories so the
+// graph (de)marshaler can reconstruct objects by name — the role Java's
+// class loading plays for Java Serialization in the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fargo::serial {
+
+class GraphWriter;
+class GraphReader;
+
+/// Base class of everything that can cross the wire inside an object graph:
+/// intra-complet objects, anchors, and relocators.
+class Serializable {
+ public:
+  virtual ~Serializable() = default;
+
+  /// Stable registered name; must match the name under which the type's
+  /// factory is registered.
+  virtual std::string_view TypeName() const = 0;
+
+  /// Writes this object's fields. Nested objects go through
+  /// GraphWriter::WriteObject, complet references through the ref hook.
+  virtual void Serialize(GraphWriter& w) const = 0;
+
+  /// Reads this object's fields, mirroring Serialize exactly.
+  virtual void Deserialize(GraphReader& r) = 0;
+};
+
+/// Process-wide registry of serializable types.
+class TypeRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<Serializable>()>;
+
+  static TypeRegistry& Instance();
+
+  /// Registers `factory` under `name`. Re-registering the same name is
+  /// idempotent (useful for test binaries that link everything).
+  void Register(std::string name, Factory factory);
+
+  /// Creates a default-constructed instance of the named type.
+  /// Throws SerialError for unknown names.
+  std::shared_ptr<Serializable> Create(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+
+ private:
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+/// Registers T, which must expose `static constexpr std::string_view
+/// kTypeName` and be default-constructible. Returns true so it can be used
+/// as a namespace-scope initializer:
+///   const bool registered = serial::RegisterType<MyAnchor>();
+template <class T>
+bool RegisterType() {
+  TypeRegistry::Instance().Register(
+      std::string(T::kTypeName),
+      [] { return std::static_pointer_cast<Serializable>(std::make_shared<T>()); });
+  return true;
+}
+
+}  // namespace fargo::serial

@@ -1,0 +1,130 @@
+#include "src/serial/value_codec.h"
+
+namespace fargo::serial {
+
+void WriteValue(Writer& w, const Value& v) {
+  w.WriteU8(static_cast<std::uint8_t>(v.tag()));
+  switch (v.tag()) {
+    case Value::Tag::kNull:
+      break;
+    case Value::Tag::kBool:
+      w.WriteBool(v.AsBool());
+      break;
+    case Value::Tag::kInt:
+      w.WriteInt(v.AsInt());
+      break;
+    case Value::Tag::kReal:
+      w.WriteDouble(v.AsReal());
+      break;
+    case Value::Tag::kString:
+      w.WriteString(v.AsString());
+      break;
+    case Value::Tag::kBytes:
+      w.WriteBytes(v.AsBytes());
+      break;
+    case Value::Tag::kList: {
+      const Value::List& l = v.AsList();
+      w.WriteVarint(l.size());
+      for (const Value& e : l) WriteValue(w, e);
+      break;
+    }
+    case Value::Tag::kMap: {
+      const Value::Map& m = v.AsMap();
+      w.WriteVarint(m.size());
+      for (const auto& [k, e] : m) {
+        w.WriteString(k);
+        WriteValue(w, e);
+      }
+      break;
+    }
+    case Value::Tag::kHandle: {
+      const ComletHandle& h = v.AsHandle();
+      w.WriteVarint(h.id.origin.value);
+      w.WriteVarint(h.id.seq);
+      w.WriteVarint(h.last_known.value);
+      w.WriteString(h.anchor_type);
+      break;
+    }
+    case Value::Tag::kBlob: {
+      const ObjectBlob& b = v.AsBlob();
+      w.WriteString(b.type_name);
+      w.WriteBytes(b.bytes);
+      break;
+    }
+  }
+}
+
+Value ReadValue(Reader& r) {
+  auto tag = static_cast<Value::Tag>(r.ReadU8());
+  switch (tag) {
+    case Value::Tag::kNull:
+      return Value();
+    case Value::Tag::kBool:
+      return Value(r.ReadBool());
+    case Value::Tag::kInt:
+      return Value(r.ReadInt());
+    case Value::Tag::kReal:
+      return Value(r.ReadDouble());
+    case Value::Tag::kString:
+      return Value(r.ReadString());
+    case Value::Tag::kBytes:
+      return Value(r.ReadBytes());
+    case Value::Tag::kList: {
+      std::uint64_t n = r.ReadVarint();
+      Value::List l;
+      l.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) l.push_back(ReadValue(r));
+      return Value(std::move(l));
+    }
+    case Value::Tag::kMap: {
+      std::uint64_t n = r.ReadVarint();
+      Value::Map m;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string k = r.ReadString();
+        m.emplace(std::move(k), ReadValue(r));
+      }
+      return Value(std::move(m));
+    }
+    case Value::Tag::kHandle: {
+      ComletHandle h;
+      h.id.origin.value = static_cast<std::uint32_t>(r.ReadVarint());
+      h.id.seq = r.ReadVarint();
+      h.last_known.value = static_cast<std::uint32_t>(r.ReadVarint());
+      h.anchor_type = r.ReadString();
+      return Value(std::move(h));
+    }
+    case Value::Tag::kBlob: {
+      ObjectBlob b;
+      b.type_name = r.ReadString();
+      b.bytes = r.ReadBytes();
+      return Value(std::move(b));
+    }
+  }
+  throw SerialError("corrupt value tag");
+}
+
+void WriteValues(Writer& w, const std::vector<Value>& vs) {
+  w.WriteVarint(vs.size());
+  for (const Value& v : vs) WriteValue(w, v);
+}
+
+std::vector<Value> ReadValues(Reader& r) {
+  std::uint64_t n = r.ReadVarint();
+  std::vector<Value> vs;
+  vs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) vs.push_back(ReadValue(r));
+  return vs;
+}
+
+std::vector<std::uint8_t> EncodeValue(const Value& v) {
+  Writer w;
+  WriteValue(w, v);
+  return w.Take();
+}
+
+Value DecodeValue(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  return ReadValue(r);
+}
+
+}  // namespace fargo::serial

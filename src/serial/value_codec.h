@@ -1,0 +1,25 @@
+// Wire codec for fargo::Value — the invocation unit's argument/return
+// encoding. Values are pure data (complet handles included), so the codec
+// works on plain byte streams without graph bookkeeping.
+#pragma once
+
+#include "src/common/value.h"
+#include "src/serial/bytes.h"
+
+namespace fargo::serial {
+
+/// Appends `v` to `w` in the tagged wire format.
+void WriteValue(Writer& w, const Value& v);
+
+/// Reads one Value; throws SerialError on malformed input.
+Value ReadValue(Reader& r);
+
+/// Convenience: encodes a whole argument vector.
+void WriteValues(Writer& w, const std::vector<Value>& vs);
+std::vector<Value> ReadValues(Reader& r);
+
+/// One-shot helpers.
+std::vector<std::uint8_t> EncodeValue(const Value& v);
+Value DecodeValue(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace fargo::serial

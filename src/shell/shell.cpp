@@ -1,0 +1,317 @@
+#include "src/shell/shell.h"
+
+#include <istream>
+#include <sstream>
+
+#include "src/core/meta_ref.h"
+#include "src/core/relocator.h"
+#include "src/monitor/profiler.h"
+
+namespace fargo::shell {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+}  // namespace
+
+Shell::Shell(core::Runtime& runtime, core::Core& admin, std::ostream& out)
+    : runtime_(runtime),
+      admin_(admin),
+      out_(out),
+      engine_(runtime, admin),
+      monitor_(runtime, admin, out) {}
+
+core::Core* Shell::ResolveCore(const std::string& token) const {
+  if (core::Core* c = runtime_.FindByName(token)) return c;
+  std::string t = token;
+  if (t.rfind("core:", 0) == 0) t = t.substr(5);
+  try {
+    return runtime_.Find(CoreId{static_cast<std::uint32_t>(std::stoul(t))});
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+ComletId Shell::ResolveComlet(const std::string& token) const {
+  // Accept "c<origin>.<seq>" or a name bound at any core.
+  if (token.size() > 1 && token[0] == 'c' &&
+      token.find('.') != std::string::npos) {
+    const std::size_t dot = token.find('.');
+    try {
+      ComletId id;
+      id.origin.value =
+          static_cast<std::uint32_t>(std::stoul(token.substr(1, dot - 1)));
+      id.seq = std::stoull(token.substr(dot + 1));
+      if (id.valid()) return id;
+    } catch (const std::exception&) {
+      // fall through to name lookup
+    }
+  }
+  for (core::Core* c : runtime_.Cores()) {
+    if (!c->alive()) continue;
+    if (auto h = c->naming().Lookup(token)) return h->id;
+  }
+  throw FargoError("unknown complet: " + token);
+}
+
+core::ComletRefBase Shell::RefToComlet(const std::string& token) {
+  const ComletId id = ResolveComlet(token);
+  // Find a routing hint: any core hosting or tracking it.
+  for (core::Core* c : runtime_.Cores()) {
+    if (!c->alive()) continue;
+    if (c->repository().Contains(id))
+      return admin_.RefFromHandle(ComletHandle{id, c->id(), ""});
+  }
+  for (core::Core* c : runtime_.Cores()) {
+    if (!c->alive()) continue;
+    if (const core::TrackerEntry* t = c->trackers().Find(id))
+      return admin_.RefFromHandle(
+          ComletHandle{id, t->is_local() ? c->id() : t->next, ""});
+  }
+  throw FargoError("no route to complet " + ToString(id));
+}
+
+bool Shell::Execute(const std::string& line) {
+  std::vector<std::string> words = Split(line);
+  if (words.empty()) return true;
+  const std::string cmd = words[0];
+  std::vector<std::string> args(words.begin() + 1, words.end());
+  try {
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      CmdHelp();
+    } else if (cmd == "cores") {
+      CmdCores();
+    } else if (cmd == "ls") {
+      CmdLs(args);
+    } else if (cmd == "names") {
+      CmdNames(args);
+    } else if (cmd == "methods") {
+      CmdMethods(args);
+    } else if (cmd == "move") {
+      CmdMove(args);
+    } else if (cmd == "reftype") {
+      CmdRefType(args, /*set=*/false);
+    } else if (cmd == "setref") {
+      CmdRefType(args, /*set=*/true);
+    } else if (cmd == "profile") {
+      CmdProfile(args);
+    } else if (cmd == "invoke") {
+      CmdInvoke(args);
+    } else if (cmd == "gc") {
+      CmdGc(args);
+    } else if (cmd == "link") {
+      CmdLink(args);
+    } else if (cmd == "shutdown") {
+      CmdShutdown(args);
+    } else if (cmd == "snapshot") {
+      out_ << monitor_.RenderSnapshot();
+    } else if (cmd == "script") {
+      std::string rest;
+      for (std::size_t i = 1; i < words.size(); ++i)
+        rest += words[i] + " ";
+      engine_.Run(rest);
+    } else {
+      out_ << "unknown command '" << cmd << "' (try 'help')\n";
+    }
+  } catch (const std::exception& e) {
+    out_ << "error: " << e.what() << "\n";
+  }
+  return true;
+}
+
+void Shell::RunInteractive(std::istream& in, bool prompt) {
+  std::string line;
+  if (prompt) out_ << "fargo> " << std::flush;
+  while (std::getline(in, line)) {
+    if (!Execute(line)) break;
+    if (prompt) out_ << "fargo> " << std::flush;
+  }
+}
+
+void Shell::CmdHelp() {
+  out_ << "commands: help cores ls names methods move reftype setref profile "
+          "invoke gc link shutdown snapshot script quit\n";
+}
+
+void Shell::CmdCores() {
+  for (core::Core* c : runtime_.Cores()) {
+    out_ << ToString(c->id()) << "  " << c->name() << "  "
+         << (c->alive() ? "up" : "down") << "  load="
+         << c->repository().size() << "  trackers=" << c->trackers().size()
+         << "\n";
+  }
+}
+
+void Shell::CmdLs(const std::vector<std::string>& args) {
+  for (core::Core* c : runtime_.Cores()) {
+    if (!c->alive()) continue;
+    if (!args.empty() && ResolveCore(args[0]) != c) continue;
+    for (ComletId id : c->ComletsHere()) {
+      auto anchor = c->repository().Get(id);
+      out_ << ToString(id) << "  " << (anchor ? anchor->TypeName() : "?")
+           << "  @" << c->name() << "\n";
+    }
+  }
+}
+
+void Shell::CmdNames(const std::vector<std::string>& args) {
+  for (core::Core* c : runtime_.Cores()) {
+    if (!c->alive()) continue;
+    if (!args.empty() && ResolveCore(args[0]) != c) continue;
+    for (const auto& [name, handle] : c->naming().All())
+      out_ << name << " -> " << ToString(handle.id) << "  @" << c->name()
+           << "\n";
+  }
+}
+
+void Shell::CmdMethods(const std::vector<std::string>& args) {
+  if (args.empty()) throw FargoError("usage: methods <comlet>");
+  core::ComletRefBase ref = RefToComlet(args[0]);
+  Value names = ref.Call("__fargo.methods");
+  for (const Value& n : names.AsList()) out_ << n.AsString() << "\n";
+}
+
+void Shell::CmdMove(const std::vector<std::string>& args) {
+  if (args.size() < 2) throw FargoError("usage: move <comlet> <core>");
+  core::Core* dest = ResolveCore(args[1]);
+  if (dest == nullptr) throw FargoError("unknown core: " + args[1]);
+  core::ComletRefBase ref = RefToComlet(args[0]);
+  admin_.Move(ref, dest->id());
+  out_ << "moved " << ToString(ref.target()) << " to " << dest->name()
+       << "\n";
+}
+
+void Shell::CmdRefType(const std::vector<std::string>& args, bool set) {
+  // reftype <core> <owner-comlet> <target-comlet> [type]
+  if (args.size() < (set ? 4u : 3u))
+    throw FargoError(set ? "usage: setref <core> <owner> <target> <type>"
+                         : "usage: reftype <core> <owner> <target>");
+  core::Core* host = ResolveCore(args[0]);
+  if (host == nullptr || !host->alive())
+    throw FargoError("unknown core: " + args[0]);
+  const ComletId owner = ResolveComlet(args[1]);
+  const ComletId target = ResolveComlet(args[2]);
+  bool found = false;
+  for (const core::ComletRefBase* ref : host->RefsOwnedBy(owner)) {
+    if (ref->target() != target) continue;
+    found = true;
+    core::MetaRef& meta = core::Core::GetMetaRef(*ref);
+    if (set) {
+      meta.SetRelocator(core::MakeRelocator(args[3]));
+      out_ << "reference " << ToString(owner) << " -> " << ToString(target)
+           << " set to " << args[3] << "\n";
+    } else {
+      out_ << ToString(owner) << " -> " << ToString(target) << " : "
+           << meta.GetRelocator()->Kind()
+           << " (invocations=" << meta.invocation_count() << ")\n";
+    }
+  }
+  if (!found)
+    out_ << "no live reference " << ToString(owner) << " -> "
+         << ToString(target) << " at " << host->name() << "\n";
+}
+
+void Shell::CmdProfile(const std::vector<std::string>& args) {
+  if (args.empty())
+    throw FargoError(
+        "usage: profile <service> <core> [peer|comlet...] — e.g. profile "
+        "completLoad acadia | profile bandwidth acadia denali");
+  const monitor::Service service = monitor::ParseService(args[0]);
+  if (args.size() < 2) throw FargoError("profile: missing core");
+  core::Core* where = ResolveCore(args[1]);
+  if (where == nullptr || !where->alive())
+    throw FargoError("unknown core: " + args[1]);
+  monitor::ProbeKey key;
+  key.service = service;
+  switch (service) {
+    case monitor::Service::kBandwidth:
+    case monitor::Service::kLatency:
+    case monitor::Service::kThroughput:
+    case monitor::Service::kMessageRate: {
+      if (args.size() < 3) throw FargoError("profile: missing peer core");
+      core::Core* peer = ResolveCore(args[2]);
+      if (peer == nullptr) throw FargoError("unknown core: " + args[2]);
+      key.peer = peer->id();
+      break;
+    }
+    case monitor::Service::kComletSize:
+      if (args.size() < 3) throw FargoError("profile: missing comlet");
+      key.a = ResolveComlet(args[2]);
+      break;
+    case monitor::Service::kInvocationRate:
+      if (args.size() < 4) throw FargoError("profile: missing comlet pair");
+      key.a = ResolveComlet(args[2]);
+      key.b = ResolveComlet(args[3]);
+      break;
+    default:
+      break;
+  }
+  out_ << ToString(key) << " @" << where->name() << " = "
+       << where->profiler().Instant(key) << "\n";
+}
+
+void Shell::CmdInvoke(const std::vector<std::string>& args) {
+  if (args.size() < 2) throw FargoError("usage: invoke <comlet> <method> [args]");
+  core::ComletRefBase ref = RefToComlet(args[0]);
+  std::vector<Value> call_args;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    // Numbers become ints/reals, everything else strings.
+    try {
+      std::size_t used = 0;
+      double d = std::stod(args[i], &used);
+      if (used == args[i].size()) {
+        if (d == static_cast<double>(static_cast<std::int64_t>(d)))
+          call_args.push_back(Value(static_cast<std::int64_t>(d)));
+        else
+          call_args.push_back(Value(d));
+        continue;
+      }
+    } catch (const std::exception&) {
+      // not a number
+    }
+    call_args.push_back(Value(args[i]));
+  }
+  Value result = ref.Call(args[1], std::move(call_args));
+  out_ << result.ToDebugString() << "\n";
+}
+
+void Shell::CmdGc(const std::vector<std::string>& args) {
+  for (core::Core* c : runtime_.Cores()) {
+    if (!c->alive()) continue;
+    if (!args.empty() && ResolveCore(args[0]) != c) continue;
+    out_ << c->name() << ": reclaimed " << c->trackers().CollectGarbage()
+         << " trackers\n";
+  }
+}
+
+void Shell::CmdLink(const std::vector<std::string>& args) {
+  if (args.size() < 4)
+    throw FargoError("usage: link <coreA> <coreB> <latency_ms> <mbit_per_s>");
+  core::Core* a = ResolveCore(args[0]);
+  core::Core* b = ResolveCore(args[1]);
+  if (a == nullptr || b == nullptr) throw FargoError("unknown core");
+  net::LinkModel model;
+  model.latency = static_cast<SimTime>(std::stod(args[2]) * 1e6);
+  model.bytes_per_sec = std::stod(args[3]) * 1e6 / 8.0;
+  runtime_.network().SetLink(a->id(), b->id(), model);
+  out_ << "link " << a->name() << " <-> " << b->name() << ": "
+       << std::stod(args[2]) << " ms, " << args[3] << " Mbit/s\n";
+}
+
+void Shell::CmdShutdown(const std::vector<std::string>& args) {
+  if (args.empty()) throw FargoError("usage: shutdown <core>");
+  core::Core* c = ResolveCore(args[0]);
+  if (c == nullptr) throw FargoError("unknown core: " + args[0]);
+  c->Shutdown();
+  out_ << c->name() << " down\n";
+}
+
+}  // namespace fargo::shell

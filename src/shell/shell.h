@@ -1,0 +1,69 @@
+// The FarGo administrative shell (§3: "a command-line shell for
+// administering remote Cores" — a system complet in the paper).
+//
+// Commands:
+//   help                          — list commands
+//   cores                         — list cores with load
+//   ls [<core>]                   — complets at a core (default: all)
+//   names [<core>]                — name bindings
+//   methods <comlet>              — remotely invocable methods
+//   move <comlet> <core>          — relocate a complet (drag-and-drop analog)
+//   reftype <core> <from> <to>    — show the relocation type between complets
+//   setref <core> <from> <to> <link|pull|duplicate|stamp>
+//                                 — change a reference's relocation type
+//   profile <service> ...         — instant profiling readout
+//   invoke <comlet> <method> [args...]
+//   gc [<core>]                   — collect unreferenced trackers
+//   link <coreA> <coreB> <lat_ms> <mbit>   — reshape a network link
+//   shutdown <core>               — announce shutdown of a core
+//   snapshot                      — render the deployment (text monitor)
+//   script <text...>              — run an inline layout script
+//   quit
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/script/interp.h"
+#include "src/shell/text_monitor.h"
+
+namespace fargo::shell {
+
+class Shell {
+ public:
+  Shell(core::Runtime& runtime, core::Core& admin, std::ostream& out);
+
+  /// Executes one command line. Returns false when the shell should exit.
+  bool Execute(const std::string& line);
+
+  /// Reads and executes lines from `in` until EOF or `quit`.
+  void RunInteractive(std::istream& in, bool prompt = true);
+
+ private:
+  core::Core* ResolveCore(const std::string& token) const;
+  ComletId ResolveComlet(const std::string& token) const;
+  core::ComletRefBase RefToComlet(const std::string& token);
+
+  void CmdHelp();
+  void CmdCores();
+  void CmdLs(const std::vector<std::string>& args);
+  void CmdNames(const std::vector<std::string>& args);
+  void CmdMethods(const std::vector<std::string>& args);
+  void CmdMove(const std::vector<std::string>& args);
+  void CmdRefType(const std::vector<std::string>& args, bool set);
+  void CmdProfile(const std::vector<std::string>& args);
+  void CmdInvoke(const std::vector<std::string>& args);
+  void CmdGc(const std::vector<std::string>& args);
+  void CmdLink(const std::vector<std::string>& args);
+  void CmdShutdown(const std::vector<std::string>& args);
+
+  core::Runtime& runtime_;
+  core::Core& admin_;
+  std::ostream& out_;
+  script::Engine engine_;
+  TextMonitor monitor_;
+};
+
+}  // namespace fargo::shell

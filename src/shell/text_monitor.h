@@ -1,0 +1,55 @@
+// Terminal layout monitor — the substitute for the paper's graphical
+// monitor (Fig 4; see DESIGN.md §2).
+//
+// Like the GUI, it connects to multiple Cores, shows which complets reside
+// in which Cores in real time (by listening to arrival/departure/shutdown
+// events at every inspected Core), and exposes the same inspection data:
+// complet references, their relocation types, and profiling figures.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/monitor/events.h"
+
+namespace fargo::shell {
+
+class TextMonitor {
+ public:
+  /// Observes all Cores of `runtime`, issuing subscriptions from `admin`.
+  TextMonitor(core::Runtime& runtime, core::Core& admin, std::ostream& out);
+  ~TextMonitor();
+  TextMonitor(const TextMonitor&) = delete;
+  TextMonitor& operator=(const TextMonitor&) = delete;
+
+  /// Subscribes to layout events on every (alive) Core; live updates print
+  /// one line per event as they happen.
+  void Attach();
+  void Detach();
+
+  /// When false, events are recorded but not printed.
+  void SetLive(bool live) { live_ = live; }
+
+  /// Renders the current deployment: each Core with its complets, tracker
+  /// table and name bindings.
+  std::string RenderSnapshot() const;
+
+  std::uint64_t events_seen() const { return events_seen_; }
+
+ private:
+  void OnEvent(const monitor::Event& e);
+
+  core::Runtime& runtime_;
+  core::Core& admin_;
+  std::ostream& out_;
+  bool live_ = true;
+  /// Liveness token for in-flight notifications (see script::Engine).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::vector<monitor::SubId> tokens_;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace fargo::shell

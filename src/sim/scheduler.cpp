@@ -1,0 +1,102 @@
+#include "src/sim/scheduler.h"
+
+#include <limits>
+
+#include "src/common/value.h"  // FargoError
+
+namespace fargo::sim {
+
+TaskId Scheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  TaskId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Scheduler::PopDue(SimTime limit, Entry& out) {
+  while (!queue_.empty()) {
+    if (queue_.top().at > limit) return false;
+    out = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(out.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::RunOne() {
+  Entry e;
+  if (!PopDue(std::numeric_limits<SimTime>::max(), e)) return false;
+  now_ = std::max(now_, e.at);
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Scheduler::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+void Scheduler::Clear() {
+  queue_ = {};
+  cancelled_.clear();
+}
+
+void Scheduler::RunUntil(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (!RunOne())
+      throw FargoError("scheduler drained while awaiting a condition "
+                       "(lost message or dead peer?)");
+  }
+}
+
+bool Scheduler::RunUntilOr(const std::function<bool()>& pred,
+                           SimTime deadline) {
+  while (!pred()) {
+    Entry e;
+    if (!PopDue(deadline, e)) {
+      // No more events before the deadline: advance to it and give up.
+      now_ = std::max(now_, deadline);
+      return pred();
+    }
+    now_ = std::max(now_, e.at);
+    ++executed_;
+    e.fn();
+  }
+  return true;
+}
+
+void Scheduler::RunFor(SimTime d) {
+  const SimTime limit = now_ + d;
+  Entry e;
+  while (PopDue(limit, e)) {
+    now_ = std::max(now_, e.at);
+    ++executed_;
+    e.fn();
+  }
+  now_ = limit;
+}
+
+PeriodicTask::PeriodicTask(Scheduler& sched, SimTime interval,
+                           std::function<void()> fn)
+    : impl_(std::make_shared<Impl>(Impl{sched, interval, std::move(fn)})) {
+  Arm(impl_);
+}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Arm(const std::shared_ptr<Impl>& impl) {
+  impl->sched.ScheduleAfter(impl->interval, [impl] {
+    if (!impl->running) return;
+    impl->fn();
+    if (impl->running) Arm(impl);
+  });
+}
+
+void PeriodicTask::Stop() { impl_->running = false; }
+
+}  // namespace fargo::sim

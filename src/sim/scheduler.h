@@ -1,0 +1,125 @@
+// Deterministic discrete-event scheduler.
+//
+// All Cores, the network, continuous profiling, and asynchronous event
+// notification run on one of these. Virtual time only advances when events
+// are executed, so every test and benchmark is exactly reproducible.
+//
+// Blocking RPC (a synchronous complet invocation awaiting its reply) is
+// realized by re-entrant pumping: RunUntil(pred) executes due events —
+// which may themselves pump — until the predicate holds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace fargo::sim {
+
+/// Handle used to cancel a scheduled task.
+using TaskId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to Now()).
+  TaskId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` from now.
+  TaskId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending task; no-op if it already ran or was cancelled.
+  void Cancel(TaskId id) { cancelled_.insert(id); }
+
+  /// Executes the next due event, advancing the clock. Returns false when
+  /// the queue is empty.
+  bool RunOne();
+
+  /// Runs events until the queue drains.
+  void RunUntilIdle();
+
+  /// Runs events until `pred()` holds; throws FargoError if the queue
+  /// drains first (a lost reply would otherwise hang forever). Re-entrant.
+  void RunUntil(const std::function<bool()>& pred);
+
+  /// Like RunUntil, but gives up at absolute time `deadline`. Returns true
+  /// if the predicate held, false on timeout or drain. Re-entrant.
+  bool RunUntilOr(const std::function<bool()>& pred, SimTime deadline);
+
+  /// Runs all events due up to Now()+d, then advances the clock to it.
+  void RunFor(SimTime d);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t PendingCount() const { return queue_.size() - cancelled_.size(); }
+
+  /// Discards every pending event without running it. Used at runtime
+  /// teardown: queued closures may hold references into Cores, so they
+  /// must be destroyed while the Cores still exist.
+  void Clear();
+
+  /// Total number of events executed (telemetry for benchmarks).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tiebreak for same-time events (determinism)
+    TaskId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopDue(SimTime limit, Entry& out);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TaskId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<TaskId> cancelled_;
+};
+
+/// A self-rescheduling task; used by continuous profiling. Destroying or
+/// stopping the task is safe at any point — including from within its own
+/// callback (the callback's state is kept alive by the in-flight event).
+class PeriodicTask {
+ public:
+  PeriodicTask(Scheduler& sched, SimTime interval, std::function<void()> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Stop();
+  bool running() const { return impl_->running; }
+  SimTime interval() const { return impl_->interval; }
+
+ private:
+  struct Impl {
+    Scheduler& sched;
+    SimTime interval;
+    std::function<void()> fn;
+    bool running = true;
+  };
+  static void Arm(const std::shared_ptr<Impl>& impl);
+
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace fargo::sim

@@ -1,0 +1,117 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "src/serial/value_codec.h"
+
+namespace fargo {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.IsNull());
+  EXPECT_EQ(v.tag(), Value::Tag::kNull);
+}
+
+TEST(ValueTest, ScalarAccessors) {
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(std::int64_t{-42}).AsInt(), -42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value(7).AsInt(), 7);  // int convenience constructor
+}
+
+TEST(ValueTest, AsRealAcceptsInts) {
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{3}).AsReal(), 3.0);
+}
+
+TEST(ValueTest, TypeMismatchThrows) {
+  EXPECT_THROW(Value("s").AsInt(), TypeError);
+  EXPECT_THROW(Value(std::int64_t{1}).AsString(), TypeError);
+  EXPECT_THROW(Value().AsBool(), TypeError);
+  EXPECT_THROW(Value("s").AsReal(), TypeError);
+}
+
+TEST(ValueTest, ListsAndMaps) {
+  Value::List l{Value(1), Value("two")};
+  Value vl(l);
+  EXPECT_EQ(vl.AsList().size(), 2u);
+  EXPECT_EQ(vl.AsList()[1].AsString(), "two");
+
+  Value::Map m;
+  m["k"] = Value(9);
+  Value vm(std::move(m));
+  EXPECT_EQ(vm.AsMap().at("k").AsInt(), 9);
+}
+
+TEST(ValueTest, HandleAndBlob) {
+  ComletHandle h{ComletId{CoreId{3}, 7}, CoreId{2}, "T"};
+  Value v(h);
+  EXPECT_TRUE(v.IsHandle());
+  EXPECT_EQ(v.AsHandle().id.seq, 7u);
+
+  ObjectBlob b{"T", {1, 2, 3}};
+  Value vb(b);
+  EXPECT_TRUE(vb.IsBlob());
+  EXPECT_EQ(vb.AsBlob().bytes.size(), 3u);
+}
+
+TEST(ValueTest, MutableAccessorsEditInPlace) {
+  Value list(Value::List{Value(1)});
+  list.MutableList().push_back(Value(2));
+  EXPECT_EQ(list.AsList().size(), 2u);
+  Value map(Value::Map{});
+  map.MutableMap()["k"] = Value("v");
+  EXPECT_EQ(map.AsMap().at("k").AsString(), "v");
+  EXPECT_THROW(list.MutableMap(), TypeError);
+  EXPECT_THROW(map.MutableList(), TypeError);
+}
+
+TEST(ValueTest, EqualityAndDebugStrings) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_EQ(Value("x").ToDebugString(), "\"x\"");
+  EXPECT_EQ(Value().ToDebugString(), "null");
+  Value::List l{Value(1), Value(2)};
+  EXPECT_EQ(Value(l).ToDebugString(), "[1, 2]");
+}
+
+TEST(ValueCodecTest, RoundTripsEveryTag) {
+  Value::Map m;
+  m["a"] = Value(1);
+  m["b"] = Value(Value::List{Value(true), Value(2.5), Value()});
+  std::vector<Value> values = {
+      Value(),
+      Value(false),
+      Value(std::int64_t{-1234567890123}),
+      Value(3.14159),
+      Value("unicode \xc3\xa9 text"),
+      Value(std::vector<std::uint8_t>{0, 255, 7}),
+      Value(std::move(m)),
+      Value(ComletHandle{ComletId{CoreId{1}, 2}, CoreId{3}, "test.T"}),
+      Value(ObjectBlob{"test.T", {9, 8, 7}}),
+  };
+  for (const Value& v : values) {
+    auto bytes = serial::EncodeValue(v);
+    EXPECT_EQ(serial::DecodeValue(bytes), v) << v.ToDebugString();
+  }
+}
+
+TEST(ValueCodecTest, RoundTripsArgumentVectors) {
+  std::vector<Value> args{Value(1), Value("x"), Value()};
+  serial::Writer w;
+  serial::WriteValues(w, args);
+  serial::Reader r(w.buffer());
+  EXPECT_EQ(serial::ReadValues(r), args);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ValueCodecTest, TruncatedInputThrows) {
+  auto bytes = serial::EncodeValue(Value("hello world"));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(serial::DecodeValue(bytes), serial::SerialError);
+}
+
+}  // namespace
+}  // namespace fargo

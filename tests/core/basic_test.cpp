@@ -1,0 +1,171 @@
+// Core basics: instantiation, local/remote invocation, Fig 3's scenario,
+// remote instantiation, naming, and error propagation.
+#include <gtest/gtest.h>
+
+#include "tests/support/fixture.h"
+
+namespace fargo::testing {
+namespace {
+
+using core::ComletRef;
+
+class CoreBasicTest : public FargoTest {};
+
+TEST_F(CoreBasicTest, NewInstallsAndDispatchesLocally) {
+  auto cores = MakeCores(1);
+  ComletRef<Message> msg = cores[0]->New<Message>("hello");
+  EXPECT_TRUE(msg.bound());
+  EXPECT_EQ(msg.Call("text").AsString(), "hello");
+  EXPECT_EQ(cores[0]->repository().size(), 1u);
+  EXPECT_EQ(cores[0]->ComletsHere().size(), 1u);
+}
+
+TEST_F(CoreBasicTest, TypedInvokeConvertsReturnValues) {
+  auto cores = MakeCores(1);
+  auto counter = cores[0]->New<Counter>();
+  EXPECT_EQ(counter.Invoke<std::int64_t>("increment", std::int64_t{5}), 5);
+  EXPECT_EQ(counter.Invoke<std::int64_t>("get"), 5);
+  auto msg = cores[0]->New<Message>("x");
+  EXPECT_EQ(msg.Invoke<std::string>("text"), "x");
+}
+
+TEST_F(CoreBasicTest, RemoteInvocationThroughNetwork) {
+  auto cores = MakeCores(2);
+  auto counter = cores[0]->New<Counter>();
+  // A stub at core1 for the complet at core0.
+  auto remote = cores[1]->RefTo<Counter>(counter.handle());
+  const std::uint64_t msgs_before = rt.network().total_messages();
+  EXPECT_EQ(remote.Invoke<std::int64_t>("increment"), 1);
+  EXPECT_GE(rt.network().total_messages(), msgs_before + 2);  // req + reply
+  EXPECT_EQ(counter.Invoke<std::int64_t>("get"), 1);
+  // Invocation advanced simulated time by at least one round trip.
+  EXPECT_GE(rt.Now(), 2 * Millis(5));
+}
+
+TEST_F(CoreBasicTest, Figure3Scenario) {
+  // Message msg = new Message_("Hello World"); Carrier.move(msg, "acadia");
+  // msg.print();
+  core::Core& local = rt.CreateCore("local");
+  core::Core& acadia = rt.CreateCore("acadia");
+  rt.network().SetDefaultLink({Millis(10), 1.25e6, true});
+
+  ComletRef<Message> msg = local.New<Message>("Hello World");
+  local.Move(msg, acadia.id());
+  EXPECT_TRUE(acadia.repository().Contains(msg.target()));
+  EXPECT_FALSE(local.repository().Contains(msg.target()));
+  // The stub still works transparently after the move.
+  EXPECT_EQ(msg.Call("print").AsString(), "Hello World");
+  EXPECT_EQ(msg.Invoke<std::string>("whereami"), "acadia");
+}
+
+TEST_F(CoreBasicTest, MoveWithContinuationInvokesStartAtDestination) {
+  auto cores = MakeCores(2);
+  auto msg = cores[0]->New<Message>("before");
+  cores[0]->Move(msg, cores[1]->id(), "start", {Value("after")});
+  rt.RunUntilIdle();
+  EXPECT_EQ(msg.Invoke<std::string>("text"), "after");
+  auto anchor = cores[1]->repository().Get(msg.target());
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_EQ(std::dynamic_pointer_cast<Message>(anchor)->continuations(), 1);
+}
+
+TEST_F(CoreBasicTest, RemoteInstantiation) {
+  auto cores = MakeCores(2);
+  ComletRef<Counter> counter = cores[0]->NewAt<Counter>(cores[1]->id());
+  EXPECT_TRUE(counter.bound());
+  EXPECT_TRUE(cores[1]->repository().Contains(counter.target()));
+  EXPECT_EQ(counter.Invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(CoreBasicTest, RemoteInstantiationOfNonAnchorFails) {
+  auto cores = MakeCores(2);
+  EXPECT_THROW(cores[0]->NewRemote(cores[1]->id(), "test.TreeNode"),
+               FargoError);
+}
+
+TEST_F(CoreBasicTest, NamingLocalAndRemote) {
+  auto cores = MakeCores(2);
+  auto msg = cores[0]->New<Message>("named");
+  cores[0]->BindName("greeting", msg);
+  auto local = cores[0]->LookupAt(cores[0]->id(), "greeting");
+  ASSERT_TRUE(local.has_value());
+  EXPECT_EQ(local->id, msg.target());
+
+  auto remote = cores[1]->LookupAt(cores[0]->id(), "greeting");
+  ASSERT_TRUE(remote.has_value());
+  auto ref = cores[1]->RefTo<Message>(*remote);
+  EXPECT_EQ(ref.Invoke<std::string>("text"), "named");
+
+  EXPECT_FALSE(cores[1]->LookupAt(cores[0]->id(), "nope").has_value());
+}
+
+TEST_F(CoreBasicTest, UnknownMethodPropagatesAsError) {
+  auto cores = MakeCores(2);
+  auto msg = cores[0]->New<Message>("x");
+  auto remote = cores[1]->RefTo<Message>(msg.handle());
+  EXPECT_THROW(remote.Call("definitely_not_a_method"), FargoError);
+  // Local path too.
+  EXPECT_THROW(msg.Call("definitely_not_a_method"), FargoError);
+}
+
+TEST_F(CoreBasicTest, AnchorExceptionsCrossTheWire) {
+  auto cores = MakeCores(2);
+  auto worker = cores[0]->New<Worker>();
+  auto remote = cores[1]->RefTo<Worker>(worker.handle());
+  // "work" without a bound data source throws inside the anchor.
+  try {
+    remote.Call("work");
+    FAIL() << "expected FargoError";
+  } catch (const FargoError& e) {
+    EXPECT_NE(std::string(e.what()).find("no data source"),
+              std::string::npos);
+  }
+}
+
+TEST_F(CoreBasicTest, CallThroughUnboundRefThrows) {
+  ComletRef<Message> ref;
+  EXPECT_FALSE(ref.bound());
+  EXPECT_THROW(ref.Call("text"), FargoError);
+}
+
+TEST_F(CoreBasicTest, SystemMethodsIntrospection) {
+  auto cores = MakeCores(1);
+  auto msg = cores[0]->New<Message>("m");
+  Value names = msg.Call("__fargo.methods");
+  bool has_print = false;
+  for (const Value& n : names.AsList())
+    if (n.AsString() == "print") has_print = true;
+  EXPECT_TRUE(has_print);
+}
+
+TEST_F(CoreBasicTest, ResolveLocationFollowsMoves) {
+  auto cores = MakeCores(3);
+  auto msg = cores[0]->New<Message>("m");
+  auto observer = cores[2]->RefTo<Message>(msg.handle());
+  EXPECT_EQ(cores[2]->ResolveLocation(observer), cores[0]->id());
+  cores[0]->Move(msg, cores[1]->id());
+  EXPECT_EQ(cores[2]->ResolveLocation(observer), cores[1]->id());
+}
+
+TEST_F(CoreBasicTest, MoveOfRemotelyHostedCompletIsRouted) {
+  auto cores = MakeCores(3);
+  auto msg = cores[0]->New<Message>("m");
+  auto ref_at_2 = cores[2]->RefTo<Message>(msg.handle());
+  // core2 asks to move a complet it does not host: routed via the chain.
+  cores[2]->Move(ref_at_2, cores[1]->id());
+  EXPECT_TRUE(cores[1]->repository().Contains(msg.target()));
+  EXPECT_FALSE(cores[0]->repository().Contains(msg.target()));
+}
+
+TEST_F(CoreBasicTest, ShutdownCoreRejectsNewComplets) {
+  auto cores = MakeCores(2);
+  cores[1]->Shutdown(Millis(1));
+  EXPECT_FALSE(cores[1]->alive());
+  EXPECT_THROW(cores[1]->New<Message>("x"), FargoError);
+  // RPC to a dead core times out rather than hanging.
+  cores[0]->SetRpcTimeout(Millis(100));
+  EXPECT_THROW(cores[0]->NewAt<Message>(cores[1]->id()), FargoError);
+}
+
+}  // namespace
+}  // namespace fargo::testing

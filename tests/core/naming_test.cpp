@@ -1,0 +1,115 @@
+// Naming service unit tests + the components the stamp rebinding relies on.
+#include <gtest/gtest.h>
+
+#include "tests/support/fixture.h"
+
+namespace fargo::testing {
+namespace {
+
+TEST(NamingUnitTest, BindLookupUnbind) {
+  core::Naming naming;
+  ComletHandle h{ComletId{CoreId{1}, 2}, CoreId{1}, "T"};
+  naming.Bind("a", h);
+  ASSERT_TRUE(naming.Lookup("a").has_value());
+  EXPECT_EQ(naming.Lookup("a")->id, h.id);
+  EXPECT_FALSE(naming.Lookup("b").has_value());
+  naming.Unbind("a");
+  EXPECT_FALSE(naming.Lookup("a").has_value());
+  EXPECT_EQ(naming.size(), 0u);
+}
+
+TEST(NamingUnitTest, RebindReplaces) {
+  core::Naming naming;
+  naming.Bind("x", ComletHandle{ComletId{CoreId{1}, 1}, CoreId{1}, "T"});
+  naming.Bind("x", ComletHandle{ComletId{CoreId{1}, 2}, CoreId{1}, "T"});
+  EXPECT_EQ(naming.Lookup("x")->id.seq, 2u);
+  EXPECT_EQ(naming.size(), 1u);
+}
+
+TEST(NamingUnitTest, AllIsSorted) {
+  core::Naming naming;
+  naming.Bind("zeta", ComletHandle{ComletId{CoreId{1}, 1}, CoreId{1}, "T"});
+  naming.Bind("alpha", ComletHandle{ComletId{CoreId{1}, 2}, CoreId{1}, "T"});
+  auto all = naming.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "alpha");
+  EXPECT_EQ(all[1].first, "zeta");
+}
+
+class NamingCoreTest : public FargoTest {};
+
+TEST_F(NamingCoreTest, FindByTypeIsDeterministic) {
+  auto cores = MakeCores(1);
+  auto p2 = cores[0]->New<Printer>();
+  auto p1 = cores[0]->New<Printer>();
+  // Smallest ComletId wins regardless of creation/iteration order.
+  auto found = cores[0]->repository().FindByType("test.Printer");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id(), std::min(p1.target(), p2.target()));
+}
+
+TEST_F(NamingCoreTest, BindingUnboundRefThrows) {
+  auto cores = MakeCores(1);
+  core::ComletRefBase unbound;
+  EXPECT_THROW(cores[0]->BindName("x", unbound), FargoError);
+}
+
+TEST_F(NamingCoreTest, LookupAtDeadCoreTimesOut) {
+  auto cores = MakeCores(2);
+  cores[1]->Crash();
+  cores[0]->SetRpcTimeout(Millis(100));
+  EXPECT_THROW(cores[0]->LookupAt(cores[1]->id(), "x"), UnreachableError);
+}
+
+TEST_F(NamingCoreTest, NamesAreIndependentPerCore) {
+  auto cores = MakeCores(2);
+  auto a = cores[0]->New<Message>("a");
+  auto b = cores[1]->New<Message>("b");
+  cores[0]->BindName("thing", a);
+  cores[1]->BindName("thing", b);
+  EXPECT_EQ(cores[0]->LookupAt(cores[0]->id(), "thing")->id, a.target());
+  EXPECT_EQ(cores[0]->LookupAt(cores[1]->id(), "thing")->id, b.target());
+}
+
+TEST_F(NamingCoreTest, NameResolutionPlusChainReachesMovedComplet) {
+  // The §1 pattern: "reconnect a reference to a moved object on-demand,
+  // using an external location and naming facility".
+  auto cores = MakeCores(3);
+  auto svc = cores[0]->New<Counter>();
+  cores[0]->BindName("service", svc);
+  cores[0]->Move(svc, cores[1]->id());
+  cores[1]->MoveId(svc.target(), cores[2]->id());
+  // A newcomer resolves the name at the well-known core and calls through.
+  auto handle = cores[2]->LookupAt(cores[0]->id(), "service");
+  ASSERT_TRUE(handle.has_value());
+  auto ref = cores[2]->RefFromHandle(*handle);
+  EXPECT_EQ(ref.Call("increment").AsInt(), 1);
+}
+
+class IdsTest : public ::testing::Test {};
+
+TEST_F(IdsTest, ValidityAndOrdering) {
+  EXPECT_FALSE(CoreId{}.valid());
+  EXPECT_TRUE(CoreId{1}.valid());
+  EXPECT_FALSE(ComletId{}.valid());
+  EXPECT_TRUE((ComletId{CoreId{1}, 0}).valid());
+  EXPECT_LT((ComletId{CoreId{1}, 5}), (ComletId{CoreId{2}, 0}));
+  EXPECT_LT((ComletId{CoreId{1}, 5}), (ComletId{CoreId{1}, 6}));
+}
+
+TEST_F(IdsTest, ToStringFormats) {
+  EXPECT_EQ(ToString(CoreId{7}), "core:7");
+  EXPECT_EQ(ToString(ComletId{CoreId{2}, 9}), "c2.9");
+}
+
+TEST_F(IdsTest, HashingSpreadsDistinctIds) {
+  std::hash<ComletId> h;
+  std::set<std::size_t> hashes;
+  for (std::uint32_t core = 1; core < 20; ++core)
+    for (std::uint64_t seq = 0; seq < 50; ++seq)
+      hashes.insert(h(ComletId{CoreId{core}, seq}));
+  EXPECT_EQ(hashes.size(), 19u * 50u);  // no collisions on this small set
+}
+
+}  // namespace
+}  // namespace fargo::testing

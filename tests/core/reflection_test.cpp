@@ -1,0 +1,120 @@
+// Reflection on complet references (§3.2): MetaRef, relocator retyping,
+// the live-reference registry, and reference-level profiling counters.
+#include <gtest/gtest.h>
+
+#include "tests/support/fixture.h"
+
+namespace fargo::testing {
+namespace {
+
+using core::ComletRef;
+using core::Core;
+using core::MetaRef;
+
+class ReflectionTest : public FargoTest {};
+
+TEST_F(ReflectionTest, GetMetaRefReturnsTheReifiedReference) {
+  auto cores = MakeCores(1);
+  auto msg = cores[0]->New<Message>("m");
+  MetaRef& meta = Core::GetMetaRef(msg);
+  EXPECT_EQ(meta.target(), msg.target());
+  EXPECT_EQ(meta.GetRelocator()->Kind(), "link");  // default type
+}
+
+TEST_F(ReflectionTest, PaperRetypingIdiom) {
+  // MetaRef metaRef = Core.getMetaRef(msg);
+  // if (metaRef.getRelocator() instanceof Link)
+  //     metaRef.setRelocator(new Pull());
+  auto cores = MakeCores(1);
+  auto msg = cores[0]->New<Message>("m");
+  MetaRef& meta = Core::GetMetaRef(msg);
+  if (std::dynamic_pointer_cast<core::Link>(meta.GetRelocator()))
+    meta.SetRelocator(std::make_shared<core::Pull>());
+  EXPECT_EQ(meta.GetRelocator()->Kind(), "pull");
+}
+
+TEST_F(ReflectionTest, SettingNullRelocatorThrows) {
+  auto cores = MakeCores(1);
+  auto msg = cores[0]->New<Message>("m");
+  EXPECT_THROW(Core::GetMetaRef(msg).SetRelocator(nullptr), FargoError);
+}
+
+TEST_F(ReflectionTest, MetaRefOfUnboundRefThrows) {
+  ComletRef<Message> unbound;
+  EXPECT_THROW(Core::GetMetaRef(unbound), FargoError);
+}
+
+TEST_F(ReflectionTest, CopiesShareTheMetaRef) {
+  // Copies of a stub alias one meta reference, like multiple local pointers
+  // to one generated stub object.
+  auto cores = MakeCores(1);
+  auto msg = cores[0]->New<Message>("m");
+  ComletRef<Message> copy = msg;
+  Core::GetMetaRef(copy).SetRelocator(std::make_shared<core::Stamp>());
+  EXPECT_EQ(Core::GetMetaRef(msg).GetRelocator()->Kind(), "stamp");
+}
+
+TEST_F(ReflectionTest, KnownLocationTracksMovement) {
+  auto cores = MakeCores(2);
+  auto msg = cores[0]->New<Message>("m");
+  MetaRef& meta = Core::GetMetaRef(msg);
+  EXPECT_EQ(meta.KnownLocation(*cores[0]), cores[0]->id());
+  cores[0]->Move(msg, cores[1]->id());
+  EXPECT_EQ(meta.KnownLocation(*cores[0]), cores[1]->id());
+}
+
+TEST_F(ReflectionTest, InvocationCountsPerReference) {
+  auto cores = MakeCores(1);
+  auto msg = cores[0]->New<Message>("m");
+  for (int i = 0; i < 7; ++i) msg.Call("text");
+  EXPECT_EQ(Core::GetMetaRef(msg).invocation_count(), 7u);
+}
+
+TEST_F(ReflectionTest, LiveRefRegistryTracksOwnership) {
+  auto cores = MakeCores(1);
+  auto worker = cores[0]->New<Worker>();
+  auto data = cores[0]->New<Data>(std::size_t{10});
+  worker.Call("bind", {Value(data.handle())});
+  // The worker's internal ref is attributed to the worker complet.
+  auto owned = cores[0]->RefsOwnedBy(worker.target());
+  ASSERT_EQ(owned.size(), 1u);
+  EXPECT_EQ(owned[0]->target(), data.target());
+  // Top-level refs (this test's stubs) belong to the invalid owner.
+  auto top = cores[0]->RefsOwnedBy(ComletId{});
+  EXPECT_GE(top.size(), 2u);
+}
+
+TEST_F(ReflectionTest, RefsToFindsInboundReferences) {
+  auto cores = MakeCores(1);
+  auto data = cores[0]->New<Data>(std::size_t{10});
+  auto w1 = cores[0]->New<Worker>();
+  auto w2 = cores[0]->New<Worker>();
+  w1.Call("bind", {Value(data.handle())});
+  w2.Call("bind", {Value(data.handle())});
+  // Two worker-held refs plus the test's own stub.
+  EXPECT_EQ(cores[0]->RefsTo(data.target()).size(), 3u);
+}
+
+TEST_F(ReflectionTest, RegistryShrinksWhenRefsDie) {
+  auto cores = MakeCores(1);
+  const std::size_t base = cores[0]->live_ref_count();
+  {
+    auto msg = cores[0]->New<Message>("m");
+    ComletRef<Message> copy = msg;
+    EXPECT_EQ(cores[0]->live_ref_count(), base + 2);
+  }
+  EXPECT_EQ(cores[0]->live_ref_count(), base);
+}
+
+TEST_F(ReflectionTest, MovedCompletsRefsReappearAtDestination) {
+  auto cores = MakeCores(2);
+  auto worker = cores[0]->New<Worker>();
+  auto data = cores[0]->New<Data>(std::size_t{10});
+  worker.Call("bind", {Value(data.handle())});
+  cores[0]->Move(worker, cores[1]->id());
+  EXPECT_EQ(cores[1]->RefsOwnedBy(worker.target()).size(), 1u);
+  EXPECT_EQ(cores[0]->RefsOwnedBy(worker.target()).size(), 0u);
+}
+
+}  // namespace
+}  // namespace fargo::testing

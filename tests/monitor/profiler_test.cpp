@@ -1,0 +1,201 @@
+// Profiling services (§4.1): instant vs continuous interfaces, result
+// caching, EMA behaviour, refcounted start/stop, rate measurement.
+#include <gtest/gtest.h>
+
+#include "tests/support/fixture.h"
+
+namespace fargo::testing {
+namespace {
+
+using monitor::BandwidthProbe;
+using monitor::ComletLoadProbe;
+using monitor::ComletSizeProbe;
+using monitor::Ema;
+using monitor::InvocationRateProbe;
+using monitor::LatencyProbe;
+using monitor::MemoryUseProbe;
+using monitor::ProbeKey;
+using monitor::Service;
+using monitor::ThroughputProbe;
+
+class ProfilerTest : public FargoTest {};
+
+TEST(EmaTest, ConvergesToConstantInput) {
+  Ema ema(0.25);
+  EXPECT_EQ(ema.value(), 0.0);
+  for (int i = 0; i < 50; ++i) ema.Add(10.0);
+  EXPECT_NEAR(ema.value(), 10.0, 1e-9);
+}
+
+TEST(EmaTest, FirstSampleSeedsDirectly) {
+  Ema ema(0.1);
+  ema.Add(42.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 42.0);
+}
+
+TEST(EmaTest, ResetClearsSeedAndSamples) {
+  Ema ema(0.5);
+  ema.Add(10);
+  ema.Add(20);
+  EXPECT_EQ(ema.samples(), 2u);
+  ema.Reset();
+  EXPECT_FALSE(ema.seeded());
+  EXPECT_EQ(ema.value(), 0.0);
+  EXPECT_EQ(ema.samples(), 0u);
+  ema.Add(7);
+  EXPECT_DOUBLE_EQ(ema.value(), 7.0);  // seeds fresh
+}
+
+TEST(EmaTest, HigherAlphaTracksFaster) {
+  Ema slow(0.1), fast(0.9);
+  slow.Add(0);
+  fast.Add(0);
+  for (int i = 0; i < 3; ++i) {
+    slow.Add(100);
+    fast.Add(100);
+  }
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST_F(ProfilerTest, ComletLoadCountsHostedComplets) {
+  auto cores = MakeCores(1);
+  EXPECT_EQ(cores[0]->profiler().Instant(ComletLoadProbe()), 0.0);
+  cores[0]->New<Message>("a");
+  cores[0]->New<Message>("b");
+  // Within the cache TTL the old value is served; step past it.
+  rt.RunFor(Millis(100));
+  EXPECT_EQ(cores[0]->profiler().Instant(ComletLoadProbe()), 2.0);
+}
+
+TEST_F(ProfilerTest, InstantCachingServesRepeatsWithoutReevaluation) {
+  auto cores = MakeCores(1);
+  cores[0]->New<Data>(std::size_t{100});
+  monitor::Profiler& prof = cores[0]->profiler();
+  prof.SetCacheTtl(Millis(50));
+  const auto evals0 = prof.evaluations();
+  prof.Instant(MemoryUseProbe());
+  for (int i = 0; i < 100; ++i) prof.Instant(MemoryUseProbe());
+  EXPECT_EQ(prof.evaluations(), evals0 + 1);  // one real measurement
+  rt.RunFor(Millis(60));                      // TTL expires
+  prof.Instant(MemoryUseProbe());
+  EXPECT_EQ(prof.evaluations(), evals0 + 2);
+}
+
+TEST_F(ProfilerTest, ComletSizeReflectsPayload) {
+  auto cores = MakeCores(1);
+  auto small = cores[0]->New<Data>(std::size_t{100});
+  auto large = cores[0]->New<Data>(std::size_t{10000});
+  const double s = cores[0]->profiler().Instant(ComletSizeProbe(small.target()));
+  const double l = cores[0]->profiler().Instant(ComletSizeProbe(large.target()));
+  EXPECT_GT(s, 100);
+  EXPECT_GT(l, 10000);
+  EXPECT_GT(l, s + 9000);
+}
+
+TEST_F(ProfilerTest, BandwidthAndLatencyReadTheLinkModel) {
+  auto cores = MakeCores(2);
+  rt.network().SetLink(cores[0]->id(), cores[1]->id(),
+                       net::LinkModel{Millis(30), 5e6, true});
+  EXPECT_DOUBLE_EQ(
+      cores[0]->profiler().Instant(BandwidthProbe(cores[1]->id())), 5e6);
+  EXPECT_DOUBLE_EQ(cores[0]->profiler().Instant(LatencyProbe(cores[1]->id())),
+                   0.030);
+}
+
+TEST_F(ProfilerTest, ContinuousRequiresStart) {
+  auto cores = MakeCores(1);
+  EXPECT_THROW(cores[0]->profiler().Get(ComletLoadProbe()), FargoError);
+}
+
+TEST_F(ProfilerTest, ContinuousGaugeConverges) {
+  auto cores = MakeCores(1);
+  for (int i = 0; i < 5; ++i) cores[0]->New<Message>("x");
+  monitor::Profiler& prof = cores[0]->profiler();
+  prof.Start(ComletLoadProbe(), Millis(10));
+  rt.RunFor(Millis(500));
+  EXPECT_NEAR(prof.Get(ComletLoadProbe()), 5.0, 0.01);
+  prof.Stop(ComletLoadProbe());
+}
+
+TEST_F(ProfilerTest, StartStopIsRefcounted) {
+  auto cores = MakeCores(1);
+  monitor::Profiler& prof = cores[0]->profiler();
+  prof.Start(ComletLoadProbe(), Millis(10));
+  prof.Start(ComletLoadProbe(), Millis(10));  // second interested party
+  prof.Stop(ComletLoadProbe());
+  EXPECT_TRUE(prof.Running(ComletLoadProbe()));  // one party remains
+  prof.Stop(ComletLoadProbe());
+  EXPECT_FALSE(prof.Running(ComletLoadProbe()));
+}
+
+TEST_F(ProfilerTest, StoppingEndsSampling) {
+  auto cores = MakeCores(1);
+  monitor::Profiler& prof = cores[0]->profiler();
+  prof.Start(ComletLoadProbe(), Millis(10));
+  rt.RunFor(Millis(100));
+  const auto evals = prof.evaluations();
+  prof.Stop(ComletLoadProbe());
+  rt.RunFor(Millis(100));
+  EXPECT_EQ(prof.evaluations(), evals);  // no more samples
+}
+
+TEST_F(ProfilerTest, InvocationRateMeasuresCallsPerSecond) {
+  auto cores = MakeCores(2);
+  auto counter = cores[0]->New<Counter>();
+  auto worker = cores[0]->New<Worker>();
+  auto data = cores[0]->New<Data>(std::size_t{10});
+  worker.Call("bind", {Value(data.handle())});
+  (void)counter;
+
+  monitor::Profiler& prof = cores[0]->profiler();
+  const ProbeKey rate = InvocationRateProbe(worker.target(), data.target());
+  prof.Start(rate, Millis(100));
+
+  // Drive ~20 invocations/second for 2 seconds: one "work" every 50 ms.
+  for (int i = 0; i < 40; ++i) {
+    worker.Call("work");
+    rt.RunFor(Millis(50));
+  }
+  EXPECT_NEAR(prof.Get(rate), 20.0, 4.0);
+  prof.Stop(rate);
+}
+
+TEST_F(ProfilerTest, ThroughputSeesTraffic) {
+  auto cores = MakeCores(2, Millis(1), 1e9);
+  auto data = cores[0]->New<Data>(std::size_t{1000});
+  auto remote = cores[1]->RefTo<Data>(data.handle());
+  monitor::Profiler& prof = cores[1]->profiler();
+  prof.Start(ThroughputProbe(cores[0]->id()), Millis(100));
+  for (int i = 0; i < 20; ++i) {
+    remote.Call("read");
+    rt.RunFor(Millis(50));
+  }
+  EXPECT_GT(prof.Get(ThroughputProbe(cores[0]->id())), 100.0);
+  prof.Stop(ThroughputProbe(cores[0]->id()));
+}
+
+TEST_F(ProfilerTest, InstantRateIsLongRunAverage) {
+  auto cores = MakeCores(1);
+  auto worker = cores[0]->New<Worker>();
+  auto data = cores[0]->New<Data>(std::size_t{10});
+  worker.Call("bind", {Value(data.handle())});
+  // 10 calls over 1 second of simulated time.
+  for (int i = 0; i < 10; ++i) {
+    worker.Call("work");
+    rt.RunFor(Millis(100));
+  }
+  const double rate = cores[0]->profiler().Instant(
+      InvocationRateProbe(worker.target(), data.target()));
+  EXPECT_NEAR(rate, 10.0, 1.0);
+}
+
+TEST(ProbeKeyTest, ParseServiceRoundTrips) {
+  using monitor::ParseService;
+  EXPECT_EQ(ParseService("completLoad"), Service::kComletLoad);
+  EXPECT_EQ(ParseService("bandwidth"), Service::kBandwidth);
+  EXPECT_EQ(ParseService("methodInvokeRate"), Service::kInvocationRate);
+  EXPECT_THROW(ParseService("bogus"), FargoError);
+}
+
+}  // namespace
+}  // namespace fargo::testing

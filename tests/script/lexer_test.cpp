@@ -1,0 +1,106 @@
+#include "src/script/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fargo::script {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : Lex(src)) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyScriptIsJustEof) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, VariablesArgsAndIdents) {
+  auto tokens = Lex("$coreList = %1 move");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kVar);
+  EXPECT_EQ(tokens[0].text, "coreList");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kArg);
+  EXPECT_EQ(tokens[2].number, 1.0);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[3].text, "move");
+}
+
+TEST(LexerTest, NumbersIncludingScientific) {
+  auto tokens = Lex("3 2.5 1e6 1.5e-3");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 3);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1e6);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1.5e-3);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Lex("\"hello\\nworld\" \"a\\\"b\"");
+  EXPECT_EQ(tokens[0].text, "hello\nworld");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto kinds = Kinds("# whole line\nmove // trailing\nend");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kIdent,
+                                           TokenKind::kIdent,
+                                           TokenKind::kEof}));
+}
+
+TEST(LexerTest, PunctuationAndIndexing) {
+  auto kinds = Kinds("$comps[0] ( ) < ,");
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kVar, TokenKind::kLBracket, TokenKind::kNumber,
+                TokenKind::kRBracket, TokenKind::kLParen, TokenKind::kRParen,
+                TokenKind::kLess, TokenKind::kComma, TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineNumbersAreTracked) {
+  auto tokens = Lex("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(LexerTest, ErrorsCarryLineInfo) {
+  try {
+    Lex("ok\n ^bad");
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(Lex("\"never ends"), ScriptError);
+}
+
+TEST(LexerTest, EmptyVariableNameThrows) {
+  EXPECT_THROW(Lex("$ = 1"), ScriptError);
+}
+
+TEST(LexerTest, PaperScriptLexes) {
+  const std::string paper = R"(
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core
+ listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3)
+  from $comps[0] to $comps[1] do
+ move $comps[0] to coreOf $comps[1]
+end
+)";
+  auto tokens = Lex(paper);
+  EXPECT_GT(tokens.size(), 30u);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace fargo::script

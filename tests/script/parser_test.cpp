@@ -1,0 +1,138 @@
+#include "src/script/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace fargo::script {
+namespace {
+
+TEST(ParserTest, AssignmentsAndArgs) {
+  Script s = Parse("$a = %1\n$b = \"text\"\n$c = 5");
+  ASSERT_EQ(s.statements.size(), 3u);
+  const auto& a = std::get<Assignment>(s.statements[0]);
+  EXPECT_EQ(a.var, "a");
+  EXPECT_EQ(a.value->kind, Expr::Kind::kArg);
+  EXPECT_EQ(a.value->arg_index, 1);
+  const auto& c = std::get<Assignment>(s.statements[2]);
+  EXPECT_EQ(c.value->literal.AsInt(), 5);
+}
+
+TEST(ParserTest, TopLevelMoveCommand) {
+  Script s = Parse("move $x to $y");
+  const auto& cmd = std::get<Command>(s.statements.at(0));
+  EXPECT_EQ(cmd.kind, Command::Kind::kMove);
+  EXPECT_EQ(cmd.subject->var, "x");
+  EXPECT_EQ(cmd.dest->var, "y");
+}
+
+TEST(ParserTest, LifecycleRule) {
+  Script s = Parse(
+      "on shutdown firedby $core listenAt $coreList do\n"
+      "  move completsIn $core to $target\n"
+      "end");
+  const auto& rule = std::get<Rule>(s.statements.at(0));
+  EXPECT_FALSE(rule.is_threshold);
+  EXPECT_EQ(rule.event_name, "shutdown");
+  EXPECT_EQ(rule.firedby_var, "core");
+  ASSERT_NE(rule.listen_at, nullptr);
+  ASSERT_EQ(rule.body.size(), 1u);
+  EXPECT_EQ(rule.body[0].subject->kind, Expr::Kind::kComletsIn);
+}
+
+TEST(ParserTest, ThresholdRuleWithFromTo) {
+  Script s = Parse(
+      "on methodInvokeRate(3) from $comps[0] to $comps[1] do\n"
+      "  move $comps[0] to coreOf $comps[1]\n"
+      "end");
+  const auto& rule = std::get<Rule>(s.statements.at(0));
+  EXPECT_TRUE(rule.is_threshold);
+  EXPECT_EQ(rule.event_name, "methodInvokeRate");
+  EXPECT_DOUBLE_EQ(rule.threshold, 3.0);
+  EXPECT_FALSE(rule.below);
+  EXPECT_EQ(rule.from->kind, Expr::Kind::kIndex);
+  EXPECT_EQ(rule.from->index, 0u);
+  EXPECT_EQ(rule.body[0].dest->kind, Expr::Kind::kCoreOf);
+}
+
+TEST(ParserTest, BelowThresholdSyntax) {
+  Script s = Parse("on bandwidth(<125000) from $a to $b every 2 do end");
+  const auto& rule = std::get<Rule>(s.statements.at(0));
+  EXPECT_TRUE(rule.below);
+  EXPECT_DOUBLE_EQ(rule.threshold, 125000.0);
+  EXPECT_EQ(rule.interval, Seconds(2));
+  EXPECT_TRUE(rule.body.empty());
+}
+
+TEST(ParserTest, AtClauseForLoadRules) {
+  Script s = Parse("on completLoad(10) at $core do log $value end");
+  const auto& rule = std::get<Rule>(s.statements.at(0));
+  ASSERT_NE(rule.at, nullptr);
+  EXPECT_EQ(rule.body[0].kind, Command::Kind::kLog);
+}
+
+TEST(ParserTest, ListsAndIndexing) {
+  Script s = Parse("$l = [1, \"two\", $x]\n$e = $l[2]");
+  const auto& l = std::get<Assignment>(s.statements[0]);
+  EXPECT_EQ(l.value->kind, Expr::Kind::kList);
+  EXPECT_EQ(l.value->items.size(), 3u);
+  const auto& e = std::get<Assignment>(s.statements[1]);
+  EXPECT_EQ(e.value->kind, Expr::Kind::kIndex);
+  EXPECT_EQ(e.value->index, 2u);
+}
+
+TEST(ParserTest, UserActionCommand) {
+  Script s = Parse("notify $admin \"overload\" 3");
+  const auto& cmd = std::get<Command>(s.statements.at(0));
+  EXPECT_EQ(cmd.kind, Command::Kind::kAction);
+  EXPECT_EQ(cmd.action, "notify");
+  EXPECT_EQ(cmd.args.size(), 3u);
+}
+
+TEST(ParserTest, PaperScriptParsesCompletely) {
+  const std::string paper = R"(
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core
+ listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3)
+  from $comps[0] to $comps[1] do
+ move $comps[0] to coreOf $comps[1]
+end
+)";
+  Script s = Parse(paper);
+  ASSERT_EQ(s.statements.size(), 5u);  // 3 assigns + 2 rules
+  EXPECT_FALSE(std::get<Rule>(s.statements[3]).is_threshold);
+  EXPECT_TRUE(std::get<Rule>(s.statements[4]).is_threshold);
+}
+
+// -- syntax error coverage ------------------------------------------------------
+
+struct BadCase {
+  const char* name;
+  const char* src;
+};
+class ParserErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ParserErrorTest, Throws) {
+  EXPECT_THROW(Parse(GetParam().src), ScriptError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    ::testing::Values(
+        BadCase{"missing_end", "on shutdown listenAt $l do move $a to $b"},
+        BadCase{"missing_do", "on shutdown listenAt $l move $a to $b end"},
+        BadCase{"threshold_no_paren", "on methodInvokeRate from $a to $b do end"},
+        BadCase{"threshold_no_subject", "on methodInvokeRate(3) do end"},
+        BadCase{"lifecycle_no_listenat", "on shutdown do end"},
+        BadCase{"move_without_to", "move $a $b"},
+        BadCase{"bad_interval", "on completLoad(1) at $c every 0 do end"},
+        BadCase{"dangling_index", "$a = $b["}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace fargo::script

@@ -1,0 +1,82 @@
+// Script front-end robustness: arbitrary input must either parse or raise
+// ScriptError — never crash or hang.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/script/parser.h"
+
+namespace fargo::script {
+namespace {
+
+class ScriptFuzzTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ScriptFuzzTest, RandomBytesNeverCrashTheLexer) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string src(rng() % 200, ' ');
+    for (char& c : src) c = static_cast<char>(rng() % 128);
+    try {
+      (void)Lex(src);
+    } catch (const ScriptError&) {
+    }
+  }
+}
+
+TEST_P(ScriptFuzzTest, RandomTokenSoupNeverCrashesTheParser) {
+  std::mt19937 rng(GetParam());
+  const std::vector<std::string> words = {
+      "on",     "do",        "end",   "move",  "to",      "from",
+      "firedby", "listenAt", "coreOf", "completsIn", "every", "at",
+      "$x",     "%1",        "3",     "(",     ")",       "[",
+      "]",      "<",         ",",     "=",     "\"s\"",   "shutdown",
+      "methodInvokeRate",    "log",   "ident",
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string src;
+    const std::size_t n = rng() % 25;
+    for (std::size_t i = 0; i < n; ++i)
+      src += words[rng() % words.size()] + " ";
+    try {
+      (void)Parse(src);
+    } catch (const ScriptError&) {
+    }
+  }
+}
+
+TEST_P(ScriptFuzzTest, MutatedValidScriptNeverCrashes) {
+  std::mt19937 rng(GetParam());
+  const std::string valid =
+      "$a = %1\n"
+      "on shutdown firedby $c listenAt $a do\n"
+      "  move completsIn $c to $a\n"
+      "end\n"
+      "on methodInvokeRate(3) from $a to $a do move $a to coreOf $a end\n";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src = valid;
+    const int edits = 1 + static_cast<int>(rng() % 5);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng() % src.size();
+      switch (rng() % 3) {
+        case 0:
+          src[pos] = static_cast<char>(32 + rng() % 95);
+          break;
+        case 1:
+          src.erase(pos, 1);
+          break;
+        default:
+          src.insert(pos, 1, static_cast<char>(32 + rng() % 95));
+      }
+    }
+    try {
+      (void)Parse(src);
+    } catch (const ScriptError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScriptFuzzTest,
+                         ::testing::Values(5u, 17u, 99u));
+
+}  // namespace
+}  // namespace fargo::script

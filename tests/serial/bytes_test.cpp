@@ -1,0 +1,118 @@
+#include "src/serial/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+namespace fargo::serial {
+namespace {
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  Writer w;
+  std::vector<std::uint64_t> values = {
+      0,       1,       127,        128,
+      16383,   16384,   0xffffffff, std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : values) w.WriteVarint(v);
+  Reader r(w.buffer());
+  for (auto v : values) EXPECT_EQ(r.ReadVarint(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, SignedZigZagRoundTrip) {
+  Writer w;
+  std::vector<std::int64_t> values = {
+      0,  -1, 1, -64, 64, std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  for (auto v : values) w.WriteInt(v);
+  Reader r(w.buffer());
+  for (auto v : values) EXPECT_EQ(r.ReadInt(), v);
+}
+
+TEST(BytesTest, SmallMagnitudeSignedIntsAreCompact) {
+  Writer w;
+  w.WriteInt(-1);
+  EXPECT_EQ(w.size(), 1u);  // zig-zag: -1 -> 1
+}
+
+TEST(BytesTest, DoublesAreExact) {
+  Writer w;
+  std::vector<double> values = {0.0, -0.0, 1.5, -3.25e300, 1e-300,
+                                std::numeric_limits<double>::infinity()};
+  for (double v : values) w.WriteDouble(v);
+  Reader r(w.buffer());
+  for (double v : values) EXPECT_EQ(r.ReadDouble(), v);
+}
+
+TEST(BytesTest, StringsAndBytesRoundTrip) {
+  Writer w;
+  w.WriteString("");
+  w.WriteString("hello\0world");  // embedded NUL cut by literal, still fine
+  std::string s(1000, 'x');
+  w.WriteString(s);
+  std::vector<std::uint8_t> b{0, 1, 2, 255};
+  w.WriteBytes(b);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadString(), s);
+  EXPECT_EQ(r.ReadBytes(), b);
+}
+
+TEST(BytesTest, TruncatedReadsThrow) {
+  Writer w;
+  w.WriteString("hello");
+  std::vector<std::uint8_t> buf = w.buffer();
+  buf.pop_back();
+  Reader r(buf);
+  EXPECT_THROW(r.ReadString(), SerialError);
+}
+
+TEST(BytesTest, ReadPastEndThrows) {
+  Reader r(nullptr, 0);
+  EXPECT_THROW(r.ReadU8(), SerialError);
+  EXPECT_THROW(r.ReadDouble(), SerialError);
+}
+
+TEST(BytesTest, HugeLengthPrefixIsRejected) {
+  Writer w;
+  w.WriteVarint(std::numeric_limits<std::uint64_t>::max());
+  Reader r(w.buffer());
+  EXPECT_THROW(r.ReadBytes(), SerialError);
+}
+
+TEST(BytesTest, MalformedVarintIsRejected) {
+  std::vector<std::uint8_t> buf(11, 0x80);  // never terminates in 10 bytes
+  Reader r(buf);
+  EXPECT_THROW(r.ReadVarint(), SerialError);
+}
+
+// Property-style randomized round-trip sweep.
+class BytesPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BytesPropertyTest, RandomSequenceRoundTrips) {
+  std::mt19937_64 rng(GetParam());
+  Writer w;
+  std::vector<std::int64_t> ints;
+  std::vector<std::string> strs;
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(rng());
+    ints.push_back(v);
+    w.WriteInt(v);
+    std::string s(rng() % 50, static_cast<char>('a' + rng() % 26));
+    strs.push_back(s);
+    w.WriteString(s);
+  }
+  Reader r(w.buffer());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.ReadInt(), ints[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(r.ReadString(), strs[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytesPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+}  // namespace
+}  // namespace fargo::serial

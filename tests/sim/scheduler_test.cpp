@@ -1,0 +1,147 @@
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/value.h"
+
+namespace fargo::sim {
+namespace {
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  s.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  s.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), Millis(30));
+}
+
+TEST(SchedulerTest, SameTimeIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+  s.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  Scheduler s;
+  s.ScheduleAt(Millis(10), [] {});
+  s.RunUntilIdle();
+  bool ran = false;
+  s.ScheduleAt(Millis(1), [&] { ran = true; });  // in the past
+  s.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.Now(), Millis(10));  // clock never goes backwards
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  TaskId id = s.ScheduleAfter(Millis(1), [&] { ran = true; });
+  s.Cancel(id);
+  s.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, RunForAdvancesClockExactly) {
+  Scheduler s;
+  int count = 0;
+  s.ScheduleAt(Millis(5), [&] { ++count; });
+  s.ScheduleAt(Millis(15), [&] { ++count; });
+  s.RunFor(Millis(10));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.Now(), Millis(10));
+  s.RunFor(Millis(10));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.Now(), Millis(20));
+}
+
+TEST(SchedulerTest, RunUntilThrowsOnDrain) {
+  Scheduler s;
+  s.ScheduleAfter(Millis(1), [] {});
+  EXPECT_THROW(s.RunUntil([] { return false; }), FargoError);
+}
+
+TEST(SchedulerTest, RunUntilOrTimesOut) {
+  Scheduler s;
+  int ticks = 0;
+  // Self-rescheduling ticker keeps the queue non-empty.
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.ScheduleAfter(Millis(1), tick);
+  };
+  s.ScheduleAfter(Millis(1), tick);
+  bool ok = s.RunUntilOr([] { return false; }, Millis(50));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(s.Now(), Millis(50));
+  EXPECT_GE(ticks, 49);
+}
+
+TEST(SchedulerTest, RunUntilOrStopsEarlyWhenPredicateHolds) {
+  Scheduler s;
+  bool flag = false;
+  s.ScheduleAfter(Millis(3), [&] { flag = true; });
+  s.ScheduleAfter(Millis(100), [] {});
+  EXPECT_TRUE(s.RunUntilOr([&] { return flag; }, Millis(1000)));
+  EXPECT_EQ(s.Now(), Millis(3));
+}
+
+TEST(SchedulerTest, NestedPumpingWorks) {
+  // An event that itself pumps the scheduler (blocking-RPC pattern).
+  Scheduler s;
+  bool inner_done = false;
+  bool outer_done = false;
+  s.ScheduleAfter(Millis(1), [&] {
+    s.ScheduleAfter(Millis(1), [&] { inner_done = true; });
+    s.RunUntil([&] { return inner_done; });
+    outer_done = true;
+  });
+  s.RunUntilIdle();
+  EXPECT_TRUE(inner_done);
+  EXPECT_TRUE(outer_done);
+}
+
+TEST(PeriodicTaskTest, FiresAtInterval) {
+  Scheduler s;
+  int fires = 0;
+  PeriodicTask task(s, Millis(10), [&] { ++fires; });
+  s.RunFor(Millis(100));
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTaskTest, StopHaltsFiring) {
+  Scheduler s;
+  int fires = 0;
+  PeriodicTask task(s, Millis(10), [&] { ++fires; });
+  s.RunFor(Millis(35));
+  task.Stop();
+  s.RunFor(Millis(100));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, DestroyFromOwnCallbackIsSafe) {
+  Scheduler s;
+  std::unique_ptr<PeriodicTask> task;
+  int fires = 0;
+  task = std::make_unique<PeriodicTask>(s, Millis(10), [&] {
+    ++fires;
+    task.reset();  // destroy the task from inside its own callback
+  });
+  s.RunFor(Millis(100));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SchedulerTest, ExecutedCounterCounts) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.ScheduleAfter(Millis(1), [] {});
+  s.RunUntilIdle();
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+}  // namespace
+}  // namespace fargo::sim

@@ -1,0 +1,160 @@
+// Complet classes shared by the test suites (and reused by benches).
+//
+// They mirror the paper's running examples: the Fig 3 Message complet, a
+// worker/data pair for layout-semantics tests, a Printer for stamp
+// re-binding, and a linked Node for chain/graph scenarios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/fargo.h"
+
+namespace fargo::testing {
+
+/// Registers all test comlet types with the type registry. Idempotent.
+void RegisterTestComlets();
+
+/// Fig 3's Message anchor: holds a text, counts prints.
+class Message : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.Message";
+
+  Message();
+  explicit Message(std::string text);
+
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+
+  const std::string& text() const { return text_; }
+  int prints() const { return prints_; }
+  int continuations() const { return continuations_; }
+
+  // movement callback bookkeeping (§3.3)
+  int pre_departures = 0;
+  int pre_arrivals = 0;
+  int post_arrivals = 0;
+  int post_departures = 0;
+  void PreDeparture() override { ++pre_departures; }
+  void PreArrival() override { ++pre_arrivals; }
+  void PostArrival() override { ++post_arrivals; }
+  void PostDeparture() override { ++post_departures; }
+
+ private:
+  std::string text_;
+  int prints_ = 0;
+  int continuations_ = 0;
+};
+
+/// A counter with remote increment/get.
+class Counter : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.Counter";
+  Counter();
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// A data source with a configurable payload size ("read" returns its size).
+class Data : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.Data";
+  Data();
+  explicit Data(std::size_t payload_bytes);
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+  std::size_t size() const { return payload_.size(); }
+  std::int64_t reads() const { return reads_; }
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  std::int64_t reads_ = 0;
+};
+
+/// A worker holding one reference to a Data complet; the reference's
+/// relocation semantics are set via "bind"'s second argument or reflection.
+class Worker : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.Worker";
+  Worker();
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+
+  const core::ComletRef<Data>& data() const { return data_; }
+
+ private:
+  core::ComletRef<Data> data_;
+  std::int64_t work_done_ = 0;
+};
+
+/// A location-bound device complet for stamp tests: "print" returns the
+/// name of the Core that served it.
+class Printer : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.Printer";
+  Printer();
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+  std::int64_t jobs() const { return jobs_; }
+
+ private:
+  std::int64_t jobs_ = 0;
+};
+
+/// A node in a linked structure of complets; used for pull-closure and
+/// cyclic-reference tests. Carries one "next" reference.
+class Node : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.Node";
+  Node();
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+
+  const core::ComletRef<Node>& next() const { return next_; }
+  std::int64_t tag() const { return tag_; }
+
+ private:
+  core::ComletRef<Node> next_;
+  std::int64_t tag_ = 0;
+};
+
+/// A plain (non-anchor) intra-complet object graph: a tree node that can
+/// alias/cycle and can embed a complet reference — used by serialization
+/// and pass-by-value tests.
+class TreeNode : public serial::Serializable {
+ public:
+  static constexpr std::string_view kTypeName = "test.TreeNode";
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+
+  std::int64_t value = 0;
+  std::shared_ptr<TreeNode> left;
+  std::shared_ptr<TreeNode> right;
+  core::ComletRef<Counter> counter;  // optional embedded complet reference
+};
+
+/// A complet whose closure is a TreeNode graph (exercises closure
+/// marshaling with aliasing and embedded refs).
+class Holder : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.Holder";
+  Holder();
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+
+  std::shared_ptr<TreeNode> root;
+};
+
+}  // namespace fargo::testing

@@ -1,0 +1,30 @@
+// Common gtest fixture: a Runtime with helpers for building WAN topologies.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/fargo.h"
+#include "tests/support/comlets.h"
+
+namespace fargo::testing {
+
+class FargoTest : public ::testing::Test {
+ protected:
+  FargoTest() { RegisterTestComlets(); }
+
+  /// Creates `n` cores named "core0".."core{n-1}" with a uniform link model.
+  std::vector<core::Core*> MakeCores(
+      int n, SimTime latency = Millis(5),
+      double bytes_per_sec = 1.25e6 /* 10 Mbit/s */) {
+    std::vector<core::Core*> cores;
+    for (int i = 0; i < n; ++i)
+      cores.push_back(&rt.CreateCore("core" + std::to_string(i)));
+    rt.network().SetDefaultLink(
+        net::LinkModel{latency, bytes_per_sec, true});
+    return cores;
+  }
+
+  core::Runtime rt;
+};
+
+}  // namespace fargo::testing
