@@ -1,0 +1,124 @@
+// E10 (robustness): invocation latency and goodput under injected message
+// loss, with and without the at-most-once retry machinery.
+//
+// Two tables over loss rates {0, 1, 5, 10}%:
+//   - simulated time: mean latency of successful invocations, goodput
+//     (successes per simulated second), messages per success, retries
+//   - the same sweep with retries disabled, showing the failure rate the
+//     retry layer absorbs
+#include <benchmark/benchmark.h>
+
+#include "bench/support.h"
+#include "src/net/chaos.h"
+
+using namespace fargo;
+using namespace fargo::bench;
+
+namespace {
+
+struct SweepResult {
+  int successes = 0;
+  int failures = 0;
+  double mean_latency_ms = 0;
+  double msgs_per_success = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t replays = 0;
+};
+
+SweepResult RunSweep(double loss, bool with_retries, int ops,
+                     std::uint64_t seed) {
+  World w(2, Millis(5), 1e7);
+  w[0].SetRpcTimeout(Millis(100));
+  w[1].SetRpcTimeout(Millis(100));
+  if (with_retries) {
+    core::RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff = Millis(10);
+    policy.seed = seed;
+    w[0].SetRetryPolicy(policy);
+  }
+  if (loss > 0) {
+    net::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop = loss;
+    w.rt.network().SetFaultPlan(plan);
+  }
+
+  auto target = w[1].New<Counter>();
+  auto ref = w[0].RefTo<Counter>(target.handle());
+
+  SweepResult r;
+  double latency_sum_ms = 0;
+  for (int i = 0; i < ops; ++i) {
+    const SimTime start = w.rt.scheduler().Now();
+    try {
+      ref.Invoke<std::int64_t>("increment");
+      ++r.successes;
+      latency_sum_ms +=
+          static_cast<double>(w.rt.scheduler().Now() - start) / 1e6;
+    } catch (const FargoError&) {
+      ++r.failures;
+    }
+  }
+  w.rt.RunUntilIdle();
+  if (r.successes > 0) {
+    r.mean_latency_ms = latency_sum_ms / r.successes;
+    r.msgs_per_success =
+        static_cast<double>(w.rt.network().total_messages()) / r.successes;
+  }
+  r.retries = w[0].rpc_retries();
+  r.replays = w[1].dedup().replays();
+  return r;
+}
+
+void LossSweepTable() {
+  const int kOps = 2000;
+  std::printf("\n-- invocation under message loss (%d ops, 2 cores, "
+              "5 ms links) --\n", kOps);
+  TableHeader({"loss", "retries", "ok", "failed", "mean lat (ms)",
+               "msgs/ok", "resends", "dedup replays"});
+  for (double loss : {0.0, 0.01, 0.05, 0.10}) {
+    for (bool with_retries : {false, true}) {
+      const SweepResult r =
+          RunSweep(loss, with_retries, kOps, /*seed=*/97);
+      Row("| %4.0f%% | %s | %5d | %6d | %13.2f | %7.2f | %7llu | %13llu |",
+          loss * 100, with_retries ? "  on " : " off ", r.successes,
+          r.failures, r.mean_latency_ms, r.msgs_per_success,
+          static_cast<unsigned long long>(r.retries),
+          static_cast<unsigned long long>(r.replays));
+    }
+  }
+  std::printf(
+      "\nretries trade extra messages and tail latency for goodput: at 10%%\n"
+      "loss a single-shot RPC fails ~19%% of the time (either leg), while\n"
+      "5 attempts with backoff push the failure rate to ~0 at ~1.3x the\n"
+      "messages. dedup replays = duplicate executions prevented.\n");
+}
+
+// Wall-clock overhead of the chaos decision path itself (hot Send path).
+void BM_SendNoChaos(benchmark::State& state) {
+  World w(2);
+  auto target = w[1].New<Counter>();
+  auto ref = w[0].RefTo<Counter>(target.handle());
+  for (auto _ : state) benchmark::DoNotOptimize(ref.Call("get"));
+}
+BENCHMARK(BM_SendNoChaos);
+
+void BM_SendChaosArmedNoFaults(benchmark::State& state) {
+  World w(2);
+  net::FaultPlan plan;  // armed, but all probabilities zero
+  w.rt.network().SetFaultPlan(plan);
+  auto target = w[1].New<Counter>();
+  auto ref = w[0].RefTo<Counter>(target.handle());
+  for (auto _ : state) benchmark::DoNotOptimize(ref.Call("get"));
+}
+BENCHMARK(BM_SendChaosArmedNoFaults);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LossSweepTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

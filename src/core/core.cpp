@@ -1,6 +1,10 @@
 #include "src/core/core.h"
 
+#include <algorithm>
+#include <set>
+
 #include "src/common/log.h"
+#include "src/core/heartbeat.h"
 #include "src/core/invocation.h"
 #include "src/core/movement.h"
 #include "src/core/relocator.h"
@@ -19,9 +23,11 @@ constexpr std::string_view kPingMethod = "__fargo.ping";
 constexpr std::string_view kMoveMethod = "__fargo.move";
 constexpr std::string_view kMethodsMethod = "__fargo.methods";
 
-// kControl payload subkinds (home-registry protocol).
+// kControl payload subkinds (home-registry protocol + heartbeats).
 constexpr std::uint8_t kCtrlHomeUpdate = 1;
 constexpr std::uint8_t kCtrlHomeQuery = 2;
+constexpr std::uint8_t kCtrlPing = 3;
+constexpr std::uint8_t kCtrlPong = 4;
 }  // namespace
 
 Core::Core(Runtime& runtime, CoreId id, std::string name)
@@ -246,22 +252,37 @@ std::vector<std::uint8_t> Core::SendAndAwait(
     CoreId to, net::MessageKind kind, std::vector<std::uint8_t> payload) {
   const std::uint64_t corr = NextCorrelation();
   pending_replies_.try_emplace(corr);
+  const int max_attempts = std::max(1, retry_policy_.max_attempts);
 
-  net::Message msg;
-  msg.from = id_;
-  msg.to = to;
-  msg.kind = kind;
-  msg.correlation = corr;
-  msg.payload = std::move(payload);
-  network().Send(std::move(msg));
+  auto reply_ready = [this, corr] {
+    auto it = pending_replies_.find(corr);
+    return it != pending_replies_.end() && it->second.done;
+  };
 
-  const SimTime deadline = scheduler().Now() + rpc_timeout_;
-  bool done = scheduler().RunUntilOr(
-      [&] {
-        auto it = pending_replies_.find(corr);
-        return it != pending_replies_.end() && it->second.done;
-      },
-      deadline);
+  // Every attempt reuses `corr`, so the receiver's dedup cache recognizes
+  // retries of this request and a late reply to any attempt resolves the
+  // await. A timeout is retry-safe by the transport contract: either the
+  // request never executed, or its reply will be replayed from the
+  // receiver's cache when the retry lands.
+  bool done = false;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) ++rpc_retries_;
+    net::Message msg;
+    msg.from = id_;
+    msg.to = to;
+    msg.kind = kind;
+    msg.correlation = corr;
+    msg.payload = (attempt == max_attempts) ? std::move(payload) : payload;
+    network().Send(std::move(msg));
+
+    done = scheduler().RunUntilOr(reply_ready, scheduler().Now() + rpc_timeout_);
+    if (done || attempt == max_attempts) break;
+    // Back off while still listening: the original reply may yet arrive.
+    done = scheduler().RunUntilOr(
+        reply_ready,
+        scheduler().Now() + retry_policy_.BackoffAfter(attempt, corr));
+    if (done) break;
+  }
   auto node = pending_replies_.extract(corr);
   if (!done)
     throw UnreachableError(std::string(net::ToString(kind)) + " to " +
@@ -271,6 +292,9 @@ std::vector<std::uint8_t> Core::SendAndAwait(
 
 void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
                  std::vector<std::uint8_t> payload) {
+  // If this answers a request admitted through the dedup cache, remember
+  // the reply so duplicates can be re-answered without re-executing.
+  dedup_.Complete(to, correlation, kind, payload, scheduler().Now());
   net::Message msg;
   msg.from = id_;
   msg.to = to;
@@ -280,6 +304,25 @@ void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
   network().Send(std::move(msg));
 }
 
+bool Core::AdmitOnce(CoreId origin, std::uint64_t correlation) {
+  DedupCache::BeginResult res =
+      dedup_.Begin(origin, correlation, scheduler().Now());
+  switch (res.outcome) {
+    case DedupCache::Outcome::kFresh:
+      return true;
+    case DedupCache::Outcome::kInProgress:
+      LogDebug() << "core " << name_ << " suppressed duplicate request from "
+                 << ToString(origin) << " corr " << correlation;
+      return false;
+    case DedupCache::Outcome::kReplay:
+      LogDebug() << "core " << name_ << " replayed cached reply to "
+                 << ToString(origin) << " corr " << correlation;
+      Reply(origin, res.reply_kind, correlation, *res.reply);
+      return false;
+  }
+  return true;
+}
+
 void Core::Park(ComletId id, net::Message msg, CoreId error_reply_to) {
   const std::uint64_t correlation = msg.correlation;
   parked_[id].push_back(std::move(msg));
@@ -287,7 +330,7 @@ void Core::Park(ComletId id, net::Message msg, CoreId error_reply_to) {
   // transport error (never executed) instead of holding it forever — a
   // late arrival must not execute a request whose origin already gave up.
   scheduler().ScheduleAfter(
-      rpc_timeout_ / 2, [this, id, correlation, error_reply_to] {
+      park_expiry(), [this, id, correlation, error_reply_to] {
         auto it = parked_.find(id);
         if (it == parked_.end()) return;
         auto& queue = it->second;
@@ -359,13 +402,17 @@ void Core::DispatchMessage(net::Message msg) {
       invocation_->HandleTrackerUpdate(std::move(msg));
       return;
     case net::MessageKind::kMoveRequest:
+      // Non-idempotent: a duplicated or retried move must install exactly
+      // once; duplicates are answered from the dedup cache.
+      if (!AdmitOnce(msg.from, msg.correlation)) return;
       movement_->HandleMoveRequest(std::move(msg));
       return;
     case net::MessageKind::kMoveReply:
     case net::MessageKind::kNameReply:
-    case net::MessageKind::kNewReply: {
+    case net::MessageKind::kNewReply:
+    case net::MessageKind::kControlReply: {
       auto it = pending_replies_.find(msg.correlation);
-      if (it != pending_replies_.end()) {
+      if (it != pending_replies_.end() && !it->second.done) {
         it->second.done = true;
         it->second.payload = std::move(msg.payload);
       }
@@ -375,17 +422,25 @@ void Core::DispatchMessage(net::Message msg) {
       HandleNameRequest(msg);
       return;
     case net::MessageKind::kNewRequest:
+      // Non-idempotent: a duplicated remote-new must instantiate once.
+      if (!AdmitOnce(msg.from, msg.correlation)) return;
       HandleNewRequest(msg);
       return;
     case net::MessageKind::kEventRegister: {
+      // Non-idempotent: a duplicate would register a second listener.
+      if (!AdmitOnce(msg.from, msg.correlation)) return;
       serial::Reader r(msg.payload);
       const std::uint64_t token = r.ReadVarint();
       const bool has_threshold = r.ReadBool();
       const CoreId subscriber = msg.from;
-      monitor::Listener forward = [this, subscriber,
-                                   token](const monitor::Event& e) {
+      // Per-subscription notify sequence: the subscriber drops duplicated
+      // or reordered-stale notifications by seq.
+      auto seq = std::make_shared<std::uint64_t>(0);
+      monitor::Listener forward = [this, subscriber, token,
+                                   seq](const monitor::Event& e) {
         serial::Writer w;
         w.WriteVarint(token);
+        w.WriteVarint(++*seq);
         monitor::WriteEventWire(w, e);
         net::Message notify;
         notify.from = id_;
@@ -409,7 +464,8 @@ void Core::DispatchMessage(net::Message msg) {
       serial::Writer ok;
       wire::WriteOk(ok);
       ok.WriteVarint(sub);
-      Reply(msg.from, net::MessageKind::kControl, msg.correlation, ok.Take());
+      Reply(msg.from, net::MessageKind::kControlReply, msg.correlation,
+            ok.Take());
       return;
     }
     case net::MessageKind::kEventUnregister: {
@@ -420,9 +476,15 @@ void Core::DispatchMessage(net::Message msg) {
     case net::MessageKind::kEventNotify: {
       serial::Reader r(msg.payload);
       const std::uint64_t token = r.ReadVarint();
+      const std::uint64_t seq = r.ReadVarint();
       monitor::Event e = monitor::ReadEventWire(r);
       auto it = remote_subs_.find(token);
       if (it == remote_subs_.end()) return;
+      // Duplicate (chaos) or stale reordered notification: drop by seq.
+      if (seq != 0) {
+        if (seq <= it->second.last_seq) return;
+        it->second.last_seq = seq;
+      }
       // Asynchronous notification, like local event dispatch.
       monitor::Listener& listener = it->second.listener;
       scheduler().ScheduleAfter(0, [listener, e] { listener(e); });
@@ -436,14 +498,8 @@ void Core::DispatchMessage(net::Message msg) {
 }
 
 void Core::HandleControl(net::Message msg) {
-  // Generic acks (e.g. event registration, home answers) resolve pending
-  // awaits; anything else is a control request, dispatched by subkind.
-  auto it = pending_replies_.find(msg.correlation);
-  if (it != pending_replies_.end()) {
-    it->second.done = true;
-    it->second.payload = std::move(msg.payload);
-    return;
-  }
+  // Control messages are requests only (answers travel as kControlReply),
+  // dispatched by subkind.
   serial::Reader r(msg.payload);
   switch (r.ReadU8()) {
     case kCtrlHomeUpdate: {
@@ -465,12 +521,53 @@ void Core::HandleControl(net::Message msg) {
                                                       : CoreId{};
       w.WriteBool(where.valid());
       if (where.valid()) wire::WriteCoreId(w, where);
-      Reply(msg.from, net::MessageKind::kControl, msg.correlation, w.Take());
+      Reply(msg.from, net::MessageKind::kControlReply, msg.correlation,
+            w.Take());
+      return;
+    }
+    case kCtrlPing: {
+      serial::Writer w;
+      w.WriteU8(kCtrlPong);
+      net::Message pong;
+      pong.from = id_;
+      pong.to = msg.from;
+      pong.kind = net::MessageKind::kControl;
+      pong.payload = w.Take();
+      network().Send(std::move(pong));
+      return;
+    }
+    case kCtrlPong: {
+      if (detector_) detector_->OnPong(msg.from);
       return;
     }
     default:
       LogDebug() << "unknown control message at " << name_;
   }
+}
+
+void Core::SendHeartbeatPing(CoreId peer) {
+  serial::Writer w;
+  w.WriteU8(kCtrlPing);
+  net::Message msg;
+  msg.from = id_;
+  msg.to = peer;
+  msg.kind = net::MessageKind::kControl;
+  msg.payload = w.Take();
+  network().Send(std::move(msg));
+}
+
+FailureDetector& Core::EnableHeartbeat(SimTime interval, int k_missed) {
+  detector_ = std::make_unique<FailureDetector>(*this, interval, k_missed);
+  return *detector_;
+}
+
+void Core::DisableHeartbeat() { detector_.reset(); }
+
+std::vector<CoreId> Core::RemoteSubscriptionPeers() const {
+  std::set<CoreId> peers;
+  for (const auto& [token, sub] : remote_subs_)
+    if (sub.where.valid() && sub.where != id_) peers.insert(sub.where);
+  return {peers.begin(), peers.end()};
 }
 
 CoreId Core::LocateViaHome(ComletId id) {
@@ -494,6 +591,7 @@ CoreId Core::LocateViaHome(ComletId id) {
 void Core::Crash() {
   if (!alive_) return;
   LogInfo() << "core " << name_ << " CRASHED";
+  detector_.reset();  // a dead Core pings nobody
   alive_ = false;
   network().Unregister(id_);
   for (ComletId id : repository_.All()) {
@@ -608,6 +706,7 @@ void Core::Shutdown(SimTime grace) {
   if (!alive_) return;
   LogInfo() << "core " << name_ << " shutting down (grace "
             << ToMillis(grace) << " ms)";
+  detector_.reset();
   events_->Fire(monitor::Event{monitor::EventKind::kCoreShutdown, id_, {},
                                {}, 0.0});
   // Let shutdown listeners evacuate complets while we still serve moves.

@@ -23,6 +23,7 @@
 #include "src/core/naming.h"
 #include "src/core/ref.h"
 #include "src/core/repository.h"
+#include "src/core/retry.h"
 #include "src/core/tracker.h"
 #include "src/monitor/events.h"
 #include "src/net/network.h"
@@ -30,6 +31,8 @@
 #include "src/sim/scheduler.h"
 
 namespace fargo::core {
+
+class FailureDetector;
 
 /// Outcome of one routed invocation, including tracking telemetry.
 struct InvokeResult {
@@ -229,6 +232,54 @@ class Core {
   SimTime rpc_timeout() const { return rpc_timeout_; }
   SimTime start_time() const { return start_time_; }
 
+  // -- at-most-once RPC (retry + dedup) ---------------------------------------
+
+  /// Retry schedule used by SendAndAwait and the invocation unit for
+  /// retry-safe failures (timeouts, transport-flagged errors). Retries
+  /// reuse the original correlation so executors can deduplicate.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Retries performed by this Core so far (telemetry).
+  std::uint64_t rpc_retries() const { return rpc_retries_; }
+
+  /// Executor-side request dedup cache (duplicated/retried requests).
+  DedupCache& dedup() { return dedup_; }
+  void SetDedupTtl(SimTime ttl) { dedup_.SetTtl(ttl); }
+
+  /// Admits a request keyed (origin, correlation) for execution. Returns
+  /// false for duplicates: in-progress ones are silently suppressed,
+  /// already-answered ones are re-answered from the cached reply.
+  bool AdmitOnce(CoreId origin, std::uint64_t correlation);
+
+  /// How long parked requests wait for an in-transit complet before being
+  /// failed with a transport error. 0 (default) means rpc_timeout()/2 —
+  /// shorter than any origin's patience, so a parked request can never
+  /// execute after its origin gave up and retried elsewhere (that would
+  /// break at-most-once; see docs/PROTOCOL.md "Failure semantics").
+  void SetParkExpiry(SimTime t) { park_expiry_ = t; }
+  SimTime park_expiry() const {
+    return park_expiry_ > 0 ? park_expiry_ : rpc_timeout_ / 2;
+  }
+
+  // -- failure detection ------------------------------------------------------
+
+  /// Starts (or reconfigures) the heartbeat failure detector: every
+  /// `interval` this Core pings the peers it depends on; `k_missed`
+  /// consecutive unanswered pings fire kCoreUnreachable (kCoreRecovered on
+  /// return). Returns the detector for Watch()/telemetry.
+  FailureDetector& EnableHeartbeat(SimTime interval = Millis(500),
+                                   int k_missed = 3);
+  /// Stops and discards the detector (no leaked timers).
+  void DisableHeartbeat();
+  FailureDetector* failure_detector() { return detector_.get(); }
+
+  /// Peers this Core holds remote event subscriptions at (heartbeat peer
+  /// discovery), deduplicated and sorted.
+  std::vector<CoreId> RemoteSubscriptionPeers() const;
+
+  /// Sends a heartbeat ping (kControl subkind) to `peer`.
+  void SendHeartbeatPing(CoreId peer);
+
  private:
   friend class InvocationUnit;
   friend class MovementUnit;
@@ -261,6 +312,11 @@ class Core {
   std::uint64_t next_comlet_seq_ = 0;
   std::uint64_t next_correlation_ = 0;
   SimTime rpc_timeout_ = Seconds(30);
+  SimTime park_expiry_ = 0;  ///< 0 = derive from rpc_timeout_
+  RetryPolicy retry_policy_;
+  DedupCache dedup_;
+  std::uint64_t rpc_retries_ = 0;
+  std::unique_ptr<FailureDetector> detector_;
 
   std::unordered_map<std::uint64_t, PendingReply> pending_replies_;
   std::unordered_map<ComletId, std::vector<net::Message>> parked_;
@@ -288,6 +344,7 @@ class Core {
     CoreId where;
     monitor::SubId remote_id = 0;
     monitor::Listener listener;  ///< local callback (remote subscriptions)
+    std::uint64_t last_seq = 0;  ///< highest notify seq seen (dup filter)
   };
   std::unordered_map<monitor::SubId, RemoteSub> remote_subs_;
   monitor::SubId next_token_ = 1;

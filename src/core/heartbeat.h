@@ -1,0 +1,78 @@
+// Heartbeat failure detector: extends the paper's reliability story from
+// graceful shutdown (coreShutdown events) to silent crashes.
+//
+// Each enabled Core periodically pings the peers it depends on — Cores its
+// tracker chains forward into, Cores it holds remote event subscriptions
+// at, plus any explicitly watched peers. A ping is a kControl message
+// (subkind Ping) answered by Pong; after `k_missed` consecutive unanswered
+// pings the peer is suspected and a CoreUnreachable lifecycle event fires
+// on the local EventBus (CoreRecovered when a pong returns), so script
+// rules like `on coreUnreachable ... do move important backup end` can
+// re-home complets off dead Cores.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/core/fwd.h"
+#include "src/sim/scheduler.h"
+
+namespace fargo::core {
+
+class FailureDetector {
+ public:
+  FailureDetector(Core& core, SimTime interval, int k_missed);
+  ~FailureDetector();
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// Cancels the periodic ping; safe to call repeatedly. After Stop no
+  /// further events fire and no timers remain scheduled by this detector.
+  void Stop();
+  bool running() const;
+
+  /// Adds/removes a peer monitored regardless of trackers/subscriptions.
+  void Watch(CoreId peer);
+  void Unwatch(CoreId peer);
+
+  /// Pong arrived from `peer` (called by the Core's control dispatch).
+  void OnPong(CoreId peer);
+
+  bool IsSuspected(CoreId peer) const;
+
+  SimTime interval() const { return interval_; }
+  int k_missed() const { return k_missed_; }
+  std::uint64_t pings_sent() const { return pings_sent_; }
+  std::uint64_t suspicions() const { return suspicions_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  struct PeerState {
+    int missed = 0;        ///< consecutive unanswered pings
+    bool awaiting = false; ///< a ping is outstanding
+    bool suspected = false;
+  };
+
+  void Tick();
+  /// Peers this Core depends on, sorted (std::set) for deterministic ping
+  /// order under the shared seeded scheduler.
+  std::set<CoreId> PeerSet() const;
+  void Suspect(CoreId peer, PeerState& state);
+  void Recover(CoreId peer, PeerState& state);
+
+  Core& core_;
+  SimTime interval_;
+  int k_missed_;
+  std::set<CoreId> watched_;
+  std::map<CoreId, PeerState> peers_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t suspicions_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace fargo::core

@@ -1,5 +1,7 @@
 #include "src/core/invocation.h"
 
+#include <algorithm>
+
 #include "src/common/log.h"
 #include "src/core/wire.h"
 #include "src/serial/value_codec.h"
@@ -132,26 +134,65 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
     }
   }
 
-  // Remote: forward along the tracker chain and await the reply.
+  // Remote: forward along the tracker chain and await the reply. On a
+  // retry-safe failure (timeout, or a transport-flagged error reply — both
+  // mean the method never executed) the request is resent with the SAME
+  // correlation, so any executor that does see both copies recognizes the
+  // duplicate and answers from its dedup cache instead of re-executing.
+  const RetryPolicy& policy = core_.retry_policy();
+  const int max_attempts = std::max(1, policy.max_attempts);
   const std::uint64_t corr = core_.NextCorrelation();
   waiters_.try_emplace(corr);
-  Request rq{handle, std::string(method), args, core_.id(), {}};
-  // Route by our tracker's knowledge, not the stub's stale hint, so the
-  // next hop parks rather than bouncing the request back at us.
-  rq.handle.last_known = entry->next;
-  ++entry->forwarded;
 
-  net::Message msg;
-  msg.from = core_.id();
-  msg.to = entry->next;
-  msg.kind = net::MessageKind::kInvokeRequest;
-  msg.correlation = corr;
-  msg.payload = EncodeRequest(rq);
-  core_.network().Send(std::move(msg));
+  Waiter result;
+  bool done = false;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++core_.rpc_retries_;
+      waiters_[corr] = Waiter{};  // clear any stale reply state
+      // Re-resolve the route: the target may have moved between attempts —
+      // possibly to this very Core, in which case the retry loops back
+      // through our own dedup-checked handler rather than re-dispatching
+      // locally (an earlier attempt may already have executed elsewhere).
+      entry = core_.trackers().Find(handle.id);
+      if (entry == nullptr) entry = &core_.trackers().Ensure(handle);
+    }
+    const CoreId next = (!entry->is_local() && entry->next.valid() &&
+                         entry->next != core_.id())
+                            ? entry->next
+                            : core_.id();
+    Request rq{handle, std::string(method), args, core_.id(), {}};
+    // Route by our tracker's knowledge, not the stub's stale hint, so the
+    // next hop parks rather than bouncing the request back at us.
+    rq.handle.last_known = next;
+    if (next != core_.id()) ++entry->forwarded;
 
-  const SimTime deadline = sched.Now() + core_.rpc_timeout();
-  bool done = sched.RunUntilOr([&] { return waiters_[corr].done; }, deadline);
-  Waiter result = std::move(waiters_[corr]);
+    net::Message msg;
+    msg.from = core_.id();
+    msg.to = next;
+    msg.kind = net::MessageKind::kInvokeRequest;
+    msg.correlation = corr;
+    msg.payload = EncodeRequest(rq);
+    core_.network().Send(std::move(msg));
+
+    done = sched.RunUntilOr([&] { return waiters_[corr].done; },
+                            sched.Now() + core_.rpc_timeout());
+    if (!done && attempt < max_attempts) {
+      // Keep listening through the backoff window: a late reply to this
+      // attempt is just as good as a reply to the next one.
+      done = sched.RunUntilOr([&] { return waiters_[corr].done; },
+                              sched.Now() +
+                                  policy.BackoffAfter(attempt, corr));
+    }
+    if (!done) continue;  // timed out; next attempt resends
+    result = std::move(waiters_[corr]);
+    if (result.ok || !result.transport_failure) break;
+    if (attempt == max_attempts) break;
+    // Transport-flagged error: never executed, retry after backoff.
+    done = false;
+    sched.RunUntilOr([] { return false; },
+                     sched.Now() + policy.BackoffAfter(attempt, corr));
+  }
   waiters_.erase(corr);
   if (!done)
     throw UnreachableError("invocation of " + std::string(method) + " on " +
@@ -178,9 +219,21 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
 
 void InvocationUnit::HandleRequest(net::Message msg) {
   Request rq = DecodeRequest(msg.payload);
+
+  // At-most-once: if this Core already executed this request (keyed by the
+  // origin Core and the correlation, which retries reuse), answer from the
+  // cached reply. Checked before routing, not just before execution — a Core
+  // that executed the request and then moved the target away must replay,
+  // not forward the retry to be executed a second time at the new host.
+  if (auto cached = core_.dedup().Lookup(rq.origin, msg.correlation)) {
+    core_.Reply(rq.origin, cached->kind, msg.correlation, *cached->payload);
+    return;
+  }
+
   TrackerEntry& entry = core_.trackers().Ensure(rq.handle);
 
   if (entry.is_local()) {
+    if (!core_.AdmitOnce(rq.origin, msg.correlation)) return;
     ExecuteAndReply(msg, rq.handle, rq.method, rq.args, rq.origin,
                     msg.correlation, rq.path);
     return;
@@ -267,6 +320,7 @@ void InvocationUnit::HandleReply(net::Message msg) {
     return;
   }
   Waiter& waiter = it->second;
+  if (waiter.done) return;  // duplicate reply (chaos or late retry answer)
   serial::Reader r(msg.payload);
   waiter.ok = r.ReadBool();
   if (!waiter.ok) {

@@ -24,6 +24,12 @@ class InvocationUnit {
   /// chain, blocks for the reply, and repoints this Core's tracker to the
   /// target's answered location (chain shortening, §3.1).
   ///
+  /// When the Core's RetryPolicy allows more than one attempt, retry-safe
+  /// failures (timeouts and transport-flagged error replies, both of which
+  /// mean the method never executed) are retried with exponential backoff.
+  /// Retries reuse the original correlation, and executors dedup on
+  /// (origin, correlation), so a method runs at most once per Invoke call.
+  ///
   /// On a transport failure (severed chain, dead Core) with the home
   /// registry enabled, the target's home is consulted and the invocation
   /// retried once along the fresh route — safe because UnreachableError

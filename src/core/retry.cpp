@@ -1,0 +1,94 @@
+#include "src/core/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fargo::core {
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SimTime RetryPolicy::BackoffAfter(int failed_attempt,
+                                  std::uint64_t salt) const {
+  if (failed_attempt < 1) failed_attempt = 1;
+  double base = static_cast<double>(initial_backoff);
+  for (int i = 1; i < failed_attempt; ++i) {
+    base *= multiplier;
+    if (base >= static_cast<double>(max_backoff)) break;
+  }
+  base = std::min(base, static_cast<double>(max_backoff));
+  if (jitter > 0.0) {
+    const std::uint64_t draw =
+        Mix(seed ^ Mix(salt) ^ static_cast<std::uint64_t>(failed_attempt));
+    // unit in [0, 1) -> factor in [1 - jitter, 1 + jitter)
+    const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    base *= 1.0 + jitter * (2.0 * unit - 1.0);
+  }
+  return std::max<SimTime>(0, static_cast<SimTime>(std::llround(base)));
+}
+
+DedupCache::BeginResult DedupCache::Begin(CoreId origin,
+                                          std::uint64_t correlation,
+                                          SimTime now) {
+  EvictExpired(now);
+  auto [it, inserted] = entries_.try_emplace(Key{origin, correlation});
+  BeginResult result;
+  if (inserted) return result;
+  if (!it->second.done) {
+    result.outcome = Outcome::kInProgress;
+    ++suppressed_;
+    return result;
+  }
+  result.outcome = Outcome::kReplay;
+  result.reply_kind = it->second.reply_kind;
+  result.reply = &it->second.reply;
+  ++replays_;
+  return result;
+}
+
+std::optional<DedupCache::CachedReply> DedupCache::Lookup(
+    CoreId origin, std::uint64_t correlation) {
+  auto it = entries_.find(Key{origin, correlation});
+  if (it == entries_.end() || !it->second.done) return std::nullopt;
+  ++replays_;
+  return CachedReply{it->second.reply_kind, &it->second.reply};
+}
+
+void DedupCache::Complete(CoreId origin, std::uint64_t correlation,
+                          net::MessageKind reply_kind,
+                          const std::vector<std::uint8_t>& payload,
+                          SimTime now) {
+  auto it = entries_.find(Key{origin, correlation});
+  if (it == entries_.end() || it->second.done) return;
+  it->second.done = true;
+  it->second.reply_kind = reply_kind;
+  it->second.reply = payload;
+  it->second.completed_at = now;
+  completion_order_.push_back(it->first);
+}
+
+void DedupCache::EvictExpired(SimTime now) {
+  while (!completion_order_.empty()) {
+    // Done entries are immutable, so the front of the deque is always the
+    // oldest completion still cached.
+    auto it = entries_.find(completion_order_.front());
+    if (it == entries_.end()) {
+      completion_order_.pop_front();
+      continue;
+    }
+    if (now - it->second.completed_at < ttl_) return;
+    entries_.erase(it);
+    completion_order_.pop_front();
+  }
+}
+
+}  // namespace fargo::core

@@ -1,10 +1,18 @@
 #include "src/core/runtime.h"
 
+#include "src/core/core.h"
 #include "src/core/relocator.h"
 
 namespace fargo::core {
 
-Runtime::Runtime() : network_(scheduler_) { RegisterBuiltinRelocators(); }
+Runtime::Runtime() : network_(scheduler_) {
+  RegisterBuiltinRelocators();
+  // Scheduled chaos crashes (FaultPlan::crashes) take down the whole Core,
+  // not just its network registration.
+  network_.SetCrashHandler([this](CoreId id) {
+    if (Core* core = Find(id)) core->Crash();
+  });
+}
 
 Runtime::~Runtime() {
   // Pending events may hold complet references (periodic tasks, parked

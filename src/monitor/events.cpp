@@ -17,6 +17,10 @@ const char* ToString(EventKind kind) {
       return "shutdown";
     case EventKind::kThreshold:
       return "threshold";
+    case EventKind::kCoreUnreachable:
+      return "coreUnreachable";
+    case EventKind::kCoreRecovered:
+      return "coreRecovered";
   }
   return "?";
 }
@@ -30,6 +34,10 @@ EventKind ParseEventKind(const std::string& name) {
     return EventKind::kComletDeparted;
   if (name == "shutdown" || name == "coreShutdown")
     return EventKind::kCoreShutdown;
+  if (name == "coreUnreachable" || name == "unreachable")
+    return EventKind::kCoreUnreachable;
+  if (name == "coreRecovered" || name == "recovered")
+    return EventKind::kCoreRecovered;
   throw FargoError("unknown event kind: " + name);
 }
 
@@ -41,6 +49,7 @@ Value EventToValue(const Event& e) {
   m["comlet_seq"] = Value(static_cast<std::int64_t>(e.comlet.seq));
   m["service"] = Value(static_cast<std::int64_t>(e.probe.service));
   m["value"] = Value(e.value);
+  m["peer"] = Value(static_cast<std::int64_t>(e.peer.value));
   return Value(std::move(m));
 }
 
@@ -54,6 +63,8 @@ Event EventFromValue(const Value& v) {
   e.comlet.seq = static_cast<std::uint64_t>(m.at("comlet_seq").AsInt());
   e.probe.service = static_cast<Service>(m.at("service").AsInt());
   e.value = m.at("value").AsReal();
+  if (auto it = m.find("peer"); it != m.end())
+    e.peer = CoreId{static_cast<std::uint32_t>(it->second.AsInt())};
   return e;
 }
 
@@ -84,6 +95,7 @@ void WriteEventWire(serial::Writer& w, const Event& e) {
   w.WriteVarint(e.comlet.seq);
   WriteProbeWire(w, e.probe);
   w.WriteDouble(e.value);
+  w.WriteVarint(e.peer.value);
 }
 
 Event ReadEventWire(serial::Reader& r) {
@@ -94,6 +106,7 @@ Event ReadEventWire(serial::Reader& r) {
   e.comlet.seq = r.ReadVarint();
   e.probe = ReadProbeWire(r);
   e.value = r.ReadDouble();
+  e.peer.value = static_cast<std::uint32_t>(r.ReadVarint());
   return e;
 }
 

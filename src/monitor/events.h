@@ -33,11 +33,14 @@ enum class EventKind : std::uint8_t {
   kComletDeparted = 1,
   kCoreShutdown = 2,
   kThreshold = 3,
+  kCoreUnreachable = 4,  ///< failure detector: peer missed K heartbeats
+  kCoreRecovered = 5,    ///< failure detector: suspected peer answered again
 };
 
 const char* ToString(EventKind kind);
 /// Parses script-facing names: "completArrived", "completDeparted",
-/// "shutdown". Throws FargoError on unknown names.
+/// "shutdown", "coreUnreachable", "coreRecovered". Throws FargoError on
+/// unknown names.
 EventKind ParseEventKind(const std::string& name);
 
 /// Fire-when-value-crosses direction for threshold events.
@@ -49,6 +52,7 @@ struct Event {
   ComletId comlet{};   ///< subject (arrived/departed)
   ProbeKey probe{};    ///< threshold events: what was measured
   double value = 0;    ///< threshold events: the measured value
+  CoreId peer{};       ///< failure-detector events: the suspected Core
 };
 
 /// Encodes an event as a Value map (for delivery to complet listener

@@ -1,0 +1,83 @@
+#include "src/net/chaos.h"
+
+#include <cmath>
+
+namespace fargo::net {
+
+namespace {
+
+// splitmix64: portable across standard libraries, unlike the distributions
+// in <random> — the chaos soak compares traces across gcc/clang builds.
+std::uint64_t NextState(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* ToString(DropReason reason) {
+  switch (reason) {
+    case DropReason::kLinkDown:
+      return "link-down";
+    case DropReason::kUnregistered:
+      return "unregistered";
+    case DropReason::kChaos:
+      return "chaos";
+  }
+  return "?";
+}
+
+double ChaosEngine::Armed::NextUnit() {
+  // 53 uniform bits -> [0, 1), exactly representable.
+  return static_cast<double>(NextState(state) >> 11) * 0x1.0p-53;
+}
+
+void ChaosEngine::Arm(const FaultPlan& plan) {
+  global_ = Armed{plan, plan.seed};
+}
+
+void ChaosEngine::ArmLink(CoreId from, CoreId to, const FaultPlan& plan) {
+  links_[LinkKey(from, to)] = Armed{plan, plan.seed};
+}
+
+void ChaosEngine::Disarm() {
+  global_.reset();
+  links_.clear();
+}
+
+ChaosEngine::Armed* ChaosEngine::PlanFor(CoreId from, CoreId to) {
+  if (auto it = links_.find(LinkKey(from, to)); it != links_.end())
+    return &it->second;
+  return global_ ? &*global_ : nullptr;
+}
+
+ChaosEngine::Verdict ChaosEngine::Decide(CoreId from, CoreId to) {
+  Verdict v;
+  Armed* armed = PlanFor(from, to);
+  if (armed == nullptr || !armed->plan.probabilistic()) return v;
+  const FaultPlan& plan = armed->plan;
+  if (plan.drop > 0.0 && armed->NextUnit() < plan.drop) {
+    v.drop = true;
+    ++stats_.drops;
+    return v;
+  }
+  if (plan.duplicate > 0.0 && armed->NextUnit() < plan.duplicate) {
+    v.copies = 2;
+    ++stats_.duplicates;
+  }
+  if (plan.reorder > 0.0 && plan.reorder_jitter > 0) {
+    for (int i = 0; i < v.copies; ++i) {
+      if (armed->NextUnit() < plan.reorder) {
+        v.extra[i] = static_cast<SimTime>(std::llround(
+            armed->NextUnit() * static_cast<double>(plan.reorder_jitter)));
+        ++stats_.reorders;
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace fargo::net

@@ -1,0 +1,110 @@
+// Chaos engine: seeded, deterministic fault injection for the simulated WAN.
+//
+// The paper's motivating environment is a hostile, changing wide-area
+// network; the seed network could only flip links up/down by hand. A
+// FaultPlan — armed globally or per directed link — injects probabilistic
+// message drop, duplication and reordering (bounded extra-latency jitter),
+// plus *scheduled* link flaps and Core crashes. All randomness comes from a
+// per-plan splitmix64 stream drawn in Send() order, so two runs with the
+// same seed produce byte-identical schedules (the tests rely on this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace fargo::net {
+
+/// Why the fabric discarded a message (per-reason drop telemetry).
+enum class DropReason : std::uint8_t {
+  kLinkDown = 0,      ///< directed link was administratively/flap down
+  kUnregistered = 1,  ///< destination Core not registered at arrival
+  kChaos = 2,         ///< armed FaultPlan chose to drop it
+};
+
+const char* ToString(DropReason reason);
+inline constexpr int kDropReasonCount = 3;
+
+/// A deterministic fault-injection plan. Probabilities are in [0, 1] and
+/// evaluated independently per message; scheduled faults fire once at
+/// absolute sim times when the plan is armed on a Network.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double drop = 0.0;       ///< P(message silently discarded)
+  double duplicate = 0.0;  ///< P(message delivered twice)
+  double reorder = 0.0;    ///< P(copy charged extra latency jitter)
+  SimTime reorder_jitter = Millis(20);  ///< max extra latency per reorder
+
+  struct LinkFlap {
+    CoreId a;
+    CoreId b;
+    SimTime down_at = 0;  ///< absolute sim time the link goes down
+    SimTime up_at = 0;    ///< absolute sim time it comes back (0 = never)
+  };
+  struct CoreCrash {
+    CoreId core;
+    SimTime at = 0;  ///< absolute sim time of the crash
+  };
+  std::vector<LinkFlap> flaps;
+  std::vector<CoreCrash> crashes;
+
+  bool probabilistic() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
+};
+
+struct FaultStats {
+  std::uint64_t drops = 0;       ///< messages discarded by chaos
+  std::uint64_t duplicates = 0;  ///< extra copies injected
+  std::uint64_t reorders = 0;    ///< copies charged extra jitter
+};
+
+/// Pure per-message fate decider. The Network owns one and consults it in
+/// Send(); flap/crash scheduling lives in the Network (it needs the
+/// scheduler). Link-specific plans take precedence over the global plan.
+class ChaosEngine {
+ public:
+  struct Verdict {
+    bool drop = false;
+    int copies = 1;           ///< 1 or 2 (duplication)
+    SimTime extra[2] = {0, 0};  ///< per-copy reorder jitter
+  };
+
+  void Arm(const FaultPlan& plan);
+  void ArmLink(CoreId from, CoreId to, const FaultPlan& plan);
+  void Disarm();
+  bool armed() const { return global_.has_value() || !links_.empty(); }
+  const FaultPlan* global_plan() const {
+    return global_ ? &global_->plan : nullptr;
+  }
+
+  /// Draws the fate of one message on the directed link `from -> to`.
+  /// Deterministic: consumes the armed plan's random stream in call order.
+  Verdict Decide(CoreId from, CoreId to);
+
+  const FaultStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FaultStats{}; }
+
+ private:
+  struct Armed {
+    FaultPlan plan;
+    std::uint64_t state = 0;  ///< splitmix64 stream state
+    double NextUnit();        ///< next draw in [0, 1)
+  };
+
+  static std::uint64_t LinkKey(CoreId from, CoreId to) {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  }
+  Armed* PlanFor(CoreId from, CoreId to);
+
+  std::optional<Armed> global_;
+  std::unordered_map<std::uint64_t, Armed> links_;
+  FaultStats stats_;
+};
+
+}  // namespace fargo::net

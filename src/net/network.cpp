@@ -1,5 +1,6 @@
 #include "src/net/network.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/log.h"
@@ -34,6 +35,8 @@ const char* ToString(MessageKind kind) {
       return "NewReply";
     case MessageKind::kControl:
       return "Control";
+    case MessageKind::kControlReply:
+      return "ControlReply";
   }
   return "?";
 }
@@ -66,48 +69,95 @@ void Network::SetPartitioned(CoreId a, CoreId b, bool partitioned) {
   SetLink(a, b, m);
 }
 
+void Network::CountDrop(const Message& msg, DropReason reason) {
+  ++dropped_by_[static_cast<int>(reason)];
+  if (msg.from != msg.to) ++stats_[Key(msg.from, msg.to)].dropped;
+  LogDebug() << "drop " << ToString(msg.kind) << " " << ToString(msg.from)
+             << " -> " << ToString(msg.to) << " (" << ToString(reason) << ")";
+}
+
+void Network::Deliver(Message msg) {
+  auto it = handlers_.find(msg.to);
+  if (it == handlers_.end()) {
+    CountDrop(msg, DropReason::kUnregistered);
+    return;
+  }
+  it->second(std::move(msg));
+}
+
 void Network::Send(Message msg) {
   if (tap_) tap_(msg);
   if (msg.from == msg.to) {
-    // Intra-Core loopback: free and excluded from link statistics.
+    // Intra-Core loopback: free, excluded from link statistics, and immune
+    // to chaos (a Core always reaches itself).
     sched_.ScheduleAfter(0, [this, msg = std::move(msg)]() mutable {
-      auto it = handlers_.find(msg.to);
-      if (it == handlers_.end()) {
-        ++dropped_;
-        return;
-      }
-      it->second(std::move(msg));
+      Deliver(std::move(msg));
     });
     return;
   }
   const LinkModel link = GetLink(msg.from, msg.to);
   if (!link.up) {
-    ++dropped_;
-    LogDebug() << "drop " << ToString(msg.kind) << " " << ToString(msg.from)
-               << " -> " << ToString(msg.to) << " (link down)";
+    CountDrop(msg, DropReason::kLinkDown);
+    return;
+  }
+  ChaosEngine::Verdict fate = chaos_.Decide(msg.from, msg.to);
+  if (fate.drop) {
+    CountDrop(msg, DropReason::kChaos);
     return;
   }
   const std::size_t wire_bytes = msg.size() + header_bytes_;
-  LinkStats& s = stats_[Key(msg.from, msg.to)];
-  s.messages += 1;
-  s.bytes += wire_bytes;
-  total_.messages += 1;
-  total_.bytes += wire_bytes;
-
   const SimTime transfer = static_cast<SimTime>(
       std::llround(static_cast<double>(wire_bytes) / link.bytes_per_sec * 1e9));
-  const SimTime arrival_delay = link.latency + transfer;
+  const PairKey key = Key(msg.from, msg.to);
 
-  sched_.ScheduleAfter(arrival_delay, [this, msg = std::move(msg)]() mutable {
-    auto it = handlers_.find(msg.to);
-    if (it == handlers_.end()) {
-      ++dropped_;
-      LogDebug() << "drop " << ToString(msg.kind) << " to unregistered "
-                 << ToString(msg.to);
-      return;
+  // Each copy (normally one; two under duplication) is charged the full
+  // link cost plus its own reorder jitter.
+  for (int i = 0; i < fate.copies; ++i) {
+    LinkStats& s = stats_[key];
+    s.messages += 1;
+    s.bytes += wire_bytes;
+    total_.messages += 1;
+    total_.bytes += wire_bytes;
+    const SimTime arrival_delay = link.latency + transfer + fate.extra[i];
+    Message copy = (i + 1 < fate.copies) ? msg : std::move(msg);
+    sched_.ScheduleAfter(arrival_delay,
+                         [this, m = std::move(copy)]() mutable {
+                           Deliver(std::move(m));
+                         });
+  }
+}
+
+void Network::SetFaultPlan(const FaultPlan& plan) {
+  chaos_.Arm(plan);
+  for (const FaultPlan::LinkFlap& flap : plan.flaps) {
+    sched_.ScheduleAt(flap.down_at, [this, flap] {
+      SetPartitioned(flap.a, flap.b, true);
+    });
+    if (flap.up_at > flap.down_at) {
+      sched_.ScheduleAt(flap.up_at, [this, flap] {
+        SetPartitioned(flap.a, flap.b, false);
+      });
     }
-    it->second(std::move(msg));
-  });
+  }
+  for (const FaultPlan::CoreCrash& crash : plan.crashes) {
+    sched_.ScheduleAt(crash.at, [this, core = crash.core] {
+      if (crash_handler_) {
+        crash_handler_(core);
+      } else {
+        Unregister(core);
+      }
+    });
+  }
+}
+
+void Network::SetLinkFaultPlan(CoreId from, CoreId to, const FaultPlan& plan) {
+  chaos_.ArmLink(from, to, plan);
+}
+
+std::uint64_t Network::dropped() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t n : dropped_by_) sum += n;
+  return sum;
 }
 
 LinkStats Network::StatsBetween(CoreId from, CoreId to) const {
@@ -116,10 +166,26 @@ LinkStats Network::StatsBetween(CoreId from, CoreId to) const {
   return LinkStats{};
 }
 
+std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>>
+Network::AllLinkStats() const {
+  std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>> out;
+  out.reserve(stats_.size());
+  for (const auto& [key, stats] : stats_) {
+    CoreId from{static_cast<std::uint32_t>(key >> 32)};
+    CoreId to{static_cast<std::uint32_t>(key & 0xffffffffu)};
+    out.emplace_back(std::make_pair(from, to), stats);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  return out;
+}
+
 void Network::ResetStats() {
   stats_.clear();
   total_ = LinkStats{};
-  dropped_ = 0;
+  for (std::uint64_t& n : dropped_by_) n = 0;
+  chaos_.ResetStats();
 }
 
 }  // namespace fargo::net

@@ -17,6 +17,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/time.h"
+#include "src/net/chaos.h"
 #include "src/sim/scheduler.h"
 
 namespace fargo::net {
@@ -37,6 +38,7 @@ enum class MessageKind : std::uint8_t {
   kNewRequest = 10,     ///< remote complet instantiation
   kNewReply = 11,
   kControl = 12,
+  kControlReply = 13,   ///< answer to a control/event-register request
 };
 
 const char* ToString(MessageKind kind);
@@ -62,6 +64,7 @@ struct LinkModel {
 struct LinkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;  ///< any reason (link down, chaos, arrival)
 };
 
 /// The deterministic message fabric. Cores register a handler; Send()
@@ -103,11 +106,45 @@ class Network {
   using Tap = std::function<void(const Message&)>;
   void SetTap(Tap tap) { tap_ = std::move(tap); }
 
+  // -- fault injection -------------------------------------------------------
+  /// Arms `plan` for every directed link and schedules its flaps/crashes.
+  /// Scheduled crashes call the crash handler (Runtime installs one that
+  /// invokes Core::Crash); without a handler the Core is just detached.
+  void SetFaultPlan(const FaultPlan& plan);
+  /// Arms `plan` for one directed link only (probabilistic faults; the
+  /// plan's scheduled flaps/crashes are ignored here).
+  void SetLinkFaultPlan(CoreId from, CoreId to, const FaultPlan& plan);
+  /// Disarms all probabilistic fault plans. Already-scheduled flaps and
+  /// crashes still fire.
+  void ClearFaults() { chaos_.Disarm(); }
+  ChaosEngine& chaos() { return chaos_; }
+  void SetCrashHandler(std::function<void(CoreId)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+
   // -- telemetry -------------------------------------------------------------
   LinkStats StatsBetween(CoreId from, CoreId to) const;
   std::uint64_t total_messages() const { return total_.messages; }
   std::uint64_t total_bytes() const { return total_.bytes; }
-  std::uint64_t dropped() const { return dropped_; }
+  /// Total drops, all reasons (sum of the per-reason counters).
+  std::uint64_t dropped() const;
+  std::uint64_t dropped_by(DropReason reason) const {
+    return dropped_by_[static_cast<int>(reason)];
+  }
+  std::uint64_t dropped_link_down() const {
+    return dropped_by(DropReason::kLinkDown);
+  }
+  std::uint64_t dropped_unregistered() const {
+    return dropped_by(DropReason::kUnregistered);
+  }
+  std::uint64_t dropped_chaos() const {
+    return dropped_by(DropReason::kChaos);
+  }
+  std::uint64_t duplicates() const { return chaos_.stats().duplicates; }
+  std::uint64_t reorders() const { return chaos_.stats().reorders; }
+  /// Per-directed-pair stats, sorted by (from, to) for deterministic output.
+  std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>> AllLinkStats()
+      const;
   void ResetStats();
 
   sim::Scheduler& scheduler() { return sched_; }
@@ -118,15 +155,20 @@ class Network {
     return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
   }
 
+  void Deliver(Message msg);
+  void CountDrop(const Message& msg, DropReason reason);
+
   sim::Scheduler& sched_;
   std::unordered_map<CoreId, Handler> handlers_;
   std::unordered_map<PairKey, LinkModel> links_;
   std::unordered_map<PairKey, LinkStats> stats_;
   LinkModel default_link_;
   LinkStats total_;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_by_[kDropReasonCount] = {0, 0, 0};
   std::size_t header_bytes_ = 64;
   Tap tap_;
+  ChaosEngine chaos_;
+  std::function<void(CoreId)> crash_handler_;
 };
 
 }  // namespace fargo::net

@@ -240,13 +240,17 @@ void Engine::AttachRule(const Rule& rule_in) {
                                     alive = alive_](const monitor::Event& e) {
         if (!*alive) return;
         Env fire_env;
+        // Failure-detector events name the *suspected* Core in e.peer; for
+        // those, "fired by" means the peer, not the detecting Core.
         if (!rule->firedby_var.empty())
-          fire_env.local[rule->firedby_var] =
-              Value(static_cast<std::int64_t>(e.source.value));
+          fire_env.local[rule->firedby_var] = Value(static_cast<std::int64_t>(
+              e.peer.valid() ? e.peer.value : e.source.value));
         if (e.comlet.valid())
           fire_env.local["comlet"] =
               Value(ComletHandle{e.comlet, e.source, std::string()});
         fire_env.local["value"] = Value(e.value);
+        fire_env.local["peer"] =
+            Value(static_cast<std::int64_t>(e.peer.value));
         ExecuteBody(*rule, std::move(fire_env));
       };
       attached.tokens.push_back(admin_.ListenAt(where, kind, listener));

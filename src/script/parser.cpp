@@ -11,6 +11,7 @@ namespace {
 const std::unordered_set<std::string> kLifecycleEvents = {
     "shutdown",        "coreShutdown",    "completArrived",
     "comletArrived",   "completDeparted", "comletDeparted",
+    "coreUnreachable", "coreRecovered",
 };
 
 class Parser {

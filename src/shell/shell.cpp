@@ -109,6 +109,14 @@ bool Shell::Execute(const std::string& line) {
       CmdGc(args);
     } else if (cmd == "link") {
       CmdLink(args);
+    } else if (cmd == "net") {
+      CmdNet();
+    } else if (cmd == "chaos") {
+      CmdChaos(args);
+    } else if (cmd == "crash") {
+      CmdCrash(args);
+    } else if (cmd == "heartbeat") {
+      CmdHeartbeat(args);
     } else if (cmd == "shutdown") {
       CmdShutdown(args);
     } else if (cmd == "snapshot") {
@@ -138,7 +146,8 @@ void Shell::RunInteractive(std::istream& in, bool prompt) {
 
 void Shell::CmdHelp() {
   out_ << "commands: help cores ls names methods move reftype setref profile "
-          "invoke gc link shutdown snapshot script quit\n";
+          "invoke gc link net chaos crash heartbeat shutdown snapshot script "
+          "quit\n";
 }
 
 void Shell::CmdCores() {
@@ -304,6 +313,76 @@ void Shell::CmdLink(const std::vector<std::string>& args) {
   runtime_.network().SetLink(a->id(), b->id(), model);
   out_ << "link " << a->name() << " <-> " << b->name() << ": "
        << std::stod(args[2]) << " ms, " << args[3] << " Mbit/s\n";
+}
+
+void Shell::CmdNet() {
+  net::Network& net = runtime_.network();
+  out_ << "messages=" << net.total_messages() << " bytes=" << net.total_bytes()
+       << " dropped=" << net.dropped() << "\n";
+  out_ << "  drops: link_down=" << net.dropped_link_down()
+       << " unregistered=" << net.dropped_unregistered()
+       << " chaos=" << net.dropped_chaos() << "\n";
+  out_ << "  chaos: " << (net.chaos().armed() ? "armed" : "off")
+       << " duplicates=" << net.duplicates() << " reorders=" << net.reorders()
+       << "\n";
+  for (const auto& [link, stats] : net.AllLinkStats()) {
+    core::Core* a = runtime_.Find(link.first);
+    core::Core* b = runtime_.Find(link.second);
+    out_ << "  " << (a ? a->name() : ToString(link.first)) << " -> "
+         << (b ? b->name() : ToString(link.second))
+         << ": messages=" << stats.messages << " bytes=" << stats.bytes
+         << " dropped=" << stats.dropped << "\n";
+  }
+}
+
+void Shell::CmdChaos(const std::vector<std::string>& args) {
+  if (args.size() == 1 && args[0] == "off") {
+    runtime_.network().ClearFaults();
+    out_ << "chaos off\n";
+    return;
+  }
+  if (args.size() < 3)
+    throw FargoError(
+        "usage: chaos <drop> <dup> <reorder> [seed] | chaos off");
+  net::FaultPlan plan;
+  plan.drop = std::stod(args[0]);
+  plan.duplicate = std::stod(args[1]);
+  plan.reorder = std::stod(args[2]);
+  if (args.size() > 3) plan.seed = std::stoull(args[3]);
+  runtime_.network().SetFaultPlan(plan);
+  out_ << "chaos armed: drop=" << plan.drop << " dup=" << plan.duplicate
+       << " reorder=" << plan.reorder << " seed=" << plan.seed << "\n";
+}
+
+void Shell::CmdCrash(const std::vector<std::string>& args) {
+  if (args.empty()) throw FargoError("usage: crash <core>");
+  core::Core* c = ResolveCore(args[0]);
+  if (c == nullptr) throw FargoError("unknown core: " + args[0]);
+  c->Crash();
+  out_ << c->name() << " crashed\n";
+}
+
+void Shell::CmdHeartbeat(const std::vector<std::string>& args) {
+  if (args.empty())
+    throw FargoError(
+        "usage: heartbeat <core> <interval_ms> <missed> | heartbeat <core> "
+        "off");
+  core::Core* c = ResolveCore(args[0]);
+  if (c == nullptr || !c->alive()) throw FargoError("unknown core: " + args[0]);
+  if (args.size() >= 2 && args[1] == "off") {
+    c->DisableHeartbeat();
+    out_ << c->name() << ": heartbeat off\n";
+    return;
+  }
+  if (args.size() < 3)
+    throw FargoError(
+        "usage: heartbeat <core> <interval_ms> <missed> | heartbeat <core> "
+        "off");
+  const SimTime interval = static_cast<SimTime>(std::stod(args[1]) * 1e6);
+  const int missed = std::stoi(args[2]);
+  c->EnableHeartbeat(interval, missed);
+  out_ << c->name() << ": heartbeat every " << std::stod(args[1])
+       << " ms, suspect after " << missed << " misses\n";
 }
 
 void Shell::CmdShutdown(const std::vector<std::string>& args) {

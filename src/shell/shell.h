@@ -15,6 +15,14 @@
 //   invoke <comlet> <method> [args...]
 //   gc [<core>]                   — collect unreferenced trackers
 //   link <coreA> <coreB> <lat_ms> <mbit>   — reshape a network link
+//   net                           — network counters (drops by reason,
+//                                   chaos stats, per-link traffic)
+//   chaos <drop> <dup> <reorder> [seed] | chaos off
+//                                 — arm/disarm global fault injection
+//   crash <core>                  — kill a core abruptly (no shutdown
+//                                   protocol; trackers are left dangling)
+//   heartbeat <core> <interval_ms> <missed> | heartbeat <core> off
+//                                 — start/stop the failure detector
 //   shutdown <core>               — announce shutdown of a core
 //   snapshot                      — render the deployment (text monitor)
 //   script <text...>              — run an inline layout script
@@ -57,6 +65,10 @@ class Shell {
   void CmdInvoke(const std::vector<std::string>& args);
   void CmdGc(const std::vector<std::string>& args);
   void CmdLink(const std::vector<std::string>& args);
+  void CmdNet();
+  void CmdChaos(const std::vector<std::string>& args);
+  void CmdCrash(const std::vector<std::string>& args);
+  void CmdHeartbeat(const std::vector<std::string>& args);
   void CmdShutdown(const std::vector<std::string>& args);
 
   core::Runtime& runtime_;

@@ -24,7 +24,9 @@ void TextMonitor::Attach() {
     for (monitor::EventKind kind :
          {monitor::EventKind::kComletArrived,
           monitor::EventKind::kComletDeparted,
-          monitor::EventKind::kCoreShutdown}) {
+          monitor::EventKind::kCoreShutdown,
+          monitor::EventKind::kCoreUnreachable,
+          monitor::EventKind::kCoreRecovered}) {
       tokens_.push_back(admin_.ListenAt(
           c->id(), kind, [this, alive = alive_](const monitor::Event& e) {
             if (*alive) OnEvent(e);
@@ -55,6 +57,20 @@ void TextMonitor::OnEvent(const monitor::Event& e) {
     case monitor::EventKind::kCoreShutdown:
       out_ << "[monitor] ! core " << where << " shutting down\n";
       break;
+    case monitor::EventKind::kCoreUnreachable: {
+      core::Core* peer = runtime_.Find(e.peer);
+      out_ << "[monitor] ! core "
+           << (peer != nullptr ? peer->name() : ToString(e.peer))
+           << " unreachable (detected by " << where << ")\n";
+      break;
+    }
+    case monitor::EventKind::kCoreRecovered: {
+      core::Core* peer = runtime_.Find(e.peer);
+      out_ << "[monitor] ! core "
+           << (peer != nullptr ? peer->name() : ToString(e.peer))
+           << " recovered (detected by " << where << ")\n";
+      break;
+    }
     case monitor::EventKind::kThreshold:
       out_ << "[monitor] ~ " << ToString(e.probe) << " = " << e.value
            << " at " << where << "\n";

@@ -1,0 +1,229 @@
+// Chaos fault-injection layer: seeded drop/duplicate/reorder, scheduled
+// link flaps and Core crashes, per-reason drop accounting — all of it
+// deterministic for a fixed seed.
+#include "src/net/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/net/network.h"
+#include "src/sim/scheduler.h"
+
+namespace fargo::net {
+namespace {
+
+class ChaosNetworkTest : public ::testing::Test {
+ protected:
+  ChaosNetworkTest() : net(sched) { net.SetHeaderBytes(0); }
+
+  Message Make(CoreId from, CoreId to, std::size_t bytes = 10) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.kind = MessageKind::kControl;
+    m.payload.assign(bytes, 0);
+    return m;
+  }
+
+  sim::Scheduler sched;
+  Network net;
+  CoreId a{1}, b{2}, c{3};
+};
+
+TEST(ChaosEngineTest, UnarmedNeverInterferes) {
+  ChaosEngine chaos;
+  EXPECT_FALSE(chaos.armed());
+  for (int i = 0; i < 100; ++i) {
+    const ChaosEngine::Verdict v = chaos.Decide(CoreId{1}, CoreId{2});
+    EXPECT_FALSE(v.drop);
+    EXPECT_EQ(v.copies, 1);
+    EXPECT_EQ(v.extra[0], 0);
+  }
+  EXPECT_EQ(chaos.stats().drops, 0u);
+}
+
+TEST(ChaosEngineTest, SameSeedSameVerdictStream) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop = 0.2;
+  plan.duplicate = 0.1;
+  plan.reorder = 0.3;
+
+  ChaosEngine x, y;
+  x.Arm(plan);
+  y.Arm(plan);
+  for (int i = 0; i < 500; ++i) {
+    const auto vx = x.Decide(CoreId{1}, CoreId{2});
+    const auto vy = y.Decide(CoreId{1}, CoreId{2});
+    EXPECT_EQ(vx.drop, vy.drop) << "draw " << i;
+    EXPECT_EQ(vx.copies, vy.copies) << "draw " << i;
+    EXPECT_EQ(vx.extra[0], vy.extra[0]) << "draw " << i;
+    EXPECT_EQ(vx.extra[1], vy.extra[1]) << "draw " << i;
+  }
+  EXPECT_EQ(x.stats().drops, y.stats().drops);
+  EXPECT_EQ(x.stats().duplicates, y.stats().duplicates);
+  EXPECT_EQ(x.stats().reorders, y.stats().reorders);
+}
+
+TEST(ChaosEngineTest, DropRateIsRoughlyHonored) {
+  FaultPlan plan;
+  plan.drop = 0.25;
+  ChaosEngine chaos;
+  chaos.Arm(plan);
+  int dropped = 0;
+  for (int i = 0; i < 4000; ++i)
+    if (chaos.Decide(CoreId{1}, CoreId{2}).drop) ++dropped;
+  EXPECT_NEAR(dropped / 4000.0, 0.25, 0.05);
+  EXPECT_EQ(chaos.stats().drops, static_cast<std::uint64_t>(dropped));
+}
+
+TEST(ChaosEngineTest, PerLinkPlanOverridesGlobal) {
+  FaultPlan lossless;  // global default: drop nothing
+  FaultPlan lossy;
+  lossy.drop = 1.0;
+  ChaosEngine chaos;
+  chaos.Arm(lossless);
+  chaos.ArmLink(CoreId{1}, CoreId{2}, lossy);
+  EXPECT_TRUE(chaos.Decide(CoreId{1}, CoreId{2}).drop);
+  EXPECT_FALSE(chaos.Decide(CoreId{2}, CoreId{1}).drop);  // directed
+  EXPECT_FALSE(chaos.Decide(CoreId{1}, CoreId{3}).drop);
+}
+
+TEST_F(ChaosNetworkTest, DropsAreCountedByReason) {
+  net.Register(b, [](Message) {});
+  FaultPlan plan;
+  plan.drop = 1.0;
+  net.SetFaultPlan(plan);
+  net.Send(Make(a, b));
+  sched.RunUntilIdle();
+  EXPECT_EQ(net.dropped_chaos(), 1u);
+  EXPECT_EQ(net.dropped(), 1u);
+
+  net.ClearFaults();
+  net.SetPartitioned(a, b, true);
+  net.Send(Make(a, b));
+  net.Send(Make(a, c));  // nobody listens at c
+  sched.RunUntilIdle();
+  EXPECT_EQ(net.dropped_link_down(), 1u);
+  EXPECT_EQ(net.dropped_unregistered(), 1u);
+  EXPECT_EQ(net.dropped(), 3u);
+}
+
+TEST_F(ChaosNetworkTest, PerLinkDropStats) {
+  net.Register(b, [](Message) {});
+  FaultPlan plan;
+  plan.drop = 1.0;
+  net.SetLinkFaultPlan(a, b, plan);
+  net.Send(Make(a, b));
+  net.Send(Make(b, a));  // unregistered at a, but no chaos on this direction
+  sched.RunUntilIdle();
+  EXPECT_EQ(net.StatsBetween(a, b).dropped, 1u);
+  auto all = net.AllLinkStats();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front().first, (std::pair<CoreId, CoreId>{a, b}));
+}
+
+TEST_F(ChaosNetworkTest, DuplicationDeliversTwiceAndChargesTwice) {
+  int arrivals = 0;
+  net.Register(b, [&](Message) { ++arrivals; });
+  FaultPlan plan;
+  plan.duplicate = 1.0;
+  net.SetFaultPlan(plan);
+  net.Send(Make(a, b, 100));
+  sched.RunUntilIdle();
+  EXPECT_EQ(arrivals, 2);
+  EXPECT_EQ(net.duplicates(), 1u);
+  EXPECT_EQ(net.StatsBetween(a, b).messages, 2u);
+  EXPECT_EQ(net.StatsBetween(a, b).bytes, 200u);
+}
+
+TEST_F(ChaosNetworkTest, ReorderActuallyReorders) {
+  // With reorder certain and a generous jitter bound, a long enough train
+  // of messages must arrive in a different order than it was sent.
+  std::vector<int> order;
+  net.Register(b, [&](Message m) { order.push_back(static_cast<int>(m.payload[0])); });
+  net.SetLink(a, b, LinkModel{Millis(1), 1e12, true});
+  FaultPlan plan;
+  plan.reorder = 1.0;
+  plan.reorder_jitter = Millis(50);
+  net.SetFaultPlan(plan);
+  for (int i = 0; i < 20; ++i) {
+    Message m = Make(a, b, 1);
+    m.payload[0] = static_cast<std::uint8_t>(i);
+    net.Send(std::move(m));
+  }
+  sched.RunUntilIdle();
+  ASSERT_EQ(order.size(), 20u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_GT(net.reorders(), 0u);
+}
+
+TEST_F(ChaosNetworkTest, ScheduledLinkFlap) {
+  int arrivals = 0;
+  net.Register(b, [&](Message) { ++arrivals; });
+  FaultPlan plan;
+  plan.flaps.push_back(FaultPlan::LinkFlap{a, b, Millis(100), Millis(200)});
+  net.SetFaultPlan(plan);
+
+  net.Send(Make(a, b));  // before the flap: delivered
+  sched.RunUntilOr([] { return false; }, Millis(150));
+  net.Send(Make(a, b));  // during: dropped as link-down
+  sched.RunUntilOr([] { return false; }, Millis(250));
+  net.Send(Make(a, b));  // after: delivered again
+  sched.RunUntilIdle();
+
+  EXPECT_EQ(arrivals, 2);
+  EXPECT_EQ(net.dropped_link_down(), 1u);
+}
+
+TEST_F(ChaosNetworkTest, ScheduledCrashInvokesHandler) {
+  CoreId crashed;
+  net.SetCrashHandler([&](CoreId id) { crashed = id; });
+  FaultPlan plan;
+  plan.crashes.push_back(FaultPlan::CoreCrash{b, Millis(50)});
+  net.SetFaultPlan(plan);
+  sched.RunUntilIdle();
+  EXPECT_EQ(crashed, b);
+}
+
+TEST_F(ChaosNetworkTest, ScheduledCrashWithoutHandlerUnregisters) {
+  int arrivals = 0;
+  net.Register(b, [&](Message) { ++arrivals; });
+  FaultPlan plan;
+  plan.crashes.push_back(FaultPlan::CoreCrash{b, Millis(50)});
+  net.SetFaultPlan(plan);
+  sched.RunUntilOr([] { return false; }, Millis(60));
+  net.Send(Make(a, b));
+  sched.RunUntilIdle();
+  EXPECT_EQ(arrivals, 0);
+  EXPECT_EQ(net.dropped_unregistered(), 1u);
+}
+
+TEST_F(ChaosNetworkTest, LoopbackIsImmuneToChaos) {
+  int arrivals = 0;
+  net.Register(a, [&](Message) { ++arrivals; });
+  FaultPlan plan;
+  plan.drop = 1.0;
+  net.SetFaultPlan(plan);
+  net.Send(Make(a, a));
+  sched.RunUntilIdle();
+  EXPECT_EQ(arrivals, 1);
+  EXPECT_EQ(net.dropped(), 0u);
+}
+
+TEST_F(ChaosNetworkTest, ResetStatsClearsChaosCounters) {
+  net.Register(b, [](Message) {});
+  FaultPlan plan;
+  plan.drop = 1.0;
+  net.SetFaultPlan(plan);
+  net.Send(Make(a, b));
+  sched.RunUntilIdle();
+  EXPECT_EQ(net.dropped(), 1u);
+  net.ResetStats();
+  EXPECT_EQ(net.dropped(), 0u);
+  EXPECT_EQ(net.chaos().stats().drops, 0u);
+}
+
+}  // namespace
+}  // namespace fargo::net

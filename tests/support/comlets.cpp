@@ -5,6 +5,7 @@ namespace fargo::testing {
 void RegisterTestComlets() {
   serial::RegisterType<Message>();
   serial::RegisterType<Counter>();
+  serial::RegisterType<OpLedger>();
   serial::RegisterType<Data>();
   serial::RegisterType<Worker>();
   serial::RegisterType<Printer>();
@@ -74,6 +75,40 @@ Counter::Counter() {
 
 void Counter::Serialize(serial::GraphWriter& w) const { w.WriteInt(value_); }
 void Counter::Deserialize(serial::GraphReader& r) { value_ = r.ReadInt(); }
+
+// ---- OpLedger ---------------------------------------------------------------
+
+OpLedger::OpLedger() {
+  methods().Register("apply", [this](const std::vector<Value>& args) {
+    const std::int64_t op_id = args.at(0).AsInt();
+    const std::int64_t inc = args.size() > 1 ? args[1].AsInt() : 1;
+    if (!seen_.insert(op_id).second) ++dups_;
+    total_ += inc;
+    return Value(total_);
+  });
+  methods().Register("get",
+                     [this](const std::vector<Value>&) { return Value(total_); });
+  methods().Register("dups",
+                     [this](const std::vector<Value>&) { return Value(dups_); });
+  methods().Register("ops", [this](const std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(seen_.size()));
+  });
+}
+
+void OpLedger::Serialize(serial::GraphWriter& w) const {
+  w.WriteInt(total_);
+  w.WriteInt(dups_);
+  w.WriteInt(static_cast<std::int64_t>(seen_.size()));
+  for (std::int64_t id : seen_) w.WriteInt(id);
+}
+
+void OpLedger::Deserialize(serial::GraphReader& r) {
+  total_ = r.ReadInt();
+  dups_ = r.ReadInt();
+  const std::int64_t n = r.ReadInt();
+  seen_.clear();
+  for (std::int64_t i = 0; i < n; ++i) seen_.insert(r.ReadInt());
+}
 
 // ---- Data -------------------------------------------------------------------
 

@@ -5,6 +5,7 @@
 // re-binding, and a linked Node for chain/graph scenarios.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,28 @@ class Counter : public core::Anchor {
 
  private:
   std::int64_t value_ = 0;
+};
+
+/// A non-idempotent operation ledger for at-most-once tests: "apply" takes
+/// a unique op id and an increment; the ledger records every op id it has
+/// ever executed (the record travels with the complet on moves) and counts
+/// re-executions of an already-seen id. Any retry/duplication bug shows up
+/// as dups() > 0, regardless of which replies the client observed.
+class OpLedger : public core::Anchor {
+ public:
+  static constexpr std::string_view kTypeName = "test.OpLedger";
+  OpLedger();
+  std::string_view TypeName() const override { return kTypeName; }
+  void Serialize(serial::GraphWriter& w) const override;
+  void Deserialize(serial::GraphReader& r) override;
+
+  std::int64_t total() const { return total_; }
+  std::int64_t dups() const { return dups_; }
+
+ private:
+  std::set<std::int64_t> seen_;  ///< ordered: deterministic serialization
+  std::int64_t total_ = 0;
+  std::int64_t dups_ = 0;
 };
 
 /// A data source with a configurable payload size ("read" returns its size).
