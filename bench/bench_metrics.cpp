@@ -1,0 +1,121 @@
+// E11 (observability): wall-clock cost of the metrics/tracing hot paths.
+// The design target is an allocation-free, lock-cheap recording path — a
+// counter bump or span write must be cheap enough to leave tracing on
+// during soaks — plus the overhead tracing adds to a full simulated RPC.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bench/support.h"
+#include "src/monitor/metrics.h"
+#include "src/monitor/trace.h"
+
+using namespace fargo;
+using namespace fargo::bench;
+
+namespace {
+
+void BM_CounterInc(benchmark::State& state) {
+  monitor::Registry reg;
+  monitor::Counter& c = reg.counter("bench.hits");
+  for (auto _ : state) c.Inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  monitor::Registry reg;
+  monitor::Histogram& h =
+      reg.histogram("bench.lat", monitor::Registry::LatencyBounds());
+  double v = 0;
+  for (auto _ : state) {
+    h.Observe(v);
+    v += 1e5;
+    if (v > 1e10) v = 0;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+// Name lookup through the registry lock — the path Cores avoid by caching
+// instrument pointers at construction.
+void BM_RegistryLookup(benchmark::State& state) {
+  monitor::Registry reg;
+  reg.counter("bench.hits");
+  for (auto _ : state) benchmark::DoNotOptimize(&reg.counter("bench.hits"));
+}
+BENCHMARK(BM_RegistryLookup);
+
+// One open+close span cycle into the ring buffer.
+void BM_SpanOpenClose(benchmark::State& state) {
+  monitor::Tracer tracer(CoreId{1});
+  tracer.SetEnabled(true);
+  SimTime now = 0;
+  for (auto _ : state) {
+    auto span = tracer.OpenSpan(monitor::SpanKind::kRoot, "bench", {}, now);
+    tracer.CloseSpan(span.token, now + 1000, monitor::SpanOutcome::kOk, 1);
+    now += 2000;
+  }
+  benchmark::DoNotOptimize(tracer.buffer().total_added());
+}
+BENCHMARK(BM_SpanOpenClose);
+
+// The disabled path: what every untraced deployment pays.
+void BM_SpanDisabled(benchmark::State& state) {
+  monitor::Tracer tracer(CoreId{1});
+  for (auto _ : state) {
+    auto span = tracer.OpenSpan(monitor::SpanKind::kRoot, "bench", {}, 0);
+    tracer.CloseSpan(span.token, 1000, monitor::SpanOutcome::kOk, 1);
+    benchmark::DoNotOptimize(span.token);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+// Full cross-core RPC with tracing off vs on: the end-to-end overhead of
+// span recording plus the trace tail on the wire.
+void RpcBench(benchmark::State& state, bool tracing) {
+  World w(2);
+  w.rt.SetTracing(tracing);
+  auto counter = w[0].New<Counter>();
+  auto stub = w[1].RefTo<Counter>(counter.handle());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.Invoke<std::int64_t>("increment"));
+    // Keep the ring from wrapping mid-measurement noise: reset per 4k.
+    if (tracing && w[1].tracer().buffer().size() > 4096) {
+      w[0].tracer().buffer().Reset();
+      w[1].tracer().buffer().Reset();
+    }
+  }
+}
+void BM_RpcTracingOff(benchmark::State& state) { RpcBench(state, false); }
+void BM_RpcTracingOn(benchmark::State& state) { RpcBench(state, true); }
+BENCHMARK(BM_RpcTracingOff);
+BENCHMARK(BM_RpcTracingOn);
+
+// Chrome-trace export of a full ring (the `trace dump` cost).
+void BM_ChromeExport(benchmark::State& state) {
+  monitor::Tracer tracer(CoreId{1}, 8192);
+  tracer.SetEnabled(true);
+  for (int i = 0; i < 8192; ++i) {
+    auto span = tracer.OpenSpan(monitor::SpanKind::kExec, "method",
+                                {}, static_cast<SimTime>(i) * 1000);
+    tracer.CloseSpan(span.token, static_cast<SimTime>(i) * 1000 + 500,
+                     monitor::SpanOutcome::kOk);
+  }
+  const std::vector<monitor::Span> spans = tracer.buffer().Snapshot();
+  for (auto _ : state) {
+    std::ostringstream os;
+    benchmark::DoNotOptimize(
+        monitor::WriteChromeTrace(os, {spans}, {{CoreId{1}, "core"}}));
+  }
+}
+BENCHMARK(BM_ChromeExport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E11: observability hot paths (metrics + tracing) ==\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "src/core/core.h"
 
 #include <algorithm>
+#include <fstream>
 #include <set>
 
 #include "src/common/log.h"
@@ -31,12 +32,31 @@ constexpr std::uint8_t kCtrlPong = 4;
 }  // namespace
 
 Core::Core(Runtime& runtime, CoreId id, std::string name)
-    : runtime_(runtime), id_(id), name_(std::move(name)) {
+    : runtime_(runtime), id_(id), name_(std::move(name)), tracer_(id) {
   invocation_ = std::make_unique<InvocationUnit>(*this);
   movement_ = std::make_unique<MovementUnit>(*this);
   profiler_ = std::make_unique<monitor::Profiler>(*this);
   events_ = std::make_unique<monitor::EventBus>(*this);
   start_time_ = scheduler().Now();
+  // Resolve hot-path instruments once; recording is then lock-free.
+  monitor::Registry& reg = runtime_.metrics();
+  inst_.invocations = &reg.counter("invoke.count");
+  inst_.invoke_errors = &reg.counter("invoke.errors");
+  inst_.execs = &reg.counter("invoke.exec");
+  inst_.retries = &reg.counter("rpc.retries");
+  inst_.dedup_replays = &reg.counter("dedup.replays");
+  inst_.dedup_suppressed = &reg.counter("dedup.suppressed");
+  inst_.moves = &reg.counter("move.count");
+  inst_.hb_pings = &reg.counter("hb.pings");
+  inst_.invoke_latency =
+      &reg.histogram("invoke.latency_ns", monitor::Registry::LatencyBounds());
+  inst_.invoke_hops =
+      &reg.histogram("invoke.hops", monitor::Registry::CountBounds());
+  inst_.move_duration =
+      &reg.histogram("move.duration_ns", monitor::Registry::LatencyBounds());
+  inst_.move_bytes =
+      &reg.histogram("move.bytes", monitor::Registry::SizeBounds());
+  tracer_.SetEnabled(runtime_.tracing());
   network().Register(id_, [this](net::Message m) { HandleMessage(std::move(m)); });
 }
 
@@ -46,6 +66,14 @@ Core::~Core() {
 
 net::Network& Core::network() { return runtime_.network(); }
 sim::Scheduler& Core::scheduler() { return runtime_.scheduler(); }
+monitor::Registry& Core::metrics() { return runtime_.metrics(); }
+
+std::size_t Core::DumpTrace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw FargoError("cannot open trace file " + path);
+  return monitor::WriteChromeTrace(os, {tracer_.buffer().Snapshot()},
+                                   {{id_, name_}});
+}
 
 // ==== instantiation ==========================================================
 
@@ -266,7 +294,13 @@ std::vector<std::uint8_t> Core::SendAndAwait(
   // receiver's cache when the retry lands.
   bool done = false;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (attempt > 1) ++rpc_retries_;
+    if (attempt > 1) {
+      ++rpc_retries_;
+      inst_.retries->Inc();
+      tracer_.RecordInstant(monitor::SpanKind::kRetry, net::ToString(kind),
+                            tracer_.Current(), scheduler().Now(),
+                            static_cast<std::uint32_t>(attempt - 1));
+    }
     net::Message msg;
     msg.from = id_;
     msg.to = to;
@@ -311,10 +345,12 @@ bool Core::AdmitOnce(CoreId origin, std::uint64_t correlation) {
     case DedupCache::Outcome::kFresh:
       return true;
     case DedupCache::Outcome::kInProgress:
+      inst_.dedup_suppressed->Inc();
       LogDebug() << "core " << name_ << " suppressed duplicate request from "
                  << ToString(origin) << " corr " << correlation;
       return false;
     case DedupCache::Outcome::kReplay:
+      inst_.dedup_replays->Inc();
       LogDebug() << "core " << name_ << " replayed cached reply to "
                  << ToString(origin) << " corr " << correlation;
       Reply(origin, res.reply_kind, correlation, *res.reply);
@@ -336,14 +372,31 @@ void Core::Park(ComletId id, net::Message msg, CoreId error_reply_to) {
         auto& queue = it->second;
         for (auto msg_it = queue.begin(); msg_it != queue.end(); ++msg_it) {
           if (msg_it->correlation != correlation) continue;
+          wire::TraceContext trace;
+          if (msg_it->kind == net::MessageKind::kInvokeRequest) {
+            try {
+              trace = wire::DecodeInvokeRequest(msg_it->payload).trace;
+            } catch (...) {
+              // Chaos-corrupted payload: expire it untraced.
+            }
+          }
           queue.erase(msg_it);
           if (queue.empty()) parked_.erase(it);
           if (error_reply_to.valid()) {
+            if (trace.valid()) {
+              monitor::Tracer::Opened span = tracer_.OpenSpan(
+                  monitor::SpanKind::kControl, "park_expired", trace,
+                  scheduler().Now());
+              tracer_.CloseSpan(span.token, scheduler().Now(),
+                                monitor::SpanOutcome::kTransportError);
+              trace = span.ctx;
+            }
             serial::Writer w;
             w.WriteBool(false);  // not ok
             w.WriteBool(true);   // transport failure: never executed
             w.WriteString("no route to complet " + ToString(id) + " at " +
                           name_ + " (parked request expired)");
+            wire::WriteTraceTail(w, trace);
             Reply(error_reply_to, net::MessageKind::kInvokeReply, correlation,
                   w.Take());
           }
@@ -526,8 +579,13 @@ void Core::HandleControl(net::Message msg) {
       return;
     }
     case kCtrlPing: {
+      // The ping may carry a trace tail; the pong answers in the same trace.
+      wire::TraceContext trace = wire::ReadTraceTail(r);
+      monitor::Tracer::Opened span = tracer_.RecordInstant(
+          monitor::SpanKind::kControl, "hb_pong", trace, scheduler().Now());
       serial::Writer w;
       w.WriteU8(kCtrlPong);
+      wire::WriteTraceTail(w, span.ctx);
       net::Message pong;
       pong.from = id_;
       pong.to = msg.from;
@@ -537,6 +595,10 @@ void Core::HandleControl(net::Message msg) {
       return;
     }
     case kCtrlPong: {
+      wire::TraceContext trace = wire::ReadTraceTail(r);
+      if (trace.valid())
+        tracer_.RecordInstant(monitor::SpanKind::kControl, "hb_pong_rx", trace,
+                              scheduler().Now());
       if (detector_) detector_->OnPong(msg.from);
       return;
     }
@@ -546,8 +608,14 @@ void Core::HandleControl(net::Message msg) {
 }
 
 void Core::SendHeartbeatPing(CoreId peer) {
+  inst_.hb_pings->Inc();
   serial::Writer w;
   w.WriteU8(kCtrlPing);
+  // Each heartbeat round is its own trace root (invalid parent mints one).
+  monitor::Tracer::Opened span =
+      tracer_.RecordInstant(monitor::SpanKind::kControl, "hb_ping",
+                            wire::TraceContext{}, scheduler().Now());
+  wire::WriteTraceTail(w, span.ctx);
   net::Message msg;
   msg.from = id_;
   msg.to = peer;

@@ -26,6 +26,8 @@
 #include "src/core/retry.h"
 #include "src/core/tracker.h"
 #include "src/monitor/events.h"
+#include "src/monitor/metrics.h"
+#include "src/monitor/trace.h"
 #include "src/net/network.h"
 #include "src/serial/registry.h"
 #include "src/sim/scheduler.h"
@@ -131,6 +133,22 @@ class Core {
   // -- monitoring (§4) ----------------------------------------------------------
   monitor::Profiler& profiler() { return *profiler_; }
   monitor::EventBus& events() { return *events_; }
+
+  // -- observability: causal tracing + metrics --------------------------------
+
+  /// Per-Core span recorder. Enable with SetTracing; spans land in
+  /// tracer().buffer() and export as Chrome-trace JSON via DumpTrace.
+  monitor::Tracer& tracer() { return tracer_; }
+  const monitor::Tracer& tracer() const { return tracer_; }
+  void SetTracing(bool on) { tracer_.SetEnabled(on); }
+
+  /// The deployment-wide metrics registry (owned by the Runtime); hot-path
+  /// instruments are resolved once at Core construction.
+  monitor::Registry& metrics();
+
+  /// Writes this Core's span buffer as Chrome trace-event JSON. Returns
+  /// the number of events written. (Runtime::DumpTrace merges all Cores.)
+  std::size_t DumpTrace(const std::string& path) const;
 
   /// Distributed events (§4.2): registers `listener` for lifecycle events
   /// fired by the (possibly remote) Core `where`. Returns a local token for
@@ -289,6 +307,23 @@ class Core {
     std::vector<std::uint8_t> payload;
   };
 
+  /// Hot-path metric instruments, resolved once from the Runtime registry
+  /// at construction so recording never takes the registry lock.
+  struct Instruments {
+    monitor::Counter* invocations = nullptr;      ///< origin-side completed
+    monitor::Counter* invoke_errors = nullptr;    ///< origin-side failures
+    monitor::Counter* execs = nullptr;            ///< executor-side dispatches
+    monitor::Counter* retries = nullptr;          ///< resent attempts
+    monitor::Counter* dedup_replays = nullptr;    ///< answered from cache
+    monitor::Counter* dedup_suppressed = nullptr; ///< in-progress duplicates
+    monitor::Counter* moves = nullptr;
+    monitor::Counter* hb_pings = nullptr;
+    monitor::Histogram* invoke_latency = nullptr; ///< ns, delivered invokes
+    monitor::Histogram* invoke_hops = nullptr;    ///< chain length at delivery
+    monitor::Histogram* move_duration = nullptr;  ///< ns, committed moves
+    monitor::Histogram* move_bytes = nullptr;     ///< migration stream size
+  };
+
   void DrainParked(ComletId id);
   void DispatchMessage(net::Message msg);
   void HandleNameRequest(const net::Message& msg);
@@ -308,6 +343,8 @@ class Core {
   std::unique_ptr<MovementUnit> movement_;
   std::unique_ptr<monitor::Profiler> profiler_;
   std::unique_ptr<monitor::EventBus> events_;
+  monitor::Tracer tracer_;
+  Instruments inst_{};
 
   std::uint64_t next_comlet_seq_ = 0;
   std::uint64_t next_correlation_ = 0;

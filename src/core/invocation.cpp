@@ -8,39 +8,6 @@
 
 namespace fargo::core {
 
-namespace {
-
-struct Request {
-  ComletHandle handle;
-  std::string method;
-  std::vector<Value> args;
-  CoreId origin;
-  std::vector<CoreId> path;  ///< Cores that forwarded this request so far
-};
-
-std::vector<std::uint8_t> EncodeRequest(const Request& rq) {
-  serial::Writer w;
-  wire::WriteHandle(w, rq.handle);
-  w.WriteString(rq.method);
-  serial::WriteValues(w, rq.args);
-  wire::WriteCoreId(w, rq.origin);
-  wire::WriteCoreList(w, rq.path);
-  return w.Take();
-}
-
-Request DecodeRequest(const std::vector<std::uint8_t>& payload) {
-  serial::Reader r(payload);
-  Request rq;
-  rq.handle = wire::ReadHandle(r);
-  rq.method = r.ReadString();
-  rq.args = serial::ReadValues(r);
-  rq.origin = wire::ReadCoreId(r);
-  rq.path = wire::ReadCoreList(r);
-  return rq;
-}
-
-}  // namespace
-
 InvokeResult InvocationUnit::Invoke(const ComletHandle& handle,
                                     std::string_view method,
                                     std::vector<Value> args) {
@@ -75,6 +42,7 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
     core_.scheduler().ScheduleAfter(
         0, [this, id = handle.id, method = std::string(method),
             args = std::move(args)] {
+          core_.inst_.execs->Inc();
           try {
             core_.DispatchLocal(id, method, args);
           } catch (const std::exception& e) {
@@ -89,7 +57,8 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
               << ToString(handle.id);
     return;
   }
-  Request rq{handle, std::string(method), std::move(args), core_.id(), {}};
+  wire::InvokeRequest rq{handle, std::string(method), std::move(args),
+                         core_.id(), {}, core_.tracer().Current()};
   rq.handle.last_known = entry.next;
   ++entry.forwarded;
   net::Message msg;
@@ -97,19 +66,54 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
   msg.to = entry.next;
   msg.kind = net::MessageKind::kInvokeRequest;
   msg.correlation = core_.NextCorrelation();  // reply will find no waiter
-  msg.payload = EncodeRequest(rq);
+  msg.payload = wire::EncodeInvokeRequest(rq);
   core_.network().Send(std::move(msg));
 }
 
 InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
                                       std::string_view method,
                                       const std::vector<Value>& args) {
+  monitor::Tracer& tracer = core_.tracer();
+  sim::Scheduler& sched = core_.scheduler();
+  const SimTime begin = sched.Now();
+  // The trace root: a fresh trace at top level, a child span when this
+  // invocation runs inside another traced execution (ambient context).
+  monitor::Tracer::Opened root = tracer.OpenSpan(
+      monitor::SpanKind::kRoot, method, tracer.Current(), begin);
+  monitor::SpanOutcome fail_outcome = monitor::SpanOutcome::kTransportError;
+  try {
+    InvokeResult res =
+        DoInvokeRouted(handle, method, args, root.ctx, fail_outcome);
+    const SimTime now = sched.Now();
+    tracer.CloseSpan(root.token, now, monitor::SpanOutcome::kOk, res.hops);
+    core_.inst_.invocations->Inc();
+    core_.inst_.invoke_latency->Observe(static_cast<double>(now - begin));
+    core_.inst_.invoke_hops->Observe(static_cast<double>(res.hops));
+    return res;
+  } catch (const UnreachableError&) {
+    core_.inst_.invoke_errors->Inc();
+    tracer.CloseSpan(root.token, sched.Now(), fail_outcome);
+    throw;
+  } catch (const std::exception&) {
+    core_.inst_.invoke_errors->Inc();
+    tracer.CloseSpan(root.token, sched.Now(), monitor::SpanOutcome::kAppError);
+    throw;
+  }
+}
+
+InvokeResult InvocationUnit::DoInvokeRouted(const ComletHandle& handle,
+                                            std::string_view method,
+                                            const std::vector<Value>& args,
+                                            const wire::TraceContext& root,
+                                            monitor::SpanOutcome& fail_outcome) {
   sim::Scheduler& sched = core_.scheduler();
   TrackerEntry* entry = &core_.trackers().Ensure(handle);
 
   // Fast path: the single extra indirection of the stub/tracker split —
   // target hosted here means a plain local dispatch.
   if (entry->is_local()) {
+    core_.inst_.execs->Inc();
+    monitor::TraceScope scope(core_.tracer(), root);
     Value v = core_.DispatchLocal(handle.id, method, args);
     return InvokeResult{std::move(v), core_.id(), 0};
   }
@@ -129,6 +133,8 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
       throw UnreachableError("invocation target " + ToString(handle.id) +
                              " unreachable from " + ToString(core_.id()));
     if (entry->is_local()) {
+      core_.inst_.execs->Inc();
+      monitor::TraceScope scope(core_.tracer(), root);
       Value v = core_.DispatchLocal(handle.id, method, args);
       return InvokeResult{std::move(v), core_.id(), 0};
     }
@@ -147,8 +153,17 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
   Waiter result;
   bool done = false;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    // The first attempt travels as the root span; each resend travels as a
+    // fresh child span tagged with its retry ordinal.
+    wire::TraceContext attempt_ctx = root;
     if (attempt > 1) {
       ++core_.rpc_retries_;
+      core_.inst_.retries->Inc();
+      attempt_ctx = core_.tracer()
+                        .RecordInstant(monitor::SpanKind::kRetry, method, root,
+                                       sched.Now(),
+                                       static_cast<std::uint32_t>(attempt - 1))
+                        .ctx;
       waiters_[corr] = Waiter{};  // clear any stale reply state
       // Re-resolve the route: the target may have moved between attempts —
       // possibly to this very Core, in which case the retry loops back
@@ -161,7 +176,8 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
                          entry->next != core_.id())
                             ? entry->next
                             : core_.id();
-    Request rq{handle, std::string(method), args, core_.id(), {}};
+    wire::InvokeRequest rq{handle, std::string(method), args,
+                           core_.id(),  {},        attempt_ctx};
     // Route by our tracker's knowledge, not the stub's stale hint, so the
     // next hop parks rather than bouncing the request back at us.
     rq.handle.last_known = next;
@@ -172,7 +188,7 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
     msg.to = next;
     msg.kind = net::MessageKind::kInvokeRequest;
     msg.correlation = corr;
-    msg.payload = EncodeRequest(rq);
+    msg.payload = wire::EncodeInvokeRequest(rq);
     core_.network().Send(std::move(msg));
 
     done = sched.RunUntilOr([&] { return waiters_[corr].done; },
@@ -194,9 +210,11 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
                      sched.Now() + policy.BackoffAfter(attempt, corr));
   }
   waiters_.erase(corr);
-  if (!done)
+  if (!done) {
+    fail_outcome = monitor::SpanOutcome::kTimeout;
     throw UnreachableError("invocation of " + std::string(method) + " on " +
                            ToString(handle.id) + " timed out");
+  }
   if (!result.ok) {
     // Transport failures are retry-safe (the method never executed);
     // application errors are the anchor's own exceptions.
@@ -218,7 +236,7 @@ InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
 }
 
 void InvocationUnit::HandleRequest(net::Message msg) {
-  Request rq = DecodeRequest(msg.payload);
+  wire::InvokeRequest rq = wire::DecodeInvokeRequest(msg.payload);
 
   // At-most-once: if this Core already executed this request (keyed by the
   // origin Core and the correlation, which retries reuse), answer from the
@@ -226,6 +244,7 @@ void InvocationUnit::HandleRequest(net::Message msg) {
   // that executed the request and then moved the target away must replay,
   // not forward the retry to be executed a second time at the new host.
   if (auto cached = core_.dedup().Lookup(rq.origin, msg.correlation)) {
+    core_.inst_.dedup_replays->Inc();
     core_.Reply(rq.origin, cached->kind, msg.correlation, *cached->payload);
     return;
   }
@@ -234,8 +253,7 @@ void InvocationUnit::HandleRequest(net::Message msg) {
 
   if (entry.is_local()) {
     if (!core_.AdmitOnce(rq.origin, msg.correlation)) return;
-    ExecuteAndReply(msg, rq.handle, rq.method, rq.args, rq.origin,
-                    msg.correlation, rq.path);
+    ExecuteAndReply(rq, msg.correlation);
     return;
   }
 
@@ -251,12 +269,19 @@ void InvocationUnit::HandleRequest(net::Message msg) {
     w.WriteBool(false);  // not ok
     w.WriteBool(true);   // transport failure: never executed
     w.WriteString("invocation exceeded max forwarding hops (loop?)");
+    wire::WriteTraceTail(w, rq.trace);
     core_.Reply(rq.origin, net::MessageKind::kInvokeReply, msg.correlation,
                 w.Take());
     return;
   }
 
-  // Forward one hop down the chain.
+  // Forward one hop down the chain, recording the hop as a child span and
+  // re-parenting the in-flight context so the causal chain mirrors the
+  // tracker chain.
+  rq.trace = core_.tracer()
+                 .RecordInstant(monitor::SpanKind::kHop, rq.method, rq.trace,
+                                core_.scheduler().Now(), rq.trace.retry)
+                 .ctx;
   ++entry.forwarded;
   rq.path.push_back(core_.id());
   rq.handle.last_known = entry.next;
@@ -265,45 +290,60 @@ void InvocationUnit::HandleRequest(net::Message msg) {
   fwd.to = entry.next;
   fwd.kind = net::MessageKind::kInvokeRequest;
   fwd.correlation = msg.correlation;
-  fwd.payload = EncodeRequest(rq);
+  fwd.payload = wire::EncodeInvokeRequest(rq);
   core_.network().Send(std::move(fwd));
 }
 
-void InvocationUnit::ExecuteAndReply(const net::Message& msg,
-                                     const ComletHandle& handle,
-                                     std::string_view method,
-                                     const std::vector<Value>& args,
-                                     CoreId origin, std::uint64_t correlation,
-                                     const std::vector<CoreId>& path) {
-  (void)msg;
+void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
+                                     std::uint64_t correlation) {
+  monitor::Tracer& tracer = core_.tracer();
+  const SimTime begin = core_.scheduler().Now();
+  const int hops = static_cast<int>(rq.path.size()) + 1;
+  monitor::Tracer::Opened exec =
+      tracer.OpenSpan(monitor::SpanKind::kExec, rq.method, rq.trace, begin,
+                      rq.trace.retry);
+  core_.inst_.execs->Inc();
   serial::Writer w;
   try {
-    Value result = core_.DispatchLocal(handle.id, method, args);
+    Value result;
+    {
+      monitor::TraceScope scope(tracer, exec.ctx);
+      result = core_.DispatchLocal(rq.handle.id, rq.method, rq.args);
+    }
     wire::WriteOk(w);
     serial::WriteValue(w, result);
     wire::WriteCoreId(w, core_.id());
-    w.WriteVarint(path.size() + 1);  // hops traversed by the request
+    w.WriteVarint(rq.path.size() + 1);  // hops traversed by the request
+    wire::WriteTraceTail(w, exec.ctx);
+    tracer.CloseSpan(exec.token, core_.scheduler().Now(),
+                     monitor::SpanOutcome::kOk, hops);
   } catch (const std::exception& e) {
+    tracer.CloseSpan(exec.token, core_.scheduler().Now(),
+                     monitor::SpanOutcome::kAppError, hops);
     serial::Writer err;
     err.WriteBool(false);  // not ok
     err.WriteBool(false);  // application error: the method DID run/throw
     err.WriteString(e.what());
-    core_.Reply(origin, net::MessageKind::kInvokeReply, correlation,
+    wire::WriteTraceTail(err, exec.ctx);
+    core_.Reply(rq.origin, net::MessageKind::kInvokeReply, correlation,
                 err.Take());
     return;
   }
   // Reply straight to the origin...
-  core_.Reply(origin, net::MessageKind::kInvokeReply, correlation, w.Take());
+  core_.Reply(rq.origin, net::MessageKind::kInvokeReply, correlation,
+              w.Take());
 
   // ...and shorten the whole chain: every tracker that forwarded the
-  // request is repointed directly at us (§3.1).
+  // request is repointed directly at us (§3.1). The updates travel in the
+  // same trace, so shortening is visible in the trace view.
   if (!shortening_) return;
-  for (CoreId hop : path) {
+  for (CoreId hop : rq.path) {
     if (hop == core_.id()) continue;
     serial::Writer upd;
-    wire::WriteComletId(upd, handle.id);
+    wire::WriteComletId(upd, rq.handle.id);
     wire::WriteCoreId(upd, core_.id());
-    upd.WriteString(handle.anchor_type);
+    upd.WriteString(rq.handle.anchor_type);
+    wire::WriteTraceTail(upd, exec.ctx);
     net::Message u;
     u.from = core_.id();
     u.to = hop;
@@ -331,6 +371,7 @@ void InvocationUnit::HandleReply(net::Message msg) {
     waiter.location = wire::ReadCoreId(r);
     waiter.hops = static_cast<int>(r.ReadVarint());
   }
+  waiter.trace = wire::ReadTraceTail(r);
   waiter.done = true;
 }
 
@@ -339,6 +380,10 @@ void InvocationUnit::HandleTrackerUpdate(net::Message msg) {
   ComletId id = wire::ReadComletId(r);
   CoreId location = wire::ReadCoreId(r);
   std::string type = r.ReadString();
+  wire::TraceContext trace = wire::ReadTraceTail(r);
+  if (trace.valid())
+    core_.tracer().RecordInstant(monitor::SpanKind::kControl, "tracker_update",
+                                 trace, core_.scheduler().Now());
   TrackerEntry* entry = core_.trackers().Find(id);
   if (entry == nullptr || entry->is_local()) return;
   if (location == core_.id()) return;  // stale update; we'd self-loop

@@ -11,6 +11,8 @@
 #include "src/common/ids.h"
 #include "src/common/value.h"
 #include "src/core/core.h"
+#include "src/core/wire.h"
+#include "src/monitor/trace.h"
 #include "src/net/network.h"
 
 namespace fargo::core {
@@ -64,8 +66,17 @@ class InvocationUnit {
   bool chain_shortening() const { return shortening_; }
 
  private:
+  /// Opens the root span, delegates to DoInvokeRouted, closes the span with
+  /// the outcome and records the invocation metrics.
   InvokeResult DoInvoke(const ComletHandle& handle, std::string_view method,
                         const std::vector<Value>& args);
+  /// The actual routing/retry loop. `fail_outcome` is set at throw sites so
+  /// DoInvoke can close the root span with the precise failure kind.
+  InvokeResult DoInvokeRouted(const ComletHandle& handle,
+                              std::string_view method,
+                              const std::vector<Value>& args,
+                              const wire::TraceContext& root,
+                              monitor::SpanOutcome& fail_outcome);
 
   struct Waiter {
     bool done = false;
@@ -75,12 +86,11 @@ class InvocationUnit {
     Value value;
     CoreId location;
     int hops = 0;
+    wire::TraceContext trace;  ///< executor-side span the reply came from
   };
 
-  void ExecuteAndReply(const net::Message& msg, const ComletHandle& handle,
-                       std::string_view method, const std::vector<Value>& args,
-                       CoreId origin, std::uint64_t correlation,
-                       const std::vector<CoreId>& path);
+  void ExecuteAndReply(const wire::InvokeRequest& rq,
+                       std::uint64_t correlation);
 
   Core& core_;
   int max_hops_ = 64;

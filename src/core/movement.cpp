@@ -154,6 +154,13 @@ void MovementUnit::MoveLocal(ComletId primary, CoreId dest,
   }
 
   stats_ = MoveStats{};
+  monitor::Tracer& tracer = core_.tracer();
+  const SimTime move_begin = core_.scheduler().Now();
+  // The movement is a span of its own: a child when triggered from inside a
+  // traced execution (e.g. a routed __fargo.move), a fresh trace otherwise.
+  monitor::Tracer::Opened mv =
+      tracer.OpenSpan(monitor::SpanKind::kMove, anchor->TypeName(),
+                      tracer.Current(), move_begin);
   std::vector<Section> worklist{
       Section{primary, std::string(anchor->TypeName()), false, anchor}};
   std::unordered_set<ComletId> in_stream{primary};
@@ -182,6 +189,7 @@ void MovementUnit::MoveLocal(ComletId primary, CoreId dest,
     payload.WriteString(continuation);
     serial::WriteValues(payload, args);
   }
+  wire::WriteTraceTail(payload, mv.ctx);
   stats_.stream_bytes = payload.size();
 
   // Transition: departing complets leave the repository and forward via the
@@ -212,8 +220,17 @@ void MovementUnit::MoveLocal(ComletId primary, CoreId dest,
       core_.repository().Add(d.id, d.anchor);
       core_.trackers().SetLocal(d.id, *d.anchor, d.type);
     }
+    tracer.CloseSpan(mv.token, core_.scheduler().Now(),
+                     monitor::SpanOutcome::kTransportError, 0,
+                     stats_.stream_bytes);
     throw;
   }
+  const SimTime move_end = core_.scheduler().Now();
+  tracer.CloseSpan(mv.token, move_end, monitor::SpanOutcome::kOk, 0,
+                   stats_.stream_bytes);
+  core_.inst_.moves->Inc();
+  core_.inst_.move_duration->Observe(static_cast<double>(move_end - move_begin));
+  core_.inst_.move_bytes->Observe(static_cast<double>(stats_.stream_bytes));
 
   // Committed: release the stale copies (§3.3 postDeparture) and announce.
   for (const Departing& d : departing) {
@@ -317,6 +334,12 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
     continuation = r.ReadString();
     cont_args = serial::ReadValues(r);
   }
+  wire::TraceContext trace = wire::ReadTraceTail(r);
+  monitor::Tracer::Opened install = core_.tracer().OpenSpan(
+      monitor::SpanKind::kInstall, ToString(primary), trace,
+      core_.scheduler().Now());
+  core_.tracer().CloseSpan(install.token, core_.scheduler().Now(),
+                           monitor::SpanOutcome::kOk, 0, msg.payload.size());
 
   serial::Writer ok;
   wire::WriteOk(ok);
@@ -327,6 +350,7 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
   // "Call with continuation" (§3.3): the receiving Core invokes the given
   // method after unmarshaling.
   if (has_continuation) {
+    monitor::TraceScope scope(core_.tracer(), install.ctx);
     try {
       core_.DispatchLocal(primary, continuation, cont_args);
     } catch (const std::exception& e) {

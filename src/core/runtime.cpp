@@ -1,7 +1,10 @@
 #include "src/core/runtime.h"
 
+#include <fstream>
+
 #include "src/core/core.h"
 #include "src/core/relocator.h"
+#include "src/monitor/trace.h"
 
 namespace fargo::core {
 
@@ -12,6 +15,13 @@ Runtime::Runtime() : network_(scheduler_) {
   network_.SetCrashHandler([this](CoreId id) {
     if (Core* core = Find(id)) core->Crash();
   });
+  // Count every network drop, whatever its reason, in the registry. The
+  // Network stays monitor-agnostic: it just calls the hook.
+  network_.SetDropHook(
+      [&drops = metrics_.counter("net.drops")](const net::Message&,
+                                               net::DropReason) {
+        drops.Inc();
+      });
 }
 
 Runtime::~Runtime() {
@@ -44,6 +54,29 @@ std::vector<Core*> Runtime::Cores() const {
   out.reserve(cores_.size());
   for (const auto& core : cores_) out.push_back(core.get());
   return out;
+}
+
+void Runtime::SetTracing(bool on) {
+  tracing_ = on;
+  for (const auto& core : cores_) core->SetTracing(on);
+}
+
+std::size_t Runtime::WriteTrace(std::ostream& os) const {
+  std::vector<std::vector<monitor::Span>> spans;
+  std::vector<std::pair<CoreId, std::string>> names;
+  spans.reserve(cores_.size());
+  names.reserve(cores_.size());
+  for (const auto& core : cores_) {
+    spans.push_back(core->tracer().buffer().Snapshot());
+    names.emplace_back(core->id(), core->name());
+  }
+  return monitor::WriteChromeTrace(os, spans, names);
+}
+
+std::size_t Runtime::DumpTrace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw FargoError("cannot open trace file " + path);
+  return WriteTrace(os);
 }
 
 }  // namespace fargo::core

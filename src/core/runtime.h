@@ -6,11 +6,13 @@
 #pragma once
 
 #include <memory>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/core/core.h"
+#include "src/monitor/metrics.h"
 #include "src/net/network.h"
 #include "src/sim/scheduler.h"
 
@@ -36,6 +38,22 @@ class Runtime {
   sim::Scheduler& scheduler() { return scheduler_; }
   net::Network& network() { return network_; }
 
+  // -- observability: metrics + causal tracing --------------------------------
+
+  /// Deployment-wide metrics registry. Cores resolve their instruments here
+  /// at construction; network drops are hooked in by the constructor.
+  monitor::Registry& metrics() { return metrics_; }
+  const monitor::Registry& metrics() const { return metrics_; }
+
+  /// Turns span recording on/off for every Core (existing and future).
+  void SetTracing(bool on);
+  bool tracing() const { return tracing_; }
+
+  /// Merges every Core's span buffer into one Chrome trace-event JSON
+  /// stream/file (chrome://tracing, Perfetto). Returns the event count.
+  std::size_t WriteTrace(std::ostream& os) const;
+  std::size_t DumpTrace(const std::string& path) const;
+
   /// Enables the location-independent naming scheme the paper lists as
   /// future work (§7): every complet's origin Core doubles as its *home
   /// registry*. Hosts report arrivals to the home; a stub whose tracker
@@ -51,10 +69,12 @@ class Runtime {
 
  private:
   sim::Scheduler scheduler_;
+  monitor::Registry metrics_;  ///< before network_: the drop hook refers here
   net::Network network_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::uint32_t next_core_id_ = 0;
   bool home_registry_ = false;
+  bool tracing_ = false;
 };
 
 }  // namespace fargo::core

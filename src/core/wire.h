@@ -2,13 +2,62 @@
 // protocols (the Peer Interface payloads of Fig 1).
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/value.h"
 #include "src/serial/bytes.h"
+#include "src/serial/value_codec.h"
 
 namespace fargo::core::wire {
+
+// ==== causal tracing =========================================================
+
+/// Causal trace context carried by protocol payloads. A trace is minted at
+/// a root invocation and flows through forwarding hops, retries (same
+/// trace, new span, retry tag), movement streams and heartbeat traffic, so
+/// every message of one causal chain shares a trace id.
+struct TraceContext {
+  std::uint64_t trace_id = 0;     ///< 0 = no trace (tracing off / old peer)
+  std::uint64_t span_id = 0;      ///< span that emitted this message
+  std::uint64_t parent_span = 0;  ///< 0 = root span of the trace
+  std::uint32_t retry = 0;        ///< retry ordinal of the emitting attempt
+
+  bool valid() const { return trace_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Marker byte opening a trace tail. Trace fields are appended at the END
+/// of a payload, behind everything a pre-tracing decoder reads, so old
+/// encoders interoperate both ways: a payload without the tail decodes to
+/// an invalid (all-zero) context, and a decoder that does not know about
+/// the tail simply never reads it.
+inline constexpr std::uint8_t kTraceTailMarker = 0x54;  // 'T'
+
+inline void WriteTraceTail(serial::Writer& w, const TraceContext& t) {
+  if (!t.valid()) return;  // byte-identical to the pre-tracing format
+  w.WriteU8(kTraceTailMarker);
+  w.WriteVarint(t.trace_id);
+  w.WriteVarint(t.span_id);
+  w.WriteVarint(t.parent_span);
+  w.WriteVarint(t.retry);
+}
+
+/// Reads a trace tail if one follows; returns an invalid context for
+/// old-format payloads (reader already at the end).
+inline TraceContext ReadTraceTail(serial::Reader& r) {
+  if (r.AtEnd()) return TraceContext{};
+  if (r.ReadU8() != kTraceTailMarker)
+    throw serial::SerialError("corrupt trace tail marker");
+  TraceContext t;
+  t.trace_id = r.ReadVarint();
+  t.span_id = r.ReadVarint();
+  t.parent_span = r.ReadVarint();
+  t.retry = static_cast<std::uint32_t>(r.ReadVarint());
+  return t;
+}
 
 inline void WriteCoreId(serial::Writer& w, CoreId id) {
   w.WriteVarint(id.value);
@@ -64,6 +113,44 @@ inline std::vector<ComletId> ReadComletList(serial::Reader& r) {
   ids.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) ids.push_back(ReadComletId(r));
   return ids;
+}
+
+/// An invocation request as it travels the wire (kInvokeRequest payload).
+/// Forwarding hops rewrite `handle.last_known` to their own next hop,
+/// append themselves to `path`, and re-parent `trace`.
+struct InvokeRequest {
+  ComletHandle handle;
+  std::string method;
+  std::vector<Value> args;
+  CoreId origin;
+  std::vector<CoreId> path;  ///< Cores that forwarded this request so far
+  TraceContext trace;
+
+  friend bool operator==(const InvokeRequest&, const InvokeRequest&) = default;
+};
+
+inline std::vector<std::uint8_t> EncodeInvokeRequest(const InvokeRequest& rq) {
+  serial::Writer w;
+  WriteHandle(w, rq.handle);
+  w.WriteString(rq.method);
+  serial::WriteValues(w, rq.args);
+  WriteCoreId(w, rq.origin);
+  WriteCoreList(w, rq.path);
+  WriteTraceTail(w, rq.trace);
+  return w.Take();
+}
+
+inline InvokeRequest DecodeInvokeRequest(
+    const std::vector<std::uint8_t>& payload) {
+  serial::Reader r(payload);
+  InvokeRequest rq;
+  rq.handle = ReadHandle(r);
+  rq.method = r.ReadString();
+  rq.args = serial::ReadValues(r);
+  rq.origin = ReadCoreId(r);
+  rq.path = ReadCoreList(r);
+  rq.trace = ReadTraceTail(r);
+  return rq;
 }
 
 /// Standard reply preamble: ok flag, then an error message when not ok.

@@ -1,0 +1,145 @@
+#include "src/monitor/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace fargo::monitor {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_)
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.count = count();
+  s.sum = sum();
+  return s;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= rank)
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+std::vector<double> Registry::LatencyBounds() {
+  return {1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9, 5e9, 1e10};
+}
+
+std::vector<double> Registry::CountBounds() {
+  return {0, 1, 2, 3, 4, 6, 8, 16, 32, 64};
+}
+
+std::vector<double> Registry::SizeBounds() {
+  return {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+          16777216};
+}
+
+std::uint64_t Registry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double Registry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+Histogram::Snapshot Registry::HistogramSnapshot(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram::Snapshot{}
+                                 : it->second->TakeSnapshot();
+}
+
+void Registry::Dump(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_)
+    os << "counter " << name << " " << c->value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    os << "gauge " << name << " " << g->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->TakeSnapshot();
+    os << "histogram " << name << " count=" << s.count << " sum=" << s.sum
+       << " mean=" << h->mean() << " p50=" << h->Quantile(0.5)
+       << " p99=" << h->Quantile(0.99) << "\n";
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      if (s.counts[i] == 0) continue;  // sparse: only occupied buckets
+      os << "  le=";
+      if (i < s.bounds.size())
+        os << s.bounds[i];
+      else
+        os << "+inf";
+      os << " " << s.counts[i] << "\n";
+    }
+  }
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace fargo::monitor

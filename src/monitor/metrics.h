@@ -1,0 +1,146 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// The measurement substrate under the profiling services (§4.1): where the
+// Profiler answers *policy* questions ("what is the invocation rate between
+// a and b right now?"), the registry answers *mechanism* questions ("how
+// many requests were deduplicated, how long do invocations take, how many
+// hops does a delivery traverse?") — the numbers a layout policy, a test,
+// or an operator needs to trust the machinery beneath it.
+//
+// Design constraints:
+//  - lock-cheap: instruments are plain relaxed atomics; the registry mutex
+//    is taken only at registration/dump time, never on the hot path;
+//  - allocation-free on the hot path: Inc/Set/Observe never allocate.
+//    Call sites resolve instruments once (Registry hands out references
+//    that stay valid for the registry's lifetime) and record through them;
+//  - deterministic dumps: instruments are dumped in name order.
+//
+// All of this is ThreadSanitizer-clean by construction (see
+// tests/monitor/metrics_test.cpp), even though the simulated runtime is
+// single-threaded — the registry is the one component expected to outlive
+// the simulator in a real multi-threaded deployment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fargo::monitor {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are upper-inclusive and fixed at
+/// construction; an implicit +inf bucket catches the tail. Observe() is a
+/// short linear scan over the bounds (instrument bucket counts are small)
+/// plus three relaxed atomic updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper bounds; +inf implicit
+    std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Upper bound of the bucket containing quantile `q` in [0,1]; the last
+  /// finite bound when the quantile falls in the +inf bucket.
+  double Quantile(double q) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name → instrument registry. Instruments are created on first use and
+/// live as long as the registry; the returned references are stable, so
+/// hot paths resolve once and record lock-free thereafter.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First caller fixes the bucket bounds; later callers join the existing
+  /// instrument (bounds argument ignored).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Histogram bucket defaults for nanosecond durations (100us .. 10s).
+  static std::vector<double> LatencyBounds();
+  /// Histogram bucket defaults for small counts (hops, retries).
+  static std::vector<double> CountBounds();
+  /// Histogram bucket defaults for byte sizes (64B .. 16MB).
+  static std::vector<double> SizeBounds();
+
+  /// Counter/gauge value by name; 0 when the instrument does not exist.
+  std::uint64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  /// Histogram snapshot by name; empty snapshot when absent.
+  Histogram::Snapshot HistogramSnapshot(std::string_view name) const;
+
+  /// Flat text dump, sorted by instrument name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> sum=<s> mean=<m> p50=<..> p99=<..>
+  ///     le=<bound> <count> ... le=+inf <count>
+  void Dump(std::ostream& os) const;
+
+  /// Zeroes every registered instrument (bench/test convenience).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fargo::monitor

@@ -71,6 +71,7 @@ void Network::SetPartitioned(CoreId a, CoreId b, bool partitioned) {
 
 void Network::CountDrop(const Message& msg, DropReason reason) {
   ++dropped_by_[static_cast<int>(reason)];
+  if (drop_hook_) drop_hook_(msg, reason);
   if (msg.from != msg.to) ++stats_[Key(msg.from, msg.to)].dropped;
   LogDebug() << "drop " << ToString(msg.kind) << " " << ToString(msg.from)
              << " -> " << ToString(msg.to) << " (" << ToString(reason) << ")";

@@ -106,6 +106,12 @@ class Network {
   using Tap = std::function<void(const Message&)>;
   void SetTap(Tap tap) { tap_ = std::move(tap); }
 
+  /// Drop hook: invoked for every dropped message, after the per-reason
+  /// counters update. Keeps the Network monitor-agnostic — the Runtime
+  /// installs a hook that feeds the metrics registry.
+  using DropHook = std::function<void(const Message&, DropReason)>;
+  void SetDropHook(DropHook hook) { drop_hook_ = std::move(hook); }
+
   // -- fault injection -------------------------------------------------------
   /// Arms `plan` for every directed link and schedules its flaps/crashes.
   /// Scheduled crashes call the crash handler (Runtime installs one that
@@ -167,6 +173,7 @@ class Network {
   std::uint64_t dropped_by_[kDropReasonCount] = {0, 0, 0};
   std::size_t header_bytes_ = 64;
   Tap tap_;
+  DropHook drop_hook_;
   ChaosEngine chaos_;
   std::function<void(CoreId)> crash_handler_;
 };

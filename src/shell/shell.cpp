@@ -119,6 +119,10 @@ bool Shell::Execute(const std::string& line) {
       CmdHeartbeat(args);
     } else if (cmd == "shutdown") {
       CmdShutdown(args);
+    } else if (cmd == "trace") {
+      CmdTrace(args);
+    } else if (cmd == "stats") {
+      CmdStats();
     } else if (cmd == "snapshot") {
       out_ << monitor_.RenderSnapshot();
     } else if (cmd == "script") {
@@ -146,8 +150,8 @@ void Shell::RunInteractive(std::istream& in, bool prompt) {
 
 void Shell::CmdHelp() {
   out_ << "commands: help cores ls names methods move reftype setref profile "
-          "invoke gc link net chaos crash heartbeat shutdown snapshot script "
-          "quit\n";
+          "invoke gc link net chaos crash heartbeat shutdown trace stats "
+          "snapshot script quit\n";
 }
 
 void Shell::CmdCores() {
@@ -392,5 +396,25 @@ void Shell::CmdShutdown(const std::vector<std::string>& args) {
   c->Shutdown();
   out_ << c->name() << " down\n";
 }
+
+void Shell::CmdTrace(const std::vector<std::string>& args) {
+  if (args.empty()) throw FargoError("usage: trace on|off|dump [path]");
+  if (args[0] == "on") {
+    runtime_.SetTracing(true);
+    out_ << "tracing on\n";
+  } else if (args[0] == "off") {
+    runtime_.SetTracing(false);
+    out_ << "tracing off\n";
+  } else if (args[0] == "dump") {
+    const std::string path = args.size() > 1 ? args[1] : "fargo-trace.json";
+    const std::size_t events = runtime_.DumpTrace(path);
+    out_ << "wrote " << events << " spans to " << path
+         << " (load in chrome://tracing or Perfetto)\n";
+  } else {
+    throw FargoError("usage: trace on|off|dump [path]");
+  }
+}
+
+void Shell::CmdStats() { runtime_.metrics().Dump(out_); }
 
 }  // namespace fargo::shell

@@ -24,6 +24,10 @@
 //   heartbeat <core> <interval_ms> <missed> | heartbeat <core> off
 //                                 — start/stop the failure detector
 //   shutdown <core>               — announce shutdown of a core
+//   trace on|off|dump [path]      — toggle causal tracing / export the
+//                                   recorded spans as Chrome-trace JSON
+//   stats                         — dump the metrics registry (counters,
+//                                   gauges, histograms)
 //   snapshot                      — render the deployment (text monitor)
 //   script <text...>              — run an inline layout script
 //   quit
@@ -70,6 +74,8 @@ class Shell {
   void CmdCrash(const std::vector<std::string>& args);
   void CmdHeartbeat(const std::vector<std::string>& args);
   void CmdShutdown(const std::vector<std::string>& args);
+  void CmdTrace(const std::vector<std::string>& args);
+  void CmdStats();
 
   core::Runtime& runtime_;
   core::Core& admin_;

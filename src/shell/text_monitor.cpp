@@ -82,6 +82,18 @@ std::string TextMonitor::RenderSnapshot() const {
   std::ostringstream os;
   os << "=== deployment @ t=" << std::fixed << std::setprecision(3)
      << ToMillis(runtime_.Now()) << " ms ===\n";
+  // Headline gauges: traffic from the network, machinery counters from the
+  // metrics registry (see `stats` for the full dump).
+  const monitor::Registry& reg = runtime_.metrics();
+  const net::Network& net = runtime_.network();
+  os << "messages=" << net.total_messages()
+     << " drops=" << reg.CounterValue("net.drops")
+     << " invocations=" << reg.CounterValue("invoke.count")
+     << " retries=" << reg.CounterValue("rpc.retries")
+     << " dedup_hits="
+     << reg.CounterValue("dedup.replays") +
+            reg.CounterValue("dedup.suppressed")
+     << " moves=" << reg.CounterValue("move.count") << "\n";
   for (core::Core* c : runtime_.Cores()) {
     os << c->name() << " (" << ToString(c->id()) << ")"
        << (c->alive() ? "" : " [DOWN]") << "\n";

@@ -1,0 +1,306 @@
+// End-to-end observability acceptance: a chaos soak with tracing on must
+// export a loadable Chrome-trace JSON file in which every retry and hop is
+// causally reachable from its root span, and the metrics registry must
+// report the headline numbers (latency buckets, chain hops, dedup hits)
+// the tracing actually observed. Also covers the operator surface: the
+// shell's `trace on|off|dump` and `stats` commands and the text monitor's
+// headline gauge line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "src/shell/shell.h"
+#include "tests/support/fixture.h"
+#include "tests/support/json_lite.h"
+
+namespace fargo::testing {
+namespace {
+
+class ObservabilityTest : public FargoTest {
+ protected:
+  /// Runs a seeded chaos workload with tracing enabled: invocations from
+  /// random cores against a periodically relocating ledger, over a faulty
+  /// network, then heals and drains to quiescence.
+  void RunTracedChaosWorkload(std::uint32_t seed, int ops) {
+    cores = MakeCores(4, Millis(2), 1e7);
+    rt.SetTracing(true);
+
+    core::RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_backoff = Millis(20);
+    policy.seed = seed;
+    for (core::Core* c : cores) {
+      c->SetRpcTimeout(Millis(200));
+      c->SetRetryPolicy(policy);
+    }
+    net::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop = 0.05;
+    plan.duplicate = 0.02;
+    plan.reorder = 0.10;
+    plan.reorder_jitter = Millis(10);
+    rt.network().SetFaultPlan(plan);
+
+    auto ledger = cores[0]->New<OpLedger>();
+    std::size_t model_at = 0;
+    std::mt19937 rng(seed);
+    for (int op = 0; op < ops; ++op) {
+      if (op > 0 && op % 100 == 0) {
+        const std::size_t dest = rng() % cores.size();
+        const std::size_t from = rng() % cores.size();
+        try {
+          cores[from]->MoveId(ledger.target(), cores[dest]->id());
+          model_at = dest;
+        } catch (const FargoError&) {
+          for (std::size_t c = 0; c < cores.size(); ++c)
+            if (cores[c]->repository().Contains(ledger.target())) model_at = c;
+        }
+      }
+      const std::size_t from = rng() % cores.size();
+      auto stub = cores[from]->RefTo<OpLedger>(ledger.handle());
+      try {
+        stub.Invoke<std::int64_t>("apply", static_cast<std::int64_t>(op));
+      } catch (const FargoError&) {
+        for (std::size_t c = 0; c < cores.size(); ++c)
+          if (cores[c]->repository().Contains(ledger.target())) model_at = c;
+        cores[from]->trackers().SetForward(ledger.target(),
+                                           cores[model_at]->id(),
+                                           std::string(OpLedger::kTypeName));
+      }
+    }
+    rt.network().ClearFaults();
+    rt.RunUntilIdle();
+  }
+
+  std::vector<core::Core*> cores;
+};
+
+TEST_F(ObservabilityTest, ChaosTraceExportsLoadableChromeJson) {
+  RunTracedChaosWorkload(/*seed=*/33, /*ops=*/500);
+
+  std::ostringstream os;
+  const std::size_t written = rt.WriteTrace(os);
+  ASSERT_GT(written, 0u);
+
+  // The export must parse as JSON and follow the trace-event format.
+  auto doc = json::Parse(os.str());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("displayTimeUnit").string(), "ms");
+  const auto& events = doc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  std::size_t metadata = 0, spans = 0;
+  // span id -> (trace id, parent span id), for causal-chain walking.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> links;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> to_walk;  // span, trace
+  for (const auto& ev : events.items) {
+    ASSERT_TRUE(ev->is_object());
+    const std::string& ph = ev->at("ph").string();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(ev->at("name").string(), "process_name");
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++spans;
+    EXPECT_GE(ev->at("dur").number(), 0.0);
+    EXPECT_GE(ev->at("ts").number(), 0.0);
+    const auto& args = ev->at("args");
+    const std::uint64_t trace = args.at("trace").u64();
+    const std::uint64_t span = args.at("span").u64();
+    EXPECT_EQ(ev->at("tid").u64(), trace);
+    EXPECT_NE(args.at("outcome").string(), "pending");
+    links[span] = {trace, args.at("parent").u64()};
+    const std::string& cat = ev->at("cat").string();
+    if (cat == "retry" || cat == "hop") to_walk.emplace_back(span, trace);
+  }
+  EXPECT_EQ(metadata, cores.size());
+  EXPECT_EQ(spans, written);
+
+  // Acceptance: every retry and hop span is a (transitive) child of the
+  // root span of its own trace.
+  ASSERT_FALSE(to_walk.empty()) << "chaos produced no retries or hops";
+  for (auto [span, trace] : to_walk) {
+    std::uint64_t cur = span;
+    int steps = 0;
+    while (links.at(cur).second != 0) {
+      cur = links.at(cur).second;
+      ASSERT_TRUE(links.contains(cur))
+          << "span " << span << " has a dangling ancestor " << cur;
+      EXPECT_EQ(links.at(cur).first, trace)
+          << "ancestor of span " << span << " jumped traces";
+      ASSERT_LT(++steps, 64) << "parent cycle at span " << span;
+    }
+  }
+}
+
+TEST_F(ObservabilityTest, MetricsReportTheHeadlineNumbers) {
+  RunTracedChaosWorkload(/*seed=*/71, /*ops=*/500);
+  const monitor::Registry& reg = rt.metrics();
+
+  // Invocation latency: every successful invoke observed a real latency.
+  monitor::Histogram::Snapshot lat = reg.HistogramSnapshot("invoke.latency_ns");
+  EXPECT_EQ(lat.count, reg.CounterValue("invoke.count"));
+  EXPECT_GT(lat.count, 0u);
+  std::uint64_t occupied = 0;
+  for (std::uint64_t c : lat.counts) occupied += c > 0 ? 1 : 0;
+  EXPECT_GT(occupied, 0u);
+  EXPECT_GT(lat.sum, 0.0);  // a cross-core RPC cannot take zero time
+
+  // Chain hops at delivery were recorded for the same invocations.
+  EXPECT_EQ(reg.HistogramSnapshot("invoke.hops").count, lat.count);
+
+  // The chaos machinery left its fingerprints, and the counters agree with
+  // the per-core ground truth the runtime keeps independently.
+  std::uint64_t retries = 0, replays = 0, suppressed = 0;
+  for (core::Core* c : cores) {
+    retries += c->rpc_retries();
+    replays += c->dedup().replays();
+    suppressed += c->dedup().suppressed();
+  }
+  EXPECT_GT(reg.CounterValue("rpc.retries"), 0u);
+  EXPECT_EQ(reg.CounterValue("rpc.retries"), retries);
+  EXPECT_EQ(reg.CounterValue("dedup.replays"), replays);
+  EXPECT_EQ(reg.CounterValue("dedup.suppressed"), suppressed);
+  EXPECT_GT(replays + suppressed, 0u) << "dedup never fired under chaos";
+  EXPECT_EQ(reg.CounterValue("net.drops"), rt.network().dropped());
+  EXPECT_GT(reg.CounterValue("net.drops"), 0u);
+  EXPECT_GT(reg.CounterValue("move.count"), 0u);
+  EXPECT_GT(reg.HistogramSnapshot("move.duration_ns").count, 0u);
+  EXPECT_GT(reg.HistogramSnapshot("move.bytes").sum, 0.0);
+
+  // The flat dump renders all of it.
+  std::ostringstream os;
+  reg.Dump(os);
+  const std::string dump = os.str();
+  for (const char* name :
+       {"counter invoke.count", "counter rpc.retries", "counter net.drops",
+        "histogram invoke.latency_ns", "histogram invoke.hops",
+        "histogram move.bytes"})
+    EXPECT_NE(dump.find(name), std::string::npos) << name;
+}
+
+TEST_F(ObservabilityTest, PerCoreDumpWritesOnlyThatCoresSpans) {
+  cores = MakeCores(2);
+  rt.SetTracing(true);
+  auto counter = cores[0]->New<Counter>();
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+  stub.Invoke<std::int64_t>("increment");
+
+  const std::string path = "observability_core_dump.json";
+  const std::size_t n = cores[1]->DumpTrace(path);
+  EXPECT_EQ(n, 1u);  // just the root span; the exec lives on core0
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto doc = json::Parse(buf.str());
+  std::size_t span_events = 0;
+  for (const auto& ev : doc->at("traceEvents").items)
+    if (ev->at("ph").string() == "X") {
+      ++span_events;
+      EXPECT_EQ(ev->at("pid").u64(), cores[1]->id().value);
+      EXPECT_EQ(ev->at("cat").string(), "root");
+    }
+  EXPECT_EQ(span_events, n);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObservabilityTest, DumpTraceToUnwritablePathThrows) {
+  cores = MakeCores(1);
+  EXPECT_THROW(rt.DumpTrace("/nonexistent-dir/trace.json"), FargoError);
+  EXPECT_THROW(cores[0]->DumpTrace("/nonexistent-dir/trace.json"), FargoError);
+}
+
+// ---- operator surface -------------------------------------------------------
+
+class ObservabilityShellTest : public FargoTest {
+ protected:
+  ObservabilityShellTest() {
+    cores = MakeCores(2);
+    shell = std::make_unique<shell::Shell>(rt, *cores[0], out);
+  }
+
+  std::string Run(const std::string& line) {
+    out.str("");
+    shell->Execute(line);
+    return out.str();
+  }
+
+  std::vector<core::Core*> cores;
+  std::ostringstream out;
+  std::unique_ptr<shell::Shell> shell;
+};
+
+TEST_F(ObservabilityShellTest, TraceOnOffTogglesRecording) {
+  auto counter = cores[0]->New<Counter>();
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+
+  stub.Invoke<std::int64_t>("increment");  // tracing off: nothing recorded
+  EXPECT_EQ(cores[1]->tracer().buffer().size(), 0u);
+
+  Run("trace on");
+  EXPECT_TRUE(rt.tracing());
+  stub.Invoke<std::int64_t>("increment");
+  EXPECT_GT(cores[1]->tracer().buffer().size(), 0u);
+
+  Run("trace off");
+  const std::size_t before = cores[1]->tracer().buffer().size();
+  stub.Invoke<std::int64_t>("increment");
+  EXPECT_EQ(cores[1]->tracer().buffer().size(), before);
+}
+
+TEST_F(ObservabilityShellTest, TraceDumpWritesLoadableFile) {
+  Run("trace on");
+  auto counter = cores[0]->New<Counter>();
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+  stub.Invoke<std::int64_t>("increment");
+
+  const std::string path = "observability_shell_dump.json";
+  const std::string msg = Run("trace dump " + path);
+  EXPECT_NE(msg.find(path), std::string::npos);
+  EXPECT_NE(msg.find("spans"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto doc = json::Parse(buf.str());
+  EXPECT_TRUE(doc->at("traceEvents").is_array());
+  std::remove(path.c_str());
+}
+
+TEST_F(ObservabilityShellTest, StatsDumpsTheRegistry) {
+  auto counter = cores[0]->New<Counter>();
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+  stub.Invoke<std::int64_t>("increment");
+  const std::string s = Run("stats");
+  EXPECT_NE(s.find("counter invoke.count 1"), std::string::npos);
+  EXPECT_NE(s.find("counter invoke.exec 1"), std::string::npos);
+  EXPECT_NE(s.find("histogram invoke.latency_ns count=1"), std::string::npos);
+}
+
+TEST_F(ObservabilityShellTest, SnapshotLeadsWithHeadlineGauges) {
+  auto counter = cores[0]->New<Counter>();
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+  stub.Invoke<std::int64_t>("increment");
+  cores[0]->MoveId(counter.target(), cores[1]->id());
+  rt.RunUntilIdle();
+
+  const std::string s = Run("snapshot");
+  EXPECT_NE(s.find("invocations=1"), std::string::npos);
+  EXPECT_NE(s.find("moves=1"), std::string::npos);
+  EXPECT_NE(s.find("drops=0"), std::string::npos);
+  EXPECT_NE(s.find("messages="), std::string::npos);
+}
+
+TEST_F(ObservabilityShellTest, HelpMentionsTheNewCommands) {
+  const std::string s = Run("help");
+  EXPECT_NE(s.find("trace"), std::string::npos);
+  EXPECT_NE(s.find("stats"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fargo::testing

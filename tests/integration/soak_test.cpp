@@ -219,6 +219,15 @@ struct ChaosOutcome {
   std::uint64_t events = 0;       // ...and scheduler trace fingerprint
   std::uint64_t retries = 0;
   std::uint64_t replays = 0;
+  // Metrics-registry view of the same run (tentpole cross-check): these
+  // must mirror the per-core ground truth exactly, and the exec counter is
+  // the double-execution detector — every execution the runtime performed,
+  // as counted at the dispatch site.
+  std::uint64_t metric_invocations = 0;  // invoke.count (successes)
+  std::uint64_t metric_execs = 0;        // invoke.exec (actual executions)
+  std::uint64_t metric_retries = 0;      // rpc.retries
+  std::uint64_t metric_replays = 0;      // dedup.replays
+  std::uint64_t metric_suppressed = 0;   // dedup.suppressed
 
   bool operator==(const ChaosOutcome&) const = default;
 };
@@ -310,10 +319,31 @@ ChaosOutcome RunChaosWorld(std::uint32_t seed, int ops) {
   out.drops = rt.network().dropped();
   out.duplicates = rt.network().duplicates();
   out.events = rt.scheduler().executed();
+  std::uint64_t suppressed = 0;
   for (core::Core* c : cores) {
     out.retries += c->rpc_retries();
     out.replays += c->dedup().replays();
+    suppressed += c->dedup().suppressed();
   }
+  const monitor::Registry& reg = rt.metrics();
+  out.metric_invocations = reg.CounterValue("invoke.count");
+  out.metric_execs = reg.CounterValue("invoke.exec");
+  out.metric_retries = reg.CounterValue("rpc.retries");
+  out.metric_replays = reg.CounterValue("dedup.replays");
+  out.metric_suppressed = reg.CounterValue("dedup.suppressed");
+  // The registry is a second, independent accounting of the same run; any
+  // divergence from the runtime's own counters is a wiring bug.
+  EXPECT_EQ(out.metric_retries, out.retries);
+  EXPECT_EQ(out.metric_replays, out.replays);
+  EXPECT_EQ(out.metric_suppressed, suppressed);
+  EXPECT_EQ(reg.CounterValue("net.drops"), rt.network().dropped());
+  // invoke.count tallies every successful invocation — the applies above
+  // plus any routed move commands, which travel as invocations of the
+  // system move method (at most one per periodic re-layout).
+  EXPECT_GE(out.metric_invocations, static_cast<std::uint64_t>(out.successes));
+  EXPECT_LE(out.metric_invocations,
+            static_cast<std::uint64_t>(out.successes) +
+                static_cast<std::uint64_t>(ops / 500));
   return out;
 }
 
@@ -332,6 +362,17 @@ TEST_P(ChaosSoakTest, TenThousandInvocationsNeverDoubleExecute) {
   EXPECT_GT(out.drops, 0u);
   EXPECT_GT(out.duplicates, 0u);
   EXPECT_GT(out.retries, 0u);
+  // Zero double-executions, cross-checked through the metrics layer: the
+  // dispatch-site exec counter must account for every ledger execution,
+  // exceeding it only by the handful of routed move-command executions
+  // (at most one per periodic re-layout — any more would mean a replayed
+  // request re-executed), and the dedup-hit counters must show the
+  // at-most-once machinery actually absorbing the duplicate deliveries.
+  EXPECT_GE(out.metric_execs, static_cast<std::uint64_t>(out.applied_ops));
+  EXPECT_LE(out.metric_execs,
+            static_cast<std::uint64_t>(out.applied_ops) + 10000 / 500);
+  EXPECT_GT(out.metric_replays + out.metric_suppressed, 0u)
+      << "chaos produced duplicates but dedup never fired";
 }
 
 TEST(ChaosSoakDeterminismTest, SameSeedSameTrace) {

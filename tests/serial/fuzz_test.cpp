@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "src/core/wire.h"
 #include "src/serial/value_codec.h"
 #include "tests/support/comlets.h"
 
@@ -89,6 +90,106 @@ TEST_P(CorruptionTest, MutatedGraphBytesNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionTest,
                          ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---- extended invocation wire format (optional trace tail) ------------------
+
+core::wire::InvokeRequest SampleRequest(bool traced) {
+  core::wire::InvokeRequest rq;
+  rq.handle = ComletHandle{ComletId{CoreId{3}, 9}, CoreId{1}, "test.Counter"};
+  rq.method = "apply";
+  rq.args = {Value(std::int64_t{17}), Value("payload")};
+  rq.origin = CoreId{4};
+  rq.path = {CoreId{1}, CoreId{2}};
+  if (traced)
+    rq.trace = core::wire::TraceContext{0x400000000001, 0x400000000002,
+                                        0x400000000001, 2};
+  return rq;
+}
+
+TEST(InvokeWireTest, RoundTripsWithAndWithoutTraceTail) {
+  for (bool traced : {false, true}) {
+    const core::wire::InvokeRequest rq = SampleRequest(traced);
+    const core::wire::InvokeRequest back =
+        core::wire::DecodeInvokeRequest(core::wire::EncodeInvokeRequest(rq));
+    EXPECT_EQ(back, rq) << "traced=" << traced;
+    EXPECT_EQ(back.trace.valid(), traced);
+  }
+}
+
+TEST(InvokeWireTest, UntracedEncodingIsByteIdenticalToOldFormat) {
+  // An invalid context writes no tail at all, so pre-tracing peers see the
+  // exact bytes they always did — and a payload that stops where the old
+  // format stopped decodes to an invalid (all-zero) context.
+  core::wire::InvokeRequest rq = SampleRequest(true);
+  const std::vector<std::uint8_t> traced = core::wire::EncodeInvokeRequest(rq);
+  rq.trace = core::wire::TraceContext{};
+  const std::vector<std::uint8_t> old = core::wire::EncodeInvokeRequest(rq);
+  EXPECT_LT(old.size(), traced.size());
+  // The tail is a strict suffix: everything an old decoder reads is
+  // untouched by the extension.
+  EXPECT_TRUE(std::equal(old.begin(), old.end(), traced.begin()));
+
+  const core::wire::InvokeRequest back = core::wire::DecodeInvokeRequest(old);
+  EXPECT_FALSE(back.trace.valid());
+  EXPECT_EQ(back, rq);
+}
+
+TEST(InvokeWireTest, TraceTailRoundTripsRandomContexts) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    core::wire::TraceContext t;
+    t.trace_id = rng();
+    t.span_id = rng();
+    t.parent_span = rng() % 3 == 0 ? 0 : rng();
+    t.retry = static_cast<std::uint32_t>(rng() % 8);
+    serial::Writer w;
+    core::wire::WriteTraceTail(w, t);
+    const std::vector<std::uint8_t> bytes = w.Take();
+    serial::Reader r(bytes);
+    const core::wire::TraceContext back = core::wire::ReadTraceTail(r);
+    if (t.valid()) {
+      EXPECT_EQ(back, t);
+      EXPECT_TRUE(r.AtEnd());
+    } else {
+      EXPECT_TRUE(bytes.empty());
+      EXPECT_FALSE(back.valid());
+    }
+  }
+}
+
+TEST_P(CorruptionTest, MutatedInvokeRequestBytesNeverCrash) {
+  std::mt19937 rng(GetParam());
+  const std::vector<std::uint8_t> clean =
+      core::wire::EncodeInvokeRequest(SampleRequest(true));
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> bytes = clean;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f)
+      bytes[rng() % bytes.size()] = static_cast<std::uint8_t>(rng());
+    try {
+      (void)core::wire::DecodeInvokeRequest(bytes);
+    } catch (const serial::SerialError&) {
+    } catch (const TypeError&) {
+    } catch (const std::bad_alloc&) {
+    }
+  }
+}
+
+TEST_P(CorruptionTest, TruncatedInvokeRequestBytesNeverCrash) {
+  std::mt19937 rng(GetParam());
+  const std::vector<std::uint8_t> clean =
+      core::wire::EncodeInvokeRequest(SampleRequest(true));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> bytes = clean;
+    bytes.resize(rng() % bytes.size());
+    try {
+      (void)core::wire::DecodeInvokeRequest(bytes);
+    } catch (const serial::SerialError&) {
+    } catch (const TypeError&) {
+    } catch (const std::bad_alloc&) {
+    }
+  }
+}
 
 TEST(RoundTripPropertyTest, RandomValuesRoundTrip) {
   std::mt19937_64 rng(99);

@@ -1,0 +1,226 @@
+// Minimal recursive-descent JSON parser used by the observability tests to
+// prove the Chrome-trace export is well-formed JSON and to walk its
+// structure. Supports the full JSON grammar the exporter can emit
+// (objects, arrays, strings with escapes, numbers, true/false/null);
+// throws std::runtime_error on any syntax violation.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fargo::testing::json {
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonPtr> items;
+  std::map<std::string, JsonPtr> fields;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = fields.find(key);
+    if (it == fields.end())
+      throw std::runtime_error("json: missing field " + key);
+    return *it->second;
+  }
+  bool has(const std::string& key) const { return fields.contains(key); }
+  double number() const {
+    if (kind != Kind::kNumber) throw std::runtime_error("json: not a number");
+    return num;
+  }
+  std::uint64_t u64() const { return static_cast<std::uint64_t>(number()); }
+  const std::string& string() const {
+    if (kind != Kind::kString) throw std::runtime_error("json: not a string");
+    return str;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonPtr Parse() {
+    JsonPtr v = ParseValue();
+    SkipWs();
+    if (pos_ != s_.size())
+      throw std::runtime_error("json: trailing garbage at " +
+                               std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char Peek() {
+    SkipWs();
+    if (pos_ >= s_.size()) throw std::runtime_error("json: unexpected end");
+    return s_[pos_];
+  }
+  char Next() {
+    char c = Peek();
+    ++pos_;
+    return c;
+  }
+  void Expect(char c) {
+    if (Next() != c)
+      throw std::runtime_error(std::string("json: expected '") + c + "' at " +
+                               std::to_string(pos_ - 1));
+  }
+
+  JsonPtr ParseValue() {
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonPtr ParseObject() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonPtr key = ParseString();
+      Expect(':');
+      v->fields[key->str] = ParseValue();
+      char c = Next();
+      if (c == '}') return v;
+      if (c != ',') throw std::runtime_error("json: bad object separator");
+    }
+  }
+
+  JsonPtr ParseArray() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v->items.push_back(ParseValue());
+      char c = Next();
+      if (c == ']') return v;
+      if (c != ',') throw std::runtime_error("json: bad array separator");
+    }
+  }
+
+  JsonPtr ParseString() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kString;
+    Expect('"');
+    while (true) {
+      if (pos_ >= s_.size())
+        throw std::runtime_error("json: unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return v;
+      if (static_cast<unsigned char>(c) < 0x20)
+        throw std::runtime_error("json: raw control char in string");
+      if (c != '\\') {
+        v->str += c;
+        continue;
+      }
+      if (pos_ >= s_.size())
+        throw std::runtime_error("json: dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': v->str += '"'; break;
+        case '\\': v->str += '\\'; break;
+        case '/': v->str += '/'; break;
+        case 'n': v->str += '\n'; break;
+        case 't': v->str += '\t'; break;
+        case 'r': v->str += '\r'; break;
+        case 'b': v->str += '\b'; break;
+        case 'f': v->str += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size())
+            throw std::runtime_error("json: bad \\u escape");
+          // The exporter never emits \u escapes; accept and keep raw.
+          v->str += s_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default:
+          throw std::runtime_error("json: unknown escape");
+      }
+    }
+  }
+
+  JsonPtr ParseBool() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v->b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v->b = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("json: bad literal");
+    }
+    return v;
+  }
+
+  JsonPtr ParseNull() {
+    if (s_.compare(pos_, 4, "null") != 0)
+      throw std::runtime_error("json: bad literal");
+    pos_ += 4;
+    return std::make_shared<JsonValue>();
+  }
+
+  JsonPtr ParseNumber() {
+    SkipWs();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) throw std::runtime_error("json: bad number");
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kNumber;
+    v->num = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline JsonPtr Parse(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace fargo::testing::json
