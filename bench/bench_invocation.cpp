@@ -72,6 +72,75 @@ void BM_RemoteCallPayload(benchmark::State& state) {
 }
 BENCHMARK(BM_RemoteCallPayload)->Range(64, 1 << 16);
 
+// E12: pipelined InvokeAsync vs sequential sync Invoke over a 50 ms link.
+// Sequential sync pays K round-trips; K pipelined futures share the link
+// and complete in ~1 RTT + K * serialization. Simulated time, so the curve
+// is deterministic. Emits BENCH_pipeline.json alongside the table.
+void PipelinedVsSyncTable() {
+  constexpr SimTime kLatency = Millis(50);
+  std::printf("\n-- E12: sync loop vs pipelined InvokeAsync (50 ms link) --\n");
+  TableHeader({"K", "sync (sim ms)", "pipelined (sim ms)", "speedup"});
+
+  FILE* json = std::fopen("BENCH_pipeline.json", "w");
+  if (json != nullptr)
+    std::fprintf(json,
+                 "{\n  \"experiment\": \"E12\",\n"
+                 "  \"link_latency_ms\": %.0f,\n  \"points\": [\n",
+                 ToMillis(kLatency));
+
+  double single_ms = 0;
+  double pipelined16_ms = 0;
+  const std::vector<int> ks = {1, 2, 4, 8, 16, 32};
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const int k = ks[i];
+    // Sequential sync: each Invoke pumps until its own future settles.
+    double sync_ms = 0;
+    {
+      World w(2, kLatency);
+      auto target = w[0].New<Counter>();
+      auto ref = w[1].RefTo<Counter>(target.handle());
+      ref.Call("get");  // warm the route so every run starts shortened
+      const SimTime t0 = w.rt.scheduler().Now();
+      for (int j = 0; j < k; ++j) ref.Call("get");
+      sync_ms = ToMillis(w.rt.scheduler().Now() - t0);
+    }
+    // Pipelined: all K requests leave before the first reply lands.
+    double pipe_ms = 0;
+    {
+      World w(2, kLatency);
+      auto target = w[0].New<Counter>();
+      auto ref = w[1].RefTo<Counter>(target.handle());
+      ref.Call("get");
+      const SimTime t0 = w.rt.scheduler().Now();
+      std::vector<sim::Future<Value>> futures;
+      for (int j = 0; j < k; ++j)
+        futures.push_back(ref.InvokeAsync("get"));
+      w.rt.RunUntilIdle();
+      for (auto& f : futures) (void)f.value();  // all settled, none failed
+      pipe_ms = ToMillis(w.rt.scheduler().Now() - t0);
+    }
+    if (k == 1) single_ms = pipe_ms;
+    if (k == 16) pipelined16_ms = pipe_ms;
+    Row("| %4d | %13.2f | %18.2f | %6.1fx |", k, sync_ms, pipe_ms,
+        sync_ms / pipe_ms);
+    if (json != nullptr)
+      std::fprintf(json,
+                   "    {\"k\": %d, \"sync_ms\": %.3f, \"pipelined_ms\": "
+                   "%.3f, \"speedup\": %.2f}%s\n",
+                   k, sync_ms, pipe_ms, sync_ms / pipe_ms,
+                   i + 1 < ks.size() ? "," : "");
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_pipeline.json\n");
+  }
+  std::printf("acceptance: 16 pipelined in %.2f ms vs single %.2f ms -> %s\n",
+              pipelined16_ms, single_ms,
+              pipelined16_ms < 2 * single_ms ? "PASS (< 2x single)"
+                                             : "FAIL (>= 2x single)");
+}
+
 void TrackerSharingTable() {
   std::printf("\n-- one tracker per target per Core (stub fan-in) --\n");
   TableHeader({"stubs at core1", "trackers at core1", "naive proxies"});
@@ -94,5 +163,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   TrackerSharingTable();
+  PipelinedVsSyncTable();
   return 0;
 }

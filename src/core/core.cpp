@@ -19,11 +19,6 @@
 namespace fargo::core {
 
 namespace {
-// System methods handled by the Core itself, never dispatched to anchors.
-constexpr std::string_view kPingMethod = "__fargo.ping";
-constexpr std::string_view kMoveMethod = "__fargo.move";
-constexpr std::string_view kMethodsMethod = "__fargo.methods";
-
 // kControl payload subkinds (home-registry protocol + heartbeats).
 constexpr std::uint8_t kCtrlHomeUpdate = 1;
 constexpr std::uint8_t kCtrlHomeQuery = 2;
@@ -46,6 +41,7 @@ Core::Core(Runtime& runtime, CoreId id, std::string name)
   inst_.retries = &reg.counter("rpc.retries");
   inst_.dedup_replays = &reg.counter("dedup.replays");
   inst_.dedup_suppressed = &reg.counter("dedup.suppressed");
+  inst_.late_replies = &reg.counter("rpc.late_replies");
   inst_.moves = &reg.counter("move.count");
   inst_.hb_pings = &reg.counter("hb.pings");
   inst_.invoke_latency =
@@ -57,6 +53,11 @@ Core::Core(Runtime& runtime, CoreId id, std::string name)
   inst_.move_bytes =
       &reg.histogram("move.bytes", monitor::Registry::SizeBounds());
   tracer_.SetEnabled(runtime_.tracing());
+  // Route changes wake invocations parked on a missing/in-transit route
+  // (the async pipeline's replacement for polling the table from a pump).
+  trackers_.SetChangeHook([this](ComletId cid) {
+    if (invocation_) invocation_->NotifyRouteChanged(cid);
+  });
   network().Register(id_, [this](net::Message m) { HandleMessage(std::move(m)); });
 }
 
@@ -144,10 +145,26 @@ void Core::Move(const ComletRefBase& ref, CoreId dest, std::string continuation,
 
 void Core::MoveId(ComletId target, CoreId dest, std::string continuation,
                   std::vector<Value> args) {
+  sim::Await(MoveIdAsync(target, dest, std::move(continuation),
+                         std::move(args)));
+}
+
+sim::Future<sim::Unit> Core::MoveAsync(const ComletRefBase& ref, CoreId dest,
+                                       std::string continuation,
+                                       std::vector<Value> args) {
+  if (!ref.bound())
+    return sim::MakeErrorFuture<sim::Unit>(
+        scheduler(), FargoError("move through an unbound reference"));
+  return MoveIdAsync(ref.target(), dest, std::move(continuation),
+                     std::move(args));
+}
+
+sim::Future<sim::Unit> Core::MoveIdAsync(ComletId target, CoreId dest,
+                                         std::string continuation,
+                                         std::vector<Value> args) {
   if (repository_.Contains(target)) {
-    movement_->MoveLocal(target, dest, std::move(continuation),
-                         std::move(args));
-    return;
+    return movement_->MoveLocalAsync(target, dest, std::move(continuation),
+                                     std::move(args));
   }
   // Not hosted here: route a move command through the tracker chain to
   // wherever the complet lives, via the system move method.
@@ -155,12 +172,16 @@ void Core::MoveId(ComletId target, CoreId dest, std::string continuation,
   ComletHandle handle{target, entry != nullptr ? entry->next : CoreId{},
                       entry != nullptr ? entry->anchor_type : std::string()};
   if (!handle.last_known.valid())
-    throw FargoError("move: no route to complet " + ToString(target));
+    return sim::MakeErrorFuture<sim::Unit>(
+        scheduler(),
+        FargoError("move: no route to complet " + ToString(target)));
   Value::List cont_args(args.begin(), args.end());
-  invocation_->Invoke(handle, kMoveMethod,
-                      {Value(static_cast<std::int64_t>(dest.value)),
-                       Value(std::move(continuation)),
-                       Value(std::move(cont_args))});
+  return invocation_
+      ->InvokeAsync(handle, kMoveMethod,
+                    {Value(static_cast<std::int64_t>(dest.value)),
+                     Value(std::move(continuation)),
+                     Value(std::move(cont_args))})
+      .Then([](InvokeResult&) {});
 }
 
 // ==== reflection & tracking ===================================================
@@ -276,52 +297,68 @@ Value Core::DispatchLocal(ComletId target, std::string_view method,
 
 // ==== messaging ==============================================================
 
+sim::Future<std::vector<std::uint8_t>> Core::SendAsync(
+    CoreId to, net::MessageKind kind, std::vector<std::uint8_t> payload) {
+  auto rpc = std::make_shared<PendingRpc>(scheduler());
+  rpc->to = to;
+  rpc->kind = kind;
+  rpc->payload = std::move(payload);
+  rpc->corr = NextCorrelation();
+  rpc->max_attempts = std::max(1, retry_policy_.max_attempts);
+  pending_replies_[rpc->corr] = rpc;
+  SendRpcAttempt(rpc);
+  return rpc->promise.future();
+}
+
+// Every attempt reuses the correlation, so the receiver's dedup cache
+// recognizes retries of this request and a late reply to any attempt
+// resolves the future. A timeout is retry-safe by the transport contract:
+// either the request never executed, or its reply will be replayed from the
+// receiver's cache when the retry lands.
+void Core::SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc) {
+  // The RPC machinery runs as scheduled continuations; it must never pump.
+  sim::Scheduler::NoPumpScope no_pump(scheduler());
+  ++rpc->attempt;
+  if (rpc->attempt > 1) {
+    ++rpc_retries_;
+    inst_.retries->Inc();
+    tracer_.RecordInstant(monitor::SpanKind::kRetry, net::ToString(rpc->kind),
+                          tracer_.Current(), scheduler().Now(),
+                          static_cast<std::uint32_t>(rpc->attempt - 1));
+  }
+  net::Message msg;
+  msg.from = id_;
+  msg.to = rpc->to;
+  msg.kind = rpc->kind;
+  msg.correlation = rpc->corr;
+  msg.payload = (rpc->attempt == rpc->max_attempts)
+                    ? std::move(rpc->payload)
+                    : rpc->payload;
+  network().Send(std::move(msg));
+  rpc->timer = scheduler().ScheduleAfter(
+      rpc_timeout_, [this, rpc] { OnRpcTimeout(rpc); });
+}
+
+void Core::OnRpcTimeout(const std::shared_ptr<PendingRpc>& rpc) {
+  if (rpc->promise.settled()) return;
+  if (rpc->attempt >= rpc->max_attempts) {
+    pending_replies_.erase(rpc->corr);
+    rpc->promise.RejectWith(
+        UnreachableError(std::string(net::ToString(rpc->kind)) + " to " +
+                         ToString(rpc->to) + " timed out"));
+    return;
+  }
+  // Back off while still listening: the original reply may yet arrive and
+  // settle the future, in which case the resend below is a no-op.
+  rpc->timer = scheduler().ScheduleAfter(
+      retry_policy_.BackoffAfter(rpc->attempt, rpc->corr), [this, rpc] {
+        if (!rpc->promise.settled()) SendRpcAttempt(rpc);
+      });
+}
+
 std::vector<std::uint8_t> Core::SendAndAwait(
     CoreId to, net::MessageKind kind, std::vector<std::uint8_t> payload) {
-  const std::uint64_t corr = NextCorrelation();
-  pending_replies_.try_emplace(corr);
-  const int max_attempts = std::max(1, retry_policy_.max_attempts);
-
-  auto reply_ready = [this, corr] {
-    auto it = pending_replies_.find(corr);
-    return it != pending_replies_.end() && it->second.done;
-  };
-
-  // Every attempt reuses `corr`, so the receiver's dedup cache recognizes
-  // retries of this request and a late reply to any attempt resolves the
-  // await. A timeout is retry-safe by the transport contract: either the
-  // request never executed, or its reply will be replayed from the
-  // receiver's cache when the retry lands.
-  bool done = false;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (attempt > 1) {
-      ++rpc_retries_;
-      inst_.retries->Inc();
-      tracer_.RecordInstant(monitor::SpanKind::kRetry, net::ToString(kind),
-                            tracer_.Current(), scheduler().Now(),
-                            static_cast<std::uint32_t>(attempt - 1));
-    }
-    net::Message msg;
-    msg.from = id_;
-    msg.to = to;
-    msg.kind = kind;
-    msg.correlation = corr;
-    msg.payload = (attempt == max_attempts) ? std::move(payload) : payload;
-    network().Send(std::move(msg));
-
-    done = scheduler().RunUntilOr(reply_ready, scheduler().Now() + rpc_timeout_);
-    if (done || attempt == max_attempts) break;
-    // Back off while still listening: the original reply may yet arrive.
-    done = scheduler().RunUntilOr(
-        reply_ready,
-        scheduler().Now() + retry_policy_.BackoffAfter(attempt, corr));
-    if (done) break;
-  }
-  auto node = pending_replies_.extract(corr);
-  if (!done)
-    throw UnreachableError(std::string(net::ToString(kind)) + " to " +
-                           ToString(to) + " timed out");
-  return std::move(node.mapped().payload);
+  return sim::Await(SendAsync(to, kind, std::move(payload)));
 }
 
 void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
@@ -465,10 +502,18 @@ void Core::DispatchMessage(net::Message msg) {
     case net::MessageKind::kNewReply:
     case net::MessageKind::kControlReply: {
       auto it = pending_replies_.find(msg.correlation);
-      if (it != pending_replies_.end() && !it->second.done) {
-        it->second.done = true;
-        it->second.payload = std::move(msg.payload);
+      if (it == pending_replies_.end()) {
+        // Reply to an RPC that already settled (timed out, or answered by
+        // an earlier duplicate): count and drop.
+        inst_.late_replies->Inc();
+        LogDebug() << "core " << name_ << " dropped late "
+                   << net::ToString(msg.kind) << " corr " << msg.correlation;
+        return;
       }
+      std::shared_ptr<PendingRpc> rpc = it->second;
+      pending_replies_.erase(it);
+      scheduler().Cancel(rpc->timer);
+      rpc->promise.Resolve(std::move(msg.payload));
       return;
     }
     case net::MessageKind::kNameRequest:
@@ -639,21 +684,29 @@ std::vector<CoreId> Core::RemoteSubscriptionPeers() const {
 }
 
 CoreId Core::LocateViaHome(ComletId id) {
-  if (!runtime_.home_registry_enabled() || !id.valid()) return CoreId{};
+  return sim::Await(LocateViaHomeAsync(id));
+}
+
+sim::Future<CoreId> Core::LocateViaHomeAsync(ComletId id) {
+  if (!runtime_.home_registry_enabled() || !id.valid())
+    return sim::MakeReadyFuture(scheduler(), CoreId{});
   if (id.origin == id_) {
-    if (repository_.Contains(id)) return id_;
+    if (repository_.Contains(id)) return sim::MakeReadyFuture(scheduler(), id_);
     auto it = home_locations_.find(id);
-    return it == home_locations_.end() ? CoreId{} : it->second.location;
+    return sim::MakeReadyFuture(
+        scheduler(),
+        it == home_locations_.end() ? CoreId{} : it->second.location);
   }
   serial::Writer w;
   w.WriteU8(kCtrlHomeQuery);
   wire::WriteComletId(w, id);
-  std::vector<std::uint8_t> reply =
-      SendAndAwait(id.origin, net::MessageKind::kControl, w.Take());
-  serial::Reader r(reply);
-  wire::CheckOk(r);
-  if (!r.ReadBool()) return CoreId{};
-  return wire::ReadCoreId(r);
+  return SendAsync(id.origin, net::MessageKind::kControl, w.Take())
+      .Then([](std::vector<std::uint8_t>& reply) {
+        serial::Reader r(reply);
+        wire::CheckOk(r);
+        if (!r.ReadBool()) return CoreId{};
+        return wire::ReadCoreId(r);
+      });
 }
 
 void Core::Crash() {

@@ -30,11 +30,17 @@
 #include "src/monitor/trace.h"
 #include "src/net/network.h"
 #include "src/serial/registry.h"
+#include "src/sim/future.h"
 #include "src/sim/scheduler.h"
 
 namespace fargo::core {
 
 class FailureDetector;
+
+// System methods handled by the Core itself, never dispatched to anchors.
+inline constexpr std::string_view kPingMethod = "__fargo.ping";
+inline constexpr std::string_view kMoveMethod = "__fargo.move";
+inline constexpr std::string_view kMethodsMethod = "__fargo.methods";
 
 /// Outcome of one routed invocation, including tracking telemetry.
 struct InvokeResult {
@@ -86,6 +92,18 @@ class Core {
   /// Id-addressed variant used by the scripting engine and the shell.
   void MoveId(ComletId target, CoreId dest, std::string continuation = {},
               std::vector<Value> args = {});
+
+  /// Asynchronous movement: returns a future that settles once the move
+  /// commits (including any deferred remote pulls it spawned) or rolls
+  /// back. The synchronous Move/MoveId are thin wrappers that pump the
+  /// scheduler until this future settles. Layout rules use this to keep
+  /// acting while migrations are outstanding (§4.2–4.3).
+  sim::Future<sim::Unit> MoveAsync(const ComletRefBase& ref, CoreId dest,
+                                   std::string continuation = {},
+                                   std::vector<Value> args = {});
+  sim::Future<sim::Unit> MoveIdAsync(ComletId target, CoreId dest,
+                                     std::string continuation = {},
+                                     std::vector<Value> args = {});
 
   /// Reflection entry point (§3.2): the meta reference of a complet
   /// reference, reifying its relocation semantics.
@@ -178,6 +196,9 @@ class Core {
   /// (origin) Core for its current location. Returns an invalid CoreId if
   /// the home doesn't know (or the registry is disabled).
   CoreId LocateViaHome(ComletId id);
+  /// Continuation form of LocateViaHome, usable from inside the async
+  /// invocation pipeline (which must never pump the scheduler).
+  sim::Future<CoreId> LocateViaHomeAsync(ComletId id);
 
   // -- introspection -------------------------------------------------------------
   std::vector<ComletId> ComletsHere() const { return repository_.All(); }
@@ -199,8 +220,17 @@ class Core {
   /// Network receive entry point.
   void HandleMessage(net::Message msg);
 
-  /// Sends a request and pumps the scheduler until its reply (matched by
-  /// correlation) arrives; throws FargoError on timeout. Returns payload.
+  /// Asynchronous request/reply: sends `payload` and returns a future for
+  /// the reply payload (matched by correlation). Retry-safe failures are
+  /// retried per the RetryPolicy from scheduled continuations — the calling
+  /// stack never pumps. The future rejects with UnreachableError after the
+  /// last attempt times out. Naming, remote-new, event registration,
+  /// control round-trips, and movement all ride on this.
+  sim::Future<std::vector<std::uint8_t>> SendAsync(
+      CoreId to, net::MessageKind kind, std::vector<std::uint8_t> payload);
+
+  /// Synchronous wrapper over SendAsync: pumps the scheduler until the
+  /// reply future settles; throws UnreachableError on timeout.
   std::vector<std::uint8_t> SendAndAwait(CoreId to, net::MessageKind kind,
                                          std::vector<std::uint8_t> payload);
   /// Sends a reply carrying `correlation`.
@@ -302,9 +332,20 @@ class Core {
   friend class InvocationUnit;
   friend class MovementUnit;
 
-  struct PendingReply {
-    bool done = false;
-    std::vector<std::uint8_t> payload;
+  /// One outstanding SendAsync round-trip: a stable heap record (shared by
+  /// the map, the retry/timeout timers, and the reply path), so waiter
+  /// bookkeeping survives map rehashes and late replies can be told apart
+  /// from live ones.
+  struct PendingRpc {
+    explicit PendingRpc(sim::Scheduler& s) : promise(s) {}
+    sim::Promise<std::vector<std::uint8_t>> promise;
+    CoreId to;
+    net::MessageKind kind{};
+    std::vector<std::uint8_t> payload;  ///< kept for resends
+    std::uint64_t corr = 0;
+    int attempt = 0;
+    int max_attempts = 1;
+    sim::TaskId timer = 0;  ///< pending timeout or backoff task
   };
 
   /// Hot-path metric instruments, resolved once from the Runtime registry
@@ -316,6 +357,7 @@ class Core {
     monitor::Counter* retries = nullptr;          ///< resent attempts
     monitor::Counter* dedup_replays = nullptr;    ///< answered from cache
     monitor::Counter* dedup_suppressed = nullptr; ///< in-progress duplicates
+    monitor::Counter* late_replies = nullptr;     ///< replies to settled RPCs
     monitor::Counter* moves = nullptr;
     monitor::Counter* hb_pings = nullptr;
     monitor::Histogram* invoke_latency = nullptr; ///< ns, delivered invokes
@@ -326,6 +368,8 @@ class Core {
 
   void DrainParked(ComletId id);
   void DispatchMessage(net::Message msg);
+  void SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc);
+  void OnRpcTimeout(const std::shared_ptr<PendingRpc>& rpc);
   void HandleNameRequest(const net::Message& msg);
   void HandleNewRequest(const net::Message& msg);
   void HandleControl(net::Message msg);
@@ -355,7 +399,7 @@ class Core {
   std::uint64_t rpc_retries_ = 0;
   std::unique_ptr<FailureDetector> detector_;
 
-  std::unordered_map<std::uint64_t, PendingReply> pending_replies_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingRpc>> pending_replies_;
   std::unordered_map<ComletId, std::vector<net::Message>> parked_;
 
   /// Home-registry state: latest known location (with observation time)

@@ -1,37 +1,292 @@
 #include "src/core/invocation.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/log.h"
+#include "src/core/movement.h"
 #include "src/core/wire.h"
 #include "src/serial/value_codec.h"
 
 namespace fargo::core {
 
+// ==== origin side: the async invocation state machine ========================
+//
+// One remote invocation = one AsyncCall record driven by continuations:
+//
+//   StartCall ──local──▶ DispatchLocalCall ──▶ settle
+//       │
+//       ├─no route──▶ AwaitRoute ──tracker change──▶ ResumeAfterRoute ─┐
+//       │                  └─deadline──▶ settle(unreachable)           │
+//       │                                                             ▼
+//       └─remote──▶ BeginRemote ──▶ SendAttempt ──reply──▶ HandleReply ─▶ settle
+//                        ▲              └─timeout─▶ OnAttemptTimeout
+//                        └──────backoff resend──────────┘
+//
+// The machinery never pumps the scheduler (NoPumpScope enforces it); only
+// the synchronous Invoke wrapper below pumps, at top level.
+
 InvokeResult InvocationUnit::Invoke(const ComletHandle& handle,
                                     std::string_view method,
                                     std::vector<Value> args) {
+  return sim::Await(InvokeAsync(handle, method, std::move(args)));
+}
+
+sim::Future<InvokeResult> InvocationUnit::InvokeAsync(
+    const ComletHandle& handle, std::string_view method,
+    std::vector<Value> args) {
+  const std::string m(method);
+  sim::Future<InvokeResult> first = StartCall(handle, m, args);
+  // Home-registry fallback (§7 future work): on a severed chain, ask the
+  // target's home Core for a fresh route and retry once — safe because
+  // UnreachableError means the request never executed.
+  return first.OrElse(
+      [this, handle, m, args = std::move(args)](
+          std::exception_ptr e) -> sim::Future<InvokeResult> {
+        try {
+          std::rethrow_exception(e);
+        } catch (const UnreachableError&) {
+          // Eligible for the fallback; anything else propagates out of the
+          // rethrow above and rejects the invocation unchanged.
+        }
+        TrackerEntry* entry = core_.trackers().Find(handle.id);
+        if (entry != nullptr && entry->is_local())
+          std::rethrow_exception(e);  // can't improve
+        return core_.LocateViaHomeAsync(handle.id)
+            .OrElse([id = handle.id](std::exception_ptr) -> CoreId {
+              throw UnreachableError("home registry of " + ToString(id) +
+                                     " is unreachable too");
+            })
+            .Then([this, handle, m, args,
+                   e](CoreId home_route) -> sim::Future<InvokeResult> {
+              if (!home_route.valid() || home_route == core_.id())
+                std::rethrow_exception(e);
+              TrackerEntry* entry = core_.trackers().Find(handle.id);
+              if (entry != nullptr && !entry->is_local() &&
+                  entry->next == home_route)
+                std::rethrow_exception(e);  // no better route than what failed
+              core_.trackers().SetForward(handle.id, home_route,
+                                          handle.anchor_type);
+              return StartCall(handle, m, args);
+            });
+      });
+}
+
+sim::Future<InvokeResult> InvocationUnit::StartCall(
+    const ComletHandle& handle, const std::string& method,
+    const std::vector<Value>& args) {
+  sim::Scheduler& sched = core_.scheduler();
+  monitor::Tracer& tracer = core_.tracer();
+  auto call = std::make_shared<AsyncCall>(sched);
+  call->handle = handle;
+  call->method = method;
+  call->args = args;
+  call->begin = sched.Now();
+  call->max_attempts = std::max(1, core_.retry_policy().max_attempts);
+  // The trace root: a fresh trace at top level, a child span when this
+  // invocation runs inside another traced execution (ambient context).
+  call->root = tracer.OpenSpan(monitor::SpanKind::kRoot, method,
+                               tracer.Current(), call->begin);
+
+  TrackerEntry& entry = core_.trackers().Ensure(handle);
+  if (entry.is_local()) {
+    // Fast path: the single extra indirection of the stub/tracker split —
+    // target hosted here means a plain local dispatch.
+    DispatchLocalCall(call);
+  } else if (!entry.next.valid() || entry.next == core_.id()) {
+    // The target may be in transit *to us*; wait for it to land.
+    AwaitRoute(call, call->begin + core_.rpc_timeout());
+  } else {
+    BeginRemote(call);
+  }
+  return call->promise.future();
+}
+
+void InvocationUnit::DispatchLocalCall(const std::shared_ptr<AsyncCall>& call) {
   try {
-    return DoInvoke(handle, method, args);
-  } catch (const UnreachableError&) {
-    // The chain is severed. With the home registry (§7 future work), ask
-    // the target's home Core for a fresh route and retry once.
-    TrackerEntry* entry = core_.trackers().Find(handle.id);
-    if (entry != nullptr && entry->is_local()) throw;  // can't improve
-    CoreId home_route;
-    try {
-      home_route = core_.LocateViaHome(handle.id);
-    } catch (const std::exception&) {
-      throw UnreachableError("home registry of " + ToString(handle.id) +
-                             " is unreachable too");
+    core_.inst_.execs->Inc();
+    Value v;
+    {
+      monitor::TraceScope scope(core_.tracer(), call->root.ctx);
+      v = core_.DispatchLocal(call->handle.id, call->method, call->args);
     }
-    if (!home_route.valid() || home_route == core_.id()) throw;
-    if (entry != nullptr && !entry->is_local() && entry->next == home_route)
-      throw;  // home has no better route than what just failed
-    core_.trackers().SetForward(handle.id, home_route, handle.anchor_type);
-    return DoInvoke(handle, method, args);
+    FinalizeOk(call, InvokeResult{std::move(v), core_.id(), 0});
+  } catch (const UnreachableError&) {
+    FinalizeError(call, std::current_exception(),
+                  monitor::SpanOutcome::kTransportError);
+  } catch (const std::exception&) {
+    FinalizeError(call, std::current_exception(),
+                  monitor::SpanOutcome::kAppError);
   }
 }
+
+void InvocationUnit::AwaitRoute(const std::shared_ptr<AsyncCall>& call,
+                                SimTime deadline) {
+  auto wait = std::make_shared<RouteWait>();
+  wait->call = call;
+  const ComletId id = call->handle.id;
+  wait->timer = core_.scheduler().ScheduleAt(deadline, [this, id, wait] {
+    auto it = route_waiters_.find(id);
+    if (it != route_waiters_.end()) {
+      auto& waits = it->second;
+      waits.erase(std::remove(waits.begin(), waits.end(), wait), waits.end());
+      if (waits.empty()) route_waiters_.erase(it);
+    }
+    if (wait->call->promise.settled()) return;
+    FinalizeError(wait->call,
+                  std::make_exception_ptr(UnreachableError(
+                      "invocation target " + ToString(id) +
+                      " unreachable from " + ToString(core_.id()))),
+                  monitor::SpanOutcome::kTransportError);
+  });
+  route_waiters_[id].push_back(std::move(wait));
+}
+
+void InvocationUnit::NotifyRouteChanged(ComletId id) {
+  auto it = route_waiters_.find(id);
+  if (it == route_waiters_.end()) return;
+  TrackerEntry* entry = core_.trackers().Find(id);
+  const bool routable =
+      entry != nullptr && (entry->is_local() ||
+                           (entry->next.valid() && entry->next != core_.id()));
+  if (!routable) return;
+  std::vector<std::shared_ptr<RouteWait>> waits = std::move(it->second);
+  route_waiters_.erase(it);
+  sim::Scheduler& sched = core_.scheduler();
+  for (auto& wait : waits) {
+    sched.Cancel(wait->timer);
+    const SimTime deadline = wait->call->begin + core_.rpc_timeout();
+    // Resume as a fresh event: the tracker hook may fire mid-install or
+    // mid-move, and dispatch must not run inside that mutation.
+    sched.ScheduleAfter(0, [this, call = wait->call, deadline] {
+      ResumeAfterRoute(call, deadline);
+    });
+  }
+}
+
+void InvocationUnit::ResumeAfterRoute(const std::shared_ptr<AsyncCall>& call,
+                                      SimTime deadline) {
+  if (call->promise.settled()) return;
+  TrackerEntry* entry = core_.trackers().Find(call->handle.id);
+  if (entry == nullptr ||
+      (!entry->is_local() &&
+       (!entry->next.valid() || entry->next == core_.id()))) {
+    AwaitRoute(call, deadline);  // the route flapped away again; keep waiting
+    return;
+  }
+  if (entry->is_local()) {
+    DispatchLocalCall(call);
+    return;
+  }
+  BeginRemote(call);
+}
+
+// ==== remote attempts ========================================================
+//
+// On a retry-safe failure (timeout, or a transport-flagged error reply —
+// both mean the method never executed) the request is resent with the SAME
+// correlation, so any executor that does see both copies recognizes the
+// duplicate and answers from its dedup cache instead of re-executing.
+
+void InvocationUnit::BeginRemote(const std::shared_ptr<AsyncCall>& call) {
+  call->corr = core_.NextCorrelation();
+  waiters_[call->corr] = call;
+  SendAttempt(call);
+}
+
+void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
+  sim::Scheduler::NoPumpScope no_pump(core_.scheduler());
+  sim::Scheduler& sched = core_.scheduler();
+  monitor::Tracer& tracer = core_.tracer();
+  ++call->attempt;
+  // The first attempt travels as the root span; each resend travels as a
+  // fresh child span tagged with its retry ordinal.
+  wire::TraceContext attempt_ctx = call->root.ctx;
+  if (call->attempt > 1) {
+    ++core_.rpc_retries_;
+    core_.inst_.retries->Inc();
+    attempt_ctx =
+        tracer
+            .RecordInstant(monitor::SpanKind::kRetry, call->method,
+                           call->root.ctx, sched.Now(),
+                           static_cast<std::uint32_t>(call->attempt - 1))
+            .ctx;
+  }
+  // Re-resolve the route each attempt: the target may have moved — possibly
+  // to this very Core, in which case the send loops back through our own
+  // dedup-checked handler rather than re-dispatching locally (an earlier
+  // attempt may already have executed elsewhere).
+  TrackerEntry* entry = core_.trackers().Find(call->handle.id);
+  if (entry == nullptr) entry = &core_.trackers().Ensure(call->handle);
+  const CoreId next = (!entry->is_local() && entry->next.valid() &&
+                       entry->next != core_.id())
+                          ? entry->next
+                          : core_.id();
+  wire::InvokeRequest rq{call->handle, call->method, call->args,
+                         core_.id(),   {},           false,
+                         attempt_ctx};
+  // Route by our tracker's knowledge, not the stub's stale hint, so the
+  // next hop parks rather than bouncing the request back at us.
+  rq.handle.last_known = next;
+  if (next != core_.id()) ++entry->forwarded;
+
+  net::Message msg;
+  msg.from = core_.id();
+  msg.to = next;
+  msg.kind = net::MessageKind::kInvokeRequest;
+  msg.correlation = call->corr;
+  msg.payload = wire::EncodeInvokeRequest(rq);
+  core_.network().Send(std::move(msg));
+
+  call->timer = sched.ScheduleAfter(core_.rpc_timeout(),
+                                    [this, call] { OnAttemptTimeout(call); });
+}
+
+void InvocationUnit::OnAttemptTimeout(const std::shared_ptr<AsyncCall>& call) {
+  if (call->promise.settled()) return;
+  if (call->attempt < call->max_attempts) {
+    ArmBackoffResend(call);
+    return;
+  }
+  waiters_.erase(call->corr);
+  FinalizeError(call,
+                std::make_exception_ptr(UnreachableError(
+                    "invocation of " + call->method + " on " +
+                    ToString(call->handle.id) + " timed out")),
+                monitor::SpanOutcome::kTimeout);
+}
+
+void InvocationUnit::ArmBackoffResend(const std::shared_ptr<AsyncCall>& call) {
+  // Keep listening through the backoff window: the waiter stays registered,
+  // so a late reply to the previous attempt is just as good as a reply to
+  // the next one and settles the call before the resend fires.
+  call->timer = core_.scheduler().ScheduleAfter(
+      core_.retry_policy().BackoffAfter(call->attempt, call->corr),
+      [this, call] {
+        if (!call->promise.settled()) SendAttempt(call);
+      });
+}
+
+void InvocationUnit::FinalizeOk(const std::shared_ptr<AsyncCall>& call,
+                                InvokeResult res) {
+  const SimTime now = core_.scheduler().Now();
+  core_.tracer().CloseSpan(call->root.token, now, monitor::SpanOutcome::kOk,
+                           res.hops);
+  core_.inst_.invocations->Inc();
+  core_.inst_.invoke_latency->Observe(static_cast<double>(now - call->begin));
+  core_.inst_.invoke_hops->Observe(static_cast<double>(res.hops));
+  call->promise.Resolve(std::move(res));
+}
+
+void InvocationUnit::FinalizeError(const std::shared_ptr<AsyncCall>& call,
+                                   std::exception_ptr error,
+                                   monitor::SpanOutcome outcome) {
+  core_.inst_.invoke_errors->Inc();
+  core_.tracer().CloseSpan(call->root.token, core_.scheduler().Now(), outcome);
+  call->promise.Reject(std::move(error));
+}
+
+// ==== oneway =================================================================
 
 void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
                           std::vector<Value> args) {
@@ -57,183 +312,22 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
               << ToString(handle.id);
     return;
   }
-  wire::InvokeRequest rq{handle, std::string(method), std::move(args),
-                         core_.id(), {}, core_.tracer().Current()};
+  wire::InvokeRequest rq{handle,     std::string(method), std::move(args),
+                         core_.id(), {},                  true,
+                         core_.tracer().Current()};
   rq.handle.last_known = entry.next;
   ++entry.forwarded;
   net::Message msg;
   msg.from = core_.id();
   msg.to = entry.next;
   msg.kind = net::MessageKind::kInvokeRequest;
-  msg.correlation = core_.NextCorrelation();  // reply will find no waiter
+  // The correlation only keys executor-side dedup; no reply ever comes back.
+  msg.correlation = core_.NextCorrelation();
   msg.payload = wire::EncodeInvokeRequest(rq);
   core_.network().Send(std::move(msg));
 }
 
-InvokeResult InvocationUnit::DoInvoke(const ComletHandle& handle,
-                                      std::string_view method,
-                                      const std::vector<Value>& args) {
-  monitor::Tracer& tracer = core_.tracer();
-  sim::Scheduler& sched = core_.scheduler();
-  const SimTime begin = sched.Now();
-  // The trace root: a fresh trace at top level, a child span when this
-  // invocation runs inside another traced execution (ambient context).
-  monitor::Tracer::Opened root = tracer.OpenSpan(
-      monitor::SpanKind::kRoot, method, tracer.Current(), begin);
-  monitor::SpanOutcome fail_outcome = monitor::SpanOutcome::kTransportError;
-  try {
-    InvokeResult res =
-        DoInvokeRouted(handle, method, args, root.ctx, fail_outcome);
-    const SimTime now = sched.Now();
-    tracer.CloseSpan(root.token, now, monitor::SpanOutcome::kOk, res.hops);
-    core_.inst_.invocations->Inc();
-    core_.inst_.invoke_latency->Observe(static_cast<double>(now - begin));
-    core_.inst_.invoke_hops->Observe(static_cast<double>(res.hops));
-    return res;
-  } catch (const UnreachableError&) {
-    core_.inst_.invoke_errors->Inc();
-    tracer.CloseSpan(root.token, sched.Now(), fail_outcome);
-    throw;
-  } catch (const std::exception&) {
-    core_.inst_.invoke_errors->Inc();
-    tracer.CloseSpan(root.token, sched.Now(), monitor::SpanOutcome::kAppError);
-    throw;
-  }
-}
-
-InvokeResult InvocationUnit::DoInvokeRouted(const ComletHandle& handle,
-                                            std::string_view method,
-                                            const std::vector<Value>& args,
-                                            const wire::TraceContext& root,
-                                            monitor::SpanOutcome& fail_outcome) {
-  sim::Scheduler& sched = core_.scheduler();
-  TrackerEntry* entry = &core_.trackers().Ensure(handle);
-
-  // Fast path: the single extra indirection of the stub/tracker split —
-  // target hosted here means a plain local dispatch.
-  if (entry->is_local()) {
-    core_.inst_.execs->Inc();
-    monitor::TraceScope scope(core_.tracer(), root);
-    Value v = core_.DispatchLocal(handle.id, method, args);
-    return InvokeResult{std::move(v), core_.id(), 0};
-  }
-
-  // The target may be in transit *to us*; wait for it to land.
-  if (!entry->next.valid() || entry->next == core_.id()) {
-    const SimTime deadline = sched.Now() + core_.rpc_timeout();
-    bool settled = sched.RunUntilOr(
-        [&] {
-          entry = core_.trackers().Find(handle.id);
-          return entry != nullptr &&
-                 (entry->is_local() ||
-                  (entry->next.valid() && entry->next != core_.id()));
-        },
-        deadline);
-    if (!settled)
-      throw UnreachableError("invocation target " + ToString(handle.id) +
-                             " unreachable from " + ToString(core_.id()));
-    if (entry->is_local()) {
-      core_.inst_.execs->Inc();
-      monitor::TraceScope scope(core_.tracer(), root);
-      Value v = core_.DispatchLocal(handle.id, method, args);
-      return InvokeResult{std::move(v), core_.id(), 0};
-    }
-  }
-
-  // Remote: forward along the tracker chain and await the reply. On a
-  // retry-safe failure (timeout, or a transport-flagged error reply — both
-  // mean the method never executed) the request is resent with the SAME
-  // correlation, so any executor that does see both copies recognizes the
-  // duplicate and answers from its dedup cache instead of re-executing.
-  const RetryPolicy& policy = core_.retry_policy();
-  const int max_attempts = std::max(1, policy.max_attempts);
-  const std::uint64_t corr = core_.NextCorrelation();
-  waiters_.try_emplace(corr);
-
-  Waiter result;
-  bool done = false;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    // The first attempt travels as the root span; each resend travels as a
-    // fresh child span tagged with its retry ordinal.
-    wire::TraceContext attempt_ctx = root;
-    if (attempt > 1) {
-      ++core_.rpc_retries_;
-      core_.inst_.retries->Inc();
-      attempt_ctx = core_.tracer()
-                        .RecordInstant(monitor::SpanKind::kRetry, method, root,
-                                       sched.Now(),
-                                       static_cast<std::uint32_t>(attempt - 1))
-                        .ctx;
-      waiters_[corr] = Waiter{};  // clear any stale reply state
-      // Re-resolve the route: the target may have moved between attempts —
-      // possibly to this very Core, in which case the retry loops back
-      // through our own dedup-checked handler rather than re-dispatching
-      // locally (an earlier attempt may already have executed elsewhere).
-      entry = core_.trackers().Find(handle.id);
-      if (entry == nullptr) entry = &core_.trackers().Ensure(handle);
-    }
-    const CoreId next = (!entry->is_local() && entry->next.valid() &&
-                         entry->next != core_.id())
-                            ? entry->next
-                            : core_.id();
-    wire::InvokeRequest rq{handle, std::string(method), args,
-                           core_.id(),  {},        attempt_ctx};
-    // Route by our tracker's knowledge, not the stub's stale hint, so the
-    // next hop parks rather than bouncing the request back at us.
-    rq.handle.last_known = next;
-    if (next != core_.id()) ++entry->forwarded;
-
-    net::Message msg;
-    msg.from = core_.id();
-    msg.to = next;
-    msg.kind = net::MessageKind::kInvokeRequest;
-    msg.correlation = corr;
-    msg.payload = wire::EncodeInvokeRequest(rq);
-    core_.network().Send(std::move(msg));
-
-    done = sched.RunUntilOr([&] { return waiters_[corr].done; },
-                            sched.Now() + core_.rpc_timeout());
-    if (!done && attempt < max_attempts) {
-      // Keep listening through the backoff window: a late reply to this
-      // attempt is just as good as a reply to the next one.
-      done = sched.RunUntilOr([&] { return waiters_[corr].done; },
-                              sched.Now() +
-                                  policy.BackoffAfter(attempt, corr));
-    }
-    if (!done) continue;  // timed out; next attempt resends
-    result = std::move(waiters_[corr]);
-    if (result.ok || !result.transport_failure) break;
-    if (attempt == max_attempts) break;
-    // Transport-flagged error: never executed, retry after backoff.
-    done = false;
-    sched.RunUntilOr([] { return false; },
-                     sched.Now() + policy.BackoffAfter(attempt, corr));
-  }
-  waiters_.erase(corr);
-  if (!done) {
-    fail_outcome = monitor::SpanOutcome::kTimeout;
-    throw UnreachableError("invocation of " + std::string(method) + " on " +
-                           ToString(handle.id) + " timed out");
-  }
-  if (!result.ok) {
-    // Transport failures are retry-safe (the method never executed);
-    // application errors are the anchor's own exceptions.
-    if (result.transport_failure) throw UnreachableError(result.error);
-    throw FargoError(result.error);
-  }
-
-  // Chain shortening at the origin (§3.1): point our tracker straight at
-  // the Core that answered — unless the complet meanwhile arrived *here*
-  // (e.g. the invocation was a routed move command with us as destination).
-  if (shortening_ && result.location.valid() &&
-      result.location != core_.id()) {
-    TrackerEntry* current = core_.trackers().Find(handle.id);
-    if (current == nullptr || !current->is_local())
-      core_.trackers().SetForward(handle.id, result.location,
-                                  handle.anchor_type);
-  }
-  return InvokeResult{std::move(result.value), result.location, result.hops};
-}
+// ==== executor side ==========================================================
 
 void InvocationUnit::HandleRequest(net::Message msg) {
   wire::InvokeRequest rq = wire::DecodeInvokeRequest(msg.payload);
@@ -245,7 +339,9 @@ void InvocationUnit::HandleRequest(net::Message msg) {
   // not forward the retry to be executed a second time at the new host.
   if (auto cached = core_.dedup().Lookup(rq.origin, msg.correlation)) {
     core_.inst_.dedup_replays->Inc();
-    core_.Reply(rq.origin, cached->kind, msg.correlation, *cached->payload);
+    // A duplicated oneway is simply dropped: there is no reply to replay.
+    if (!rq.oneway)
+      core_.Reply(rq.origin, cached->kind, msg.correlation, *cached->payload);
     return;
   }
 
@@ -265,6 +361,11 @@ void InvocationUnit::HandleRequest(net::Message msg) {
   }
 
   if (static_cast<int>(rq.path.size()) + 1 > max_hops_) {
+    if (rq.oneway) {
+      LogWarn() << "one-way invocation of " << rq.method
+                << " dropped: exceeded max forwarding hops";
+      return;
+    }
     serial::Writer w;
     w.WriteBool(false);  // not ok
     w.WriteBool(true);   // transport failure: never executed
@@ -296,6 +397,12 @@ void InvocationUnit::HandleRequest(net::Message msg) {
 
 void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
                                      std::uint64_t correlation) {
+  // NOTE: a routed __fargo.move dispatches into the synchronous MoveLocal
+  // here, which pumps (the executor blocks its "thread" like the paper's
+  // per-request thread). That is deliberate: the move settles — commit or
+  // rollback — before this handler returns, so a synchronous caller that
+  // observes the command failing can rely on the complet existing in
+  // *some* repository. Only the RPC machinery itself is no-pump.
   monitor::Tracer& tracer = core_.tracer();
   const SimTime begin = core_.scheduler().Now();
   const int hops = static_cast<int>(rq.path.size()) + 1;
@@ -303,6 +410,27 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
       tracer.OpenSpan(monitor::SpanKind::kExec, rq.method, rq.trace, begin,
                       rq.trace.retry);
   core_.inst_.execs->Inc();
+  if (rq.oneway) {
+    // Reply-less flow: execute, mark the dedup entry complete (with an
+    // empty cached reply — duplicates are dropped, not re-answered) and
+    // still shorten the chain; errors die here with a log line.
+    try {
+      monitor::TraceScope scope(tracer, exec.ctx);
+      core_.DispatchLocal(rq.handle.id, rq.method, rq.args);
+      tracer.CloseSpan(exec.token, core_.scheduler().Now(),
+                       monitor::SpanOutcome::kOk, hops);
+    } catch (const std::exception& e) {
+      tracer.CloseSpan(exec.token, core_.scheduler().Now(),
+                       monitor::SpanOutcome::kAppError, hops);
+      LogWarn() << "one-way invocation of " << rq.method << " failed: "
+                << e.what();
+    }
+    core_.dedup().Complete(rq.origin, correlation,
+                           net::MessageKind::kInvokeReply, {},
+                           core_.scheduler().Now());
+    SendShorteningUpdates(rq, exec.ctx);
+    return;
+  }
   serial::Writer w;
   try {
     Value result;
@@ -333,9 +461,15 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
   core_.Reply(rq.origin, net::MessageKind::kInvokeReply, correlation,
               w.Take());
 
-  // ...and shorten the whole chain: every tracker that forwarded the
-  // request is repointed directly at us (§3.1). The updates travel in the
-  // same trace, so shortening is visible in the trace view.
+  // ...and shorten the whole chain (§3.1).
+  SendShorteningUpdates(rq, exec.ctx);
+}
+
+void InvocationUnit::SendShorteningUpdates(const wire::InvokeRequest& rq,
+                                           const wire::TraceContext& ctx) {
+  // Every tracker that forwarded the request is repointed directly at us
+  // (§3.1). The updates travel in the same trace, so shortening is visible
+  // in the trace view.
   if (!shortening_) return;
   for (CoreId hop : rq.path) {
     if (hop == core_.id()) continue;
@@ -343,7 +477,7 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
     wire::WriteComletId(upd, rq.handle.id);
     wire::WriteCoreId(upd, core_.id());
     upd.WriteString(rq.handle.anchor_type);
-    wire::WriteTraceTail(upd, exec.ctx);
+    wire::WriteTraceTail(upd, ctx);
     net::Message u;
     u.from = core_.id();
     u.to = hop;
@@ -353,26 +487,81 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
   }
 }
 
+// ==== replies at the origin ==================================================
+
 void InvocationUnit::HandleReply(net::Message msg) {
   auto it = waiters_.find(msg.correlation);
   if (it == waiters_.end()) {
-    LogDebug() << "orphan invoke reply at " << ToString(core_.id());
+    // Late reply: its invocation already settled (timed out after the last
+    // attempt, or was answered by an earlier duplicate). Count it and emit
+    // a drop-reason span so traces show where the reply died.
+    core_.inst_.late_replies->Inc();
+    wire::TraceContext trace;
+    try {
+      serial::Reader peek(msg.payload);
+      if (peek.ReadBool()) {
+        serial::ReadValue(peek);
+        wire::ReadCoreId(peek);
+        peek.ReadVarint();
+      } else {
+        peek.ReadBool();
+        peek.ReadString();
+      }
+      trace = wire::ReadTraceTail(peek);
+    } catch (...) {
+      // Chaos-corrupted payload: drop it untraced.
+    }
+    if (trace.valid())
+      core_.tracer().RecordInstant(monitor::SpanKind::kControl,
+                                   "late_reply_dropped", trace,
+                                   core_.scheduler().Now());
+    LogDebug() << "late invoke reply dropped at " << ToString(core_.id())
+               << " corr " << msg.correlation;
     return;
   }
-  Waiter& waiter = it->second;
-  if (waiter.done) return;  // duplicate reply (chaos or late retry answer)
+  std::shared_ptr<AsyncCall> call = it->second;
+  sim::Scheduler& sched = core_.scheduler();
+  sim::Scheduler::NoPumpScope no_pump(sched);
   serial::Reader r(msg.payload);
-  waiter.ok = r.ReadBool();
-  if (!waiter.ok) {
-    waiter.transport_failure = r.ReadBool();
-    waiter.error = r.ReadString();
-  } else {
-    waiter.value = serial::ReadValue(r);
-    waiter.location = wire::ReadCoreId(r);
-    waiter.hops = static_cast<int>(r.ReadVarint());
+  if (r.ReadBool()) {
+    Value value = serial::ReadValue(r);
+    CoreId location = wire::ReadCoreId(r);
+    int reply_hops = static_cast<int>(r.ReadVarint());
+    (void)wire::ReadTraceTail(r);
+    sched.Cancel(call->timer);
+    waiters_.erase(call->corr);
+    // Chain shortening at the origin (§3.1): point our tracker straight at
+    // the Core that answered — unless the complet meanwhile arrived *here*
+    // (e.g. the invocation was a routed move command with us as destination).
+    if (shortening_ && location.valid() && location != core_.id()) {
+      TrackerEntry* current = core_.trackers().Find(call->handle.id);
+      if (current == nullptr || !current->is_local())
+        core_.trackers().SetForward(call->handle.id, location,
+                                    call->handle.anchor_type);
+    }
+    FinalizeOk(call, InvokeResult{std::move(value), location, reply_hops});
+    return;
   }
-  waiter.trace = wire::ReadTraceTail(r);
-  waiter.done = true;
+  const bool transport_failure = r.ReadBool();
+  std::string error = r.ReadString();
+  (void)wire::ReadTraceTail(r);
+  if (!transport_failure) {
+    // Application error: the anchor's own exception — never retried.
+    sched.Cancel(call->timer);
+    waiters_.erase(call->corr);
+    FinalizeError(call, std::make_exception_ptr(FargoError(error)),
+                  monitor::SpanOutcome::kAppError);
+    return;
+  }
+  // Transport-flagged error: never executed, retry-safe.
+  sched.Cancel(call->timer);
+  if (call->attempt < call->max_attempts) {
+    ArmBackoffResend(call);
+    return;
+  }
+  waiters_.erase(call->corr);
+  FinalizeError(call, std::make_exception_ptr(UnreachableError(error)),
+                monitor::SpanOutcome::kTransportError);
 }
 
 void InvocationUnit::HandleTrackerUpdate(net::Message msg) {

@@ -1,11 +1,19 @@
 // The Invocation unit (Fig 1, §3.1): routes method invocations from stubs
 // through tracker chains to the target anchor, implements the parameter
 // passing scheme, and shortens chains on return.
+//
+// Invocations run as an explicit asynchronous state machine: each remote
+// call is a heap-allocated AsyncCall record driven entirely by scheduled
+// continuations (send → timeout → backoff → resend → reply), never by
+// re-entrant scheduler pumps. The synchronous Invoke is a thin wrapper that
+// pumps the scheduler at top level until the call's future settles.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -14,6 +22,7 @@
 #include "src/core/wire.h"
 #include "src/monitor/trace.h"
 #include "src/net/network.h"
+#include "src/sim/future.h"
 
 namespace fargo::core {
 
@@ -39,6 +48,15 @@ class InvocationUnit {
   InvokeResult Invoke(const ComletHandle& handle, std::string_view method,
                       std::vector<Value> args);
 
+  /// Asynchronous form of Invoke: returns immediately with a future that
+  /// settles when the invocation completes (value) or fails (the same
+  /// exceptions Invoke throws). Multiple InvokeAsync calls pipeline: N
+  /// concurrent invocations over a high-latency link complete in ~1 RTT
+  /// instead of N RTTs.
+  sim::Future<InvokeResult> InvokeAsync(const ComletHandle& handle,
+                                        std::string_view method,
+                                        std::vector<Value> args);
+
   /// One-way invocation: routes exactly like Invoke but returns
   /// immediately; the result (or error) is discarded. The paper's Core
   /// starts a thread per invocation — this is the sender-side analogue for
@@ -56,6 +74,10 @@ class InvocationUnit {
   /// Chain-shortening notification: repoint our tracker for a complet.
   void HandleTrackerUpdate(net::Message msg);
 
+  /// Tracker-change callback (wired by the Core): wakes invocations parked
+  /// on a missing route once the target lands or a forward appears.
+  void NotifyRouteChanged(ComletId id);
+
   /// Maximum forwarding hops before a request is failed (routing-loop
   /// safety net).
   void SetMaxHops(int n) { max_hops_ = n; }
@@ -66,36 +88,62 @@ class InvocationUnit {
   bool chain_shortening() const { return shortening_; }
 
  private:
-  /// Opens the root span, delegates to DoInvokeRouted, closes the span with
-  /// the outcome and records the invocation metrics.
-  InvokeResult DoInvoke(const ComletHandle& handle, std::string_view method,
-                        const std::vector<Value>& args);
-  /// The actual routing/retry loop. `fail_outcome` is set at throw sites so
-  /// DoInvoke can close the root span with the precise failure kind.
-  InvokeResult DoInvokeRouted(const ComletHandle& handle,
-                              std::string_view method,
-                              const std::vector<Value>& args,
-                              const wire::TraceContext& root,
-                              monitor::SpanOutcome& fail_outcome);
-
-  struct Waiter {
-    bool done = false;
-    bool ok = false;
-    bool transport_failure = false;  ///< error, and the method never ran
-    std::string error;
-    Value value;
-    CoreId location;
-    int hops = 0;
-    wire::TraceContext trace;  ///< executor-side span the reply came from
+  /// One origin-side invocation in flight: a stable heap record shared by
+  /// the waiter map, the attempt/backoff timers, and the reply path — so
+  /// bookkeeping survives map rehashes (nested invocations insert into the
+  /// same map) and late replies can be told apart from live ones.
+  struct AsyncCall {
+    explicit AsyncCall(sim::Scheduler& s) : promise(s) {}
+    ComletHandle handle;
+    std::string method;
+    std::vector<Value> args;
+    sim::Promise<InvokeResult> promise;
+    monitor::Tracer::Opened root{};  ///< the invocation's root span
+    SimTime begin = 0;
+    std::uint64_t corr = 0;
+    int attempt = 0;
+    int max_attempts = 1;
+    sim::TaskId timer = 0;  ///< pending timeout or backoff task
   };
+
+  /// One invocation parked on a missing route (target in transit to us).
+  struct RouteWait {
+    std::shared_ptr<AsyncCall> call;
+    sim::TaskId timer = 0;  ///< deadline task
+  };
+
+  /// One routed attempt sequence: opens the root span and dispatches
+  /// locally, parks on the route, or goes remote. (The home-registry
+  /// fallback in InvokeAsync wraps this.)
+  sim::Future<InvokeResult> StartCall(const ComletHandle& handle,
+                                      const std::string& method,
+                                      const std::vector<Value>& args);
+
+  void DispatchLocalCall(const std::shared_ptr<AsyncCall>& call);
+  void AwaitRoute(const std::shared_ptr<AsyncCall>& call, SimTime deadline);
+  void ResumeAfterRoute(const std::shared_ptr<AsyncCall>& call,
+                        SimTime deadline);
+  void BeginRemote(const std::shared_ptr<AsyncCall>& call);
+  void SendAttempt(const std::shared_ptr<AsyncCall>& call);
+  void OnAttemptTimeout(const std::shared_ptr<AsyncCall>& call);
+  void ArmBackoffResend(const std::shared_ptr<AsyncCall>& call);
+
+  /// Completion: closes the root span, records metrics, settles the future.
+  void FinalizeOk(const std::shared_ptr<AsyncCall>& call, InvokeResult res);
+  void FinalizeError(const std::shared_ptr<AsyncCall>& call,
+                     std::exception_ptr error, monitor::SpanOutcome outcome);
 
   void ExecuteAndReply(const wire::InvokeRequest& rq,
                        std::uint64_t correlation);
+  void SendShorteningUpdates(const wire::InvokeRequest& rq,
+                             const wire::TraceContext& ctx);
 
   Core& core_;
   int max_hops_ = 64;
   bool shortening_ = true;
-  std::unordered_map<std::uint64_t, Waiter> waiters_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<AsyncCall>> waiters_;
+  std::unordered_map<ComletId, std::vector<std::shared_ptr<RouteWait>>>
+      route_waiters_;
 };
 
 }  // namespace fargo::core

@@ -144,13 +144,30 @@ void MovementUnit::MarshalSection(
 void MovementUnit::MoveLocal(ComletId primary, CoreId dest,
                              std::string continuation,
                              std::vector<Value> args) {
+  sim::Await(MoveLocalAsync(primary, dest, std::move(continuation),
+                            std::move(args)));
+}
+
+sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
+                                                    CoreId dest,
+                                                    std::string continuation,
+                                                    std::vector<Value> args) {
+  sim::Scheduler& sched = core_.scheduler();
   std::shared_ptr<Anchor> anchor = core_.repository().Get(primary);
   if (!anchor)
-    throw FargoError("move: complet " + ToString(primary) +
-                     " is not hosted at " + ToString(core_.id()));
+    return sim::MakeErrorFuture<sim::Unit>(
+        sched, FargoError("move: complet " + ToString(primary) +
+                          " is not hosted at " + ToString(core_.id())));
   if (dest == core_.id()) {
-    if (!continuation.empty()) core_.DispatchLocal(primary, continuation, args);
-    return;
+    sim::Promise<sim::Unit> done(sched);
+    try {
+      if (!continuation.empty())
+        core_.DispatchLocal(primary, continuation, args);
+      done.Resolve(sim::Unit{});
+    } catch (...) {
+      done.Reject(std::current_exception());
+    }
+    return done.future();
   }
 
   stats_ = MoveStats{};
@@ -199,56 +216,89 @@ void MovementUnit::MoveLocal(ComletId primary, CoreId dest,
     std::string type;
     std::shared_ptr<Anchor> anchor;
   };
-  std::vector<Departing> departing;
+  // Snapshot everything the commit/rollback continuation needs: stats_ is a
+  // per-unit scratch that a concurrent move may overwrite before the reply
+  // lands.
+  struct Pending {
+    std::vector<Departing> departing;
+    std::vector<ComletId> pulls;
+    monitor::Tracer::Opened mv{};
+    SimTime begin = 0;
+    std::size_t bytes = 0;
+  };
+  auto pending = std::make_shared<Pending>();
   for (const Section& s : worklist) {
     if (s.is_duplicate) continue;
-    departing.push_back(Departing{s.id, s.anchor_type, s.anchor});
+    pending->departing.push_back(Departing{s.id, s.anchor_type, s.anchor});
     core_.repository().Remove(s.id);
     core_.trackers().SetForward(s.id, dest, s.anchor_type);
   }
-  stats_.complets_moved = departing.size();
+  stats_.complets_moved = pending->departing.size();
+  pending->pulls = std::move(deferred_pulls);
+  pending->mv = mv;
+  pending->begin = move_begin;
+  pending->bytes = stats_.stream_bytes;
 
-  std::vector<std::uint8_t> reply;
-  try {
-    reply = core_.SendAndAwait(dest, net::MessageKind::kMoveRequest,
-                               payload.Take());
-    serial::Reader r(reply);
-    wire::CheckOk(r);
-  } catch (...) {
-    // Roll back: the complets never left.
-    for (const Departing& d : departing) {
-      core_.repository().Add(d.id, d.anchor);
-      core_.trackers().SetLocal(d.id, *d.anchor, d.type);
-    }
-    tracer.CloseSpan(mv.token, core_.scheduler().Now(),
-                     monitor::SpanOutcome::kTransportError, 0,
-                     stats_.stream_bytes);
-    throw;
-  }
-  const SimTime move_end = core_.scheduler().Now();
-  tracer.CloseSpan(mv.token, move_end, monitor::SpanOutcome::kOk, 0,
-                   stats_.stream_bytes);
-  core_.inst_.moves->Inc();
-  core_.inst_.move_duration->Observe(static_cast<double>(move_end - move_begin));
-  core_.inst_.move_bytes->Observe(static_cast<double>(stats_.stream_bytes));
+  sim::Promise<sim::Unit> done(sched);
+  core_.SendAsync(dest, net::MessageKind::kMoveRequest, payload.Take())
+      .OnSettle([this, pending, done,
+                 dest](sim::Future<std::vector<std::uint8_t>> f) mutable {
+        monitor::Tracer& tracer = core_.tracer();
+        try {
+          serial::Reader r(f.value());  // rethrows a transport failure
+          wire::CheckOk(r);
+        } catch (...) {
+          // Roll back: the complets never left.
+          for (const Departing& d : pending->departing) {
+            core_.repository().Add(d.id, d.anchor);
+            core_.trackers().SetLocal(d.id, *d.anchor, d.type);
+          }
+          tracer.CloseSpan(pending->mv.token, core_.scheduler().Now(),
+                           monitor::SpanOutcome::kTransportError, 0,
+                           pending->bytes);
+          done.Reject(std::current_exception());
+          return;
+        }
+        const SimTime move_end = core_.scheduler().Now();
+        tracer.CloseSpan(pending->mv.token, move_end,
+                         monitor::SpanOutcome::kOk, 0, pending->bytes);
+        core_.inst_.moves->Inc();
+        core_.inst_.move_duration->Observe(
+            static_cast<double>(move_end - pending->begin));
+        core_.inst_.move_bytes->Observe(static_cast<double>(pending->bytes));
 
-  // Committed: release the stale copies (§3.3 postDeparture) and announce.
-  for (const Departing& d : departing) {
-    d.anchor->PostDeparture();
-    d.anchor->core_ = nullptr;
-    core_.events().Fire(monitor::Event{monitor::EventKind::kComletDeparted,
-                                       core_.id(), d.id, {}, 0.0});
-  }
+        // Committed: release the stale copies (§3.3 postDeparture) and
+        // announce.
+        for (const Departing& d : pending->departing) {
+          d.anchor->PostDeparture();
+          d.anchor->core_ = nullptr;
+          core_.events().Fire(monitor::Event{
+              monitor::EventKind::kComletDeparted, core_.id(), d.id, {}, 0.0});
+        }
 
-  // Remote pull targets follow with their own move requests.
-  for (ComletId id : deferred_pulls) {
-    try {
-      core_.MoveId(id, dest);
-    } catch (const std::exception& e) {
-      LogWarn() << "deferred pull of " << ToString(id) << " failed: "
-                << e.what();
-    }
-  }
+        // Remote pull targets follow with their own move requests; the move
+        // future settles once they all land (or fail — logged, not fatal).
+        auto remaining = std::make_shared<std::size_t>(pending->pulls.size());
+        if (*remaining == 0) {
+          done.Resolve(sim::Unit{});
+          return;
+        }
+        for (ComletId id : pending->pulls) {
+          core_.MoveIdAsync(id, dest).OnSettle(
+              [done, remaining, id](sim::Future<sim::Unit> pf) mutable {
+                if (!pf.ok()) {
+                  try {
+                    std::rethrow_exception(pf.error());
+                  } catch (const std::exception& e) {
+                    LogWarn() << "deferred pull of " << ToString(id)
+                              << " failed: " << e.what();
+                  }
+                }
+                if (--*remaining == 0) done.Resolve(sim::Unit{});
+              });
+        }
+      });
+  return done.future();
 }
 
 void MovementUnit::HandleMoveRequest(net::Message msg) {

@@ -29,6 +29,7 @@
 #include "src/common/value.h"
 #include "src/core/core.h"
 #include "src/net/network.h"
+#include "src/sim/future.h"
 
 namespace fargo::core {
 
@@ -53,6 +54,16 @@ class MovementUnit {
   /// failure.
   void MoveLocal(ComletId primary, CoreId dest, std::string continuation,
                  std::vector<Value> args);
+
+  /// Asynchronous form of MoveLocal. Marshals and transitions the complets
+  /// out synchronously (invocations racing the stream start parking at once),
+  /// then settles the returned future when the destination acknowledges AND
+  /// every deferred remote pull has run its course (pull failures are logged,
+  /// never propagated — matching MoveLocal). Rejects with the same
+  /// exceptions MoveLocal throws.
+  sim::Future<sim::Unit> MoveLocalAsync(ComletId primary, CoreId dest,
+                                        std::string continuation,
+                                        std::vector<Value> args);
 
   /// Handles an inbound migration stream.
   void HandleMoveRequest(net::Message msg);

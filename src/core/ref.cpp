@@ -61,6 +61,16 @@ Value ComletRefBase::Call(std::string_view method,
   return std::move(result.value);
 }
 
+sim::Future<Value> ComletRefBase::CallAsync(std::string_view method,
+                                            std::vector<Value> args) const {
+  if (!bound()) throw FargoError("call through an unbound complet reference");
+  meta_->RecordInvocation();
+  core_->RecordInvocation(owner_, handle_.id);
+  return core_->invocation()
+      .InvokeAsync(handle_, method, std::move(args))
+      .Then([](InvokeResult& result) { return std::move(result.value); });
+}
+
 void ComletRefBase::Post(std::string_view method,
                          std::vector<Value> args) const {
   if (!bound()) throw FargoError("post through an unbound complet reference");

@@ -17,6 +17,7 @@
 #include "src/common/value.h"
 #include "src/core/fwd.h"
 #include "src/core/meta_ref.h"
+#include "src/sim/future.h"
 
 namespace fargo::serial {
 class GraphWriter;
@@ -47,6 +48,13 @@ class ComletRefBase {
   /// Invokes `method` on the target anchor with FarGo parameter-passing
   /// semantics. Blocks (pumping the scheduler) until the reply arrives.
   Value Call(std::string_view method, std::vector<Value> args = {}) const;
+
+  /// Asynchronous Call: returns immediately with a future for the result.
+  /// Concurrent CallAsync invocations pipeline over the network instead of
+  /// serializing on round trips. Throws (synchronously, like Call) when the
+  /// reference is unbound.
+  sim::Future<Value> CallAsync(std::string_view method,
+                               std::vector<Value> args = {}) const;
 
   /// One-way invocation: fire-and-forget; the result is discarded. Routing
   /// and movement-tracking are identical to Call.
@@ -95,6 +103,29 @@ class ComletRefBase {
   ComletId owner_{};
 };
 
+namespace detail {
+/// Result conversion shared by the sync and async typed invokers.
+template <class R>
+R ConvertResult(Value& result) {
+  if constexpr (std::is_same_v<R, Value>) {
+    return std::move(result);
+  } else if constexpr (std::is_same_v<R, void>) {
+    (void)result;
+    return;
+  } else if constexpr (std::is_same_v<R, bool>) {
+    return result.AsBool();
+  } else if constexpr (std::is_integral_v<R>) {
+    return static_cast<R>(result.AsInt());
+  } else if constexpr (std::is_floating_point_v<R>) {
+    return static_cast<R>(result.AsReal());
+  } else if constexpr (std::is_same_v<R, std::string>) {
+    return result.AsString();
+  } else {
+    static_assert(std::is_same_v<R, Value>, "unsupported return type");
+  }
+}
+}  // namespace detail
+
 /// Typed complet reference. T is the anchor class; this plays the role of
 /// the compiler-generated stub type (e.g. `Message` for anchor `Message_`
 /// in Fig 3).
@@ -112,20 +143,22 @@ class ComletRef : public ComletRefBase {
     argv.reserve(sizeof...(Args));
     (argv.push_back(Value(std::forward<Args>(args))), ...);
     Value result = Call(method, std::move(argv));
+    return detail::ConvertResult<R>(result);
+  }
+
+  /// Typed asynchronous invoke: the future settles with the converted
+  /// result (Future<Unit> for R = void). Conversion errors reject it.
+  template <class R = Value, class... Args>
+  auto InvokeAsync(std::string_view method, Args&&... args) const {
+    std::vector<Value> argv;
+    argv.reserve(sizeof...(Args));
+    (argv.push_back(Value(std::forward<Args>(args))), ...);
+    sim::Future<Value> raw = CallAsync(method, std::move(argv));
     if constexpr (std::is_same_v<R, Value>) {
-      return result;
-    } else if constexpr (std::is_same_v<R, void>) {
-      return;
-    } else if constexpr (std::is_same_v<R, bool>) {
-      return result.AsBool();
-    } else if constexpr (std::is_integral_v<R>) {
-      return static_cast<R>(result.AsInt());
-    } else if constexpr (std::is_floating_point_v<R>) {
-      return static_cast<R>(result.AsReal());
-    } else if constexpr (std::is_same_v<R, std::string>) {
-      return result.AsString();
+      return raw;
     } else {
-      static_assert(std::is_same_v<R, Value>, "unsupported return type");
+      return raw.Then(
+          [](Value& result) { return detail::ConvertResult<R>(result); });
     }
   }
 };

@@ -22,6 +22,12 @@ Runtime::Runtime() : network_(scheduler_) {
                                                net::DropReason) {
         drops.Inc();
       });
+  // Max-gauge of scheduler pump nesting: the async invocation pipeline keeps
+  // this at 1; anything deeper means a blocking wait re-entered the pump.
+  scheduler_.SetPumpObserver(
+      [&depth = metrics_.gauge("sched.pump_depth")](int d) {
+        if (d > static_cast<int>(depth.value())) depth.Set(d);
+      });
 }
 
 Runtime::~Runtime() {

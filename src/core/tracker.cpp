@@ -31,6 +31,7 @@ TrackerEntry& TrackerTable::SetLocal(ComletId id, Anchor& anchor,
   e.local = &anchor;
   e.next = CoreId{};
   if (!anchor_type.empty()) e.anchor_type = std::move(anchor_type);
+  if (change_hook_) change_hook_(id);
   return e;
 }
 
@@ -41,6 +42,7 @@ TrackerEntry& TrackerTable::SetForward(ComletId id, CoreId next,
   e.local = nullptr;
   e.next = next;
   if (!anchor_type.empty()) e.anchor_type = std::move(anchor_type);
+  if (change_hook_) change_hook_(id);
   return e;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -63,8 +64,16 @@ class TrackerTable {
   /// Snapshot for the shell and monitor.
   std::vector<const TrackerEntry*> All() const;
 
+  /// Called after every SetLocal/SetForward with the affected complet. The
+  /// async invocation pipeline uses this to wake requests parked on a
+  /// missing route instead of polling the table from a nested pump.
+  void SetChangeHook(std::function<void(ComletId)> hook) {
+    change_hook_ = std::move(hook);
+  }
+
  private:
   std::unordered_map<ComletId, TrackerEntry> entries_;
+  std::function<void(ComletId)> change_hook_;
 };
 
 }  // namespace fargo::core

@@ -124,6 +124,7 @@ struct InvokeRequest {
   std::vector<Value> args;
   CoreId origin;
   std::vector<CoreId> path;  ///< Cores that forwarded this request so far
+  bool oneway = false;       ///< fire-and-forget: the executor never replies
   TraceContext trace;
 
   friend bool operator==(const InvokeRequest&, const InvokeRequest&) = default;
@@ -136,6 +137,7 @@ inline std::vector<std::uint8_t> EncodeInvokeRequest(const InvokeRequest& rq) {
   serial::WriteValues(w, rq.args);
   WriteCoreId(w, rq.origin);
   WriteCoreList(w, rq.path);
+  w.WriteBool(rq.oneway);
   WriteTraceTail(w, rq.trace);
   return w.Take();
 }
@@ -149,6 +151,7 @@ inline InvokeRequest DecodeInvokeRequest(
   rq.args = serial::ReadValues(r);
   rq.origin = ReadCoreId(r);
   rq.path = ReadCoreList(r);
+  rq.oneway = r.ReadBool();
   rq.trace = ReadTraceTail(r);
   return rq;
 }

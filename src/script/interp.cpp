@@ -171,8 +171,25 @@ void Engine::Execute(const Command& cmd, Env& env) {
       for (const ComletHandle& h : ToComlets(Eval(*cmd.subject, env))) {
         try {
           core::ComletRefBase ref = admin_.RefFromHandle(h);
-          admin_.Move(ref, dest);
-          ++moves_executed_;
+          if (in_rule_body_) {
+            admin_.MoveAsync(ref, dest)
+                .OnSettle([this, alive = alive_,
+                           id = h.id](sim::Future<sim::Unit> f) {
+                  if (f.ok()) {
+                    if (*alive) ++moves_executed_;
+                    return;
+                  }
+                  try {
+                    std::rethrow_exception(f.error());
+                  } catch (const std::exception& e) {
+                    LogWarn() << "script move of " << ToString(id)
+                              << " failed: " << e.what();
+                  }
+                });
+          } else {
+            admin_.Move(ref, dest);
+            ++moves_executed_;
+          }
         } catch (const std::exception& e) {
           LogWarn() << "script move of " << ToString(h.id) << " failed: "
                     << e.what();
@@ -200,6 +217,8 @@ void Engine::Execute(const Command& cmd, Env& env) {
 
 void Engine::ExecuteBody(const Rule& rule, Env env) {
   ++rule_firings_;
+  const bool was_in_body = in_rule_body_;
+  in_rule_body_ = true;
   for (const Command& cmd : rule.body) {
     try {
       Execute(cmd, env);
@@ -208,6 +227,7 @@ void Engine::ExecuteBody(const Rule& rule, Env env) {
                 << e.what();
     }
   }
+  in_rule_body_ = was_in_body;
 }
 
 void Engine::AttachRule(const Rule& rule_in) {

@@ -94,6 +94,11 @@ class Engine {
   std::vector<AttachedRule> rules_;
   std::uint64_t rule_firings_ = 0;
   std::uint64_t moves_executed_ = 0;
+  /// True while a rule body runs. Rule bodies fire from monitor listeners —
+  /// inside scheduled events, often mid-commit of the very move or
+  /// invocation that raised the event — so their `move` commands go through
+  /// MoveAsync instead of blocking the listener on a pumped round-trip.
+  bool in_rule_body_ = false;
 };
 
 }  // namespace fargo::script

@@ -97,6 +97,10 @@ bool Shell::Execute(const std::string& line) {
       CmdMethods(args);
     } else if (cmd == "move") {
       CmdMove(args);
+    } else if (cmd == "amove") {
+      CmdAMove(args);
+    } else if (cmd == "post") {
+      CmdPost(args);
     } else if (cmd == "reftype") {
       CmdRefType(args, /*set=*/false);
     } else if (cmd == "setref") {
@@ -149,9 +153,9 @@ void Shell::RunInteractive(std::istream& in, bool prompt) {
 }
 
 void Shell::CmdHelp() {
-  out_ << "commands: help cores ls names methods move reftype setref profile "
-          "invoke gc link net chaos crash heartbeat shutdown trace stats "
-          "snapshot script quit\n";
+  out_ << "commands: help cores ls names methods move amove reftype setref "
+          "profile invoke post gc link net chaos crash heartbeat shutdown "
+          "trace stats snapshot script quit\n";
 }
 
 void Shell::CmdCores() {
@@ -200,6 +204,31 @@ void Shell::CmdMove(const std::vector<std::string>& args) {
   admin_.Move(ref, dest->id());
   out_ << "moved " << ToString(ref.target()) << " to " << dest->name()
        << "\n";
+}
+
+void Shell::CmdAMove(const std::vector<std::string>& args) {
+  if (args.size() < 2) throw FargoError("usage: amove <comlet> <core>");
+  core::Core* dest = ResolveCore(args[1]);
+  if (dest == nullptr) throw FargoError("unknown core: " + args[1]);
+  core::ComletRefBase ref = RefToComlet(args[0]);
+  const ComletId target = ref.target();
+  const std::string dest_name = dest->name();
+  admin_.MoveAsync(ref, dest->id())
+      .OnSettle([this, target, dest_name](sim::Future<sim::Unit> f) {
+        if (f.ok()) {
+          out_ << "amove: " << ToString(target) << " arrived at " << dest_name
+               << "\n";
+          return;
+        }
+        try {
+          std::rethrow_exception(f.error());
+        } catch (const std::exception& e) {
+          out_ << "amove: " << ToString(target) << " failed: " << e.what()
+               << "\n";
+        }
+      });
+  out_ << "amove: " << ToString(target) << " -> " << dest_name
+       << " started\n";
 }
 
 void Shell::CmdRefType(const std::vector<std::string>& args, bool set) {
@@ -271,12 +300,10 @@ void Shell::CmdProfile(const std::vector<std::string>& args) {
        << where->profiler().Instant(key) << "\n";
 }
 
-void Shell::CmdInvoke(const std::vector<std::string>& args) {
-  if (args.size() < 2) throw FargoError("usage: invoke <comlet> <method> [args]");
-  core::ComletRefBase ref = RefToComlet(args[0]);
+std::vector<Value> Shell::ParseCallArgs(const std::vector<std::string>& args,
+                                        std::size_t from) {
   std::vector<Value> call_args;
-  for (std::size_t i = 2; i < args.size(); ++i) {
-    // Numbers become ints/reals, everything else strings.
+  for (std::size_t i = from; i < args.size(); ++i) {
     try {
       std::size_t used = 0;
       double d = std::stod(args[i], &used);
@@ -292,8 +319,21 @@ void Shell::CmdInvoke(const std::vector<std::string>& args) {
     }
     call_args.push_back(Value(args[i]));
   }
-  Value result = ref.Call(args[1], std::move(call_args));
+  return call_args;
+}
+
+void Shell::CmdInvoke(const std::vector<std::string>& args) {
+  if (args.size() < 2) throw FargoError("usage: invoke <comlet> <method> [args]");
+  core::ComletRefBase ref = RefToComlet(args[0]);
+  Value result = ref.Call(args[1], ParseCallArgs(args, 2));
   out_ << result.ToDebugString() << "\n";
+}
+
+void Shell::CmdPost(const std::vector<std::string>& args) {
+  if (args.size() < 2) throw FargoError("usage: post <comlet> <method> [args]");
+  core::ComletRefBase ref = RefToComlet(args[0]);
+  ref.Post(args[1], ParseCallArgs(args, 2));
+  out_ << "posted " << args[1] << " to " << ToString(ref.target()) << "\n";
 }
 
 void Shell::CmdGc(const std::vector<std::string>& args) {

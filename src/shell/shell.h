@@ -8,6 +8,10 @@
 //   names [<core>]                — name bindings
 //   methods <comlet>              — remotely invocable methods
 //   move <comlet> <core>          — relocate a complet (drag-and-drop analog)
+//   amove <comlet> <core>         — start the move and return at once; the
+//                                   outcome is printed when it settles
+//   post <comlet> <method> [args...]
+//                                 — one-way invocation (no reply expected)
 //   reftype <core> <from> <to>    — show the relocation type between complets
 //   setref <core> <from> <to> <link|pull|duplicate|stamp>
 //                                 — change a reference's relocation type
@@ -64,9 +68,15 @@ class Shell {
   void CmdNames(const std::vector<std::string>& args);
   void CmdMethods(const std::vector<std::string>& args);
   void CmdMove(const std::vector<std::string>& args);
+  void CmdAMove(const std::vector<std::string>& args);
   void CmdRefType(const std::vector<std::string>& args, bool set);
   void CmdProfile(const std::vector<std::string>& args);
   void CmdInvoke(const std::vector<std::string>& args);
+  void CmdPost(const std::vector<std::string>& args);
+  /// Shell-token → Value conversion shared by invoke/post (numbers become
+  /// ints/reals, everything else strings).
+  static std::vector<Value> ParseCallArgs(const std::vector<std::string>& args,
+                                          std::size_t from);
   void CmdGc(const std::vector<std::string>& args);
   void CmdLink(const std::vector<std::string>& args);
   void CmdNet();

@@ -27,7 +27,18 @@ bool Scheduler::PopDue(SimTime limit, Entry& out) {
   return false;
 }
 
-bool Scheduler::RunOne() {
+Scheduler::PumpGuard::PumpGuard(Scheduler& s) : sched_(s) {
+  if (sched_.no_pump_ > 0)
+    throw FargoError(
+        "re-entrant scheduler pump inside a no-pump section (the async "
+        "invocation pipeline must use continuations, not blocking waits)");
+  ++sched_.pump_depth_;
+  if (sched_.pump_depth_ > sched_.max_pump_depth_)
+    sched_.max_pump_depth_ = sched_.pump_depth_;
+  if (sched_.pump_observer_) sched_.pump_observer_(sched_.pump_depth_);
+}
+
+bool Scheduler::RunOneLocked() {
   Entry e;
   if (!PopDue(std::numeric_limits<SimTime>::max(), e)) return false;
   now_ = std::max(now_, e.at);
@@ -36,8 +47,14 @@ bool Scheduler::RunOne() {
   return true;
 }
 
+bool Scheduler::RunOne() {
+  PumpGuard guard(*this);
+  return RunOneLocked();
+}
+
 void Scheduler::RunUntilIdle() {
-  while (RunOne()) {
+  PumpGuard guard(*this);
+  while (RunOneLocked()) {
   }
 }
 
@@ -47,8 +64,9 @@ void Scheduler::Clear() {
 }
 
 void Scheduler::RunUntil(const std::function<bool()>& pred) {
+  PumpGuard guard(*this);
   while (!pred()) {
-    if (!RunOne())
+    if (!RunOneLocked())
       throw FargoError("scheduler drained while awaiting a condition "
                        "(lost message or dead peer?)");
   }
@@ -56,6 +74,7 @@ void Scheduler::RunUntil(const std::function<bool()>& pred) {
 
 bool Scheduler::RunUntilOr(const std::function<bool()>& pred,
                            SimTime deadline) {
+  PumpGuard guard(*this);
   while (!pred()) {
     Entry e;
     if (!PopDue(deadline, e)) {
@@ -71,6 +90,7 @@ bool Scheduler::RunUntilOr(const std::function<bool()>& pred,
 }
 
 void Scheduler::RunFor(SimTime d) {
+  PumpGuard guard(*this);
   const SimTime limit = now_ + d;
   Entry e;
   while (PopDue(limit, e)) {

@@ -4,9 +4,12 @@
 // notification run on one of these. Virtual time only advances when events
 // are executed, so every test and benchmark is exactly reproducible.
 //
-// Blocking RPC (a synchronous complet invocation awaiting its reply) is
-// realized by re-entrant pumping: RunUntil(pred) executes due events —
-// which may themselves pump — until the predicate holds.
+// The asynchronous invocation pipeline (DESIGN.md §5) never pumps from
+// inside an event handler: RPC machinery is written as scheduled
+// continuations, and NoPumpScope enforces that invariant at run time. Only
+// the top-level synchronous API wrappers pump (RunUntil and friends), and
+// the scheduler keeps pump-depth accounting so tests can assert the
+// invocation path stays at depth ≤ 1.
 #pragma once
 
 #include <cstdint>
@@ -72,7 +75,53 @@ class Scheduler {
   /// Total number of events executed (telemetry for benchmarks).
   std::uint64_t executed() const { return executed_; }
 
+  // -- pump-depth accounting ---------------------------------------------------
+
+  /// How many pump loops (RunUntil/RunUntilOr/RunUntilIdle/RunFor/RunOne at
+  /// top level) are currently on the call stack. 0 outside any pump; the
+  /// async pipeline keeps this at ≤ 1.
+  int PumpDepth() const { return pump_depth_; }
+
+  /// Deepest nesting ever observed (telemetry; mirrored into the
+  /// `sched.pump_depth` max-gauge by Runtime).
+  int MaxPumpDepth() const { return max_pump_depth_; }
+
+  /// Called with the new depth every time a pump is entered. Runtime wires
+  /// this to the metrics registry.
+  void SetPumpObserver(std::function<void(int)> obs) {
+    pump_observer_ = std::move(obs);
+  }
+
+  /// RAII: while alive, entering any pump loop throws FargoError. The async
+  /// RPC machinery holds one of these across its bookkeeping so a blocking
+  /// call can never sneak back into the continuation path. Always on (the
+  /// default build defines NDEBUG, so a plain assert would be vacuous); the
+  /// check is a single integer test per pump entry.
+  class NoPumpScope {
+   public:
+    explicit NoPumpScope(Scheduler& s) : sched_(s) { ++sched_.no_pump_; }
+    ~NoPumpScope() { --sched_.no_pump_; }
+    NoPumpScope(const NoPumpScope&) = delete;
+    NoPumpScope& operator=(const NoPumpScope&) = delete;
+
+   private:
+    Scheduler& sched_;
+  };
+
  private:
+  /// RAII around every pump loop: bumps depth, notifies the observer, and
+  /// rejects entry from inside a NoPumpScope.
+  class PumpGuard {
+   public:
+    explicit PumpGuard(Scheduler& s);
+    ~PumpGuard() { --sched_.pump_depth_; }
+    PumpGuard(const PumpGuard&) = delete;
+    PumpGuard& operator=(const PumpGuard&) = delete;
+
+   private:
+    Scheduler& sched_;
+  };
+
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // FIFO tiebreak for same-time events (determinism)
@@ -87,11 +136,16 @@ class Scheduler {
   };
 
   bool PopDue(SimTime limit, Entry& out);
+  bool RunOneLocked();  ///< RunOne body, called under an active PumpGuard
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   TaskId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  int pump_depth_ = 0;
+  int max_pump_depth_ = 0;
+  int no_pump_ = 0;
+  std::function<void(int)> pump_observer_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<TaskId> cancelled_;
 };
