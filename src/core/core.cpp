@@ -336,6 +336,7 @@ void Core::SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc) {
                     : rpc->payload;
   network().Send(std::move(msg));
   rpc->timer = scheduler().ScheduleAfter(
+      // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
       rpc_timeout_, [this, rpc] { OnRpcTimeout(rpc); });
 }
 
@@ -351,6 +352,7 @@ void Core::OnRpcTimeout(const std::shared_ptr<PendingRpc>& rpc) {
   // Back off while still listening: the original reply may yet arrive and
   // settle the future, in which case the resend below is a no-op.
   rpc->timer = scheduler().ScheduleAfter(
+      // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
       retry_policy_.BackoffAfter(rpc->attempt, rpc->corr), [this, rpc] {
         if (!rpc->promise.settled()) SendRpcAttempt(rpc);
       });
@@ -403,6 +405,7 @@ void Core::Park(ComletId id, net::Message msg, CoreId error_reply_to) {
   // transport error (never executed) instead of holding it forever — a
   // late arrival must not execute a request whose origin already gave up.
   scheduler().ScheduleAfter(
+      // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
       park_expiry(), [this, id, correlation, error_reply_to] {
         auto it = parked_.find(id);
         if (it == parked_.end()) return;
@@ -463,6 +466,7 @@ void Core::DrainParked(ComletId id) {
   parked_.erase(it);
   // Re-handle after the current handler completes (post-arrival ordering).
   for (net::Message& m : msgs) {
+    // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
     scheduler().ScheduleAfter(0, [this, m = std::move(m)]() mutable {
       HandleMessage(std::move(m));
     });
@@ -678,6 +682,7 @@ void Core::DisableHeartbeat() { detector_.reset(); }
 
 std::vector<CoreId> Core::RemoteSubscriptionPeers() const {
   std::set<CoreId> peers;
+  // fargolint: order-insensitive(peers accumulate into an ordered std::set)
   for (const auto& [token, sub] : remote_subs_)
     if (sub.where.valid() && sub.where != id_) peers.insert(sub.where);
   return {peers.begin(), peers.end()};

@@ -12,7 +12,6 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -253,8 +252,11 @@ class Core {
   void Park(ComletId id, net::Message msg, CoreId error_reply_to = {});
 
   // -- live-reference registry (§4.1 premise: refs are visible to the Core) --
-  void RegisterRef(const ComletRefBase* ref) { live_refs_.insert(ref); }
-  void UnregisterRef(const ComletRefBase* ref) { live_refs_.erase(ref); }
+  // Registration order, not a hash of the pointer value, so every walk over
+  // the registry (shell `ls`, script rule bodies) is run-to-run
+  // deterministic.
+  void RegisterRef(const ComletRefBase* ref) { live_refs_.push_back(ref); }
+  void UnregisterRef(const ComletRefBase* ref) { std::erase(live_refs_, ref); }
   /// All live references whose containing complet is `owner` (invalid id =
   /// references held by top-level application code at this Core).
   std::vector<const ComletRefBase*> RefsOwnedBy(ComletId owner) const;
@@ -429,7 +431,7 @@ class Core {
   };
   std::unordered_map<monitor::SubId, RemoteSub> remote_subs_;
   monitor::SubId next_token_ = 1;
-  std::unordered_set<const ComletRefBase*> live_refs_;
+  std::vector<const ComletRefBase*> live_refs_;  // in registration order
 };
 
 }  // namespace fargo::core

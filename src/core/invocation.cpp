@@ -32,6 +32,10 @@ InvokeResult InvocationUnit::Invoke(const ComletHandle& handle,
   return sim::Await(InvokeAsync(handle, method, std::move(args)));
 }
 
+// Everything below is the async machinery proper: the static twin of the
+// NoPumpScope runtime guard bans blocking calls from here on.
+// fargolint: no-pump-region
+
 sim::Future<InvokeResult> InvocationUnit::InvokeAsync(
     const ComletHandle& handle, std::string_view method,
     std::vector<Value> args) {
@@ -41,6 +45,7 @@ sim::Future<InvokeResult> InvocationUnit::InvokeAsync(
   // target's home Core for a fresh route and retry once — safe because
   // UnreachableError means the request never executed.
   return first.OrElse(
+      // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
       [this, handle, m, args = std::move(args)](
           std::exception_ptr e) -> sim::Future<InvokeResult> {
         try {
@@ -57,6 +62,7 @@ sim::Future<InvokeResult> InvocationUnit::InvokeAsync(
               throw UnreachableError("home registry of " + ToString(id) +
                                      " is unreachable too");
             })
+            // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
             .Then([this, handle, m, args,
                    e](CoreId home_route) -> sim::Future<InvokeResult> {
               if (!home_route.valid() || home_route == core_.id())
@@ -125,6 +131,7 @@ void InvocationUnit::AwaitRoute(const std::shared_ptr<AsyncCall>& call,
   auto wait = std::make_shared<RouteWait>();
   wait->call = call;
   const ComletId id = call->handle.id;
+  // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
   wait->timer = core_.scheduler().ScheduleAt(deadline, [this, id, wait] {
     auto it = route_waiters_.find(id);
     if (it != route_waiters_.end()) {
@@ -158,6 +165,7 @@ void InvocationUnit::NotifyRouteChanged(ComletId id) {
     const SimTime deadline = wait->call->begin + core_.rpc_timeout();
     // Resume as a fresh event: the tracker hook may fire mid-install or
     // mid-move, and dispatch must not run inside that mutation.
+    // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
     sched.ScheduleAfter(0, [this, call = wait->call, deadline] {
       ResumeAfterRoute(call, deadline);
     });
@@ -239,6 +247,7 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
   core_.network().Send(std::move(msg));
 
   call->timer = sched.ScheduleAfter(core_.rpc_timeout(),
+                                    // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
                                     [this, call] { OnAttemptTimeout(call); });
 }
 
@@ -262,6 +271,7 @@ void InvocationUnit::ArmBackoffResend(const std::shared_ptr<AsyncCall>& call) {
   // the next one and settles the call before the resend fires.
   call->timer = core_.scheduler().ScheduleAfter(
       core_.retry_policy().BackoffAfter(call->attempt, call->corr),
+      // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
       [this, call] {
         if (!call->promise.settled()) SendAttempt(call);
       });
@@ -295,6 +305,7 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
     // Asynchronous even locally: dispatched as a scheduled task, like the
     // paper's per-invocation thread.
     core_.scheduler().ScheduleAfter(
+        // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
         0, [this, id = handle.id, method = std::string(method),
             args = std::move(args)] {
           core_.inst_.execs->Inc();

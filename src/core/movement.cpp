@@ -241,6 +241,7 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
 
   sim::Promise<sim::Unit> done(sched);
   core_.SendAsync(dest, net::MessageKind::kMoveRequest, payload.Take())
+      // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
       .OnSettle([this, pending, done,
                  dest](sim::Future<std::vector<std::uint8_t>> f) mutable {
         monitor::Tracer& tracer = core_.tracer();

@@ -29,6 +29,7 @@ std::shared_ptr<Anchor> Repository::FindByType(
   // Deterministic choice: smallest ComletId wins.
   std::shared_ptr<Anchor> best;
   ComletId best_id{};
+  // fargolint: order-insensitive(min-id winner is the same whatever the visit order)
   for (const auto& [id, anchor] : anchors_) {
     if (anchor->TypeName() != anchor_type) continue;
     if (!best || id < best_id) {
@@ -42,6 +43,7 @@ std::shared_ptr<Anchor> Repository::FindByType(
 std::vector<ComletId> Repository::All() const {
   std::vector<ComletId> ids;
   ids.reserve(anchors_.size());
+  // fargolint: order-insensitive(ids are sorted before return)
   for (const auto& [id, anchor] : anchors_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   return ids;

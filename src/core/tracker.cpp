@@ -1,5 +1,7 @@
 #include "src/core/tracker.h"
 
+#include <algorithm>
+
 namespace fargo::core {
 
 TrackerEntry& TrackerTable::Ensure(const ComletHandle& handle) {
@@ -73,7 +75,14 @@ std::size_t TrackerTable::CollectGarbage() {
 std::vector<const TrackerEntry*> TrackerTable::All() const {
   std::vector<const TrackerEntry*> out;
   out.reserve(entries_.size());
+  // The snapshot's order reaches shell output and Shutdown's final flush of
+  // kTrackerUpdate messages, so it must not inherit the hash-map's order.
+  // fargolint: order-insensitive(sorted by target id before return)
   for (const auto& [id, e] : entries_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const TrackerEntry* a, const TrackerEntry* b) {
+              return a->target < b->target;
+            });
   return out;
 }
 

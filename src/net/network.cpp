@@ -91,6 +91,7 @@ void Network::Send(Message msg) {
   if (msg.from == msg.to) {
     // Intra-Core loopback: free, excluded from link statistics, and immune
     // to chaos (a Core always reaches itself).
+    // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
     sched_.ScheduleAfter(0, [this, msg = std::move(msg)]() mutable {
       Deliver(std::move(msg));
     });
@@ -122,6 +123,7 @@ void Network::Send(Message msg) {
     const SimTime arrival_delay = link.latency + transfer + fate.extra[i];
     Message copy = (i + 1 < fate.copies) ? msg : std::move(msg);
     sched_.ScheduleAfter(arrival_delay,
+                         // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
                          [this, m = std::move(copy)]() mutable {
                            Deliver(std::move(m));
                          });
@@ -131,16 +133,19 @@ void Network::Send(Message msg) {
 void Network::SetFaultPlan(const FaultPlan& plan) {
   chaos_.Arm(plan);
   for (const FaultPlan::LinkFlap& flap : plan.flaps) {
+    // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
     sched_.ScheduleAt(flap.down_at, [this, flap] {
       SetPartitioned(flap.a, flap.b, true);
     });
     if (flap.up_at > flap.down_at) {
+      // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
       sched_.ScheduleAt(flap.up_at, [this, flap] {
         SetPartitioned(flap.a, flap.b, false);
       });
     }
   }
   for (const FaultPlan::CoreCrash& crash : plan.crashes) {
+    // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
     sched_.ScheduleAt(crash.at, [this, core = crash.core] {
       if (crash_handler_) {
         crash_handler_(core);
@@ -171,6 +176,7 @@ std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>>
 Network::AllLinkStats() const {
   std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>> out;
   out.reserve(stats_.size());
+  // fargolint: order-insensitive(rows are sorted by link pair before return)
   for (const auto& [key, stats] : stats_) {
     CoreId from{static_cast<std::uint32_t>(key >> 32)};
     CoreId to{static_cast<std::uint32_t>(key & 0xffffffffu)};

@@ -28,6 +28,8 @@ Shell::Shell(core::Runtime& runtime, core::Core& admin, std::ostream& out)
       engine_(runtime, admin),
       monitor_(runtime, admin, out) {}
 
+Shell::~Shell() { *alive_ = false; }
+
 core::Core* Shell::ResolveCore(const std::string& token) const {
   if (core::Core* c = runtime_.FindByName(token)) return c;
   std::string t = token;
@@ -214,7 +216,9 @@ void Shell::CmdAMove(const std::vector<std::string>& args) {
   const ComletId target = ref.target();
   const std::string dest_name = dest->name();
   admin_.MoveAsync(ref, dest->id())
-      .OnSettle([this, target, dest_name](sim::Future<sim::Unit> f) {
+      .OnSettle([this, alive = alive_, target,
+                 dest_name](sim::Future<sim::Unit> f) {
+        if (!*alive) return;  // the shell is gone; drop the report
         if (f.ok()) {
           out_ << "amove: " << ToString(target) << " arrived at " << dest_name
                << "\n";

@@ -37,6 +37,7 @@
 //   quit
 #pragma once
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -50,6 +51,7 @@ namespace fargo::shell {
 class Shell {
  public:
   Shell(core::Runtime& runtime, core::Core& admin, std::ostream& out);
+  ~Shell();
 
   /// Executes one command line. Returns false when the shell should exit.
   bool Execute(const std::string& line);
@@ -92,6 +94,10 @@ class Shell {
   std::ostream& out_;
   script::Engine engine_;
   TextMonitor monitor_;
+  /// Keepalive flag captured by async completions (amove): the shell may be
+  /// destroyed while a move is still in flight, and the continuation must
+  /// not touch `out_` through a dangling `this`.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace fargo::shell

@@ -1,0 +1,602 @@
+// Golden-fixture suite for fargolint (tools/fargolint/).
+//
+// Each rule gets three fixtures: a positive (asserting the rule id AND the
+// exact line), a suppressed variant (allow-with-reason), and a clean
+// variant. Line numbers are computed from the fixture text itself
+// (LineOf), so editing a fixture cannot silently desynchronise the
+// assertion from the code.
+
+#include "tools/fargolint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fargolint {
+namespace {
+
+std::vector<Finding> Lint1(const std::string& path, const std::string& src) {
+  return Lint({SourceFile{path, src}});
+}
+
+/// 1-based line of the first occurrence of `needle`.
+int LineOf(const std::string& src, const std::string& needle) {
+  std::size_t at = src.find(needle);
+  EXPECT_NE(at, std::string::npos) << "fixture lacks: " << needle;
+  if (at == std::string::npos) return -1;
+  return 1 + static_cast<int>(std::count(src.begin(), src.begin() + at, '\n'));
+}
+
+bool Has(const std::vector<Finding>& fs, const std::string& rule, int line) {
+  for (const Finding& f : fs)
+    if (f.rule == rule && f.line == line) return true;
+  return false;
+}
+
+int CountRule(const std::vector<Finding>& fs, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : fs)
+    if (f.rule == rule) ++n;
+  return n;
+}
+
+std::string Dump(const std::vector<Finding>& fs) {
+  std::string out;
+  for (const Finding& f : fs)
+    out += f.file + ":" + std::to_string(f.line) + " [" + f.rule + "] " +
+           f.message + "\n";
+  return out;
+}
+
+// ==== rule registry ==========================================================
+
+TEST(Rules, StableIdsInStableOrder) {
+  const std::vector<RuleInfo> rules = AllRules();
+  const std::vector<std::string> expect = {
+      "wallclock",   "unseeded-rng", "thread",
+      "unordered-iter", "no-pump",   "capture-ref",
+      "capture-this", "wire-asymmetry", "wire-dup-marker", "annotation"};
+  ASSERT_EQ(rules.size(), expect.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, expect[i]);
+    EXPECT_FALSE(rules[i].summary.empty());
+  }
+}
+
+// ==== wallclock ==============================================================
+
+TEST(Wallclock, FlagsChronoClocks) {
+  const std::string src = R"(#include <chrono>
+void F() {
+  auto t = std::chrono::system_clock::now();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "wallclock", LineOf(src, "system_clock"))) << Dump(fs);
+}
+
+TEST(Wallclock, FlagsCTimeCalls) {
+  const std::string src = R"(void F() {
+  long t = time(nullptr);
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "wallclock", LineOf(src, "time(nullptr)"))) << Dump(fs);
+}
+
+TEST(Wallclock, MemberNamedTimeIsClean) {
+  const std::string src = R"(void F(Span& s) {
+  auto t = s.time();
+  auto u = s->clock();
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "wallclock"), 0);
+}
+
+TEST(Wallclock, SimulatorIsExempt) {
+  const std::string src = R"(void F() {
+  auto t = std::chrono::steady_clock::now();
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/sim/clock.cpp", src), "wallclock"), 0);
+}
+
+TEST(Wallclock, SuppressedWithReason) {
+  const std::string src = R"(void F() {
+  // fargolint: allow(wallclock) wall time is only logged, never branched on
+  auto t = std::chrono::system_clock::now();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "wallclock"), 0) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "annotation"), 0) << Dump(fs);
+}
+
+// ==== unseeded-rng ===========================================================
+
+TEST(UnseededRng, FlagsRandAndRandomDevice) {
+  const std::string src = R"(#include <random>
+int F() {
+  std::random_device rd;
+  return rand();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "unseeded-rng", LineOf(src, "random_device"))) << Dump(fs);
+  EXPECT_TRUE(Has(fs, "unseeded-rng", LineOf(src, "rand()"))) << Dump(fs);
+}
+
+TEST(UnseededRng, DefaultConstructedEngineFlagged) {
+  const std::string src = R"(#include <random>
+void F() {
+  std::mt19937 rng;
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "unseeded-rng", LineOf(src, "mt19937 rng"))) << Dump(fs);
+}
+
+TEST(UnseededRng, SeededEngineIsClean) {
+  const std::string src = R"(#include <random>
+void F(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::mt19937_64 rng2{seed};
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "unseeded-rng"), 0);
+}
+
+// ==== thread =================================================================
+
+TEST(Thread, FlagsStdThreadOutsideSim) {
+  const std::string src = R"(#include <thread>
+void F() {
+  std::thread t([] {});
+  t.join();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "thread", LineOf(src, "std::thread t"))) << Dump(fs);
+}
+
+TEST(Thread, UnqualifiedAndMemberUsesAreClean) {
+  const std::string src = R"(void F(Pool& p) {
+  int thread = 3;          // a variable merely named thread
+  p.async(thread);         // a member function named async
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "thread"), 0);
+}
+
+TEST(Thread, MetricsRegistryIsExempt) {
+  const std::string src = R"(#include <thread>
+void F() { std::thread t([] {}); t.join(); }
+)";
+  EXPECT_EQ(CountRule(Lint1("src/monitor/metrics.cpp", src), "thread"), 0);
+  EXPECT_EQ(CountRule(Lint1("src/sim/pump.cpp", src), "thread"), 0);
+}
+
+// ==== unordered-iter =========================================================
+
+TEST(UnorderedIter, FlagsRangeForOverUnorderedMember) {
+  const std::string src = R"(#include <unordered_map>
+struct T {
+  std::unordered_map<int, int> entries_;
+  int Sum() const {
+    int s = 0;
+    for (const auto& [k, v] : entries_) s += v;
+    return s;
+  }
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_TRUE(Has(fs, "unordered-iter", LineOf(src, "for (const auto&")))
+      << Dump(fs);
+}
+
+TEST(UnorderedIter, HeaderImplPairingSharesDecls) {
+  // The member is declared unordered in the header; the loop lives in the
+  // paired .cpp. Linting both as one batch must still flag the loop.
+  const std::string hdr = R"(#include <unordered_map>
+struct T {
+  std::unordered_map<int, int> entries_;
+  int Sum() const;
+};
+)";
+  const std::string impl = R"(#include "t.h"
+int T::Sum() const {
+  int s = 0;
+  for (const auto& [k, v] : entries_) s += v;
+  return s;
+}
+)";
+  auto fs = Lint({SourceFile{"src/core/t.h", hdr}, SourceFile{"src/core/t.cpp", impl}});
+  EXPECT_TRUE(Has(fs, "unordered-iter", LineOf(impl, "for ("))) << Dump(fs);
+  // And only in the impl: the header has no loop.
+  EXPECT_EQ(CountRule(fs, "unordered-iter"), 1) << Dump(fs);
+}
+
+TEST(UnorderedIter, UnrelatedFilesDoNotShareDecls) {
+  // `entries_` is unordered in a DIFFERENT stem: no pairing, no finding.
+  const std::string other = R"(#include <unordered_map>
+struct O { std::unordered_map<int, int> entries_; };
+)";
+  const std::string impl = R"(#include <map>
+struct T {
+  std::map<int, int> entries_;
+  int Sum() const {
+    int s = 0;
+    for (const auto& [k, v] : entries_) s += v;
+    return s;
+  }
+};
+)";
+  auto fs = Lint({SourceFile{"src/core/other.h", other},
+                  SourceFile{"src/core/t.h", impl}});
+  EXPECT_EQ(CountRule(fs, "unordered-iter"), 0) << Dump(fs);
+}
+
+TEST(UnorderedIter, OrderInsensitiveAnnotationSuppresses) {
+  const std::string src = R"(#include <unordered_map>
+struct T {
+  std::unordered_map<int, int> entries_;
+  int Sum() const {
+    int s = 0;
+    // fargolint: order-insensitive(summation commutes)
+    for (const auto& [k, v] : entries_) s += v;
+    return s;
+  }
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_EQ(CountRule(fs, "unordered-iter"), 0) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "annotation"), 0) << Dump(fs);
+}
+
+TEST(UnorderedIter, ClassicForLoopIsClean) {
+  const std::string src = R"(#include <unordered_map>
+struct T {
+  std::unordered_map<int, int> entries_;
+  bool Probe() const {
+    for (int i = 0; i < 3; ++i)
+      if (entries_.count(i)) return true;
+    return false;
+  }
+};
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.h", src), "unordered-iter"), 0);
+}
+
+// ==== no-pump ================================================================
+
+TEST(NoPump, FlagsBlockingCallInsideContinuation) {
+  const std::string src = R"(void F(sim::Future<int> f, Core& core) {
+  f.Then([&core](int v) {
+    core.Invoke(v);
+  });
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "no-pump", LineOf(src, "core.Invoke"))) << Dump(fs);
+}
+
+TEST(NoPump, TopLevelBlockingCallIsClean) {
+  const std::string src = R"(int F(Core& core) {
+  return core.Invoke(7);
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "no-pump"), 0);
+}
+
+TEST(NoPump, RegionMarkerBansToEndOfFile) {
+  const std::string src = R"(void Above(sim::Scheduler& s) {
+  s.Pump();
+}
+// fargolint: no-pump-region
+void Below(sim::Scheduler& s) {
+  s.Pump();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  ASSERT_EQ(CountRule(fs, "no-pump"), 1) << Dump(fs);
+  const int marker = LineOf(src, "no-pump-region");
+  for (const Finding& f : fs) {
+    if (f.rule == "no-pump") {
+      EXPECT_GT(f.line, marker);
+    }
+  }
+}
+
+TEST(NoPump, SuppressedWithReason) {
+  const std::string src = R"(void F(sim::Future<int> f, Core& core) {
+  f.Then([&core](int v) {
+    // fargolint: allow(no-pump) test harness runs at top level of the pump
+    core.Await(v);
+  });
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "no-pump"), 0) << Dump(fs);
+}
+
+// ==== capture-ref ============================================================
+
+TEST(CaptureRef, FlagsDefaultRefCaptureInSink) {
+  const std::string src = R"(void F(sim::Scheduler& sched, int x) {
+  sched.ScheduleAfter(5, [&] { Use(x); });
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "capture-ref", LineOf(src, "[&]"))) << Dump(fs);
+}
+
+TEST(CaptureRef, PlainLambdaIsClean) {
+  const std::string src = R"(void F(std::vector<int>& v, int x) {
+  std::sort(v.begin(), v.end(), [&](int a, int b) { return a + x < b; });
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "capture-ref"), 0);
+}
+
+TEST(CaptureRef, NamedRefCapturesAreClean) {
+  // Only the DEFAULT capture is flagged; explicit `&name` is reviewable.
+  const std::string src = R"(void F(sim::Scheduler& sched, Log& log) {
+  sched.ScheduleAfter(5, [&log] { log.Flush(); });
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "capture-ref"), 0);
+}
+
+// ==== capture-this ===========================================================
+
+TEST(CaptureThis, FlagsBareThisInScheduledLambda) {
+  const std::string src = R"(void T::Arm(sim::Scheduler& sched) {
+  sched.ScheduleAt(5, [this] { Fire(); });
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "capture-this", LineOf(src, "[this]"))) << Dump(fs);
+}
+
+TEST(CaptureThis, AliveFlagKeepaliveIsClean) {
+  const std::string src = R"(void T::Arm(sim::Scheduler& sched) {
+  sched.ScheduleAt(5, [this, alive = alive_] {
+    if (!*alive) return;
+    Fire();
+  });
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "capture-this"), 0);
+}
+
+TEST(CaptureThis, SharedFromThisKeepaliveIsClean) {
+  const std::string src = R"(void T::Arm(sim::Scheduler& sched) {
+  sched.ScheduleAt(5, [this, self = shared_from_this()] { Fire(); });
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "capture-this"), 0);
+}
+
+TEST(CaptureThis, CopyCaptureOfStarThisIsClean) {
+  const std::string src = R"(void T::Arm(sim::Scheduler& sched) {
+  sched.ScheduleAt(5, [*this] { Fire(); });
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "capture-this"), 0);
+}
+
+TEST(CaptureThis, ThisOutsideSinkIsClean) {
+  const std::string src = R"(int T::Sum(const std::vector<int>& v) {
+  return std::count_if(v.begin(), v.end(), [this](int x) { return Ok(x); });
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "capture-this"), 0);
+}
+
+TEST(CaptureThis, SuppressedWithLifetimeArgument) {
+  const std::string src = R"(void T::Arm(sim::Scheduler& sched) {
+  // fargolint: allow(capture-this) T is owned by Runtime, which clears the queue first
+  sched.ScheduleAt(5, [this] { Fire(); });
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "capture-this"), 0) << Dump(fs);
+}
+
+// ==== wire-asymmetry =========================================================
+
+TEST(WireAsymmetry, FlagsDriftedField) {
+  const std::string src = R"(void EncodeFoo(Writer& w, const Foo& m) {
+  w.U32(m.a);
+  w.U32(m.b);
+}
+Foo DecodeFoo(Reader& r) {
+  Foo m;
+  m.a = r.U32();
+  return m;
+}
+)";
+  auto fs = Lint1("src/core/wirefoo.h", src);
+  // `b` is written but never read; flagged at the Encode definition.
+  EXPECT_TRUE(Has(fs, "wire-asymmetry", LineOf(src, "void EncodeFoo")))
+      << Dump(fs);
+  ASSERT_EQ(CountRule(fs, "wire-asymmetry"), 1) << Dump(fs);
+  EXPECT_NE(fs[0].message.find("'b'"), std::string::npos) << fs[0].message;
+}
+
+TEST(WireAsymmetry, SymmetricPairIsClean) {
+  const std::string src = R"(void EncodeFoo(Writer& w, const Foo& m) {
+  w.U32(m.a);
+  w.U32(m.b);
+}
+Foo DecodeFoo(Reader& r) {
+  Foo m;
+  m.a = r.U32();
+  m.b = r.U32();
+  return m;
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/wirefoo.h", src), "wire-asymmetry"), 0);
+}
+
+TEST(WireAsymmetry, ScalarCodecsWithNoVisibleFieldsAreSkipped) {
+  // ReadCoreId builds its value from the stream with no member accesses; an
+  // empty field set on either side means "not verifiable", not "drifted".
+  const std::string src = R"(void WriteCoreId(Writer& w, CoreId id) {
+  w.U32(id.value);
+}
+CoreId ReadCoreId(Reader& r) {
+  return CoreId{r.U32()};
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/wirefoo.h", src), "wire-asymmetry"), 0);
+}
+
+TEST(WireAsymmetry, CallSitesAreNotDefinitions) {
+  const std::string src = R"(void Relay(Writer& w, Reader& r, const Foo& m) {
+  EncodeFoo(w, m.body);
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "wire-asymmetry"), 0);
+}
+
+// ==== wire-dup-marker ========================================================
+
+TEST(WireDupMarker, FlagsSameFileDuplicate) {
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kRefA = 0x10;
+inline constexpr std::uint8_t kRefB = 0x10;
+)";
+  auto fs = Lint1("src/core/proto.h", src);
+  EXPECT_TRUE(Has(fs, "wire-dup-marker", LineOf(src, "kRefB"))) << Dump(fs);
+}
+
+TEST(WireDupMarker, DistinctValuesAreClean) {
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kRefA = 0x10;
+inline constexpr std::uint8_t kRefB = 0x11;
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/proto.h", src), "wire-dup-marker"), 0);
+}
+
+TEST(WireDupMarker, CollisionWithWireHReservedValue) {
+  // This is the PR-2 near-miss: wire.h reserves 0x54 for the trace tail,
+  // which rides inside every payload; another protocol reusing the byte
+  // would make an un-traced message parse as traced.
+  const std::string wire = R"(#include <cstdint>
+inline constexpr std::uint8_t kTraceTailMarker = 0x54;
+)";
+  const std::string other = R"(#include <cstdint>
+inline constexpr std::uint8_t kMyMagic = 0x54;
+)";
+  auto fs = Lint({SourceFile{"src/core/wire.h", wire},
+                  SourceFile{"src/monitor/proto.h", other}});
+  ASSERT_EQ(CountRule(fs, "wire-dup-marker"), 1) << Dump(fs);
+  EXPECT_EQ(fs[0].file, "src/monitor/proto.h");
+  EXPECT_EQ(fs[0].line, LineOf(other, "kMyMagic"));
+}
+
+TEST(WireDupMarker, WiderConstantsAreOutOfScope) {
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint32_t kMagicA = 0xF00D;
+inline constexpr std::uint32_t kMagicB = 0xF00D;
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/proto.h", src), "wire-dup-marker"), 0);
+}
+
+// ==== annotation hygiene =====================================================
+
+TEST(Annotation, AllowWithoutReasonIsFlagged) {
+  const std::string src = R"(void F() {
+  // fargolint: allow(wallclock)
+  auto t = std::chrono::system_clock::now();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  // The malformed allow does NOT suppress, and is itself a finding.
+  EXPECT_TRUE(Has(fs, "annotation", LineOf(src, "allow(wallclock)"))) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "wallclock"), 1) << Dump(fs);
+}
+
+TEST(Annotation, UnknownRuleIsFlagged) {
+  const std::string src = R"(// fargolint: allow(made-up-rule) because reasons
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "annotation", 1)) << Dump(fs);
+}
+
+TEST(Annotation, UnknownDirectiveIsFlagged) {
+  const std::string src = R"(// fargolint: frobnicate everything
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "annotation", 1)) << Dump(fs);
+}
+
+TEST(Annotation, AllowForWrongRuleDoesNotSuppress) {
+  const std::string src = R"(void F() {
+  // fargolint: allow(thread) not the rule that fires here
+  auto t = std::chrono::system_clock::now();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "wallclock"), 1) << Dump(fs);
+}
+
+TEST(Annotation, TrailingSameLineAllowSuppresses) {
+  const std::string src =
+      "void F() {\n"
+      "  auto t = std::chrono::system_clock::now();  "
+      "// fargolint: allow(wallclock) logged only\n"
+      "}\n";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "wallclock"), 0) << Dump(fs);
+}
+
+TEST(Annotation, AllowTwoLinesAboveDoesNotSuppress) {
+  // The contract is annotation-on-finding-line or directly above; a stale
+  // annotation drifting away from its code must resurface the finding.
+  const std::string src = R"(void F() {
+  // fargolint: allow(wallclock) drifted away from its line
+  int unrelated = 0;
+  auto t = std::chrono::system_clock::now();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "wallclock"), 1) << Dump(fs);
+}
+
+// ==== output contract ========================================================
+
+TEST(Output, FindingsSortedByFileLineRule) {
+  const std::string a = R"(void F() {
+  auto t = std::chrono::system_clock::now();
+  std::random_device rd;
+}
+)";
+  const std::string b = R"(void G() {
+  auto t = std::chrono::steady_clock::now();
+}
+)";
+  auto fs = Lint({SourceFile{"src/core/b.cpp", b}, SourceFile{"src/core/a.cpp", a}});
+  ASSERT_GE(fs.size(), 3u) << Dump(fs);
+  for (std::size_t i = 1; i < fs.size(); ++i) {
+    const bool ordered =
+        fs[i - 1].file < fs[i].file ||
+        (fs[i - 1].file == fs[i].file && fs[i - 1].line <= fs[i].line);
+    EXPECT_TRUE(ordered) << Dump(fs);
+  }
+}
+
+TEST(Output, ExcerptIsTheOffendingLine) {
+  const std::string src = R"(void F() {
+  auto t = std::chrono::system_clock::now();
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  ASSERT_EQ(fs.size(), 1u) << Dump(fs);
+  EXPECT_EQ(fs[0].excerpt, "auto t = std::chrono::system_clock::now();");
+}
+
+}  // namespace
+}  // namespace fargolint

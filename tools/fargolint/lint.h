@@ -1,0 +1,59 @@
+// fargolint: a repo-specific static checker for FarGo's determinism,
+// no-pump, capture-lifetime and wire-symmetry invariants (docs/INVARIANTS.md).
+//
+// The checker is deliberately a token-level tool built on its own small C++
+// lexer — no libclang, no compile database — so it builds and runs everywhere
+// the repo builds and its verdicts depend only on the bytes of the sources.
+// That buys determinism and zero dependencies at the price of lexical
+// heuristics; every rule documents its exact lexical contract and ships an
+// escape hatch:
+//
+//   // fargolint: allow(<rule>) <reason>            suppress one finding on
+//                                                   this or the next line;
+//                                                   the reason is mandatory
+//   // fargolint: order-insensitive(<reason>)       loop-level form of
+//                                                   allow(unordered-iter)
+//   // fargolint: no-pump-region                    from here to end of file,
+//                                                   blocking calls are banned
+//                                                   even outside lambdas
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fargolint {
+
+/// One diagnostic. `line` is 1-based. `excerpt` is the offending source line
+/// (trimmed), for CI annotations and editors.
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+  std::string excerpt;
+};
+
+/// A source file handed to the linter. `path` is used for diagnostics, for
+/// the path-based exemptions (src/sim/, the metrics registry) and for
+/// header/impl pairing, so pass repo-relative paths when possible.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Static rule metadata for --list-rules and the docs.
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Every rule the checker knows, in stable order.
+std::vector<RuleInfo> AllRules();
+
+/// Lints a batch of files as one unit. Batch-wide state: header/impl pairs
+/// share their unordered-container declarations, and wire marker constants
+/// declared in a file named wire.h are reserved across the whole batch.
+/// Findings come back sorted by (file, line, rule).
+std::vector<Finding> Lint(const std::vector<SourceFile>& files);
+
+}  // namespace fargolint

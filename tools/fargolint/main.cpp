@@ -1,0 +1,130 @@
+// fargolint CLI: scans the given files/directories (default rules, see
+// docs/INVARIANTS.md) and exits non-zero on any unsuppressed finding.
+//
+//   fargolint [--json] [--list-rules] <file-or-dir>...
+//
+// Directories are walked recursively for .h/.hpp/.cpp/.cc files; the file
+// list is sorted so output and exit status are byte-deterministic.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/fargolint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool LintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+void JsonEscape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const fargolint::RuleInfo& r : fargolint::AllRules())
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fargolint [--json] [--list-rules] <file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fargolint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: fargolint [--json] [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec))
+        if (entry.is_regular_file() && LintableExtension(entry.path()))
+          paths.push_back(entry.path().generic_string());
+    } else if (fs::exists(root, ec)) {
+      paths.push_back(fs::path(root).generic_string());
+    } else {
+      std::cerr << "fargolint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<fargolint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "fargolint: cannot read " << p << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back({p, ss.str()});
+  }
+
+  const std::vector<fargolint::Finding> findings = fargolint::Lint(files);
+
+  if (json) {
+    std::cout << "[";
+    bool first = true;
+    for (const fargolint::Finding& f : findings) {
+      if (!first) std::cout << ",";
+      first = false;
+      std::cout << "\n  {\"rule\":\"";
+      JsonEscape(std::cout, f.rule);
+      std::cout << "\",\"file\":\"";
+      JsonEscape(std::cout, f.file);
+      std::cout << "\",\"line\":" << f.line << ",\"message\":\"";
+      JsonEscape(std::cout, f.message);
+      std::cout << "\",\"excerpt\":\"";
+      JsonEscape(std::cout, f.excerpt);
+      std::cout << "\"}";
+    }
+    std::cout << (findings.empty() ? "]\n" : "\n]\n");
+  } else {
+    for (const fargolint::Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      if (!f.excerpt.empty()) std::cout << "    | " << f.excerpt << "\n";
+    }
+    std::cout << "fargolint: " << findings.size() << " finding(s) across "
+              << files.size() << " file(s)\n";
+  }
+  return findings.empty() ? 0 : 1;
+}
