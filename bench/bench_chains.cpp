@@ -10,6 +10,7 @@ using namespace fargo;
 using namespace fargo::bench;
 
 int main() {
+  Report report("chains");
   std::printf("== E1: tracker chains (Fig 2, §3.1) ==\n");
   std::printf("WAN: 10 ms per hop, 10 Mbit/s; complet moved N times before "
               "first call from a stale observer\n\n");
@@ -30,6 +31,7 @@ int main() {
           beta.target(), w[static_cast<std::size_t>(i + 1)].id());
 
     w.rt.network().ResetStats();
+    Section section(report, w, "chain" + std::to_string(n));
     SimTime t0 = w.rt.Now();
     core::InvokeResult first =
         observer_core.invocation().Invoke(observer.handle(), "text", {});
@@ -41,12 +43,17 @@ int main() {
     core::InvokeResult second =
         observer_core.invocation().Invoke(observer.handle(), "text", {});
     const double second_ms = ToMillis(w.rt.Now() - t0);
+    section.Commit();
 
     // After shortening, all intermediate trackers are unpointed; release
     // the origin stub so its tracker is collectable too.
     beta.Reset();
     std::size_t gcd = 0;
     for (core::Core* c : w.rt.Cores()) gcd += c->trackers().CollectGarbage();
+    report.Gate("chain" + std::to_string(n) + ".first_hops",
+                static_cast<std::uint64_t>(first.hops));
+    report.Gate("chain" + std::to_string(n) + ".second_hops",
+                static_cast<std::uint64_t>(second.hops));
 
     Row("| %9d | %17.1f | %8d | %8llu | %17.1f | %8d | %13zu |", n, first_ms,
         first.hops, static_cast<unsigned long long>(first_msgs), second_ms,
@@ -73,6 +80,7 @@ int main() {
       w[static_cast<std::size_t>(i)].MoveId(
           beta.target(), w[static_cast<std::size_t>(i + 1)].id());
 
+    Section section(report, w, "noshort" + std::to_string(n));
     SimTime t0 = w.rt.Now();
     oc.invocation().Invoke(observer.handle(), "text", {});
     const double first_ms = ToMillis(w.rt.Now() - t0);
@@ -83,10 +91,12 @@ int main() {
       fifth = oc.invocation().Invoke(observer.handle(), "text", {});
       fifth_ms = ToMillis(w.rt.Now() - t0);
     }
+    section.Commit();
     Row("| %9d | %17.1f | %17.1f | %8d |", n, first_ms, fifth_ms, fifth.hops);
   }
   std::printf("\nShape check: without shortening EVERY call pays the full "
               "chain, forever — the cost the automatic shortening "
               "eliminates.\n");
+  report.Write();
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace fargo;
 using namespace fargo::bench;
 
 int main() {
+  Report report("dynamic_vs_static");
   std::printf("== E8: dynamic vs static layout under WAN degradation (§1) "
               "==\n\n");
   World w(3, Millis(10), 1.25e6);  // admin+clients, host A, host B
@@ -48,6 +49,8 @@ int main() {
 
   SimTime ab_latency = Millis(10);
   double dyn_total = 0, sta_total = 0;
+  SimTime dyn_total_ns = 0, sta_total_ns = 0;
+  Section section(report, w, "degradation_run");
   for (int step = 0; step < 16; ++step) {
     // Degradation schedule: after 6 s, the link worsens every 2 s.
     if (step >= 6 && step % 2 == 0 && ab_latency < Millis(160)) {
@@ -60,9 +63,11 @@ int main() {
     for (int r = 0; r < 5; ++r) {
       SimTime t0 = w.rt.Now();
       dyn_client.Call("work");
+      dyn_total_ns += w.rt.Now() - t0;
       dyn_ms += ToMillis(w.rt.Now() - t0);
       t0 = w.rt.Now();
       sta_client.Call("work");
+      sta_total_ns += w.rt.Now() - t0;
       sta_ms += ToMillis(w.rt.Now() - t0);
       w.rt.RunFor(Millis(200));
     }
@@ -77,11 +82,15 @@ int main() {
         layout);
   }
 
+  section.Commit();
+  report.Gate("dynamic_total_ns", static_cast<std::uint64_t>(dyn_total_ns));
+  report.Gate("static_total_ns", static_cast<std::uint64_t>(sta_total_ns));
   std::printf("\ntotals: dynamic %.1f ms, static %.1f ms  (dynamic/static = "
               "%.2f)\n",
               dyn_total, sta_total, dyn_total / sta_total);
   std::printf("Shape check: identical until the policy colocates; once the "
               "link degrades the static app's latency tracks it while the "
               "dynamic app stays flat.\n");
+  report.Write();
   return 0;
 }

@@ -10,7 +10,7 @@ using namespace fargo::bench;
 
 namespace {
 
-void FanOutTable() {
+void FanOutTable(Report& report) {
   std::printf("-- fan-out: N listeners on one completLoad probe --\n");
   TableHeader({"listeners", "samplers", "raw evals / sim-s", "notifications",
                "fired listeners"});
@@ -29,6 +29,11 @@ void FanOutTable() {
     const auto evals0 = prof.evaluations();
     w[0].New<Message>("m");
     w.rt.RunFor(Seconds(1));
+    const std::string pre = "fanout" + std::to_string(listeners);
+    report.Gate(pre + ".samplers", prof.active_probes());
+    report.Gate(pre + ".raw_evals", prof.evaluations() - evals0);
+    report.Gate(pre + ".notifications", w[0].events().notifications());
+    report.Gate(pre + ".fired", static_cast<std::uint64_t>(fired));
     Row("| %9d | %8zu | %17llu | %13llu | %15d |", listeners,
         prof.active_probes(),
         static_cast<unsigned long long>(prof.evaluations() - evals0),
@@ -39,7 +44,7 @@ void FanOutTable() {
               "listeners).\n");
 }
 
-void NotificationLatencyTable() {
+void NotificationLatencyTable(Report& report) {
   std::printf("\n-- notification latency: crossing -> listener runs --\n");
   TableHeader({"listener at", "sampling (ms)", "latency (sim ms)"});
   struct Case {
@@ -65,6 +70,12 @@ void NotificationLatencyTable() {
     const SimTime crossed_at = w.rt.Now();
     w[0].New<Message>("m");  // load crosses the threshold now
     w.rt.RunFor(Seconds(2));
+    report.Gate(std::string("latency_ns.") + (c.remote ? "remote" : "local") +
+                    std::to_string(static_cast<int>(ToMillis(c.interval))) +
+                    "ms",
+                fired_at < 0 ? 0
+                             : static_cast<std::uint64_t>(fired_at -
+                                                          crossed_at));
     Row("| %-23s | %13.0f | %16.1f |", c.name, ToMillis(c.interval),
         fired_at < 0 ? -1.0 : ToMillis(fired_at - crossed_at));
   }
@@ -72,7 +83,7 @@ void NotificationLatencyTable() {
               "plus one link latency for remote listeners.\n");
 }
 
-void LifecycleEventRateTable() {
+void LifecycleEventRateTable(Report& report) {
   std::printf("\n-- lifecycle event throughput: moves observed by a live "
               "monitor --\n");
   TableHeader({"moves", "events delivered", "msgs total"});
@@ -93,6 +104,9 @@ void LifecycleEventRateTable() {
       from.MoveId(msg.target(), to.id());
     }
     w.rt.RunUntilIdle();
+    const std::string pre = "lifecycle" + std::to_string(moves);
+    report.Gate(pre + ".events", delivered);
+    report.Gate(pre + ".msgs", w.rt.network().total_messages());
     Row("| %5d | %16llu | %10llu |", moves,
         static_cast<unsigned long long>(delivered),
         static_cast<unsigned long long>(w.rt.network().total_messages()));
@@ -104,9 +118,11 @@ void LifecycleEventRateTable() {
 }  // namespace
 
 int main() {
+  Report report("events");
   std::printf("== E5: monitor events (§4.2) ==\n\n");
-  FanOutTable();
-  NotificationLatencyTable();
-  LifecycleEventRateTable();
+  FanOutTable(report);
+  NotificationLatencyTable(report);
+  LifecycleEventRateTable(report);
+  report.Write();
   return 0;
 }

@@ -26,7 +26,8 @@ struct SweepResult {
 };
 
 SweepResult RunSweep(double loss, bool with_retries, int ops,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, Report& report,
+                     const std::string& prefix) {
   World w(2, Millis(5), 1e7);
   w[0].SetRpcTimeout(Millis(100));
   w[1].SetRpcTimeout(Millis(100));
@@ -47,6 +48,7 @@ SweepResult RunSweep(double loss, bool with_retries, int ops,
   auto target = w[1].New<Counter>();
   auto ref = w[0].RefTo<Counter>(target.handle());
 
+  Section section(report, w, prefix);
   SweepResult r;
   double latency_sum_ms = 0;
   for (int i = 0; i < ops; ++i) {
@@ -61,6 +63,7 @@ SweepResult RunSweep(double loss, bool with_retries, int ops,
     }
   }
   w.rt.RunUntilIdle();
+  section.Commit();
   if (r.successes > 0) {
     r.mean_latency_ms = latency_sum_ms / r.successes;
     r.msgs_per_success =
@@ -68,10 +71,14 @@ SweepResult RunSweep(double loss, bool with_retries, int ops,
   }
   r.retries = w[0].rpc_retries();
   r.replays = w[1].dedup().replays();
+  report.Gate(prefix + ".ok", static_cast<std::uint64_t>(r.successes));
+  report.Gate(prefix + ".failed", static_cast<std::uint64_t>(r.failures));
+  report.Gate(prefix + ".resends", r.retries);
+  report.Gate(prefix + ".replays", r.replays);
   return r;
 }
 
-void LossSweepTable() {
+void LossSweepTable(Report& report) {
   const int kOps = 2000;
   std::printf("\n-- invocation under message loss (%d ops, 2 cores, "
               "5 ms links) --\n", kOps);
@@ -79,8 +86,11 @@ void LossSweepTable() {
                "msgs/ok", "resends", "dedup replays"});
   for (double loss : {0.0, 0.01, 0.05, 0.10}) {
     for (bool with_retries : {false, true}) {
+      const std::string prefix =
+          "loss" + std::to_string(static_cast<int>(loss * 100)) +
+          (with_retries ? "_retry" : "_oneshot");
       const SweepResult r =
-          RunSweep(loss, with_retries, kOps, /*seed=*/97);
+          RunSweep(loss, with_retries, kOps, /*seed=*/97, report, prefix);
       Row("| %4.0f%% | %s | %5d | %6d | %13.2f | %7.2f | %7llu | %13llu |",
           loss * 100, with_retries ? "  on " : " off ", r.successes,
           r.failures, r.mean_latency_ms, r.msgs_per_success,
@@ -117,8 +127,12 @@ BENCHMARK(BM_SendChaosArmedNoFaults);
 }  // namespace
 
 int main(int argc, char** argv) {
-  LossSweepTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Report report("faults");
+  LossSweepTable(report);
+  if (!DeterministicMode()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  report.Write();
   return 0;
 }

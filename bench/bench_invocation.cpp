@@ -75,18 +75,11 @@ BENCHMARK(BM_RemoteCallPayload)->Range(64, 1 << 16);
 // E12: pipelined InvokeAsync vs sequential sync Invoke over a 50 ms link.
 // Sequential sync pays K round-trips; K pipelined futures share the link
 // and complete in ~1 RTT + K * serialization. Simulated time, so the curve
-// is deterministic. Emits BENCH_pipeline.json alongside the table.
-void PipelinedVsSyncTable() {
+// is deterministic and every point is gated in BENCH_invocation.json.
+void PipelinedVsSyncTable(Report& report) {
   constexpr SimTime kLatency = Millis(50);
   std::printf("\n-- E12: sync loop vs pipelined InvokeAsync (50 ms link) --\n");
   TableHeader({"K", "sync (sim ms)", "pipelined (sim ms)", "speedup"});
-
-  FILE* json = std::fopen("BENCH_pipeline.json", "w");
-  if (json != nullptr)
-    std::fprintf(json,
-                 "{\n  \"experiment\": \"E12\",\n"
-                 "  \"link_latency_ms\": %.0f,\n  \"points\": [\n",
-                 ToMillis(kLatency));
 
   double single_ms = 0;
   double pipelined16_ms = 0;
@@ -100,8 +93,10 @@ void PipelinedVsSyncTable() {
       auto target = w[0].New<Counter>();
       auto ref = w[1].RefTo<Counter>(target.handle());
       ref.Call("get");  // warm the route so every run starts shortened
+      Section section(report, w, "sync_k" + std::to_string(k));
       const SimTime t0 = w.rt.scheduler().Now();
       for (int j = 0; j < k; ++j) ref.Call("get");
+      section.Commit();
       sync_ms = ToMillis(w.rt.scheduler().Now() - t0);
     }
     // Pipelined: all K requests leave before the first reply lands.
@@ -111,29 +106,20 @@ void PipelinedVsSyncTable() {
       auto target = w[0].New<Counter>();
       auto ref = w[1].RefTo<Counter>(target.handle());
       ref.Call("get");
+      Section section(report, w, "pipe_k" + std::to_string(k));
       const SimTime t0 = w.rt.scheduler().Now();
       std::vector<sim::Future<Value>> futures;
       for (int j = 0; j < k; ++j)
         futures.push_back(ref.InvokeAsync("get"));
       w.rt.RunUntilIdle();
       for (auto& f : futures) (void)f.value();  // all settled, none failed
+      section.Commit();
       pipe_ms = ToMillis(w.rt.scheduler().Now() - t0);
     }
     if (k == 1) single_ms = pipe_ms;
     if (k == 16) pipelined16_ms = pipe_ms;
     Row("| %4d | %13.2f | %18.2f | %6.1fx |", k, sync_ms, pipe_ms,
         sync_ms / pipe_ms);
-    if (json != nullptr)
-      std::fprintf(json,
-                   "    {\"k\": %d, \"sync_ms\": %.3f, \"pipelined_ms\": "
-                   "%.3f, \"speedup\": %.2f}%s\n",
-                   k, sync_ms, pipe_ms, sync_ms / pipe_ms,
-                   i + 1 < ks.size() ? "," : "");
-  }
-  if (json != nullptr) {
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_pipeline.json\n");
   }
   std::printf("acceptance: 16 pipelined in %.2f ms vs single %.2f ms -> %s\n",
               pipelined16_ms, single_ms,
@@ -141,7 +127,7 @@ void PipelinedVsSyncTable() {
                                              : "FAIL (>= 2x single)");
 }
 
-void TrackerSharingTable() {
+void TrackerSharingTable(Report& report) {
   std::printf("\n-- one tracker per target per Core (stub fan-in) --\n");
   TableHeader({"stubs at core1", "trackers at core1", "naive proxies"});
   for (int stubs : {1, 10, 100, 1000}) {
@@ -152,6 +138,8 @@ void TrackerSharingTable() {
       refs.push_back(w[1].RefTo<Counter>(target.handle()));
     // A naive design keeps one remote-capable proxy per reference; FarGo
     // shares one tracker among all stubs of a Core.
+    report.Gate("trackers_for_" + std::to_string(stubs) + "_stubs",
+                w[1].trackers().size());
     Row("| %14d | %17zu | %13d |", stubs, w[1].trackers().size(), stubs);
   }
 }
@@ -159,10 +147,14 @@ void TrackerSharingTable() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Report report("invocation");
   std::printf("== E3: stub/tracker indirection overhead (§3.1) ==\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  TrackerSharingTable();
-  PipelinedVsSyncTable();
+  if (!DeterministicMode()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  TrackerSharingTable(report);
+  PipelinedVsSyncTable(report);
+  report.Write();
   return 0;
 }

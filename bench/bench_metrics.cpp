@@ -4,6 +4,7 @@
 // during soaks — plus the overhead tracing adds to a full simulated RPC.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <sstream>
 
 #include "bench/support.h"
@@ -111,11 +112,42 @@ void BM_ChromeExport(benchmark::State& state) {
 }
 BENCHMARK(BM_ChromeExport);
 
+// Deterministic section: a fixed scripted scenario — 100 traced RPCs over a
+// 10 ms link — whose virtual-cost profile is gated in BENCH_metrics.json, so
+// the observability layer's wire/alloc footprint cannot silently grow.
+void TracedRpcSection(Report& report) {
+  World w(2);
+  w.rt.SetTracing(true);
+  auto counter = w[0].New<Counter>();
+  auto stub = w[1].RefTo<Counter>(counter.handle());
+  stub.Invoke<std::int64_t>("increment");  // warm the route
+  Section section(report, w, "traced_rpc100");
+  for (int i = 0; i < 100; ++i) (void)stub.Invoke<std::int64_t>("increment");
+  section.Commit();
+  report.Gate("traced_rpc100.spans", w[0].tracer().buffer().total_added() +
+                                         w[1].tracer().buffer().total_added());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  Report report("metrics");
   std::printf("== E11: observability hot paths (metrics + tracing) ==\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!DeterministicMode()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    // A coarse hot-path figure for the JSON report (wallclock, never gated).
+    monitor::Registry reg;
+    monitor::Counter& c = reg.counter("bench.hits");
+    // fargolint: allow(wallclock) host-clock Info() metric, never gated; this branch is skipped in deterministic mode
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 1000000; ++i) c.Inc();
+    // fargolint: allow(wallclock) host-clock Info() metric, never gated; this branch is skipped in deterministic mode
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    report.Info("counter_inc_ns",
+                std::chrono::duration<double, std::nano>(dt).count() / 1e6);
+  }
+  TracedRpcSection(report);
+  report.Write();
   return 0;
 }

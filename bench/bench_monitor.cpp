@@ -79,7 +79,7 @@ void BM_ContinuousProbes(benchmark::State& state) {
 }
 BENCHMARK(BM_ContinuousProbes)->Arg(1)->Arg(3)->Arg(30);
 
-void EmaConvergenceTable() {
+void EmaConvergenceTable(Report& report) {
   std::printf("\n-- EMA convergence: sampling interval vs time to track a "
               "load step (threshold 90%%) --\n");
   TableHeader({"interval (ms)", "samples to 90%", "sim time to 90% (ms)"});
@@ -98,6 +98,10 @@ void EmaConvergenceTable() {
       w.rt.RunFor(interval);
       ++samples;
     }
+    report.Gate("ema_samples_at_" +
+                    std::to_string(static_cast<int>(ToMillis(interval))) +
+                    "ms",
+                static_cast<std::uint64_t>(samples));
     Row("| %13.0f | %14d | %20.1f |", ToMillis(interval), samples,
         ToMillis(w.rt.Now() - t0));
     prof.Stop(monitor::ComletLoadProbe());
@@ -107,7 +111,7 @@ void EmaConvergenceTable() {
               "interval — the administrator's accuracy/overhead knob.\n");
 }
 
-void CacheEffectTable() {
+void CacheEffectTable(Report& report) {
   std::printf("\n-- instant-query caching: raw evaluations for 1000 queries "
               "--\n");
   TableHeader({"cache TTL (ms)", "queries", "raw evaluations"});
@@ -121,6 +125,9 @@ void CacheEffectTable() {
       prof.Instant(monitor::MemoryUseProbe());
       w.rt.RunFor(Millis(1));  // queries spread 1 ms apart
     }
+    report.Gate(
+        "evals_ttl" + std::to_string(static_cast<int>(ToMillis(ttl))) + "ms",
+        prof.evaluations() - evals0);
     Row("| %14.0f | %7d | %15llu |", ToMillis(ttl), 1000,
         static_cast<unsigned long long>(prof.evaluations() - evals0));
   }
@@ -129,10 +136,14 @@ void CacheEffectTable() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Report report("monitor");
   std::printf("== E4: profiling services (§4.1) ==\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  EmaConvergenceTable();
-  CacheEffectTable();
+  if (!DeterministicMode()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  EmaConvergenceTable(report);
+  CacheEffectTable(report);
+  report.Write();
   return 0;
 }

@@ -8,7 +8,7 @@ using namespace fargo::bench;
 
 namespace {
 
-void ClosureSizeSweep() {
+void ClosureSizeSweep(Report& report) {
   std::printf("-- movement cost vs closure size (10 ms, 10 Mbit/s link) --\n");
   TableHeader({"closure bytes", "stream bytes", "move (sim ms)",
                "data msgs", "total msgs"});
@@ -18,9 +18,13 @@ void ClosureSizeSweep() {
     World w(2);
     auto data = w[0].New<Data>(size);
     w.rt.network().ResetStats();
+    Section section(report, w, "closure" + std::to_string(size));
     const SimTime t0 = w.rt.Now();
     w[0].Move(data, w[1].id());
+    section.Commit();
     const double ms = ToMillis(w.rt.Now() - t0);
+    report.Gate("closure" + std::to_string(size) + ".stream_bytes",
+                w[0].movement().last_move_stats().stream_bytes);
     const auto fwd = w.rt.network().StatsBetween(w[0].id(), w[1].id());
     Row("| %13zu | %12zu | %13.1f | %9llu | %10llu |", size,
         w[0].movement().last_move_stats().stream_bytes, ms,
@@ -29,7 +33,7 @@ void ClosureSizeSweep() {
   }
 }
 
-void PullGroupSweep() {
+void PullGroupSweep(Report& report) {
   std::printf("\n-- one stream per move request: pulled group size sweep "
               "(chain of Node complets) --\n");
   TableHeader({"pulled complets", "complets moved", "stream bytes",
@@ -47,10 +51,16 @@ void PullGroupSweep() {
       prev = next;
     }
     w.rt.network().ResetStats();
+    Section section(report, w, "pull" + std::to_string(pulled));
     const SimTime t0 = w.rt.Now();
     w[0].Move(head, w[1].id());
+    section.Commit();
     const double ms = ToMillis(w.rt.Now() - t0);
     const auto& stats = w[0].movement().last_move_stats();
+    report.Gate("pull" + std::to_string(pulled) + ".complets_moved",
+                stats.complets_moved);
+    report.Gate("pull" + std::to_string(pulled) + ".stream_bytes",
+                stats.stream_bytes);
     Row("| %15d | %14zu | %12zu | %14llu | %13.1f |", pulled,
         stats.complets_moved, stats.stream_bytes,
         static_cast<unsigned long long>(
@@ -61,7 +71,7 @@ void PullGroupSweep() {
               "size (§3.3: \"only a single inter-Core message\").\n");
 }
 
-void RefFixupSweep() {
+void RefFixupSweep(Report& report) {
   std::printf("\n-- incoming/outgoing reference fix-up: move a complet "
               "referenced by N remote cores --\n");
   TableHeader({"inbound refs", "move (sim ms)", "msgs during move",
@@ -74,8 +84,10 @@ void RefFixupSweep() {
       refs.push_back(
           w[static_cast<std::size_t>(i + 2)].RefFromHandle(target.handle()));
     w.rt.network().ResetStats();
+    Section section(report, w, "fixup" + std::to_string(watchers));
     const SimTime t0 = w.rt.Now();
     w[0].Move(target, w[1].id());
+    section.Commit();
     const double ms = ToMillis(w.rt.Now() - t0);
     const auto msgs = w.rt.network().total_messages();
     // A stale watcher pays one forwarding hop, then is shortened.
@@ -93,7 +105,7 @@ void RefFixupSweep() {
               "ONE local tracker, §3.3).\n");
 }
 
-void RacingInvocationsTable() {
+void RacingInvocationsTable(Report& report) {
   std::printf("\n-- invocations racing a slow migration stream (parked at "
               "the destination, §3.3 transit consistency) --\n");
   TableHeader({"racers", "completed", "answered at", "extra latency vs "
@@ -106,14 +118,19 @@ void RacingInvocationsTable() {
     int completed = 0;
     SimTime last_done = 0;
     for (int i = 0; i < racers; ++i) {
+      // fargolint: allow(capture-ref) client/completed/last_done and the World all outlive the RunUntilIdle below in this same scope
       w.rt.scheduler().ScheduleAfter(Millis(1 + i), [&] {
         if (client.Invoke<std::int64_t>("read") == 200000) ++completed;
         last_done = w.rt.Now();
       });
     }
+    Section section(report, w, "race" + std::to_string(racers));
     const SimTime t0 = w.rt.Now();
     w[0].Move(data, w[1].id());
     w.rt.RunUntilIdle();
+    section.Commit();
+    report.Gate("race" + std::to_string(racers) + ".completed",
+                static_cast<std::uint64_t>(completed));
     core::Core* at = w[1].repository().Contains(data.target()) ? &w[1] : &w[0];
     // An idle racer would pay one round trip (~10ms); the racers waited
     // for the stream instead.
@@ -128,10 +145,12 @@ void RacingInvocationsTable() {
 }  // namespace
 
 int main() {
+  Report report("movement");
   std::printf("== E2: movement under layout constraints (§3.3) ==\n\n");
-  ClosureSizeSweep();
-  PullGroupSweep();
-  RefFixupSweep();
-  RacingInvocationsTable();
+  ClosureSizeSweep(report);
+  PullGroupSweep(report);
+  RefFixupSweep(report);
+  RacingInvocationsTable(report);
+  report.Write();
   return 0;
 }

@@ -15,7 +15,7 @@ using namespace fargo::bench;
 
 namespace {
 
-void MoveOverheadTable() {
+void MoveOverheadTable(Report& report) {
   std::printf("-- bookkeeping cost per move --\n");
   TableHeader({"scheme", "msgs per move", "move (sim ms)"});
   for (bool home : {false, true}) {
@@ -31,6 +31,10 @@ void MoveOverheadTable() {
       from.MoveId(msg.target(), to.id());
     }
     w.rt.RunUntilIdle();
+    const std::string pre =
+        std::string("moves.") + (home ? "registry" : "chains");
+    report.Gate(pre + ".msgs", w.rt.network().total_messages());
+    report.Gate(pre + ".sim_ns", static_cast<std::uint64_t>(w.rt.Now() - t0));
     Row("| %-13s | %13.1f | %13.1f |", home ? "home registry" : "chains",
         static_cast<double>(w.rt.network().total_messages()) / moves,
         ToMillis(w.rt.Now() - t0) / moves);
@@ -41,7 +45,7 @@ void MoveOverheadTable() {
               "(the update is off the critical path).\n");
 }
 
-void StaleResolutionTable() {
+void StaleResolutionTable(Report& report) {
   std::printf("\n-- stale reference: first-call cost after N moves --\n");
   TableHeader({"scheme", "moves", "1st call (sim ms)", "1st call hops"});
   for (bool home : {false, true}) {
@@ -65,6 +69,12 @@ void StaleResolutionTable() {
       }
       core::InvokeResult r =
           oc.invocation().Invoke(observer.handle(), "text", {});
+      const std::string pre = std::string("stale.") +
+                              (home ? "registry" : "chains") +
+                              std::to_string(n);
+      report.Gate(pre + ".sim_ns",
+                  static_cast<std::uint64_t>(w.rt.Now() - t0));
+      report.Gate(pre + ".hops", static_cast<std::uint64_t>(r.hops));
       Row("| %-13s | %5d | %17.1f | %13d |",
           home ? "home registry" : "chains", n, ToMillis(w.rt.Now() - t0),
           r.hops);
@@ -75,7 +85,7 @@ void StaleResolutionTable() {
               "history.\n");
 }
 
-void CrashSurvivalTable() {
+void CrashSurvivalTable(Report& report) {
   std::printf("\n-- crash of an intermediate hop: does a stale reference "
               "survive? --\n");
   TableHeader({"scheme", "outcome", "recovery (sim ms)"});
@@ -98,6 +108,9 @@ void CrashSurvivalTable() {
     } catch (const UnreachableError&) {
       outcome = "SEVERED";
     }
+    report.Gate(std::string("crash.") + (home ? "registry" : "chains") +
+                    ".recovered",
+                std::string(outcome) == "recovered" ? 1 : 0);
     Row("| %-13s | %-9s | %17.1f |", home ? "home registry" : "chains",
         outcome, ToMillis(w.rt.Now() - t0));
   }
@@ -108,10 +121,12 @@ void CrashSurvivalTable() {
 }  // namespace
 
 int main() {
+  Report report("naming");
   std::printf("== E9 (ablation): chains vs location-independent naming "
               "(§7) ==\n\n");
-  MoveOverheadTable();
-  StaleResolutionTable();
-  CrashSurvivalTable();
+  MoveOverheadTable(report);
+  StaleResolutionTable(report);
+  CrashSurvivalTable(report);
+  report.Write();
   return 0;
 }

@@ -10,6 +10,7 @@ using namespace fargo;
 using namespace fargo::bench;
 
 int main() {
+  Report report("reftypes");
   std::printf("== E7: reference-type semantics at movement (§2, §3.3) ==\n\n");
   TableHeader({"ref type", "stream bytes", "moved", "dup'd",
                "data left behind", "post-move access (sim ms)",
@@ -26,8 +27,14 @@ int main() {
     data.Call("read");  // original has state: reads == 1
 
     w.rt.network().ResetStats();
+    Section section(report, w, kind);
     w[0].Move(worker, w[1].id());
+    section.Commit();
     const auto& stats = w[0].movement().last_move_stats();
+    report.Gate(std::string(kind) + ".stream_bytes", stats.stream_bytes);
+    report.Gate(std::string(kind) + ".complets_moved", stats.complets_moved);
+    report.Gate(std::string(kind) + ".complets_duplicated",
+                stats.complets_duplicated);
 
     // Worker's access latency to its data source after the move, measured
     // from a client at the destination core (pure access cost).
@@ -60,5 +67,6 @@ int main() {
       "worker detaches onto its copy.\n"
       "  stamp     — only the type crosses; re-bound to the destination's "
       "equivalent complet.\n");
+  report.Write();
   return 0;
 }

@@ -28,6 +28,7 @@ end
 }  // namespace
 
 int main() {
+  Report report("script_scenario");
   std::printf("== E6: the paper's script (§4.3), verbatim ==\n\n");
   World w(4, Millis(25), 1.25e6);  // admin, host1, host2, safe
   core::Core& admin = w[0];
@@ -49,6 +50,7 @@ int main() {
   std::printf("-- performance rule: request latency while invoking ~10/s "
               "(threshold: methodInvokeRate > 3) --\n");
   TableHeader({"t (sim s)", "req latency (sim ms)", "worker at", "fired"});
+  Section perf(report, w, "perf_phase");
   for (int i = 0; i < 40; ++i) {
     const SimTime t0 = w.rt.Now();
     client.Call("work");
@@ -63,10 +65,12 @@ int main() {
           static_cast<unsigned long long>(engine.rule_firings()));
     }
   }
+  perf.Commit();
   std::printf("\nShape check: latency halves once the rule colocates the "
               "worker with its data (inner round trip disappears).\n");
 
   std::printf("\n-- reliability rule: core2 announces shutdown --\n");
+  Section recovery(report, w, "recovery_phase");
   const SimTime down_at = w.rt.Now();
   w[2].Shutdown(Millis(500));
   w.rt.RunFor(Millis(500));
@@ -80,8 +84,13 @@ int main() {
   Row("| %-12s | %17.1f | %-9s |", at != nullptr ? at->name().c_str() : "?",
       ToMillis(w.rt.Now() - down_at),
       result == 500 ? "yes" : "NO");
+  recovery.Commit();
+  report.Gate("rule_firings", engine.rule_firings());
+  report.Gate("moves_executed", engine.moves_executed());
+  report.Gate("app_alive_after_recovery", result == 500 ? 1 : 0);
   std::printf("\nfirings total: %llu, script moves total: %llu\n",
               static_cast<unsigned long long>(engine.rule_firings()),
               static_cast<unsigned long long>(engine.moves_executed()));
+  report.Write();
   return 0;
 }

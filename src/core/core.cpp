@@ -44,6 +44,7 @@ Core::Core(Runtime& runtime, CoreId id, std::string name)
   inst_.late_replies = &reg.counter("rpc.late_replies");
   inst_.moves = &reg.counter("move.count");
   inst_.hb_pings = &reg.counter("hb.pings");
+  inst_.bytes_copied = &reg.counter("net.bytes_copied");
   inst_.invoke_latency =
       &reg.histogram("invoke.latency_ns", monitor::Registry::LatencyBounds());
   inst_.invoke_hops =
@@ -331,9 +332,14 @@ void Core::SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc) {
   msg.to = rpc->to;
   msg.kind = rpc->kind;
   msg.correlation = rpc->corr;
-  msg.payload = (rpc->attempt == rpc->max_attempts)
-                    ? std::move(rpc->payload)
-                    : rpc->payload;
+  // Retention copy: every attempt but the last keeps the payload for a
+  // possible resend; the final attempt surrenders it to the wire.
+  if (rpc->attempt == rpc->max_attempts) {
+    msg.payload = std::move(rpc->payload);
+  } else {
+    inst_.bytes_copied->Inc(rpc->payload.size());
+    msg.payload = rpc->payload;
+  }
   network().Send(std::move(msg));
   rpc->timer = scheduler().ScheduleAfter(
       // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
@@ -366,8 +372,10 @@ std::vector<std::uint8_t> Core::SendAndAwait(
 void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
                  std::vector<std::uint8_t> payload) {
   // If this answers a request admitted through the dedup cache, remember
-  // the reply so duplicates can be re-answered without re-executing.
-  dedup_.Complete(to, correlation, kind, payload, scheduler().Now());
+  // the reply so duplicates can be re-answered without re-executing. The
+  // cached copy is the at-most-once tax; it is charged to the copy metric.
+  if (dedup_.Complete(to, correlation, kind, payload, scheduler().Now()))
+    inst_.bytes_copied->Inc(payload.size());
   net::Message msg;
   msg.from = id_;
   msg.to = to;
@@ -392,6 +400,8 @@ bool Core::AdmitOnce(CoreId origin, std::uint64_t correlation) {
       inst_.dedup_replays->Inc();
       LogDebug() << "core " << name_ << " replayed cached reply to "
                  << ToString(origin) << " corr " << correlation;
+      // The cached reply must survive further replays: copy, and charge it.
+      inst_.bytes_copied->Inc(res.reply->size());
       Reply(origin, res.reply_kind, correlation, *res.reply);
       return false;
   }

@@ -362,6 +362,7 @@ class Core {
     monitor::Counter* late_replies = nullptr;     ///< replies to settled RPCs
     monitor::Counter* moves = nullptr;
     monitor::Counter* hb_pings = nullptr;
+    monitor::Counter* bytes_copied = nullptr;     ///< payload bytes copied
     monitor::Histogram* invoke_latency = nullptr; ///< ns, delivered invokes
     monitor::Histogram* invoke_hops = nullptr;    ///< chain length at delivery
     monitor::Histogram* move_duration = nullptr;  ///< ns, committed moves

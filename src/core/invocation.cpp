@@ -5,6 +5,7 @@
 
 #include "src/common/log.h"
 #include "src/core/movement.h"
+#include "src/core/runtime.h"
 #include "src/core/wire.h"
 #include "src/serial/value_codec.h"
 
@@ -40,6 +41,12 @@ sim::Future<InvokeResult> InvocationUnit::InvokeAsync(
     const ComletHandle& handle, std::string_view method,
     std::vector<Value> args) {
   const std::string m(method);
+  // Without the home registry the fallback below could never produce a
+  // better route (LocateViaHomeAsync answers "unknown"), so don't pay for
+  // it: the arguments move straight into the call record instead of being
+  // cloned into a rescue lambda on every invocation.
+  if (!core_.runtime().home_registry_enabled())
+    return StartCall(handle, m, std::move(args));
   sim::Future<InvokeResult> first = StartCall(handle, m, args);
   // Home-registry fallback (§7 future work): on a severed chain, ask the
   // target's home Core for a fresh route and retry once — safe because
@@ -80,13 +87,14 @@ sim::Future<InvokeResult> InvocationUnit::InvokeAsync(
 
 sim::Future<InvokeResult> InvocationUnit::StartCall(
     const ComletHandle& handle, const std::string& method,
-    const std::vector<Value>& args) {
+    std::vector<Value> args) {
   sim::Scheduler& sched = core_.scheduler();
   monitor::Tracer& tracer = core_.tracer();
   auto call = std::make_shared<AsyncCall>(sched);
-  call->handle = handle;
-  call->method = method;
-  call->args = args;
+  call->req.handle = handle;
+  call->req.method = method;
+  call->req.args = std::move(args);
+  call->req.origin = core_.id();
   call->begin = sched.Now();
   call->max_attempts = std::max(1, core_.retry_policy().max_attempts);
   // The trace root: a fresh trace at top level, a child span when this
@@ -114,7 +122,8 @@ void InvocationUnit::DispatchLocalCall(const std::shared_ptr<AsyncCall>& call) {
     Value v;
     {
       monitor::TraceScope scope(core_.tracer(), call->root.ctx);
-      v = core_.DispatchLocal(call->handle.id, call->method, call->args);
+      v = core_.DispatchLocal(call->req.handle.id, call->req.method,
+                              call->req.args);
     }
     FinalizeOk(call, InvokeResult{std::move(v), core_.id(), 0});
   } catch (const UnreachableError&) {
@@ -130,7 +139,7 @@ void InvocationUnit::AwaitRoute(const std::shared_ptr<AsyncCall>& call,
                                 SimTime deadline) {
   auto wait = std::make_shared<RouteWait>();
   wait->call = call;
-  const ComletId id = call->handle.id;
+  const ComletId id = call->req.handle.id;
   // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
   wait->timer = core_.scheduler().ScheduleAt(deadline, [this, id, wait] {
     auto it = route_waiters_.find(id);
@@ -175,7 +184,7 @@ void InvocationUnit::NotifyRouteChanged(ComletId id) {
 void InvocationUnit::ResumeAfterRoute(const std::shared_ptr<AsyncCall>& call,
                                       SimTime deadline) {
   if (call->promise.settled()) return;
-  TrackerEntry* entry = core_.trackers().Find(call->handle.id);
+  TrackerEntry* entry = core_.trackers().Find(call->req.handle.id);
   if (entry == nullptr ||
       (!entry->is_local() &&
        (!entry->next.valid() || entry->next == core_.id()))) {
@@ -215,7 +224,7 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
     core_.inst_.retries->Inc();
     attempt_ctx =
         tracer
-            .RecordInstant(monitor::SpanKind::kRetry, call->method,
+            .RecordInstant(monitor::SpanKind::kRetry, call->req.method,
                            call->root.ctx, sched.Now(),
                            static_cast<std::uint32_t>(call->attempt - 1))
             .ctx;
@@ -224,27 +233,52 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
   // to this very Core, in which case the send loops back through our own
   // dedup-checked handler rather than re-dispatching locally (an earlier
   // attempt may already have executed elsewhere).
-  TrackerEntry* entry = core_.trackers().Find(call->handle.id);
-  if (entry == nullptr) entry = &core_.trackers().Ensure(call->handle);
+  TrackerEntry* entry = core_.trackers().Find(call->req.handle.id);
+  if (entry == nullptr) entry = &core_.trackers().Ensure(call->req.handle);
   const CoreId next = (!entry->is_local() && entry->next.valid() &&
                        entry->next != core_.id())
                           ? entry->next
                           : core_.id();
-  wire::InvokeRequest rq{call->handle, call->method, call->args,
-                         core_.id(),   {},           false,
-                         attempt_ctx};
-  // Route by our tracker's knowledge, not the stub's stale hint, so the
-  // next hop parks rather than bouncing the request back at us.
-  rq.handle.last_known = next;
-  if (next != core_.id()) ++entry->forwarded;
+  // The request record was built by StartCall; per attempt only the trace
+  // context and the routing hint change. Route by our tracker's knowledge,
+  // not the stub's stale hint, so the next hop parks rather than bouncing
+  // the request back at us.
+  call->req.trace = attempt_ctx;
+  call->req.handle.last_known = next;
 
-  net::Message msg;
-  msg.from = core_.id();
-  msg.to = next;
-  msg.kind = net::MessageKind::kInvokeRequest;
-  msg.correlation = call->corr;
-  msg.payload = wire::EncodeInvokeRequest(rq);
-  core_.network().Send(std::move(msg));
+  if (next == core_.id()) {
+    // Same-Core loopback (the target moved toward us mid-retry): the
+    // request must still cross the dedup-checked executor path as a fresh
+    // scheduled event — an earlier attempt may already have executed
+    // elsewhere — but there is no wire between us and ourselves, so skip
+    // the encode/decode round-trip and hand over the in-memory request.
+    net::Message carrier;
+    carrier.from = core_.id();
+    carrier.to = core_.id();
+    carrier.kind = net::MessageKind::kInvokeRequest;
+    carrier.correlation = call->corr;
+    sched.ScheduleAfter(
+        0,
+        // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+        [this, rq = call->req, carrier = std::move(carrier)]() mutable {
+          if (!core_.alive()) return;
+          try {
+            ProcessRequest(std::move(rq), std::move(carrier));
+          } catch (const std::exception& e) {
+            LogWarn() << "core " << core_.name()
+                      << " dropped a loopback request: " << e.what();
+          }
+        });
+  } else {
+    ++entry->forwarded;
+    net::Message msg;
+    msg.from = core_.id();
+    msg.to = next;
+    msg.kind = net::MessageKind::kInvokeRequest;
+    msg.correlation = call->corr;
+    msg.payload = wire::EncodeInvokeRequest(call->req);
+    core_.network().Send(std::move(msg));
+  }
 
   call->timer = sched.ScheduleAfter(core_.rpc_timeout(),
                                     // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
@@ -260,8 +294,8 @@ void InvocationUnit::OnAttemptTimeout(const std::shared_ptr<AsyncCall>& call) {
   waiters_.erase(call->corr);
   FinalizeError(call,
                 std::make_exception_ptr(UnreachableError(
-                    "invocation of " + call->method + " on " +
-                    ToString(call->handle.id) + " timed out")),
+                    "invocation of " + call->req.method + " on " +
+                    ToString(call->req.handle.id) + " timed out")),
                 monitor::SpanOutcome::kTimeout);
 }
 
@@ -342,7 +376,10 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
 
 void InvocationUnit::HandleRequest(net::Message msg) {
   wire::InvokeRequest rq = wire::DecodeInvokeRequest(msg.payload);
+  ProcessRequest(std::move(rq), std::move(msg));
+}
 
+void InvocationUnit::ProcessRequest(wire::InvokeRequest rq, net::Message msg) {
   // At-most-once: if this Core already executed this request (keyed by the
   // origin Core and the correlation, which retries reuse), answer from the
   // cached reply. Checked before routing, not just before execution — a Core
@@ -351,8 +388,11 @@ void InvocationUnit::HandleRequest(net::Message msg) {
   if (auto cached = core_.dedup().Lookup(rq.origin, msg.correlation)) {
     core_.inst_.dedup_replays->Inc();
     // A duplicated oneway is simply dropped: there is no reply to replay.
-    if (!rq.oneway)
+    if (!rq.oneway) {
+      // Replay copy: the cached reply must survive further duplicates.
+      core_.inst_.bytes_copied->Inc(cached->payload->size());
       core_.Reply(rq.origin, cached->kind, msg.correlation, *cached->payload);
+    }
     return;
   }
 
@@ -365,8 +405,12 @@ void InvocationUnit::HandleRequest(net::Message msg) {
   }
 
   // Target in transit to this Core (the stream is still in flight): park
-  // the request; it is drained on arrival or failed on expiry.
+  // the request; it is drained on arrival or failed on expiry. A request
+  // that arrived through the loopback fast path travels in an empty
+  // carrier; parking is the one consumer that needs real payload bytes
+  // (the park queue re-handles through the wire path), so encode now.
   if (!entry.next.valid() || entry.next == core_.id()) {
+    if (msg.payload.empty()) msg.payload = wire::EncodeInvokeRequest(rq);
     core_.Park(rq.handle.id, std::move(msg), rq.origin);
     return;
   }
@@ -545,10 +589,10 @@ void InvocationUnit::HandleReply(net::Message msg) {
     // the Core that answered — unless the complet meanwhile arrived *here*
     // (e.g. the invocation was a routed move command with us as destination).
     if (shortening_ && location.valid() && location != core_.id()) {
-      TrackerEntry* current = core_.trackers().Find(call->handle.id);
+      TrackerEntry* current = core_.trackers().Find(call->req.handle.id);
       if (current == nullptr || !current->is_local())
-        core_.trackers().SetForward(call->handle.id, location,
-                                    call->handle.anchor_type);
+        core_.trackers().SetForward(call->req.handle.id, location,
+                                    call->req.handle.anchor_type);
     }
     FinalizeOk(call, InvokeResult{std::move(value), location, reply_hops});
     return;

@@ -94,9 +94,12 @@ class InvocationUnit {
   /// same map) and late replies can be told apart from live ones.
   struct AsyncCall {
     explicit AsyncCall(sim::Scheduler& s) : promise(s) {}
-    ComletHandle handle;
-    std::string method;
-    std::vector<Value> args;
+    /// The invocation as it will travel the wire, built ONCE per call:
+    /// attempts mutate only `req.trace` and `req.handle.last_known` in
+    /// place, so resends never re-copy the method name or the argument
+    /// values (they used to, per attempt). Local dispatch reads the same
+    /// fields, so the record is also the single owner of handle/method/args.
+    wire::InvokeRequest req;
     sim::Promise<InvokeResult> promise;
     monitor::Tracer::Opened root{};  ///< the invocation's root span
     SimTime begin = 0;
@@ -114,10 +117,10 @@ class InvocationUnit {
 
   /// One routed attempt sequence: opens the root span and dispatches
   /// locally, parks on the route, or goes remote. (The home-registry
-  /// fallback in InvokeAsync wraps this.)
+  /// fallback in InvokeAsync wraps this.) Takes ownership of `args`.
   sim::Future<InvokeResult> StartCall(const ComletHandle& handle,
                                       const std::string& method,
-                                      const std::vector<Value>& args);
+                                      std::vector<Value> args);
 
   void DispatchLocalCall(const std::shared_ptr<AsyncCall>& call);
   void AwaitRoute(const std::shared_ptr<AsyncCall>& call, SimTime deadline);
@@ -132,6 +135,12 @@ class InvocationUnit {
   void FinalizeOk(const std::shared_ptr<AsyncCall>& call, InvokeResult res);
   void FinalizeError(const std::shared_ptr<AsyncCall>& call,
                      std::exception_ptr error, monitor::SpanOutcome outcome);
+
+  /// Executor-side handling of a decoded request. `msg` is the carrier the
+  /// request arrived in (payload only needed if the request parks); the
+  /// same-Core loopback fast path calls this directly with an empty-payload
+  /// carrier, skipping wire encode/decode entirely.
+  void ProcessRequest(wire::InvokeRequest rq, net::Message msg);
 
   void ExecuteAndReply(const wire::InvokeRequest& rq,
                        std::uint64_t correlation);

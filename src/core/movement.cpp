@@ -198,6 +198,8 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
   }
 
   serial::Writer payload;
+  // One allocation for the whole stream: header + sections + continuation.
+  payload.Reserve(sections.size() + 64);
   wire::WriteComletId(payload, primary);
   payload.WriteVarint(count);
   payload.WriteRaw(sections.buffer().data(), sections.buffer().size());
@@ -318,7 +320,9 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
       std::string type = r.ReadString();
       bool is_duplicate = r.ReadBool();
       (void)is_duplicate;  // same install path either way
-      std::vector<std::uint8_t> body = r.ReadBytes();
+      // Zero-copy: unmarshal the section straight out of the message
+      // payload (alive for the whole handler) instead of copying it out.
+      serial::Reader body_reader = r.ReadBytesView();
 
       auto hook = [this, id](serial::GraphReader& gr, void* p) {
         auto* ref = static_cast<ComletRefBase*>(p);
@@ -356,7 +360,6 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
         }
       };
 
-      serial::Reader body_reader(body);
       serial::GraphReader gr(body_reader, hook);
       std::shared_ptr<Anchor> anchor = gr.ReadObjectAs<Anchor>();
       if (!anchor) throw FargoError("migration stream carried a null anchor");

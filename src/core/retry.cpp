@@ -63,17 +63,18 @@ std::optional<DedupCache::CachedReply> DedupCache::Lookup(
   return CachedReply{it->second.reply_kind, &it->second.reply};
 }
 
-void DedupCache::Complete(CoreId origin, std::uint64_t correlation,
+bool DedupCache::Complete(CoreId origin, std::uint64_t correlation,
                           net::MessageKind reply_kind,
                           const std::vector<std::uint8_t>& payload,
                           SimTime now) {
   auto it = entries_.find(Key{origin, correlation});
-  if (it == entries_.end() || it->second.done) return;
+  if (it == entries_.end() || it->second.done) return false;
   it->second.done = true;
   it->second.reply_kind = reply_kind;
   it->second.reply = payload;
   it->second.completed_at = now;
   completion_order_.push_back(it->first);
+  return true;
 }
 
 void DedupCache::EvictExpired(SimTime now) {

@@ -80,8 +80,9 @@ class DedupCache {
 
   /// Caches the reply for a request previously admitted by Begin. No-op
   /// for unknown keys (replies to requests that were never deduped, e.g.
-  /// park-expiry errors) and for already-completed entries.
-  void Complete(CoreId origin, std::uint64_t correlation,
+  /// park-expiry errors) and for already-completed entries. Returns true
+  /// when the reply was actually stored (i.e. a copy was made).
+  bool Complete(CoreId origin, std::uint64_t correlation,
                 net::MessageKind reply_kind,
                 const std::vector<std::uint8_t>& payload, SimTime now);
 

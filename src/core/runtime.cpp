@@ -5,6 +5,7 @@
 #include "src/core/core.h"
 #include "src/core/relocator.h"
 #include "src/monitor/trace.h"
+#include "src/serial/bytes.h"
 
 namespace fargo::core {
 
@@ -22,6 +23,17 @@ Runtime::Runtime() : network_(scheduler_) {
                                                net::DropReason) {
         drops.Inc();
       });
+  // Chaos duplication is the one place the fabric copies a payload instead
+  // of moving it; charge those bytes to the copy-elimination gate metric.
+  network_.SetCopyHook(
+      [&copied = metrics_.counter("net.bytes_copied")](std::size_t n) {
+        copied.Inc(n);
+      });
+  // Baseline the process-global serial stats at construction, so each
+  // Runtime's registry reports only its own lifetime.
+  const serial::BufferStats at_boot = serial::GetBufferStats();
+  synced_allocations_ = at_boot.allocations;
+  synced_regrow_bytes_ = at_boot.bytes_copied;
   // Max-gauge of scheduler pump nesting: the async invocation pipeline keeps
   // this at 1; anything deeper means a blocking wait re-entered the pump.
   scheduler_.SetPumpObserver(
@@ -77,6 +89,15 @@ std::size_t Runtime::WriteTrace(std::ostream& os) const {
     names.emplace_back(core->id(), core->name());
   }
   return monitor::WriteChromeTrace(os, spans, names);
+}
+
+void Runtime::SyncSerialStats() {
+  const serial::BufferStats now = serial::GetBufferStats();
+  metrics_.counter("alloc.count").Inc(now.allocations - synced_allocations_);
+  metrics_.counter("net.bytes_copied")
+      .Inc(now.bytes_copied - synced_regrow_bytes_);
+  synced_allocations_ = now.allocations;
+  synced_regrow_bytes_ = now.bytes_copied;
 }
 
 std::size_t Runtime::DumpTrace(const std::string& path) const {

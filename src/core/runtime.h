@@ -41,9 +41,17 @@ class Runtime {
   // -- observability: metrics + causal tracing --------------------------------
 
   /// Deployment-wide metrics registry. Cores resolve their instruments here
-  /// at construction; network drops are hooked in by the constructor.
+  /// at construction; network drops and duplication copies are hooked in by
+  /// the constructor.
   monitor::Registry& metrics() { return metrics_; }
   const monitor::Registry& metrics() const { return metrics_; }
+
+  /// Folds the serialization layer's process-wide buffer telemetry
+  /// (serial::GetBufferStats) into the registry: `alloc.count` gains the
+  /// Writer allocations and `net.bytes_copied` the regrow copies performed
+  /// since the previous sync. Benches and tests call this before reading
+  /// either metric; both are deterministic under deterministic scheduling.
+  void SyncSerialStats();
 
   /// Turns span recording on/off for every Core (existing and future).
   void SetTracing(bool on);
@@ -75,6 +83,10 @@ class Runtime {
   std::uint32_t next_core_id_ = 0;
   bool home_registry_ = false;
   bool tracing_ = false;
+  /// serial::BufferStats values already folded into the registry; the
+  /// stats are process-global, the registry is per-Runtime.
+  std::uint64_t synced_allocations_ = 0;
+  std::uint64_t synced_regrow_bytes_ = 0;
 };
 
 }  // namespace fargo::core

@@ -130,8 +130,13 @@ struct InvokeRequest {
   friend bool operator==(const InvokeRequest&, const InvokeRequest&) = default;
 };
 
+// fargolint: allow(wire-asymmetry) anchor_type only feeds the Reserve size hint; the field itself travels via WriteHandle/ReadHandle
 inline std::vector<std::uint8_t> EncodeInvokeRequest(const InvokeRequest& rq) {
   serial::Writer w;
+  // Size hint: fixed fields plus a small per-arg/per-hop allowance. Large
+  // value arguments fall back to the Writer's doubling growth.
+  w.Reserve(48 + rq.handle.anchor_type.size() + rq.method.size() +
+            16 * rq.args.size() + 8 * rq.path.size());
   WriteHandle(w, rq.handle);
   w.WriteString(rq.method);
   serial::WriteValues(w, rq.args);

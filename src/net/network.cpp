@@ -121,7 +121,9 @@ void Network::Send(Message msg) {
     total_.messages += 1;
     total_.bytes += wire_bytes;
     const SimTime arrival_delay = link.latency + transfer + fate.extra[i];
-    Message copy = (i + 1 < fate.copies) ? msg : std::move(msg);
+    const bool duplicate = i + 1 < fate.copies;
+    if (duplicate && copy_hook_) copy_hook_(msg.size());
+    Message copy = duplicate ? msg : std::move(msg);
     sched_.ScheduleAfter(arrival_delay,
                          // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
                          [this, m = std::move(copy)]() mutable {

@@ -112,6 +112,13 @@ class Network {
   using DropHook = std::function<void(const Message&, DropReason)>;
   void SetDropHook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Copy hook: invoked with the payload size whenever the fabric must
+  /// duplicate a message instead of moving it (chaos duplication is the
+  /// only such site — the normal Send → chaos → link queue → Deliver path
+  /// moves the payload end to end). Feeds `net.bytes_copied`.
+  using CopyHook = std::function<void(std::size_t)>;
+  void SetCopyHook(CopyHook hook) { copy_hook_ = std::move(hook); }
+
   // -- fault injection -------------------------------------------------------
   /// Arms `plan` for every directed link and schedules its flaps/crashes.
   /// Scheduled crashes call the crash handler (Runtime installs one that
@@ -174,6 +181,7 @@ class Network {
   std::size_t header_bytes_ = 64;
   Tap tap_;
   DropHook drop_hook_;
+  CopyHook copy_hook_;
   ChaosEngine chaos_;
   std::function<void(CoreId)> crash_handler_;
 };

@@ -1,3 +1,44 @@
 #include "src/serial/bytes.h"
 
-// All members are inline; this translation unit anchors the module.
+#include <atomic>
+
+namespace fargo::serial {
+
+namespace {
+
+// Relaxed is enough: the counters are statistics, not synchronization, and
+// the deterministic runtime is single-threaded anyway.
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes_copied{0};
+
+// First allocation of a fresh buffer. Keeping short encodes at one
+// allocation makes `alloc.count` a stable, meaningful gate: most wire
+// messages are under 64 bytes.
+constexpr std::size_t kMinCapacity = 64;
+
+}  // namespace
+
+BufferStats GetBufferStats() {
+  return BufferStats{g_allocations.load(std::memory_order_relaxed),
+                     g_bytes_copied.load(std::memory_order_relaxed)};
+}
+
+void ResetBufferStats() {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_bytes_copied.store(0, std::memory_order_relaxed);
+}
+
+void Writer::Grow(std::size_t need) {
+  // Explicit doubling from a fixed floor, via reserve() (which allocates
+  // exactly the requested capacity on the library implementations we build
+  // against) — the allocation count depends only on the write sequence, not
+  // on the standard library's growth heuristics.
+  const std::size_t cap = buf_.capacity();
+  std::size_t target = cap < kMinCapacity ? kMinCapacity : cap * 2;
+  if (target < need) target = need;
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_copied.fetch_add(buf_.size(), std::memory_order_relaxed);
+  buf_.reserve(target);
+}
+
+}  // namespace fargo::serial

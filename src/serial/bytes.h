@@ -4,6 +4,14 @@
 // module is its from-scratch replacement: a compact, deterministic binary
 // encoding (unsigned LEB128 varints, zig-zag signed ints, IEEE doubles,
 // length-prefixed strings) with strict bounds checking on the read side.
+//
+// The Writer manages its buffer capacity explicitly (Grow in bytes.cpp)
+// instead of leaning on std::vector's implementation-defined growth, so the
+// number of heap allocations per encode is a deterministic function of the
+// byte sequence written — which is what lets the continuous-benchmarking
+// gate (tools/benchgate) pin `alloc.count` exactly across compilers.
+// Encoders that know their payload size call Reserve() up front and pay a
+// single allocation.
 #pragma once
 
 #include <cstdint>
@@ -21,15 +29,36 @@ class SerialError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Process-wide Writer buffer telemetry: how many heap allocations Writer
+/// buffers performed and how many already-written bytes had to be copied to
+/// a regrown buffer. Relaxed atomics (TSan-clean); deterministic within a
+/// deterministic run because Grow is the only allocation site.
+struct BufferStats {
+  std::uint64_t allocations = 0;   ///< buffer (re)allocations, incl. Reserve
+  std::uint64_t bytes_copied = 0;  ///< bytes relocated by regrows
+};
+BufferStats GetBufferStats();
+void ResetBufferStats();
+
 /// Appends primitive values to a growable byte buffer.
 class Writer {
  public:
   Writer() = default;
 
-  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+  /// Pre-allocates room for `n` more bytes, so the writes that fill them
+  /// regrow-free. One allocation at most; a no-op if capacity suffices.
+  void Reserve(std::size_t n) {
+    if (buf_.size() + n > buf_.capacity()) Grow(buf_.size() + n);
+  }
+
+  void WriteU8(std::uint8_t v) {
+    EnsureRoom(1);
+    buf_.push_back(v);
+  }
 
   /// Unsigned LEB128.
   void WriteVarint(std::uint64_t v) {
+    EnsureRoom(10);  // worst case: 10 groups of 7 bits
     while (v >= 0x80) {
       buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
@@ -48,22 +77,26 @@ class Writer {
   void WriteDouble(double v) {
     std::uint64_t bits;
     std::memcpy(&bits, &v, sizeof bits);
+    EnsureRoom(8);
     for (int i = 0; i < 8; ++i)
       buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
   }
 
   void WriteString(std::string_view s) {
+    EnsureRoom(10 + s.size());
     WriteVarint(s.size());
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
   void WriteBytes(const std::vector<std::uint8_t>& b) {
+    EnsureRoom(10 + b.size());
     WriteVarint(b.size());
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
   /// Appends raw bytes without a length prefix.
   void WriteRaw(const std::uint8_t* data, std::size_t n) {
+    EnsureRoom(n);
     buf_.insert(buf_.end(), data, data + n);
   }
 
@@ -72,6 +105,14 @@ class Writer {
   std::vector<std::uint8_t> Take() { return std::move(buf_); }
 
  private:
+  /// Guarantees capacity for `n` more bytes. Every append funnels through
+  /// here, so Grow is the Writer's only allocation site.
+  void EnsureRoom(std::size_t n) {
+    if (buf_.size() + n > buf_.capacity()) Grow(buf_.size() + n);
+  }
+
+  void Grow(std::size_t need);  // bytes.cpp: growth policy + telemetry
+
   std::vector<std::uint8_t> buf_;
 };
 
@@ -132,6 +173,17 @@ class Reader {
     std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return b;
+  }
+
+  /// Length-prefixed sub-stream as a bounds-checked Reader over the parent's
+  /// storage — the zero-copy sibling of ReadBytes. The view stays valid only
+  /// while the parent's underlying buffer does.
+  Reader ReadBytesView() {
+    std::uint64_t n = ReadVarint();
+    Require(n);
+    Reader sub(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += n;
+    return sub;
   }
 
   bool AtEnd() const { return pos_ == size_; }

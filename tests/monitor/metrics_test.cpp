@@ -9,6 +9,10 @@
 #include <vector>
 
 #include "src/monitor/metrics.h"
+#include "src/core/core.h"
+#include "src/core/runtime.h"
+#include "src/serial/bytes.h"
+#include "tests/support/comlets.h"
 
 namespace fargo::monitor {
 namespace {
@@ -195,6 +199,92 @@ TEST(RegistryConcurrencyTest, ParallelRegistrationAndDumpIsRaceFree) {
   for (int i = 0; i < 10; ++i)
     shared += reg.CounterValue("shared." + std::to_string(i));
   EXPECT_EQ(shared, static_cast<std::uint64_t>(kThreads) * 200);
+}
+
+// ==== serializer allocation accounting =======================================
+//
+// The perf gate (tools/benchgate) pins `alloc.count` exactly, which only
+// works because the Writer's growth policy makes allocations a pure
+// function of the byte sequence written. These tests pin that function.
+
+/// Writer buffer stats delta across `fn`.
+serial::BufferStats StatsOf(void (*fn)(serial::Writer&)) {
+  const serial::BufferStats before = serial::GetBufferStats();
+  serial::Writer w;
+  fn(w);
+  const serial::BufferStats after = serial::GetBufferStats();
+  return {after.allocations - before.allocations,
+          after.bytes_copied - before.bytes_copied};
+}
+
+TEST(SerialAllocTest, ReservedEncodeIsExactlyOneAllocation) {
+  const serial::BufferStats d = StatsOf(+[](serial::Writer& w) {
+    w.Reserve(100);
+    for (int i = 0; i < 100; ++i) w.WriteU8(7);
+  });
+  EXPECT_EQ(d.allocations, 1u);
+  EXPECT_EQ(d.bytes_copied, 0u);
+}
+
+TEST(SerialAllocTest, UnreservedGrowthDoublesFromMinCapacity) {
+  // First write allocates the 64-byte floor; crossing 64 doubles to 128 and
+  // relocates the 64 live bytes. Exact on every compiler — the Writer, not
+  // std::vector, decides capacities.
+  const serial::BufferStats d = StatsOf(+[](serial::Writer& w) {
+    for (int i = 0; i < 65; ++i) w.WriteU8(1);
+  });
+  EXPECT_EQ(d.allocations, 2u);
+  EXPECT_EQ(d.bytes_copied, 64u);
+}
+
+TEST(SerialAllocTest, ReserveIsIdempotentWhenCapacitySuffices) {
+  const serial::BufferStats d = StatsOf(+[](serial::Writer& w) {
+    w.Reserve(50);
+    w.Reserve(40);  // fits: no second allocation
+    for (int i = 0; i < 50; ++i) w.WriteU8(2);
+  });
+  EXPECT_EQ(d.allocations, 1u);
+  EXPECT_EQ(d.bytes_copied, 0u);
+}
+
+TEST(SerialAllocTest, RuntimeSyncFoldsDeltasExactlyOnce) {
+  core::Runtime rt;
+  rt.SyncSerialStats();  // drain anything earlier tests produced
+  const std::uint64_t alloc0 = rt.metrics().CounterValue("alloc.count");
+  const std::uint64_t copied0 = rt.metrics().CounterValue("net.bytes_copied");
+  {
+    serial::Writer w;
+    for (int i = 0; i < 65; ++i) w.WriteU8(3);  // 2 allocs, 64 copied
+  }
+  rt.SyncSerialStats();
+  EXPECT_EQ(rt.metrics().CounterValue("alloc.count") - alloc0, 2u);
+  EXPECT_EQ(rt.metrics().CounterValue("net.bytes_copied") - copied0, 64u);
+  // A second sync with no serial activity must not double-count.
+  rt.SyncSerialStats();
+  EXPECT_EQ(rt.metrics().CounterValue("alloc.count") - alloc0, 2u);
+  EXPECT_EQ(rt.metrics().CounterValue("net.bytes_copied") - copied0, 64u);
+}
+
+TEST(SerialAllocTest, ScriptedRpcScenarioIsAllocDeterministic) {
+  // The property the bench gate stands on: the same scripted scenario
+  // performs the identical number of serializer allocations every run.
+  auto run_scenario = [] {
+    fargo::testing::RegisterTestComlets();
+    core::Runtime rt;
+    core::Core& a = rt.CreateCore("a");
+    core::Core& b = rt.CreateCore("b");
+    auto counter = a.New<fargo::testing::Counter>();
+    auto stub = b.RefTo<fargo::testing::Counter>(counter.handle());
+    for (int i = 0; i < 10; ++i) stub.Invoke<std::int64_t>("increment");
+    rt.RunUntilIdle();
+    rt.SyncSerialStats();
+    return std::pair{rt.metrics().CounterValue("alloc.count"),
+                     rt.metrics().CounterValue("net.bytes_copied")};
+  };
+  const auto first = run_scenario();
+  const auto second = run_scenario();
+  EXPECT_GT(first.first, 0u);
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "src/fargo.h"
 #include "tests/support/comlets.h"
 
@@ -11,6 +15,23 @@ namespace fargo::testing {
 class FargoTest : public ::testing::Test {
  protected:
   FargoTest() { RegisterTestComlets(); }
+
+  /// On failure, dumps the runtime's span buffers as Chrome-trace JSON next
+  /// to the test binary (<Suite>_<Test>.trace.json) so CI can attach the
+  /// causal trace to the red job's artifacts. Tests that want a rich trace
+  /// opt in with rt.SetTracing(true); the dump itself is unconditional.
+  void TearDown() override {
+    if (!HasFailure()) return;
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string path = std::string(info->test_suite_name()) + "_" +
+                             info->name() + ".trace.json";
+    std::ofstream os(path);
+    if (!os) return;
+    const std::size_t spans = rt.WriteTrace(os);
+    std::fprintf(stderr, "[fixture] wrote %s (%zu spans)\n", path.c_str(),
+                 spans);
+  }
 
   /// Creates `n` cores named "core0".."core{n-1}" with a uniform link model.
   std::vector<core::Core*> MakeCores(

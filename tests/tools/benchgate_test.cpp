@@ -1,0 +1,238 @@
+// Unit suite for benchgate (tools/benchgate/), the deterministic perf-gate
+// comparator. Covers the comparison semantics (exact match, regression,
+// improvement, missing/extra metric, malformed input), the directory walk,
+// the --update round-trip, and the checked-in injected-regression fixture
+// CI uses to prove the gate actually fails.
+
+#include "tools/benchgate/gate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fargo::benchgate {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Doc(const std::string& bench, const std::string& deterministic,
+                const std::string& wallclock = "") {
+  return "{\n  \"bench\": \"" + bench + "\",\n  \"schema\": 1,\n" +
+         "  \"deterministic\": {" + deterministic + "},\n" +
+         "  \"wallclock\": {" + wallclock + "}\n}\n";
+}
+
+const std::string kBase =
+    Doc("demo", "\"a.msgs\": 10, \"a.sim_ns\": 500");
+
+/// A scratch directory wiped on destruction.
+struct TempDir {
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("benchgate_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  fs::path Sub(const std::string& name) const {
+    fs::path p = path / name;
+    fs::create_directories(p);
+    return p;
+  }
+  void Put(const fs::path& dir, const std::string& file,
+           const std::string& text) const {
+    std::ofstream(dir / file, std::ios::trunc) << text;
+  }
+  fs::path path;
+};
+
+// ==== ParseDeterministic =====================================================
+
+TEST(Parse, ExtractsSortedIntegerMetrics) {
+  const auto m = ParseDeterministic(kBase);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at("a.msgs"), 10u);
+  EXPECT_EQ(m.at("a.sim_ns"), 500u);
+}
+
+TEST(Parse, IgnoresWallclock) {
+  const auto m = ParseDeterministic(
+      Doc("demo", "\"a.msgs\": 10", "\"host_seconds\": 1.25"));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_FALSE(m.contains("host_seconds"));
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW(ParseDeterministic("{nope"), std::exception);
+  EXPECT_THROW(ParseDeterministic("{\"schema\": 1}"), std::exception);
+  EXPECT_THROW(ParseDeterministic(Doc("d", "\"x\": 1.5")), std::exception);
+  EXPECT_THROW(ParseDeterministic(Doc("d", "\"x\": -3")), std::exception);
+}
+
+// ==== CompareFiles ===========================================================
+
+TEST(Compare, IdenticalRunPasses) {
+  const FileResult r = CompareFiles("demo", kBase, kBase);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_TRUE(r.improvements.empty());
+  EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(Compare, WallclockDifferencesAreIgnored) {
+  const std::string run =
+      Doc("demo", "\"a.msgs\": 10, \"a.sim_ns\": 500", "\"host_seconds\": 9");
+  EXPECT_TRUE(CompareFiles("demo", kBase, run).ok());
+}
+
+TEST(Compare, AnyIncreaseIsARegression) {
+  const std::string run = Doc("demo", "\"a.msgs\": 11, \"a.sim_ns\": 500");
+  const FileResult r = CompareFiles("demo", kBase, run);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].find("a.msgs"), std::string::npos);
+  EXPECT_NE(r.regressions[0].find("10 -> 11"), std::string::npos);
+}
+
+TEST(Compare, DecreaseIsAnImprovementAndStillPasses) {
+  const std::string run = Doc("demo", "\"a.msgs\": 7, \"a.sim_ns\": 500");
+  const FileResult r = CompareFiles("demo", kBase, run);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.improvements.size(), 1u);
+  EXPECT_NE(r.improvements[0].find("a.msgs"), std::string::npos);
+  // The human report carries the re-baseline hint.
+  GateResult g;
+  g.files.push_back(r);
+  EXPECT_NE(FormatReport(g).find("--update"), std::string::npos);
+}
+
+TEST(Compare, MetricMissingFromRunFails) {
+  const std::string run = Doc("demo", "\"a.msgs\": 10");
+  const FileResult r = CompareFiles("demo", kBase, run);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("a.sim_ns"), std::string::npos);
+}
+
+TEST(Compare, ExtraMetricInRunFails) {
+  const std::string run =
+      Doc("demo", "\"a.msgs\": 10, \"a.sim_ns\": 500, \"a.new\": 1");
+  const FileResult r = CompareFiles("demo", kBase, run);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("a.new"), std::string::npos);
+  EXPECT_NE(r.errors[0].find("--update"), std::string::npos);
+}
+
+TEST(Compare, MalformedBaselineIsAnErrorNotACrash) {
+  const FileResult r = CompareFiles("demo", "{broken", kBase);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+}
+
+// ==== CompareDirs ============================================================
+
+TEST(Dirs, MatchingTreePasses) {
+  TempDir t;
+  const fs::path base = t.Sub("base"), run = t.Sub("run");
+  t.Put(base, "BENCH_demo.json", kBase);
+  t.Put(run, "BENCH_demo.json", kBase);
+  const GateResult g = CompareDirs(base.string(), run.string());
+  EXPECT_TRUE(g.ok());
+  ASSERT_EQ(g.files.size(), 1u);
+  EXPECT_EQ(g.files[0].bench, "demo");
+}
+
+TEST(Dirs, RunFileWithoutBaselineFails) {
+  TempDir t;
+  const fs::path base = t.Sub("base"), run = t.Sub("run");
+  t.Put(run, "BENCH_demo.json", kBase);
+  const GateResult g = CompareDirs(base.string(), run.string());
+  EXPECT_FALSE(g.ok());
+  ASSERT_EQ(g.errors.size(), 1u);
+  EXPECT_NE(g.errors[0].find("no baseline"), std::string::npos);
+}
+
+TEST(Dirs, BaselineWithoutRunFileFails) {
+  TempDir t;
+  const fs::path base = t.Sub("base"), run = t.Sub("run");
+  t.Put(base, "BENCH_demo.json", kBase);
+  const GateResult g = CompareDirs(base.string(), run.string());
+  EXPECT_FALSE(g.ok());
+  ASSERT_EQ(g.errors.size(), 1u);
+  EXPECT_NE(g.errors[0].find("did not run"), std::string::npos);
+}
+
+TEST(Dirs, MissingBaselineDirSuggestsUpdate) {
+  TempDir t;
+  const fs::path run = t.Sub("run");
+  const GateResult g =
+      CompareDirs((t.path / "nope").string(), run.string());
+  EXPECT_FALSE(g.ok());
+  ASSERT_EQ(g.errors.size(), 1u);
+  EXPECT_NE(g.errors[0].find("--update"), std::string::npos);
+}
+
+// ==== --update ===============================================================
+
+TEST(Update, RoundTripsToAPassingGate) {
+  TempDir t;
+  const fs::path base = t.Sub("base"), run = t.Sub("run");
+  const std::string doc = Doc("demo", "\"b.allocs\": 3, \"a.msgs\": 12",
+                              "\"host_seconds\": 0.5");
+  t.Put(run, "BENCH_demo.json", doc);
+  std::string error;
+  ASSERT_TRUE(UpdateBaselines(base.string(), run.string(), &error)) << error;
+  EXPECT_TRUE(CompareDirs(base.string(), run.string()).ok());
+}
+
+TEST(Update, CanonicalisesBaselines) {
+  // Baselines keep the deterministic metrics (sorted) and drop wallclock:
+  // host noise must never be checked in.
+  const std::string canon = CanonicalBaseline(
+      Doc("demo", "\"b.allocs\": 3, \"a.msgs\": 12", "\"host_seconds\": 9"));
+  EXPECT_EQ(canon.find("host_seconds"), std::string::npos);
+  EXPECT_NE(canon.find("\"wallclock\": {}"), std::string::npos);
+  EXPECT_LT(canon.find("a.msgs"), canon.find("b.allocs"));
+  // Canonical form is a fixed point.
+  EXPECT_EQ(CanonicalBaseline(canon), canon);
+}
+
+TEST(Update, FailsCleanlyOnEmptyRunDir) {
+  TempDir t;
+  const fs::path base = t.Sub("base"), run = t.Sub("run");
+  std::string error;
+  EXPECT_FALSE(UpdateBaselines(base.string(), run.string(), &error));
+  EXPECT_NE(error.find("no BENCH_"), std::string::npos);
+}
+
+// ==== the CI injected-regression fixture =====================================
+
+// CI runs benchgate over these exact directories and asserts a non-zero
+// exit; this test keeps the fixture honest so that step cannot rot into a
+// vacuous pass.
+TEST(Fixture, InjectedRegressionFailsTheGate) {
+  const std::string root = BENCHGATE_FIXTURES;
+  const GateResult g = CompareDirs(root + "/baseline", root + "/regressed");
+  EXPECT_FALSE(g.ok());
+  ASSERT_EQ(g.files.size(), 1u);
+  ASSERT_EQ(g.files[0].regressions.size(), 1u);
+  EXPECT_NE(g.files[0].regressions[0].find("rpc.net_msgs"),
+            std::string::npos);
+  EXPECT_TRUE(g.files[0].errors.empty());
+}
+
+TEST(Fixture, BaselineAgainstItselfPasses) {
+  const std::string root = BENCHGATE_FIXTURES;
+  EXPECT_TRUE(CompareDirs(root + "/baseline", root + "/baseline").ok());
+}
+
+}  // namespace
+}  // namespace fargo::benchgate

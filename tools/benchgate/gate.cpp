@@ -1,0 +1,226 @@
+#include "tools/benchgate/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "tests/support/json_lite.h"
+
+namespace fargo::benchgate {
+namespace fs = std::filesystem;
+namespace json = fargo::testing::json;
+
+namespace {
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// BENCH_*.json files of a directory, keyed by bench name (file stem with
+/// the BENCH_ prefix stripped). Sorted by map order → deterministic output.
+std::map<std::string, fs::path> BenchFiles(const std::string& dir) {
+  std::map<std::string, fs::path> out;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0) continue;
+    if (e.path().extension() != ".json") continue;
+    out[e.path().stem().string().substr(6)] = e.path();
+  }
+  return out;
+}
+
+}  // namespace
+
+bool GateResult::ok() const {
+  if (!errors.empty()) return false;
+  return std::all_of(files.begin(), files.end(),
+                     [](const FileResult& f) { return f.ok(); });
+}
+
+std::size_t GateResult::regression_count() const {
+  std::size_t n = 0;
+  for (const FileResult& f : files) n += f.regressions.size();
+  return n;
+}
+
+std::size_t GateResult::improvement_count() const {
+  std::size_t n = 0;
+  for (const FileResult& f : files) n += f.improvements.size();
+  return n;
+}
+
+std::map<std::string, std::uint64_t> ParseDeterministic(
+    const std::string& text) {
+  const json::JsonPtr doc = json::Parse(text);
+  if (!doc->is_object() || !doc->has("deterministic"))
+    throw std::runtime_error("not a bench report: no \"deterministic\" map");
+  const json::JsonValue& det = doc->at("deterministic");
+  if (!det.is_object())
+    throw std::runtime_error("\"deterministic\" is not an object");
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [key, value] : det.fields) {
+    const double d = value->number();
+    if (d < 0 || d != std::floor(d))
+      throw std::runtime_error("metric " + key + " is not a non-negative " +
+                               "integer");
+    out[key] = static_cast<std::uint64_t>(d);
+  }
+  return out;
+}
+
+FileResult CompareFiles(const std::string& bench,
+                        const std::string& baseline_text,
+                        const std::string& run_text) {
+  FileResult res;
+  res.bench = bench;
+  std::map<std::string, std::uint64_t> base, run;
+  try {
+    base = ParseDeterministic(baseline_text);
+  } catch (const std::exception& e) {
+    res.errors.push_back("baseline: " + std::string(e.what()));
+    return res;
+  }
+  try {
+    run = ParseDeterministic(run_text);
+  } catch (const std::exception& e) {
+    res.errors.push_back("run: " + std::string(e.what()));
+    return res;
+  }
+
+  for (const auto& [metric, expected] : base) {
+    const auto it = run.find(metric);
+    if (it == run.end()) {
+      res.errors.push_back(metric + ": in baseline but missing from run");
+      continue;
+    }
+    const std::uint64_t got = it->second;
+    if (got > expected) {
+      res.regressions.push_back(metric + ": " + std::to_string(expected) +
+                                " -> " + std::to_string(got) + " (+" +
+                                std::to_string(got - expected) + ")");
+    } else if (got < expected) {
+      res.improvements.push_back(metric + ": " + std::to_string(expected) +
+                                 " -> " + std::to_string(got) + " (-" +
+                                 std::to_string(expected - got) + ")");
+    }
+  }
+  // A metric the baseline does not know about means the bench changed shape
+  // without a re-baseline — fail loudly rather than gate on air.
+  for (const auto& [metric, value] : run) {
+    if (!base.contains(metric))
+      res.errors.push_back(metric + ": in run but not in baseline " +
+                           "(re-baseline with --update)");
+  }
+  return res;
+}
+
+GateResult CompareDirs(const std::string& baseline_dir,
+                       const std::string& run_dir) {
+  GateResult out;
+  if (!fs::is_directory(baseline_dir)) {
+    out.errors.push_back("baseline dir missing: " + baseline_dir +
+                         " (create with --update)");
+    return out;
+  }
+  if (!fs::is_directory(run_dir)) {
+    out.errors.push_back("run dir missing: " + run_dir);
+    return out;
+  }
+  const std::map<std::string, fs::path> base = BenchFiles(baseline_dir);
+  const std::map<std::string, fs::path> run = BenchFiles(run_dir);
+  for (const auto& [bench, path] : run) {
+    const auto it = base.find(bench);
+    if (it == base.end()) {
+      out.errors.push_back("BENCH_" + bench +
+                           ".json: no baseline (add with --update)");
+      continue;
+    }
+    out.files.push_back(CompareFiles(bench, ReadFile(it->second),
+                                     ReadFile(path)));
+  }
+  for (const auto& [bench, path] : base) {
+    if (!run.contains(bench))
+      out.errors.push_back("BENCH_" + bench +
+                           ".json: baseline present but bench did not run");
+  }
+  return out;
+}
+
+std::string CanonicalBaseline(const std::string& run_text) {
+  const json::JsonPtr doc = json::Parse(run_text);
+  const std::string bench =
+      doc->is_object() && doc->has("bench") ? doc->at("bench").string() : "";
+  const std::map<std::string, std::uint64_t> det =
+      ParseDeterministic(run_text);
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << bench << "\",\n  \"schema\": 1,\n";
+  os << "  \"deterministic\": {";
+  const char* sep = "\n";
+  for (const auto& [k, v] : det) {
+    os << sep << "    \"" << k << "\": " << v;
+    sep = ",\n";
+  }
+  os << (det.empty() ? "" : "\n") << "  },\n";
+  os << "  \"wallclock\": {}\n}\n";
+  return os.str();
+}
+
+bool UpdateBaselines(const std::string& baseline_dir,
+                     const std::string& run_dir, std::string* error) {
+  try {
+    if (!fs::is_directory(run_dir))
+      throw std::runtime_error("run dir missing: " + run_dir);
+    fs::create_directories(baseline_dir);
+    const std::map<std::string, fs::path> run = BenchFiles(run_dir);
+    if (run.empty())
+      throw std::runtime_error("no BENCH_*.json files in " + run_dir);
+    for (const auto& [bench, path] : run) {
+      const std::string canonical = CanonicalBaseline(ReadFile(path));
+      const fs::path dest =
+          fs::path(baseline_dir) / ("BENCH_" + bench + ".json");
+      std::ofstream out(dest, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot write " + dest.string());
+      out << canonical;
+    }
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  return true;
+}
+
+std::string FormatReport(const GateResult& result) {
+  std::ostringstream os;
+  for (const std::string& e : result.errors) os << "ERROR  " << e << "\n";
+  for (const FileResult& f : result.files) {
+    for (const std::string& e : f.errors)
+      os << "ERROR  [" << f.bench << "] " << e << "\n";
+    for (const std::string& r : f.regressions)
+      os << "REGRESSION  [" << f.bench << "] " << r << "\n";
+    for (const std::string& i : f.improvements)
+      os << "improvement [" << f.bench << "] " << i << "\n";
+  }
+  if (result.ok()) {
+    os << "benchgate: OK (" << result.files.size() << " benches";
+    if (result.improvement_count() > 0)
+      os << ", " << result.improvement_count()
+         << " improvements — run with --update to lock them in";
+    os << ")\n";
+  } else {
+    std::size_t error_count = result.errors.size();
+    for (const FileResult& f : result.files) error_count += f.errors.size();
+    os << "benchgate: FAIL (" << result.regression_count() << " regressions, "
+       << error_count << " errors)\n";
+  }
+  return os.str();
+}
+
+}  // namespace fargo::benchgate

@@ -1,0 +1,68 @@
+// benchgate: the perf-gate comparator for the deterministic bench metrics
+// (bench/support.h emits them, bench/baselines/ stores the expected values).
+//
+// Every gated metric is a virtual-time or count cost produced by the
+// deterministic simulation, so the comparison is EXACT — any run value
+// above its baseline is a regression and fails the gate; any value below
+// it is an improvement, reported with a hint to re-baseline. Wall-clock
+// ("wallclock") metrics are ignored entirely: they are host noise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fargo::benchgate {
+
+/// Comparison outcome for one BENCH_<name>.json pair.
+struct FileResult {
+  std::string bench;  ///< bench name (file stem after BENCH_)
+  std::vector<std::string> regressions;   ///< metric rose above baseline
+  std::vector<std::string> improvements;  ///< metric fell below baseline
+  std::vector<std::string> errors;        ///< structural: missing/extra/bad
+
+  bool ok() const { return regressions.empty() && errors.empty(); }
+};
+
+/// Outcome for a whole baseline-dir vs run-dir comparison.
+struct GateResult {
+  std::vector<FileResult> files;
+  std::vector<std::string> errors;  ///< directory-level problems
+
+  bool ok() const;
+  std::size_t regression_count() const;
+  std::size_t improvement_count() const;
+};
+
+/// Extracts the "deterministic" metric map from a BENCH json document.
+/// Throws std::runtime_error on malformed input (bad JSON, missing
+/// sections, non-integer metric values).
+std::map<std::string, std::uint64_t> ParseDeterministic(
+    const std::string& text);
+
+/// Compares one bench's baseline json against a fresh run's json.
+FileResult CompareFiles(const std::string& bench,
+                        const std::string& baseline_text,
+                        const std::string& run_text);
+
+/// Compares every BENCH_*.json under `run_dir` against `baseline_dir`.
+/// A run file without a baseline, or a baseline without a run file, is an
+/// error — the baseline set and the bench set must stay in lockstep.
+GateResult CompareDirs(const std::string& baseline_dir,
+                       const std::string& run_dir);
+
+/// Canonical baseline form of a run's json: deterministic metrics only
+/// (sorted), wallclock dropped — baselines must not embed host noise.
+std::string CanonicalBaseline(const std::string& run_text);
+
+/// --update: rewrites `baseline_dir` from the BENCH_*.json files in
+/// `run_dir` (canonicalised). Returns false and fills `error` on failure.
+bool UpdateBaselines(const std::string& baseline_dir,
+                     const std::string& run_dir, std::string* error);
+
+/// Renders a GateResult as a human report. Always lists regressions and
+/// errors; improvements are listed with the re-baseline hint.
+std::string FormatReport(const GateResult& result);
+
+}  // namespace fargo::benchgate

@@ -1,0 +1,55 @@
+// benchgate CLI — the CI perf gate.
+//
+//   benchgate <baseline-dir> <run-dir>            compare, exit 1 on any
+//                                                 regression or mismatch
+//   benchgate --update <baseline-dir> <run-dir>   re-baseline from the run
+//
+// The run dir holds the BENCH_*.json files a bench sweep just produced
+// (bench binaries honour FARGO_BENCH_OUT); the baseline dir is checked in
+// at bench/baselines/. Deterministic metrics are compared exactly;
+// wallclock metrics are ignored.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/benchgate/gate.h"
+
+int main(int argc, char** argv) {
+  bool update = false;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--update") {
+      update = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: benchgate [--update] <baseline-dir> <run-dir>\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "benchgate: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: benchgate [--update] <baseline-dir> <run-dir>\n");
+    return 2;
+  }
+
+  if (update) {
+    std::string error;
+    if (!fargo::benchgate::UpdateBaselines(dirs[0], dirs[1], &error)) {
+      std::fprintf(stderr, "benchgate: update failed: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("benchgate: baselines in %s updated from %s\n",
+                dirs[0].c_str(), dirs[1].c_str());
+    return 0;
+  }
+
+  const fargo::benchgate::GateResult result =
+      fargo::benchgate::CompareDirs(dirs[0], dirs[1]);
+  std::fputs(fargo::benchgate::FormatReport(result).c_str(), stdout);
+  return result.ok() ? 0 : 1;
+}

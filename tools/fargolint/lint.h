@@ -1,4 +1,4 @@
-// fargolint: a repo-specific static checker for FarGo's determinism,
+// fargolint — a repo-specific static checker for FarGo's determinism,
 // no-pump, capture-lifetime and wire-symmetry invariants (docs/INVARIANTS.md).
 //
 // The checker is deliberately a token-level tool built on its own small C++
@@ -6,16 +6,16 @@
 // the repo builds and its verdicts depend only on the bytes of the sources.
 // That buys determinism and zero dependencies at the price of lexical
 // heuristics; every rule documents its exact lexical contract and ships an
-// escape hatch:
+// escape hatch — a comment of the form `"fargolint" ":"` followed by one of
+// (spelled apart here so this header, which is itself linted, does not
+// parse its own documentation as directives):
 //
-//   // fargolint: allow(<rule>) <reason>            suppress one finding on
-//                                                   this or the next line;
-//                                                   the reason is mandatory
-//   // fargolint: order-insensitive(<reason>)       loop-level form of
-//                                                   allow(unordered-iter)
-//   // fargolint: no-pump-region                    from here to end of file,
-//                                                   blocking calls are banned
-//                                                   even outside lambdas
+//   allow(<rule>) <reason>        suppress one finding of the named rule on
+//                                 this or the next line; the written reason
+//                                 is mandatory
+//   order-insensitive(<reason>)   loop-level form of allow(unordered-iter)
+//   no-pump-region                from here to end of file, blocking calls
+//                                 are banned even outside lambdas
 #pragma once
 
 #include <string>
