@@ -90,9 +90,9 @@ class Anchor : public serial::Serializable {
  private:
   friend class Core;
   friend class MovementUnit;
-  // Checkpoint restore re-establishes saved identities (persistence.h).
-  friend std::vector<ComletId> LoadCoreImage(
-      Core& core, const std::vector<std::uint8_t>& image);
+  // Checkpoint/WAL restore re-establishes saved identities (persistence.h).
+  friend std::shared_ptr<Anchor> DecodeComletImage(
+      Core& core, ComletId id, const std::vector<std::uint8_t>& body);
 
   ComletId id_{};
   Core* core_ = nullptr;

@@ -9,7 +9,9 @@
 #include "src/core/invocation.h"
 #include "src/core/movement.h"
 #include "src/core/relocator.h"
+#include "src/core/persistence.h"
 #include "src/core/runtime.h"
+#include "src/core/wal.h"
 #include "src/core/wire.h"
 #include "src/monitor/events.h"
 #include "src/monitor/profiler.h"
@@ -59,6 +61,15 @@ Core::Core(Runtime& runtime, CoreId id, std::string name)
   trackers_.SetChangeHook([this](ComletId cid) {
     if (invocation_) invocation_->NotifyRouteChanged(cid);
   });
+  // Durable Cores log every forwarding repoint; replay reapplies them so a
+  // recovered Core still routes around complets that left before the crash.
+  trackers_.SetForwardHook(
+      [this](ComletId cid, CoreId next, const std::string& type) {
+        if (wal_) {
+          wal_->AppendTracker(cid, next, type);
+          wal_->LazySync();
+        }
+      });
   network().Register(id_, [this](net::Message m) { HandleMessage(std::move(m)); });
 }
 
@@ -87,28 +98,16 @@ ComletRefBase Core::Install(std::shared_ptr<Anchor> anchor) {
   std::string type(anchor->TypeName());
   repository_.Add(id, anchor);
   trackers_.SetLocal(id, *anchor, type);
+  if (wal_) {
+    wal_->AppendInstall(*anchor);
+    wal_->LazySync();
+  }
   events_->Fire(monitor::Event{monitor::EventKind::kComletArrived, id_, id,
                                {}, 0.0});
   // Home registry (§7 future work): report this arrival to the complet's
   // origin Core (asynchronously; ordering races are resolved by as-of
   // timestamps on the home side).
-  if (runtime_.home_registry_enabled()) {
-    if (id.origin == id_) {
-      home_locations_[id] = HomeEntry{id_, scheduler().Now()};
-    } else {
-      serial::Writer w;
-      w.WriteU8(kCtrlHomeUpdate);
-      wire::WriteComletId(w, id);
-      wire::WriteCoreId(w, id_);
-      w.WriteVarint(static_cast<std::uint64_t>(scheduler().Now()));
-      net::Message msg;
-      msg.from = id_;
-      msg.to = id.origin;
-      msg.kind = net::MessageKind::kControl;
-      msg.payload = w.Take();
-      network().Send(std::move(msg));
-    }
-  }
+  AnnounceHome(id);
   DrainParked(id);
   ComletRefBase ref;
   ref.Bind(*this, ComletHandle{id, id_, type}, nullptr);
@@ -212,6 +211,10 @@ ComletRefBase Core::RefFromHandle(const ComletHandle& handle, ComletId owner) {
 
 void Core::BindName(std::string name, const ComletRefBase& ref) {
   if (!ref.bound()) throw FargoError("binding a name to an unbound reference");
+  if (wal_) {
+    wal_->AppendBind(name, ref.handle());
+    wal_->LazySync();
+  }
   naming_.Bind(std::move(name), ref.handle());
 }
 
@@ -289,14 +292,41 @@ Value Core::DispatchLocal(ComletId target, std::string_view method,
   try {
     Value result = anchor->Dispatch(method, args);
     exec_stack_.pop_back();
+    // Post-dispatch state image: the method may have mutated the closure.
+    // Also on the throwing path below — a failed method may have mutated
+    // state before it threw, and durability must reflect what really ran.
+    LogComletState(target);
     return result;
   } catch (...) {
     exec_stack_.pop_back();
+    LogComletState(target);
     throw;
   }
 }
 
+void Core::LogComletState(ComletId target) {
+  if (!wal_ || wal_->replaying()) return;
+  // The method may have moved the complet away (or shut it down): only a
+  // still-hosted anchor has state worth imaging here.
+  std::shared_ptr<Anchor> anchor = repository_.Get(target);
+  if (!anchor) return;
+  wal_->AppendState(*anchor);
+  wal_->LazySync();
+}
+
 // ==== messaging ==============================================================
+
+ComletId Core::MintComletId() {
+  const ComletId id{id_, ++next_comlet_seq_};
+  if (wal_) wal_->NoteSequences(next_comlet_seq_, next_correlation_);
+  return id;
+}
+
+std::uint64_t Core::NextCorrelation() {
+  const std::uint64_t corr = ++next_correlation_;
+  if (wal_) wal_->NoteSequences(next_comlet_seq_, next_correlation_);
+  return corr;
+}
 
 sim::Future<std::vector<std::uint8_t>> Core::SendAsync(
     CoreId to, net::MessageKind kind, std::vector<std::uint8_t> payload) {
@@ -374,14 +404,30 @@ void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
   // If this answers a request admitted through the dedup cache, remember
   // the reply so duplicates can be re-answered without re-executing. The
   // cached copy is the at-most-once tax; it is charged to the copy metric.
-  if (dedup_.Complete(to, correlation, kind, payload, scheduler().Now()))
-    inst_.bytes_copied->Inc(payload.size());
+  const bool fresh =
+      dedup_.Complete(to, correlation, kind, payload, scheduler().Now());
+  if (fresh) inst_.bytes_copied->Inc(payload.size());
   net::Message msg;
   msg.from = id_;
   msg.to = to;
   msg.kind = kind;
   msg.correlation = correlation;
   msg.payload = std::move(payload);
+  if (fresh && wal_ && !wal_->replaying()) {
+    // Durable executor: a peer must never observe an effect whose records
+    // could still be lost. Log the cached reply, then release the message
+    // only after a write barrier covers everything appended so far (the
+    // state/exec records of this very request included).
+    wal_->AppendExec(to, correlation, kind, msg.payload);
+    const std::uint64_t epoch = restart_epoch_;
+    wal_->Sync().OnSettle(
+        // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
+        [this, epoch, msg = std::move(msg)](sim::Future<sim::Unit>) mutable {
+          if (!alive_ || restart_epoch_ != epoch) return;
+          network().Send(std::move(msg));
+        });
+    return;
+  }
   network().Send(std::move(msg));
 }
 
@@ -514,6 +560,7 @@ void Core::DispatchMessage(net::Message msg) {
     case net::MessageKind::kMoveReply:
     case net::MessageKind::kNameReply:
     case net::MessageKind::kNewReply:
+    case net::MessageKind::kRecoveryReply:
     case net::MessageKind::kControlReply: {
       auto it = pending_replies_.find(msg.correlation);
       if (it == pending_replies_.end()) {
@@ -602,6 +649,11 @@ void Core::DispatchMessage(net::Message msg) {
       scheduler().ScheduleAfter(0, [listener, e] { listener(e); });
       return;
     }
+    case net::MessageKind::kRecoveryQuery:
+      // Idempotent read over the durable move-in set; answered even by
+      // Cores without a WAL of their own (from the in-memory set).
+      movement_->HandleRecoveryQuery(msg);
+      return;
     case net::MessageKind::kControl: {
       HandleControl(std::move(msg));
       return;
@@ -619,7 +671,13 @@ void Core::HandleControl(net::Message msg) {
       CoreId where = wire::ReadCoreId(r);
       auto as_of = static_cast<SimTime>(r.ReadVarint());
       HomeEntry& entry = home_locations_[id];
-      if (as_of > entry.as_of) entry = HomeEntry{where, as_of};
+      if (as_of > entry.as_of) {
+        entry = HomeEntry{where, as_of};
+        if (wal_) {
+          wal_->AppendHome(id, where, as_of);
+          wal_->LazySync();
+        }
+      }
       return;
     }
     case kCtrlHomeQuery: {
@@ -729,11 +787,86 @@ void Core::Crash() {
   LogInfo() << "core " << name_ << " CRASHED";
   detector_.reset();  // a dead Core pings nobody
   alive_ = false;
+  ++restart_epoch_;  // invalidates every continuation armed before the crash
   network().Unregister(id_);
+  if (wal_) wal_->OnCrash();
   for (ComletId id : repository_.All()) {
     std::shared_ptr<Anchor> anchor = repository_.Remove(id);
     if (anchor) anchor->core_ = nullptr;
   }
+}
+
+void Core::Restart() {
+  if (alive_) return;
+  LogInfo() << "core " << name_ << " RESTARTED";
+  // Everything volatile is gone: complets, routes, names, caches, parked
+  // work, pending RPCs, counters. A durable Core gets its state back from
+  // the WAL below; a non-durable one restarts empty (like a fresh Core).
+  for (ComletId id : repository_.All()) {
+    std::shared_ptr<Anchor> anchor = repository_.Remove(id);
+    if (anchor) anchor->core_ = nullptr;
+  }
+  trackers_.Clear();
+  naming_.Clear();
+  dedup_.Clear();
+  parked_.clear();
+  pending_replies_.clear();
+  home_locations_.clear();
+  exec_stack_.clear();
+  invocation_counts_.clear();
+  movement_->Reset();
+  next_comlet_seq_ = 0;
+  next_correlation_ = 0;
+  alive_ = true;
+  start_time_ = scheduler().Now();
+  network().Register(id_,
+                     [this](net::Message m) { HandleMessage(std::move(m)); });
+  metrics().counter("recovery.count").Inc();
+  if (wal_) wal_->Recover();
+  events_->Fire(monitor::Event{monitor::EventKind::kCoreRecovered, id_, {},
+                               {}, 0.0, id_});
+}
+
+Wal& Core::EnableWal(SimTime checkpoint_interval) {
+  if (!wal_) {
+    wal_ = std::make_unique<Wal>(*this, runtime_.storage(), checkpoint_interval);
+    // A Core made durable mid-life starts from a checkpoint of everything
+    // it already holds — complets, name bindings, trackers, homes. Without
+    // it, recovery could only see what was logged after this instant.
+    wal_->Checkpoint();
+  }
+  return *wal_;
+}
+
+void Core::RestoreComlet(ComletId id, const std::vector<std::uint8_t>& image) {
+  std::shared_ptr<Anchor> anchor = DecodeComletImage(*this, id, image);
+  repository_.Remove(id);  // later records replace earlier replayed images
+  anchor->core_ = this;
+  repository_.Add(id, anchor);
+  trackers_.SetLocal(id, *anchor, std::string(anchor->TypeName()));
+}
+
+void Core::AnnounceHome(ComletId id) {
+  if (!runtime_.home_registry_enabled()) return;
+  if (id.origin == id_) {
+    home_locations_[id] = HomeEntry{id_, scheduler().Now()};
+    if (wal_) {
+      wal_->AppendHome(id, id_, scheduler().Now());
+      wal_->LazySync();
+    }
+    return;
+  }
+  serial::Writer w;
+  w.WriteU8(kCtrlHomeUpdate);
+  wire::WriteComletId(w, id);
+  wire::WriteCoreId(w, id_);
+  w.WriteVarint(static_cast<std::uint64_t>(scheduler().Now()));
+  net::Message msg;
+  msg.from = id_;
+  msg.to = id.origin;
+  msg.kind = net::MessageKind::kControl;
+  msg.payload = w.Take();
+  network().Send(std::move(msg));
 }
 
 void Core::HandleNameRequest(const net::Message& msg) {

@@ -35,6 +35,7 @@
 namespace fargo::core {
 
 class FailureDetector;
+class Wal;
 
 // System methods handled by the Core itself, never dispatched to anchors.
 inline constexpr std::string_view kPingMethod = "__fargo.ping";
@@ -191,6 +192,26 @@ class Core {
   /// recover routes afterwards.
   void Crash();
 
+  /// Boots a crashed Core back up: volatile state (complets, trackers,
+  /// names, dedup cache, parked requests) comes up empty, exactly like a
+  /// fresh process. A durable Core (EnableWal) then replays its checkpoint
+  /// and log, reseeds the dedup cache, and resolves in-doubt moves by
+  /// querying their destinations. Fires kCoreRecovered.
+  void Restart();
+
+  // -- durability (write-ahead log; docs/PROTOCOL.md §Durability) -------------
+
+  /// Makes this Core durable: every externally visible mutation is appended
+  /// to a per-Core log on the Runtime's simulated disk, checkpointed every
+  /// `checkpoint_interval` (0 = never). Idempotent; returns the Wal.
+  Wal& EnableWal(SimTime checkpoint_interval = Millis(250));
+  /// The write-ahead log, or nullptr for a non-durable Core.
+  Wal* wal() { return wal_.get(); }
+
+  /// Bumped by every Crash(). Continuations that straddle a write barrier
+  /// capture this and bail out if the Core restarted underneath them.
+  std::uint64_t restart_epoch() const { return restart_epoch_; }
+
   /// Location-independent naming (§7 future work): asks the complet's home
   /// (origin) Core for its current location. Returns an invalid CoreId if
   /// the home doesn't know (or the registry is disabled).
@@ -236,8 +257,11 @@ class Core {
   void Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
              std::vector<std::uint8_t> payload);
 
-  ComletId MintComletId() { return ComletId{id_, ++next_comlet_seq_}; }
-  std::uint64_t NextCorrelation() { return ++next_correlation_; }
+  /// Mints identity/correlation counters. On a durable Core both notify the
+  /// WAL, which keeps a durable ceiling ahead of them so a restart can never
+  /// re-issue a value a peer may already have seen.
+  ComletId MintComletId();
+  std::uint64_t NextCorrelation();
 
   /// Installs an anchor as a hosted complet: assigns identity (unless it
   /// already has one, i.e. it arrived by movement), registers repository +
@@ -333,6 +357,7 @@ class Core {
  private:
   friend class InvocationUnit;
   friend class MovementUnit;
+  friend class Wal;
 
   /// One outstanding SendAsync round-trip: a stable heap record (shared by
   /// the map, the retry/timeout timers, and the reply path), so waiter
@@ -371,6 +396,16 @@ class Core {
 
   void DrainParked(ComletId id);
   void DispatchMessage(net::Message msg);
+  /// Quiet install used by WAL replay: no events, no parked drain, no
+  /// home announcement — replaces any earlier replayed image of the id.
+  void RestoreComlet(ComletId id, const std::vector<std::uint8_t>& image);
+  /// Home-registry arrival report for a hosted complet (no-op when the
+  /// registry is disabled): local entry at the origin, kCtrlHomeUpdate to
+  /// the origin otherwise.
+  void AnnounceHome(ComletId id);
+  /// Appends a post-dispatch state image of `target` to the WAL (no-op for
+  /// non-durable Cores, or when the method moved the complet away).
+  void LogComletState(ComletId target);
   void SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc);
   void OnRpcTimeout(const std::shared_ptr<PendingRpc>& rpc);
   void HandleNameRequest(const net::Message& msg);
@@ -401,6 +436,8 @@ class Core {
   DedupCache dedup_;
   std::uint64_t rpc_retries_ = 0;
   std::unique_ptr<FailureDetector> detector_;
+  std::unique_ptr<Wal> wal_;  ///< null until EnableWal
+  std::uint64_t restart_epoch_ = 0;
 
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingRpc>> pending_replies_;
   std::unordered_map<ComletId, std::vector<net::Message>> parked_;

@@ -6,6 +6,7 @@
 #include "src/common/log.h"
 #include "src/core/movement.h"
 #include "src/core/runtime.h"
+#include "src/core/wal.h"
 #include "src/core/wire.h"
 #include "src/serial/value_codec.h"
 
@@ -124,6 +125,29 @@ void InvocationUnit::DispatchLocalCall(const std::shared_ptr<AsyncCall>& call) {
       monitor::TraceScope scope(core_.tracer(), call->root.ctx);
       v = core_.DispatchLocal(call->req.handle.id, call->req.method,
                               call->req.args);
+    }
+    Wal* wal = core_.wal();
+    if (wal != nullptr && !wal->replaying()) {
+      // A durable Core acknowledges execution only after a barrier covers
+      // the state records the dispatch appended — the caller must never
+      // act on a result the log could still lose.
+      const std::uint64_t epoch = core_.restart_epoch();
+      auto res = std::make_shared<InvokeResult>(
+          InvokeResult{std::move(v), core_.id(), 0});
+      wal->Sync().OnSettle(
+          // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+          [this, call, res, epoch](sim::Future<sim::Unit>) mutable {
+            if (!core_.alive() || core_.restart_epoch() != epoch) {
+              FinalizeError(
+                  call,
+                  std::make_exception_ptr(UnreachableError(
+                      "core crashed before the invocation was durable")),
+                  monitor::SpanOutcome::kTransportError);
+              return;
+            }
+            FinalizeOk(call, std::move(*res));
+          });
+      return;
     }
     FinalizeOk(call, InvokeResult{std::move(v), core_.id(), 0});
   } catch (const UnreachableError&) {
@@ -483,6 +507,14 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
     core_.dedup().Complete(rq.origin, correlation,
                            net::MessageKind::kInvokeReply, {},
                            core_.scheduler().Now());
+    // No reply carries this dedup entry into the log (Core::Reply logs the
+    // two-way ones), so record it here: a recovered executor must keep
+    // dropping duplicates of oneways it already ran.
+    if (Wal* wal = core_.wal(); wal != nullptr && !wal->replaying()) {
+      wal->AppendExec(rq.origin, correlation, net::MessageKind::kInvokeReply,
+                      {});
+      wal->LazySync();
+    }
     SendShorteningUpdates(rq, exec.ctx);
     return;
   }

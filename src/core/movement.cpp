@@ -5,6 +5,7 @@
 #include "src/core/meta_ref.h"
 #include "src/core/relocator.h"
 #include "src/core/runtime.h"
+#include "src/core/wal.h"
 #include "src/core/wire.h"
 #include "src/serial/graph.h"
 #include "src/serial/value_codec.h"
@@ -197,10 +198,17 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
     ++count;
   }
 
+  // Durable sources run the move as a logged two-phase transaction; txn 0
+  // means "not durable" and the destination skips its move-in mark.
+  Wal* wal = core_.wal();
+  const std::uint64_t txn =
+      (wal != nullptr && !wal->replaying()) ? wal->NextTxnId() : 0;
+
   serial::Writer payload;
   // One allocation for the whole stream: header + sections + continuation.
   payload.Reserve(sections.size() + 64);
   wire::WriteComletId(payload, primary);
+  payload.WriteVarint(txn);
   payload.WriteVarint(count);
   payload.WriteRaw(sections.buffer().data(), sections.buffer().size());
   payload.WriteBool(!continuation.empty());
@@ -227,6 +235,7 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
     monitor::Tracer::Opened mv{};
     SimTime begin = 0;
     std::size_t bytes = 0;
+    std::uint64_t txn = 0;
   };
   auto pending = std::make_shared<Pending>();
   for (const Section& s : worklist) {
@@ -240,27 +249,49 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
   pending->mv = mv;
   pending->begin = move_begin;
   pending->bytes = stats_.stream_bytes;
+  pending->txn = txn;
 
   sim::Promise<sim::Unit> done(sched);
-  core_.SendAsync(dest, net::MessageKind::kMoveRequest, payload.Take())
-      // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
-      .OnSettle([this, pending, done,
-                 dest](sim::Future<std::vector<std::uint8_t>> f) mutable {
+  std::vector<std::uint8_t> stream = payload.Take();
+
+  const std::uint64_t settle_epoch = core_.restart_epoch();
+  // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+  auto settle = [this, pending, done, dest,
+                 settle_epoch](sim::Future<std::vector<std::uint8_t>> f) mutable {
+        if (!core_.alive() || core_.restart_epoch() != settle_epoch) {
+          // The source restarted under this move: recovery owns the
+          // outcome now (in-doubt resolution against the destination).
+          // Touching the repository here would resurrect departed state.
+          done.Reject(std::make_exception_ptr(
+              UnreachableError("source core restarted during move")));
+          return;
+        }
         monitor::Tracer& tracer = core_.tracer();
+        Wal* wal = core_.wal();
         try {
           serial::Reader r(f.value());  // rethrows a transport failure
           wire::CheckOk(r);
         } catch (...) {
-          // Roll back: the complets never left.
+          // Roll back: the complets never left. The abort record only needs
+          // appending, not flushing: if it is lost in a crash, recovery
+          // re-resolves the still-open prepare against the destination and
+          // converges on the same abort.
+          if (wal != nullptr && pending->txn != 0)
+            wal->AppendAbort(pending->txn);
           for (const Departing& d : pending->departing) {
             core_.repository().Add(d.id, d.anchor);
             core_.trackers().SetLocal(d.id, *d.anchor, d.type);
           }
+          if (wal != nullptr) wal->LazySync();
           tracer.CloseSpan(pending->mv.token, core_.scheduler().Now(),
                            monitor::SpanOutcome::kTransportError, 0,
                            pending->bytes);
           done.Reject(std::current_exception());
           return;
+        }
+        if (wal != nullptr && pending->txn != 0) {
+          wal->AppendCommit(pending->txn);
+          wal->LazySync();
         }
         const SimTime move_end = core_.scheduler().Now();
         tracer.CloseSpan(pending->mv.token, move_end,
@@ -300,81 +331,125 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
                 if (--*remaining == 0) done.Resolve(sim::Unit{});
               });
         }
-      });
+      };
+
+  if (wal != nullptr && txn != 0) {
+    // PREPARE: stage the full stream in the log, then hold the request
+    // until a barrier covers it. A crash before the barrier means the
+    // request was never sent — replay rebuilds the pre-move state; a crash
+    // after it leaves an in-doubt prepare that recovery resolves against
+    // the destination. Either way, exactly one copy survives.
+    std::vector<std::pair<ComletId, std::string>> departing_meta;
+    departing_meta.reserve(pending->departing.size());
+    for (const Departing& d : pending->departing)
+      departing_meta.emplace_back(d.id, d.type);
+    core_.inst_.bytes_copied->Inc(stream.size());  // the staged copy
+    wal->AppendPrepare(txn, primary, dest, std::move(departing_meta), stream);
+    const std::uint64_t epoch = core_.restart_epoch();
+    wal->Sync().OnSettle(
+        // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+        [this, epoch, dest, done, settle,
+         stream = std::move(stream)](sim::Future<sim::Unit>) mutable {
+          if (!core_.alive() || core_.restart_epoch() != epoch) {
+            done.Reject(std::make_exception_ptr(
+                UnreachableError("source core crashed during move prepare")));
+            return;
+          }
+          core_.SendAsync(dest, net::MessageKind::kMoveRequest,
+                          std::move(stream))
+              .OnSettle(std::move(settle));
+        });
+  } else {
+    core_.SendAsync(dest, net::MessageKind::kMoveRequest, std::move(stream))
+        .OnSettle(std::move(settle));
+  }
   return done.future();
+}
+
+MovementUnit::DecodedSection MovementUnit::DecodeSection(serial::Reader& r) {
+  DecodedSection section;
+  section.id = wire::ReadComletId(r);
+  section.anchor_type = r.ReadString();
+  section.is_duplicate = r.ReadBool();
+  // Zero-copy: unmarshal the section straight out of the caller's buffer
+  // (alive for the whole handler) instead of copying it out.
+  serial::Reader body_reader = r.ReadBytesView();
+
+  const ComletId id = section.id;
+  auto hook = [this, id](serial::GraphReader& gr, void* p) {
+    auto* ref = static_cast<ComletRefBase*>(p);
+    serial::Reader& raw = gr.raw();
+    std::uint8_t tag = raw.ReadU8();
+    switch (tag) {
+      case kRefNormal: {
+        auto relocator = gr.ReadObjectAs<Relocator>();
+        ComletHandle handle = wire::ReadHandle(raw);
+        ref->Bind(core_, handle,
+                  std::make_shared<MetaRef>(handle.id, relocator), id);
+        return;
+      }
+      case kRefStamp: {
+        auto relocator = gr.ReadObjectAs<Relocator>();
+        std::string anchor_type = raw.ReadString();
+        // Re-bind to an equivalent-type complet at this Core (§3.3);
+        // unbound if none is hosted here.
+        std::shared_ptr<Anchor> local =
+            core_.repository().FindByType(anchor_type);
+        if (local) {
+          ComletHandle handle{local->id(), core_.id(), anchor_type};
+          ref->Bind(core_, handle,
+                    std::make_shared<MetaRef>(handle.id, relocator), id);
+        } else {
+          // No equivalent here: stay latent (typed but unbound) so the
+          // next movement re-attempts the rebind.
+          ref->Bind(core_, ComletHandle{ComletId{}, CoreId{}, anchor_type},
+                    std::make_shared<MetaRef>(ComletId{}, relocator), id);
+        }
+        return;
+      }
+      default:
+        throw serial::SerialError("corrupt ref descriptor in stream");
+    }
+  };
+
+  serial::GraphReader gr(body_reader, hook);
+  section.anchor = gr.ReadObjectAs<Anchor>();
+  if (!section.anchor)
+    throw FargoError("migration stream carried a null anchor");
+  section.anchor->id_ = id;
+  return section;
 }
 
 void MovementUnit::HandleMoveRequest(net::Message msg) {
   serial::Reader r(msg.payload);
   ComletId primary = wire::ReadComletId(r);
+  std::uint64_t txn = r.ReadVarint();
   std::uint64_t count = r.ReadVarint();
 
-  std::vector<std::shared_ptr<Anchor>> installed;
+  std::vector<DecodedSection> installed;
   std::vector<ComletId> arrived;
   std::string continuation;
   std::vector<Value> cont_args;
 
   try {
     for (std::uint64_t i = 0; i < count; ++i) {
-      ComletId id = wire::ReadComletId(r);
-      std::string type = r.ReadString();
-      bool is_duplicate = r.ReadBool();
-      (void)is_duplicate;  // same install path either way
-      // Zero-copy: unmarshal the section straight out of the message
-      // payload (alive for the whole handler) instead of copying it out.
-      serial::Reader body_reader = r.ReadBytesView();
-
-      auto hook = [this, id](serial::GraphReader& gr, void* p) {
-        auto* ref = static_cast<ComletRefBase*>(p);
-        serial::Reader& raw = gr.raw();
-        std::uint8_t tag = raw.ReadU8();
-        switch (tag) {
-          case kRefNormal: {
-            auto relocator = gr.ReadObjectAs<Relocator>();
-            ComletHandle handle = wire::ReadHandle(raw);
-            ref->Bind(core_, handle,
-                      std::make_shared<MetaRef>(handle.id, relocator), id);
-            return;
-          }
-          case kRefStamp: {
-            auto relocator = gr.ReadObjectAs<Relocator>();
-            std::string anchor_type = raw.ReadString();
-            // Re-bind to an equivalent-type complet at this Core (§3.3);
-            // unbound if none is hosted here.
-            std::shared_ptr<Anchor> local =
-                core_.repository().FindByType(anchor_type);
-            if (local) {
-              ComletHandle handle{local->id(), core_.id(), anchor_type};
-              ref->Bind(core_, handle,
-                        std::make_shared<MetaRef>(handle.id, relocator), id);
-            } else {
-              // No equivalent here: stay latent (typed but unbound) so the
-              // next movement re-attempts the rebind.
-              ref->Bind(core_, ComletHandle{ComletId{}, CoreId{}, anchor_type},
-                        std::make_shared<MetaRef>(ComletId{}, relocator), id);
-            }
-            return;
-          }
-          default:
-            throw serial::SerialError("corrupt ref descriptor in stream");
-        }
-      };
-
-      serial::GraphReader gr(body_reader, hook);
-      std::shared_ptr<Anchor> anchor = gr.ReadObjectAs<Anchor>();
-      if (!anchor) throw FargoError("migration stream carried a null anchor");
-      anchor->id_ = id;
-      anchor->PreArrival();
-      core_.Install(anchor);
-      anchor->PostArrival();
-      installed.push_back(anchor);
-      arrived.push_back(id);
+      DecodedSection section = DecodeSection(r);
+      section.anchor->PreArrival();
+      core_.Install(section.anchor);
+      section.anchor->PostArrival();
+      arrived.push_back(section.id);
+      installed.push_back(std::move(section));
     }
   } catch (const std::exception& e) {
-    // Unwind partial arrivals so the sender's rollback is authoritative.
-    for (const std::shared_ptr<Anchor>& a : installed) {
-      core_.repository().Remove(a->id());
-      a->core_ = nullptr;
+    // Unwind partial arrivals so the sender's rollback is authoritative:
+    // the complets go back to living at the sender, and a durable
+    // destination logs the removal so replay does not resurrect them.
+    for (const DecodedSection& s : installed) {
+      core_.repository().Remove(s.id);
+      s.anchor->core_ = nullptr;
+      core_.trackers().SetForward(s.id, msg.from, s.anchor_type);
+      if (Wal* wal = core_.wal())
+        wal->AppendRemove(s.id, msg.from, s.anchor_type);
     }
     serial::Writer err;
     wire::WriteError(err, e.what());
@@ -382,6 +457,12 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
                 err.Take());
     return;
   }
+
+  // Mark the transaction installed BEFORE the reply is logged/sent: every
+  // durable prefix of (installs, move-in, reply) resolves consistently at
+  // recovery, because the source only commits on our acked reply and only
+  // asks us (kRecoveryQuery) when it never got one.
+  if (txn != 0) RecordMoveIn(msg.from, txn);
 
   bool has_continuation = r.ReadBool();
   if (has_continuation) {
@@ -411,6 +492,37 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
       LogWarn() << "continuation " << continuation << " on "
                 << ToString(primary) << " failed: " << e.what();
     }
+  }
+}
+
+void MovementUnit::RecordMoveIn(CoreId from, std::uint64_t txn) {
+  if (!move_ins_.insert({from.value, txn}).second) return;
+  if (Wal* wal = core_.wal()) wal->AppendMoveIn(from, txn);
+}
+
+void MovementUnit::HandleRecoveryQuery(const net::Message& msg) {
+  serial::Reader r(msg.payload);
+  const std::uint64_t txn = r.ReadVarint();
+  serial::Writer w;
+  wire::WriteOk(w);
+  w.WriteBool(WasMovedIn(msg.from, txn));
+  core_.Reply(msg.from, net::MessageKind::kRecoveryReply, msg.correlation,
+              w.Take());
+}
+
+void MovementUnit::ReinstallFromStream(const std::vector<std::uint8_t>& stream) {
+  serial::Reader r(stream);
+  (void)wire::ReadComletId(r);  // primary
+  (void)r.ReadVarint();         // txn
+  const std::uint64_t count = r.ReadVarint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DecodedSection section = DecodeSection(r);
+    // Duplicate sections were copies minted FOR the destination; an aborted
+    // move never created them anywhere, so there is nothing to restore.
+    if (section.is_duplicate) continue;
+    // Idempotent against replayed aborts and races with live state.
+    if (core_.repository().Contains(section.id)) continue;
+    core_.Install(section.anchor);
   }
 }
 

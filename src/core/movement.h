@@ -20,15 +20,18 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/value.h"
 #include "src/core/core.h"
 #include "src/net/network.h"
+#include "src/serial/bytes.h"
 #include "src/sim/future.h"
 
 namespace fargo::core {
@@ -68,6 +71,28 @@ class MovementUnit {
   /// Handles an inbound migration stream.
   void HandleMoveRequest(net::Message msg);
 
+  /// Answers a recovering source's "did txn N from you ever install here?"
+  /// from the move-in set (kRecoveryQuery -> kRecoveryReply).
+  void HandleRecoveryQuery(const net::Message& msg);
+
+  /// Marks a movement transaction as installed at this (destination) Core;
+  /// durable Cores log it (kWalMoveIn). Idempotent.
+  void RecordMoveIn(CoreId from, std::uint64_t txn);
+  bool WasMovedIn(CoreId from, std::uint64_t txn) const {
+    return move_ins_.contains({from.value, txn});
+  }
+  /// (source core value, txn), ordered — WAL checkpoints walk this.
+  const std::set<std::pair<std::uint32_t, std::uint64_t>>& move_ins() const {
+    return move_ins_;
+  }
+
+  /// Reinstalls the non-duplicate sections of a staged migration stream
+  /// that are not already hosted — aborted-move recovery at the source.
+  void ReinstallFromStream(const std::vector<std::uint8_t>& stream);
+
+  /// Drops volatile movement state (Core restart).
+  void Reset() { move_ins_.clear(); }
+
   const MoveStats& last_move_stats() const { return stats_; }
 
  private:
@@ -77,6 +102,15 @@ class MovementUnit {
     bool is_duplicate = false;
     std::shared_ptr<Anchor> anchor;  ///< sending side
   };
+
+  /// One unmarshaled stream section: a decoded (not yet installed) anchor.
+  struct DecodedSection {
+    ComletId id;
+    std::string anchor_type;
+    bool is_duplicate = false;
+    std::shared_ptr<Anchor> anchor;
+  };
+  DecodedSection DecodeSection(serial::Reader& r);
 
   /// Serializes one complet section; ref hooks may append further sections
   /// to `worklist`. `dup_ids` maps originals to their one-per-move copy so
@@ -89,6 +123,10 @@ class MovementUnit {
 
   Core& core_;
   MoveStats stats_;
+  /// Movement transactions installed here, keyed (source value, txn).
+  /// Exactly-once anchor for crash recovery: a recovering source commits
+  /// or aborts its in-doubt prepares by whether its txn appears here.
+  std::set<std::pair<std::uint32_t, std::uint64_t>> move_ins_;
 };
 
 }  // namespace fargo::core

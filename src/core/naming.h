@@ -25,6 +25,9 @@ class Naming {
 
   std::size_t size() const { return bindings_.size(); }
 
+  /// Drops every binding (Core restart).
+  void Clear() { bindings_.clear(); }
+
  private:
   std::map<std::string, ComletHandle> bindings_;
 };

@@ -10,6 +10,7 @@
 // location, so stale references recover.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,17 +19,33 @@
 
 namespace fargo::core {
 
+/// Serializes one hosted complet's closure — the graph body of an image
+/// entry, without the id/type header. Shared by core images and the WAL
+/// (install and post-dispatch state records).
+std::vector<std::uint8_t> EncodeComletImage(Core& core, const Anchor& anchor);
+
+/// Rebuilds a complet from EncodeComletImage bytes with its identity
+/// re-established; references re-bind carrying the saved routing hints.
+/// The caller installs it (Core::Install or the WAL's quiet restore).
+std::shared_ptr<Anchor> DecodeComletImage(Core& core, ComletId id,
+                                          const std::vector<std::uint8_t>& body);
+
+struct RestoreResult {
+  std::vector<ComletId> restored;
+  /// Ids already hosted at the Core, left untouched; each fires a
+  /// completRestoreSkipped event instead of silently disappearing.
+  std::vector<ComletId> skipped;
+};
+
 /// Serializes every complet hosted at `core` (plus its name bindings).
 std::vector<std::uint8_t> SaveCoreImage(Core& core);
 
-/// Restores an image into `core`. Complets whose id is already hosted
-/// there are skipped (with a warning). Returns the restored ids.
-std::vector<ComletId> LoadCoreImage(Core& core,
-                                    const std::vector<std::uint8_t>& image);
+/// Restores an image into `core`; already-hosted ids are reported (and
+/// announced) in `skipped` rather than overwritten.
+RestoreResult LoadCoreImage(Core& core, const std::vector<std::uint8_t>& image);
 
 /// File convenience wrappers. Throw FargoError on I/O failure.
 void SaveCoreImageToFile(Core& core, const std::string& path);
-std::vector<ComletId> LoadCoreImageFromFile(Core& core,
-                                            const std::string& path);
+RestoreResult LoadCoreImageFromFile(Core& core, const std::string& path);
 
 }  // namespace fargo::core

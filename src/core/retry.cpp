@@ -77,6 +77,34 @@ bool DedupCache::Complete(CoreId origin, std::uint64_t correlation,
   return true;
 }
 
+std::vector<DedupCache::SeedEntry> DedupCache::Snapshot() const {
+  std::vector<SeedEntry> out;
+  out.reserve(completion_order_.size());
+  for (const Key& key : completion_order_) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || !it->second.done) continue;
+    out.push_back(SeedEntry{key.origin, key.correlation, it->second.reply_kind,
+                            it->second.reply});
+  }
+  return out;
+}
+
+void DedupCache::Seed(CoreId origin, std::uint64_t correlation,
+                      net::MessageKind reply_kind,
+                      std::vector<std::uint8_t> reply, SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(Key{origin, correlation});
+  if (inserted || !it->second.done) completion_order_.push_back(it->first);
+  it->second.done = true;
+  it->second.reply_kind = reply_kind;
+  it->second.reply = std::move(reply);
+  it->second.completed_at = now;
+}
+
+void DedupCache::Clear() {
+  entries_.clear();
+  completion_order_.clear();
+}
+
 void DedupCache::EvictExpired(SimTime now) {
   while (!completion_order_.empty()) {
     // Done entries are immutable, so the front of the deque is always the

@@ -88,6 +88,23 @@ class DedupCache {
 
   void EvictExpired(SimTime now);
 
+  /// One completed entry, in completion order, for WAL checkpoints.
+  struct SeedEntry {
+    CoreId origin;
+    std::uint64_t correlation = 0;
+    net::MessageKind reply_kind = net::MessageKind::kControlReply;
+    std::vector<std::uint8_t> reply;
+  };
+  /// Completed entries in completion order (in-progress ones are volatile
+  /// by design: their requests will be retried and re-admitted).
+  std::vector<SeedEntry> Snapshot() const;
+  /// Re-inserts a completed entry during WAL replay; idempotent, later
+  /// seeds of the same key win.
+  void Seed(CoreId origin, std::uint64_t correlation,
+            net::MessageKind reply_kind, std::vector<std::uint8_t> reply,
+            SimTime now);
+  void Clear();
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t replays() const { return replays_; }
   std::uint64_t suppressed() const { return suppressed_; }

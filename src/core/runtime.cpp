@@ -16,6 +16,11 @@ Runtime::Runtime() : network_(scheduler_) {
   network_.SetCrashHandler([this](CoreId id) {
     if (Core* core = Find(id)) core->Crash();
   });
+  // Scheduled crash+restart cycles (CoreCrash::restart_after) bring the
+  // Core back up; durable Cores then recover from their WAL.
+  network_.SetRestartHandler([this](CoreId id) {
+    if (Core* core = Find(id)) core->Restart();
+  });
   // Count every network drop, whatever its reason, in the registry. The
   // Network stays monitor-agnostic: it just calls the hook.
   network_.SetDropHook(

@@ -15,6 +15,7 @@
 #include "src/monitor/metrics.h"
 #include "src/net/network.h"
 #include "src/sim/scheduler.h"
+#include "src/sim/storage.h"
 
 namespace fargo::core {
 
@@ -37,6 +38,9 @@ class Runtime {
 
   sim::Scheduler& scheduler() { return scheduler_; }
   net::Network& network() { return network_; }
+  /// The deployment's durable storage model: per-Core WALs and checkpoint
+  /// blobs live here (Core::EnableWal).
+  sim::Storage& storage() { return storage_; }
 
   // -- observability: metrics + causal tracing --------------------------------
 
@@ -77,6 +81,7 @@ class Runtime {
 
  private:
   sim::Scheduler scheduler_;
+  sim::Storage storage_{scheduler_};
   monitor::Registry metrics_;  ///< before network_: the drop hook refers here
   net::Network network_;
   std::vector<std::unique_ptr<Core>> cores_;

@@ -44,6 +44,7 @@ TrackerEntry& TrackerTable::SetForward(ComletId id, CoreId next,
   e.local = nullptr;
   e.next = next;
   if (!anchor_type.empty()) e.anchor_type = std::move(anchor_type);
+  if (forward_hook_) forward_hook_(id, next, e.anchor_type);
   if (change_hook_) change_hook_(id);
   return e;
 }

@@ -71,9 +71,21 @@ class TrackerTable {
     change_hook_ = std::move(hook);
   }
 
+  /// Called after every SetForward with the updated entry's fields. Durable
+  /// Cores log repoints through this so recovery can rebuild routes to
+  /// complets that left before a crash.
+  void SetForwardHook(
+      std::function<void(ComletId, CoreId, const std::string&)> hook) {
+    forward_hook_ = std::move(hook);
+  }
+
+  /// Drops every entry (Core restart; hooks stay installed).
+  void Clear() { entries_.clear(); }
+
  private:
   std::unordered_map<ComletId, TrackerEntry> entries_;
   std::function<void(ComletId)> change_hook_;
+  std::function<void(ComletId, CoreId, const std::string&)> forward_hook_;
 };
 
 }  // namespace fargo::core

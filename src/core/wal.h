@@ -1,0 +1,264 @@
+// Write-ahead log: durable Cores (§7 future work, "complet persistence").
+//
+// A durable Core appends every externally visible mutation to a per-Core
+// log on the simulated disk (sim::Storage): complet installs and state
+// images, executed-reply records (the dedup cache's durable twin), name
+// bindings, tracker repoints, home-registry knowledge, and the two-phase
+// movement protocol (PREPARE / COMMIT / ABORT at the source, MOVE-IN at the
+// destination). Replies leave the Core only after a write barrier covers
+// the records behind them, so anything a peer observed is recoverable.
+//
+// Recovery replays checkpoint + log into a restarted Core. A PREPARE with
+// no resolution is an in-doubt move: the recovering source queries the
+// destination (kRecoveryQuery) — "did txn N from me ever install?" — and
+// either completes the commit or aborts and reinstalls the staged stream.
+// Combined with at-most-once RPC this yields exactly-once movement across
+// crashes: zero lost, zero duplicated complets (docs/PROTOCOL.md
+// §Durability).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/common/value.h"
+#include "src/net/network.h"
+#include "src/serial/bytes.h"
+#include "src/sim/future.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/storage.h"
+
+namespace fargo::monitor {
+class Counter;
+class Histogram;
+}  // namespace fargo::monitor
+
+namespace fargo::core {
+
+class Core;
+class Anchor;
+
+// WAL record discriminators. Every kind must have a WriteXxxRecord /
+// ReadXxxRecord codec pair below (fargolint `wal-record-coverage` enforces
+// this: a record that can be written but not replayed is data loss).
+inline constexpr std::uint8_t kWalInstall = 1;  ///< complet hosted (image)
+inline constexpr std::uint8_t kWalState = 2;    ///< post-dispatch state image
+inline constexpr std::uint8_t kWalExec = 3;     ///< cached reply (dedup twin)
+inline constexpr std::uint8_t kWalBind = 4;     ///< name binding
+inline constexpr std::uint8_t kWalTracker = 5;  ///< tracker forward repoint
+inline constexpr std::uint8_t kWalHome = 6;     ///< home-registry knowledge
+inline constexpr std::uint8_t kWalMeta = 7;     ///< id/correlation ceilings
+inline constexpr std::uint8_t kWalPrepare = 8;  ///< move txn staged at source
+inline constexpr std::uint8_t kWalCommit = 9;   ///< move txn acked by dest
+inline constexpr std::uint8_t kWalAbort = 10;   ///< move txn rolled back
+inline constexpr std::uint8_t kWalMoveIn = 11;  ///< move txn installed (dest)
+inline constexpr std::uint8_t kWalRemove = 12;  ///< complet un-hosted (unwind)
+
+const char* WalKindName(std::uint8_t kind);
+
+/// One decoded WAL record; which fields are meaningful depends on `kind`.
+struct WalRecord {
+  std::uint8_t kind = 0;
+
+  ComletId comlet;            ///< install/state/tracker/home/remove
+  std::string anchor_type;    ///< install/state/tracker
+  std::vector<std::uint8_t> image;  ///< install/state: EncodeComletImage body
+
+  CoreId peer;  ///< exec: reply target; move-in: source; remove: new host
+  std::uint64_t correlation = 0;       ///< exec
+  std::uint8_t reply_kind = 0;         ///< exec: net::MessageKind
+  std::vector<std::uint8_t> reply;     ///< exec: cached reply payload
+
+  std::string name;           ///< bind
+  ComletHandle handle;        ///< bind
+
+  CoreId next;                ///< tracker: forward hop
+  CoreId location;            ///< home
+  std::int64_t as_of = 0;     ///< home
+
+  std::uint64_t comlet_seq = 0;      ///< meta: ComletId ceiling
+  std::uint64_t correlation_seq = 0; ///< meta: correlation ceiling
+
+  std::uint64_t txn = 0;      ///< prepare/commit/abort/move-in
+  CoreId dest;                ///< prepare
+  ComletId primary;           ///< prepare
+  /// prepare: (id, anchor type) of every non-duplicate section.
+  std::vector<std::pair<ComletId, std::string>> departing;
+  std::vector<std::uint8_t> stream;  ///< prepare: staged migration payload
+};
+
+// Per-kind codecs (field-symmetric by construction; fargolint checks them
+// like any other Write*/Read* wire pair).
+void WriteInstallRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadInstallRecord(serial::Reader& r);
+void WriteStateRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadStateRecord(serial::Reader& r);
+void WriteExecRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadExecRecord(serial::Reader& r);
+void WriteBindRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadBindRecord(serial::Reader& r);
+void WriteTrackerRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadTrackerRecord(serial::Reader& r);
+void WriteHomeRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadHomeRecord(serial::Reader& r);
+void WriteMetaRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadMetaRecord(serial::Reader& r);
+void WritePrepareRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadPrepareRecord(serial::Reader& r);
+void WriteCommitRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadCommitRecord(serial::Reader& r);
+void WriteAbortRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadAbortRecord(serial::Reader& r);
+void WriteMoveInRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadMoveInRecord(serial::Reader& r);
+void WriteRemoveRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadRemoveRecord(serial::Reader& r);
+
+/// Kind byte + per-kind body.
+std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r);
+WalRecord DecodeWalRecord(const std::vector<std::uint8_t>& bytes);
+
+class Wal {
+ public:
+  /// `checkpoint_interval` > 0 arms a checkpoint+truncate `interval` after
+  /// each burst of appends (self-arming: an idle Core schedules nothing).
+  Wal(Core& core, sim::Storage& storage, SimTime checkpoint_interval);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  const std::string& log_name() const { return name_; }
+
+  // ==== appends (all no-ops while replaying) =================================
+
+  void AppendInstall(const Anchor& anchor);
+  void AppendState(const Anchor& anchor);
+  void AppendExec(CoreId peer, std::uint64_t correlation,
+                  net::MessageKind reply_kind,
+                  const std::vector<std::uint8_t>& reply);
+  void AppendBind(const std::string& name, const ComletHandle& handle);
+  void AppendTracker(ComletId comlet, CoreId next,
+                     const std::string& anchor_type);
+  void AppendHome(ComletId comlet, CoreId location, SimTime as_of);
+  /// `peer` / `anchor_type` let replay heal the tracker: the complet left
+  /// for (or stayed at) `peer`, so the local tracker forwards there.
+  void AppendRemove(ComletId comlet, CoreId peer, const std::string& anchor_type);
+
+  /// Mints the next movement transaction id (durable across restarts: ids
+  /// restart above the highest id seen in the replayed log).
+  std::uint64_t NextTxnId() { return ++next_txn_; }
+  void AppendPrepare(std::uint64_t txn, ComletId primary, CoreId dest,
+                     std::vector<std::pair<ComletId, std::string>> departing,
+                     std::vector<std::uint8_t> stream);
+  void AppendCommit(std::uint64_t txn);
+  void AppendAbort(std::uint64_t txn);
+  void AppendMoveIn(CoreId from, std::uint64_t txn);
+
+  /// Called by the Core whenever it mints a ComletId or correlation: keeps
+  /// a durable ceiling ahead of both counters so a restarted Core can never
+  /// re-issue an identity or correlation a peer may have already seen.
+  void NoteSequences(std::uint64_t comlet_seq, std::uint64_t correlation_seq);
+
+  // ==== durability ===========================================================
+
+  /// Write barrier over everything appended so far.
+  sim::Future<sim::Unit> Sync();
+  /// Coalesced background barrier: arms one if none is pending.
+  void LazySync();
+
+  /// Saves a checkpoint image (SaveCoreImage) and truncates the log behind
+  /// it, clamped so records of still-open (unresolved) prepares survive.
+  void Checkpoint();
+
+  // ==== crash & recovery =====================================================
+
+  /// Crash hook: loses the volatile tail and stops the checkpoint task.
+  void OnCrash();
+
+  /// Replays checkpoint + durable records into the Core (quietly), reseeds
+  /// the dedup cache, then resolves in-doubt moves by querying their
+  /// destinations. Called from Core::Restart after volatile state is reset.
+  void Recover();
+
+  /// Movement transactions currently open (prepared, unresolved).
+  std::size_t open_txns() const { return open_txns_.size(); }
+  bool replaying() const { return replaying_; }
+
+  // ==== telemetry ============================================================
+
+  std::uint64_t records_appended() const { return records_appended_; }
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+  std::uint64_t records_replayed() const { return records_replayed_; }
+  std::uint64_t checkpoints() const { return checkpoints_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t durable_records() const;
+  std::uint64_t durable_bytes() const;
+
+ private:
+  struct OpenTxn {
+    ComletId primary;
+    CoreId dest;
+    std::uint64_t first_index = 0;  ///< prepare's absolute log index
+    std::vector<std::pair<ComletId, std::string>> departing;
+    std::vector<std::uint8_t> stream;
+  };
+
+  /// Encodes and appends; returns the record's absolute log index.
+  std::uint64_t Append(const WalRecord& rec);
+  void ApplyRecord(const WalRecord& rec, std::uint64_t index);
+  std::string CheckpointBlobName() const;
+  /// Log-truncation survivors that SaveCoreImage does not capture —
+  /// trackers, dedup entries, home knowledge, move-in marks, ceilings —
+  /// encoded as ordinary WAL records and replayed like any others.
+  std::vector<std::vector<std::uint8_t>> SidecarRecords();
+  /// Schedules one checkpoint `checkpoint_interval_` from now unless one is
+  /// already pending; every Append re-arms, so quiescent logs stay quiet.
+  void ArmCheckpoint();
+  void ResolveInDoubt(std::vector<std::uint64_t> txns, SimTime began);
+  void QueryInDoubt(std::uint64_t txn, int attempt,
+                    const std::shared_ptr<std::size_t>& remaining,
+                    SimTime began);
+  void FinishRecovery(const std::shared_ptr<std::size_t>& remaining,
+                      SimTime began);
+
+  Core& core_;
+  sim::Storage& storage_;
+  std::string name_;
+  bool replaying_ = false;
+  bool lazy_sync_armed_ = false;
+  /// While recovering: log index the restored checkpoint image speaks for.
+  /// Records below it replay transaction bookkeeping only — their state
+  /// effects are already (or more recently) reflected in the image.
+  std::uint64_t replay_covered_ = 0;
+  std::uint64_t next_txn_ = 0;
+  // Ordered: in-doubt resolution and truncation clamping iterate this.
+  std::map<std::uint64_t, OpenTxn> open_txns_;
+
+  /// Durable ceilings promised by the last kWalMeta record; identities and
+  /// correlations are re-minted above these after a restart.
+  static constexpr std::uint64_t kSeqStride = 1 << 16;
+  std::uint64_t comlet_seq_floor_ = 0;
+  std::uint64_t correlation_floor_ = 0;
+
+  bool checkpoint_armed_ = false;
+  SimTime checkpoint_interval_ = 0;
+
+  std::uint64_t records_appended_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t records_replayed_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t recoveries_ = 0;
+
+  monitor::Counter* rec_counter_ = nullptr;
+  monitor::Counter* byte_counter_ = nullptr;
+  monitor::Counter* fsync_counter_ = nullptr;
+  monitor::Counter* replay_counter_ = nullptr;
+  monitor::Histogram* recovery_time_ = nullptr;
+};
+
+}  // namespace fargo::core

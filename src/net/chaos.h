@@ -49,6 +49,10 @@ struct FaultPlan {
   struct CoreCrash {
     CoreId core;
     SimTime at = 0;  ///< absolute sim time of the crash
+    /// Delay until the Core restarts (0 = crash is permanent). Restarts go
+    /// through the Network's restart handler (Runtime wires Core::Restart),
+    /// so a durable Core recovers from its WAL mid-run.
+    SimTime restart_after = 0;
   };
   std::vector<LinkFlap> flaps;
   std::vector<CoreCrash> crashes;

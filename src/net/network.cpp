@@ -37,6 +37,10 @@ const char* ToString(MessageKind kind) {
       return "Control";
     case MessageKind::kControlReply:
       return "ControlReply";
+    case MessageKind::kRecoveryQuery:
+      return "RecoveryQuery";
+    case MessageKind::kRecoveryReply:
+      return "RecoveryReply";
   }
   return "?";
 }
@@ -155,6 +159,13 @@ void Network::SetFaultPlan(const FaultPlan& plan) {
         Unregister(core);
       }
     });
+    if (crash.restart_after > 0) {
+      sched_.ScheduleAt(crash.at + crash.restart_after,
+                        // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
+                        [this, core = crash.core] {
+                          if (restart_handler_) restart_handler_(core);
+                        });
+    }
   }
 }
 

@@ -39,6 +39,8 @@ enum class MessageKind : std::uint8_t {
   kNewReply = 11,
   kControl = 12,
   kControlReply = 13,   ///< answer to a control/event-register request
+  kRecoveryQuery = 14,  ///< WAL recovery: "did move txn N from me install?"
+  kRecoveryReply = 15,
 };
 
 const char* ToString(MessageKind kind);
@@ -134,6 +136,11 @@ class Network {
   void SetCrashHandler(std::function<void(CoreId)> handler) {
     crash_handler_ = std::move(handler);
   }
+  /// Handler for scheduled crash+restart cycles (FaultPlan::CoreCrash with
+  /// restart_after > 0). The Runtime installs one that calls Core::Restart.
+  void SetRestartHandler(std::function<void(CoreId)> handler) {
+    restart_handler_ = std::move(handler);
+  }
 
   // -- telemetry -------------------------------------------------------------
   LinkStats StatsBetween(CoreId from, CoreId to) const;
@@ -184,6 +191,7 @@ class Network {
   CopyHook copy_hook_;
   ChaosEngine chaos_;
   std::function<void(CoreId)> crash_handler_;
+  std::function<void(CoreId)> restart_handler_;
 };
 
 }  // namespace fargo::net

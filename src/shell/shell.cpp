@@ -5,6 +5,7 @@
 
 #include "src/core/meta_ref.h"
 #include "src/core/relocator.h"
+#include "src/core/wal.h"
 #include "src/monitor/profiler.h"
 
 namespace fargo::shell {
@@ -121,6 +122,10 @@ bool Shell::Execute(const std::string& line) {
       CmdChaos(args);
     } else if (cmd == "crash") {
       CmdCrash(args);
+    } else if (cmd == "wal") {
+      CmdWal(args);
+    } else if (cmd == "recover") {
+      CmdRecover(args);
     } else if (cmd == "heartbeat") {
       CmdHeartbeat(args);
     } else if (cmd == "shutdown") {
@@ -156,8 +161,8 @@ void Shell::RunInteractive(std::istream& in, bool prompt) {
 
 void Shell::CmdHelp() {
   out_ << "commands: help cores ls names methods move amove reftype setref "
-          "profile invoke post gc link net chaos crash heartbeat shutdown "
-          "trace stats snapshot script quit\n";
+          "profile invoke post gc link net chaos crash wal recover heartbeat "
+          "shutdown trace stats snapshot script quit\n";
 }
 
 void Shell::CmdCores() {
@@ -408,6 +413,55 @@ void Shell::CmdCrash(const std::vector<std::string>& args) {
   if (c == nullptr) throw FargoError("unknown core: " + args[0]);
   c->Crash();
   out_ << c->name() << " crashed\n";
+}
+
+void Shell::CmdWal(const std::vector<std::string>& args) {
+  if (args.empty())
+    throw FargoError("usage: wal <core> [on [interval_ms] | checkpoint]");
+  core::Core* c = ResolveCore(args[0]);
+  if (c == nullptr) throw FargoError("unknown core: " + args[0]);
+  if (args.size() >= 2 && args[1] == "on") {
+    const SimTime interval = args.size() >= 3
+                                 ? static_cast<SimTime>(std::stod(args[2]) * 1e6)
+                                 : Millis(250);
+    c->EnableWal(interval);
+    out_ << c->name() << ": durable (checkpoint every "
+         << static_cast<double>(interval) / 1e6 << " ms)\n";
+    return;
+  }
+  core::Wal* wal = c->wal();
+  if (wal == nullptr) {
+    out_ << c->name() << ": not durable (try 'wal " << args[0] << " on')\n";
+    return;
+  }
+  if (args.size() >= 2 && args[1] == "checkpoint") {
+    wal->Checkpoint();
+    out_ << c->name() << ": checkpoint scheduled\n";
+    return;
+  }
+  out_ << c->name() << ": log " << wal->log_name() << "\n"
+       << "  appended: " << wal->records_appended() << " records, "
+       << wal->bytes_appended() << " bytes\n"
+       << "  durable:  " << wal->durable_records() << " records, "
+       << wal->durable_bytes() << " bytes\n"
+       << "  checkpoints=" << wal->checkpoints()
+       << " recoveries=" << wal->recoveries()
+       << " replayed=" << wal->records_replayed()
+       << " open_moves=" << wal->open_txns() << "\n";
+}
+
+void Shell::CmdRecover(const std::vector<std::string>& args) {
+  if (args.empty()) throw FargoError("usage: recover <core>");
+  core::Core* c = ResolveCore(args[0]);
+  if (c == nullptr) throw FargoError("unknown core: " + args[0]);
+  if (c->alive()) {
+    out_ << c->name() << " is already up\n";
+    return;
+  }
+  c->Restart();
+  out_ << c->name() << " restarted"
+       << (c->wal() ? " (log replay scheduled)" : " (no log; state lost)")
+       << "\n";
 }
 
 void Shell::CmdHeartbeat(const std::vector<std::string>& args) {

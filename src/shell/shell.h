@@ -25,6 +25,12 @@
 //                                 — arm/disarm global fault injection
 //   crash <core>                  — kill a core abruptly (no shutdown
 //                                   protocol; trackers are left dangling)
+//   wal <core>                    — durability stats for a core's log
+//   wal <core> on [interval_ms]   — make a core durable (write-ahead log +
+//                                   periodic checkpoint)
+//   wal <core> checkpoint         — checkpoint + truncate the log now
+//   recover <core>                — restart a crashed core (replays its
+//                                   log if it was durable)
 //   heartbeat <core> <interval_ms> <missed> | heartbeat <core> off
 //                                 — start/stop the failure detector
 //   shutdown <core>               — announce shutdown of a core
@@ -84,6 +90,8 @@ class Shell {
   void CmdNet();
   void CmdChaos(const std::vector<std::string>& args);
   void CmdCrash(const std::vector<std::string>& args);
+  void CmdWal(const std::vector<std::string>& args);
+  void CmdRecover(const std::vector<std::string>& args);
   void CmdHeartbeat(const std::vector<std::string>& args);
   void CmdShutdown(const std::vector<std::string>& args);
   void CmdTrace(const std::vector<std::string>& args);

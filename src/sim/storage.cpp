@@ -1,0 +1,184 @@
+#include "src/sim/storage.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/value.h"
+
+namespace fargo::sim {
+
+const Storage::Log* Storage::FindNamed(const std::string& log) const {
+  auto it = logs_.find(log);
+  return it == logs_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Storage::Append(const std::string& log,
+                              std::vector<std::uint8_t> record) {
+  Log& l = Named(log);
+  ++stats_.appends;
+  stats_.appended_bytes += record.size();
+  const std::uint64_t index = l.base + l.durable.size() + l.tail.size();
+  l.tail.push_back(std::move(record));
+  return index;
+}
+
+Future<Unit> Storage::Sync(const std::string& log) {
+  Log& l = Named(log);
+  ++stats_.fsyncs;
+  Promise<Unit> done(sched_);
+  const std::uint64_t epoch = l.epoch;
+  const std::size_t covered = l.tail.size();
+  sched_.ScheduleAfter(
+      fsync_latency_,
+      // fargolint: allow(capture-this) the Runtime owns Storage and clears the queue before teardown
+      [this, log, epoch, covered, done]() mutable {
+        Log& now = Named(log);
+        if (now.epoch == epoch) {
+          const std::size_t n = std::min(covered, now.tail.size());
+          for (std::size_t i = 0; i < n; ++i)
+            now.durable.push_back(std::move(now.tail[i]));
+          now.tail.erase(now.tail.begin(),
+                         now.tail.begin() + static_cast<std::ptrdiff_t>(n));
+        }
+        // A crashed log settles too: the records are simply lost, and the
+        // caller's restart epoch tells it the barrier no longer matters.
+        done.Resolve(Unit{});
+      });
+  return done.future();
+}
+
+void Storage::DropVolatile(const std::string& log) {
+  Log& l = Named(log);
+  stats_.dropped_records += l.tail.size();
+  l.tail.clear();
+  l.pending_blob.reset();
+  ++l.epoch;
+}
+
+void Storage::TruncateLog(const std::string& log, std::uint64_t new_base) {
+  Log& l = Named(log);
+  if (new_base <= l.base) return;
+  const std::uint64_t drop =
+      std::min<std::uint64_t>(new_base - l.base, l.durable.size());
+  l.durable.erase(l.durable.begin(),
+                  l.durable.begin() + static_cast<std::ptrdiff_t>(drop));
+  l.base += drop;
+  stats_.truncated_records += drop;
+}
+
+std::vector<std::vector<std::uint8_t>> Storage::ReadDurable(
+    const std::string& log) const {
+  const Log* l = FindNamed(log);
+  return l != nullptr ? l->durable : std::vector<std::vector<std::uint8_t>>{};
+}
+
+std::uint64_t Storage::NextIndex(const std::string& log) const {
+  const Log* l = FindNamed(log);
+  return l != nullptr ? l->base + l->durable.size() + l->tail.size() : 0;
+}
+
+std::uint64_t Storage::BaseIndex(const std::string& log) const {
+  const Log* l = FindNamed(log);
+  return l != nullptr ? l->base : 0;
+}
+
+std::size_t Storage::DurableCount(const std::string& log) const {
+  const Log* l = FindNamed(log);
+  return l != nullptr ? l->durable.size() : 0;
+}
+
+std::size_t Storage::VolatileCount(const std::string& log) const {
+  const Log* l = FindNamed(log);
+  return l != nullptr ? l->tail.size() : 0;
+}
+
+std::uint64_t Storage::DurableBytes(const std::string& log) const {
+  const Log* l = FindNamed(log);
+  if (l == nullptr) return 0;
+  std::uint64_t bytes = 0;
+  for (const auto& rec : l->durable) bytes += rec.size();
+  return bytes;
+}
+
+Future<Unit> Storage::PutBlob(const std::string& name,
+                              std::vector<std::uint8_t> bytes) {
+  Log& l = Named(name);
+  l.pending_blob = std::move(bytes);
+  ++stats_.fsyncs;
+  Promise<Unit> done(sched_);
+  const std::uint64_t epoch = l.epoch;
+  sched_.ScheduleAfter(
+      fsync_latency_,
+      // fargolint: allow(capture-this) the Runtime owns Storage and clears the queue before teardown
+      [this, name, epoch, done]() mutable {
+        Log& now = Named(name);
+        if (now.epoch == epoch && now.pending_blob.has_value()) {
+          blobs_[name] = std::move(*now.pending_blob);
+          now.pending_blob.reset();
+        }
+        done.Resolve(Unit{});
+      });
+  return done.future();
+}
+
+std::optional<std::vector<std::uint8_t>> Storage::GetBlob(
+    const std::string& name) const {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Storage::ExportLog(const std::string& log, const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw FargoError("cannot open for writing: " + path);
+  bool ok = true;
+  for (const std::vector<std::uint8_t>& rec : ReadDurable(log)) {
+    std::uint64_t len = rec.size();
+    std::uint8_t frame[10];
+    std::size_t n = 0;
+    while (len >= 0x80) {
+      frame[n++] = static_cast<std::uint8_t>(len) | 0x80;
+      len >>= 7;
+    }
+    frame[n++] = static_cast<std::uint8_t>(len);
+    ok = ok && std::fwrite(frame, 1, n, f) == n;
+    ok = ok && std::fwrite(rec.data(), 1, rec.size(), f) == rec.size();
+  }
+  std::fclose(f);
+  if (!ok) throw FargoError("short write exporting log to " + path);
+}
+
+void Storage::ImportLog(const std::string& log, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw FargoError("cannot open log file: " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+
+  Log& l = Named(log);
+  l.base = 0;
+  l.durable.clear();
+  l.tail.clear();
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::uint64_t len = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= bytes.size()) throw FargoError("truncated log frame in " + path);
+      const std::uint8_t b = bytes[pos++];
+      len |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    if (pos + len > bytes.size())
+      throw FargoError("truncated log record in " + path);
+    l.durable.emplace_back(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+}
+
+}  // namespace fargo::sim

@@ -26,7 +26,8 @@ TEST_F(PersistenceTest, ImageRoundTripsStateAndIdentity) {
 
   std::vector<std::uint8_t> image = SaveCoreImage(*cores[0]);
   auto restored = LoadCoreImage(*cores[1], image);
-  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.restored.size(), 2u);
+  EXPECT_TRUE(restored.skipped.empty());
 
   // Identities preserved; state preserved; name bindings carried over.
   EXPECT_TRUE(cores[1]->repository().Contains(counter.target()));
@@ -40,11 +41,21 @@ TEST_F(PersistenceTest, ImageRoundTripsStateAndIdentity) {
 
 TEST_F(PersistenceTest, RestoreSkipsAlreadyHostedComplets) {
   auto cores = MakeCores(1);
-  cores[0]->New<Counter>();
+  auto counter = cores[0]->New<Counter>();
   std::vector<std::uint8_t> image = SaveCoreImage(*cores[0]);
+  // Each skipped id is announced so recovery code can reconcile.
+  std::vector<ComletId> announced;
+  cores[0]->events().Listen(
+      monitor::EventKind::kComletRestoreSkipped,
+      [&announced](const monitor::Event& e) { announced.push_back(e.comlet); });
   auto restored = LoadCoreImage(*cores[0], image);  // restore onto itself
-  EXPECT_TRUE(restored.empty());
+  EXPECT_TRUE(restored.restored.empty());
+  ASSERT_EQ(restored.skipped.size(), 1u);
+  EXPECT_EQ(restored.skipped[0], counter.target());
   EXPECT_EQ(cores[0]->repository().size(), 1u);
+  rt.RunUntilIdle();  // listeners are notified asynchronously
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0], counter.target());
 }
 
 TEST_F(PersistenceTest, ReferencesKeepRelocatorsAcrossRestore) {
@@ -72,7 +83,7 @@ TEST_F(PersistenceTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "fargo_checkpoint.bin";
   SaveCoreImageToFile(*cores[0], path);
   auto restored = LoadCoreImageFromFile(*cores[1], path);
-  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.restored.size(), 1u);
   auto ref = cores[1]->RefFromHandle(
       ComletHandle{msg.target(), cores[1]->id(), "test.Message"});
   EXPECT_EQ(ref.Call("text").AsString(), "on disk");

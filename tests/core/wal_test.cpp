@@ -1,0 +1,311 @@
+// Durable Cores: WAL record codecs, crash/replay recovery, reply write
+// barriers, checkpoint truncation, and a crash-point sweep over the
+// two-phase movement protocol (exactly-once across restarts).
+#include "src/core/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/support/fixture.h"
+
+namespace fargo::testing {
+namespace {
+
+using core::DecodeWalRecord;
+using core::EncodeWalRecord;
+using core::Wal;
+using core::WalRecord;
+
+class WalTest : public FargoTest {};
+
+TEST_F(WalTest, EveryRecordKindRoundTrips) {
+  const ComletId id{CoreId{3}, 41};
+  const CoreId peer{9};
+
+  WalRecord install;
+  install.kind = core::kWalInstall;
+  install.comlet = id;
+  install.anchor_type = "test.Counter";
+  install.image = {1, 2, 3};
+  WalRecord got = DecodeWalRecord(EncodeWalRecord(install));
+  EXPECT_EQ(got.kind, core::kWalInstall);
+  EXPECT_EQ(got.comlet, id);
+  EXPECT_EQ(got.anchor_type, "test.Counter");
+  EXPECT_EQ(got.image, install.image);
+
+  WalRecord state = install;
+  state.kind = core::kWalState;
+  got = DecodeWalRecord(EncodeWalRecord(state));
+  EXPECT_EQ(got.kind, core::kWalState);
+  EXPECT_EQ(got.image, state.image);
+
+  WalRecord exec;
+  exec.kind = core::kWalExec;
+  exec.peer = peer;
+  exec.correlation = 77;
+  exec.reply_kind = static_cast<std::uint8_t>(net::MessageKind::kInvokeReply);
+  exec.reply = {9, 9};
+  got = DecodeWalRecord(EncodeWalRecord(exec));
+  EXPECT_EQ(got.kind, core::kWalExec);
+  EXPECT_EQ(got.peer, peer);
+  EXPECT_EQ(got.correlation, 77u);
+  EXPECT_EQ(got.reply_kind, exec.reply_kind);
+  EXPECT_EQ(got.reply, exec.reply);
+
+  WalRecord bind;
+  bind.kind = core::kWalBind;
+  bind.name = "msg";
+  bind.handle = ComletHandle{id, peer, "test.Message"};
+  got = DecodeWalRecord(EncodeWalRecord(bind));
+  EXPECT_EQ(got.kind, core::kWalBind);
+  EXPECT_EQ(got.name, "msg");
+  EXPECT_EQ(got.handle.id, id);
+  EXPECT_EQ(got.handle.last_known, peer);
+
+  WalRecord tracker;
+  tracker.kind = core::kWalTracker;
+  tracker.comlet = id;
+  tracker.next = peer;
+  tracker.anchor_type = "test.Counter";
+  got = DecodeWalRecord(EncodeWalRecord(tracker));
+  EXPECT_EQ(got.kind, core::kWalTracker);
+  EXPECT_EQ(got.next, peer);
+
+  WalRecord home;
+  home.kind = core::kWalHome;
+  home.comlet = id;
+  home.location = peer;
+  home.as_of = 12345;
+  got = DecodeWalRecord(EncodeWalRecord(home));
+  EXPECT_EQ(got.kind, core::kWalHome);
+  EXPECT_EQ(got.location, peer);
+  EXPECT_EQ(got.as_of, 12345);
+
+  WalRecord meta;
+  meta.kind = core::kWalMeta;
+  meta.comlet_seq = 1u << 20;
+  meta.correlation_seq = 1u << 21;
+  got = DecodeWalRecord(EncodeWalRecord(meta));
+  EXPECT_EQ(got.kind, core::kWalMeta);
+  EXPECT_EQ(got.comlet_seq, meta.comlet_seq);
+  EXPECT_EQ(got.correlation_seq, meta.correlation_seq);
+
+  WalRecord prepare;
+  prepare.kind = core::kWalPrepare;
+  prepare.txn = 5;
+  prepare.primary = id;
+  prepare.dest = peer;
+  prepare.departing = {{id, "test.Counter"}};
+  prepare.stream = {4, 5, 6, 7};
+  got = DecodeWalRecord(EncodeWalRecord(prepare));
+  EXPECT_EQ(got.kind, core::kWalPrepare);
+  EXPECT_EQ(got.txn, 5u);
+  EXPECT_EQ(got.primary, id);
+  EXPECT_EQ(got.dest, peer);
+  ASSERT_EQ(got.departing.size(), 1u);
+  EXPECT_EQ(got.departing[0].first, id);
+  EXPECT_EQ(got.departing[0].second, "test.Counter");
+  EXPECT_EQ(got.stream, prepare.stream);
+
+  WalRecord commit;
+  commit.kind = core::kWalCommit;
+  commit.txn = 5;
+  got = DecodeWalRecord(EncodeWalRecord(commit));
+  EXPECT_EQ(got.kind, core::kWalCommit);
+  EXPECT_EQ(got.txn, 5u);
+
+  WalRecord abort;
+  abort.kind = core::kWalAbort;
+  abort.txn = 6;
+  got = DecodeWalRecord(EncodeWalRecord(abort));
+  EXPECT_EQ(got.kind, core::kWalAbort);
+  EXPECT_EQ(got.txn, 6u);
+
+  WalRecord movein;
+  movein.kind = core::kWalMoveIn;
+  movein.peer = peer;
+  movein.txn = 7;
+  got = DecodeWalRecord(EncodeWalRecord(movein));
+  EXPECT_EQ(got.kind, core::kWalMoveIn);
+  EXPECT_EQ(got.peer, peer);
+  EXPECT_EQ(got.txn, 7u);
+
+  WalRecord remove;
+  remove.kind = core::kWalRemove;
+  remove.comlet = id;
+  remove.peer = peer;
+  remove.anchor_type = "test.Counter";
+  got = DecodeWalRecord(EncodeWalRecord(remove));
+  EXPECT_EQ(got.kind, core::kWalRemove);
+  EXPECT_EQ(got.comlet, id);
+  EXPECT_EQ(got.peer, peer);
+}
+
+TEST_F(WalTest, DurableCoreRecoversStateNamesAndIdentity) {
+  auto cores = MakeCores(2);
+  cores[0]->EnableWal();
+  auto counter = cores[0]->New<Counter>();
+  counter.Call("increment", {Value(41)});
+  auto msg = cores[0]->New<Message>("durable");
+  cores[0]->BindName("msg", msg);
+  rt.RunUntilIdle();  // let the write barriers settle
+
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+
+  EXPECT_TRUE(cores[0]->repository().Contains(counter.target()));
+  EXPECT_TRUE(cores[0]->repository().Contains(msg.target()));
+  auto ref = cores[0]->RefTo<Counter>(
+      ComletHandle{counter.target(), cores[0]->id(), "test.Counter"});
+  EXPECT_EQ(ref.Invoke<std::int64_t>("get"), 41);
+  auto named = cores[0]->naming().Lookup("msg");
+  ASSERT_TRUE(named.has_value());
+  EXPECT_EQ(named->id, msg.target());
+  EXPECT_GE(cores[0]->wal()->recoveries(), 1u);
+}
+
+TEST_F(WalTest, NonDurableRestartComesUpEmpty) {
+  auto cores = MakeCores(1);
+  auto counter = cores[0]->New<Counter>();
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+  EXPECT_TRUE(cores[0]->alive());
+  EXPECT_FALSE(cores[0]->repository().Contains(counter.target()));
+  EXPECT_EQ(cores[0]->repository().size(), 0u);
+}
+
+TEST_F(WalTest, RestartFiresRecoveredEventAndCountsIt) {
+  auto cores = MakeCores(1);
+  cores[0]->EnableWal();
+  int recovered = 0;
+  cores[0]->events().Listen(monitor::EventKind::kCoreRecovered,
+                            [&recovered](const monitor::Event&) { ++recovered; });
+  rt.RunUntilIdle();
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+  EXPECT_EQ(recovered, 1);
+  EXPECT_EQ(rt.metrics().CounterValue("recovery.count"), 1u);
+}
+
+TEST_F(WalTest, IdentitiesRestartAboveTheDurableCeiling) {
+  // A recovered Core must never re-mint a ComletId a peer may have seen:
+  // fresh identities jump past the durable ceiling.
+  auto cores = MakeCores(1);
+  cores[0]->EnableWal();
+  auto before = cores[0]->New<Counter>();
+  rt.RunUntilIdle();
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+  auto after = cores[0]->New<Counter>();
+  EXPECT_GT(after.target().seq, before.target().seq + 60000);
+}
+
+TEST_F(WalTest, ReplyIsWithheldUntilTheExecutionIsDurable) {
+  // Host crashes after executing but before the exec record's fsync: the
+  // reply was never released, the execution rolls back, and the client's
+  // retry re-executes on the recovered Core — observable exactly once.
+  auto cores = MakeCores(2);
+  rt.storage().SetFsyncLatency(Millis(50));
+  cores[0]->EnableWal();
+  auto counter = cores[0]->New<Counter>();
+  rt.RunUntilIdle();
+
+  core::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff = Millis(40);
+  cores[1]->SetRetryPolicy(policy);
+  cores[1]->SetRpcTimeout(Millis(120));
+
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+  sim::Future<std::int64_t> f = stub.InvokeAsync<std::int64_t>("increment");
+  // Request arrives ~5ms in; its barrier would settle ~55ms in. Crash at
+  // 20ms: executed, not yet durable, reply withheld.
+  rt.RunFor(Millis(20));
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+
+  ASSERT_TRUE(f.settled());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value(), 1);
+  auto ref = cores[0]->RefTo<Counter>(
+      ComletHandle{counter.target(), cores[0]->id(), "test.Counter"});
+  EXPECT_EQ(ref.Invoke<std::int64_t>("get"), 1);  // once, not twice
+}
+
+TEST_F(WalTest, CheckpointTruncatesTheLogAndRecoveryStillWorks) {
+  auto cores = MakeCores(1);
+  Wal& wal = cores[0]->EnableWal(Millis(100));
+  auto counter = cores[0]->New<Counter>();
+  for (int i = 0; i < 40; ++i) {
+    counter.Call("increment");
+    rt.RunFor(Millis(25));
+  }
+  rt.RunUntilIdle();
+  EXPECT_GE(wal.checkpoints(), 4u);
+  // Truncation really happened: far fewer durable records than appends.
+  EXPECT_LT(wal.durable_records(), wal.records_appended() / 2);
+
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+  auto ref = cores[0]->RefTo<Counter>(
+      ComletHandle{counter.target(), cores[0]->id(), "test.Counter"});
+  EXPECT_EQ(ref.Invoke<std::int64_t>("get"), 40);
+}
+
+// ---- Movement crash-point sweep ---------------------------------------------
+//
+// Crash the source (or destination) of an in-flight move at every
+// millisecond of the protocol's lifetime, restart it, and verify the
+// complet exists exactly once with its state intact. Every durable prefix
+// of the two-phase protocol must resolve consistently.
+
+enum class CrashSide { kSource, kDest };
+
+void RunMoveCrashPoint(SimTime crash_at, CrashSide side) {
+  RegisterTestComlets();
+  core::Runtime rt;
+  core::Core& src = rt.CreateCore("src");
+  core::Core& dst = rt.CreateCore("dst");
+  rt.network().SetDefaultLink(net::LinkModel{Millis(5), 1.25e6, true});
+  src.EnableWal();
+  dst.EnableWal();
+
+  auto counter = src.New<Counter>();
+  counter.Call("increment", {Value(7)});
+  rt.RunUntilIdle();
+
+  src.MoveAsync(counter, dst.id());  // outcome doesn't matter; survival does
+  rt.RunFor(crash_at);
+  core::Core& victim = side == CrashSide::kSource ? src : dst;
+  victim.Crash();
+  victim.Restart();
+  rt.RunUntilIdle();
+
+  const int copies = (src.repository().Contains(counter.target()) ? 1 : 0) +
+                     (dst.repository().Contains(counter.target()) ? 1 : 0);
+  ASSERT_EQ(copies, 1) << "crash_at=" << crash_at << "ns lost or duplicated "
+                       << "the complet";
+  core::Core& host = src.repository().Contains(counter.target()) ? src : dst;
+  auto ref = host.RefTo<Counter>(
+      ComletHandle{counter.target(), host.id(), "test.Counter"});
+  EXPECT_EQ(ref.Invoke<std::int64_t>("get"), 7)
+      << "crash_at=" << crash_at << "ns corrupted the state";
+}
+
+TEST(WalMoveCrashSweepTest, SourceCrashAtEveryPointIsExactlyOnce) {
+  for (SimTime at = Millis(1); at <= Millis(14); at += Millis(1))
+    RunMoveCrashPoint(at, CrashSide::kSource);
+}
+
+TEST(WalMoveCrashSweepTest, DestCrashAtEveryPointIsExactlyOnce) {
+  for (SimTime at = Millis(1); at <= Millis(14); at += Millis(1))
+    RunMoveCrashPoint(at, CrashSide::kDest);
+}
+
+}  // namespace
+}  // namespace fargo::testing

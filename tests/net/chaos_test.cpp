@@ -187,6 +187,38 @@ TEST_F(ChaosNetworkTest, ScheduledCrashInvokesHandler) {
   EXPECT_EQ(crashed, b);
 }
 
+TEST_F(ChaosNetworkTest, ScheduledCrashWithRestartInvokesBothHandlers) {
+  std::vector<std::string> sequence;
+  net.SetCrashHandler([&](CoreId id) {
+    sequence.push_back("crash:" + std::to_string(id.value));
+  });
+  net.SetRestartHandler([&](CoreId id) {
+    sequence.push_back("restart:" + std::to_string(id.value));
+  });
+  FaultPlan plan;
+  plan.crashes.push_back(
+      FaultPlan::CoreCrash{b, Millis(50), /*restart_after=*/Millis(30)});
+  net.SetFaultPlan(plan);
+  sched.RunUntilOr([] { return false; }, Millis(70));
+  EXPECT_EQ(sequence, (std::vector<std::string>{
+                          "crash:" + std::to_string(b.value)}));
+  sched.RunUntilIdle();
+  EXPECT_EQ(sequence, (std::vector<std::string>{
+                          "crash:" + std::to_string(b.value),
+                          "restart:" + std::to_string(b.value)}));
+}
+
+TEST_F(ChaosNetworkTest, CrashWithoutRestartAfterNeverRestarts) {
+  int restarts = 0;
+  net.SetCrashHandler([](CoreId) {});
+  net.SetRestartHandler([&](CoreId) { ++restarts; });
+  FaultPlan plan;
+  plan.crashes.push_back(FaultPlan::CoreCrash{b, Millis(50)});
+  net.SetFaultPlan(plan);
+  sched.RunUntilIdle();
+  EXPECT_EQ(restarts, 0);
+}
+
 TEST_F(ChaosNetworkTest, ScheduledCrashWithoutHandlerUnregisters) {
   int arrivals = 0;
   net.Register(b, [&](Message) { ++arrivals; });

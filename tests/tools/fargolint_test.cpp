@@ -56,7 +56,8 @@ TEST(Rules, StableIdsInStableOrder) {
   const std::vector<std::string> expect = {
       "wallclock",   "unseeded-rng", "thread",
       "unordered-iter", "no-pump",   "capture-ref",
-      "capture-this", "wire-asymmetry", "wire-dup-marker", "annotation"};
+      "capture-this", "wire-asymmetry", "wire-dup-marker",
+      "wal-record-coverage", "annotation"};
   ASSERT_EQ(rules.size(), expect.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, expect[i]);
@@ -564,6 +565,69 @@ TEST(Annotation, AllowTwoLinesAboveDoesNotSuppress) {
 )";
   auto fs = Lint1("src/core/x.cpp", src);
   EXPECT_EQ(CountRule(fs, "wallclock"), 1) << Dump(fs);
+}
+
+// ==== wal-record-coverage ====================================================
+
+TEST(WalRecordCoverage, FlagsMarkerWithMissingCodec) {
+  // kWalNote has a writer but no reader: appended records would be
+  // undecodable on recovery. Both missing directions are reported.
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kWalNote = 9;
+inline constexpr std::uint8_t kWalPing = 10;
+void WriteNoteRecord(Writer& w, const Rec& r) { w.U64(r.a); }
+)";
+  auto fs = Lint1("src/core/wal.h", src);
+  const int line_note = LineOf(src, "kWalNote");
+  const int line_ping = LineOf(src, "kWalPing");
+  EXPECT_TRUE(Has(fs, "wal-record-coverage", line_note)) << Dump(fs);
+  EXPECT_TRUE(Has(fs, "wal-record-coverage", line_ping)) << Dump(fs);
+  // kWalNote lacks only the reader; kWalPing lacks both.
+  EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 3) << Dump(fs);
+}
+
+TEST(WalRecordCoverage, CompletePairIsClean) {
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kWalNote = 9;
+void WriteNoteRecord(Writer& w, const Rec& r) { w.U64(r.a); }
+Rec ReadNoteRecord(Reader& r) { Rec out; out.a = r.U64(); return out; }
+)";
+  auto fs = Lint1("src/core/wal.h", src);
+  EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 0) << Dump(fs);
+}
+
+TEST(WalRecordCoverage, CodecsInSiblingFileCountAcrossTheBatch) {
+  // Markers in the header, codec definitions in the implementation file:
+  // coverage is a batch-wide property, like wire.h marker reservation.
+  const std::string hdr = R"(#include <cstdint>
+inline constexpr std::uint8_t kWalNote = 9;
+void WriteNoteRecord(Writer& w, const Rec& r);
+Rec ReadNoteRecord(Reader& r);
+)";
+  const std::string impl = R"(void WriteNoteRecord(Writer& w, const Rec& r) {}
+Rec ReadNoteRecord(Reader& r) { return {}; }
+)";
+  auto fs = Lint({SourceFile{"src/core/wal.h", hdr},
+                  SourceFile{"src/core/wal.cpp", impl}});
+  EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 0) << Dump(fs);
+}
+
+TEST(WalRecordCoverage, NonWalMarkersAreOutOfScope) {
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kWalrusByte = 9;
+inline constexpr std::uint8_t kRequest = 1;
+)";
+  auto fs = Lint1("src/net/wire.h", src);
+  EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 0) << Dump(fs);
+}
+
+TEST(WalRecordCoverage, SuppressedWithReason) {
+  const std::string src = R"(#include <cstdint>
+// fargolint: allow(wal-record-coverage) retired kind kept for old logs
+inline constexpr std::uint8_t kWalLegacy = 3;
+)";
+  auto fs = Lint1("src/core/wal.h", src);
+  EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 0) << Dump(fs);
 }
 
 // ==== output contract ========================================================

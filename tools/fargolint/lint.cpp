@@ -45,6 +45,10 @@ const RuleInfo kRules[] = {
     {"wire-dup-marker",
      "duplicate wire marker byte: two k-constants share a value, or a "
      "constant collides with a marker reserved in wire.h"},
+    {"wal-record-coverage",
+     "WAL record discriminator (kWal* constant) without a matching "
+     "Write<Kind>Record / Read<Kind>Record codec pair in the batch: a record "
+     "that can be logged but not replayed is silent data loss on recovery"},
     {"annotation",
      "malformed fargolint annotation: unknown directive or rule id, or an "
      "allow(...) without a written reason"},
@@ -806,6 +810,44 @@ void CheckMarkers(const std::vector<FileCtx>& files, std::vector<Finding>& out) 
   }
 }
 
+// ==== WAL record coverage ====================================================
+
+/// Every `constexpr std::uint8_t kWalXxx = N;` discriminator must have a
+/// `WriteXxxRecord` and a `ReadXxxRecord` function somewhere in the batch
+/// (an identifier followed by `(` — declaration, definition or call all
+/// count). The WAL's replay switch can only dispatch kinds that have a
+/// decoder; a marker with a writer but no reader appends records recovery
+/// cannot apply.
+void CheckWalRecordCoverage(const std::vector<FileCtx>& files,
+                            std::vector<Finding>& out) {
+  std::set<std::string> called;
+  for (const FileCtx& f : files) {
+    const std::vector<Token>& t = f.lx.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i)
+      if (t[i].kind == Tok::kIdent && IsPunct(t[i + 1], "("))
+        called.insert(t[i].text);
+  }
+  for (const FileCtx& f : files) {
+    for (const MarkerConst& m : CollectMarkers(f)) {
+      // `kWal` + an uppercase kind name; `kWalrusByte` is not a WAL marker.
+      if (m.name.rfind("kWal", 0) != 0 || m.name.size() <= 4 ||
+          !std::isupper(static_cast<unsigned char>(m.name[4])))
+        continue;
+      const std::string kind = m.name.substr(4);
+      for (const char* verb : {"Write", "Read"}) {
+        const std::string codec = verb + kind + "Record";
+        if (called.count(codec)) continue;
+        out.push_back(
+            {"wal-record-coverage", f.src->path, m.line,
+             "WAL record kind " + m.name + " has no " + codec +
+                 " in this batch: every kind needs a Write/Read codec pair "
+                 "or recovery cannot replay (or ever produce) it",
+             ExcerptAt(f.lx, m.line)});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ==== public API =============================================================
@@ -839,6 +881,7 @@ std::vector<Finding> Lint(const std::vector<SourceFile>& files) {
     CheckWireSymmetry(c, findings);
   }
   CheckMarkers(ctxs, findings);
+  CheckWalRecordCoverage(ctxs, findings);
 
   // Apply suppressions: an allow(rule) annotation covers findings on its own
   // line and the line directly below it.
