@@ -21,11 +21,13 @@
 namespace fargo::core {
 
 namespace {
-// kControl payload subkinds (home-registry protocol + heartbeats).
+// kControl payload subkinds (home-registry protocol + heartbeats + WAL
+// move-in pruning).
 constexpr std::uint8_t kCtrlHomeUpdate = 1;
 constexpr std::uint8_t kCtrlHomeQuery = 2;
 constexpr std::uint8_t kCtrlPing = 3;
 constexpr std::uint8_t kCtrlPong = 4;
+constexpr std::uint8_t kCtrlMoveAck = 5;
 }  // namespace
 
 Core::Core(Runtime& runtime, CoreId id, std::string name)
@@ -337,6 +339,25 @@ sim::Future<std::vector<std::uint8_t>> Core::SendAsync(
   rpc->corr = NextCorrelation();
   rpc->max_attempts = std::max(1, retry_policy_.max_attempts);
   pending_replies_[rpc->corr] = rpc;
+  if (wal_ && !wal_->SequencesDurable()) {
+    // Identity gate (docs/PROTOCOL.md §Durability): the correlation just
+    // minted (and any identities the payload carries) must sit below a
+    // durable kWalMeta promise before a peer may observe them — otherwise
+    // a crash can re-issue them and alias the peer's dedup cache. Hold the
+    // first attempt until the covering barrier settles.
+    const std::uint64_t epoch = restart_epoch_;
+    wal_->WhenSequencesDurable().OnSettle(
+        // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
+        [this, rpc, epoch](sim::Future<sim::Unit>) {
+          if (!alive_ || restart_epoch_ != epoch) {
+            rpc->promise.RejectWith(UnreachableError(
+                "core restarted before its identity barrier"));
+            return;
+          }
+          if (!rpc->promise.settled()) SendRpcAttempt(rpc);
+        });
+    return rpc->promise.future();
+  }
   SendRpcAttempt(rpc);
   return rpc->promise.future();
 }
@@ -719,9 +740,27 @@ void Core::HandleControl(net::Message msg) {
       if (detector_) detector_->OnPong(msg.from);
       return;
     }
+    case kCtrlMoveAck: {
+      // The source's commit record for this move txn is durable: it will
+      // never go in-doubt on it again, so the move-in mark can go.
+      movement_->DropMoveIn(msg.from, r.ReadVarint());
+      return;
+    }
     default:
       LogDebug() << "unknown control message at " << name_;
   }
+}
+
+void Core::SendMoveAck(CoreId dest, std::uint64_t txn) {
+  serial::Writer w;
+  w.WriteU8(kCtrlMoveAck);
+  w.WriteVarint(txn);
+  net::Message msg;
+  msg.from = id_;
+  msg.to = dest;
+  msg.kind = net::MessageKind::kControl;
+  msg.payload = w.Take();
+  network().Send(std::move(msg));
 }
 
 void Core::SendHeartbeatPing(CoreId peer) {

@@ -257,6 +257,12 @@ class Core {
   void Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
              std::vector<std::uint8_t> payload);
 
+  /// One-way, best-effort kCtrlMoveAck: tells the destination of move `txn`
+  /// that this source's COMMIT record is durable, so the destination can
+  /// prune its move-in mark (MovementUnit::DropMoveIn). A lost ack only
+  /// leaves the mark in place — never wrong, just unpruned.
+  void SendMoveAck(CoreId dest, std::uint64_t txn);
+
   /// Mints identity/correlation counters. On a durable Core both notify the
   /// WAL, which keeps a durable ceiling ahead of them so a restart can never
   /// re-issue a value a peer may already have seen.

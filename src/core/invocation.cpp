@@ -232,6 +232,29 @@ void InvocationUnit::ResumeAfterRoute(const std::shared_ptr<AsyncCall>& call,
 void InvocationUnit::BeginRemote(const std::shared_ptr<AsyncCall>& call) {
   call->corr = core_.NextCorrelation();
   waiters_[call->corr] = call;
+  Wal* wal = core_.wal();
+  if (wal != nullptr && !wal->SequencesDurable()) {
+    // Identity gate (docs/PROTOCOL.md §Durability): the correlation just
+    // minted must sit below a durable kWalMeta promise before a peer can
+    // observe it — a crash now would let recovery re-issue it, and the
+    // executor's dedup cache would answer the new call with a stale reply.
+    // Hold the first attempt until the covering barrier settles.
+    const std::uint64_t epoch = core_.restart_epoch();
+    wal->WhenSequencesDurable().OnSettle(
+        // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+        [this, call, epoch](sim::Future<sim::Unit>) {
+          if (!core_.alive() || core_.restart_epoch() != epoch) {
+            if (!call->promise.settled())
+              FinalizeError(call,
+                            std::make_exception_ptr(UnreachableError(
+                                "core restarted before its identity barrier")),
+                            monitor::SpanOutcome::kTransportError);
+            return;
+          }
+          if (!call->promise.settled()) SendAttempt(call);
+        });
+    return;
+  }
   SendAttempt(call);
 }
 
@@ -393,6 +416,20 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
   // The correlation only keys executor-side dedup; no reply ever comes back.
   msg.correlation = core_.NextCorrelation();
   msg.payload = wire::EncodeInvokeRequest(rq);
+  Wal* wal = core_.wal();
+  if (wal != nullptr && !wal->SequencesDurable()) {
+    // Identity gate, oneway flavor: the dedup key must sit below a durable
+    // ceiling before the executor sees it. Dropping the send on restart is
+    // within the oneway best-effort contract.
+    const std::uint64_t epoch = core_.restart_epoch();
+    wal->WhenSequencesDurable().OnSettle(
+        // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+        [this, epoch, msg = std::move(msg)](sim::Future<sim::Unit>) mutable {
+          if (!core_.alive() || core_.restart_epoch() != epoch) return;
+          core_.network().Send(std::move(msg));
+        });
+    return;
+  }
   core_.network().Send(std::move(msg));
 }
 

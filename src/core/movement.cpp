@@ -272,17 +272,48 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
           serial::Reader r(f.value());  // rethrows a transport failure
           wire::CheckOk(r);
         } catch (...) {
-          // Roll back: the complets never left. The abort record only needs
-          // appending, not flushing: if it is lost in a crash, recovery
-          // re-resolves the still-open prepare against the destination and
-          // converges on the same abort.
-          if (wal != nullptr && pending->txn != 0)
+          // Roll back: the complets never left. A durable source may only
+          // resume serving them once the abort record is *durable*. A
+          // timeout here does not mean the destination failed to install —
+          // only that the reply was lost; the destination may hold a
+          // move-in mark for this txn. If the rollback served ops and then
+          // crashed with the abort record still volatile, recovery would
+          // find the prepare open, ask the destination, hear "installed",
+          // and falsely COMMIT — dropping every op applied since the
+          // rollback. Reinstall strictly above the abort barrier.
+          if (wal != nullptr && pending->txn != 0) {
             wal->AppendAbort(pending->txn);
+            std::exception_ptr why = std::current_exception();
+            wal->Sync().OnSettle(
+                // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+                [this, pending, done, why,
+                 settle_epoch](sim::Future<sim::Unit>) mutable {
+                  if (!core_.alive() ||
+                      core_.restart_epoch() != settle_epoch) {
+                    // Crash mid-barrier: recovery owns the outcome (commit
+                    // or abort, resolved against the destination).
+                    done.Reject(std::make_exception_ptr(UnreachableError(
+                        "source core restarted during move rollback")));
+                    return;
+                  }
+                  for (const Departing& d : pending->departing) {
+                    core_.repository().Add(d.id, d.anchor);
+                    core_.trackers().SetLocal(d.id, *d.anchor, d.type);
+                  }
+                  core_.tracer().CloseSpan(
+                      pending->mv.token, core_.scheduler().Now(),
+                      monitor::SpanOutcome::kTransportError, 0,
+                      pending->bytes);
+                  done.Reject(why);
+                });
+            return;
+          }
+          // Non-durable source: no recovery will ever second-guess this
+          // rollback, so the complets can come back immediately.
           for (const Departing& d : pending->departing) {
             core_.repository().Add(d.id, d.anchor);
             core_.trackers().SetLocal(d.id, *d.anchor, d.type);
           }
-          if (wal != nullptr) wal->LazySync();
           tracer.CloseSpan(pending->mv.token, core_.scheduler().Now(),
                            monitor::SpanOutcome::kTransportError, 0,
                            pending->bytes);
@@ -291,7 +322,17 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
         }
         if (wal != nullptr && pending->txn != 0) {
           wal->AppendCommit(pending->txn);
-          wal->LazySync();
+          const std::uint64_t txn = pending->txn;
+          wal->Sync().OnSettle(
+              // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+              [this, dest, txn, settle_epoch](sim::Future<sim::Unit>) {
+                if (!core_.alive() || core_.restart_epoch() != settle_epoch)
+                  return;
+                // The commit is durable: this source can never go in-doubt
+                // on the txn again, so the destination may prune its
+                // move-in mark.
+                core_.SendMoveAck(dest, txn);
+              });
         }
         const SimTime move_end = core_.scheduler().Now();
         tracer.CloseSpan(pending->mv.token, move_end,
@@ -426,6 +467,18 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
   std::uint64_t txn = r.ReadVarint();
   std::uint64_t count = r.ReadVarint();
 
+  // A stream for a tombstoned txn lost a race with its own source's
+  // recovery: the source already heard "not installed" from us and
+  // reinstalled the complets, so installing this (chaos-delayed or
+  // duplicated) copy would duplicate them. Refuse it.
+  if (txn != 0 && IsDeadTxn(msg.from, txn)) {
+    serial::Writer err;
+    wire::WriteError(err, "move txn resolved aborted by recovery");
+    core_.Reply(msg.from, net::MessageKind::kMoveReply, msg.correlation,
+                err.Take());
+    return;
+  }
+
   std::vector<DecodedSection> installed;
   std::vector<ComletId> arrived;
   std::string continuation;
@@ -500,12 +553,45 @@ void MovementUnit::RecordMoveIn(CoreId from, std::uint64_t txn) {
   if (Wal* wal = core_.wal()) wal->AppendMoveIn(from, txn);
 }
 
+void MovementUnit::DropMoveIn(CoreId from, std::uint64_t txn) {
+  if (move_ins_.erase({from.value, txn}) == 0) return;
+  if (Wal* wal = core_.wal()) {
+    wal->AppendMoveInAck(from, txn);
+    wal->LazySync();
+  }
+}
+
+void MovementUnit::RecordDeadTxn(CoreId from, std::uint64_t txn) {
+  if (!dead_txns_.insert({from.value, txn}).second) return;
+  if (Wal* wal = core_.wal()) wal->AppendMoveDead(from, txn);
+}
+
 void MovementUnit::HandleRecoveryQuery(const net::Message& msg) {
   serial::Reader r(msg.payload);
   const std::uint64_t txn = r.ReadVarint();
+  const bool installed = WasMovedIn(msg.from, txn);
+  // The answer is a promise either way: "installed" lets the source drop
+  // its staged stream forever, "not installed" makes it reinstall and
+  // resume serving — after which a late copy of the stream must never
+  // install here (the tombstone). Neither promise may outrun this Core's
+  // own durability, so the reply waits for a barrier covering the
+  // install records (installed) or the tombstone (not).
+  if (!installed) RecordDeadTxn(msg.from, txn);
   serial::Writer w;
   wire::WriteOk(w);
-  w.WriteBool(WasMovedIn(msg.from, txn));
+  w.WriteBool(installed);
+  if (Wal* wal = core_.wal()) {
+    const CoreId from = msg.from;
+    const std::uint64_t corr = msg.correlation;
+    const std::uint64_t epoch = core_.restart_epoch();
+    wal->Sync().OnSettle(
+        // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+        [this, from, corr, epoch, reply = w.Take()](sim::Future<sim::Unit>) {
+          if (!core_.alive() || core_.restart_epoch() != epoch) return;
+          core_.Reply(from, net::MessageKind::kRecoveryReply, corr, reply);
+        });
+    return;
+  }
   core_.Reply(msg.from, net::MessageKind::kRecoveryReply, msg.correlation,
               w.Take());
 }

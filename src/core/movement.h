@@ -78,12 +78,30 @@ class MovementUnit {
   /// Marks a movement transaction as installed at this (destination) Core;
   /// durable Cores log it (kWalMoveIn). Idempotent.
   void RecordMoveIn(CoreId from, std::uint64_t txn);
+  /// Prunes a move-in mark once the source says its commit record is
+  /// durable (kCtrlMoveAck): the source will never query that txn again.
+  /// Durable Cores log the drop (kWalMoveInAck) so replay converges on the
+  /// pruned set. Idempotent.
+  void DropMoveIn(CoreId from, std::uint64_t txn);
   bool WasMovedIn(CoreId from, std::uint64_t txn) const {
     return move_ins_.contains({from.value, txn});
+  }
+  /// Tombstones a movement transaction at this (destination) Core: it was
+  /// resolved "never installed" by the source's recovery, so a late copy of
+  /// its stream must be rejected rather than installed — the source has
+  /// already reinstalled the complets. Durable Cores log it (kWalMoveDead).
+  /// Idempotent.
+  void RecordDeadTxn(CoreId from, std::uint64_t txn);
+  bool IsDeadTxn(CoreId from, std::uint64_t txn) const {
+    return dead_txns_.contains({from.value, txn});
   }
   /// (source core value, txn), ordered — WAL checkpoints walk this.
   const std::set<std::pair<std::uint32_t, std::uint64_t>>& move_ins() const {
     return move_ins_;
+  }
+  /// Tombstoned transactions, same keying — WAL checkpoints walk this too.
+  const std::set<std::pair<std::uint32_t, std::uint64_t>>& dead_txns() const {
+    return dead_txns_;
   }
 
   /// Reinstalls the non-duplicate sections of a staged migration stream
@@ -91,7 +109,10 @@ class MovementUnit {
   void ReinstallFromStream(const std::vector<std::uint8_t>& stream);
 
   /// Drops volatile movement state (Core restart).
-  void Reset() { move_ins_.clear(); }
+  void Reset() {
+    move_ins_.clear();
+    dead_txns_.clear();
+  }
 
   const MoveStats& last_move_stats() const { return stats_; }
 
@@ -125,8 +146,20 @@ class MovementUnit {
   MoveStats stats_;
   /// Movement transactions installed here, keyed (source value, txn).
   /// Exactly-once anchor for crash recovery: a recovering source commits
-  /// or aborts its in-doubt prepares by whether its txn appears here.
+  /// or aborts its in-doubt prepares by whether its txn appears here. A
+  /// mark lives until the source acknowledges its commit is durable
+  /// (DropMoveIn), so the set holds only moves whose source could still
+  /// ask — not one permanent entry per inbound move. Marks from a source
+  /// that rolled back without crashing (the lost-reply ambiguity) are never
+  /// acked and stay; txn ids are never reused, so they are inert.
   std::set<std::pair<std::uint32_t, std::uint64_t>> move_ins_;
+  /// Transactions this Core promised never to install (answered "not
+  /// installed" to a kRecoveryQuery): a chaos-delayed or duplicated move
+  /// stream arriving after that answer is rejected, not installed — the
+  /// source's recovery already reinstalled the complets, so installing here
+  /// would duplicate them. Never pruned: only crashed moves mint entries,
+  /// and dropping one would re-open the late-stream window.
+  std::set<std::pair<std::uint32_t, std::uint64_t>> dead_txns_;
 };
 
 }  // namespace fargo::core

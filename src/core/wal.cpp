@@ -34,6 +34,8 @@ const char* WalKindName(std::uint8_t kind) {
     case kWalAbort: return "abort";
     case kWalMoveIn: return "move-in";
     case kWalRemove: return "remove";
+    case kWalMoveInAck: return "move-in-ack";
+    case kWalMoveDead: return "move-dead";
     default: return "unknown";
   }
 }
@@ -127,12 +129,14 @@ WalRecord ReadHomeRecord(serial::Reader& r) {
 void WriteMetaRecord(serial::Writer& w, const WalRecord& r) {
   w.WriteVarint(r.comlet_seq);
   w.WriteVarint(r.correlation_seq);
+  w.WriteVarint(r.txn_seq);
 }
 
 WalRecord ReadMetaRecord(serial::Reader& r) {
   WalRecord rec;
   rec.comlet_seq = r.ReadVarint();
   rec.correlation_seq = r.ReadVarint();
+  rec.txn_seq = r.ReadVarint();
   return rec;
 }
 
@@ -209,6 +213,30 @@ WalRecord ReadRemoveRecord(serial::Reader& r) {
   return rec;
 }
 
+void WriteMoveInAckRecord(serial::Writer& w, const WalRecord& r) {
+  wire::WriteCoreId(w, r.peer);
+  w.WriteVarint(r.txn);
+}
+
+WalRecord ReadMoveInAckRecord(serial::Reader& r) {
+  WalRecord rec;
+  rec.peer = wire::ReadCoreId(r);
+  rec.txn = r.ReadVarint();
+  return rec;
+}
+
+void WriteMoveDeadRecord(serial::Writer& w, const WalRecord& r) {
+  wire::WriteCoreId(w, r.peer);
+  w.WriteVarint(r.txn);
+}
+
+WalRecord ReadMoveDeadRecord(serial::Reader& r) {
+  WalRecord rec;
+  rec.peer = wire::ReadCoreId(r);
+  rec.txn = r.ReadVarint();
+  return rec;
+}
+
 std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r) {
   serial::Writer w;
   w.WriteU8(r.kind);
@@ -225,6 +253,8 @@ std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r) {
     case kWalAbort: WriteAbortRecord(w, r); break;
     case kWalMoveIn: WriteMoveInRecord(w, r); break;
     case kWalRemove: WriteRemoveRecord(w, r); break;
+    case kWalMoveInAck: WriteMoveInAckRecord(w, r); break;
+    case kWalMoveDead: WriteMoveDeadRecord(w, r); break;
     default:
       throw FargoError("cannot encode wal record of unknown kind " +
                        std::to_string(r.kind));
@@ -249,6 +279,8 @@ WalRecord DecodeWalRecord(const std::vector<std::uint8_t>& bytes) {
     case kWalAbort: rec = ReadAbortRecord(r); break;
     case kWalMoveIn: rec = ReadMoveInRecord(r); break;
     case kWalRemove: rec = ReadRemoveRecord(r); break;
+    case kWalMoveInAck: rec = ReadMoveInAckRecord(r); break;
+    case kWalMoveDead: rec = ReadMoveDeadRecord(r); break;
     default:
       throw serial::SerialError("wal record of unknown kind " +
                                 std::to_string(kind));
@@ -424,6 +456,39 @@ void Wal::AppendMoveIn(CoreId from, std::uint64_t txn) {
   Append(rec);
 }
 
+void Wal::AppendMoveInAck(CoreId from, std::uint64_t txn) {
+  if (replaying_) return;
+  WalRecord rec;
+  rec.kind = kWalMoveInAck;
+  rec.peer = from;
+  rec.txn = txn;
+  Append(rec);
+}
+
+void Wal::AppendMoveDead(CoreId from, std::uint64_t txn) {
+  if (replaying_) return;
+  WalRecord rec;
+  rec.kind = kWalMoveDead;
+  rec.peer = from;
+  rec.txn = txn;
+  Append(rec);
+}
+
+std::uint64_t Wal::NextTxnId() {
+  const std::uint64_t txn = ++next_txn_;
+  if (!replaying_ && txn >= txn_floor_) {
+    // Promise a new ceiling before the txn can exist anywhere: the meta
+    // record lands in the log ahead of the Prepare, so the barrier that
+    // releases the move stream makes it durable first. A destination can
+    // therefore only ever hold move-in marks for txns below a durable
+    // ceiling, and recovery (which re-mints above that ceiling) can never
+    // alias an old mark with a new move.
+    txn_floor_ = txn + kSeqStride;
+    AppendMetaAndSync();
+  }
+  return txn;
+}
+
 void Wal::NoteSequences(std::uint64_t comlet_seq,
                         std::uint64_t correlation_seq) {
   if (replaying_) return;
@@ -433,12 +498,67 @@ void Wal::NoteSequences(std::uint64_t comlet_seq,
     comlet_seq_floor_ = comlet_seq + kSeqStride;
   if (correlation_seq >= correlation_floor_)
     correlation_floor_ = correlation_seq + kSeqStride;
+  AppendMetaAndSync();
+}
+
+void Wal::AppendMetaAndSync() {
   WalRecord rec;
   rec.kind = kWalMeta;
   rec.comlet_seq = comlet_seq_floor_;
   rec.correlation_seq = correlation_floor_;
+  rec.txn_seq = txn_floor_;
   Append(rec);
-  LazySync();
+  const std::uint64_t comlet_promise = comlet_seq_floor_;
+  const std::uint64_t correlation_promise = correlation_floor_;
+  const std::uint64_t epoch = core_.restart_epoch_;
+  ++metas_in_flight_;
+  Sync().OnSettle(
+      // fargolint: allow(capture-this) the Core owns its Wal and outlives the cleared event queue
+      [this, comlet_promise, correlation_promise, epoch](sim::Future<sim::Unit>) {
+        if (!core_.alive_ || core_.restart_epoch_ != epoch) return;
+        --metas_in_flight_;
+        durable_comlet_floor_ = std::max(durable_comlet_floor_, comlet_promise);
+        durable_correlation_floor_ =
+            std::max(durable_correlation_floor_, correlation_promise);
+        DrainSeqWaiters();
+      });
+}
+
+bool Wal::SequencesDurable() const {
+  return core_.next_comlet_seq_ < durable_comlet_floor_ &&
+         core_.next_correlation_ < durable_correlation_floor_;
+}
+
+sim::Future<sim::Unit> Wal::WhenSequencesDurable() {
+  if (SequencesDurable())
+    return sim::MakeReadyFuture(core_.scheduler(), sim::Unit{});
+  seq_waiters_.push_back(SeqWaiter{core_.next_comlet_seq_,
+                                   core_.next_correlation_,
+                                   sim::Promise<sim::Unit>(core_.scheduler())});
+  sim::Future<sim::Unit> f = seq_waiters_.back().done.future();
+  // The promised floors always sit above the counters (every mint past one
+  // re-promises), but the covering record may live only in a checkpoint
+  // sidecar — make sure a *log* barrier carrying them is in flight.
+  if (metas_in_flight_ == 0) AppendMetaAndSync();
+  return f;
+}
+
+void Wal::DrainSeqWaiters() {
+  // In arrival order for determinism; unsatisfied waiters stay queued for
+  // the next barrier.
+  std::vector<SeqWaiter> keep;
+  for (SeqWaiter& w : seq_waiters_) {
+    if (w.comlet_seq < durable_comlet_floor_ &&
+        w.correlation_seq < durable_correlation_floor_) {
+      w.done.Resolve(sim::Unit{});
+    } else {
+      keep.push_back(std::move(w));
+    }
+  }
+  seq_waiters_ = std::move(keep);
+  // Leftover waiters need a barrier promising more than any currently in
+  // flight delivered; re-promise so they cannot strand.
+  if (!seq_waiters_.empty() && metas_in_flight_ == 0) AppendMetaAndSync();
 }
 
 sim::Future<sim::Unit> Wal::Sync() {
@@ -502,14 +622,28 @@ std::vector<std::vector<std::uint8_t>> Wal::SidecarRecords() {
     out.push_back(EncodeWalRecord(rec));
   }
 
+  for (const auto& [from, txn] : core_.movement().dead_txns()) {
+    WalRecord rec;
+    rec.kind = kWalMoveDead;
+    rec.peer = CoreId{from};
+    rec.txn = txn;
+    out.push_back(EncodeWalRecord(rec));
+  }
+
   WalRecord meta;
   meta.kind = kWalMeta;
   meta.comlet_seq =
       std::max(comlet_seq_floor_, core_.next_comlet_seq_ + kSeqStride);
   meta.correlation_seq =
       std::max(correlation_floor_, core_.next_correlation_ + kSeqStride);
+  // The txn ceiling must survive checkpoint truncation of resolved
+  // Prepare/Commit/Abort records: without it a restarted source re-mints an
+  // old txn id and the destination's move-in set answers an in-doubt query
+  // for the new move with the old move's verdict.
+  meta.txn_seq = std::max(txn_floor_, next_txn_ + kSeqStride);
   comlet_seq_floor_ = meta.comlet_seq;
   correlation_floor_ = meta.correlation_seq;
+  txn_floor_ = meta.txn_seq;
   out.push_back(EncodeWalRecord(meta));
   return out;
 }
@@ -547,6 +681,11 @@ void Wal::Checkpoint() {
 void Wal::OnCrash() {
   checkpoint_armed_ = false;  // the pending task epoch-guards itself away
   lazy_sync_armed_ = false;
+  metas_in_flight_ = 0;  // in-flight barriers epoch-guard themselves away
+  // Release gated requests: their continuations see the dead Core (or the
+  // bumped epoch) and reject rather than send.
+  for (SeqWaiter& w : seq_waiters_) w.done.Resolve(sim::Unit{});
+  seq_waiters_.clear();
   storage_.DropVolatile(name_);
   storage_.DropVolatile(CheckpointBlobName());
 }
@@ -557,6 +696,9 @@ void Wal::Recover() {
   open_txns_.clear();
   comlet_seq_floor_ = 0;
   correlation_floor_ = 0;
+  txn_floor_ = 0;
+  durable_comlet_floor_ = 0;
+  durable_correlation_floor_ = 0;
   next_txn_ = 0;
   replay_covered_ = 0;
 
@@ -584,21 +726,22 @@ void Wal::Recover() {
   ++recoveries_;
 
   // Re-mint identities and correlations above every durable promise, plus
-  // one extra stride: the latest meta record may have died in the volatile
-  // tail, and a reused correlation would let a peer's dedup cache answer a
-  // new request with a stale cached reply.
+  // one extra stride for defense in depth. Nothing the restarted Core mints
+  // can leave it before the fresh promise below is durable (the request
+  // gate holds SendAsync, the reply barrier holds replies, and the prepare
+  // barrier holds move streams), so even a burst of mints that outran every
+  // pre-crash barrier cannot be re-issued to a peer that saw them.
   core_.next_comlet_seq_ =
       std::max(core_.next_comlet_seq_, comlet_seq_floor_) + kSeqStride;
   core_.next_correlation_ =
       std::max(core_.next_correlation_, correlation_floor_) + kSeqStride;
+  // Movement txns need no extra stride: a txn is only ever exposed after
+  // the prepare barrier, which covers the mint-time promise.
+  next_txn_ = std::max(next_txn_, txn_floor_);
   comlet_seq_floor_ = core_.next_comlet_seq_ + kSeqStride;
   correlation_floor_ = core_.next_correlation_ + kSeqStride;
-  WalRecord meta;
-  meta.kind = kWalMeta;
-  meta.comlet_seq = comlet_seq_floor_;
-  meta.correlation_seq = correlation_floor_;
-  Append(meta);
-  Sync();
+  txn_floor_ = next_txn_ + kSeqStride;
+  AppendMetaAndSync();
 
   // Home-registry sweep: everything hosted here again is re-announced so
   // severed references can re-route (origin complets just update locally).
@@ -655,6 +798,7 @@ void Wal::ApplyRecord(const WalRecord& rec, std::uint64_t index) {
     case kWalMeta:
       comlet_seq_floor_ = std::max(comlet_seq_floor_, rec.comlet_seq);
       correlation_floor_ = std::max(correlation_floor_, rec.correlation_seq);
+      txn_floor_ = std::max(txn_floor_, rec.txn_seq);
       break;
     case kWalPrepare: {
       next_txn_ = std::max(next_txn_, rec.txn);
@@ -688,6 +832,12 @@ void Wal::ApplyRecord(const WalRecord& rec, std::uint64_t index) {
     }
     case kWalMoveIn:
       core_.movement().RecordMoveIn(rec.peer, rec.txn);
+      break;
+    case kWalMoveInAck:
+      core_.movement().DropMoveIn(rec.peer, rec.txn);
+      break;
+    case kWalMoveDead:
+      core_.movement().RecordDeadTxn(rec.peer, rec.txn);
       break;
     case kWalRemove:
       if (!pre_image) {
@@ -748,7 +898,19 @@ void Wal::QueryInDoubt(std::uint64_t txn, int attempt,
           }
           if (parsed) {
             if (committed) {
+              const CoreId commit_dest = open->second.dest;
               AppendCommit(txn);
+              // Once the commit is durable this source will never ask about
+              // the txn again — tell the destination so it can prune its
+              // move-in mark (movement.h).
+              Sync().OnSettle(
+                  // fargolint: allow(capture-this) the Core owns its Wal and outlives the cleared event queue
+                  [this, commit_dest, txn, epoch](sim::Future<sim::Unit>) {
+                    if (!core_.alive_ || core_.restart_epoch_ != epoch) return;
+                    core_.SendMoveAck(commit_dest, txn);
+                  });
+              FinishRecovery(remaining, began);
+              return;
             } else {
               // The destination never installed it: the move is off, the
               // staged image is the complet.

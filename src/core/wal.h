@@ -58,6 +58,8 @@ inline constexpr std::uint8_t kWalCommit = 9;   ///< move txn acked by dest
 inline constexpr std::uint8_t kWalAbort = 10;   ///< move txn rolled back
 inline constexpr std::uint8_t kWalMoveIn = 11;  ///< move txn installed (dest)
 inline constexpr std::uint8_t kWalRemove = 12;  ///< complet un-hosted (unwind)
+inline constexpr std::uint8_t kWalMoveInAck = 13;  ///< move-in mark pruned (dest)
+inline constexpr std::uint8_t kWalMoveDead = 14;  ///< txn tombstoned (dest)
 
 const char* WalKindName(std::uint8_t kind);
 
@@ -83,8 +85,9 @@ struct WalRecord {
 
   std::uint64_t comlet_seq = 0;      ///< meta: ComletId ceiling
   std::uint64_t correlation_seq = 0; ///< meta: correlation ceiling
+  std::uint64_t txn_seq = 0;         ///< meta: movement txn ceiling
 
-  std::uint64_t txn = 0;      ///< prepare/commit/abort/move-in
+  std::uint64_t txn = 0;      ///< prepare/commit/abort/move-in/move-in-ack
   CoreId dest;                ///< prepare
   ComletId primary;           ///< prepare
   /// prepare: (id, anchor type) of every non-duplicate section.
@@ -118,6 +121,10 @@ void WriteMoveInRecord(serial::Writer& w, const WalRecord& r);
 WalRecord ReadMoveInRecord(serial::Reader& r);
 void WriteRemoveRecord(serial::Writer& w, const WalRecord& r);
 WalRecord ReadRemoveRecord(serial::Reader& r);
+void WriteMoveInAckRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadMoveInAckRecord(serial::Reader& r);
+void WriteMoveDeadRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadMoveDeadRecord(serial::Reader& r);
 
 /// Kind byte + per-kind body.
 std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r);
@@ -149,20 +156,36 @@ class Wal {
   /// for (or stayed at) `peer`, so the local tracker forwards there.
   void AppendRemove(ComletId comlet, CoreId peer, const std::string& anchor_type);
 
-  /// Mints the next movement transaction id (durable across restarts: ids
-  /// restart above the highest id seen in the replayed log).
-  std::uint64_t NextTxnId() { return ++next_txn_; }
+  /// Mints the next movement transaction id. Never reused across restarts:
+  /// crossing the durable ceiling logs a new kWalMeta promise, which the
+  /// prepare barrier makes durable before the txn can reach the destination
+  /// — so a recovered Core re-mints strictly above every id a destination's
+  /// move-in set could answer for.
+  std::uint64_t NextTxnId();
   void AppendPrepare(std::uint64_t txn, ComletId primary, CoreId dest,
                      std::vector<std::pair<ComletId, std::string>> departing,
                      std::vector<std::uint8_t> stream);
   void AppendCommit(std::uint64_t txn);
   void AppendAbort(std::uint64_t txn);
   void AppendMoveIn(CoreId from, std::uint64_t txn);
+  void AppendMoveInAck(CoreId from, std::uint64_t txn);
+  void AppendMoveDead(CoreId from, std::uint64_t txn);
 
   /// Called by the Core whenever it mints a ComletId or correlation: keeps
   /// a durable ceiling ahead of both counters so a restarted Core can never
   /// re-issue an identity or correlation a peer may have already seen.
   void NoteSequences(std::uint64_t comlet_seq, std::uint64_t correlation_seq);
+
+  /// True once every identity/correlation minted so far sits below a
+  /// *durable* kWalMeta promise. While false, outbound requests are held
+  /// (Core::SendAsync) — a burst of mints can outrun any number of in-flight
+  /// promises, and a correlation a peer saw before its promise was durable
+  /// would be re-issued after a crash (stale dedup replies).
+  bool SequencesDurable() const;
+  /// Settles once SequencesDurable() holds for the counters as of this call
+  /// (a barrier covering the latest promise lands). Settles on crash too;
+  /// callers guard with the restart epoch.
+  sim::Future<sim::Unit> WhenSequencesDurable();
 
   // ==== durability ===========================================================
 
@@ -210,6 +233,10 @@ class Wal {
 
   /// Encodes and appends; returns the record's absolute log index.
   std::uint64_t Append(const WalRecord& rec);
+  /// Appends a kWalMeta with the current floors and arms a barrier that, on
+  /// settlement, advances the durable floors and releases gated requests.
+  void AppendMetaAndSync();
+  void DrainSeqWaiters();
   void ApplyRecord(const WalRecord& rec, std::uint64_t index);
   std::string CheckpointBlobName() const;
   /// Log-truncation survivors that SaveCoreImage does not capture —
@@ -239,11 +266,28 @@ class Wal {
   // Ordered: in-doubt resolution and truncation clamping iterate this.
   std::map<std::uint64_t, OpenTxn> open_txns_;
 
-  /// Durable ceilings promised by the last kWalMeta record; identities and
-  /// correlations are re-minted above these after a restart.
+  /// Ceilings promised by the last *appended* kWalMeta record; identities,
+  /// correlations, and movement txns are re-minted above these after a
+  /// restart.
   static constexpr std::uint64_t kSeqStride = 1 << 16;
   std::uint64_t comlet_seq_floor_ = 0;
   std::uint64_t correlation_floor_ = 0;
+  std::uint64_t txn_floor_ = 0;
+
+  /// Ceilings whose kWalMeta record a settled barrier covers. Counter
+  /// values below these can never be re-issued after a crash; values above
+  /// them must not leave the Core yet (SequencesDurable / the request gate).
+  std::uint64_t durable_comlet_floor_ = 0;
+  std::uint64_t durable_correlation_floor_ = 0;
+  /// Requests held until the durable floors pass their captured counters.
+  struct SeqWaiter {
+    std::uint64_t comlet_seq;
+    std::uint64_t correlation_seq;
+    sim::Promise<sim::Unit> done;
+  };
+  std::vector<SeqWaiter> seq_waiters_;
+  /// kWalMeta barriers issued but not yet settled: waiter progress guard.
+  int metas_in_flight_ = 0;
 
   bool checkpoint_armed_ = false;
   SimTime checkpoint_interval_ = 0;

@@ -84,10 +84,12 @@ TEST_F(WalTest, EveryRecordKindRoundTrips) {
   meta.kind = core::kWalMeta;
   meta.comlet_seq = 1u << 20;
   meta.correlation_seq = 1u << 21;
+  meta.txn_seq = 1u << 22;
   got = DecodeWalRecord(EncodeWalRecord(meta));
   EXPECT_EQ(got.kind, core::kWalMeta);
   EXPECT_EQ(got.comlet_seq, meta.comlet_seq);
   EXPECT_EQ(got.correlation_seq, meta.correlation_seq);
+  EXPECT_EQ(got.txn_seq, meta.txn_seq);
 
   WalRecord prepare;
   prepare.kind = core::kWalPrepare;
@@ -128,6 +130,24 @@ TEST_F(WalTest, EveryRecordKindRoundTrips) {
   EXPECT_EQ(got.kind, core::kWalMoveIn);
   EXPECT_EQ(got.peer, peer);
   EXPECT_EQ(got.txn, 7u);
+
+  WalRecord moveinack;
+  moveinack.kind = core::kWalMoveInAck;
+  moveinack.peer = peer;
+  moveinack.txn = 7;
+  got = DecodeWalRecord(EncodeWalRecord(moveinack));
+  EXPECT_EQ(got.kind, core::kWalMoveInAck);
+  EXPECT_EQ(got.peer, peer);
+  EXPECT_EQ(got.txn, 7u);
+
+  WalRecord movedead;
+  movedead.kind = core::kWalMoveDead;
+  movedead.peer = peer;
+  movedead.txn = 8;
+  got = DecodeWalRecord(EncodeWalRecord(movedead));
+  EXPECT_EQ(got.kind, core::kWalMoveDead);
+  EXPECT_EQ(got.peer, peer);
+  EXPECT_EQ(got.txn, 8u);
 
   WalRecord remove;
   remove.kind = core::kWalRemove;
@@ -255,6 +275,109 @@ TEST_F(WalTest, CheckpointTruncatesTheLogAndRecoveryStillWorks) {
   auto ref = cores[0]->RefTo<Counter>(
       ComletHandle{counter.target(), cores[0]->id(), "test.Counter"});
   EXPECT_EQ(ref.Invoke<std::int64_t>("get"), 40);
+}
+
+TEST_F(WalTest, TxnIdsRestartAboveTheCeilingAfterCheckpoint) {
+  // Checkpoints truncate the resolved Prepare/Commit records a txn counter
+  // could be rebuilt from; the ceiling must survive in the sidecar kMeta so
+  // a restarted source never reuses a txn id a destination's move-in set
+  // still remembers (a reuse would turn an in-doubt abort into a false
+  // commit).
+  auto cores = MakeCores(2);
+  cores[0]->EnableWal();
+  cores[1]->EnableWal();
+  auto counter = cores[0]->New<Counter>();
+  rt.RunUntilIdle();
+  cores[0]->MoveAsync(counter, cores[1]->id());
+  rt.RunUntilIdle();
+
+  Wal& wal = *cores[0]->wal();
+  const std::uint64_t seen = wal.NextTxnId();  // >= every txn a peer saw
+  wal.Checkpoint();
+  rt.RunUntilIdle();
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+  EXPECT_GT(cores[0]->wal()->NextTxnId(), seen);
+}
+
+TEST_F(WalTest, MoveInMarksArePrunedOnceTheSourceCommitIsDurable) {
+  // The destination's move-in set anchors in-doubt resolution, but a mark
+  // only matters while the source could still ask. After the source's
+  // commit record is durable it acks (kCtrlMoveAck) and the mark is
+  // dropped — and the drop is logged, so a destination restart converges
+  // on the pruned set rather than resurrecting it.
+  auto cores = MakeCores(2);
+  cores[0]->EnableWal();
+  cores[1]->EnableWal();
+  auto counter = cores[0]->New<Counter>();
+  rt.RunUntilIdle();
+  cores[0]->MoveAsync(counter, cores[1]->id());
+  rt.RunUntilIdle();
+
+  EXPECT_TRUE(cores[1]->repository().Contains(counter.target()));
+  EXPECT_TRUE(cores[1]->movement().move_ins().empty());
+
+  cores[1]->Crash();
+  cores[1]->Restart();
+  rt.RunUntilIdle();
+  EXPECT_TRUE(cores[1]->movement().move_ins().empty());
+}
+
+TEST_F(WalTest, RecoveryQueryOvertakingTheMoveStreamPlantsATombstone) {
+  // The in-doubt race: the source crashes just after sending its move
+  // stream, restarts, and its recovery query overtakes the still-in-flight
+  // stream (the network reorders arbitrarily). The destination's "not
+  // installed" answer must also durably promise "and I never will" — when
+  // the stream finally lands it has to be rejected, or the reinstalled
+  // source copy would be silently duplicated (and whichever copy later
+  // loses a collapse race takes its applied operations with it).
+  auto cores = MakeCores(2);
+  cores[0]->EnableWal();
+  cores[1]->EnableWal();
+  auto counter = cores[0]->New<Counter>();
+  counter.Call("increment", {Value(7)});
+  rt.RunUntilIdle();
+
+  rt.network().SetLinkOneWay(cores[0]->id(), cores[1]->id(),
+                             net::LinkModel{Millis(80), 1.25e6, true});
+  cores[0]->MoveAsync(counter, cores[1]->id());
+  rt.RunFor(Millis(5));  // prepare durable, stream in flight (80ms away)
+  cores[0]->Crash();
+  rt.network().SetLinkOneWay(cores[0]->id(), cores[1]->id(),
+                             net::LinkModel{Millis(5), 1.25e6, true});
+  cores[0]->Restart();  // the query overtakes the stream on the fast link
+  rt.RunUntilIdle();
+
+  EXPECT_TRUE(cores[0]->repository().Contains(counter.target()));
+  EXPECT_FALSE(cores[1]->repository().Contains(counter.target()));
+  auto ref = cores[0]->RefTo<Counter>(
+      ComletHandle{counter.target(), cores[0]->id(), "test.Counter"});
+  EXPECT_EQ(ref.Invoke<std::int64_t>("get"), 7);
+}
+
+TEST_F(WalTest, RequestsWaitForTheIdentityBarrier) {
+  // A durable Core may not expose a freshly minted correlation before the
+  // kMeta promising its ceiling is durable — otherwise a crash could lose
+  // the promise and recovery could re-issue a correlation this peer has
+  // already cached a reply under. The request parks in SendAsync until the
+  // barrier settles.
+  auto cores = MakeCores(2);
+  auto counter = cores[1]->New<Counter>();
+  rt.RunUntilIdle();
+
+  rt.storage().SetFsyncLatency(Millis(50));
+  cores[0]->EnableWal();
+  auto stub = cores[0]->RefTo<Counter>(counter.handle());
+  sim::Future<std::int64_t> f = stub.InvokeAsync<std::int64_t>("increment");
+  // Without the gate the reply lands ~10ms in; the identity barrier holds
+  // the request until the ~50ms fsync.
+  rt.RunFor(Millis(40));
+  EXPECT_FALSE(f.settled());
+  rt.RunUntilIdle();
+  ASSERT_TRUE(f.settled());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value(), 1);
 }
 
 // ---- Movement crash-point sweep ---------------------------------------------

@@ -93,6 +93,9 @@ OpLedger::OpLedger() {
   methods().Register("ops", [this](const std::vector<Value>&) {
     return Value(static_cast<std::int64_t>(seen_.size()));
   });
+  methods().Register("has", [this](const std::vector<Value>& args) {
+    return Value(static_cast<std::int64_t>(seen_.count(args.at(0).AsInt())));
+  });
 }
 
 void OpLedger::Serialize(serial::GraphWriter& w) const {
