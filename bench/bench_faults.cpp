@@ -70,7 +70,7 @@ SweepResult RunSweep(double loss, bool with_retries, int ops,
         static_cast<double>(w.rt.network().total_messages()) / r.successes;
   }
   r.retries = w[0].rpc_retries();
-  r.replays = w[1].dedup().replays();
+  r.replays = w[1].replay().replays();
   report.Gate(prefix + ".ok", static_cast<std::uint64_t>(r.successes));
   report.Gate(prefix + ".failed", static_cast<std::uint64_t>(r.failures));
   report.Gate(prefix + ".resends", r.retries);
@@ -83,7 +83,7 @@ void LossSweepTable(Report& report) {
   std::printf("\n-- invocation under message loss (%d ops, 2 cores, "
               "5 ms links) --\n", kOps);
   TableHeader({"loss", "retries", "ok", "failed", "mean lat (ms)",
-               "msgs/ok", "resends", "dedup replays"});
+               "msgs/ok", "resends", "replays"});
   for (double loss : {0.0, 0.01, 0.05, 0.10}) {
     for (bool with_retries : {false, true}) {
       const std::string prefix =
@@ -102,7 +102,7 @@ void LossSweepTable(Report& report) {
       "\nretries trade extra messages and tail latency for goodput: at 10%%\n"
       "loss a single-shot RPC fails ~19%% of the time (either leg), while\n"
       "5 attempts with backoff push the failure rate to ~0 at ~1.3x the\n"
-      "messages. dedup replays = duplicate executions prevented.\n");
+      "messages. replays = duplicate executions prevented.\n");
 }
 
 // Wall-clock overhead of the chaos decision path itself (hot Send path).

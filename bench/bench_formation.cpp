@@ -1,0 +1,194 @@
+// E15: message formation — batching small messages into framed wire
+// messages (docs/PROTOCOL.md §Sessions & formation).
+//
+// The claim: a Core's small outbound messages (requests issued in the same
+// tick, slot acks, event notifications) coalesce per destination into
+// kBatch frames, cutting wire messages by a large factor under bursty
+// load, while a lone request still leaves as a raw message on the same
+// tick — so low-load latency is untouched. Each table runs the identical
+// workload twice, with formation disabled then enabled, and the bench
+// itself enforces the headline numbers: >=3x fewer messages under the
+// storms, bit-identical simulated time and message count at low load.
+#include "bench/support.h"
+
+using namespace fargo;
+using namespace fargo::bench;
+
+namespace {
+
+struct Costs {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t sim_ns = 0;
+};
+
+Costs Snap(World& w) {
+  return {w.rt.network().total_messages(), w.rt.network().total_bytes(),
+          w.rt.scheduler().executed(), static_cast<std::uint64_t>(w.rt.Now())};
+}
+
+Costs Delta(World& w, const Costs& start) {
+  const Costs now = Snap(w);
+  return {now.msgs - start.msgs, now.bytes - start.bytes,
+          now.tasks - start.tasks, now.sim_ns - start.sim_ns};
+}
+
+void SetFormation(World& w, bool on) {
+  for (core::Core* c : w.cores) c->formation().SetEnabled(on);
+}
+
+void GateCosts(Report& report, const std::string& prefix, const Costs& c) {
+  report.Gate(prefix + ".sim_ns", c.sim_ns);
+  report.Gate(prefix + ".net_msgs", c.msgs);
+  report.Gate(prefix + ".net_bytes", c.bytes);
+  report.Gate(prefix + ".sched_tasks", c.tasks);
+}
+
+void PrintRow(const char* config, const Costs& c) {
+  Row("| %-9s | %8llu | %9llu | %11llu | %11.2f |", config,
+      static_cast<unsigned long long>(c.msgs),
+      static_cast<unsigned long long>(c.bytes),
+      static_cast<unsigned long long>(c.tasks), c.sim_ns / 1e6);
+}
+
+/// A same-tick burst of one-way posts: 400 fire-and-forget increments
+/// issued back to back. Every post is a request on the wire plus a slot
+/// ack coming back; formation coalesces the same-tick requests into one
+/// frame and packs the acks under the bulk flush policy.
+Costs OnewayStorm(bool formation_on) {
+  World w(2, Millis(10));
+  SetFormation(w, formation_on);
+  auto counter = w[1].New<Counter>();
+  w.rt.RunUntilIdle();
+  auto stub = w[0].RefTo<Counter>(counter.handle());
+  const Costs start = Snap(w);
+  for (int i = 0; i < 400; ++i) stub.Post("increment");
+  w.rt.RunUntilIdle();
+  const auto* anchor = static_cast<const Counter*>(
+      w[1].repository().Get(counter.target()).get());
+  if (anchor == nullptr || anchor->value() != 400) {
+    std::fprintf(stderr, "oneway storm lost operations\n");
+    std::exit(1);
+  }
+  return Delta(w, start);
+}
+
+/// High-fan-in monitor traffic: one admin Core listening for lifecycle
+/// events at four worker Cores while every worker relocates its complets
+/// in one burst — each move emits a departed and an arrived notification
+/// toward the single monitor, exactly the §4.2 monitoring topology that
+/// drowns a Core in small messages.
+Costs MonitorFanIn(bool formation_on) {
+  const int kWorkers = 4, kComlets = 24;
+  World w(1 + kWorkers, Millis(10));
+  SetFormation(w, formation_on);
+  std::vector<std::pair<int, core::ComletRef<Message>>> placed;
+  for (int c = 1; c <= kWorkers; ++c)
+    for (int i = 0; i < kComlets; ++i)
+      placed.emplace_back(c, w[c].New<Message>("m"));
+  w.rt.RunUntilIdle();
+  // Listeners go in after placement so the creation-time arrival events
+  // stay out of the measured (and asserted) notification count.
+  std::uint64_t delivered = 0;
+  for (int c = 1; c <= kWorkers; ++c) {
+    for (auto kind : {monitor::EventKind::kComletArrived,
+                      monitor::EventKind::kComletDeparted}) {
+      w[0].ListenAt(w[c].id(), kind,
+                    [&](const monitor::Event&) { ++delivered; });
+    }
+  }
+  w.rt.RunUntilIdle();
+  const Costs start = Snap(w);
+  for (auto& [c, ref] : placed) {
+    const int dest = 1 + (c % kWorkers);
+    w[c].MoveIdAsync(ref.target(), w[dest].id());
+  }
+  w.rt.RunUntilIdle();
+  if (delivered != 2ull * kWorkers * kComlets) {
+    std::fprintf(stderr, "monitor fan-in lost notifications: %llu\n",
+                 static_cast<unsigned long long>(delivered));
+    std::exit(1);
+  }
+  return Delta(w, start);
+}
+
+/// Low load: 20 sequential request/reply round trips, one outstanding at a
+/// time. A single-occupant flush sends the raw message on the same tick,
+/// so formation must change neither the message count nor a nanosecond of
+/// simulated time.
+Costs LowLoad(bool formation_on) {
+  World w(2, Millis(10));
+  SetFormation(w, formation_on);
+  auto counter = w[1].New<Counter>();
+  w.rt.RunUntilIdle();
+  auto stub = w[0].RefTo<Counter>(counter.handle());
+  const Costs start = Snap(w);
+  for (int i = 0; i < 20; ++i) stub.Invoke<std::int64_t>("increment");
+  return Delta(w, start);
+}
+
+}  // namespace
+
+int main() {
+  Report report("formation");
+  std::printf("== E15: message formation (batching) ==\n\n");
+
+  struct Table {
+    const char* title;
+    const char* prefix;
+    Costs (*run)(bool);
+    bool expect_3x;
+  };
+  const Table tables[] = {
+      {"one-way storm: 400 same-tick posts + slot acks", "oneway_storm",
+       OnewayStorm, true},
+      {"monitor fan-in: 96 moves, 192 notifications to one admin core",
+       "monitor_fanin", MonitorFanIn, true},
+      {"low load: 20 sequential request/reply round trips", "lowload",
+       LowLoad, false},
+  };
+
+  bool ok = true;
+  for (const Table& t : tables) {
+    std::printf("-- %s --\n", t.title);
+    TableHeader({"formation", "net msgs", "net bytes", "sched tasks",
+                 "sim ms"});
+    const Costs off = t.run(false);
+    const Costs on = t.run(true);
+    PrintRow("off", off);
+    PrintRow("on", on);
+    GateCosts(report, std::string(t.prefix) + ".off", off);
+    GateCosts(report, std::string(t.prefix) + ".on", on);
+    if (t.expect_3x) {
+      const double ratio =
+          on.msgs == 0 ? 0.0 : static_cast<double>(off.msgs) / on.msgs;
+      std::printf("message reduction: %.1fx\n\n", ratio);
+      if (ratio < 3.0) {
+        std::fprintf(stderr,
+                     "%s: formation cut messages only %.2fx (< 3x): "
+                     "%llu -> %llu\n",
+                     t.prefix, ratio, static_cast<unsigned long long>(off.msgs),
+                     static_cast<unsigned long long>(on.msgs));
+        ok = false;
+      }
+    } else {
+      std::printf("\n");
+      if (on.sim_ns != off.sim_ns || on.msgs != off.msgs) {
+        std::fprintf(stderr,
+                     "%s: formation changed the low-load profile: "
+                     "sim_ns %llu -> %llu, msgs %llu -> %llu\n",
+                     t.prefix, static_cast<unsigned long long>(off.sim_ns),
+                     static_cast<unsigned long long>(on.sim_ns),
+                     static_cast<unsigned long long>(off.msgs),
+                     static_cast<unsigned long long>(on.msgs));
+        ok = false;
+      }
+    }
+  }
+  std::printf("Shape check: the storms batch >=3x fewer wire messages; the "
+              "low-load rows are identical (single-occupant flushes are raw "
+              "sends on the same tick).\n");
+  report.Write();
+  return ok ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 #include "src/core/wire.h"
 #include "src/monitor/events.h"
 #include "src/monitor/profiler.h"
+#include "src/serial/frame.h"
 #include "src/serial/graph.h"
 #include "src/serial/value_codec.h"
 
@@ -22,12 +23,13 @@ namespace fargo::core {
 
 namespace {
 // kControl payload subkinds (home-registry protocol + heartbeats + WAL
-// move-in pruning).
+// move-in pruning + session slot releases).
 constexpr std::uint8_t kCtrlHomeUpdate = 1;
 constexpr std::uint8_t kCtrlHomeQuery = 2;
 constexpr std::uint8_t kCtrlPing = 3;
 constexpr std::uint8_t kCtrlPong = 4;
 constexpr std::uint8_t kCtrlMoveAck = 5;
+constexpr std::uint8_t kCtrlSlotAck = 6;
 }  // namespace
 
 Core::Core(Runtime& runtime, CoreId id, std::string name)
@@ -43,8 +45,12 @@ Core::Core(Runtime& runtime, CoreId id, std::string name)
   inst_.invoke_errors = &reg.counter("invoke.errors");
   inst_.execs = &reg.counter("invoke.exec");
   inst_.retries = &reg.counter("rpc.retries");
-  inst_.dedup_replays = &reg.counter("dedup.replays");
-  inst_.dedup_suppressed = &reg.counter("dedup.suppressed");
+  inst_.session_replays = &reg.counter("session.replays");
+  inst_.session_suppressed = &reg.counter("session.suppressed");
+  inst_.session_stale = &reg.counter("session.stale");
+  inst_.formation_flushes = &reg.counter("formation.flushes");
+  inst_.formation_frames = &reg.counter("formation.frames");
+  inst_.formation_batched = &reg.counter("formation.batched_items");
   inst_.late_replies = &reg.counter("rpc.late_replies");
   inst_.moves = &reg.counter("move.count");
   inst_.hb_pings = &reg.counter("hb.pings");
@@ -72,6 +78,20 @@ Core::Core(Runtime& runtime, CoreId id, std::string name)
           wal_->LazySync();
         }
       });
+  // Outbound batching: every remote send funnels through the formation.
+  // The hook keeps net/ monitor-agnostic (mirrors Network's DropHook).
+  sessions_.SetEpoch(restart_epoch_ + 1);
+  formation_ = std::make_unique<net::Formation>(id_, scheduler(), network());
+  formation_->SetFlushHook([this](CoreId, net::Formation::Lane,
+                                  std::size_t items, std::size_t) {
+    inst_.formation_flushes->Inc();
+    if (items > 1) {
+      inst_.formation_frames->Inc();
+      inst_.formation_batched->Inc(items);
+      tracer_.RecordInstant(monitor::SpanKind::kControl, "batch_flush",
+                            wire::TraceContext{}, scheduler().Now());
+    }
+  });
   network().Register(id_, [this](net::Message m) { HandleMessage(std::move(m)); });
 }
 
@@ -337,6 +357,9 @@ sim::Future<std::vector<std::uint8_t>> Core::SendAsync(
   rpc->kind = kind;
   rpc->payload = std::move(payload);
   rpc->corr = NextCorrelation();
+  // Lease a session slot for the request's lifetime: every attempt reuses
+  // the key, and the executor's replay window deduplicates by it.
+  rpc->skey = sessions_.Acquire(id_, to);
   rpc->max_attempts = std::max(1, retry_policy_.max_attempts);
   pending_replies_[rpc->corr] = rpc;
   if (wal_ && !wal_->SequencesDurable()) {
@@ -362,11 +385,11 @@ sim::Future<std::vector<std::uint8_t>> Core::SendAsync(
   return rpc->promise.future();
 }
 
-// Every attempt reuses the correlation, so the receiver's dedup cache
-// recognizes retries of this request and a late reply to any attempt
-// resolves the future. A timeout is retry-safe by the transport contract:
-// either the request never executed, or its reply will be replayed from the
-// receiver's cache when the retry lands.
+// Every attempt reuses the correlation and session key, so the receiver's
+// replay window recognizes retries of this request and a late reply to any
+// attempt resolves the future. A timeout is retry-safe by the transport
+// contract: either the request never executed, or its reply will be
+// replayed from the receiver's slot cache when the retry lands.
 void Core::SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc) {
   // The RPC machinery runs as scheduled continuations; it must never pump.
   sim::Scheduler::NoPumpScope no_pump(scheduler());
@@ -383,6 +406,7 @@ void Core::SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc) {
   msg.to = rpc->to;
   msg.kind = rpc->kind;
   msg.correlation = rpc->corr;
+  msg.session = rpc->skey;
   // Retention copy: every attempt but the last keeps the payload for a
   // possible resend; the final attempt surrenders it to the wire.
   if (rpc->attempt == rpc->max_attempts) {
@@ -391,7 +415,13 @@ void Core::SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc) {
     inst_.bytes_copied->Inc(rpc->payload.size());
     msg.payload = rpc->payload;
   }
-  network().Send(std::move(msg));
+  if (rpc->kind == net::MessageKind::kRecoveryQuery) {
+    // Recovery traffic must not sit behind a formation deadline: the Core
+    // is blocked mid-recovery until the in-doubt move resolves.
+    network().Send(std::move(msg));
+  } else {
+    formation_->Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
+  }
   rpc->timer = scheduler().ScheduleAfter(
       // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
       rpc_timeout_, [this, rpc] { OnRpcTimeout(rpc); });
@@ -401,6 +431,7 @@ void Core::OnRpcTimeout(const std::shared_ptr<PendingRpc>& rpc) {
   if (rpc->promise.settled()) return;
   if (rpc->attempt >= rpc->max_attempts) {
     pending_replies_.erase(rpc->corr);
+    sessions_.Release(rpc->skey);
     rpc->promise.RejectWith(
         UnreachableError(std::string(net::ToString(rpc->kind)) + " to " +
                          ToString(rpc->to) + " timed out"));
@@ -421,55 +452,75 @@ std::vector<std::uint8_t> Core::SendAndAwait(
 }
 
 void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
-                 std::vector<std::uint8_t> payload) {
-  // If this answers a request admitted through the dedup cache, remember
-  // the reply so duplicates can be re-answered without re-executing. The
-  // cached copy is the at-most-once tax; it is charged to the copy metric.
-  const bool fresh =
-      dedup_.Complete(to, correlation, kind, payload, scheduler().Now());
+                 std::vector<std::uint8_t> payload, net::SessionKey skey) {
+  // If this answers a request admitted through its session key, remember
+  // the reply in the slot so duplicates can be re-answered without
+  // re-executing. The cached copy is the at-most-once tax; it is charged
+  // to the copy metric.
+  const bool fresh = replay_.Complete(skey, kind, payload);
   if (fresh) inst_.bytes_copied->Inc(payload.size());
   net::Message msg;
   msg.from = id_;
   msg.to = to;
   msg.kind = kind;
   msg.correlation = correlation;
+  msg.session = skey;
   msg.payload = std::move(payload);
   if (fresh && wal_ && !wal_->replaying()) {
     // Durable executor: a peer must never observe an effect whose records
     // could still be lost. Log the cached reply, then release the message
     // only after a write barrier covers everything appended so far (the
     // state/exec records of this very request included).
-    wal_->AppendExec(to, correlation, kind, msg.payload);
+    wal_->AppendExec(skey, kind, msg.payload);
     const std::uint64_t epoch = restart_epoch_;
     wal_->Sync().OnSettle(
         // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
         [this, epoch, msg = std::move(msg)](sim::Future<sim::Unit>) mutable {
           if (!alive_ || restart_epoch_ != epoch) return;
-          network().Send(std::move(msg));
+          SendReplyOut(std::move(msg));
         });
     return;
   }
-  network().Send(std::move(msg));
+  SendReplyOut(std::move(msg));
 }
 
-bool Core::AdmitOnce(CoreId origin, std::uint64_t correlation) {
-  DedupCache::BeginResult res =
-      dedup_.Begin(origin, correlation, scheduler().Now());
+void Core::SendReplyOut(net::Message msg) {
+  if (msg.kind == net::MessageKind::kRecoveryReply) {
+    // The querier is blocked mid-recovery; never delay its answer behind a
+    // formation deadline.
+    network().Send(std::move(msg));
+    return;
+  }
+  formation_->Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
+}
+
+bool Core::AdmitOnce(const net::Message& msg) {
+  net::ReplayDirectory::AdmitResult res = replay_.Admit(msg.session);
   switch (res.outcome) {
-    case DedupCache::Outcome::kFresh:
+    case net::Admission::kFresh:
       return true;
-    case DedupCache::Outcome::kInProgress:
-      inst_.dedup_suppressed->Inc();
+    case net::Admission::kInProgress:
+      inst_.session_suppressed->Inc();
       LogDebug() << "core " << name_ << " suppressed duplicate request from "
-                 << ToString(origin) << " corr " << correlation;
+                 << ToString(msg.from) << " corr " << msg.correlation;
       return false;
-    case DedupCache::Outcome::kReplay:
-      inst_.dedup_replays->Inc();
+    case net::Admission::kReplay:
+      inst_.session_replays->Inc();
       LogDebug() << "core " << name_ << " replayed cached reply to "
-                 << ToString(origin) << " corr " << correlation;
+                 << ToString(msg.from) << " corr " << msg.correlation;
       // The cached reply must survive further replays: copy, and charge it.
+      // The duplicate carries the live correlation (retries reuse it), so
+      // the resent reply matches the origin's waiter. The session key rides
+      // on the resent reply so the wire attributes it to its slot (Complete
+      // no-ops on the already-done entry, so nothing is re-cached).
       inst_.bytes_copied->Inc(res.reply->size());
-      Reply(origin, res.reply_kind, correlation, *res.reply);
+      Reply(msg.from, res.reply_kind, msg.correlation, *res.reply,
+            msg.session);
+      return false;
+    case net::Admission::kStale:
+      inst_.session_stale->Inc();
+      LogDebug() << "core " << name_ << " dropped stale request from "
+                 << ToString(msg.from) << " corr " << msg.correlation;
       return false;
   }
   return true;
@@ -574,8 +625,8 @@ void Core::DispatchMessage(net::Message msg) {
       return;
     case net::MessageKind::kMoveRequest:
       // Non-idempotent: a duplicated or retried move must install exactly
-      // once; duplicates are answered from the dedup cache.
-      if (!AdmitOnce(msg.from, msg.correlation)) return;
+      // once; duplicates are answered from the slot's cached reply.
+      if (!AdmitOnce(msg)) return;
       movement_->HandleMoveRequest(std::move(msg));
       return;
     case net::MessageKind::kMoveReply:
@@ -595,6 +646,8 @@ void Core::DispatchMessage(net::Message msg) {
       std::shared_ptr<PendingRpc> rpc = it->second;
       pending_replies_.erase(it);
       scheduler().Cancel(rpc->timer);
+      // The request settled: its slot can carry the next RPC to this peer.
+      sessions_.Release(rpc->skey);
       rpc->promise.Resolve(std::move(msg.payload));
       return;
     }
@@ -603,12 +656,12 @@ void Core::DispatchMessage(net::Message msg) {
       return;
     case net::MessageKind::kNewRequest:
       // Non-idempotent: a duplicated remote-new must instantiate once.
-      if (!AdmitOnce(msg.from, msg.correlation)) return;
+      if (!AdmitOnce(msg)) return;
       HandleNewRequest(msg);
       return;
     case net::MessageKind::kEventRegister: {
       // Non-idempotent: a duplicate would register a second listener.
-      if (!AdmitOnce(msg.from, msg.correlation)) return;
+      if (!AdmitOnce(msg)) return;
       serial::Reader r(msg.payload);
       const std::uint64_t token = r.ReadVarint();
       const bool has_threshold = r.ReadBool();
@@ -627,7 +680,9 @@ void Core::DispatchMessage(net::Message msg) {
         notify.to = subscriber;
         notify.kind = net::MessageKind::kEventNotify;
         notify.payload = w.Take();
-        network().Send(std::move(notify));
+        // No latency contract: notifications ride the bulk lane, where an
+        // event storm collapses into a few frames.
+        formation_->Enqueue(std::move(notify), net::Formation::Lane::kBulk);
       };
       monitor::SubId sub;
       if (has_threshold) {
@@ -645,7 +700,7 @@ void Core::DispatchMessage(net::Message msg) {
       wire::WriteOk(ok);
       ok.WriteVarint(sub);
       Reply(msg.from, net::MessageKind::kControlReply, msg.correlation,
-            ok.Take());
+            ok.Take(), msg.session);
       return;
     }
     case net::MessageKind::kEventUnregister: {
@@ -678,6 +733,40 @@ void Core::DispatchMessage(net::Message msg) {
     case net::MessageKind::kControl: {
       HandleControl(std::move(msg));
       return;
+    }
+    case net::MessageKind::kBatch:
+      HandleBatch(std::move(msg));
+      return;
+  }
+}
+
+void Core::HandleBatch(net::Message msg) {
+  serial::FrameReader frame(msg.payload);
+  while (frame.HasNext()) {
+    serial::Reader item = frame.Next();
+    net::Message m;
+    try {
+      m = net::ReadBatchItem(item);
+    } catch (const std::exception& e) {
+      // A corrupt item poisons the rest of the frame (lengths no longer
+      // line up); drop what remains — senders retry per the RPC contract.
+      LogWarn() << "core " << name_ << " dropped corrupt batch item: "
+                << e.what();
+      return;
+    }
+    if (m.kind == net::MessageKind::kBatch) {
+      LogWarn() << "core " << name_ << " dropped nested batch frame";
+      continue;
+    }
+    m.from = msg.from;
+    m.to = id_;
+    // Per-item isolation, like HandleMessage: one bad payload must not
+    // take down its frame-mates.
+    try {
+      DispatchMessage(std::move(m));
+    } catch (const std::exception& e) {
+      LogWarn() << "core " << name_ << " dropped a bad batched message: "
+                << e.what();
     }
   }
 }
@@ -729,7 +818,9 @@ void Core::HandleControl(net::Message msg) {
       pong.to = msg.from;
       pong.kind = net::MessageKind::kControl;
       pong.payload = w.Take();
-      network().Send(std::move(pong));
+      // Priority lane: the pong must not queue behind a large frame, or
+      // the peer's failure detector times out on a healthy link.
+      formation_->Enqueue(std::move(pong), net::Formation::Lane::kPriority);
       return;
     }
     case kCtrlPong: {
@@ -746,6 +837,18 @@ void Core::HandleControl(net::Message msg) {
       movement_->DropMoveIn(msg.from, r.ReadVarint());
       return;
     }
+    case kCtrlSlotAck: {
+      // A oneway request's slot is free: the executor ran it (or saw it as
+      // a duplicate). The echoed key names the lease exactly.
+      net::SessionKey key;
+      key.origin = wire::ReadCoreId(r);
+      key.peer = wire::ReadCoreId(r);
+      key.epoch = r.ReadVarint();
+      key.slot = static_cast<std::uint32_t>(r.ReadVarint());
+      key.seq = r.ReadVarint();
+      sessions_.Release(key);
+      return;
+    }
     default:
       LogDebug() << "unknown control message at " << name_;
   }
@@ -760,7 +863,26 @@ void Core::SendMoveAck(CoreId dest, std::uint64_t txn) {
   msg.to = dest;
   msg.kind = net::MessageKind::kControl;
   msg.payload = w.Take();
-  network().Send(std::move(msg));
+  // Best-effort pruning hint: bulk lane (a delayed ack only leaves the
+  // move-in mark unpruned a little longer).
+  formation_->Enqueue(std::move(msg), net::Formation::Lane::kBulk);
+}
+
+void Core::SendSlotAck(const net::SessionKey& key) {
+  serial::Writer w;
+  w.WriteU8(kCtrlSlotAck);
+  wire::WriteCoreId(w, key.origin);
+  wire::WriteCoreId(w, key.peer);
+  w.WriteVarint(key.epoch);
+  w.WriteVarint(key.slot);
+  w.WriteVarint(key.seq);
+  net::Message msg;
+  msg.from = id_;
+  msg.to = key.origin;
+  msg.kind = net::MessageKind::kControl;
+  msg.payload = w.Take();
+  // Best-effort: a lost ack only delays the origin's fallback release.
+  formation_->Enqueue(std::move(msg), net::Formation::Lane::kBulk);
 }
 
 void Core::SendHeartbeatPing(CoreId peer) {
@@ -777,7 +899,9 @@ void Core::SendHeartbeatPing(CoreId peer) {
   msg.to = peer;
   msg.kind = net::MessageKind::kControl;
   msg.payload = w.Take();
-  network().Send(std::move(msg));
+  // Priority lane: pings race the failure-detector deadline and must never
+  // wait on (or share a frame with) bulk traffic.
+  formation_->Enqueue(std::move(msg), net::Formation::Lane::kPriority);
 }
 
 FailureDetector& Core::EnableHeartbeat(SimTime interval, int k_missed) {
@@ -827,6 +951,7 @@ void Core::Crash() {
   detector_.reset();  // a dead Core pings nobody
   alive_ = false;
   ++restart_epoch_;  // invalidates every continuation armed before the crash
+  formation_->Discard();  // unsent batches die with the process
   network().Unregister(id_);
   if (wal_) wal_->OnCrash();
   for (ComletId id : repository_.All()) {
@@ -847,7 +972,13 @@ void Core::Restart() {
   }
   trackers_.Clear();
   naming_.Clear();
-  dedup_.Clear();
+  replay_.Clear();
+  sessions_.Clear();
+  // New incarnation, new session epoch: peers treat stragglers stamped
+  // with the old epoch as settled (kStale) and reset their windows on the
+  // first request of the new one.
+  sessions_.SetEpoch(restart_epoch_ + 1);
+  formation_->Discard();
   parked_.clear();
   pending_replies_.clear();
   home_locations_.clear();
@@ -905,7 +1036,7 @@ void Core::AnnounceHome(ComletId id) {
   msg.to = id.origin;
   msg.kind = net::MessageKind::kControl;
   msg.payload = w.Take();
-  network().Send(std::move(msg));
+  formation_->Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
 }
 
 void Core::HandleNameRequest(const net::Message& msg) {
@@ -933,10 +1064,12 @@ void Core::HandleNewRequest(const net::Message& msg) {
   } catch (const std::exception& e) {
     serial::Writer err;
     wire::WriteError(err, e.what());
-    Reply(msg.from, net::MessageKind::kNewReply, msg.correlation, err.Take());
+    Reply(msg.from, net::MessageKind::kNewReply, msg.correlation, err.Take(),
+          msg.session);
     return;
   }
-  Reply(msg.from, net::MessageKind::kNewReply, msg.correlation, w.Take());
+  Reply(msg.from, net::MessageKind::kNewReply, msg.correlation, w.Take(),
+        msg.session);
 }
 
 // ==== distributed events ======================================================
@@ -1005,7 +1138,7 @@ void Core::UnlistenAt(monitor::SubId token) {
   msg.to = sub.where;
   msg.kind = net::MessageKind::kEventUnregister;
   msg.payload = w.Take();
-  network().Send(std::move(msg));
+  formation_->Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
 }
 
 // ==== shutdown ================================================================
@@ -1036,9 +1169,12 @@ void Core::Shutdown(SimTime grace) {
       u.to = peer->id();
       u.kind = net::MessageKind::kTrackerUpdate;
       u.payload = upd.Take();
-      network().Send(std::move(u));
+      formation_->Enqueue(std::move(u), net::Formation::Lane::kPriority);
     }
   }
+  // Drain everything still queued — the delay-0 flush tasks armed above
+  // would fire after this Core has already detached.
+  formation_->FlushAll();
   alive_ = false;
   network().Unregister(id_);
   for (ComletId id : repository_.All()) {

@@ -27,7 +27,9 @@
 #include "src/monitor/events.h"
 #include "src/monitor/metrics.h"
 #include "src/monitor/trace.h"
+#include "src/net/formation.h"
 #include "src/net/network.h"
+#include "src/net/session.h"
 #include "src/serial/registry.h"
 #include "src/sim/future.h"
 #include "src/sim/scheduler.h"
@@ -193,10 +195,10 @@ class Core {
   void Crash();
 
   /// Boots a crashed Core back up: volatile state (complets, trackers,
-  /// names, dedup cache, parked requests) comes up empty, exactly like a
+  /// names, replay windows, parked requests) comes up empty, exactly like a
   /// fresh process. A durable Core (EnableWal) then replays its checkpoint
-  /// and log, reseeds the dedup cache, and resolves in-doubt moves by
-  /// querying their destinations. Fires kCoreRecovered.
+  /// and log, re-derives its replay windows from exec records, and resolves
+  /// in-doubt moves by querying their destinations. Fires kCoreRecovered.
   void Restart();
 
   // -- durability (write-ahead log; docs/PROTOCOL.md §Durability) -------------
@@ -253,9 +255,13 @@ class Core {
   /// reply future settles; throws UnreachableError on timeout.
   std::vector<std::uint8_t> SendAndAwait(CoreId to, net::MessageKind kind,
                                          std::vector<std::uint8_t> payload);
-  /// Sends a reply carrying `correlation`.
+  /// Sends a reply carrying `correlation`. When `skey` names a request
+  /// admitted through AdmitOnce, the reply is cached in the replay window
+  /// (and, on a durable Core, logged) so duplicates can be re-answered
+  /// without re-executing; an invalid key leaves the reply uncached
+  /// (park-expiry errors, recovery replies).
   void Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
-             std::vector<std::uint8_t> payload);
+             std::vector<std::uint8_t> payload, net::SessionKey skey = {});
 
   /// One-way, best-effort kCtrlMoveAck: tells the destination of move `txn`
   /// that this source's COMMIT record is durable, so the destination can
@@ -312,24 +318,31 @@ class Core {
   SimTime rpc_timeout() const { return rpc_timeout_; }
   SimTime start_time() const { return start_time_; }
 
-  // -- at-most-once RPC (retry + dedup) ---------------------------------------
+  // -- at-most-once RPC (retry + slot-window replay) --------------------------
 
   /// Retry schedule used by SendAndAwait and the invocation unit for
   /// retry-safe failures (timeouts, transport-flagged errors). Retries
-  /// reuse the original correlation so executors can deduplicate.
+  /// reuse the original correlation and session key so executors can
+  /// deduplicate.
   void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
   /// Retries performed by this Core so far (telemetry).
   std::uint64_t rpc_retries() const { return rpc_retries_; }
 
-  /// Executor-side request dedup cache (duplicated/retried requests).
-  DedupCache& dedup() { return dedup_; }
-  void SetDedupTtl(SimTime ttl) { dedup_.SetTtl(ttl); }
+  /// Origin-side session pool: leases the slot each outgoing RPC carries.
+  net::SessionPool& sessions() { return sessions_; }
+  /// Executor-side replay windows (duplicated/retried requests).
+  net::ReplayDirectory& replay() { return replay_; }
+  const net::ReplayDirectory& replay() const { return replay_; }
+  /// Outbound message formation (batching); see src/net/formation.h.
+  net::Formation& formation() { return *formation_; }
 
-  /// Admits a request keyed (origin, correlation) for execution. Returns
-  /// false for duplicates: in-progress ones are silently suppressed,
-  /// already-answered ones are re-answered from the cached reply.
-  bool AdmitOnce(CoreId origin, std::uint64_t correlation);
+  /// Admits `msg` for execution through its session key. Returns false for
+  /// duplicates: in-progress ones are silently suppressed, already-answered
+  /// ones are re-answered from the slot's cached reply, and stale seqs
+  /// (settled at the origin) are dropped. Sessionless messages are always
+  /// admitted — the idempotent protocols never stamp a key.
+  bool AdmitOnce(const net::Message& msg);
 
   /// How long parked requests wait for an in-transit complet before being
   /// failed with a transport error. 0 (default) means rpc_timeout()/2 —
@@ -376,6 +389,7 @@ class Core {
     net::MessageKind kind{};
     std::vector<std::uint8_t> payload;  ///< kept for resends
     std::uint64_t corr = 0;
+    net::SessionKey skey;   ///< slot lease; released when the RPC settles
     int attempt = 0;
     int max_attempts = 1;
     sim::TaskId timer = 0;  ///< pending timeout or backoff task
@@ -388,8 +402,12 @@ class Core {
     monitor::Counter* invoke_errors = nullptr;    ///< origin-side failures
     monitor::Counter* execs = nullptr;            ///< executor-side dispatches
     monitor::Counter* retries = nullptr;          ///< resent attempts
-    monitor::Counter* dedup_replays = nullptr;    ///< answered from cache
-    monitor::Counter* dedup_suppressed = nullptr; ///< in-progress duplicates
+    monitor::Counter* session_replays = nullptr;  ///< answered from slot cache
+    monitor::Counter* session_suppressed = nullptr; ///< in-progress duplicates
+    monitor::Counter* session_stale = nullptr;    ///< settled-at-origin drops
+    monitor::Counter* formation_flushes = nullptr; ///< formation departures
+    monitor::Counter* formation_frames = nullptr;  ///< multi-item frames sent
+    monitor::Counter* formation_batched = nullptr; ///< items inside frames
     monitor::Counter* late_replies = nullptr;     ///< replies to settled RPCs
     monitor::Counter* moves = nullptr;
     monitor::Counter* hb_pings = nullptr;
@@ -417,6 +435,14 @@ class Core {
   void HandleNameRequest(const net::Message& msg);
   void HandleNewRequest(const net::Message& msg);
   void HandleControl(net::Message msg);
+  void HandleBatch(net::Message msg);
+  /// Routes a reply message out (kRecoveryReply bypasses formation: the
+  /// querier is mid-recovery and must not wait on a batch deadline).
+  void SendReplyOut(net::Message msg);
+  /// One-way kCtrlSlotAck to `key.origin`: the oneway request holding this
+  /// slot executed (or was recognized as a duplicate), so the origin can
+  /// release the lease without waiting out its fallback timer.
+  void SendSlotAck(const net::SessionKey& key);
 
   Runtime& runtime_;
   CoreId id_;
@@ -439,7 +465,9 @@ class Core {
   SimTime rpc_timeout_ = Seconds(30);
   SimTime park_expiry_ = 0;  ///< 0 = derive from rpc_timeout_
   RetryPolicy retry_policy_;
-  DedupCache dedup_;
+  net::SessionPool sessions_;      ///< origin side: slot leases per peer
+  net::ReplayDirectory replay_;    ///< executor side: per-slot reply cache
+  std::unique_ptr<net::Formation> formation_;
   std::uint64_t rpc_retries_ = 0;
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<Wal> wal_;  ///< null until EnableWal

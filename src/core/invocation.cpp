@@ -226,19 +226,31 @@ void InvocationUnit::ResumeAfterRoute(const std::shared_ptr<AsyncCall>& call,
 //
 // On a retry-safe failure (timeout, or a transport-flagged error reply —
 // both mean the method never executed) the request is resent with the SAME
-// correlation, so any executor that does see both copies recognizes the
-// duplicate and answers from its dedup cache instead of re-executing.
+// session key (epoch, slot, seq), so any executor that does see both copies
+// recognizes the duplicate by slot replay and answers from its cached reply
+// instead of re-executing.
 
 void InvocationUnit::BeginRemote(const std::shared_ptr<AsyncCall>& call) {
   call->corr = core_.NextCorrelation();
+  // Lease the session slot against the first resolved hop. The key is an
+  // identity, not a route: later attempts may travel to a different Core
+  // (the target moved), and every executor indexes its replay window by the
+  // (origin, peer) pair baked into the key, wherever the request lands.
+  TrackerEntry* entry = core_.trackers().Find(call->req.handle.id);
+  const CoreId peer = (entry != nullptr && !entry->is_local() &&
+                       entry->next.valid() && entry->next != core_.id())
+                          ? entry->next
+                          : core_.id();
+  call->skey = core_.sessions().Acquire(core_.id(), peer);
   waiters_[call->corr] = call;
   Wal* wal = core_.wal();
   if (wal != nullptr && !wal->SequencesDurable()) {
-    // Identity gate (docs/PROTOCOL.md §Durability): the correlation just
-    // minted must sit below a durable kWalMeta promise before a peer can
-    // observe it — a crash now would let recovery re-issue it, and the
-    // executor's dedup cache would answer the new call with a stale reply.
-    // Hold the first attempt until the covering barrier settles.
+    // Identity gate (docs/PROTOCOL.md §Durability): the correlation and
+    // session epoch just stamped must sit below a durable kWalMeta promise
+    // before a peer can observe them — a crash now would let recovery
+    // re-issue the same identity, and the executor's replay window would
+    // answer the new call with a stale reply. Hold the first attempt until
+    // the covering barrier settles.
     const std::uint64_t epoch = core_.restart_epoch();
     wal->WhenSequencesDurable().OnSettle(
         // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
@@ -278,7 +290,7 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
   }
   // Re-resolve the route each attempt: the target may have moved — possibly
   // to this very Core, in which case the send loops back through our own
-  // dedup-checked handler rather than re-dispatching locally (an earlier
+  // slot-checked handler rather than re-dispatching locally (an earlier
   // attempt may already have executed elsewhere).
   TrackerEntry* entry = core_.trackers().Find(call->req.handle.id);
   if (entry == nullptr) entry = &core_.trackers().Ensure(call->req.handle);
@@ -295,7 +307,7 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
 
   if (next == core_.id()) {
     // Same-Core loopback (the target moved toward us mid-retry): the
-    // request must still cross the dedup-checked executor path as a fresh
+    // request must still cross the slot-checked executor path as a fresh
     // scheduled event — an earlier attempt may already have executed
     // elsewhere — but there is no wire between us and ourselves, so skip
     // the encode/decode round-trip and hand over the in-memory request.
@@ -304,6 +316,7 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
     carrier.to = core_.id();
     carrier.kind = net::MessageKind::kInvokeRequest;
     carrier.correlation = call->corr;
+    carrier.session = call->skey;
     sched.ScheduleAfter(
         0,
         // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
@@ -323,8 +336,10 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
     msg.to = next;
     msg.kind = net::MessageKind::kInvokeRequest;
     msg.correlation = call->corr;
+    msg.session = call->skey;
     msg.payload = wire::EncodeInvokeRequest(call->req);
-    core_.network().Send(std::move(msg));
+    core_.formation().Enqueue(std::move(msg),
+                              net::Formation::Lane::kImmediate);
   }
 
   call->timer = sched.ScheduleAfter(core_.rpc_timeout(),
@@ -360,6 +375,9 @@ void InvocationUnit::ArmBackoffResend(const std::shared_ptr<AsyncCall>& call) {
 
 void InvocationUnit::FinalizeOk(const std::shared_ptr<AsyncCall>& call,
                                 InvokeResult res) {
+  // The call settled; its slot can carry the next request (Release no-ops
+  // for the local fast path, whose calls never lease one).
+  core_.sessions().Release(call->skey);
   const SimTime now = core_.scheduler().Now();
   core_.tracer().CloseSpan(call->root.token, now, monitor::SpanOutcome::kOk,
                            res.hops);
@@ -372,6 +390,7 @@ void InvocationUnit::FinalizeOk(const std::shared_ptr<AsyncCall>& call,
 void InvocationUnit::FinalizeError(const std::shared_ptr<AsyncCall>& call,
                                    std::exception_ptr error,
                                    monitor::SpanOutcome outcome) {
+  core_.sessions().Release(call->skey);
   core_.inst_.invoke_errors->Inc();
   core_.tracer().CloseSpan(call->root.token, core_.scheduler().Now(), outcome);
   call->promise.Reject(std::move(error));
@@ -413,24 +432,34 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
   msg.from = core_.id();
   msg.to = entry.next;
   msg.kind = net::MessageKind::kInvokeRequest;
-  // The correlation only keys executor-side dedup; no reply ever comes back.
+  // No reply ever comes back, so the slot is released by the executor's
+  // SlotAck — with a local timeout as the lost-ack fallback (the slot
+  // would otherwise stay leased forever; re-leasing it early merely
+  // demotes an undelivered oneway to kStale, within the best-effort
+  // contract).
   msg.correlation = core_.NextCorrelation();
+  msg.session = core_.sessions().Acquire(core_.id(), entry.next);
   msg.payload = wire::EncodeInvokeRequest(rq);
+  core_.scheduler().ScheduleAfter(
+      core_.rpc_timeout(),
+      // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+      [this, skey = msg.session] { core_.sessions().Release(skey); });
   Wal* wal = core_.wal();
   if (wal != nullptr && !wal->SequencesDurable()) {
-    // Identity gate, oneway flavor: the dedup key must sit below a durable
-    // ceiling before the executor sees it. Dropping the send on restart is
-    // within the oneway best-effort contract.
+    // Identity gate, oneway flavor: the slot identity must sit below a
+    // durable ceiling before the executor sees it. Dropping the send on
+    // restart is within the oneway best-effort contract.
     const std::uint64_t epoch = core_.restart_epoch();
     wal->WhenSequencesDurable().OnSettle(
         // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
         [this, epoch, msg = std::move(msg)](sim::Future<sim::Unit>) mutable {
           if (!core_.alive() || core_.restart_epoch() != epoch) return;
-          core_.network().Send(std::move(msg));
+          core_.formation().Enqueue(std::move(msg),
+                                    net::Formation::Lane::kImmediate);
         });
     return;
   }
-  core_.network().Send(std::move(msg));
+  core_.formation().Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
 }
 
 // ==== executor side ==========================================================
@@ -441,27 +470,43 @@ void InvocationUnit::HandleRequest(net::Message msg) {
 }
 
 void InvocationUnit::ProcessRequest(wire::InvokeRequest rq, net::Message msg) {
-  // At-most-once: if this Core already executed this request (keyed by the
-  // origin Core and the correlation, which retries reuse), answer from the
-  // cached reply. Checked before routing, not just before execution — a Core
-  // that executed the request and then moved the target away must replay,
-  // not forward the retry to be executed a second time at the new host.
-  if (auto cached = core_.dedup().Lookup(rq.origin, msg.correlation)) {
-    core_.inst_.dedup_replays->Inc();
-    // A duplicated oneway is simply dropped: there is no reply to replay.
-    if (!rq.oneway) {
-      // Replay copy: the cached reply must survive further duplicates.
-      core_.inst_.bytes_copied->Inc(cached->payload->size());
-      core_.Reply(rq.origin, cached->kind, msg.correlation, *cached->payload);
-    }
-    return;
+  // At-most-once, checked before routing, not just before execution: a Core
+  // that executed the request and then moved the target away must replay
+  // from its slot window, not forward the retry to be executed a second
+  // time at the new host. Peek is read-only — admission (which claims the
+  // slot) happens only on the execute path below.
+  const net::ReplayDirectory::AdmitResult peek = core_.replay().Peek(msg.session);
+  switch (peek.outcome) {
+    case net::Admission::kFresh:
+      break;  // unseen here: route it
+    case net::Admission::kInProgress:
+      // A duplicate raced in while the first copy is still executing (e.g.
+      // behind its durability barrier); the eventual reply covers both.
+      core_.inst_.session_suppressed->Inc();
+      return;
+    case net::Admission::kReplay:
+      core_.inst_.session_replays->Inc();
+      if (rq.oneway) {
+        // No reply to replay, but the origin's slot must still come free —
+        // the first ack may be the very loss that caused this retry.
+        core_.SendSlotAck(msg.session);
+      } else {
+        // Replay copy: the cached reply must survive further duplicates.
+        core_.inst_.bytes_copied->Inc(peek.reply->size());
+        core_.Reply(rq.origin, peek.reply_kind, msg.correlation, *peek.reply,
+                    msg.session);
+      }
+      return;
+    case net::Admission::kStale:
+      core_.inst_.session_stale->Inc();
+      return;
   }
 
   TrackerEntry& entry = core_.trackers().Ensure(rq.handle);
 
   if (entry.is_local()) {
-    if (!core_.AdmitOnce(rq.origin, msg.correlation)) return;
-    ExecuteAndReply(rq, msg.correlation);
+    if (!core_.AdmitOnce(msg)) return;
+    ExecuteAndReply(rq, msg.correlation, msg.session);
     return;
   }
 
@@ -507,12 +552,14 @@ void InvocationUnit::ProcessRequest(wire::InvokeRequest rq, net::Message msg) {
   fwd.to = entry.next;
   fwd.kind = net::MessageKind::kInvokeRequest;
   fwd.correlation = msg.correlation;
+  fwd.session = msg.session;  // the slot identity survives every hop
   fwd.payload = wire::EncodeInvokeRequest(rq);
-  core_.network().Send(std::move(fwd));
+  core_.formation().Enqueue(std::move(fwd), net::Formation::Lane::kImmediate);
 }
 
 void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
-                                     std::uint64_t correlation) {
+                                     std::uint64_t correlation,
+                                     const net::SessionKey& skey) {
   // NOTE: a routed __fargo.move dispatches into the synchronous MoveLocal
   // here, which pumps (the executor blocks its "thread" like the paper's
   // per-request thread). That is deliberate: the move settles — commit or
@@ -527,9 +574,9 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
                       rq.trace.retry);
   core_.inst_.execs->Inc();
   if (rq.oneway) {
-    // Reply-less flow: execute, mark the dedup entry complete (with an
-    // empty cached reply — duplicates are dropped, not re-answered) and
-    // still shorten the chain; errors die here with a log line.
+    // Reply-less flow: execute, mark the slot complete (with an empty
+    // cached reply — duplicates are dropped, not re-answered) and still
+    // shorten the chain; errors die here with a log line.
     try {
       monitor::TraceScope scope(tracer, exec.ctx);
       core_.DispatchLocal(rq.handle.id, rq.method, rq.args);
@@ -541,17 +588,16 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
       LogWarn() << "one-way invocation of " << rq.method << " failed: "
                 << e.what();
     }
-    core_.dedup().Complete(rq.origin, correlation,
-                           net::MessageKind::kInvokeReply, {},
-                           core_.scheduler().Now());
-    // No reply carries this dedup entry into the log (Core::Reply logs the
+    core_.replay().Complete(skey, net::MessageKind::kInvokeReply, {});
+    // No reply carries this slot state into the log (Core::Reply logs the
     // two-way ones), so record it here: a recovered executor must keep
     // dropping duplicates of oneways it already ran.
     if (Wal* wal = core_.wal(); wal != nullptr && !wal->replaying()) {
-      wal->AppendExec(rq.origin, correlation, net::MessageKind::kInvokeReply,
-                      {});
+      wal->AppendExec(skey, net::MessageKind::kInvokeReply, {});
       wal->LazySync();
     }
+    // Hand the slot back to the origin (there is no reply to do it).
+    if (skey.valid()) core_.SendSlotAck(skey);
     SendShorteningUpdates(rq, exec.ctx);
     return;
   }
@@ -577,13 +623,15 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
     err.WriteBool(false);  // application error: the method DID run/throw
     err.WriteString(e.what());
     wire::WriteTraceTail(err, exec.ctx);
+    // The method ran (and threw) — the error is the cached outcome, so the
+    // reply carries the session key and completes the slot like a success.
     core_.Reply(rq.origin, net::MessageKind::kInvokeReply, correlation,
-                err.Take());
+                err.Take(), skey);
     return;
   }
   // Reply straight to the origin...
   core_.Reply(rq.origin, net::MessageKind::kInvokeReply, correlation,
-              w.Take());
+              w.Take(), skey);
 
   // ...and shorten the whole chain (§3.1).
   SendShorteningUpdates(rq, exec.ctx);
@@ -607,7 +655,8 @@ void InvocationUnit::SendShorteningUpdates(const wire::InvokeRequest& rq,
     u.to = hop;
     u.kind = net::MessageKind::kTrackerUpdate;
     u.payload = upd.Take();
-    core_.network().Send(std::move(u));
+    // Priority lane: routing freshness must not queue behind bulk frames.
+    core_.formation().Enqueue(std::move(u), net::Formation::Lane::kPriority);
   }
 }
 

@@ -38,8 +38,9 @@ class InvocationUnit {
   /// When the Core's RetryPolicy allows more than one attempt, retry-safe
   /// failures (timeouts and transport-flagged error replies, both of which
   /// mean the method never executed) are retried with exponential backoff.
-  /// Retries reuse the original correlation, and executors dedup on
-  /// (origin, correlation), so a method runs at most once per Invoke call.
+  /// Retries reuse the original correlation and session key, and executors
+  /// detect duplicates by slot replay (src/net/session.h), so a method runs
+  /// at most once per Invoke call.
   ///
   /// On a transport failure (severed chain, dead Core) with the home
   /// registry enabled, the target's home is consulted and the invocation
@@ -104,6 +105,10 @@ class InvocationUnit {
     monitor::Tracer::Opened root{};  ///< the invocation's root span
     SimTime begin = 0;
     std::uint64_t corr = 0;
+    /// Session slot leased for this call (net/session.h): every resend
+    /// reuses it, so the executor recognizes duplicates by slot replay.
+    /// Released when the call settles.
+    net::SessionKey skey;
     int attempt = 0;
     int max_attempts = 1;
     sim::TaskId timer = 0;  ///< pending timeout or backoff task
@@ -143,7 +148,8 @@ class InvocationUnit {
   void ProcessRequest(wire::InvokeRequest rq, net::Message msg);
 
   void ExecuteAndReply(const wire::InvokeRequest& rq,
-                       std::uint64_t correlation);
+                       std::uint64_t correlation,
+                       const net::SessionKey& skey);
   void SendShorteningUpdates(const wire::InvokeRequest& rq,
                              const wire::TraceContext& ctx);
 

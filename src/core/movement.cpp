@@ -475,7 +475,7 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
     serial::Writer err;
     wire::WriteError(err, "move txn resolved aborted by recovery");
     core_.Reply(msg.from, net::MessageKind::kMoveReply, msg.correlation,
-                err.Take());
+                err.Take(), msg.session);
     return;
   }
 
@@ -507,7 +507,7 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
     serial::Writer err;
     wire::WriteError(err, e.what());
     core_.Reply(msg.from, net::MessageKind::kMoveReply, msg.correlation,
-                err.Take());
+                err.Take(), msg.session);
     return;
   }
 
@@ -533,7 +533,7 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
   wire::WriteOk(ok);
   wire::WriteComletList(ok, arrived);
   core_.Reply(msg.from, net::MessageKind::kMoveReply, msg.correlation,
-              ok.Take());
+              ok.Take(), msg.session);
 
   // "Call with continuation" (§3.3): the receiving Core invokes the given
   // method after unmarshaling.

@@ -36,88 +36,4 @@ SimTime RetryPolicy::BackoffAfter(int failed_attempt,
   return std::max<SimTime>(0, static_cast<SimTime>(std::llround(base)));
 }
 
-DedupCache::BeginResult DedupCache::Begin(CoreId origin,
-                                          std::uint64_t correlation,
-                                          SimTime now) {
-  EvictExpired(now);
-  auto [it, inserted] = entries_.try_emplace(Key{origin, correlation});
-  BeginResult result;
-  if (inserted) return result;
-  if (!it->second.done) {
-    result.outcome = Outcome::kInProgress;
-    ++suppressed_;
-    return result;
-  }
-  result.outcome = Outcome::kReplay;
-  result.reply_kind = it->second.reply_kind;
-  result.reply = &it->second.reply;
-  ++replays_;
-  return result;
-}
-
-std::optional<DedupCache::CachedReply> DedupCache::Lookup(
-    CoreId origin, std::uint64_t correlation) {
-  auto it = entries_.find(Key{origin, correlation});
-  if (it == entries_.end() || !it->second.done) return std::nullopt;
-  ++replays_;
-  return CachedReply{it->second.reply_kind, &it->second.reply};
-}
-
-bool DedupCache::Complete(CoreId origin, std::uint64_t correlation,
-                          net::MessageKind reply_kind,
-                          const std::vector<std::uint8_t>& payload,
-                          SimTime now) {
-  auto it = entries_.find(Key{origin, correlation});
-  if (it == entries_.end() || it->second.done) return false;
-  it->second.done = true;
-  it->second.reply_kind = reply_kind;
-  it->second.reply = payload;
-  it->second.completed_at = now;
-  completion_order_.push_back(it->first);
-  return true;
-}
-
-std::vector<DedupCache::SeedEntry> DedupCache::Snapshot() const {
-  std::vector<SeedEntry> out;
-  out.reserve(completion_order_.size());
-  for (const Key& key : completion_order_) {
-    auto it = entries_.find(key);
-    if (it == entries_.end() || !it->second.done) continue;
-    out.push_back(SeedEntry{key.origin, key.correlation, it->second.reply_kind,
-                            it->second.reply});
-  }
-  return out;
-}
-
-void DedupCache::Seed(CoreId origin, std::uint64_t correlation,
-                      net::MessageKind reply_kind,
-                      std::vector<std::uint8_t> reply, SimTime now) {
-  auto [it, inserted] = entries_.try_emplace(Key{origin, correlation});
-  if (inserted || !it->second.done) completion_order_.push_back(it->first);
-  it->second.done = true;
-  it->second.reply_kind = reply_kind;
-  it->second.reply = std::move(reply);
-  it->second.completed_at = now;
-}
-
-void DedupCache::Clear() {
-  entries_.clear();
-  completion_order_.clear();
-}
-
-void DedupCache::EvictExpired(SimTime now) {
-  while (!completion_order_.empty()) {
-    // Done entries are immutable, so the front of the deque is always the
-    // oldest completion still cached.
-    auto it = entries_.find(completion_order_.front());
-    if (it == entries_.end()) {
-      completion_order_.pop_front();
-      continue;
-    }
-    if (now - it->second.completed_at < ttl_) return;
-    entries_.erase(it);
-    completion_order_.pop_front();
-  }
-}
-
 }  // namespace fargo::core

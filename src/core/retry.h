@@ -1,24 +1,18 @@
-// At-most-once RPC support: retry policy and correlation dedup cache.
+// Client-side retry schedule for at-most-once RPC.
 //
 // Retries are only safe for failures the transport *guarantees* never
 // executed the request (timeouts and transport-flagged error replies); the
-// retry reuses the original correlation token so the executor side can
-// recognize the request if both the original and the retry arrive. The
-// DedupCache closes the loop: the executor records each (origin,
-// correlation) it has begun, suppresses concurrent duplicates, and answers
-// late duplicates from the cached reply instead of re-executing — turning
-// the at-least-once retry loop into at-most-once execution.
+// retry reuses the original correlation and session key (epoch, slot, seq
+// — src/net/session.h) so the executor side can recognize the request if
+// both the original and the retry arrive. The executor's ReplayDirectory
+// closes the loop: it suppresses concurrent duplicates and answers late
+// ones from the cached reply instead of re-executing — turning the
+// at-least-once retry loop into at-most-once execution.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
-#include <unordered_map>
-#include <vector>
 
-#include "src/common/ids.h"
 #include "src/common/time.h"
-#include "src/net/network.h"
 
 namespace fargo::core {
 
@@ -38,105 +32,6 @@ struct RetryPolicy {
   /// Deterministic: the jitter is a pure function of (seed, salt, attempt),
   /// so identical runs replay identical schedules.
   SimTime BackoffAfter(int failed_attempt, std::uint64_t salt) const;
-};
-
-/// Executor-side request dedup, keyed by (origin Core, correlation).
-/// Entries expire `ttl` after completion — the window must outlive the
-/// client's last possible retry (attempts x (timeout + backoff)).
-class DedupCache {
- public:
-  enum class Outcome : std::uint8_t {
-    kFresh,       ///< first sighting: execute it
-    kInProgress,  ///< already executing (duplicate raced in): drop it
-    kReplay,      ///< already answered: resend the cached reply
-  };
-
-  struct BeginResult {
-    Outcome outcome = Outcome::kFresh;
-    net::MessageKind reply_kind = net::MessageKind::kControlReply;
-    /// Cached reply payload; valid only for kReplay, and only until the
-    /// next mutating cache call.
-    const std::vector<std::uint8_t>* reply = nullptr;
-  };
-
-  explicit DedupCache(SimTime ttl = Seconds(60)) : ttl_(ttl) {}
-
-  void SetTtl(SimTime ttl) { ttl_ = ttl; }
-  SimTime ttl() const { return ttl_; }
-
-  /// Records that a request keyed (origin, correlation) is about to
-  /// execute, or reports it as a duplicate. Also evicts expired entries.
-  BeginResult Begin(CoreId origin, std::uint64_t correlation, SimTime now);
-
-  struct CachedReply {
-    net::MessageKind kind = net::MessageKind::kControlReply;
-    const std::vector<std::uint8_t>* payload = nullptr;
-  };
-  /// Cached reply for an already-completed request, if any. Used by
-  /// forwarding hops: a Core that executed a request and then moved the
-  /// target away answers retries from its cache instead of forwarding them
-  /// to be executed a second time at the new host.
-  std::optional<CachedReply> Lookup(CoreId origin, std::uint64_t correlation);
-
-  /// Caches the reply for a request previously admitted by Begin. No-op
-  /// for unknown keys (replies to requests that were never deduped, e.g.
-  /// park-expiry errors) and for already-completed entries. Returns true
-  /// when the reply was actually stored (i.e. a copy was made).
-  bool Complete(CoreId origin, std::uint64_t correlation,
-                net::MessageKind reply_kind,
-                const std::vector<std::uint8_t>& payload, SimTime now);
-
-  void EvictExpired(SimTime now);
-
-  /// One completed entry, in completion order, for WAL checkpoints.
-  struct SeedEntry {
-    CoreId origin;
-    std::uint64_t correlation = 0;
-    net::MessageKind reply_kind = net::MessageKind::kControlReply;
-    std::vector<std::uint8_t> reply;
-  };
-  /// Completed entries in completion order (in-progress ones are volatile
-  /// by design: their requests will be retried and re-admitted).
-  std::vector<SeedEntry> Snapshot() const;
-  /// Re-inserts a completed entry during WAL replay; idempotent, later
-  /// seeds of the same key win.
-  void Seed(CoreId origin, std::uint64_t correlation,
-            net::MessageKind reply_kind, std::vector<std::uint8_t> reply,
-            SimTime now);
-  void Clear();
-
-  std::size_t size() const { return entries_.size(); }
-  std::uint64_t replays() const { return replays_; }
-  std::uint64_t suppressed() const { return suppressed_; }
-
- private:
-  struct Key {
-    CoreId origin;
-    std::uint64_t correlation = 0;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      std::uint64_t x =
-          (std::uint64_t{k.origin.value} << 32) ^ k.correlation;
-      x ^= x >> 33;
-      x *= 0xff51afd7ed558ccdull;
-      x ^= x >> 33;
-      return static_cast<std::size_t>(x);
-    }
-  };
-  struct Entry {
-    bool done = false;
-    net::MessageKind reply_kind = net::MessageKind::kControlReply;
-    std::vector<std::uint8_t> reply;
-    SimTime completed_at = 0;  ///< TTL anchor; meaningful once done
-  };
-
-  SimTime ttl_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::deque<Key> completion_order_;  ///< completion-time FIFO for eviction
-  std::uint64_t replays_ = 0;
-  std::uint64_t suppressed_ = 0;
 };
 
 }  // namespace fargo::core

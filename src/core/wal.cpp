@@ -71,16 +71,22 @@ WalRecord ReadStateRecord(serial::Reader& r) {
 }
 
 void WriteExecRecord(serial::Writer& w, const WalRecord& r) {
-  wire::WriteCoreId(w, r.peer);
-  w.WriteVarint(r.correlation);
+  w.WriteVarint(r.session.origin.value);
+  w.WriteVarint(r.session.peer.value);
+  w.WriteVarint(r.session.epoch);
+  w.WriteVarint(r.session.slot);
+  w.WriteVarint(r.session.seq);
   w.WriteU8(r.reply_kind);
   w.WriteBytes(r.reply);
 }
 
 WalRecord ReadExecRecord(serial::Reader& r) {
   WalRecord rec;
-  rec.peer = wire::ReadCoreId(r);
-  rec.correlation = r.ReadVarint();
+  rec.session.origin.value = static_cast<std::uint32_t>(r.ReadVarint());
+  rec.session.peer.value = static_cast<std::uint32_t>(r.ReadVarint());
+  rec.session.epoch = r.ReadVarint();
+  rec.session.slot = static_cast<std::uint32_t>(r.ReadVarint());
+  rec.session.seq = r.ReadVarint();
   rec.reply_kind = r.ReadU8();
   rec.reply = r.ReadBytes();
   return rec;
@@ -355,14 +361,13 @@ void Wal::AppendState(const Anchor& anchor) {
   Append(rec);
 }
 
-void Wal::AppendExec(CoreId peer, std::uint64_t correlation,
+void Wal::AppendExec(const net::SessionKey& session,
                      net::MessageKind reply_kind,
                      const std::vector<std::uint8_t>& reply) {
   if (replaying_) return;
   WalRecord rec;
   rec.kind = kWalExec;
-  rec.peer = peer;
-  rec.correlation = correlation;
+  rec.session = session;
   rec.reply_kind = static_cast<std::uint8_t>(reply_kind);
   rec.reply = reply;
   Append(rec);
@@ -604,11 +609,10 @@ std::vector<std::vector<std::uint8_t>> Wal::SidecarRecords() {
     out.push_back(EncodeWalRecord(rec));
   }
 
-  for (const DedupCache::SeedEntry& e : core_.dedup_.Snapshot()) {
+  for (const net::ReplayDirectory::SeedEntry& e : core_.replay_.Snapshot()) {
     WalRecord rec;
     rec.kind = kWalExec;
-    rec.peer = e.origin;
-    rec.correlation = e.correlation;
+    rec.session = e.key;
     rec.reply_kind = static_cast<std::uint8_t>(e.reply_kind);
     rec.reply = e.reply;
     out.push_back(EncodeWalRecord(rec));
@@ -775,9 +779,9 @@ void Wal::ApplyRecord(const WalRecord& rec, std::uint64_t index) {
       break;
     case kWalExec:
       if (!pre_image)
-        core_.dedup_.Seed(rec.peer, rec.correlation,
-                          static_cast<net::MessageKind>(rec.reply_kind),
-                          rec.reply, core_.scheduler().Now());
+        core_.replay_.Seed(rec.session,
+                           static_cast<net::MessageKind>(rec.reply_kind),
+                           rec.reply);
       break;
     case kWalBind:
       if (!pre_image) core_.naming_.Bind(rec.name, rec.handle);

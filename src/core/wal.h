@@ -2,7 +2,8 @@
 //
 // A durable Core appends every externally visible mutation to a per-Core
 // log on the simulated disk (sim::Storage): complet installs and state
-// images, executed-reply records (the dedup cache's durable twin), name
+// images, executed-reply records (the replay directory's durable twin,
+// keyed by session/slot/seq — src/net/session.h), name
 // bindings, tracker repoints, home-registry knowledge, and the two-phase
 // movement protocol (PREPARE / COMMIT / ABORT at the source, MOVE-IN at the
 // destination). Replies leave the Core only after a write barrier covers
@@ -48,7 +49,7 @@ class Anchor;
 // this: a record that can be written but not replayed is data loss).
 inline constexpr std::uint8_t kWalInstall = 1;  ///< complet hosted (image)
 inline constexpr std::uint8_t kWalState = 2;    ///< post-dispatch state image
-inline constexpr std::uint8_t kWalExec = 3;     ///< cached reply (dedup twin)
+inline constexpr std::uint8_t kWalExec = 3;     ///< cached reply (slot twin)
 inline constexpr std::uint8_t kWalBind = 4;     ///< name binding
 inline constexpr std::uint8_t kWalTracker = 5;  ///< tracker forward repoint
 inline constexpr std::uint8_t kWalHome = 6;     ///< home-registry knowledge
@@ -71,8 +72,8 @@ struct WalRecord {
   std::string anchor_type;    ///< install/state/tracker
   std::vector<std::uint8_t> image;  ///< install/state: EncodeComletImage body
 
-  CoreId peer;  ///< exec: reply target; move-in: source; remove: new host
-  std::uint64_t correlation = 0;       ///< exec
+  CoreId peer;  ///< move-in: source; remove: new host
+  net::SessionKey session;             ///< exec: slot-replay key
   std::uint8_t reply_kind = 0;         ///< exec: net::MessageKind
   std::vector<std::uint8_t> reply;     ///< exec: cached reply payload
 
@@ -145,8 +146,10 @@ class Wal {
 
   void AppendInstall(const Anchor& anchor);
   void AppendState(const Anchor& anchor);
-  void AppendExec(CoreId peer, std::uint64_t correlation,
-                  net::MessageKind reply_kind,
+  /// Logs a completed (session, slot, seq) with its cached reply so a
+  /// recovered executor re-derives the replay window and keeps answering
+  /// duplicates without re-executing.
+  void AppendExec(const net::SessionKey& session, net::MessageKind reply_kind,
                   const std::vector<std::uint8_t>& reply);
   void AppendBind(const std::string& name, const ComletHandle& handle);
   void AppendTracker(ComletId comlet, CoreId next,
@@ -180,7 +183,7 @@ class Wal {
   /// *durable* kWalMeta promise. While false, outbound requests are held
   /// (Core::SendAsync) — a burst of mints can outrun any number of in-flight
   /// promises, and a correlation a peer saw before its promise was durable
-  /// would be re-issued after a crash (stale dedup replies).
+  /// would be re-issued after a crash (stale replies out of replay windows).
   bool SequencesDurable() const;
   /// Settles once SequencesDurable() holds for the counters as of this call
   /// (a barrier covering the latest promise lands). Settles on crash too;
@@ -204,7 +207,7 @@ class Wal {
   void OnCrash();
 
   /// Replays checkpoint + durable records into the Core (quietly), reseeds
-  /// the dedup cache, then resolves in-doubt moves by querying their
+  /// the replay windows, then resolves in-doubt moves by querying their
   /// destinations. Called from Core::Restart after volatile state is reset.
   void Recover();
 
@@ -240,8 +243,9 @@ class Wal {
   void ApplyRecord(const WalRecord& rec, std::uint64_t index);
   std::string CheckpointBlobName() const;
   /// Log-truncation survivors that SaveCoreImage does not capture —
-  /// trackers, dedup entries, home knowledge, move-in marks, ceilings —
-  /// encoded as ordinary WAL records and replayed like any others.
+  /// trackers, replay-window entries, home knowledge, move-in marks,
+  /// ceilings — encoded as ordinary WAL records and replayed like any
+  /// others.
   std::vector<std::vector<std::uint8_t>> SidecarRecords();
   /// Schedules one checkpoint `checkpoint_interval_` from now unless one is
   /// already pending; every Append re-arms, so quiescent logs stay quiet.

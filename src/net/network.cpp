@@ -41,6 +41,8 @@ const char* ToString(MessageKind kind) {
       return "RecoveryQuery";
     case MessageKind::kRecoveryReply:
       return "RecoveryReply";
+    case MessageKind::kBatch:
+      return "Batch";
   }
   return "?";
 }

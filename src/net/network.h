@@ -41,9 +41,26 @@ enum class MessageKind : std::uint8_t {
   kControlReply = 13,   ///< answer to a control/event-register request
   kRecoveryQuery = 14,  ///< WAL recovery: "did move txn N from me install?"
   kRecoveryReply = 15,
+  kBatch = 16,          ///< formation frame carrying several small messages
 };
 
 const char* ToString(MessageKind kind);
+
+/// Identifies one in-flight request within a per-(origin,peer) session
+/// (src/net/session.h). Travels on the Message frame, not inside protocol
+/// payloads, so forwarding hops can relay it without re-encoding. A
+/// default-constructed key (epoch 0) means "no session" — the receiver
+/// skips slot admission, which is what idempotent requests want.
+struct SessionKey {
+  CoreId origin;            ///< session owner (the retrying side)
+  CoreId peer;              ///< executor the slot was acquired for
+  std::uint64_t epoch = 0;  ///< origin incarnation; 0 = invalid/no session
+  std::uint32_t slot = 0;   ///< slot index within the session
+  std::uint64_t seq = 0;    ///< per-slot use counter (detects slot reuse)
+
+  bool valid() const { return epoch != 0; }
+  friend bool operator==(const SessionKey&, const SessionKey&) = default;
+};
 
 /// A Core-to-Core message.
 struct Message {
@@ -51,6 +68,7 @@ struct Message {
   CoreId to;
   MessageKind kind = MessageKind::kControl;
   std::uint64_t correlation = 0;  ///< request/reply matching token
+  SessionKey session;             ///< slot-replay key; invalid = sessionless
   std::vector<std::uint8_t> payload;
 
   std::size_t size() const { return payload.size(); }

@@ -1,0 +1,222 @@
+#include "src/net/session.h"
+
+#include <algorithm>
+
+namespace fargo::net {
+
+SessionKey SessionPool::Acquire(CoreId origin, CoreId peer) {
+  Session& s = sessions_[peer];
+  SessionKey key;
+  key.origin = origin;
+  key.peer = peer;
+  key.epoch = epoch_;
+  if (!s.free.empty()) {
+    key.slot = s.free.back();
+    s.free.pop_back();
+    Slot& slot = s.slots[key.slot];
+    slot.seq += 1;
+    slot.leased = true;
+    key.seq = slot.seq;
+  } else {
+    key.slot = static_cast<std::uint32_t>(s.slots.size());
+    s.slots.push_back(Slot{1, true});
+    key.seq = 1;
+  }
+  return key;
+}
+
+void SessionPool::Release(const SessionKey& key) {
+  if (key.epoch != epoch_) return;  // lease from a previous incarnation
+  auto it = sessions_.find(key.peer);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (key.slot >= s.slots.size()) return;
+  Slot& slot = s.slots[key.slot];
+  if (!slot.leased || slot.seq != key.seq) return;  // already re-leased
+  slot.leased = false;
+  s.free.push_back(key.slot);
+}
+
+std::size_t SessionPool::slots_in_flight() const {
+  std::size_t n = 0;
+  // fargolint: order-insensitive(commutative sum)
+  for (const auto& [peer, s] : sessions_)
+    // fargolint: order-insensitive(commutative sum over a plain vector)
+    for (const Slot& slot : s.slots) n += slot.leased ? 1 : 0;
+  return n;
+}
+
+std::size_t SessionPool::slots_allocated() const {
+  std::size_t n = 0;
+  // fargolint: order-insensitive(commutative sum)
+  for (const auto& [peer, s] : sessions_) n += s.slots.size();
+  return n;
+}
+
+ReplayDirectory::Window* ReplayDirectory::Resolve(const SessionKey& key) {
+  Window& w = windows_[PairKey{key.origin, key.peer}];
+  if (key.epoch > w.epoch) {
+    // New origin incarnation: everything from the old epoch is settled.
+    w.epoch = key.epoch;
+    w.slots.clear();
+  } else if (key.epoch < w.epoch) {
+    return nullptr;  // straggler from a dead incarnation
+  }
+  return &w;
+}
+
+ReplayDirectory::AdmitResult ReplayDirectory::Admit(const SessionKey& key) {
+  AdmitResult r;
+  if (!key.valid()) return r;  // sessionless: caller decides elsewhere
+  Window* w = Resolve(key);
+  if (w == nullptr) {
+    ++stale_;
+    r.outcome = Admission::kStale;
+    return r;
+  }
+  SlotState& slot = w->slots[key.slot];
+  if (key.seq > slot.last_seq) {
+    // New tenant of the slot: the previous request (if any) was settled
+    // at the origin, so its cached reply can go.
+    slot.last_seq = key.seq;
+    slot.done = false;
+    slot.reply.clear();
+    r.outcome = Admission::kFresh;
+    return r;
+  }
+  if (key.seq < slot.last_seq) {
+    ++stale_;
+    r.outcome = Admission::kStale;
+    return r;
+  }
+  if (slot.done) {
+    ++replays_;
+    r.outcome = Admission::kReplay;
+    r.reply_kind = slot.reply_kind;
+    r.reply = &slot.reply;
+    return r;
+  }
+  ++suppressed_;
+  r.outcome = Admission::kInProgress;
+  return r;
+}
+
+ReplayDirectory::AdmitResult ReplayDirectory::Peek(
+    const SessionKey& key) const {
+  AdmitResult r;
+  if (!key.valid()) return r;
+  auto wit = windows_.find(PairKey{key.origin, key.peer});
+  if (wit == windows_.end()) return r;
+  const Window& w = wit->second;
+  if (key.epoch != w.epoch) {
+    if (key.epoch < w.epoch) {
+      ++stale_;
+      r.outcome = Admission::kStale;
+    }
+    return r;
+  }
+  auto sit = w.slots.find(key.slot);
+  if (sit == w.slots.end()) return r;
+  const SlotState& slot = sit->second;
+  if (key.seq < slot.last_seq) {
+    ++stale_;
+    r.outcome = Admission::kStale;
+    return r;
+  }
+  if (key.seq > slot.last_seq) return r;
+  if (slot.done) {
+    ++replays_;
+    r.outcome = Admission::kReplay;
+    r.reply_kind = slot.reply_kind;
+    r.reply = &slot.reply;
+  } else {
+    ++suppressed_;
+    r.outcome = Admission::kInProgress;
+  }
+  return r;
+}
+
+bool ReplayDirectory::Complete(const SessionKey& key, MessageKind reply_kind,
+                               const std::vector<std::uint8_t>& payload) {
+  if (!key.valid()) return false;
+  auto wit = windows_.find(PairKey{key.origin, key.peer});
+  if (wit == windows_.end()) return false;
+  Window& w = wit->second;
+  if (key.epoch != w.epoch) return false;
+  auto sit = w.slots.find(key.slot);
+  if (sit == w.slots.end()) return false;
+  SlotState& slot = sit->second;
+  // The slot may have been re-leased while this request executed (the
+  // origin settled it some other way); a stale completion must not cache
+  // its reply onto the new tenant.
+  if (slot.last_seq != key.seq || slot.done) return false;
+  slot.done = true;
+  slot.reply_kind = reply_kind;
+  slot.reply = payload;
+  return true;
+}
+
+void ReplayDirectory::Seed(const SessionKey& key, MessageKind reply_kind,
+                           std::vector<std::uint8_t> reply) {
+  if (!key.valid()) return;
+  Window* w = Resolve(key);
+  if (w == nullptr) return;
+  SlotState& slot = w->slots[key.slot];
+  if (key.seq < slot.last_seq) return;
+  slot.last_seq = key.seq;
+  slot.done = true;
+  slot.reply_kind = reply_kind;
+  slot.reply = std::move(reply);
+}
+
+std::vector<ReplayDirectory::SeedEntry> ReplayDirectory::Snapshot() const {
+  std::vector<SeedEntry> out;
+  // fargolint: order-insensitive(sorted below before returning)
+  for (const auto& [pair, w] : windows_) {
+    // fargolint: order-insensitive(sorted below before returning)
+    for (const auto& [slot_idx, slot] : w.slots) {
+      if (!slot.done) continue;  // in-progress entries are volatile by design
+      SeedEntry e;
+      e.key.origin = pair.origin;
+      e.key.peer = pair.peer;
+      e.key.epoch = w.epoch;
+      e.key.slot = slot_idx;
+      e.key.seq = slot.last_seq;
+      e.reply_kind = slot.reply_kind;
+      e.reply = slot.reply;
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SeedEntry& a, const SeedEntry& b) {
+    if (a.key.origin.value != b.key.origin.value)
+      return a.key.origin.value < b.key.origin.value;
+    if (a.key.peer.value != b.key.peer.value)
+      return a.key.peer.value < b.key.peer.value;
+    return a.key.slot < b.key.slot;
+  });
+  return out;
+}
+
+void ReplayDirectory::Clear() { windows_.clear(); }
+
+std::size_t ReplayDirectory::slot_count() const {
+  std::size_t n = 0;
+  // fargolint: order-insensitive(commutative sum)
+  for (const auto& [pair, w] : windows_) n += w.slots.size();
+  return n;
+}
+
+std::vector<std::string> ReplayDirectory::Describe() const {
+  std::vector<std::string> lines;
+  // fargolint: order-insensitive(sorted below before returning)
+  for (const auto& [pair, w] : windows_) {
+    lines.push_back("origin=" + std::to_string(pair.origin.value) +
+                    " peer=" + std::to_string(pair.peer.value) +
+                    " epoch=" + std::to_string(w.epoch) +
+                    " slots=" + std::to_string(w.slots.size()));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace fargo::net

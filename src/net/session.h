@@ -1,0 +1,183 @@
+// Per-(origin,peer) RPC sessions with slot-window replay.
+//
+// Replaces the (origin, correlation) TTL dedup cache: the origin leases a
+// *slot* in a lazily-established session per peer and stamps each request
+// with (epoch, slot, seq). The executor keeps one SlotState per slot —
+// duplicate detection is an O(1) slot lookup instead of a TTL-managed hash
+// of every correlation ever seen, and the state is bounded by the number
+// of concurrently outstanding requests, not by a retry-window worst case.
+//
+// Slot admission outcomes mirror the old cache:
+//   seq >  last_seq  →  kFresh       (new use of the slot: execute)
+//   seq == last_seq  →  kInProgress  (duplicate raced in: drop) or
+//                       kReplay      (already answered: resend cached reply)
+//   seq <  last_seq  →  kStale       (slot was reused; the origin has
+//                                     settled that request: drop)
+//
+// Epochs order origin incarnations: a restarted origin opens a higher
+// epoch, the window resets, and stragglers from the old epoch are kStale.
+// The WAL exec-record path (src/core/wal.h) is the durable twin — exec
+// records carry the session key so recovery re-derives slot state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace fargo::net {
+
+/// Origin side: leases slots for outgoing requests. One Session per peer,
+/// created lazily on first use. Slots are recycled through a free list —
+/// each reuse bumps the slot's seq, which is how the executor tells a new
+/// request from a retry of the previous tenant.
+class SessionPool {
+ public:
+  /// Sets the epoch stamped into keys handed out from now on. Must be
+  /// monotonically increasing across origin incarnations (Core restarts).
+  void SetEpoch(std::uint64_t epoch) { epoch_ = epoch; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Leases a slot for a request to `peer`. The key stays fixed for the
+  /// request's lifetime (all retries reuse it).
+  SessionKey Acquire(CoreId origin, CoreId peer);
+
+  /// Returns `key`'s slot to the free list. Idempotent, and a no-op when
+  /// the slot has already been re-leased (the seq no longer matches) or
+  /// the key belongs to an older epoch.
+  void Release(const SessionKey& key);
+
+  /// Drops every session (origin crash/restart: outstanding keys die with
+  /// the old epoch).
+  void Clear() { sessions_.clear(); }
+
+  std::size_t session_count() const { return sessions_.size(); }
+  /// Slots currently leased to in-flight requests, across all sessions.
+  std::size_t slots_in_flight() const;
+  /// Total slots ever grown, across all sessions.
+  std::size_t slots_allocated() const;
+
+ private:
+  struct Slot {
+    std::uint64_t seq = 0;  ///< seq of the current/most recent lease
+    bool leased = false;
+  };
+  struct Session {
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> free;  ///< recycled slot indices (LIFO)
+  };
+
+  std::uint64_t epoch_ = 1;
+  std::unordered_map<CoreId, Session> sessions_;
+};
+
+enum class Admission : std::uint8_t {
+  kFresh,       ///< first sighting of this (slot, seq): execute it
+  kInProgress,  ///< already executing (duplicate raced in): drop it
+  kReplay,      ///< already answered: resend the cached reply
+  kStale,       ///< older seq or epoch — the origin settled it: drop it
+};
+
+/// Executor side: one ReplayWindow per (origin, peer-as-seen-here) pair,
+/// holding per-slot state. `peer` is part of the window key because one
+/// origin may run sessions against several executors whose complets later
+/// migrate to the same Core — their slot numbers must not collide.
+class ReplayDirectory {
+ public:
+  struct AdmitResult {
+    Admission outcome = Admission::kFresh;
+    MessageKind reply_kind = MessageKind::kControlReply;
+    /// Cached reply payload; valid only for kReplay, and only until the
+    /// next mutating directory call.
+    const std::vector<std::uint8_t>* reply = nullptr;
+  };
+
+  /// Records that the request keyed `key` is about to execute, or reports
+  /// it as a duplicate/stale. Invalid keys are always kFresh (sessionless
+  /// requests are admitted elsewhere or idempotent).
+  AdmitResult Admit(const SessionKey& key);
+
+  /// Routing-time probe used before a request is forwarded: the cached
+  /// reply for `key` if this Core executed it before the target moved
+  /// away. Never mutates window state (duplicates it reports stay
+  /// re-admittable), but it does count hits into the replay/suppression
+  /// telemetry — a duplicate answered here is just as answered.
+  AdmitResult Peek(const SessionKey& key) const;
+
+  /// Caches the reply for a request previously admitted. No-op (returns
+  /// false) for invalid keys, unknown slots, reused slots (seq mismatch)
+  /// and already-completed entries — replies to requests that were never
+  /// admitted (park-expiry errors, recovery replies) must not poison the
+  /// window. Returns true when the reply was stored (a copy was made).
+  bool Complete(const SessionKey& key, MessageKind reply_kind,
+                const std::vector<std::uint8_t>& payload);
+
+  /// Re-inserts a completed entry during WAL replay; idempotent, later
+  /// seeds of the same key win, stale epochs/seqs are ignored.
+  void Seed(const SessionKey& key, MessageKind reply_kind,
+            std::vector<std::uint8_t> reply);
+
+  /// One completed entry per live slot, for WAL checkpoints (sidecar
+  /// records). Deterministic order: sorted by (origin, peer, slot).
+  struct SeedEntry {
+    SessionKey key;
+    MessageKind reply_kind = MessageKind::kControlReply;
+    std::vector<std::uint8_t> reply;
+  };
+  std::vector<SeedEntry> Snapshot() const;
+
+  void Clear();
+
+  std::size_t window_count() const { return windows_.size(); }
+  /// Slots tracked across all windows.
+  std::size_t slot_count() const;
+  std::uint64_t replays() const { return replays_; }
+  std::uint64_t suppressed() const { return suppressed_; }
+  std::uint64_t stale_drops() const { return stale_; }
+
+  /// One line per window: "origin=<id> peer=<id> epoch=<e> slots=<n>",
+  /// sorted, for the shell's `sessions` command.
+  std::vector<std::string> Describe() const;
+
+ private:
+  struct SlotState {
+    std::uint64_t last_seq = 0;
+    bool done = false;
+    MessageKind reply_kind = MessageKind::kControlReply;
+    std::vector<std::uint8_t> reply;
+  };
+  struct Window {
+    std::uint64_t epoch = 0;
+    std::unordered_map<std::uint32_t, SlotState> slots;
+  };
+  struct PairKey {
+    CoreId origin;
+    CoreId peer;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      std::uint64_t x =
+          (static_cast<std::uint64_t>(k.origin.value) << 32) ^ k.peer.value;
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  /// Window for `key`, honoring epoch ordering: a higher epoch resets the
+  /// window, a lower one returns nullptr (stale).
+  Window* Resolve(const SessionKey& key);
+
+  std::unordered_map<PairKey, Window, PairKeyHash> windows_;
+  // Mutable: Peek is logically const (no window mutation) but still
+  // accounts the duplicates it intercepts.
+  mutable std::uint64_t replays_ = 0;
+  mutable std::uint64_t suppressed_ = 0;
+  mutable std::uint64_t stale_ = 0;
+};
+
+}  // namespace fargo::net

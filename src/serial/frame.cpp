@@ -1,0 +1,55 @@
+#include "src/serial/frame.h"
+
+namespace fargo::serial {
+
+void FrameWriter::Add(const std::uint8_t* data, std::size_t n) {
+  items_.Reserve(11 + n);
+  items_.WriteU8(kItemMarker);
+  items_.WriteVarint(n);
+  items_.WriteRaw(data, n);
+  ++count_;
+}
+
+namespace {
+std::size_t VarintSize(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+std::size_t FrameWriter::frame_size() const {
+  return 1 + VarintSize(count_) + items_.size();
+}
+
+std::vector<std::uint8_t> FrameWriter::Finish() {
+  Writer out;
+  out.Reserve(frame_size());
+  out.WriteU8(kFrameMarker);
+  out.WriteVarint(count_);
+  out.WriteRaw(items_.buffer().data(), items_.size());
+  items_ = Writer{};
+  count_ = 0;
+  return out.Take();
+}
+
+FrameReader::FrameReader(const std::vector<std::uint8_t>& frame)
+    : reader_(frame) {
+  if (reader_.ReadU8() != kFrameMarker)
+    throw SerialError("not a formation frame");
+  count_ = static_cast<std::size_t>(reader_.ReadVarint());
+}
+
+Reader FrameReader::Next() {
+  if (read_ >= count_) throw SerialError("frame item count overrun");
+  if (reader_.ReadU8() != kItemMarker)
+    throw SerialError("corrupt frame item marker");
+  Reader item = reader_.ReadBytesView();
+  ++read_;
+  return item;
+}
+
+}  // namespace fargo::serial

@@ -1,0 +1,71 @@
+// Framing for formation batches: several length-prefixed items inside one
+// wire payload (src/net/formation.h stacks messages into these).
+//
+// Layout:
+//   u8      kFrameMarker          ('F' — rejects non-frame payloads early)
+//   varint  item count
+//   per item:
+//     u8      kItemMarker         ('I' — catches mis-framed boundaries)
+//     varint  item length
+//     bytes   item payload
+//
+// The read side is strict: wrong markers, truncated items and trailing
+// garbage all raise SerialError, so a corrupt frame is dropped whole
+// instead of smearing bad items into the dispatch path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serial/bytes.h"
+
+namespace fargo::serial {
+
+inline constexpr std::uint8_t kFrameMarker = 0x46;  // 'F'
+inline constexpr std::uint8_t kItemMarker = 0x49;   // 'I'
+
+/// Accumulates items and emits the framed payload.
+class FrameWriter {
+ public:
+  void Add(const std::uint8_t* data, std::size_t n);
+  void Add(const std::vector<std::uint8_t>& item) {
+    Add(item.data(), item.size());
+  }
+
+  std::size_t item_count() const { return count_; }
+  /// Exact encoded size of the frame Finish() would produce now.
+  std::size_t frame_size() const;
+
+  /// Emits the frame. The writer is left empty and reusable.
+  std::vector<std::uint8_t> Finish();
+
+ private:
+  Writer items_;  ///< concatenated marker+length+bytes item records
+  std::size_t count_ = 0;
+};
+
+/// Iterates a framed payload; validates markers and bounds as it goes.
+class FrameReader {
+ public:
+  /// Throws SerialError unless `frame` opens with a well-formed header.
+  explicit FrameReader(const std::vector<std::uint8_t>& frame);
+
+  std::size_t item_count() const { return count_; }
+  std::size_t items_read() const { return read_; }
+  bool HasNext() const { return read_ < count_; }
+
+  /// Bounds-checked Reader over the next item (zero-copy view into the
+  /// frame buffer; valid while the frame outlives it). Throws SerialError
+  /// on marker mismatch or truncation, and when called past the last item.
+  Reader Next();
+
+  /// True once every declared item has been read and no bytes trail it.
+  bool Exhausted() const { return read_ == count_ && reader_.AtEnd(); }
+
+ private:
+  Reader reader_;
+  std::size_t count_ = 0;
+  std::size_t read_ = 0;
+};
+
+}  // namespace fargo::serial

@@ -132,6 +132,8 @@ bool Shell::Execute(const std::string& line) {
       CmdShutdown(args);
     } else if (cmd == "trace") {
       CmdTrace(args);
+    } else if (cmd == "sessions") {
+      CmdSessions(args);
     } else if (cmd == "stats") {
       CmdStats();
     } else if (cmd == "snapshot") {
@@ -162,7 +164,7 @@ void Shell::RunInteractive(std::istream& in, bool prompt) {
 void Shell::CmdHelp() {
   out_ << "commands: help cores ls names methods move amove reftype setref "
           "profile invoke post gc link net chaos crash wal recover heartbeat "
-          "shutdown trace stats snapshot script quit\n";
+          "shutdown trace sessions stats snapshot script quit\n";
 }
 
 void Shell::CmdCores() {
@@ -510,6 +512,40 @@ void Shell::CmdTrace(const std::vector<std::string>& args) {
          << " (load in chrome://tracing or Perfetto)\n";
   } else {
     throw FargoError("usage: trace on|off|dump [path]");
+  }
+}
+
+void Shell::CmdSessions(const std::vector<std::string>& args) {
+  std::vector<core::Core*> cores;
+  if (!args.empty()) {
+    core::Core* c = ResolveCore(args[0]);
+    if (c == nullptr) throw FargoError("unknown core: " + args[0]);
+    cores.push_back(c);
+  } else {
+    cores = runtime_.Cores();
+  }
+  for (core::Core* c : cores) {
+    out_ << c->name() << " (" << ToString(c->id()) << ")"
+         << (c->alive() ? "" : " [DOWN]") << "\n";
+    if (!c->alive()) continue;
+    const net::SessionPool& pool = c->sessions();
+    out_ << "  origin: epoch=" << pool.epoch()
+         << " sessions=" << pool.session_count()
+         << " slots=" << pool.slots_allocated()
+         << " in_flight=" << pool.slots_in_flight() << "\n";
+    const net::ReplayDirectory& replay = c->replay();
+    out_ << "  executor: windows=" << replay.window_count()
+         << " slots=" << replay.slot_count()
+         << " replays=" << replay.replays()
+         << " suppressed=" << replay.suppressed()
+         << " stale=" << replay.stale_drops() << "\n";
+    for (const std::string& line : replay.Describe())
+      out_ << "    " << line << "\n";
+    const net::Formation& f = c->formation();
+    out_ << "  formation: flushes=" << f.flushes() << " frames=" << f.frames()
+         << " batched=" << f.batched_items()
+         << " singles=" << f.single_sends() << " queued=" << f.queued()
+         << "\n";
   }
 }
 

@@ -36,6 +36,8 @@
 //   shutdown <core>               — announce shutdown of a core
 //   trace on|off|dump [path]      — toggle causal tracing / export the
 //                                   recorded spans as Chrome-trace JSON
+//   sessions [<core>]             — RPC session / slot-replay / formation
+//                                   stats (default: every live core)
 //   stats                         — dump the metrics registry (counters,
 //                                   gauges, histograms)
 //   snapshot                      — render the deployment (text monitor)
@@ -95,6 +97,7 @@ class Shell {
   void CmdHeartbeat(const std::vector<std::string>& args);
   void CmdShutdown(const std::vector<std::string>& args);
   void CmdTrace(const std::vector<std::string>& args);
+  void CmdSessions(const std::vector<std::string>& args);
   void CmdStats();
 
   core::Runtime& runtime_;

@@ -90,9 +90,9 @@ std::string TextMonitor::RenderSnapshot() const {
      << " drops=" << reg.CounterValue("net.drops")
      << " invocations=" << reg.CounterValue("invoke.count")
      << " retries=" << reg.CounterValue("rpc.retries")
-     << " dedup_hits="
-     << reg.CounterValue("dedup.replays") +
-            reg.CounterValue("dedup.suppressed")
+     << " dup_hits="
+     << reg.CounterValue("session.replays") +
+            reg.CounterValue("session.suppressed")
      << " moves=" << reg.CounterValue("move.count") << "\n";
   for (core::Core* c : runtime_.Cores()) {
     os << c->name() << " (" << ToString(c->id()) << ")"

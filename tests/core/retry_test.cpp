@@ -1,5 +1,6 @@
-// Unit tests for the at-most-once RPC building blocks: the RetryPolicy
-// backoff schedule and the executor-side DedupCache.
+// Unit tests for the RetryPolicy backoff schedule. (The executor-side
+// duplicate detection moved to slot-window replay — see
+// tests/net/session_test.cpp.)
 #include "src/core/retry.h"
 
 #include <gtest/gtest.h>
@@ -58,96 +59,6 @@ TEST(RetryPolicyTest, JitterIsDeterministicPerSaltAndVaries) {
   for (std::uint64_t salt = 1; salt < 20 && !varies; ++salt)
     varies = p.BackoffAfter(1, salt) != p.BackoffAfter(1, 0);
   EXPECT_TRUE(varies);
-}
-
-TEST(DedupCacheTest, FreshThenReplay) {
-  DedupCache cache(Seconds(60));
-  const CoreId origin{7};
-
-  auto first = cache.Begin(origin, 1, 0);
-  EXPECT_EQ(first.outcome, DedupCache::Outcome::kFresh);
-
-  // Duplicate arriving while the original still executes: suppressed.
-  auto racing = cache.Begin(origin, 1, 0);
-  EXPECT_EQ(racing.outcome, DedupCache::Outcome::kInProgress);
-  EXPECT_EQ(cache.suppressed(), 1u);
-
-  const std::vector<std::uint8_t> reply = {1, 2, 3};
-  cache.Complete(origin, 1, net::MessageKind::kInvokeReply, reply, Millis(1));
-
-  auto late = cache.Begin(origin, 1, Millis(2));
-  ASSERT_EQ(late.outcome, DedupCache::Outcome::kReplay);
-  EXPECT_EQ(late.reply_kind, net::MessageKind::kInvokeReply);
-  ASSERT_NE(late.reply, nullptr);
-  EXPECT_EQ(*late.reply, reply);
-  EXPECT_EQ(cache.replays(), 1u);
-}
-
-TEST(DedupCacheTest, KeysAreScopedPerOrigin) {
-  DedupCache cache;
-  EXPECT_EQ(cache.Begin(CoreId{1}, 5, 0).outcome, DedupCache::Outcome::kFresh);
-  // Same correlation from a different origin is a different request.
-  EXPECT_EQ(cache.Begin(CoreId{2}, 5, 0).outcome, DedupCache::Outcome::kFresh);
-}
-
-TEST(DedupCacheTest, LookupFindsOnlyCompletedEntries) {
-  DedupCache cache;
-  const CoreId origin{3};
-  EXPECT_FALSE(cache.Lookup(origin, 9).has_value());  // unknown
-  cache.Begin(origin, 9, 0);
-  EXPECT_FALSE(cache.Lookup(origin, 9).has_value());  // in progress
-  cache.Complete(origin, 9, net::MessageKind::kInvokeReply, {42}, 0);
-  auto hit = cache.Lookup(origin, 9);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->payload->at(0), 42);
-}
-
-TEST(DedupCacheTest, CompleteIgnoresUnknownKeys) {
-  // Replies to requests that were never admitted (e.g. park-expiry errors)
-  // must not poison the cache.
-  DedupCache cache;
-  cache.Complete(CoreId{1}, 99, net::MessageKind::kInvokeReply, {1}, 0);
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.Lookup(CoreId{1}, 99).has_value());
-}
-
-TEST(DedupCacheTest, TtlEvictsCompletedEntries) {
-  DedupCache cache(Millis(100));
-  const CoreId origin{1};
-  cache.Begin(origin, 1, 0);
-  cache.Complete(origin, 1, net::MessageKind::kInvokeReply, {}, 0);
-  cache.Begin(origin, 2, Millis(50));
-  cache.Complete(origin, 2, net::MessageKind::kInvokeReply, {}, Millis(50));
-  EXPECT_EQ(cache.size(), 2u);
-
-  cache.EvictExpired(Millis(100));  // entry 1 is exactly ttl old
-  EXPECT_EQ(cache.size(), 1u);
-  EXPECT_FALSE(cache.Lookup(origin, 1).has_value());
-  EXPECT_TRUE(cache.Lookup(origin, 2).has_value());
-
-  cache.EvictExpired(Millis(200));
-  EXPECT_EQ(cache.size(), 0u);
-}
-
-TEST(DedupCacheTest, EvictionRunsOnBegin) {
-  DedupCache cache(Millis(10));
-  const CoreId origin{1};
-  cache.Begin(origin, 1, 0);
-  cache.Complete(origin, 1, net::MessageKind::kInvokeReply, {}, 0);
-  // Far past the ttl, the same key is fresh again (the window is over; the
-  // client must have given up long ago).
-  EXPECT_EQ(cache.Begin(origin, 1, Seconds(1)).outcome,
-            DedupCache::Outcome::kFresh);
-}
-
-TEST(DedupCacheTest, InProgressEntriesSurviveEviction) {
-  DedupCache cache(Millis(10));
-  const CoreId origin{1};
-  cache.Begin(origin, 1, 0);  // never completed
-  cache.EvictExpired(Seconds(5));
-  // Still tracked: only *completed* entries age out.
-  EXPECT_EQ(cache.Begin(origin, 1, Seconds(5)).outcome,
-            DedupCache::Outcome::kInProgress);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/net/formation.h"
+#include "src/serial/frame.h"
 #include "tests/support/fixture.h"
 
 namespace fargo::testing {
@@ -40,14 +42,12 @@ TEST_F(WalTest, EveryRecordKindRoundTrips) {
 
   WalRecord exec;
   exec.kind = core::kWalExec;
-  exec.peer = peer;
-  exec.correlation = 77;
+  exec.session = net::SessionKey{CoreId{4}, peer, 2, 9, 77};
   exec.reply_kind = static_cast<std::uint8_t>(net::MessageKind::kInvokeReply);
   exec.reply = {9, 9};
   got = DecodeWalRecord(EncodeWalRecord(exec));
   EXPECT_EQ(got.kind, core::kWalExec);
-  EXPECT_EQ(got.peer, peer);
-  EXPECT_EQ(got.correlation, 77u);
+  EXPECT_EQ(got.session, exec.session);
   EXPECT_EQ(got.reply_kind, exec.reply_kind);
   EXPECT_EQ(got.reply, exec.reply);
 
@@ -378,6 +378,125 @@ TEST_F(WalTest, RequestsWaitForTheIdentityBarrier) {
   ASSERT_TRUE(f.settled());
   ASSERT_TRUE(f.ok());
   EXPECT_EQ(f.value(), 1);
+}
+
+// ---- Sessions × durability --------------------------------------------------
+//
+// The replay window is volatile; the WAL exec records are its durable twin,
+// keyed by the same (session, slot, seq). These tests pin the interaction:
+// a recovered executor must re-derive its slot state from the log and
+// answer late duplicates without re-executing, a crash must take unsent
+// formation frames with it, and recovery traffic must never sit behind a
+// formation deadline.
+
+TEST_F(WalTest, RecoveredExecutorAnswersRetriesFromWalWithoutReexecution) {
+  // Mid-session crash: the first attempt executes and its exec record (with
+  // the session key) becomes durable, but every reply is lost. The host then
+  // crashes. The client's retry — same slot, same seq — reaches the
+  // RECOVERED host, whose replay window was rebuilt from the WAL: it must
+  // answer from the rebuilt slot, not execute the op a second time.
+  auto cores = MakeCores(2);
+  cores[0]->EnableWal();
+  auto ledger = cores[0]->New<OpLedger>();
+  rt.RunUntilIdle();
+
+  core::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff = Millis(150);
+  cores[1]->SetRetryPolicy(policy);
+  cores[1]->SetRpcTimeout(Millis(60));
+
+  // Kill the reply direction only: requests arrive, answers vanish.
+  rt.network().SetLinkOneWay(cores[0]->id(), cores[1]->id(),
+                             net::LinkModel{Millis(5), 1.25e6, false});
+  auto stub = cores[1]->RefTo<OpLedger>(ledger.handle());
+  sim::Future<std::int64_t> f =
+      stub.InvokeAsync<std::int64_t>("apply", std::int64_t{1});
+  rt.RunFor(Millis(100));  // executed + durable; reply dropped; retry pending
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.network().SetLinkOneWay(cores[0]->id(), cores[1]->id(),
+                             net::LinkModel{Millis(5), 1.25e6, true});
+  rt.RunUntilIdle();
+
+  ASSERT_TRUE(f.settled());
+  ASSERT_TRUE(f.ok()) << "retry against the recovered host failed";
+  const auto* anchor =
+      static_cast<const OpLedger*>(cores[0]->repository().Get(
+          ledger.target()).get());
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_EQ(anchor->total(), 1);
+  EXPECT_EQ(anchor->dups(), 0) << "recovery re-executed a logged request";
+  // The answer really came out of the rebuilt window.
+  EXPECT_GT(cores[0]->replay().replays(), 0u);
+}
+
+TEST_F(WalTest, CrashDropsQueuedFormationFramesAndEpochFencesTheRestart) {
+  // Mid-batch crash: two oneway posts sit in the origin's formation queue
+  // (the delay-0 flush has not run yet) when the origin dies. The frame
+  // must die with it — nothing half-batched leaks onto the wire — and the
+  // restarted origin opens a higher session epoch, so the executor's old
+  // window is fenced rather than resurrected.
+  auto cores = MakeCores(2);
+  auto counter = cores[0]->New<Counter>();
+  rt.RunUntilIdle();
+
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+  stub.Post("increment");
+  stub.Post("increment");
+  EXPECT_GT(cores[1]->formation().queued(), 0u);
+  cores[1]->Crash();  // before the flush task fires
+  rt.RunUntilIdle();
+  auto local = cores[0]->RefTo<Counter>(
+      ComletHandle{counter.target(), cores[0]->id(), "test.Counter"});
+  EXPECT_EQ(local.Invoke<std::int64_t>("get"), 0)
+      << "a discarded formation frame reached the executor";
+
+  cores[1]->Restart();
+  rt.RunUntilIdle();
+  auto stub2 = cores[1]->RefTo<Counter>(counter.handle());
+  EXPECT_EQ(stub2.Invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(WalTest, RecoveryTrafficIsNeverFormationFramed) {
+  // Recovery queries block a restarting Core; replies to them block the
+  // querier. Neither may wait out a batch deadline or ride inside a frame —
+  // they go straight to the wire. Reuse the query-overtakes-stream scenario
+  // (it reliably produces recovery traffic) with a tap that unwraps every
+  // batch frame and flags any recovery message found inside one.
+  auto cores = MakeCores(2);
+  cores[0]->EnableWal();
+  cores[1]->EnableWal();
+  auto counter = cores[0]->New<Counter>();
+  rt.RunUntilIdle();
+
+  std::size_t raw_recovery = 0, framed_recovery = 0;
+  rt.network().SetTap([&](const net::Message& m) {
+    if (m.kind == net::MessageKind::kRecoveryQuery ||
+        m.kind == net::MessageKind::kRecoveryReply) {
+      ++raw_recovery;
+      return;
+    }
+    if (m.kind != net::MessageKind::kBatch) return;
+    serial::FrameReader frame(m.payload);
+    while (frame.HasNext()) {
+      serial::Reader item = frame.Next();
+      const net::MessageKind kind = net::ReadBatchItem(item).kind;
+      if (kind == net::MessageKind::kRecoveryQuery ||
+          kind == net::MessageKind::kRecoveryReply)
+        ++framed_recovery;
+    }
+  });
+
+  cores[0]->MoveAsync(counter, cores[1]->id());
+  rt.RunFor(Millis(5));  // prepare durable, stream in flight
+  cores[0]->Crash();
+  cores[0]->Restart();   // recovery queries the destination
+  rt.RunUntilIdle();
+
+  EXPECT_GT(raw_recovery, 0u) << "scenario produced no recovery traffic";
+  EXPECT_EQ(framed_recovery, 0u)
+      << "recovery traffic was delayed behind a formation frame";
 }
 
 // ---- Movement crash-point sweep ---------------------------------------------

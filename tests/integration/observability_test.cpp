@@ -1,7 +1,7 @@
 // End-to-end observability acceptance: a chaos soak with tracing on must
 // export a loadable Chrome-trace JSON file in which every retry and hop is
 // causally reachable from its root span, and the metrics registry must
-// report the headline numbers (latency buckets, chain hops, dedup hits)
+// report the headline numbers (latency buckets, chain hops, duplicate hits)
 // the tracing actually observed. Also covers the operator surface: the
 // shell's `trace on|off|dump` and `stats` commands and the text monitor's
 // headline gauge line.
@@ -158,14 +158,14 @@ TEST_F(ObservabilityTest, MetricsReportTheHeadlineNumbers) {
   std::uint64_t retries = 0, replays = 0, suppressed = 0;
   for (core::Core* c : cores) {
     retries += c->rpc_retries();
-    replays += c->dedup().replays();
-    suppressed += c->dedup().suppressed();
+    replays += c->replay().replays();
+    suppressed += c->replay().suppressed();
   }
   EXPECT_GT(reg.CounterValue("rpc.retries"), 0u);
   EXPECT_EQ(reg.CounterValue("rpc.retries"), retries);
-  EXPECT_EQ(reg.CounterValue("dedup.replays"), replays);
-  EXPECT_EQ(reg.CounterValue("dedup.suppressed"), suppressed);
-  EXPECT_GT(replays + suppressed, 0u) << "dedup never fired under chaos";
+  EXPECT_EQ(reg.CounterValue("session.replays"), replays);
+  EXPECT_EQ(reg.CounterValue("session.suppressed"), suppressed);
+  EXPECT_GT(replays + suppressed, 0u) << "slot replay never fired under chaos";
   EXPECT_EQ(reg.CounterValue("net.drops"), rt.network().dropped());
   EXPECT_GT(reg.CounterValue("net.drops"), 0u);
   EXPECT_GT(reg.CounterValue("move.count"), 0u);

@@ -3,7 +3,7 @@
 // chaos schedule (crash + restart_after), most in forced cycles aimed at
 // the cores the ledger lives on or is moving between. The WAL must hand
 // every restarted Core its state back, the two-phase move protocol must
-// keep the ledger existing exactly once, and the durable dedup cache must
+// keep the ledger existing exactly once, and the durable replay windows must
 // keep every operation executing exactly once: the ledger records every op
 // id it has ever applied, so a lost Core image or a replayed execution is
 // caught exactly.
@@ -152,13 +152,13 @@ TEST_P(RecoverySoakTest, CrashRestartCyclesNeverLoseOrDoubleApply) {
     replays += c->wal()->records_replayed();
   }
   EXPECT_GT(replays, 0u);
-  EXPECT_GT(rt.metrics().CounterValue("dedup.replays") +
-                rt.metrics().CounterValue("dedup.suppressed"),
+  EXPECT_GT(rt.metrics().CounterValue("session.replays") +
+                rt.metrics().CounterValue("session.suppressed"),
             0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecoverySoakTest,
-                         ::testing::Values(3u, 17u, 2026u));
+                         ::testing::Values(3u, 17u, 2026u, 4096u, 31415u));
 
 TEST(RecoverySoakDeterminismTest, SameSeedSameOutcome) {
   // Two identical seeded runs must agree exactly — recovery included.

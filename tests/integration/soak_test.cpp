@@ -203,7 +203,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSoakTest,
 //
 // 10,000 invocations against a moving OpLedger while the chaos engine
 // drops, duplicates and reorders messages. The at-most-once machinery
-// (retry with correlation reuse + executor dedup) must deliver zero double
+// (retry with session-key reuse + executor slot replay) must deliver zero double
 // executions — the ledger records every op id it has ever applied (the
 // record travels on moves), so any re-execution is caught exactly.
 
@@ -226,8 +226,8 @@ struct ChaosOutcome {
   std::uint64_t metric_invocations = 0;  // invoke.count (successes)
   std::uint64_t metric_execs = 0;        // invoke.exec (actual executions)
   std::uint64_t metric_retries = 0;      // rpc.retries
-  std::uint64_t metric_replays = 0;      // dedup.replays
-  std::uint64_t metric_suppressed = 0;   // dedup.suppressed
+  std::uint64_t metric_replays = 0;      // session.replays
+  std::uint64_t metric_suppressed = 0;   // session.suppressed
 
   bool operator==(const ChaosOutcome&) const = default;
 };
@@ -266,7 +266,7 @@ ChaosOutcome RunChaosWorld(std::uint32_t seed, int ops) {
   for (int op = 0; op < ops; ++op) {
     if (op > 0 && op % 500 == 0) {
       // Periodic re-layout: the ledger keeps moving while requests are in
-      // flight, exercising parking, forwarding and dedup across hosts.
+      // flight, exercising parking, forwarding and slot replay across hosts.
       const std::size_t dest = rng() % kCores;
       const std::size_t from = rng() % kCores;
       try {
@@ -322,15 +322,15 @@ ChaosOutcome RunChaosWorld(std::uint32_t seed, int ops) {
   std::uint64_t suppressed = 0;
   for (core::Core* c : cores) {
     out.retries += c->rpc_retries();
-    out.replays += c->dedup().replays();
-    suppressed += c->dedup().suppressed();
+    out.replays += c->replay().replays();
+    suppressed += c->replay().suppressed();
   }
   const monitor::Registry& reg = rt.metrics();
   out.metric_invocations = reg.CounterValue("invoke.count");
   out.metric_execs = reg.CounterValue("invoke.exec");
   out.metric_retries = reg.CounterValue("rpc.retries");
-  out.metric_replays = reg.CounterValue("dedup.replays");
-  out.metric_suppressed = reg.CounterValue("dedup.suppressed");
+  out.metric_replays = reg.CounterValue("session.replays");
+  out.metric_suppressed = reg.CounterValue("session.suppressed");
   // The registry is a second, independent accounting of the same run; any
   // divergence from the runtime's own counters is a wiring bug.
   EXPECT_EQ(out.metric_retries, out.retries);
@@ -366,13 +366,13 @@ TEST_P(ChaosSoakTest, TenThousandInvocationsNeverDoubleExecute) {
   // dispatch-site exec counter must account for every ledger execution,
   // exceeding it only by the handful of routed move-command executions
   // (at most one per periodic re-layout — any more would mean a replayed
-  // request re-executed), and the dedup-hit counters must show the
+  // request re-executed), and the duplicate-hit counters must show the
   // at-most-once machinery actually absorbing the duplicate deliveries.
   EXPECT_GE(out.metric_execs, static_cast<std::uint64_t>(out.applied_ops));
   EXPECT_LE(out.metric_execs,
             static_cast<std::uint64_t>(out.applied_ops) + 10000 / 500);
   EXPECT_GT(out.metric_replays + out.metric_suppressed, 0u)
-      << "chaos produced duplicates but dedup never fired";
+      << "chaos produced duplicates but slot replay never fired";
 }
 
 TEST(ChaosSoakDeterminismTest, SameSeedSameTrace) {

@@ -333,7 +333,7 @@ TEST_F(TraceInvariantTest, HeartbeatTrafficRecordsControlSpans) {
             static_cast<std::uint64_t>(pings));
 }
 
-// Seeded chaos: drops force retries, duplicates force dedup — the causal
+// Seeded chaos: drops force retries, duplicates force slot replay — the causal
 // structure must survive all of it, and span accounting must agree with
 // the runtime's own counters exactly.
 class ChaosTraceTest : public FargoTest,
@@ -430,7 +430,7 @@ TEST_P(ChaosTraceTest, TraceInvariantsHoldUnderChaos) {
             static_cast<int>(retries));
 
   // Per successful invocation: one root, and at least one execution in the
-  // same trace (dedup may have served later attempts from cache). Local
+  // same trace (slot replay may have served later attempts from cache). Local
   // fast-path invocations (hops == 0) dispatch inside the root span itself
   // and record no separate exec span.
   for (const auto& [trace_id, ts] : traces) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "src/core/wire.h"
+#include "src/net/formation.h"
+#include "src/serial/frame.h"
 #include "tests/support/fixture.h"
 
 namespace fargo::testing {
@@ -13,10 +15,20 @@ using net::MessageKind;
 
 class ProtocolTest : public FargoTest {
  protected:
-  /// Starts recording (kind, from, to) triples.
+  /// Starts recording (kind, from, to) triples. Formation frames (kBatch)
+  /// are unwrapped into their constituent messages: these tests assert the
+  /// logical protocol shape, which batching must carry unchanged.
   void Record() {
     log.clear();
     rt.network().SetTap([this](const net::Message& m) {
+      if (m.kind == MessageKind::kBatch) {
+        serial::FrameReader frame(m.payload);
+        while (frame.HasNext()) {
+          serial::Reader item = frame.Next();
+          log.push_back({net::ReadBatchItem(item).kind, m.from, m.to});
+        }
+        return;
+      }
       log.push_back({m.kind, m.from, m.to});
     });
   }

@@ -1,0 +1,243 @@
+// Batch-frame codec battery: golden layouts, strict-reader rejection of
+// malformed frames, and a seeded round-trip fuzz (truncation, bit flips,
+// marker collisions, oversized items). The read side's contract is that a
+// corrupt frame NEVER smears bad items into dispatch — every failure mode
+// must surface as SerialError (or an explicitly incomplete Exhausted()),
+// never as a quietly wrong item.
+#include "src/serial/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/serial/bytes.h"
+
+namespace fargo::serial {
+namespace {
+
+std::vector<std::uint8_t> Item(std::initializer_list<std::uint8_t> b) {
+  return std::vector<std::uint8_t>(b);
+}
+
+std::vector<std::vector<std::uint8_t>> ReadAll(
+    const std::vector<std::uint8_t>& frame) {
+  FrameReader r(frame);
+  std::vector<std::vector<std::uint8_t>> items;
+  while (r.HasNext()) {
+    Reader item = r.Next();
+    std::vector<std::uint8_t> bytes;
+    while (!item.AtEnd()) bytes.push_back(item.ReadU8());
+    items.push_back(std::move(bytes));
+  }
+  EXPECT_TRUE(r.Exhausted());
+  return items;
+}
+
+TEST(FrameTest, RoundTripsItemsInOrder) {
+  FrameWriter w;
+  w.Add(Item({1, 2, 3}));
+  w.Add(Item({}));
+  w.Add(Item({0xff}));
+  EXPECT_EQ(w.item_count(), 3u);
+  const std::vector<std::uint8_t> frame = w.Finish();
+  const auto items = ReadAll(frame);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], Item({1, 2, 3}));
+  EXPECT_EQ(items[1], Item({}));
+  EXPECT_EQ(items[2], Item({0xff}));
+}
+
+TEST(FrameTest, GoldenLayoutOfATwoItemFrame) {
+  // Pin the exact wire bytes: marker 'F', count, then per item marker 'I',
+  // varint length, payload. Any codec change that breaks this breaks mixed
+  // wire versions and must be deliberate.
+  FrameWriter w;
+  w.Add(Item({0xaa, 0xbb}));
+  w.Add(Item({0xcc}));
+  const std::vector<std::uint8_t> frame = w.Finish();
+  const std::vector<std::uint8_t> expected = {
+      0x46, 0x02,              // 'F', 2 items
+      0x49, 0x02, 0xaa, 0xbb,  // 'I', len 2, payload
+      0x49, 0x01, 0xcc,        // 'I', len 1, payload
+  };
+  EXPECT_EQ(frame, expected);
+}
+
+TEST(FrameTest, FrameSizePredictsFinishExactly) {
+  {
+    FrameWriter w;
+    EXPECT_EQ(w.frame_size(), w.Finish().size());  // empty frame
+  }
+  std::mt19937 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    FrameWriter w;
+    const std::size_t n = rng() % 6;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Sizes straddle the 1-byte/2-byte varint-length boundary.
+      std::vector<std::uint8_t> item(rng() % 400, 0x5a);
+      w.Add(item);
+    }
+    const std::size_t predicted = w.frame_size();
+    EXPECT_EQ(predicted, w.Finish().size());
+  }
+}
+
+TEST(FrameTest, FinishLeavesTheWriterEmptyAndReusable) {
+  FrameWriter w;
+  w.Add(Item({1}));
+  const std::size_t first_size = w.frame_size();
+  const std::vector<std::uint8_t> first = w.Finish();
+  EXPECT_EQ(first.size(), first_size);
+  EXPECT_EQ(w.item_count(), 0u);
+  w.Add(Item({2, 3}));
+  const auto items = ReadAll(w.Finish());
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], Item({2, 3}));
+}
+
+TEST(FrameTest, PayloadBytesEqualToMarkersDoNotConfuseFraming) {
+  // Items are length-prefixed: payloads made entirely of 'F'/'I' marker
+  // bytes must ride through untouched (no sentinel scanning).
+  FrameWriter w;
+  w.Add(Item({kFrameMarker, kFrameMarker}));
+  w.Add(Item({kItemMarker, kItemMarker, kItemMarker}));
+  const auto items = ReadAll(w.Finish());
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], Item({kFrameMarker, kFrameMarker}));
+  EXPECT_EQ(items[1], Item({kItemMarker, kItemMarker, kItemMarker}));
+}
+
+TEST(FrameTest, RejectsWrongFrameMarker) {
+  FrameWriter w;
+  w.Add(Item({1}));
+  std::vector<std::uint8_t> frame = w.Finish();
+  frame[0] = 0x58;  // not 'F'
+  EXPECT_THROW(FrameReader r(frame), SerialError);
+}
+
+TEST(FrameTest, RejectsWrongItemMarker) {
+  FrameWriter w;
+  w.Add(Item({1}));
+  w.Add(Item({2}));
+  std::vector<std::uint8_t> frame = w.Finish();
+  frame[2] = 0x00;  // first item's 'I'
+  FrameReader r(frame);
+  EXPECT_THROW(r.Next(), SerialError);
+}
+
+TEST(FrameTest, RejectsOversizedItemLength) {
+  // An item that declares more bytes than the frame holds must throw, not
+  // read out of bounds.
+  std::vector<std::uint8_t> frame = {0x46, 0x01, 0x49, 0x7f, 0x01};
+  FrameReader r(frame);
+  EXPECT_THROW(r.Next(), SerialError);
+}
+
+TEST(FrameTest, ReadingPastTheLastItemThrows) {
+  FrameWriter w;
+  w.Add(Item({1}));
+  const std::vector<std::uint8_t> frame = w.Finish();
+  FrameReader r(frame);
+  r.Next();
+  EXPECT_FALSE(r.HasNext());
+  EXPECT_THROW(r.Next(), SerialError);
+}
+
+TEST(FrameTest, TrailingGarbageIsDetectable) {
+  FrameWriter w;
+  w.Add(Item({1}));
+  std::vector<std::uint8_t> frame = w.Finish();
+  frame.push_back(0xde);
+  FrameReader r(frame);
+  r.Next();
+  EXPECT_FALSE(r.Exhausted()) << "trailing bytes went unnoticed";
+}
+
+TEST(FrameTest, EmptyBufferIsNotAFrame) {
+  std::vector<std::uint8_t> empty;
+  EXPECT_THROW(FrameReader r(empty), SerialError);
+}
+
+// ---- Fuzz -------------------------------------------------------------------
+
+class FrameFuzzTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+std::vector<std::uint8_t> RandomFrame(
+    std::mt19937& rng, std::vector<std::vector<std::uint8_t>>* items_out) {
+  FrameWriter w;
+  const std::size_t n = rng() % 9;  // includes the empty frame
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint8_t> item(rng() % 300);
+    for (std::uint8_t& b : item) b = static_cast<std::uint8_t>(rng());
+    w.Add(item);
+    if (items_out != nullptr) items_out->push_back(std::move(item));
+  }
+  return w.Finish();
+}
+
+TEST_P(FrameFuzzTest, RandomFramesRoundTrip) {
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::vector<std::uint8_t>> expected;
+    const std::vector<std::uint8_t> frame = RandomFrame(rng, &expected);
+    EXPECT_EQ(ReadAll(frame), expected);
+  }
+}
+
+TEST_P(FrameFuzzTest, EveryTruncationThrowsOrReadsFewerItems) {
+  // Chopping a valid frame anywhere must never fabricate an item: the
+  // reader either throws or stops early with Exhausted() false.
+  std::mt19937 rng(GetParam() ^ 0xf00du);
+  std::vector<std::vector<std::uint8_t>> expected;
+  const std::vector<std::uint8_t> frame = RandomFrame(rng, &expected);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(frame.begin(),
+                                     frame.begin() + static_cast<long>(cut));
+    std::size_t seen = 0;
+    bool threw = false;
+    try {
+      FrameReader r(prefix);
+      while (r.HasNext()) {
+        Reader item = r.Next();
+        const std::vector<std::uint8_t>& want = expected[seen];
+        for (std::size_t i = 0; i < want.size(); ++i)
+          ASSERT_EQ(item.ReadU8(), want[i]) << "cut=" << cut;
+        ++seen;
+      }
+      EXPECT_FALSE(r.Exhausted()) << "cut=" << cut;
+    } catch (const SerialError&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw || seen < expected.size()) << "cut=" << cut;
+  }
+}
+
+TEST_P(FrameFuzzTest, SingleByteCorruptionNeverEscapesDetectionSilently) {
+  // Flip one byte at a time. The reader may legitimately still succeed
+  // (the flip landed inside a payload) — but it must never crash, hang,
+  // or return a different number of bytes than the frame declares. Under
+  // ASan this is also an out-of-bounds probe.
+  std::mt19937 rng(GetParam() ^ 0xbeefu);
+  std::vector<std::uint8_t> frame = RandomFrame(rng, nullptr);
+  for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+    std::vector<std::uint8_t> mutated = frame;
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    try {
+      FrameReader r(mutated);
+      while (r.HasNext()) {
+        Reader item = r.Next();
+        while (!item.AtEnd()) item.ReadU8();
+      }
+    } catch (const SerialError&) {
+      // Detected — the contract.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest,
+                         ::testing::Values(11u, 1973u, 555u, 31337u));
+
+}  // namespace
+}  // namespace fargo::serial

@@ -462,6 +462,51 @@ TEST(WireAsymmetry, CallSitesAreNotDefinitions) {
   EXPECT_EQ(CountRule(Lint1("src/core/x.cpp", src), "wire-asymmetry"), 0);
 }
 
+TEST(WireAsymmetry, BatchCodecNestedFieldDriftIsFlagged) {
+  // The formation batch-item codec writes nested session fields
+  // (m.session.slot etc.); every level of the access chain is compared, so
+  // dropping one nested field on the read side is drift, not noise.
+  const std::string src = R"(void WriteBatchItem(Writer& w, const Message& m) {
+  w.WriteU8(m.kind);
+  w.WriteVarint(m.session.slot);
+  w.WriteVarint(m.session.seq);
+  w.WriteBytes(m.payload);
+}
+Message ReadBatchItem(Reader& r) {
+  Message m;
+  m.kind = r.ReadU8();
+  m.session.slot = r.ReadVarint();
+  m.payload = r.ReadBytes();
+  return m;
+}
+)";
+  auto fs = Lint1("src/net/formation.cpp", src);
+  EXPECT_TRUE(Has(fs, "wire-asymmetry", LineOf(src, "void WriteBatchItem")))
+      << Dump(fs);
+  ASSERT_EQ(CountRule(fs, "wire-asymmetry"), 1) << Dump(fs);
+  EXPECT_NE(fs[0].message.find("'seq'"), std::string::npos) << fs[0].message;
+}
+
+TEST(WireAsymmetry, SymmetricBatchCodecIsClean) {
+  const std::string src = R"(void WriteBatchItem(Writer& w, const Message& m) {
+  w.WriteU8(m.kind);
+  w.WriteVarint(m.session.slot);
+  w.WriteVarint(m.session.seq);
+  w.WriteBytes(m.payload);
+}
+Message ReadBatchItem(Reader& r) {
+  Message m;
+  m.kind = r.ReadU8();
+  m.session.slot = r.ReadVarint();
+  m.session.seq = r.ReadVarint();
+  m.payload = r.ReadBytes();
+  return m;
+}
+)";
+  EXPECT_EQ(
+      CountRule(Lint1("src/net/formation.cpp", src), "wire-asymmetry"), 0);
+}
+
 // ==== wire-dup-marker ========================================================
 
 TEST(WireDupMarker, FlagsSameFileDuplicate) {
