@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/log.h"
+#include "src/core/directory.h"
 #include "src/core/heartbeat.h"
 #include "src/core/invocation.h"
 #include "src/core/movement.h"
@@ -22,10 +23,9 @@
 namespace fargo::core {
 
 namespace {
-// kControl payload subkinds (home-registry protocol + heartbeats + WAL
-// move-in pruning + session slot releases).
-constexpr std::uint8_t kCtrlHomeUpdate = 1;
-constexpr std::uint8_t kCtrlHomeQuery = 2;
+// kControl payload subkinds (heartbeats + WAL move-in pruning + session
+// slot releases). Values 1 and 2 carried the retired home-registry
+// protocol (now the kDirectory* message family) and stay reserved.
 constexpr std::uint8_t kCtrlPing = 3;
 constexpr std::uint8_t kCtrlPong = 4;
 constexpr std::uint8_t kCtrlMoveAck = 5;
@@ -34,6 +34,7 @@ constexpr std::uint8_t kCtrlSlotAck = 6;
 
 Core::Core(Runtime& runtime, CoreId id, std::string name)
     : runtime_(runtime), id_(id), name_(std::move(name)), tracer_(id) {
+  directory_ = std::make_unique<Directory>(*this);
   invocation_ = std::make_unique<InvocationUnit>(*this);
   movement_ = std::make_unique<MovementUnit>(*this);
   profiler_ = std::make_unique<monitor::Profiler>(*this);
@@ -55,10 +56,17 @@ Core::Core(Runtime& runtime, CoreId id, std::string name)
   inst_.moves = &reg.counter("move.count");
   inst_.hb_pings = &reg.counter("hb.pings");
   inst_.bytes_copied = &reg.counter("net.bytes_copied");
+  inst_.dir_publishes = &reg.counter("dir.publishes");
+  inst_.dir_lookups = &reg.counter("dir.lookups");
+  inst_.dir_hint_hit = &reg.counter("dir.hint.hit");
+  inst_.dir_hint_miss = &reg.counter("dir.hint.miss");
+  inst_.dir_hint_stale = &reg.counter("dir.hint.stale");
   inst_.invoke_latency =
       &reg.histogram("invoke.latency_ns", monitor::Registry::LatencyBounds());
   inst_.invoke_hops =
       &reg.histogram("invoke.hops", monitor::Registry::CountBounds());
+  inst_.chain_len =
+      &reg.histogram("tracker.chain_len", monitor::Registry::CountBounds());
   inst_.move_duration =
       &reg.histogram("move.duration_ns", monitor::Registry::LatencyBounds());
   inst_.move_bytes =
@@ -112,24 +120,30 @@ std::size_t Core::DumpTrace(const std::string& path) const {
 
 // ==== instantiation ==========================================================
 
-ComletRefBase Core::Install(std::shared_ptr<Anchor> anchor) {
+ComletRefBase Core::Install(std::shared_ptr<Anchor> anchor,
+                            std::uint64_t hint_epoch) {
   if (!alive_) throw FargoError("core " + name_ + " is shut down");
-  if (!anchor->id_.valid()) anchor->id_ = MintComletId();
+  const bool fresh = !anchor->id_.valid();
+  if (fresh) anchor->id_ = MintComletId();
+  // A freshly minted identity has never been published: stamp it at epoch
+  // 1 so the first move's proposal (2) supersedes it at the shard.
+  if (fresh && hint_epoch == 0) hint_epoch = 1;
   anchor->core_ = this;
   const ComletId id = anchor->id_;
   std::string type(anchor->TypeName());
   repository_.Add(id, anchor);
-  trackers_.SetLocal(id, *anchor, type);
+  trackers_.SetLocal(id, *anchor, type, hint_epoch);
   if (wal_) {
     wal_->AppendInstall(*anchor);
     wal_->LazySync();
   }
   events_->Fire(monitor::Event{monitor::EventKind::kComletArrived, id_, id,
                                {}, 0.0});
-  // Home registry (§7 future work): report this arrival to the complet's
-  // origin Core (asynchronously; ordering races are resolved by as-of
-  // timestamps on the home side).
-  AnnounceHome(id);
+  // Directory plane: report this arrival to the complet's home shard
+  // (asynchronously; ordering races are resolved by epoch stamps on the
+  // shard side). hint_epoch 0 — a reinstall that lost its stamp — goes out
+  // as a host assertion the shard re-stamps.
+  directory_->Publish(id, id_, hint_epoch);
   DrainParked(id);
   ComletRefBase ref;
   ref.Bind(*this, ComletHandle{id, id_, type}, nullptr);
@@ -419,6 +433,10 @@ void Core::SendRpcAttempt(const std::shared_ptr<PendingRpc>& rpc) {
     // Recovery traffic must not sit behind a formation deadline: the Core
     // is blocked mid-recovery until the in-doubt move resolves.
     network().Send(std::move(msg));
+  } else if (rpc->kind == net::MessageKind::kDirectoryLookup) {
+    // Directory traffic rides the priority lane: a lookup unblocking a
+    // forwarded invocation must not share a frame with bulk traffic.
+    formation_->Enqueue(std::move(msg), net::Formation::Lane::kPriority);
   } else {
     formation_->Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
   }
@@ -489,6 +507,12 @@ void Core::SendReplyOut(net::Message msg) {
     // The querier is blocked mid-recovery; never delay its answer behind a
     // formation deadline.
     network().Send(std::move(msg));
+    return;
+  }
+  if (msg.kind == net::MessageKind::kDirectoryReply) {
+    // Directory answers ride the priority lane, like the lookups they
+    // settle (an invocation may be parked on this hint).
+    formation_->Enqueue(std::move(msg), net::Formation::Lane::kPriority);
     return;
   }
   formation_->Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
@@ -633,6 +657,7 @@ void Core::DispatchMessage(net::Message msg) {
     case net::MessageKind::kNameReply:
     case net::MessageKind::kNewReply:
     case net::MessageKind::kRecoveryReply:
+    case net::MessageKind::kDirectoryReply:
     case net::MessageKind::kControlReply: {
       auto it = pending_replies_.find(msg.correlation);
       if (it == pending_replies_.end()) {
@@ -734,6 +759,17 @@ void Core::DispatchMessage(net::Message msg) {
       HandleControl(std::move(msg));
       return;
     }
+    case net::MessageKind::kDirectoryPublish:
+      // One-way and idempotent (epoch merge): no admission needed.
+      directory_->HandlePublish(msg);
+      return;
+    case net::MessageKind::kDirectoryLookup:
+      // Idempotent read over the shard store: answered without admission.
+      directory_->HandleLookup(msg);
+      return;
+    case net::MessageKind::kDirectoryMap:
+      directory_->HandleMap(msg);
+      return;
     case net::MessageKind::kBatch:
       HandleBatch(std::move(msg));
       return;
@@ -776,35 +812,6 @@ void Core::HandleControl(net::Message msg) {
   // dispatched by subkind.
   serial::Reader r(msg.payload);
   switch (r.ReadU8()) {
-    case kCtrlHomeUpdate: {
-      ComletId id = wire::ReadComletId(r);
-      CoreId where = wire::ReadCoreId(r);
-      auto as_of = static_cast<SimTime>(r.ReadVarint());
-      HomeEntry& entry = home_locations_[id];
-      if (as_of > entry.as_of) {
-        entry = HomeEntry{where, as_of};
-        if (wal_) {
-          wal_->AppendHome(id, where, as_of);
-          wal_->LazySync();
-        }
-      }
-      return;
-    }
-    case kCtrlHomeQuery: {
-      ComletId id = wire::ReadComletId(r);
-      serial::Writer w;
-      wire::WriteOk(w);
-      auto entry = home_locations_.find(id);
-      // Prefer live local knowledge: if it is hosted here, say so.
-      CoreId where = repository_.Contains(id) ? id_
-                     : entry != home_locations_.end() ? entry->second.location
-                                                      : CoreId{};
-      w.WriteBool(where.valid());
-      if (where.valid()) wire::WriteCoreId(w, where);
-      Reply(msg.from, net::MessageKind::kControlReply, msg.correlation,
-            w.Take());
-      return;
-    }
     case kCtrlPing: {
       // The ping may carry a trace tail; the pong answers in the same trace.
       wire::TraceContext trace = wire::ReadTraceTail(r);
@@ -924,25 +931,10 @@ CoreId Core::LocateViaHome(ComletId id) {
 }
 
 sim::Future<CoreId> Core::LocateViaHomeAsync(ComletId id) {
-  if (!runtime_.home_registry_enabled() || !id.valid())
+  if (!id.valid() || !directory_->enabled())
     return sim::MakeReadyFuture(scheduler(), CoreId{});
-  if (id.origin == id_) {
-    if (repository_.Contains(id)) return sim::MakeReadyFuture(scheduler(), id_);
-    auto it = home_locations_.find(id);
-    return sim::MakeReadyFuture(
-        scheduler(),
-        it == home_locations_.end() ? CoreId{} : it->second.location);
-  }
-  serial::Writer w;
-  w.WriteU8(kCtrlHomeQuery);
-  wire::WriteComletId(w, id);
-  return SendAsync(id.origin, net::MessageKind::kControl, w.Take())
-      .Then([](std::vector<std::uint8_t>& reply) {
-        serial::Reader r(reply);
-        wire::CheckOk(r);
-        if (!r.ReadBool()) return CoreId{};
-        return wire::ReadCoreId(r);
-      });
+  return directory_->LookupAsync(id).Then(
+      [](wire::DirectoryHint& h) { return h.found ? h.location : CoreId{}; });
 }
 
 void Core::Crash() {
@@ -981,7 +973,7 @@ void Core::Restart() {
   formation_->Discard();
   parked_.clear();
   pending_replies_.clear();
-  home_locations_.clear();
+  directory_->Clear();
   exec_stack_.clear();
   invocation_counts_.clear();
   movement_->Reset();
@@ -1014,29 +1006,6 @@ void Core::RestoreComlet(ComletId id, const std::vector<std::uint8_t>& image) {
   anchor->core_ = this;
   repository_.Add(id, anchor);
   trackers_.SetLocal(id, *anchor, std::string(anchor->TypeName()));
-}
-
-void Core::AnnounceHome(ComletId id) {
-  if (!runtime_.home_registry_enabled()) return;
-  if (id.origin == id_) {
-    home_locations_[id] = HomeEntry{id_, scheduler().Now()};
-    if (wal_) {
-      wal_->AppendHome(id, id_, scheduler().Now());
-      wal_->LazySync();
-    }
-    return;
-  }
-  serial::Writer w;
-  w.WriteU8(kCtrlHomeUpdate);
-  wire::WriteComletId(w, id);
-  wire::WriteCoreId(w, id_);
-  w.WriteVarint(static_cast<std::uint64_t>(scheduler().Now()));
-  net::Message msg;
-  msg.from = id_;
-  msg.to = id.origin;
-  msg.kind = net::MessageKind::kControl;
-  msg.payload = w.Take();
-  formation_->Enqueue(std::move(msg), net::Formation::Lane::kImmediate);
 }
 
 void Core::HandleNameRequest(const net::Message& msg) {
@@ -1164,6 +1133,7 @@ void Core::Shutdown(SimTime grace) {
       wire::WriteComletId(upd, t->target);
       wire::WriteCoreId(upd, t->next);
       upd.WriteString(t->anchor_type);
+      upd.WriteVarint(t->hint_epoch);
       net::Message u;
       u.from = id_;
       u.to = peer->id();

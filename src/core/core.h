@@ -36,6 +36,7 @@
 
 namespace fargo::core {
 
+class Directory;
 class FailureDetector;
 class Wal;
 
@@ -215,8 +216,9 @@ class Core {
   std::uint64_t restart_epoch() const { return restart_epoch_; }
 
   /// Location-independent naming (§7 future work): asks the complet's home
-  /// (origin) Core for its current location. Returns an invalid CoreId if
-  /// the home doesn't know (or the registry is disabled).
+  /// shard (its origin Core under the legacy registry configuration) for
+  /// its current location. Returns an invalid CoreId if the directory
+  /// doesn't know (or the plane is disabled).
   CoreId LocateViaHome(ComletId id);
   /// Continuation form of LocateViaHome, usable from inside the async
   /// invocation pipeline (which must never pump the scheduler).
@@ -228,6 +230,10 @@ class Core {
   const Repository& repository() const { return repository_; }
   TrackerTable& trackers() { return trackers_; }
   const TrackerTable& trackers() const { return trackers_; }
+  /// The directory plane endpoint of this Core (home-shard store, publish
+  /// and lookup paths); see src/core/directory.h.
+  Directory& directory() { return *directory_; }
+  const Directory& directory() const { return *directory_; }
   Runtime& runtime() { return runtime_; }
   net::Network& network();
   sim::Scheduler& scheduler();
@@ -277,8 +283,13 @@ class Core {
 
   /// Installs an anchor as a hosted complet: assigns identity (unless it
   /// already has one, i.e. it arrived by movement), registers repository +
-  /// tracker, drains parked requests, fires completArrived.
-  ComletRefBase Install(std::shared_ptr<Anchor> anchor);
+  /// tracker, publishes the location to the home shard, drains parked
+  /// requests, fires completArrived. `hint_epoch` is the directory epoch
+  /// the install is known at: movement passes the move's epoch proposal;
+  /// 0 (reinstall, recovery) publishes a host assertion that the shard
+  /// re-stamps; a freshly minted identity is stamped 1.
+  ComletRefBase Install(std::shared_ptr<Anchor> anchor,
+                        std::uint64_t hint_epoch = 0);
 
   /// Parks a message that targets a complet believed to be in transit to
   /// us. Parked requests expire after half the RPC timeout: expiry sends a
@@ -374,6 +385,7 @@ class Core {
   void SendHeartbeatPing(CoreId peer);
 
  private:
+  friend class Directory;
   friend class InvocationUnit;
   friend class MovementUnit;
   friend class Wal;
@@ -412,8 +424,14 @@ class Core {
     monitor::Counter* moves = nullptr;
     monitor::Counter* hb_pings = nullptr;
     monitor::Counter* bytes_copied = nullptr;     ///< payload bytes copied
+    monitor::Counter* dir_publishes = nullptr;    ///< location publishes issued
+    monitor::Counter* dir_lookups = nullptr;      ///< shard lookups issued
+    monitor::Counter* dir_hint_hit = nullptr;     ///< fresher-hint chain hops
+    monitor::Counter* dir_hint_miss = nullptr;    ///< no fresher hint: lookup
+    monitor::Counter* dir_hint_stale = nullptr;   ///< stale publishes rejected
     monitor::Histogram* invoke_latency = nullptr; ///< ns, delivered invokes
     monitor::Histogram* invoke_hops = nullptr;    ///< chain length at delivery
+    monitor::Histogram* chain_len = nullptr;      ///< hops seen by each reply
     monitor::Histogram* move_duration = nullptr;  ///< ns, committed moves
     monitor::Histogram* move_bytes = nullptr;     ///< migration stream size
   };
@@ -421,12 +439,8 @@ class Core {
   void DrainParked(ComletId id);
   void DispatchMessage(net::Message msg);
   /// Quiet install used by WAL replay: no events, no parked drain, no
-  /// home announcement — replaces any earlier replayed image of the id.
+  /// directory publish — replaces any earlier replayed image of the id.
   void RestoreComlet(ComletId id, const std::vector<std::uint8_t>& image);
-  /// Home-registry arrival report for a hosted complet (no-op when the
-  /// registry is disabled): local entry at the origin, kCtrlHomeUpdate to
-  /// the origin otherwise.
-  void AnnounceHome(ComletId id);
   /// Appends a post-dispatch state image of `target` to the WAL (no-op for
   /// non-durable Cores, or when the method moved the complet away).
   void LogComletState(ComletId target);
@@ -453,6 +467,7 @@ class Core {
   Repository repository_;
   TrackerTable trackers_;
   Naming naming_;
+  std::unique_ptr<Directory> directory_;
   std::unique_ptr<InvocationUnit> invocation_;
   std::unique_ptr<MovementUnit> movement_;
   std::unique_ptr<monitor::Profiler> profiler_;
@@ -475,14 +490,6 @@ class Core {
 
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingRpc>> pending_replies_;
   std::unordered_map<ComletId, std::vector<net::Message>> parked_;
-
-  /// Home-registry state: latest known location (with observation time)
-  /// for complets whose origin is this Core.
-  struct HomeEntry {
-    CoreId location;
-    SimTime as_of = -1;
-  };
-  std::unordered_map<ComletId, HomeEntry> home_locations_;
 
   struct PairHash {
     std::size_t operator()(const std::pair<ComletId, ComletId>& p) const {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/core/directory.h"
 #include "src/core/movement.h"
 #include "src/core/runtime.h"
 #include "src/core/wal.h"
@@ -304,6 +305,10 @@ void InvocationUnit::SendAttempt(const std::shared_ptr<AsyncCall>& call) {
   // the request back at us.
   call->req.trace = attempt_ctx;
   call->req.handle.last_known = next;
+  // Stamp the request with the epoch of the knowledge routing it, so a hop
+  // whose own hint is no fresher consults the home shard instead of walking
+  // the chain.
+  call->req.hint_epoch = entry->hint_epoch;
 
   if (next == core_.id()) {
     // Same-Core loopback (the target moved toward us mid-retry): the
@@ -425,7 +430,7 @@ void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
   }
   wire::InvokeRequest rq{handle,     std::string(method), std::move(args),
                          core_.id(), {},                  true,
-                         core_.tracer().Current()};
+                         entry.hint_epoch,    core_.tracer().Current()};
   rq.handle.last_known = entry.next;
   ++entry.forwarded;
   net::Message msg;
@@ -502,6 +507,11 @@ void InvocationUnit::ProcessRequest(wire::InvokeRequest rq, net::Message msg) {
       return;
   }
 
+  RouteRequest(std::move(rq), std::move(msg), /*allow_lookup=*/true);
+}
+
+void InvocationUnit::RouteRequest(wire::InvokeRequest rq, net::Message msg,
+                                  bool allow_lookup) {
   TrackerEntry& entry = core_.trackers().Ensure(rq.handle);
 
   if (entry.is_local()) {
@@ -537,9 +547,47 @@ void InvocationUnit::ProcessRequest(wire::InvokeRequest rq, net::Message msg) {
     return;
   }
 
-  // Forward one hop down the chain, recording the hop as a child span and
-  // re-parenting the in-flight context so the causal chain mirrors the
-  // tracker chain.
+  // Bounded-hop routing (sharded directory only — the origin configuration
+  // keeps the paper's chain walk): chaining is allowed only on knowledge
+  // strictly fresher than the stamp that already routed the request here.
+  // Otherwise the chain could be walked end to end; one shard lookup
+  // replaces that walk, so steady-state delivery is at most two hops.
+  if (core_.runtime().directory_mode() == DirectoryMode::kSharded &&
+      allow_lookup) {
+    if (entry.hint_epoch > rq.hint_epoch) {
+      core_.inst_.dir_hint_hit->Inc();
+    } else {
+      core_.inst_.dir_hint_miss->Inc();
+      core_.directory().LookupAsync(rq.handle.id).OnSettle(
+          // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+          [this, rq = std::move(rq), msg = std::move(msg)](
+              sim::Future<wire::DirectoryHint> f) mutable {
+            if (!core_.alive()) return;
+            if (f.ok()) {
+              const wire::DirectoryHint hint = f.Take();
+              if (hint.found && hint.location != core_.id())
+                core_.trackers().MergeHint(rq.handle.id, hint.location,
+                                           hint.epoch, rq.handle.anchor_type);
+            }
+            // Re-route on the merged knowledge — at most once per Core
+            // visit: a shard that knows nothing newer leaves the chain as
+            // the only route, and max-hops still bounds any residual loop.
+            RouteRequest(std::move(rq), std::move(msg),
+                         /*allow_lookup=*/false);
+          });
+      return;
+    }
+  }
+
+  ForwardRequest(std::move(rq), msg, entry);
+}
+
+// Forward one hop down the chain, recording the hop as a child span and
+// re-parenting the in-flight context so the causal chain mirrors the
+// tracker chain.
+void InvocationUnit::ForwardRequest(wire::InvokeRequest rq,
+                                    const net::Message& msg,
+                                    TrackerEntry& entry) {
   rq.trace = core_.tracer()
                  .RecordInstant(monitor::SpanKind::kHop, rq.method, rq.trace,
                                 core_.scheduler().Now(), rq.trace.retry)
@@ -547,6 +595,7 @@ void InvocationUnit::ProcessRequest(wire::InvokeRequest rq, net::Message msg) {
   ++entry.forwarded;
   rq.path.push_back(core_.id());
   rq.handle.last_known = entry.next;
+  if (entry.hint_epoch > rq.hint_epoch) rq.hint_epoch = entry.hint_epoch;
   net::Message fwd;
   fwd.from = core_.id();
   fwd.to = entry.next;
@@ -612,6 +661,14 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
     serial::WriteValue(w, result);
     wire::WriteCoreId(w, core_.id());
     w.WriteVarint(rq.path.size() + 1);  // hops traversed by the request
+    // Location hint epoch: how fresh "the target lives here" is. Stamped
+    // from our tracker *after* dispatch — if the method itself moved the
+    // target away, the entry is no longer local and the hint rides
+    // unstamped (epoch 0), so it cannot outrank the movement's publish.
+    {
+      const TrackerEntry* te = core_.trackers().Find(rq.handle.id);
+      w.WriteVarint(te != nullptr && te->is_local() ? te->hint_epoch : 0);
+    }
     wire::WriteTraceTail(w, exec.ctx);
     tracer.CloseSpan(exec.token, core_.scheduler().Now(),
                      monitor::SpanOutcome::kOk, hops);
@@ -643,12 +700,16 @@ void InvocationUnit::SendShorteningUpdates(const wire::InvokeRequest& rq,
   // (§3.1). The updates travel in the same trace, so shortening is visible
   // in the trace view.
   if (!shortening_) return;
+  const TrackerEntry* te = core_.trackers().Find(rq.handle.id);
+  const std::uint64_t epoch =
+      te != nullptr && te->is_local() ? te->hint_epoch : 0;
   for (CoreId hop : rq.path) {
     if (hop == core_.id()) continue;
     serial::Writer upd;
     wire::WriteComletId(upd, rq.handle.id);
     wire::WriteCoreId(upd, core_.id());
     upd.WriteString(rq.handle.anchor_type);
+    upd.WriteVarint(epoch);
     wire::WriteTraceTail(upd, ctx);
     net::Message u;
     u.from = core_.id();
@@ -675,7 +736,8 @@ void InvocationUnit::HandleReply(net::Message msg) {
       if (peek.ReadBool()) {
         serial::ReadValue(peek);
         wire::ReadCoreId(peek);
-        peek.ReadVarint();
+        peek.ReadVarint();  // hops
+        peek.ReadVarint();  // hint epoch
       } else {
         peek.ReadBool();
         peek.ReadString();
@@ -700,18 +762,20 @@ void InvocationUnit::HandleReply(net::Message msg) {
     Value value = serial::ReadValue(r);
     CoreId location = wire::ReadCoreId(r);
     int reply_hops = static_cast<int>(r.ReadVarint());
+    std::uint64_t reply_epoch = r.ReadVarint();
     (void)wire::ReadTraceTail(r);
     sched.Cancel(call->timer);
     waiters_.erase(call->corr);
+    // The chain length this delivery actually experienced — the signal the
+    // directory plane exists to drive toward 1.
+    core_.inst_.chain_len->Observe(static_cast<double>(reply_hops));
     // Chain shortening at the origin (§3.1): point our tracker straight at
     // the Core that answered — unless the complet meanwhile arrived *here*
-    // (e.g. the invocation was a routed move command with us as destination).
-    if (shortening_ && location.valid() && location != core_.id()) {
-      TrackerEntry* current = core_.trackers().Find(call->req.handle.id);
-      if (current == nullptr || !current->is_local())
-        core_.trackers().SetForward(call->req.handle.id, location,
-                                    call->req.handle.anchor_type);
-    }
+    // (MergeHint refuses local entries) or our hint already outranks the
+    // reply's stamp (a newer movement published while it was in flight).
+    if (shortening_ && location.valid() && location != core_.id())
+      core_.trackers().MergeHint(call->req.handle.id, location, reply_epoch,
+                                 call->req.handle.anchor_type);
     FinalizeOk(call, InvokeResult{std::move(value), location, reply_hops});
     return;
   }
@@ -742,14 +806,22 @@ void InvocationUnit::HandleTrackerUpdate(net::Message msg) {
   ComletId id = wire::ReadComletId(r);
   CoreId location = wire::ReadCoreId(r);
   std::string type = r.ReadString();
+  std::uint64_t epoch = r.ReadVarint();
   wire::TraceContext trace = wire::ReadTraceTail(r);
   if (trace.valid())
     core_.tracer().RecordInstant(monitor::SpanKind::kControl, "tracker_update",
                                  trace, core_.scheduler().Now());
   TrackerEntry* entry = core_.trackers().Find(id);
-  if (entry == nullptr || entry->is_local()) return;
+  if (entry == nullptr) return;
+  if (entry->is_local()) {
+    // A home-shard echo answering our own assertion publish: adopt the
+    // authoritative stamp for the complet we host. Anything else aimed at
+    // a hosting Core is stale.
+    if (location == core_.id()) core_.trackers().Stamp(id, epoch);
+    return;
+  }
   if (location == core_.id()) return;  // stale update; we'd self-loop
-  core_.trackers().SetForward(id, location, type);
+  core_.trackers().MergeHint(id, location, epoch, type);
 }
 
 }  // namespace fargo::core

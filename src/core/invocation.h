@@ -147,6 +147,19 @@ class InvocationUnit {
   /// carrier, skipping wire encode/decode entirely.
   void ProcessRequest(wire::InvokeRequest rq, net::Message msg);
 
+  /// Routes `rq` at this Core: execute, park, or forward. Under the sharded
+  /// directory, a non-hosting Core only chains along its own tracker hint
+  /// when that hint is strictly fresher than the stamp the request was
+  /// routed by; otherwise (`allow_lookup`) it asks the home shard once,
+  /// merges the answer into its tracker, and re-routes — bounding steady-
+  /// state delivery at two hops however long the underlying chain is.
+  void RouteRequest(wire::InvokeRequest rq, net::Message msg,
+                    bool allow_lookup);
+  /// One chain hop: re-parents the trace, stamps the request with the
+  /// routing knowledge's epoch, and forwards to `entry.next`.
+  void ForwardRequest(wire::InvokeRequest rq, const net::Message& msg,
+                      TrackerEntry& entry);
+
   void ExecuteAndReply(const wire::InvokeRequest& rq,
                        std::uint64_t correlation,
                        const net::SessionKey& skey);

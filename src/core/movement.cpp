@@ -1,6 +1,7 @@
 #include "src/core/movement.h"
 
 #include "src/common/log.h"
+#include "src/core/directory.h"
 #include "src/core/invocation.h"
 #include "src/core/meta_ref.h"
 #include "src/core/relocator.h"
@@ -62,7 +63,9 @@ void MovementUnit::MarshalSection(
         if (in_stream.contains(target)) {
           write_normal(target, dest, ref->anchor_type());
         } else if (target_local) {
+          const TrackerEntry* te = core_.trackers().Find(target);
           worklist.push_back(Section{target, ref->anchor_type(), false,
+                                     (te != nullptr ? te->hint_epoch : 0) + 1,
                                      core_.repository().Get(target)});
           in_stream.insert(target);
           write_normal(target, dest, ref->anchor_type());
@@ -97,7 +100,7 @@ void MovementUnit::MarshalSection(
         } else {
           copy_id = core_.MintComletId();
           dup_ids.emplace(target, copy_id);
-          worklist.push_back(Section{copy_id, ref->anchor_type(), true,
+          worklist.push_back(Section{copy_id, ref->anchor_type(), true, 1,
                                      core_.repository().Get(target)});
           in_stream.insert(copy_id);
           ++stats_.complets_duplicated;
@@ -139,6 +142,7 @@ void MovementUnit::MarshalSection(
   wire::WriteComletId(out, section.id);
   out.WriteString(section.anchor_type);
   out.WriteBool(section.is_duplicate);
+  out.WriteVarint(section.epoch);
   out.WriteBytes(body.buffer());
 }
 
@@ -179,8 +183,10 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
   monitor::Tracer::Opened mv =
       tracer.OpenSpan(monitor::SpanKind::kMove, anchor->TypeName(),
                       tracer.Current(), move_begin);
-  std::vector<Section> worklist{
-      Section{primary, std::string(anchor->TypeName()), false, anchor}};
+  const TrackerEntry* primary_entry = core_.trackers().Find(primary);
+  std::vector<Section> worklist{Section{
+      primary, std::string(anchor->TypeName()), false,
+      (primary_entry != nullptr ? primary_entry->hint_epoch : 0) + 1, anchor}};
   std::unordered_set<ComletId> in_stream{primary};
   std::unordered_map<ComletId, ComletId> dup_ids;
   std::vector<ComletId> deferred_pulls;
@@ -224,6 +230,7 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
   struct Departing {
     ComletId id;
     std::string type;
+    std::uint64_t epoch = 0;  ///< the section's hint-epoch proposal
     std::shared_ptr<Anchor> anchor;
   };
   // Snapshot everything the commit/rollback continuation needs: stats_ is a
@@ -240,9 +247,13 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
   auto pending = std::make_shared<Pending>();
   for (const Section& s : worklist) {
     if (s.is_duplicate) continue;
-    pending->departing.push_back(Departing{s.id, s.anchor_type, s.anchor});
+    pending->departing.push_back(
+        Departing{s.id, s.anchor_type, s.epoch, s.anchor});
     core_.repository().Remove(s.id);
-    core_.trackers().SetForward(s.id, dest, s.anchor_type);
+    // Stamp the departure forward with the movement's proposal: until the
+    // destination's publish lands at the home shard, this Core holds the
+    // freshest knowledge there is.
+    core_.trackers().SetForward(s.id, dest, s.anchor_type, s.epoch);
   }
   stats_.complets_moved = pending->departing.size();
   pending->pulls = std::move(deferred_pulls);
@@ -298,7 +309,12 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
                   }
                   for (const Departing& d : pending->departing) {
                     core_.repository().Add(d.id, d.anchor);
-                    core_.trackers().SetLocal(d.id, *d.anchor, d.type);
+                    core_.trackers().SetLocal(d.id, *d.anchor, d.type,
+                                              d.epoch > 0 ? d.epoch - 1 : 0);
+                    // The destination may have installed-and-published some
+                    // sections before failing; re-assert so the home shard
+                    // converges back onto this Core.
+                    core_.directory().Publish(d.id, core_.id(), 0);
                   }
                   core_.tracer().CloseSpan(
                       pending->mv.token, core_.scheduler().Now(),
@@ -312,7 +328,9 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
           // rollback, so the complets can come back immediately.
           for (const Departing& d : pending->departing) {
             core_.repository().Add(d.id, d.anchor);
-            core_.trackers().SetLocal(d.id, *d.anchor, d.type);
+            core_.trackers().SetLocal(d.id, *d.anchor, d.type,
+                                      d.epoch > 0 ? d.epoch - 1 : 0);
+            core_.directory().Publish(d.id, core_.id(), 0);
           }
           tracer.CloseSpan(pending->mv.token, core_.scheduler().Now(),
                            monitor::SpanOutcome::kTransportError, 0,
@@ -412,6 +430,7 @@ MovementUnit::DecodedSection MovementUnit::DecodeSection(serial::Reader& r) {
   section.id = wire::ReadComletId(r);
   section.anchor_type = r.ReadString();
   section.is_duplicate = r.ReadBool();
+  section.epoch = r.ReadVarint();
   // Zero-copy: unmarshal the section straight out of the caller's buffer
   // (alive for the whole handler) instead of copying it out.
   serial::Reader body_reader = r.ReadBytesView();
@@ -488,7 +507,9 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
     for (std::uint64_t i = 0; i < count; ++i) {
       DecodedSection section = DecodeSection(r);
       section.anchor->PreArrival();
-      core_.Install(section.anchor);
+      // Install under the movement's epoch proposal: the publish to the
+      // home shard outranks every hint the old chain handed out.
+      core_.Install(section.anchor, section.epoch);
       section.anchor->PostArrival();
       arrived.push_back(section.id);
       installed.push_back(std::move(section));
@@ -500,7 +521,10 @@ void MovementUnit::HandleMoveRequest(net::Message msg) {
     for (const DecodedSection& s : installed) {
       core_.repository().Remove(s.id);
       s.anchor->core_ = nullptr;
-      core_.trackers().SetForward(s.id, msg.from, s.anchor_type);
+      // Keep the proposal's stamp: "back at the sender" is knowledge as
+      // fresh as the install we are unwinding. The sender's rollback then
+      // re-asserts to the home shard, healing any publish that landed.
+      core_.trackers().SetForward(s.id, msg.from, s.anchor_type, s.epoch);
       if (Wal* wal = core_.wal())
         wal->AppendRemove(s.id, msg.from, s.anchor_type);
     }

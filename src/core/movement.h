@@ -121,6 +121,10 @@ class MovementUnit {
     ComletId id;
     std::string anchor_type;
     bool is_duplicate = false;
+    /// Hint-epoch proposal for the new location: the source entry's stamp
+    /// plus one (fresh duplicates propose 1). The destination publishes it;
+    /// the home shard applies it only if it outranks the stored epoch.
+    std::uint64_t epoch = 0;
     std::shared_ptr<Anchor> anchor;  ///< sending side
   };
 
@@ -129,6 +133,7 @@ class MovementUnit {
     ComletId id;
     std::string anchor_type;
     bool is_duplicate = false;
+    std::uint64_t epoch = 0;
     std::shared_ptr<Anchor> anchor;
   };
   DecodedSection DecodeSection(serial::Reader& r);

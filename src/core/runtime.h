@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/core/core.h"
+#include "src/core/directory.h"
+#include "src/core/shard_map.h"
 #include "src/monitor/metrics.h"
 #include "src/net/network.h"
 #include "src/sim/scheduler.h"
@@ -71,8 +73,26 @@ class Runtime {
   /// registry*. Hosts report arrivals to the home; a stub whose tracker
   /// chain is severed (e.g. by a crashed Core) consults the home and
   /// re-routes. Costs one extra (asynchronous) message per movement.
-  void EnableHomeRegistry(bool on) { home_registry_ = on; }
-  bool home_registry_enabled() const { return home_registry_; }
+  /// Implemented as the directory plane's 1-shard-per-origin configuration
+  /// (DirectoryMode::kOrigin; see src/core/directory.h).
+  void EnableHomeRegistry(bool on) {
+    directory_mode_ = on ? DirectoryMode::kOrigin : DirectoryMode::kDisabled;
+  }
+  /// True when any directory configuration (origin or sharded) is active.
+  bool home_registry_enabled() const {
+    return directory_mode_ != DirectoryMode::kDisabled;
+  }
+
+  /// Enables the sharded directory plane: location records are owned by a
+  /// consistent-hash ring over `owners` (`vnodes` ring points per shard).
+  /// Installs the map deployment-wide at the next version; use
+  /// Directory::BroadcastMap to exercise the kDirectoryMap wire path.
+  void EnableDirectory(std::vector<CoreId> owners, std::uint32_t vnodes = 16);
+  DirectoryMode directory_mode() const { return directory_mode_; }
+  const ShardMap& shard_map() const { return shard_map_; }
+  /// Higher-version-wins map adoption (kDirectoryMap receive path).
+  /// Returns true when `map` replaced the installed one.
+  bool AdoptShardMap(const ShardMap& map);
 
   /// Convenience pumps for drivers/tests.
   void RunFor(SimTime d) { scheduler_.RunFor(d); }
@@ -86,7 +106,8 @@ class Runtime {
   net::Network network_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::uint32_t next_core_id_ = 0;
-  bool home_registry_ = false;
+  DirectoryMode directory_mode_ = DirectoryMode::kDisabled;
+  ShardMap shard_map_;  ///< valid only under DirectoryMode::kSharded
   bool tracing_ = false;
   /// serial::BufferStats values already folded into the registry; the
   /// stats are process-global, the registry is per-Runtime.

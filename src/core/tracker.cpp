@@ -27,26 +27,58 @@ const TrackerEntry* TrackerTable::Find(ComletId id) const {
 }
 
 TrackerEntry& TrackerTable::SetLocal(ComletId id, Anchor& anchor,
-                                     std::string anchor_type) {
+                                     std::string anchor_type,
+                                     std::uint64_t hint_epoch) {
   TrackerEntry& e = entries_[id];
   e.target = id;
   e.local = &anchor;
   e.next = CoreId{};
+  e.hint_epoch = hint_epoch;
   if (!anchor_type.empty()) e.anchor_type = std::move(anchor_type);
   if (change_hook_) change_hook_(id);
   return e;
 }
 
 TrackerEntry& TrackerTable::SetForward(ComletId id, CoreId next,
-                                       std::string anchor_type) {
+                                       std::string anchor_type,
+                                       std::uint64_t hint_epoch) {
   TrackerEntry& e = entries_[id];
+  // A chain-shortening rewrite of an existing forward counts as a
+  // forwarding event — the old route was consumed by the repoint.
+  if (!e.is_local() && e.target == id && e.next != next &&
+      e.next != CoreId{}) {
+    ++e.forwarded;
+  }
   e.target = id;
   e.local = nullptr;
   e.next = next;
+  e.hint_epoch = hint_epoch;
   if (!anchor_type.empty()) e.anchor_type = std::move(anchor_type);
   if (forward_hook_) forward_hook_(id, next, e.anchor_type);
   if (change_hook_) change_hook_(id);
   return e;
+}
+
+bool TrackerTable::MergeHint(ComletId id, CoreId location,
+                             std::uint64_t hint_epoch,
+                             const std::string& anchor_type) {
+  if (TrackerEntry* e = Find(id)) {
+    if (e->is_local()) return false;
+    if (e->hint_epoch != 0 && hint_epoch <= e->hint_epoch) return false;
+    if (e->next == location) {
+      // Same route, fresher stamp: refresh in place without a rewrite.
+      e->hint_epoch = hint_epoch;
+      return true;
+    }
+  }
+  SetForward(id, location, anchor_type, hint_epoch);
+  return true;
+}
+
+void TrackerTable::Stamp(ComletId id, std::uint64_t hint_epoch) {
+  if (TrackerEntry* e = Find(id)) {
+    if (hint_epoch > e->hint_epoch) e->hint_epoch = hint_epoch;
+  }
 }
 
 void TrackerTable::AddStubRef(ComletId id) {

@@ -30,8 +30,14 @@ struct TrackerEntry {
   CoreId next{};
   /// Number of local stubs currently bound through this tracker.
   int stub_refs = 0;
-  /// Invocations forwarded through this tracker (profiling/bench telemetry).
+  /// Forwarding events through this tracker: invocations routed along it
+  /// plus chain-shortening rewrites of an existing forward (profiling/bench
+  /// telemetry).
   std::uint64_t forwarded = 0;
+  /// Directory epoch of this entry's location knowledge. 0 = unstamped
+  /// (legacy chain forward, recovered route): any stamped hint may
+  /// overwrite it. Stamped entries only yield to strictly newer epochs.
+  std::uint64_t hint_epoch = 0;
 
   bool is_local() const { return local != nullptr; }
 };
@@ -45,11 +51,26 @@ class TrackerTable {
   TrackerEntry* Find(ComletId id);
   const TrackerEntry* Find(ComletId id) const;
 
-  /// Points the tracker at a locally hosted anchor.
-  TrackerEntry& SetLocal(ComletId id, Anchor& anchor, std::string anchor_type);
+  /// Points the tracker at a locally hosted anchor. `hint_epoch` is the
+  /// directory epoch the install is known at (0 = unstamped).
+  TrackerEntry& SetLocal(ComletId id, Anchor& anchor, std::string anchor_type,
+                         std::uint64_t hint_epoch = 0);
 
   /// Points the tracker at another Core (movement / chain shortening).
-  TrackerEntry& SetForward(ComletId id, CoreId next, std::string anchor_type);
+  /// `hint_epoch` stamps the new knowledge (0 = unstamped legacy forward).
+  TrackerEntry& SetForward(ComletId id, CoreId next, std::string anchor_type,
+                           std::uint64_t hint_epoch = 0);
+
+  /// Applies an epoch-stamped location hint if it is fresher than what the
+  /// table knows: stamped hints overwrite unstamped forwards and strictly
+  /// older stamps, never a local anchor or a newer/equal stamp. Creates the
+  /// entry when absent. Returns true when the hint was applied.
+  bool MergeHint(ComletId id, CoreId location, std::uint64_t hint_epoch,
+                 const std::string& anchor_type);
+
+  /// Re-stamps an existing entry's epoch (shard echo after an assertion
+  /// publish). No-op when the entry is absent or already newer.
+  void Stamp(ComletId id, std::uint64_t hint_epoch);
 
   void AddStubRef(ComletId id);
   void DropStubRef(ComletId id);

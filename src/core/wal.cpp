@@ -4,6 +4,7 @@
 
 #include "src/common/log.h"
 #include "src/core/core.h"
+#include "src/core/directory.h"
 #include "src/core/movement.h"
 #include "src/core/persistence.h"
 #include "src/core/wire.h"
@@ -27,7 +28,7 @@ const char* WalKindName(std::uint8_t kind) {
     case kWalExec: return "exec";
     case kWalBind: return "bind";
     case kWalTracker: return "tracker";
-    case kWalHome: return "home";
+    case kWalDirPublish: return "dir-publish";
     case kWalMeta: return "meta";
     case kWalPrepare: return "prepare";
     case kWalCommit: return "commit";
@@ -118,16 +119,18 @@ WalRecord ReadTrackerRecord(serial::Reader& r) {
   return rec;
 }
 
-void WriteHomeRecord(serial::Writer& w, const WalRecord& r) {
+void WriteDirPublishRecord(serial::Writer& w, const WalRecord& r) {
   wire::WriteComletId(w, r.comlet);
   wire::WriteCoreId(w, r.location);
+  w.WriteVarint(r.epoch);
   w.WriteInt(r.as_of);
 }
 
-WalRecord ReadHomeRecord(serial::Reader& r) {
+WalRecord ReadDirPublishRecord(serial::Reader& r) {
   WalRecord rec;
   rec.comlet = wire::ReadComletId(r);
   rec.location = wire::ReadCoreId(r);
+  rec.epoch = r.ReadVarint();
   rec.as_of = r.ReadInt();
   return rec;
 }
@@ -252,7 +255,7 @@ std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r) {
     case kWalExec: WriteExecRecord(w, r); break;
     case kWalBind: WriteBindRecord(w, r); break;
     case kWalTracker: WriteTrackerRecord(w, r); break;
-    case kWalHome: WriteHomeRecord(w, r); break;
+    case kWalDirPublish: WriteDirPublishRecord(w, r); break;
     case kWalMeta: WriteMetaRecord(w, r); break;
     case kWalPrepare: WritePrepareRecord(w, r); break;
     case kWalCommit: WriteCommitRecord(w, r); break;
@@ -278,7 +281,7 @@ WalRecord DecodeWalRecord(const std::vector<std::uint8_t>& bytes) {
     case kWalExec: rec = ReadExecRecord(r); break;
     case kWalBind: rec = ReadBindRecord(r); break;
     case kWalTracker: rec = ReadTrackerRecord(r); break;
-    case kWalHome: rec = ReadHomeRecord(r); break;
+    case kWalDirPublish: rec = ReadDirPublishRecord(r); break;
     case kWalMeta: rec = ReadMetaRecord(r); break;
     case kWalPrepare: rec = ReadPrepareRecord(r); break;
     case kWalCommit: rec = ReadCommitRecord(r); break;
@@ -393,12 +396,14 @@ void Wal::AppendTracker(ComletId comlet, CoreId next,
   Append(rec);
 }
 
-void Wal::AppendHome(ComletId comlet, CoreId location, SimTime as_of) {
+void Wal::AppendDirPublish(ComletId comlet, CoreId location,
+                           std::uint64_t epoch, SimTime as_of) {
   if (replaying_) return;
   WalRecord rec;
-  rec.kind = kWalHome;
+  rec.kind = kWalDirPublish;
   rec.comlet = comlet;
   rec.location = location;
+  rec.epoch = epoch;
   rec.as_of = as_of;
   Append(rec);
 }
@@ -595,16 +600,13 @@ std::vector<std::vector<std::uint8_t>> Wal::SidecarRecords() {
     out.push_back(EncodeWalRecord(rec));
   }
 
-  // fargolint: order-insensitive(sorted by complet id before encoding)
-  std::vector<std::pair<ComletId, Core::HomeEntry>> homes(
-      core_.home_locations_.begin(), core_.home_locations_.end());
-  std::sort(homes.begin(), homes.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [id, entry] : homes) {
+  // The shard store is an ordered map, so the sidecar is deterministic.
+  for (const auto& [id, entry] : core_.directory().store()) {
     WalRecord rec;
-    rec.kind = kWalHome;
+    rec.kind = kWalDirPublish;
     rec.comlet = id;
     rec.location = entry.location;
+    rec.epoch = entry.epoch;
     rec.as_of = entry.as_of;
     out.push_back(EncodeWalRecord(rec));
   }
@@ -747,16 +749,11 @@ void Wal::Recover() {
   txn_floor_ = next_txn_ + kSeqStride;
   AppendMetaAndSync();
 
-  // Home-registry sweep: everything hosted here again is re-announced so
-  // severed references can re-route (origin complets just update locally).
-  for (ComletId id : core_.repository_.All()) {
-    if (id.origin == core_.id_) {
-      core_.home_locations_[id] =
-          Core::HomeEntry{core_.id_, core_.scheduler().Now()};
-    } else {
-      core_.AnnounceHome(id);
-    }
-  }
+  // Directory sweep: everything hosted here again is re-asserted to its
+  // home shard (epoch-0 publish — hosting is ground truth), which echoes
+  // the authoritative stamp back, so severed references can re-route.
+  for (ComletId id : core_.repository_.All())
+    core_.directory().Publish(id, core_.id_, 0);
 
   std::vector<std::uint64_t> txns;
   txns.reserve(open_txns_.size());
@@ -790,15 +787,11 @@ void Wal::ApplyRecord(const WalRecord& rec, std::uint64_t index) {
       if (!pre_image && !core_.repository_.Contains(rec.comlet))
         core_.trackers_.SetForward(rec.comlet, rec.next, rec.anchor_type);
       break;
-    case kWalHome: {
-      if (pre_image) break;
-      Core::HomeEntry& entry = core_.home_locations_[rec.comlet];
-      if (rec.as_of > entry.as_of) {
-        entry.location = rec.location;
-        entry.as_of = rec.as_of;
-      }
+    case kWalDirPublish:
+      if (!pre_image)
+        core_.directory().ApplyFromWal(rec.comlet, rec.location, rec.epoch,
+                                       rec.as_of);
       break;
-    }
     case kWalMeta:
       comlet_seq_floor_ = std::max(comlet_seq_floor_, rec.comlet_seq);
       correlation_floor_ = std::max(correlation_floor_, rec.correlation_seq);

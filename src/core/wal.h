@@ -4,7 +4,7 @@
 // log on the simulated disk (sim::Storage): complet installs and state
 // images, executed-reply records (the replay directory's durable twin,
 // keyed by session/slot/seq — src/net/session.h), name
-// bindings, tracker repoints, home-registry knowledge, and the two-phase
+// bindings, tracker repoints, directory-shard knowledge, and the two-phase
 // movement protocol (PREPARE / COMMIT / ABORT at the source, MOVE-IN at the
 // destination). Replies leave the Core only after a write barrier covers
 // the records behind them, so anything a peer observed is recoverable.
@@ -52,7 +52,7 @@ inline constexpr std::uint8_t kWalState = 2;    ///< post-dispatch state image
 inline constexpr std::uint8_t kWalExec = 3;     ///< cached reply (slot twin)
 inline constexpr std::uint8_t kWalBind = 4;     ///< name binding
 inline constexpr std::uint8_t kWalTracker = 5;  ///< tracker forward repoint
-inline constexpr std::uint8_t kWalHome = 6;     ///< home-registry knowledge
+inline constexpr std::uint8_t kWalDirPublish = 6;  ///< directory-shard knowledge
 inline constexpr std::uint8_t kWalMeta = 7;     ///< id/correlation ceilings
 inline constexpr std::uint8_t kWalPrepare = 8;  ///< move txn staged at source
 inline constexpr std::uint8_t kWalCommit = 9;   ///< move txn acked by dest
@@ -68,7 +68,7 @@ const char* WalKindName(std::uint8_t kind);
 struct WalRecord {
   std::uint8_t kind = 0;
 
-  ComletId comlet;            ///< install/state/tracker/home/remove
+  ComletId comlet;            ///< install/state/tracker/dir-publish/remove
   std::string anchor_type;    ///< install/state/tracker
   std::vector<std::uint8_t> image;  ///< install/state: EncodeComletImage body
 
@@ -81,8 +81,9 @@ struct WalRecord {
   ComletHandle handle;        ///< bind
 
   CoreId next;                ///< tracker: forward hop
-  CoreId location;            ///< home
-  std::int64_t as_of = 0;     ///< home
+  CoreId location;            ///< dir-publish
+  std::uint64_t epoch = 0;    ///< dir-publish: hint epoch
+  std::int64_t as_of = 0;     ///< dir-publish
 
   std::uint64_t comlet_seq = 0;      ///< meta: ComletId ceiling
   std::uint64_t correlation_seq = 0; ///< meta: correlation ceiling
@@ -108,8 +109,8 @@ void WriteBindRecord(serial::Writer& w, const WalRecord& r);
 WalRecord ReadBindRecord(serial::Reader& r);
 void WriteTrackerRecord(serial::Writer& w, const WalRecord& r);
 WalRecord ReadTrackerRecord(serial::Reader& r);
-void WriteHomeRecord(serial::Writer& w, const WalRecord& r);
-WalRecord ReadHomeRecord(serial::Reader& r);
+void WriteDirPublishRecord(serial::Writer& w, const WalRecord& r);
+WalRecord ReadDirPublishRecord(serial::Reader& r);
 void WriteMetaRecord(serial::Writer& w, const WalRecord& r);
 WalRecord ReadMetaRecord(serial::Reader& r);
 void WritePrepareRecord(serial::Writer& w, const WalRecord& r);
@@ -154,7 +155,10 @@ class Wal {
   void AppendBind(const std::string& name, const ComletHandle& handle);
   void AppendTracker(ComletId comlet, CoreId next,
                      const std::string& anchor_type);
-  void AppendHome(ComletId comlet, CoreId location, SimTime as_of);
+  /// Logs a directory-shard location record this Core owns (applied by the
+  /// Directory's merge; replayed via Directory::ApplyFromWal).
+  void AppendDirPublish(ComletId comlet, CoreId location, std::uint64_t epoch,
+                        SimTime as_of);
   /// `peer` / `anchor_type` let replay heal the tracker: the complet left
   /// for (or stayed at) `peer`, so the local tracker forwards there.
   void AppendRemove(ComletId comlet, CoreId peer, const std::string& anchor_type);
@@ -243,9 +247,9 @@ class Wal {
   void ApplyRecord(const WalRecord& rec, std::uint64_t index);
   std::string CheckpointBlobName() const;
   /// Log-truncation survivors that SaveCoreImage does not capture —
-  /// trackers, replay-window entries, home knowledge, move-in marks,
-  /// ceilings — encoded as ordinary WAL records and replayed like any
-  /// others.
+  /// trackers, replay-window entries, directory-shard records, move-in
+  /// marks, ceilings — encoded as ordinary WAL records and replayed like
+  /// any others.
   std::vector<std::vector<std::uint8_t>> SidecarRecords();
   /// Schedules one checkpoint `checkpoint_interval_` from now unless one is
   /// already pending; every Append re-arms, so quiescent logs stay quiet.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/time.h"
 #include "src/common/value.h"
 #include "src/serial/bytes.h"
 #include "src/serial/value_codec.h"
@@ -125,6 +126,11 @@ struct InvokeRequest {
   CoreId origin;
   std::vector<CoreId> path;  ///< Cores that forwarded this request so far
   bool oneway = false;       ///< fire-and-forget: the executor never replies
+  /// Directory epoch of the location knowledge `handle.last_known` was
+  /// routed by (0 = unstamped/legacy). A forwarding Core only chains along
+  /// its own tracker hint when that hint is strictly newer; otherwise it
+  /// asks the home shard and re-stamps (bounded-hop routing).
+  std::uint64_t hint_epoch = 0;
   TraceContext trace;
 
   friend bool operator==(const InvokeRequest&, const InvokeRequest&) = default;
@@ -143,6 +149,7 @@ inline std::vector<std::uint8_t> EncodeInvokeRequest(const InvokeRequest& rq) {
   WriteCoreId(w, rq.origin);
   WriteCoreList(w, rq.path);
   w.WriteBool(rq.oneway);
+  w.WriteVarint(rq.hint_epoch);
   WriteTraceTail(w, rq.trace);
   return w.Take();
 }
@@ -157,8 +164,97 @@ inline InvokeRequest DecodeInvokeRequest(
   rq.origin = ReadCoreId(r);
   rq.path = ReadCoreList(r);
   rq.oneway = r.ReadBool();
+  rq.hint_epoch = r.ReadVarint();
   rq.trace = ReadTraceTail(r);
   return rq;
+}
+
+// ==== directory plane ========================================================
+
+/// One-way location publish to a home shard (kDirectoryPublish payload).
+/// `epoch == 0` is a host *assertion* ("I verifiably host this; re-stamp
+/// me"): the shard keeps or bumps its stored epoch and echoes the
+/// authoritative stamp back to the publisher as a kTrackerUpdate.
+struct DirectoryPublish {
+  ComletId comlet;
+  CoreId location;
+  std::uint64_t epoch = 0;
+  SimTime as_of = 0;
+  TraceContext trace;
+
+  friend bool operator==(const DirectoryPublish&,
+                         const DirectoryPublish&) = default;
+};
+
+inline std::vector<std::uint8_t> EncodeDirectoryPublish(
+    const DirectoryPublish& p) {
+  serial::Writer w;
+  WriteComletId(w, p.comlet);
+  WriteCoreId(w, p.location);
+  w.WriteVarint(p.epoch);
+  w.WriteVarint(static_cast<std::uint64_t>(p.as_of));
+  WriteTraceTail(w, p.trace);
+  return w.Take();
+}
+inline DirectoryPublish DecodeDirectoryPublish(
+    const std::vector<std::uint8_t>& payload) {
+  serial::Reader r(payload);
+  DirectoryPublish p;
+  p.comlet = ReadComletId(r);
+  p.location = ReadCoreId(r);
+  p.epoch = r.ReadVarint();
+  p.as_of = static_cast<SimTime>(r.ReadVarint());
+  p.trace = ReadTraceTail(r);
+  return p;
+}
+
+/// Shard lookup request (kDirectoryLookup payload; answered with
+/// kDirectoryReply = ok preamble + DirectoryHint).
+struct DirectoryLookup {
+  ComletId comlet;
+  TraceContext trace;
+
+  friend bool operator==(const DirectoryLookup&,
+                         const DirectoryLookup&) = default;
+};
+
+inline std::vector<std::uint8_t> EncodeDirectoryLookup(
+    const DirectoryLookup& q) {
+  serial::Writer w;
+  WriteComletId(w, q.comlet);
+  WriteTraceTail(w, q.trace);
+  return w.Take();
+}
+inline DirectoryLookup DecodeDirectoryLookup(
+    const std::vector<std::uint8_t>& payload) {
+  serial::Reader r(payload);
+  DirectoryLookup q;
+  q.comlet = ReadComletId(r);
+  q.trace = ReadTraceTail(r);
+  return q;
+}
+
+/// An epoch-stamped location hint: the shard's current knowledge, or
+/// found = false when the shard has never heard of the complet.
+struct DirectoryHint {
+  bool found = false;
+  CoreId location;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const DirectoryHint&, const DirectoryHint&) = default;
+};
+
+inline void WriteDirectoryHint(serial::Writer& w, const DirectoryHint& h) {
+  w.WriteBool(h.found);
+  WriteCoreId(w, h.location);
+  w.WriteVarint(h.epoch);
+}
+inline DirectoryHint ReadDirectoryHint(serial::Reader& r) {
+  DirectoryHint h;
+  h.found = r.ReadBool();
+  h.location = ReadCoreId(r);
+  h.epoch = r.ReadVarint();
+  return h;
 }
 
 /// Standard reply preamble: ok flag, then an error message when not ok.

@@ -43,6 +43,14 @@ const char* ToString(MessageKind kind) {
       return "RecoveryReply";
     case MessageKind::kBatch:
       return "Batch";
+    case MessageKind::kDirectoryPublish:
+      return "DirectoryPublish";
+    case MessageKind::kDirectoryLookup:
+      return "DirectoryLookup";
+    case MessageKind::kDirectoryReply:
+      return "DirectoryReply";
+    case MessageKind::kDirectoryMap:
+      return "DirectoryMap";
   }
   return "?";
 }

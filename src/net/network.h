@@ -42,6 +42,10 @@ enum class MessageKind : std::uint8_t {
   kRecoveryQuery = 14,  ///< WAL recovery: "did move txn N from me install?"
   kRecoveryReply = 15,
   kBatch = 16,          ///< formation frame carrying several small messages
+  kDirectoryPublish = 17,  ///< one-way location publish to a home shard
+  kDirectoryLookup = 18,   ///< RPC: "where does the shard say this lives?"
+  kDirectoryReply = 19,
+  kDirectoryMap = 20,      ///< versioned ShardMap broadcast (higher wins)
 };
 
 const char* ToString(MessageKind kind);

@@ -15,16 +15,18 @@ struct Expr;
 using ExprPtr = std::shared_ptr<Expr>;
 
 /// Expressions: literals, variables, positional args, indexing, the layout
-/// primitives `coreOf e` and `completsIn e`, and list construction.
+/// primitives `coreOf e`, `completsIn e` and `hintEpochOf e`, and list
+/// construction.
 struct Expr {
   enum class Kind {
-    kLiteral,    // number/string
-    kVar,        // $name
-    kArg,        // %n
-    kIndex,      // base[i]
-    kCoreOf,     // coreOf e
-    kComletsIn,  // completsIn e
-    kList,       // [a, b, ...] — convenience extension
+    kLiteral,      // number/string
+    kVar,          // $name
+    kArg,          // %n
+    kIndex,        // base[i]
+    kCoreOf,       // coreOf e
+    kComletsIn,    // completsIn e
+    kHintEpochOf,  // hintEpochOf e — directory hint epoch of a complet
+    kList,         // [a, b, ...] — convenience extension
   };
 
   Kind kind = Kind::kLiteral;
@@ -32,7 +34,7 @@ struct Expr {
   Value literal;            // kLiteral
   std::string var;          // kVar
   int arg_index = 0;        // kArg (1-based, like %1)
-  ExprPtr base;             // kIndex / kCoreOf / kComletsIn
+  ExprPtr base;             // kIndex / kCoreOf / kComletsIn / kHintEpochOf
   std::size_t index = 0;    // kIndex
   std::vector<ExprPtr> items;  // kList
 };

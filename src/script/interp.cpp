@@ -140,6 +140,22 @@ Value Engine::Eval(const Expr& e, const Env& env) {
       Value base = Eval(*e.base, env);
       return Value(static_cast<std::int64_t>(ToCore(base).value));
     }
+    case Expr::Kind::kHintEpochOf: {
+      // The directory hint epoch a rule can act on: the stamp at the Core
+      // hosting the complet when it is reachable, otherwise the admin
+      // Core's own (possibly stale) hint. 0 = unstamped/unknown.
+      Value base = Eval(*e.base, env);
+      if (!base.IsHandle())
+        Fail(e.line, "hintEpochOf needs a complet handle");
+      const ComletId id = base.AsHandle().id;
+      for (core::Core* c : runtime_.Cores()) {
+        if (!c->alive() || !c->repository().Contains(id)) continue;
+        const core::TrackerEntry* te = c->trackers().Find(id);
+        return Value(static_cast<std::int64_t>(te ? te->hint_epoch : 0));
+      }
+      const core::TrackerEntry* te = admin_.trackers().Find(id);
+      return Value(static_cast<std::int64_t>(te ? te->hint_epoch : 0));
+    }
     case Expr::Kind::kComletsIn: {
       CoreId core_id = ToCore(Eval(*e.base, env));
       core::Core* c = runtime_.Find(core_id);

@@ -167,7 +167,7 @@ class Parser {
       while (At(TokenKind::kVar) || At(TokenKind::kArg) ||
              At(TokenKind::kNumber) || At(TokenKind::kString) ||
              At(TokenKind::kLBracket) || AtIdent("coreOf") ||
-             AtIdent("completsIn"))
+             AtIdent("completsIn") || AtIdent("hintEpochOf"))
         cmd.args.push_back(ParseExpr());
       return cmd;
     }
@@ -226,6 +226,12 @@ class Parser {
     if (AtIdent("completsIn") || AtIdent("comletsIn")) {
       Take();
       e->kind = Expr::Kind::kComletsIn;
+      e->base = ParseExpr();
+      return e;
+    }
+    if (AtIdent("hintEpochOf")) {
+      Take();
+      e->kind = Expr::Kind::kHintEpochOf;
       e->base = ParseExpr();
       return e;
     }

@@ -3,6 +3,7 @@
 #include <istream>
 #include <sstream>
 
+#include "src/core/directory.h"
 #include "src/core/meta_ref.h"
 #include "src/core/relocator.h"
 #include "src/core/wal.h"
@@ -114,6 +115,8 @@ bool Shell::Execute(const std::string& line) {
       CmdInvoke(args);
     } else if (cmd == "gc") {
       CmdGc(args);
+    } else if (cmd == "dir") {
+      CmdDir();
     } else if (cmd == "link") {
       CmdLink(args);
     } else if (cmd == "net") {
@@ -163,8 +166,8 @@ void Shell::RunInteractive(std::istream& in, bool prompt) {
 
 void Shell::CmdHelp() {
   out_ << "commands: help cores ls names methods move amove reftype setref "
-          "profile invoke post gc link net chaos crash wal recover heartbeat "
-          "shutdown trace sessions stats snapshot script quit\n";
+          "profile invoke post gc dir link net chaos crash wal recover "
+          "heartbeat shutdown trace sessions stats snapshot script quit\n";
 }
 
 void Shell::CmdCores() {
@@ -182,8 +185,10 @@ void Shell::CmdLs(const std::vector<std::string>& args) {
     if (!args.empty() && ResolveCore(args[0]) != c) continue;
     for (ComletId id : c->ComletsHere()) {
       auto anchor = c->repository().Get(id);
+      const core::TrackerEntry* te = c->trackers().Find(id);
       out_ << ToString(id) << "  " << (anchor ? anchor->TypeName() : "?")
-           << "  @" << c->name() << "\n";
+           << "  @" << c->name() << "  epoch="
+           << (te != nullptr ? te->hint_epoch : 0) << "\n";
     }
   }
 }
@@ -354,6 +359,35 @@ void Shell::CmdGc(const std::vector<std::string>& args) {
     out_ << c->name() << ": reclaimed " << c->trackers().CollectGarbage()
          << " trackers\n";
   }
+}
+
+void Shell::CmdDir() {
+  const core::DirectoryMode mode = runtime_.directory_mode();
+  const char* mode_name = mode == core::DirectoryMode::kSharded ? "sharded"
+                          : mode == core::DirectoryMode::kOrigin
+                              ? "origin"
+                              : "disabled";
+  out_ << "mode=" << mode_name;
+  if (mode == core::DirectoryMode::kSharded) {
+    const core::ShardMap& map = runtime_.shard_map();
+    out_ << " map_version=" << map.version << " shards=" << map.shard_count()
+         << " vnodes=" << map.vnodes;
+  }
+  out_ << "\n";
+  if (mode != core::DirectoryMode::kDisabled) {
+    for (core::Core* c : runtime_.Cores()) {
+      if (!c->alive()) continue;
+      const std::size_t entries = c->directory().store().size();
+      if (mode == core::DirectoryMode::kSharded || entries > 0)
+        out_ << "  shard @" << c->name() << ": entries=" << entries << "\n";
+    }
+  }
+  const monitor::Registry& reg = runtime_.metrics();
+  out_ << "  publishes=" << reg.CounterValue("dir.publishes")
+       << " lookups=" << reg.CounterValue("dir.lookups")
+       << " hint_hit=" << reg.CounterValue("dir.hint.hit")
+       << " hint_miss=" << reg.CounterValue("dir.hint.miss")
+       << " hint_stale=" << reg.CounterValue("dir.hint.stale") << "\n";
 }
 
 void Shell::CmdLink(const std::vector<std::string>& args) {

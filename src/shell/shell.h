@@ -18,6 +18,9 @@
 //   profile <service> ...         — instant profiling readout
 //   invoke <comlet> <method> [args...]
 //   gc [<core>]                   — collect unreferenced trackers
+//   dir                           — directory plane: mode, shard map
+//                                   version/owners, per-shard entry counts,
+//                                   hint hit/miss/stale counters
 //   link <coreA> <coreB> <lat_ms> <mbit>   — reshape a network link
 //   net                           — network counters (drops by reason,
 //                                   chaos stats, per-link traffic)
@@ -88,6 +91,7 @@ class Shell {
   static std::vector<Value> ParseCallArgs(const std::vector<std::string>& args,
                                           std::size_t from);
   void CmdGc(const std::vector<std::string>& args);
+  void CmdDir();
   void CmdLink(const std::vector<std::string>& args);
   void CmdNet();
   void CmdChaos(const std::vector<std::string>& args);

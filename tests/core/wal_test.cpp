@@ -70,14 +70,16 @@ TEST_F(WalTest, EveryRecordKindRoundTrips) {
   EXPECT_EQ(got.kind, core::kWalTracker);
   EXPECT_EQ(got.next, peer);
 
-  WalRecord home;
-  home.kind = core::kWalHome;
-  home.comlet = id;
-  home.location = peer;
-  home.as_of = 12345;
-  got = DecodeWalRecord(EncodeWalRecord(home));
-  EXPECT_EQ(got.kind, core::kWalHome);
+  WalRecord dir_publish;
+  dir_publish.kind = core::kWalDirPublish;
+  dir_publish.comlet = id;
+  dir_publish.location = peer;
+  dir_publish.epoch = 7;
+  dir_publish.as_of = 12345;
+  got = DecodeWalRecord(EncodeWalRecord(dir_publish));
+  EXPECT_EQ(got.kind, core::kWalDirPublish);
   EXPECT_EQ(got.location, peer);
+  EXPECT_EQ(got.epoch, 7u);
   EXPECT_EQ(got.as_of, 12345);
 
   WalRecord meta;

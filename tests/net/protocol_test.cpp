@@ -115,12 +115,12 @@ TEST_F(ProtocolTest, HomeRegistryAddsOneAsyncUpdatePerRemoteArrival) {
   Record();
   cores[0]->Move(msg, cores[1]->id());
   rt.RunUntilIdle();
-  // Move + reply + one kControl home update core1 -> core0.
-  EXPECT_EQ(CountKind(MessageKind::kControl), 1u);
+  // Move + reply + one kDirectoryPublish core1 -> core0 (the origin shard).
+  EXPECT_EQ(CountKind(MessageKind::kDirectoryPublish), 1u);
   bool saw_update = false;
   for (const Entry& e : log)
-    if (e.kind == MessageKind::kControl && e.from == cores[1]->id() &&
-        e.to == cores[0]->id())
+    if (e.kind == MessageKind::kDirectoryPublish &&
+        e.from == cores[1]->id() && e.to == cores[0]->id())
       saw_update = true;
   EXPECT_TRUE(saw_update);
 }

@@ -507,6 +507,65 @@ Message ReadBatchItem(Reader& r) {
       CountRule(Lint1("src/net/formation.cpp", src), "wire-asymmetry"), 0);
 }
 
+TEST(WireAsymmetry, DirectoryPublishEpochDriftIsFlagged) {
+  // The kDirectoryPublish codec carries the hint epoch between comlet/location
+  // and the trace tail; a reader that forgets the stamp would silently
+  // downgrade every publish to an assertion.
+  const std::string src = R"(void EncodeDirectoryPublish(Writer& w, const DirectoryPublish& p) {
+  WriteComletId(w, p.comlet);
+  WriteCoreId(w, p.location);
+  w.WriteVarint(p.epoch);
+  w.WriteVarint(p.as_of);
+}
+DirectoryPublish DecodeDirectoryPublish(Reader& r) {
+  DirectoryPublish p;
+  p.comlet = ReadComletId(r);
+  p.location = ReadCoreId(r);
+  p.as_of = r.ReadVarint();
+  return p;
+}
+)";
+  auto fs = Lint1("src/core/wire.h", src);
+  EXPECT_TRUE(
+      Has(fs, "wire-asymmetry", LineOf(src, "void EncodeDirectoryPublish")))
+      << Dump(fs);
+  ASSERT_EQ(CountRule(fs, "wire-asymmetry"), 1) << Dump(fs);
+  EXPECT_NE(fs[0].message.find("'epoch'"), std::string::npos) << fs[0].message;
+}
+
+TEST(WireAsymmetry, DirectoryCodecFamilyIsClean) {
+  // The shapes of the real kDirectoryPublish / kDirectoryLookup / hint
+  // codecs (src/core/wire.h): every field written is read back in order.
+  const std::string src = R"(void EncodeDirectoryPublish(Writer& w, const DirectoryPublish& p) {
+  WriteComletId(w, p.comlet);
+  WriteCoreId(w, p.location);
+  w.WriteVarint(p.epoch);
+  w.WriteVarint(p.as_of);
+}
+DirectoryPublish DecodeDirectoryPublish(Reader& r) {
+  DirectoryPublish p;
+  p.comlet = ReadComletId(r);
+  p.location = ReadCoreId(r);
+  p.epoch = r.ReadVarint();
+  p.as_of = r.ReadVarint();
+  return p;
+}
+void WriteDirectoryHint(Writer& w, const DirectoryHint& h) {
+  w.WriteBool(h.found);
+  WriteCoreId(w, h.location);
+  w.WriteVarint(h.epoch);
+}
+DirectoryHint ReadDirectoryHint(Reader& r) {
+  DirectoryHint h;
+  h.found = r.ReadBool();
+  h.location = ReadCoreId(r);
+  h.epoch = r.ReadVarint();
+  return h;
+}
+)";
+  EXPECT_EQ(CountRule(Lint1("src/core/wire.h", src), "wire-asymmetry"), 0);
+}
+
 // ==== wire-dup-marker ========================================================
 
 TEST(WireDupMarker, FlagsSameFileDuplicate) {
@@ -655,6 +714,47 @@ Rec ReadNoteRecord(Reader& r) { return {}; }
   auto fs = Lint({SourceFile{"src/core/wal.h", hdr},
                   SourceFile{"src/core/wal.cpp", impl}});
   EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 0) << Dump(fs);
+}
+
+TEST(WalRecordCoverage, DirPublishPairIsClean) {
+  // The PR-8 directory-publish record (kWalDirPublish): marker plus both
+  // codec directions, as in the real src/core/wal.h / wal.cpp.
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kWalDirPublish = 6;
+void WriteDirPublishRecord(Writer& w, const WalRecord& r) {
+  WriteComletId(w, r.comlet);
+  WriteCoreId(w, r.location);
+  w.WriteVarint(r.epoch);
+  w.WriteInt(r.as_of);
+}
+WalRecord ReadDirPublishRecord(Reader& r) {
+  WalRecord rec;
+  rec.comlet = ReadComletId(r);
+  rec.location = ReadCoreId(r);
+  rec.epoch = r.ReadVarint();
+  rec.as_of = r.ReadInt();
+  return rec;
+}
+)";
+  auto fs = Lint1("src/core/wal.h", src);
+  EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 0) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "wire-asymmetry"), 0) << Dump(fs);
+}
+
+TEST(WalRecordCoverage, DirPublishWithoutReaderIsFlagged) {
+  // A kWalDirPublish marker whose reader went missing: recovery could not
+  // decode published locations and every replay would fail.
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kWalDirPublish = 6;
+void WriteDirPublishRecord(Writer& w, const WalRecord& r) {
+  WriteComletId(w, r.comlet);
+}
+)";
+  auto fs = Lint1("src/core/wal.h", src);
+  EXPECT_TRUE(
+      Has(fs, "wal-record-coverage", LineOf(src, "kWalDirPublish")))
+      << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 1) << Dump(fs);
 }
 
 TEST(WalRecordCoverage, NonWalMarkersAreOutOfScope) {

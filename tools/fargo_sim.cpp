@@ -168,6 +168,17 @@ int main(int argc, char** argv) {
         std::string flag;
         ls >> flag;
         rt.EnableHomeRegistry(flag == "on");
+      } else if (word == "directory") {
+        // directory <core> [<core>...] — sharded plane with these owners.
+        std::vector<CoreId> owners;
+        std::string owner_name;
+        while (ls >> owner_name) {
+          core::Core* owner = rt.FindByName(owner_name);
+          if (owner == nullptr)
+            throw FargoError("unknown core " + owner_name);
+          owners.push_back(owner->id());
+        }
+        rt.EnableDirectory(owners);
       } else {
         throw FargoError("unknown directive '" + word + "'");
       }
