@@ -1,0 +1,96 @@
+// E17: fargolint v2 throughput over the repository's own sources.
+//
+// The linter runs on every push (the `lint` CI job) and as the ctest
+// `fargolint_src` check, so its wall-clock cost is developer-facing: the
+// two-phase engine (symbol index + flow-aware rule families) must stay
+// cheap enough to sit in the inner loop. This bench lints the checked-in
+// src/, bench/ and tools/ trees in-process and reports timing as
+// never-gated wallclock metrics. One deterministic metric IS gated: the
+// finding count, which the lint job pins at zero — a regression here means
+// a rule started firing on the tree (or stopped being suppressed) without
+// the code changing.
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench/support.h"
+#include "tools/fargolint/lint.h"
+
+using namespace fargo;
+using namespace fargo::bench;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool LintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Loads every lintable file under the repo's src/, bench/ and tools/
+/// trees, sorted for a deterministic batch.
+std::vector<fargolint::SourceFile> LoadTree() {
+  std::vector<std::string> paths;
+  for (const char* sub : {"src", "bench", "tools"}) {
+    const fs::path root = fs::path(FARGO_SOURCE_DIR) / sub;
+    if (!fs::exists(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root))
+      if (entry.is_regular_file() && LintableExtension(entry.path()))
+        paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<fargolint::SourceFile> files;
+  for (const std::string& p : paths) {
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back({p, ss.str()});
+  }
+  return files;
+}
+
+}  // namespace
+
+int main() {
+  Report report("lint");
+  std::printf("== E17: fargolint v2 over the repository sources ==\n");
+
+  const std::vector<fargolint::SourceFile> files = LoadTree();
+  std::size_t bytes = 0;
+  for (const auto& f : files) bytes += f.content.size();
+
+  // One counted run: the tree must be clean (the lint CI job enforces it;
+  // this gate catches a rule regression that starts firing without a code
+  // change — deterministically, on both compilers).
+  const std::vector<fargolint::Finding> findings = fargolint::Lint(files);
+  report.Gate("findings", findings.size());
+
+  TableHeader({"metric", "value"});
+  Row("| %-12s | %10zu |", "files", files.size());
+  Row("| %-12s | %10zu |", "bytes", bytes);
+  Row("| %-12s | %10zu |", "findings", findings.size());
+
+  if (!DeterministicMode()) {
+    // Timed runs: full pipeline (lex + index + all rule families) per
+    // iteration, reported as wallclock only.
+    constexpr int kReps = 10;
+    // fargolint: allow(wallclock) host-clock Info() metric, never gated; this branch is skipped in deterministic mode
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t sink = 0;
+    for (int i = 0; i < kReps; ++i) sink += fargolint::Lint(files).size();
+    // fargolint: allow(wallclock) host-clock Info() metric, never gated; this branch is skipped in deterministic mode
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    const double ms =
+        std::chrono::duration<double, std::milli>(dt).count() / kReps;
+    report.Info("lint_ms", ms);
+    report.Info("mb_per_s",
+                ms > 0 ? (static_cast<double>(bytes) / 1e6) / (ms / 1e3) : 0);
+    Row("| %-12s | %10.2f |", "lint (ms)", ms);
+    if (sink != findings.size() * kReps)
+      std::printf("[bench] WARNING: lint was not stable across reps\n");
+  }
+  report.Write();
+  return 0;
+}

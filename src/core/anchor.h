@@ -26,6 +26,7 @@
 namespace fargo::core {
 
 /// Registry of remotely invocable methods of an anchor.
+// fargo: domain(core)
 class MethodMap {
  public:
   using Handler = std::function<Value(const std::vector<Value>&)>;
@@ -56,6 +57,7 @@ class MethodMap {
 /// `serial::RegisterType<T>()`, register their methods into `methods()`
 /// (typically from the default constructor), and (de)serialize their
 /// closure in Serialize/Deserialize.
+// fargo: domain(core)
 class Anchor : public serial::Serializable {
  public:
   /// Global, movement-stable identity of this complet instance.

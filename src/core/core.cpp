@@ -484,14 +484,17 @@ void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
   msg.correlation = correlation;
   msg.session = skey;
   msg.payload = std::move(payload);
-  if (fresh && wal_ && !wal_->replaying()) {
+  if (wal_ && !wal_->replaying()) {
     // Durable executor: a peer must never observe an effect whose records
-    // could still be lost. Log the cached reply, then release the message
-    // only after a write barrier covers everything appended so far (the
-    // state/exec records of this very request included).
-    wal_->AppendExec(skey, kind, msg.payload);
+    // could still be lost. Log fresh replies, then release *every* reply —
+    // fresh, replayed or sessionless — only after a write barrier covers
+    // everything appended so far. A replayed answer must not race ahead of
+    // the first copy still parked behind its own barrier, and a sessionless
+    // answer (directory lookups, recovery queries) must not advertise state
+    // whose records are still volatile.
+    if (fresh) wal_->AppendExec(skey, kind, msg.payload);
     const std::uint64_t epoch = restart_epoch_;
-    wal_->Sync().OnSettle(
+    wal_->WhenDurable().OnSettle(
         // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
         [this, epoch, msg = std::move(msg)](sim::Future<sim::Unit>) mutable {
           if (!alive_ || restart_epoch_ != epoch) return;
@@ -890,6 +893,24 @@ void Core::SendSlotAck(const net::SessionKey& key) {
   msg.payload = w.Take();
   // Best-effort: a lost ack only delays the origin's fallback release.
   formation_->Enqueue(std::move(msg), net::Formation::Lane::kBulk);
+}
+
+void Core::AckSlotDurable(const net::SessionKey& key) {
+  if (!key.valid()) return;
+  if (wal_ && !wal_->replaying()) {
+    // The origin retires its slot lease on this ack; if the exec record
+    // behind it were still volatile, a crash here would re-admit the
+    // duplicate as fresh and run the oneway twice.
+    const std::uint64_t epoch = restart_epoch_;
+    wal_->WhenDurable().OnSettle(
+        // fargolint: allow(capture-this) Runtime clears pending events before destroying Cores
+        [this, epoch, key](sim::Future<sim::Unit>) {
+          if (!alive_ || restart_epoch_ != epoch) return;
+          SendSlotAck(key);
+        });
+    return;
+  }
+  SendSlotAck(key);
 }
 
 void Core::SendHeartbeatPing(CoreId peer) {

@@ -52,6 +52,7 @@ struct InvokeResult {
   int hops = 0;     ///< forwarding hops the request traversed
 };
 
+// fargo: domain(core)
 class Core {
  public:
   Core(Runtime& runtime, CoreId id, std::string name);
@@ -457,6 +458,11 @@ class Core {
   /// slot executed (or was recognized as a duplicate), so the origin can
   /// release the lease without waiting out its fallback timer.
   void SendSlotAck(const net::SessionKey& key);
+  /// Barrier-before-reply wrapper around SendSlotAck: on a durable executor
+  /// the ack is released only after every WAL record appended so far (the
+  /// slot's exec record included) is durable — an acked slot the origin
+  /// retires must survive the executor's crash. No-op for invalid keys.
+  void AckSlotDurable(const net::SessionKey& key);
 
   Runtime& runtime_;
   CoreId id_;

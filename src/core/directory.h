@@ -39,6 +39,7 @@ struct DirEntry {
   SimTime as_of = -1;
 };
 
+// fargo: domain(core)
 class Directory {
  public:
   explicit Directory(Core& core) : core_(core) {}

@@ -23,6 +23,7 @@
 
 namespace fargo::core {
 
+// fargo: domain(core)
 class FailureDetector {
  public:
   FailureDetector(Core& core, SimTime interval, int k_missed);

@@ -493,8 +493,10 @@ void InvocationUnit::ProcessRequest(wire::InvokeRequest rq, net::Message msg) {
       core_.inst_.session_replays->Inc();
       if (rq.oneway) {
         // No reply to replay, but the origin's slot must still come free —
-        // the first ack may be the very loss that caused this retry.
-        core_.SendSlotAck(msg.session);
+        // the first ack may be the very loss that caused this retry. Same
+        // durability contract as the first ack: the exec record this slot
+        // state rests on may still be behind an unsettled barrier.
+        core_.AckSlotDurable(msg.session);
       } else {
         // Replay copy: the cached reply must survive further duplicates.
         core_.inst_.bytes_copied->Inc(peek.reply->size());
@@ -641,12 +643,12 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
     // No reply carries this slot state into the log (Core::Reply logs the
     // two-way ones), so record it here: a recovered executor must keep
     // dropping duplicates of oneways it already ran.
-    if (Wal* wal = core_.wal(); wal != nullptr && !wal->replaying()) {
+    if (Wal* wal = core_.wal(); wal != nullptr && !wal->replaying())
       wal->AppendExec(skey, net::MessageKind::kInvokeReply, {});
-      wal->LazySync();
-    }
-    // Hand the slot back to the origin (there is no reply to do it).
-    if (skey.valid()) core_.SendSlotAck(skey);
+    // Hand the slot back to the origin (there is no reply to do it). The
+    // ack waits out a durability barrier over the exec record above — the
+    // origin retires the slot on it, so it must survive our crash.
+    core_.AckSlotDurable(skey);
     SendShorteningUpdates(rq, exec.ctx);
     return;
   }

@@ -26,6 +26,7 @@
 
 namespace fargo::core {
 
+// fargo: domain(core)
 class InvocationUnit {
  public:
   explicit InvocationUnit(Core& core) : core_(core) {}

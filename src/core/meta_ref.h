@@ -15,6 +15,7 @@
 
 namespace fargo::core {
 
+// fargo: domain(core)
 class MetaRef {
  public:
   explicit MetaRef(ComletId target,

@@ -598,24 +598,13 @@ void MovementUnit::HandleRecoveryQuery(const net::Message& msg) {
   // its staged stream forever, "not installed" makes it reinstall and
   // resume serving — after which a late copy of the stream must never
   // install here (the tombstone). Neither promise may outrun this Core's
-  // own durability, so the reply waits for a barrier covering the
-  // install records (installed) or the tombstone (not).
+  // own durability. Core::Reply barriers every reply behind WhenDurable()
+  // when a WAL is attached, which covers the install records (installed)
+  // or the tombstone appended just above (not).
   if (!installed) RecordDeadTxn(msg.from, txn);
   serial::Writer w;
   wire::WriteOk(w);
   w.WriteBool(installed);
-  if (Wal* wal = core_.wal()) {
-    const CoreId from = msg.from;
-    const std::uint64_t corr = msg.correlation;
-    const std::uint64_t epoch = core_.restart_epoch();
-    wal->Sync().OnSettle(
-        // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
-        [this, from, corr, epoch, reply = w.Take()](sim::Future<sim::Unit>) {
-          if (!core_.alive() || core_.restart_epoch() != epoch) return;
-          core_.Reply(from, net::MessageKind::kRecoveryReply, corr, reply);
-        });
-    return;
-  }
   core_.Reply(msg.from, net::MessageKind::kRecoveryReply, msg.correlation,
               w.Take());
 }

@@ -47,6 +47,7 @@ struct MoveStats {
   std::size_t deferred_remote_pulls = 0;
 };
 
+// fargo: domain(core)
 class MovementUnit {
  public:
   explicit MovementUnit(Core& core) : core_(core) {}

@@ -11,6 +11,7 @@
 
 namespace fargo::core {
 
+// fargo: domain(core)
 class Naming {
  public:
   /// Binds (or rebinds) a logical name to a complet.

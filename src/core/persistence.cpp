@@ -19,7 +19,7 @@ constexpr std::uint8_t kImageVersion = 1;
 }  // namespace
 
 // fargolint: allow(wire-asymmetry) graph codec, not a field-wise wire pair: the writer stamps a routing hint the reader consumes via ReadHandle
-std::vector<std::uint8_t> EncodeComletImage(Core& core, const Anchor& anchor) {
+std::vector<std::uint8_t> EncodeComletImage(Core& core, const Anchor& anchor) {  // fargolint: allow(wire-schema) hook-driven graph codec: ops interleave per reference, not as a linear field list
   // Closure with verbatim reference semantics: relocator object + handle
   // carrying this Core's best routing knowledge.
   serial::Writer body;

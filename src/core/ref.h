@@ -28,6 +28,7 @@ namespace fargo::core {
 
 /// Untyped complet reference (stub). Copyable; copies alias the same
 /// MetaRef, like multiple local pointers to one generated stub instance.
+// fargo: domain(core)
 class ComletRefBase {
  public:
   ComletRefBase() = default;

@@ -11,6 +11,7 @@
 
 namespace fargo::core {
 
+// fargo: domain(core)
 class Repository {
  public:
   /// Takes ownership of a hosted complet.

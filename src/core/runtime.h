@@ -21,6 +21,7 @@
 
 namespace fargo::core {
 
+// fargo: domain(core)
 class Runtime {
  public:
   Runtime();

@@ -36,6 +36,7 @@ inline std::uint64_t RingHash(ComletId id) {
 /// point clockwise from its own hash. Points are derived from the shard
 /// *index*, not the owner identity, so replacing a crashed owner Core
 /// re-homes nothing else.
+// fargo: domain(core)
 struct ShardMap {
   std::uint64_t version = 0;   ///< 0 = no map installed (plane disabled)
   std::vector<CoreId> owners;  ///< shard index -> owning Core

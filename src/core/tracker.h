@@ -42,6 +42,7 @@ struct TrackerEntry {
   bool is_local() const { return local != nullptr; }
 };
 
+// fargo: domain(core)
 class TrackerTable {
  public:
   /// Returns the tracker for `handle.id`, creating one that forwards to

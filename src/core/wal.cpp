@@ -37,8 +37,8 @@ const char* WalKindName(std::uint8_t kind) {
     case kWalRemove: return "remove";
     case kWalMoveInAck: return "move-in-ack";
     case kWalMoveDead: return "move-dead";
-    default: return "unknown";
   }
+  return "unknown";
 }
 
 // ==== per-kind codecs =========================================================

@@ -132,6 +132,7 @@ WalRecord ReadMoveDeadRecord(serial::Reader& r);
 std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r);
 WalRecord DecodeWalRecord(const std::vector<std::uint8_t>& bytes);
 
+// fargo: domain(core)
 class Wal {
  public:
   /// `checkpoint_interval` > 0 arms a checkpoint+truncate `interval` after
@@ -198,6 +199,11 @@ class Wal {
 
   /// Write barrier over everything appended so far.
   sim::Future<sim::Unit> Sync();
+  /// The barrier-before-reply idiom: settles once every record appended so
+  /// far is durable. Alias of Sync() under the name the invariant is stated
+  /// in — dominate any reply/ack egress with
+  /// WhenDurable().OnSettle(...), guarded by the restart epoch.
+  sim::Future<sim::Unit> WhenDurable() { return Sync(); }
   /// Coalesced background barrier: arms one if none is pending.
   void LazySync();
 

@@ -52,9 +52,12 @@ std::string ToString(const ProbeKey& key) {
       return s + "(" + ToString(key.peer) + ")";
     case Service::kInvocationRate:
       return s + "(" + ToString(key.a) + " -> " + ToString(key.b) + ")";
-    default:
+    // Core-wide gauges carry no arguments.
+    case Service::kComletLoad:
+    case Service::kMemoryUse:
       return s;
   }
+  return s;
 }
 
 }  // namespace fargo::monitor

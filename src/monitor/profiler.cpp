@@ -114,9 +114,15 @@ double Profiler::RawCounter(const ProbeKey& key) const {
           core_.network().StatsBetween(core_.id(), key.peer).messages);
     case Service::kInvocationRate:
       return static_cast<double>(core_.InvocationCount(key.a, key.b));
-    default:
+    // Instantaneous gauges: no accumulated counter to rate over.
+    case Service::kComletLoad:
+    case Service::kMemoryUse:
+    case Service::kComletSize:
+    case Service::kBandwidth:
+    case Service::kLatency:
       return 0.0;
   }
+  return 0.0;
 }
 
 }  // namespace fargo::monitor

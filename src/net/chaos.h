@@ -71,6 +71,7 @@ struct FaultStats {
 /// Pure per-message fate decider. The Network owns one and consults it in
 /// Send(); flap/crash scheduling lives in the Network (it needs the
 /// scheduler). Link-specific plans take precedence over the global plan.
+// fargo: domain(net)
 class ChaosEngine {
  public:
   struct Verdict {

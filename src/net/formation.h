@@ -45,6 +45,7 @@ struct FormationPolicy {
   SimTime flush_after = Millis(1); ///< ... or this long after the first item
 };
 
+// fargo: domain(net)
 class Formation {
  public:
   enum class Lane : std::uint8_t {

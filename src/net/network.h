@@ -93,6 +93,7 @@ struct LinkStats {
 
 /// The deterministic message fabric. Cores register a handler; Send()
 /// charges the link model and schedules delivery on the shared scheduler.
+// fargo: domain(net)
 class Network {
  public:
   using Handler = std::function<void(Message)>;

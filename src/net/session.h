@@ -33,6 +33,7 @@ namespace fargo::net {
 /// created lazily on first use. Slots are recycled through a free list —
 /// each reuse bumps the slot's seq, which is how the executor tells a new
 /// request from a retry of the previous tenant.
+// fargo: domain(net)
 class SessionPool {
  public:
   /// Sets the epoch stamped into keys handed out from now on. Must be
@@ -84,6 +85,7 @@ enum class Admission : std::uint8_t {
 /// holding per-slot state. `peer` is part of the window key because one
 /// origin may run sessions against several executors whose complets later
 /// migrate to the same Core — their slot numbers must not collide.
+// fargo: domain(net)
 class ReplayDirectory {
  public:
   struct AdmitResult {

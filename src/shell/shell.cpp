@@ -309,7 +309,9 @@ void Shell::CmdProfile(const std::vector<std::string>& args) {
       key.a = ResolveComlet(args[2]);
       key.b = ResolveComlet(args[3]);
       break;
-    default:
+    // Core-wide gauges take no extra arguments.
+    case monitor::Service::kComletLoad:
+    case monitor::Service::kMemoryUse:
       break;
   }
   out_ << ToString(key) << " @" << where->name() << " = "

@@ -80,6 +80,7 @@ struct IsFuture<Future<U>> : std::true_type {};
 /// Consumer end. Copies alias the same settlement slot. A
 /// default-constructed Future is invalid and must not be observed.
 template <class T>
+// fargo: domain(sim)
 class Future {
  public:
   using value_type = T;
@@ -270,6 +271,7 @@ class Future {
 /// Producer end. Copyable (copies alias the slot) so it can ride inside
 /// std::function continuations; settlement stays first-wins.
 template <class T>
+// fargo: domain(sim)
 class Promise {
  public:
   explicit Promise(Scheduler& sched)

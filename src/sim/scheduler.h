@@ -26,6 +26,7 @@ namespace fargo::sim {
 /// Handle used to cancel a scheduled task.
 using TaskId = std::uint64_t;
 
+// fargo: domain(sim)
 class Scheduler {
  public:
   Scheduler() = default;
@@ -97,6 +98,7 @@ class Scheduler {
   /// call can never sneak back into the continuation path. Always on (the
   /// default build defines NDEBUG, so a plain assert would be vacuous); the
   /// check is a single integer test per pump entry.
+  // fargo: domain(sim)
   class NoPumpScope {
    public:
     explicit NoPumpScope(Scheduler& s) : sched_(s) { ++sched_.no_pump_; }
@@ -111,6 +113,7 @@ class Scheduler {
  private:
   /// RAII around every pump loop: bumps depth, notifies the observer, and
   /// rejects entry from inside a NoPumpScope.
+  // fargo: domain(sim)
   class PumpGuard {
    public:
     explicit PumpGuard(Scheduler& s);
@@ -153,6 +156,7 @@ class Scheduler {
 /// A self-rescheduling task; used by continuous profiling. Destroying or
 /// stopping the task is safe at any point — including from within its own
 /// callback (the callback's state is kept alive by the in-flight event).
+// fargo: domain(sim)
 class PeriodicTask {
  public:
   PeriodicTask(Scheduler& sched, SimTime interval, std::function<void()> fn);

@@ -28,6 +28,7 @@
 
 namespace fargo::sim {
 
+// fargo: domain(sim)
 class Storage {
  public:
   explicit Storage(Scheduler& sched) : sched_(sched) {}

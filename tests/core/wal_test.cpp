@@ -501,6 +501,118 @@ TEST_F(WalTest, RecoveryTrafficIsNeverFormationFramed) {
       << "recovery traffic was delayed behind a formation frame";
 }
 
+// ---- Barrier-before-reply crash points --------------------------------------
+//
+// Two egress paths that historically bypassed the write barrier: the oneway
+// slot ack and the directory lookup reply. Both advertise durable state to a
+// peer, so both must ride behind the fsync of the records backing them.
+// These tests crash the sender inside the volatile window and check that
+// nothing escaped before the barrier would have settled.
+
+/// Feeds `fn` every message on the wire, unwrapping batch frames.
+template <typename Fn>
+void TapUnframed(core::Runtime& rt, Fn fn) {
+  rt.network().SetTap([fn = std::move(fn)](const net::Message& m) {
+    if (m.kind != net::MessageKind::kBatch) {
+      fn(m);
+      return;
+    }
+    serial::FrameReader frame(m.payload);
+    while (frame.HasNext()) {
+      serial::Reader item = frame.Next();
+      fn(net::ReadBatchItem(item));
+    }
+  });
+}
+
+TEST_F(WalTest, SlotAckIsWithheldUntilTheExecRecordIsDurable) {
+  // The origin retires a oneway's slot lease when the executor's SlotAck
+  // arrives. If the ack escaped while the exec record behind it was still
+  // volatile, the executor could crash, forget the execution, and later
+  // re-admit the origin's duplicate as fresh — the oneway runs twice.
+  constexpr std::uint8_t kCtrlSlotAck = 6;  // control subkind (core.cpp)
+  auto cores = MakeCores(2);
+  rt.storage().SetFsyncLatency(Millis(50));
+  cores[0]->EnableWal();
+  auto counter = cores[0]->New<Counter>();
+  rt.RunUntilIdle();
+
+  std::size_t acks = 0;
+  TapUnframed(rt, [&](const net::Message& m) {
+    if (m.kind != net::MessageKind::kControl || m.payload.empty()) return;
+    if (m.payload[0] == kCtrlSlotAck) ++acks;
+  });
+
+  auto stub = cores[1]->RefTo<Counter>(counter.handle());
+  stub.Post("increment");
+  // Delivered ~5ms in, executed, exec record appended; its barrier settles
+  // ~55ms in. At 20ms the ack must still be parked behind the fsync.
+  rt.RunFor(Millis(20));
+  EXPECT_EQ(acks, 0u) << "slot ack escaped before the exec record was durable";
+
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+  // The execution never became durable and its ack never left, so recovery
+  // rolling it back is consistent: nobody was told the oneway settled.
+  EXPECT_EQ(acks, 0u) << "a parked ack leaked across the restart epoch";
+  auto local = cores[0]->RefTo<Counter>(
+      ComletHandle{counter.target(), cores[0]->id(), "test.Counter"});
+  EXPECT_EQ(local.Invoke<std::int64_t>("get"), 0);
+
+  // The recovered executor still serves oneways, and the ack now arrives —
+  // after the barrier.
+  stub.Post("increment");
+  rt.RunUntilIdle();
+  EXPECT_EQ(local.Invoke<std::int64_t>("get"), 1);
+  EXPECT_GE(acks, 1u) << "recovered executor never acked the fresh oneway";
+}
+
+TEST_F(WalTest, DirectoryReplyIsWithheldUntilThePublishRecordIsDurable) {
+  // A durable shard answers lookups from its store; the store is rebuilt
+  // from kWalDirPublish records on restart. A reply that leaves before the
+  // record's fsync advertises an epoch recovery may then forget — peers
+  // would hold hints the authority no longer stands behind.
+  auto cores = MakeCores(3);
+  rt.storage().SetFsyncLatency(Millis(50));
+  cores[0]->EnableWal();
+  rt.EnableDirectory({cores[0]->id()});
+  rt.RunUntilIdle();
+
+  std::size_t replies = 0;
+  TapUnframed(rt, [&](const net::Message& m) {
+    if (m.kind == net::MessageKind::kDirectoryReply) ++replies;
+  });
+
+  // Install publishes epoch 1 to the shard (~5ms); the lookup lands just
+  // after and reads the fresh, still-volatile record. Its reply must wait
+  // out the publish record's barrier (~55ms).
+  auto msg = cores[1]->New<Message>("beta");
+  auto hint = cores[2]->directory().LookupAsync(msg.target());
+  rt.RunFor(Millis(30));
+  EXPECT_EQ(replies, 0u)
+      << "directory reply escaped before the publish record was durable";
+
+  cores[0]->Crash();
+  cores[0]->Restart();
+  rt.RunUntilIdle();
+  // The publish never became durable: the recovered store must not know the
+  // location — and critically, no reply ever claimed it did.
+  EXPECT_EQ(cores[0]->directory().store().count(msg.target()), 0u);
+
+  // Re-assert the location; a fresh lookup settles once the record is
+  // durable, and only then.
+  cores[1]->directory().Publish(msg.target(), cores[1]->id(), 1);
+  rt.RunUntilIdle();
+  auto again = cores[2]->directory().LookupAsync(msg.target());
+  rt.RunUntilIdle();
+  ASSERT_TRUE(again.settled());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().found);
+  EXPECT_EQ(again.value().location, cores[1]->id());
+  EXPECT_GT(replies, 0u);
+}
+
 // ---- Movement crash-point sweep ---------------------------------------------
 //
 // Crash the source (or destination) of an in-flight move at every

@@ -52,16 +52,23 @@ std::string Dump(const std::vector<Finding>& fs) {
 // ==== rule registry ==========================================================
 
 TEST(Rules, StableIdsInStableOrder) {
+  // AllRules() serves ids sorted, so --list-rules output is stable however
+  // the family registration table is ordered.
   const std::vector<RuleInfo> rules = AllRules();
   const std::vector<std::string> expect = {
-      "wallclock",   "unseeded-rng", "thread",
-      "unordered-iter", "no-pump",   "capture-ref",
-      "capture-this", "wire-asymmetry", "wire-dup-marker",
-      "wal-record-coverage", "annotation"};
+      "annotation",     "barrier-before-reply", "capture-ref",
+      "capture-this",   "domain",               "domain-missing",
+      "no-pump",        "switch-exhaustiveness", "thread",
+      "unordered-iter", "unseeded-rng",         "wal-record-coverage",
+      "wallclock",      "wire-asymmetry",       "wire-dup-marker",
+      "wire-schema"};
   ASSERT_EQ(rules.size(), expect.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, expect[i]);
     EXPECT_FALSE(rules[i].summary.empty());
+    if (i > 0) {
+      EXPECT_LT(rules[i - 1].id, rules[i].id);
+    }
   }
 }
 
@@ -773,6 +780,559 @@ inline constexpr std::uint8_t kWalLegacy = 3;
 )";
   auto fs = Lint1("src/core/wal.h", src);
   EXPECT_EQ(CountRule(fs, "wal-record-coverage"), 0) << Dump(fs);
+}
+
+// ==== ownership domains ======================================================
+
+TEST(Domain, FlagsCrossDomainFieldAccessFromContinuation) {
+  const std::string src = R"(// fargo: domain(tracker)
+class TrackerTable {
+ public:
+  int entries_ = 0;
+};
+// fargo: domain(movement)
+class MovementUnit {
+ public:
+  void Arm(Future<int> f) {
+    f.Then([this](int v) {
+      entries_ += v;
+    });
+  }
+ private:
+  int staged_ = 0;
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_TRUE(Has(fs, "domain", LineOf(src, "entries_ += v"))) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "domain"), 1) << Dump(fs);
+}
+
+TEST(Domain, OwnFieldInOwnDomainIsClean) {
+  const std::string src = R"(// fargo: domain(movement)
+class MovementUnit {
+ public:
+  void Arm(Future<int> f) {
+    f.Then([this](int v) {
+      staged_ += v;
+    });
+  }
+ private:
+  int staged_ = 0;
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain"), 0) << Dump(fs);
+}
+
+TEST(Domain, FieldLevelOverrideBeatsClassDomain) {
+  // A field handed to another domain: even the declaring class's own
+  // continuations may not touch it.
+  const std::string src = R"(// fargo: domain(core)
+class Core {
+ public:
+  void Arm(Future<int> f) {
+    f.Then([this](int v) {
+      shared_counter_ += v;
+    });
+  }
+ private:
+  // fargo: domain(monitor)
+  int shared_counter_ = 0;
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_TRUE(Has(fs, "domain", LineOf(src, "shared_counter_ += v")))
+      << Dump(fs);
+}
+
+TEST(Domain, AmbiguousOwnerIsSkipped) {
+  // `count_` is declared by two classes: the access cannot be attributed to
+  // one owner, so the rule errs toward silence.
+  const std::string src = R"(// fargo: domain(a)
+class A {
+ public:
+  int count_ = 0;
+};
+// fargo: domain(b)
+class B {
+ public:
+  int count_ = 0;
+};
+// fargo: domain(c)
+class C {
+ public:
+  void Arm(Future<int> f) {
+    f.Then([](int v) { count_ += v; });
+  }
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain"), 0) << Dump(fs);
+}
+
+TEST(Domain, SuppressedWithReason) {
+  const std::string src = R"(// fargo: domain(tracker)
+class TrackerTable {
+ public:
+  int entries_ = 0;
+};
+// fargo: domain(movement)
+class MovementUnit {
+ public:
+  void Arm(Future<int> f) {
+    f.Then([this](int v) {
+      // fargolint: allow(domain) stale read is fine: metric sampling only
+      entries_ += v;
+    });
+  }
+ private:
+  int staged_ = 0;
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain"), 0) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "annotation"), 0) << Dump(fs);
+}
+
+TEST(DomainMissing, StatefulClassWithoutDomainIsFlagged) {
+  const std::string src = R"(class Tracker {
+ public:
+  int hops_ = 0;
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_TRUE(Has(fs, "domain-missing", LineOf(src, "class Tracker")))
+      << Dump(fs);
+}
+
+TEST(DomainMissing, AnnotatedClassIsClean) {
+  const std::string src = R"(// fargo: domain(tracker)
+class Tracker {
+ public:
+  int hops_ = 0;
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain-missing"), 0) << Dump(fs);
+}
+
+TEST(DomainMissing, OnlyCoreNetSimPathsAreSwept) {
+  const std::string src = R"(class Render {
+ public:
+  int rows_ = 0;
+};
+)";
+  auto fs = Lint1("src/shell/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain-missing"), 0) << Dump(fs);
+}
+
+TEST(DomainMissing, NestedClassInheritsEnclosingDomain) {
+  const std::string src = R"(// fargo: domain(net)
+class Network {
+ public:
+  struct Link {
+    int bytes_ = 0;
+  };
+  int taps_ = 0;
+};
+)";
+  auto fs = Lint1("src/net/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain-missing"), 0) << Dump(fs);
+}
+
+TEST(DomainAnnotation, UnattachedDirectiveIsAFinding) {
+  const std::string src = R"(// fargo: domain(core)
+int free_counter = 0;
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_TRUE(Has(fs, "annotation", LineOf(src, "domain(core)"))) << Dump(fs);
+}
+
+TEST(DomainAnnotation, MalformedNameIsAFinding) {
+  const std::string src = R"(// fargo: domain(no spaces allowed)
+class Tracker {
+ public:
+  int hops_ = 0;
+};
+)";
+  auto fs = Lint1("src/core/x.h", src);
+  EXPECT_EQ(CountRule(fs, "annotation"), 1) << Dump(fs);
+}
+
+// ==== barrier-before-reply ===================================================
+
+TEST(Barrier, FlagsAckAfterAppendWithoutBarrier) {
+  // The PR 6 bug class, distilled: an exec record is appended and the slot
+  // ack leaves before any durability barrier covers it.
+  const std::string src = R"(void Ack(Wal* wal, Key key) {
+  wal->AppendExec(key, kind, payload);
+  SendSlotAck(key);
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(
+      Has(fs, "barrier-before-reply", LineOf(src, "SendSlotAck(key);")))
+      << Dump(fs);
+}
+
+TEST(Barrier, SendInsideWhenDurableContinuationIsClean) {
+  const std::string src = R"(void Ack(Wal* wal, Key key) {
+  wal->AppendExec(key, kind, payload);
+  wal->WhenDurable().OnSettle([key](Future<Unit>) {
+    SendSlotAck(key);
+  });
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "barrier-before-reply"), 0) << Dump(fs);
+}
+
+TEST(Barrier, SyncContinuationAlsoCounts) {
+  const std::string src = R"(void Publish(Wal* wal, Msg m) {
+  wal->AppendDirPublish(m.comlet, m.location, m.epoch, m.now);
+  wal->Sync().OnSettle([m](Future<Unit>) {
+    SendReply(m);
+  });
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "barrier-before-reply"), 0) << Dump(fs);
+}
+
+TEST(Barrier, UnconditionalReturnEndsThePath) {
+  const std::string src = R"(void Ack(Wal* wal, Key key, bool durable) {
+  if (durable) {
+    wal->AppendExec(key, kind, payload);
+    Park(key);
+    return;
+  }
+  SendSlotAck(key);
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "barrier-before-reply"), 0) << Dump(fs);
+}
+
+TEST(Barrier, ConditionalReturnDoesNotEndThePath) {
+  const std::string src = R"(void Ack(Wal* wal, Key key) {
+  wal->AppendExec(key, kind, payload);
+  if (!key.valid()) return;
+  SendSlotAck(key);
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(
+      Has(fs, "barrier-before-reply", LineOf(src, "SendSlotAck(key);")))
+      << Dump(fs);
+}
+
+TEST(Barrier, AppendDefinitionDoesNotArmTheRule) {
+  // `Wal::AppendExec(...) { ... }` is the definition, not a call; egress in
+  // unrelated functions below it must not be blamed.
+  const std::string src = R"(void Wal::AppendExec(Key key, int kind, Bytes payload) {
+  Append(MakeRecord(key, kind, payload));
+}
+void Pong(Key key) {
+  SendSlotAck(key);
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "barrier-before-reply"), 0) << Dump(fs);
+}
+
+TEST(Barrier, SuppressedWithReason) {
+  const std::string src = R"(void Ack(Wal* wal, Key key) {
+  wal->AppendExec(key, kind, payload);
+  // fargolint: allow(barrier-before-reply) test-only shim: no peer observes this ack
+  SendSlotAck(key);
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "barrier-before-reply"), 0) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "annotation"), 0) << Dump(fs);
+}
+
+// ==== switch-exhaustiveness ==================================================
+
+TEST(Switch, MissingEnumeratorWithoutDefaultIsFlagged) {
+  const std::string src = R"(enum class Kind { kA, kB, kC };
+void F(Kind k) {
+  switch (k) {
+    case Kind::kA: break;
+    case Kind::kB: break;
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "switch-exhaustiveness", LineOf(src, "switch (k)")))
+      << Dump(fs);
+}
+
+TEST(Switch, SilentDefaultIsFlagged) {
+  const std::string src = R"(enum class Kind { kA, kB };
+void F(Kind k) {
+  switch (k) {
+    case Kind::kA: break;
+    case Kind::kB: break;
+    default: break;
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "switch-exhaustiveness", LineOf(src, "switch (k)")))
+      << Dump(fs);
+}
+
+TEST(Switch, ThrowingDefaultIsAnExplicitRejection) {
+  const std::string src = R"(enum class Kind { kA, kB, kC };
+void F(Kind k) {
+  switch (k) {
+    case Kind::kA: break;
+    default: throw Error("unhandled kind");
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "switch-exhaustiveness"), 0) << Dump(fs);
+}
+
+TEST(Switch, FullCoverageWithoutDefaultIsClean) {
+  const std::string src = R"(enum class Kind { kA, kB };
+void F(Kind k) {
+  switch (k) {
+    case Kind::kA: break;
+    case Kind::kB: break;
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "switch-exhaustiveness"), 0) << Dump(fs);
+}
+
+TEST(Switch, WalMarkerSwitchUsesTheMarkerFamily) {
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kWalPing = 1;
+inline constexpr std::uint8_t kWalPong = 2;
+void F(std::uint8_t kind) {
+  switch (kind) {
+    case kWalPing: break;
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_TRUE(Has(fs, "switch-exhaustiveness", LineOf(src, "switch (kind)")))
+      << Dump(fs);
+}
+
+TEST(Switch, NumericLabelsAreOutOfScope) {
+  // Raw protocol bytes (the kCtrl* subkind switches): a corrupt byte
+  // legitimately falls through, so these are not a checked family.
+  const std::string src = R"(void F(int b) {
+  switch (b) {
+    case 3: break;
+    case 4: break;
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "switch-exhaustiveness"), 0) << Dump(fs);
+}
+
+TEST(Switch, UnresolvableLabelsAreOutOfScope) {
+  const std::string src = R"(void F(int b) {
+  switch (b) {
+    case kSomewhereElse: break;
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "switch-exhaustiveness"), 0) << Dump(fs);
+}
+
+TEST(Switch, SuppressedWithReason) {
+  const std::string src = R"(enum class Kind { kA, kB };
+void F(Kind k) {
+  // fargolint: allow(switch-exhaustiveness) kB is handled by the caller
+  switch (k) {
+    case Kind::kA: break;
+  }
+}
+)";
+  auto fs = Lint1("src/core/x.cpp", src);
+  EXPECT_EQ(CountRule(fs, "switch-exhaustiveness"), 0) << Dump(fs);
+}
+
+// ==== wire-schema ============================================================
+
+TEST(WireSchema, WidthDriftWithSymmetricFieldsIsFlagged) {
+  // Both sides touch the same fields, so wire-asymmetry is blind — but the
+  // writer emits u8 where the reader parses varint.
+  const std::string src = R"(void WritePing(Writer& w, const Ping& p) {
+  w.WriteVarint(p.seq);
+  w.WriteU8(p.flag);
+}
+Ping ReadPing(Reader& r) {
+  Ping p;
+  p.seq = r.ReadVarint();
+  p.flag = r.ReadVarint();
+  return p;
+}
+)";
+  auto fs = Lint1("src/net/wire.h", src);
+  EXPECT_TRUE(Has(fs, "wire-schema", LineOf(src, "void WritePing")))
+      << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "wire-asymmetry"), 0) << Dump(fs);
+}
+
+TEST(WireSchema, TrailingFieldOnOneSideIsFlagged) {
+  const std::string src = R"(void WritePing(Writer& w, const Ping& p) {
+  w.WriteVarint(p.seq);
+  w.WriteString(p.note);
+}
+Ping ReadPing(Reader& r) {
+  Ping p;
+  p.seq = r.ReadVarint();
+  return p;
+}
+)";
+  auto fs = Lint1("src/net/wire.h", src);
+  EXPECT_TRUE(Has(fs, "wire-schema", LineOf(src, "void WritePing")))
+      << Dump(fs);
+}
+
+TEST(WireSchema, PairsAcrossFilesInTheBatch) {
+  const std::string enc = R"(void EncodePing(Writer& w, const Ping& p) {
+  w.WriteVarint(p.seq);
+}
+)";
+  const std::string dec = R"(Ping DecodePing(Reader& r) {
+  Ping p;
+  p.seq = r.ReadU8();
+  return p;
+}
+)";
+  auto fs = Lint({SourceFile{"src/net/enc.cpp", enc},
+                  SourceFile{"src/net/dec.cpp", dec}});
+  EXPECT_EQ(CountRule(fs, "wire-schema"), 1) << Dump(fs);
+}
+
+TEST(WireSchema, NestedCodecsAndOkMarkersPairUp) {
+  const std::string src = R"(void WriteReply(Writer& w, const R& x) {
+  WriteOk(w);
+  WriteCoreId(w, x.id);
+  w.WriteVarint(x.n);
+}
+R ReadReply(Reader& r) {
+  CheckOk(r);
+  R x;
+  x.id = ReadCoreId(r);
+  x.n = r.ReadVarint();
+  return x;
+}
+)";
+  auto fs = Lint1("src/net/wire.h", src);
+  EXPECT_EQ(CountRule(fs, "wire-schema"), 0) << Dump(fs);
+}
+
+TEST(WireSchema, SerializerPrimitivesAreNotMessageCodecs) {
+  // bytes.h-style primitive implementations: WriteInt's body is varint
+  // zig-zag, graph.h wraps it — neither is a message, and pairing them
+  // batch-wide would compare a primitive with its own wrapper.
+  const std::string prim = R"(void WriteInt(std::int64_t v) {
+  WriteVarint(ZigZag(v));
+}
+std::int64_t ReadInt() {
+  return UnZigZag(ReadVarint());
+}
+)";
+  const std::string wrap = R"(void WriteInt(std::int64_t v) { out_.WriteInt(v); }
+std::int64_t ReadInt() { return in_.ReadInt(); }
+)";
+  auto fs = Lint({SourceFile{"src/serial/bytes.h", prim},
+                  SourceFile{"src/serial/graph.h", wrap}});
+  EXPECT_EQ(CountRule(fs, "wire-schema"), 0) << Dump(fs);
+}
+
+TEST(WireSchema, SuppressedWithReason) {
+  const std::string src = R"(// fargolint: allow(wire-schema) hook-driven graph codec, ops interleave per reference
+void WritePing(Writer& w, const Ping& p) {
+  w.WriteVarint(p.seq);
+}
+Ping ReadPing(Reader& r) {
+  Ping p;
+  p.seq = r.ReadU8();
+  return p;
+}
+)";
+  auto fs = Lint1("src/net/wire.h", src);
+  EXPECT_EQ(CountRule(fs, "wire-schema"), 0) << Dump(fs);
+}
+
+// ==== schema extraction ======================================================
+
+TEST(Schema, EmitsDeterministicJson) {
+  const std::string src = R"(#include <cstdint>
+inline constexpr std::uint8_t kPing = 7;
+enum class Phase { kIdle = 0, kBusy = 1 };
+void WritePing(Writer& w, const Ping& p) {
+  w.WriteU8(kPing);
+  w.WriteVarint(p.seq);
+}
+Ping ReadPing(Reader& r) {
+  Ping p;
+  r.ReadU8();
+  p.seq = r.ReadVarint();
+  return p;
+}
+)";
+  const std::string expect = R"({
+  "schema": 1,
+  "markers": [
+    {"name": "kPing", "value": 7, "file": "src/net/wire.h"}
+  ],
+  "enums": [
+    {"name": "Phase", "file": "src/net/wire.h", "enumerators": [["kIdle", 0], ["kBusy", 1]]}
+  ],
+  "messages": [
+    {"name": "Ping", "encoder": "WritePing", "file": "src/net/wire.h", "ops": ["u8", "varint"]}
+  ]
+}
+)";
+  EXPECT_EQ(ExtractWireSchema({SourceFile{"src/net/wire.h", src}}), expect);
+}
+
+TEST(Schema, WidthDriftChangesTheDocument) {
+  // The CI gate is a byte comparison; a varint->u8 width change must
+  // produce a different document even when field names stay put.
+  const std::string before = R"(void WritePing(Writer& w, const Ping& p) {
+  w.WriteVarint(p.seq);
+}
+Ping ReadPing(Reader& r) {
+  Ping p;
+  p.seq = r.ReadVarint();
+  return p;
+}
+)";
+  std::string after = before;
+  const std::string from = "w.WriteVarint(p.seq);";
+  after.replace(after.find(from), from.size(), "w.WriteU8(p.seq);");
+  const std::string doc_before =
+      ExtractWireSchema({SourceFile{"src/net/wire.h", before}});
+  const std::string doc_after =
+      ExtractWireSchema({SourceFile{"src/net/wire.h", after}});
+  EXPECT_NE(doc_before, doc_after);
+}
+
+TEST(Schema, UnpairedCodecsAndValuelessEnumsDegradeGracefully) {
+  const std::string src = R"(enum class Mode { kAuto = kDefaultMode, kManual };
+void WriteLone(Writer& w, const L& x) {
+  w.WriteVarint(x.a);
+}
+)";
+  const std::string doc = ExtractWireSchema({SourceFile{"src/net/wire.h", src}});
+  // Unpaired encoder: no message entry. Non-literal initializer: value null.
+  EXPECT_EQ(doc.find("WriteLone"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[\"kAuto\", null]"), std::string::npos) << doc;
 }
 
 // ==== output contract ========================================================

@@ -1,0 +1,22 @@
+# Wire-schema drift gate: regenerate the schema over SRC with FARGOLINT and
+# compare byte-for-byte against the checked-in GOLDEN. Run by the
+# fargolint_schema ctest and by CI's lint-schema step.
+#
+#   cmake -DFARGOLINT=... -DSRC=... -DGOLDEN=... -DOUT=... -P check_schema.cmake
+execute_process(
+    COMMAND ${FARGOLINT} --emit-schema ${SRC}
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fargolint --emit-schema failed (exit ${rc})")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+      "wire schema drift: ${OUT} differs from ${GOLDEN}. If the format "
+      "change is intentional, regenerate the golden with "
+      "`fargolint --emit-schema src > docs/wire_schema.json` and commit it "
+      "with the codec change.")
+endif()

@@ -1,0 +1,652 @@
+#include "tools/fargolint/index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "tools/fargolint/rules.h"
+
+namespace fargolint {
+namespace {
+
+// ==== annotation parsing =====================================================
+
+void ParseFargolintComment(const std::string& file, const Comment& c,
+                           std::size_t at, Annotations& out) {
+  std::string rest = Trim(c.text.substr(at + 10));
+  auto bad = [&](const std::string& why) {
+    out.bad.push_back({"annotation", file, c.line, why, Trim(c.text)});
+  };
+  if (rest.rfind("allow(", 0) == 0) {
+    std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      bad("unterminated allow(...)");
+      return;
+    }
+    std::string rule = Trim(rest.substr(6, close - 6));
+    std::string reason = Trim(rest.substr(close + 1));
+    if (!KnownRule(rule)) {
+      bad("allow() names unknown rule '" + rule + "'");
+      return;
+    }
+    if (reason.empty()) {
+      bad("allow(" + rule + ") carries no reason; write why the finding is safe");
+      return;
+    }
+    out.allow[c.line].insert(rule);
+  } else if (rest.rfind("order-insensitive", 0) == 0) {
+    // Loop-level alias for allow(unordered-iter); reason lives in parens.
+    std::size_t open = rest.find('(');
+    std::size_t close = rest.rfind(')');
+    std::string reason;
+    if (open != std::string::npos && close != std::string::npos && close > open)
+      reason = Trim(rest.substr(open + 1, close - open - 1));
+    if (reason.empty()) {
+      bad("order-insensitive(<reason>) requires a written reason");
+      return;
+    }
+    out.allow[c.line].insert("unordered-iter");
+  } else if (rest.rfind("no-pump-region", 0) == 0) {
+    if (out.no_pump_region_start == 0) out.no_pump_region_start = c.line;
+  } else {
+    bad("unknown fargolint directive '" + rest.substr(0, rest.find(' ')) + "'");
+  }
+}
+
+/// `domain(<name>)` ownership annotations (the marker is `"fargo" ":"`,
+/// spelled apart because this file is itself linted). Only the `domain(`
+/// directive is recognized after the marker; the marker followed by
+/// anything else is left alone (prose), but a malformed domain() is a
+/// finding — a typo here silently weakens the confinement check.
+void ParseDomainComment(const std::string& file, const Comment& c,
+                        std::size_t at, Annotations& out) {
+  std::string rest = Trim(c.text.substr(at + 6));
+  if (rest.rfind("domain", 0) != 0) return;
+  auto bad = [&](const std::string& why) {
+    out.bad.push_back({"annotation", file, c.line, why, Trim(c.text)});
+  };
+  std::size_t open = rest.find('(');
+  std::size_t close = rest.find(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    bad("malformed domain(...) — expected domain(<name>)");
+    return;
+  }
+  std::string name = Trim(rest.substr(open + 1, close - open - 1));
+  if (name.empty()) {
+    bad("domain() carries no name; declare the ownership domain");
+    return;
+  }
+  for (char ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' && ch != '-') {
+      bad("domain name '" + name + "' must be [A-Za-z0-9_-]+");
+      return;
+    }
+  }
+  out.domains[c.line] = name;
+}
+
+// ==== unordered-container declarations =======================================
+
+/// Collects names declared with an unordered container type:
+/// `std::unordered_map<K, V> name`, including reference/pointer/const forms
+/// and function parameters.
+void CollectUnorderedDecls(const Lexed& lx, std::set<std::string>& out) {
+  const std::vector<Token>& t = lx.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (s != "unordered_map" && s != "unordered_set" &&
+        s != "unordered_multimap" && s != "unordered_multiset")
+      continue;
+    std::size_t j = i + 1;
+    if (j < t.size() && IsPunct(t[j], "<")) {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (IsPunct(t[j], "<")) ++depth;
+        else if (IsPunct(t[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < t.size() &&
+           (IsPunct(t[j], "&") || IsPunct(t[j], "*") ||
+            (t[j].kind == Tok::kIdent && t[j].text == "const")))
+      ++j;
+    if (j < t.size() && t[j].kind == Tok::kIdent) out.insert(t[j].text);
+  }
+}
+
+// ==== scheduler sinks ========================================================
+
+/// Argument spans of every call to a scheduler/future sink.
+std::vector<Span> SinkArgSpans(const std::vector<Token>& t) {
+  std::vector<Span> spans;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || SinkNames().count(t[i].text) == 0) continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    spans.push_back({i + 1, MatchingClose(t, i + 1)});
+  }
+  return spans;
+}
+
+// ==== function-definition spans ==============================================
+
+/// Statement keywords that look like `ident (` but never open a function.
+bool IsStatementKeyword(const std::string& s) {
+  static const std::set<std::string> kKw = {
+      "if", "for", "while", "switch", "catch", "return", "throw", "sizeof",
+      "alignof", "decltype", "static_assert", "new", "delete", "co_await",
+      "co_return", "assert", "do", "else", "case", "goto", "using"};
+  return kKw.count(s) > 0;
+}
+
+/// Detects `name ( params ) [qualifiers] {` and `Cls::name ( ... ) : init {`
+/// definitions and records their body spans. The contract is lexical:
+/// declarations (terminated by `;`), calls (preceded by `.`/`->` or followed
+/// by a statement terminator) and lambdas (no introducing identifier) do not
+/// match. A missed definition fails open — rules that scope work to a
+/// function simply skip unattributed positions.
+void CollectFunctions(FileCtx& f) {
+  const std::vector<Token>& t = f.lx.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !IsPunct(t[i + 1], "(")) continue;
+    if (IsStatementKeyword(t[i].text)) continue;
+    if (i > 0 && IsPunct(t[i - 1], ".")) continue;
+    if (i >= 2 && IsPunct(t[i - 1], ">") && IsPunct(t[i - 2], "-")) continue;
+    std::size_t close = MatchingClose(t, i + 1);
+    if (close >= t.size()) continue;
+    std::size_t body = 0;
+    std::size_t j = close + 1;
+    if (j < t.size() && IsPunct(t[j], ":")) {
+      // Constructor init list: walk the items; the body is the `{` that is
+      // not itself a braced member initializer (a braced init is followed
+      // by `,` or by the body brace).
+      ++j;
+      while (j < t.size()) {
+        if (IsPunct(t[j], "(")) {
+          j = MatchingClose(t, j) + 1;
+          continue;
+        }
+        if (IsPunct(t[j], "{")) {
+          std::size_t c = MatchingClose(t, j);
+          if (c + 1 < t.size() && IsPunct(t[c + 1], ",")) {
+            j = c + 2;
+            continue;
+          }
+          if (c + 1 < t.size() && IsPunct(t[c + 1], "{")) {
+            body = c + 1;
+            break;
+          }
+          body = j;  // this brace was the body
+          break;
+        }
+        if (IsPunct(t[j], ";")) break;
+        ++j;
+      }
+    } else {
+      // Skip qualifiers / trailing return type; bail on terminators.
+      int steps = 0;
+      while (j < t.size() && ++steps < 40) {
+        if (IsPunct(t[j], "{")) {
+          body = j;
+          break;
+        }
+        if (IsPunct(t[j], ";") || IsPunct(t[j], "=") || IsPunct(t[j], ",") ||
+            IsPunct(t[j], ")") || IsPunct(t[j], "]"))
+          break;
+        if (IsPunct(t[j], "(")) {  // noexcept(...), decltype(...)
+          j = MatchingClose(t, j) + 1;
+          continue;
+        }
+        ++j;
+      }
+    }
+    if (body == 0) continue;
+    std::size_t body_close = MatchingClose(t, body);
+    f.fn_bodies.push_back({body, body_close});
+    // Out-of-line method: `Cls :: name (`.
+    if (i >= 2 && IsPunct(t[i - 1], "::") && t[i - 2].kind == Tok::kIdent) {
+      f.methods.push_back({t[i - 2].text, t[i].text, t[i].line, body, body_close});
+    }
+  }
+}
+
+// ==== classes and fields =====================================================
+
+void CollectClasses(Index& idx, std::size_t fi) {
+  FileCtx& f = idx.files[fi];
+  const std::vector<Token>& t = f.lx.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent ||
+        (t[i].text != "class" && t[i].text != "struct"))
+      continue;
+    if (i > 0 && t[i - 1].kind == Tok::kIdent && t[i - 1].text == "enum")
+      continue;  // enum class
+    std::size_t j = i + 1;
+    if (j < t.size() && IsPunct(t[j], "["))  // [[attribute]]
+      j = MatchingClose(t, j) + 1;
+    if (j >= t.size() || t[j].kind != Tok::kIdent) continue;  // anonymous
+    ClassSym cs;
+    cs.name = t[j].text;
+    cs.line = t[j].line;
+    cs.file = fi;
+    ++j;
+    if (j < t.size() && IsPunct(t[j], "<")) {  // specialization arguments
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (IsPunct(t[j], "<")) ++depth;
+        else if (IsPunct(t[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    // Scan the base clause for the body `{`. `;` is a forward declaration;
+    // `>` / `)` / `,` / `=` prove template-parameter or expression context
+    // (`template <class T>`).
+    bool is_def = false;
+    for (; j < t.size(); ++j) {
+      if (IsPunct(t[j], "{")) {
+        is_def = true;
+        break;
+      }
+      if (IsPunct(t[j], ";") || IsPunct(t[j], ">") || IsPunct(t[j], ")") ||
+          IsPunct(t[j], ",") || IsPunct(t[j], "=") || IsPunct(t[j], "("))
+        break;
+    }
+    if (!is_def) continue;
+    cs.body_open = j;
+    cs.body_close = MatchingClose(t, j);
+    // `_`-suffixed member declarations directly inside the body (depth 1);
+    // inline method bodies and nested classes sit deeper and are skipped.
+    int depth = 0;
+    for (std::size_t k = cs.body_open; k < cs.body_close; ++k) {
+      if (IsPunct(t[k], "{")) {
+        ++depth;
+        continue;
+      }
+      if (IsPunct(t[k], "}")) {
+        --depth;
+        continue;
+      }
+      if (depth != 1) continue;
+      if (t[k].kind == Tok::kIdent && t[k].text.size() > 1 &&
+          t[k].text.back() == '_' && k + 1 < t.size() &&
+          (IsPunct(t[k + 1], ";") || IsPunct(t[k + 1], "=") ||
+           IsPunct(t[k + 1], "{") || IsPunct(t[k + 1], "["))) {
+        FieldSym fs;
+        fs.name = t[k].text;
+        fs.line = t[k].line;
+        cs.fields.push_back(std::move(fs));
+      }
+    }
+    idx.classes.push_back(std::move(cs));
+  }
+  // Mark nesting (a class whose body contains another class's name token).
+  for (std::size_t a = 0; a < idx.classes.size(); ++a) {
+    ClassSym& inner = idx.classes[a];
+    if (inner.file != fi) continue;
+    for (std::size_t b = 0; b < idx.classes.size(); ++b) {
+      if (a == b || idx.classes[b].file != fi) continue;
+      const ClassSym& outer = idx.classes[b];
+      if (inner.body_open > outer.body_open &&
+          inner.body_close < outer.body_close)
+        inner.nested = true;
+    }
+  }
+}
+
+/// Attaches parsed `domain(...)` annotations: a directive on the class-name
+/// line or the line above names the class's domain; likewise for fields.
+/// Nested classes inherit the innermost enclosing class's domain unless they
+/// declare their own. Unattached directives become annotation findings.
+void AttachDomains(Index& idx) {
+  for (std::size_t fi = 0; fi < idx.files.size(); ++fi) {
+    FileCtx& f = idx.files[fi];
+    if (f.ann.domains.empty()) continue;
+    std::set<int> used;
+    for (ClassSym& cs : idx.classes) {
+      if (cs.file != fi) continue;
+      for (int l : {cs.line, cs.line - 1}) {
+        auto it = f.ann.domains.find(l);
+        if (it != f.ann.domains.end()) {
+          cs.domain = it->second;
+          used.insert(l);
+        }
+      }
+      for (FieldSym& fs : cs.fields) {
+        for (int l : {fs.line, fs.line - 1}) {
+          auto it = f.ann.domains.find(l);
+          if (it != f.ann.domains.end() && l != cs.line && l != cs.line - 1) {
+            fs.domain = it->second;
+            used.insert(l);
+          }
+        }
+      }
+    }
+    for (const auto& [line, name] : f.ann.domains) {
+      if (used.count(line)) continue;
+      f.ann.bad.push_back(
+          {"annotation", f.src->path, line,
+           "domain(" + name + ") attaches to no class or field declaration",
+           ExcerptAt(f.lx, line)});
+    }
+  }
+  // Inheritance pass: unannotated nested classes take the enclosing domain.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ClassSym& cs : idx.classes) {
+      if (!cs.domain.empty() || !cs.nested) continue;
+      // Innermost enclosing class in the same file.
+      const ClassSym* outer = nullptr;
+      for (const ClassSym& o : idx.classes) {
+        if (&o == &cs || o.file != cs.file) continue;
+        if (cs.body_open > o.body_open && cs.body_close < o.body_close &&
+            (outer == nullptr || o.body_open > outer->body_open))
+          outer = &o;
+      }
+      if (outer != nullptr && !outer->domain.empty()) {
+        cs.domain = outer->domain;
+        changed = true;
+      }
+    }
+  }
+}
+
+// ==== enums ==================================================================
+
+void CollectEnums(Index& idx, std::size_t fi) {
+  FileCtx& f = idx.files[fi];
+  const std::vector<Token>& t = f.lx.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || t[i].text != "enum") continue;
+    std::size_t j = i + 1;
+    EnumSym es;
+    es.tok = i;
+    es.file = fi;
+    if (j < t.size() && t[j].kind == Tok::kIdent &&
+        (t[j].text == "class" || t[j].text == "struct")) {
+      es.scoped = true;
+      ++j;
+    }
+    if (j >= t.size() || t[j].kind != Tok::kIdent) continue;  // anonymous
+    es.name = t[j].text;
+    es.line = t[j].line;
+    ++j;
+    if (j < t.size() && IsPunct(t[j], ":")) {  // underlying type
+      ++j;
+      while (j < t.size() && !IsPunct(t[j], "{") && !IsPunct(t[j], ";")) ++j;
+    }
+    if (j >= t.size() || !IsPunct(t[j], "{")) continue;  // opaque declaration
+    std::size_t close = MatchingClose(t, j);
+    std::int64_t next = 0;
+    bool known = true;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (t[k].kind != Tok::kIdent) continue;
+      Enumerator e;
+      e.name = t[k].text;
+      if (k + 2 < close && IsPunct(t[k + 1], "=") &&
+          t[k + 2].kind == Tok::kNumber &&
+          (k + 3 >= close || IsPunct(t[k + 3], ",") || IsPunct(t[k + 3], "}"))) {
+        e.value = static_cast<std::int64_t>(
+            std::strtoll(t[k + 2].text.c_str(), nullptr, 0));
+        known = true;
+      } else if (k + 1 < close && IsPunct(t[k + 1], "=")) {
+        known = false;  // expression initializer; values unknown from here on
+        e.value = 0;
+      } else {
+        e.value = next;
+      }
+      e.value_known = known;
+      next = e.value + 1;
+      es.enumerators.push_back(std::move(e));
+      // Skip to the separating comma.
+      while (k < close && !IsPunct(t[k], ",")) ++k;
+    }
+    if (es.enumerators.empty()) continue;
+    idx.enums.push_back(std::move(es));
+  }
+  // Qualify enums nested in a class body: Kind -> Expr::Kind.
+  for (EnumSym& es : idx.enums) {
+    if (es.file != fi) continue;
+    const ClassSym* encl = nullptr;
+    for (const ClassSym& cs : idx.classes) {
+      if (cs.file != fi) continue;
+      if (es.tok > cs.body_open && es.tok < cs.body_close &&
+          (encl == nullptr || cs.body_open > encl->body_open))
+        encl = &cs;
+    }
+    if (encl != nullptr) es.name = encl->name + "::" + es.name;
+  }
+}
+
+// ==== codecs =================================================================
+
+/// Member accesses `x.y` where y is not immediately called — i.e. the data
+/// fields a codec touches, as opposed to writer/reader method calls.
+std::set<std::string> FieldAccesses(const std::vector<Token>& t,
+                                    std::size_t begin, std::size_t end) {
+  std::set<std::string> fields;
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (!IsPunct(t[i], ".")) continue;
+    if (t[i + 1].kind != Tok::kIdent) continue;
+    if (i + 2 < t.size() && IsPunct(t[i + 2], "(")) continue;  // method call
+    fields.insert(t[i + 1].text);
+  }
+  return fields;
+}
+
+/// Primitive wire operation performed by a call named `name`, or "" when the
+/// call is not a read/write. Unrecognized Write*/Read* suffixes are treated
+/// as nested codec references and named by their suffix, so `WriteCoreId`
+/// pairs with `ReadCoreId` as op "CoreId".
+std::string WireOp(const std::string& name) {
+  if (name == "CheckOk") return "ok";  // decode-side pair of WriteOk
+  static const std::map<std::string, std::string> kPrim = {
+      {"Varint", "varint"}, {"U8", "u8"},         {"Bool", "bool"},
+      {"Int", "int"},       {"Double", "f64"},    {"String", "string"},
+      {"Bytes", "bytes"},   {"BytesView", "bytes"}, {"Raw", "raw"},
+      {"Ok", "ok"},
+  };
+  for (const char* verb : {"Encode", "Decode", "Write", "Read"}) {
+    const std::size_t vn = std::strlen(verb);
+    if (name.rfind(verb, 0) != 0 || name.size() <= vn) continue;
+    std::string suffix = name.substr(vn);
+    if (!std::isupper(static_cast<unsigned char>(suffix[0])))
+      return "";  // Reader / Writer / similar, not a wire op
+    auto it = kPrim.find(suffix);
+    return it != kPrim.end() ? it->second : suffix;
+  }
+  return "";
+}
+
+/// Suffixes that name serializer primitives rather than messages. The
+/// Writer/Reader methods in bytes.h and their pass-through wrappers in
+/// graph.h *are* the primitive vocabulary — pairing bytes.h's WriteInt
+/// against graph.h's ReadInt batch-wide would compare a primitive's
+/// implementation with its own wrapper and drown the schema in noise.
+/// `Object` is the graph-layer primitive (polymorphic, branchy by design).
+bool PrimitiveSuffix(const std::string& suffix) {
+  static const std::set<std::string> kPrimitives = {
+      "Varint", "U8",  "Bool", "Int",    "Double", "String",
+      "Bytes",  "Raw", "Ok",   "Object", "BytesView"};
+  return kPrimitives.count(suffix) != 0;
+}
+
+void CollectCodecs(Index& idx, std::size_t fi) {
+  FileCtx& f = idx.files[fi];
+  const std::vector<Token>& t = f.lx.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !IsPunct(t[i + 1], "(")) continue;
+    // A call site, not a definition: `wire::WriteHandle(w, h)` — only match
+    // names at definition position (next non-qualifier tokens reach a `{`).
+    const std::string& name = t[i].text;
+    std::string verb;
+    for (const char* v : {"Encode", "Decode", "Write", "Read"})
+      if (name.rfind(v, 0) == 0 && name.size() > std::strlen(v)) verb = v;
+    if (verb.empty()) continue;
+    if (PrimitiveSuffix(name.substr(verb.size()))) continue;
+    if (i > 0 && (IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "&"))) continue;
+    std::size_t close = MatchingClose(t, i + 1);
+    // Definition: `{` within the next few tokens (allowing const/noexcept),
+    // before any `;` or `)`.
+    std::size_t body_open = 0;
+    for (std::size_t j = close + 1; j < std::min(close + 5, t.size()); ++j) {
+      if (IsPunct(t[j], "{")) {
+        body_open = j;
+        break;
+      }
+      if (t[j].kind == Tok::kPunct && t[j].text != "{") break;
+    }
+    if (body_open == 0) continue;
+    CodecDef fn;
+    fn.verb = verb;
+    fn.suffix = name.substr(verb.size());
+    fn.file = fi;
+    fn.line = t[i].line;
+    fn.body_open = body_open;
+    fn.body_close = MatchingClose(t, body_open);
+    fn.fields = FieldAccesses(t, fn.body_open, fn.body_close);
+    for (std::size_t k = body_open + 1; k + 1 < fn.body_close; ++k) {
+      if (t[k].kind != Tok::kIdent || !IsPunct(t[k + 1], "(")) continue;
+      std::string op = WireOp(t[k].text);
+      if (!op.empty()) fn.ops.push_back(std::move(op));
+    }
+    idx.codecs.push_back(std::move(fn));
+  }
+}
+
+}  // namespace
+
+// ==== public entry points ====================================================
+
+Annotations ParseAnnotations(const std::string& file, const Lexed& lx) {
+  Annotations out;
+  for (const Comment& c : lx.comments) {
+    std::size_t at = c.text.find("fargolint:");
+    if (at != std::string::npos) {
+      ParseFargolintComment(file, c, at, out);
+      continue;
+    }
+    // `fargo:` followed by a second colon is a qualified name in prose
+    // (fargo::core); only the bare marker introduces a directive.
+    at = c.text.find("fargo:");
+    if (at != std::string::npos &&
+        (at + 6 >= c.text.size() || c.text[at + 6] != ':'))
+      ParseDomainComment(file, c, at, out);
+  }
+  return out;
+}
+
+bool PathContains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+std::string Stem(const std::string& path) {
+  std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+std::string Basename(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::vector<MarkerConst> CollectMarkers(const FileCtx& f) {
+  std::vector<MarkerConst> out;
+  const std::vector<Token>& t = f.lx.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || t[i].text != "constexpr") continue;
+    bool u8 = false;
+    MarkerConst mc;
+    for (std::size_t j = i + 1; j < t.size() && !IsPunct(t[j], ";"); ++j) {
+      if (t[j].kind == Tok::kIdent && t[j].text == "uint8_t") u8 = true;
+      if (t[j].kind == Tok::kIdent && t[j].text.size() > 1 &&
+          t[j].text[0] == 'k' &&
+          std::isupper(static_cast<unsigned char>(t[j].text[1])) &&
+          j + 2 < t.size() && IsPunct(t[j + 1], "=") &&
+          t[j + 2].kind == Tok::kNumber) {
+        mc.name = t[j].text;
+        mc.value = std::strtoull(t[j + 2].text.c_str(), nullptr, 0);
+        mc.line = t[j].line;
+      }
+    }
+    if (u8 && !mc.name.empty()) {
+      mc.file = f.src->path;
+      out.push_back(std::move(mc));
+    }
+  }
+  return out;
+}
+
+const ClassSym* Index::EnclosingClass(std::size_t fi, std::size_t tok) const {
+  const ClassSym* best = nullptr;
+  for (const ClassSym& cs : classes) {
+    if (cs.file != fi) continue;
+    if (tok > cs.body_open && tok < cs.body_close &&
+        (best == nullptr || cs.body_open > best->body_open))
+      best = &cs;
+  }
+  if (best != nullptr) return best;
+  // Out-of-line method bodies: attribute by the `Cls::` qualifier. Skip
+  // ambiguous class names (same name defined in several files).
+  const MethodDef* m = nullptr;
+  for (const MethodDef& md : files[fi].methods) {
+    if (tok > md.body_open && tok < md.body_close &&
+        (m == nullptr || md.body_open > m->body_open))
+      m = &md;
+  }
+  if (m == nullptr) return nullptr;
+  const ClassSym* found = nullptr;
+  for (const ClassSym& cs : classes) {
+    if (cs.name != m->cls) continue;
+    if (found != nullptr) return nullptr;  // ambiguous
+    found = &cs;
+  }
+  return found;
+}
+
+Index BuildIndex(const std::vector<SourceFile>& files) {
+  Index idx;
+  idx.files.reserve(files.size());
+  for (const SourceFile& f : files) {
+    FileCtx c;
+    c.src = &f;
+    c.lx = Tokenize(f.content);
+    c.ann = ParseAnnotations(f.path, c.lx);
+    c.sink_spans = SinkArgSpans(c.lx.toks);
+    CollectFunctions(c);
+    idx.files.push_back(std::move(c));
+  }
+
+  // Header/impl pairing: tracker.cpp iterating `entries_` must know the
+  // member was declared unordered in tracker.h.
+  std::map<std::string, std::set<std::string>> by_stem;
+  for (FileCtx& c : idx.files)
+    CollectUnorderedDecls(c.lx, by_stem[Stem(c.src->path)]);
+  for (FileCtx& c : idx.files) c.unordered_ids = by_stem[Stem(c.src->path)];
+
+  for (std::size_t fi = 0; fi < idx.files.size(); ++fi) {
+    CollectClasses(idx, fi);
+    CollectEnums(idx, fi);
+    CollectCodecs(idx, fi);
+    for (const MarkerConst& m : CollectMarkers(idx.files[fi]))
+      idx.markers.push_back(m);
+    const std::vector<Token>& t = idx.files[fi].lx.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i)
+      if (t[i].kind == Tok::kIdent && IsPunct(t[i + 1], "("))
+        idx.called.insert(t[i].text);
+  }
+  AttachDomains(idx);
+
+  for (std::size_t ci = 0; ci < idx.classes.size(); ++ci)
+    for (const FieldSym& fs : idx.classes[ci].fields)
+      idx.field_owners[fs.name].push_back(ci);
+
+  return idx;
+}
+
+}  // namespace fargolint

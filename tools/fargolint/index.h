@@ -1,0 +1,151 @@
+// fargolint phase 1: the symbol index. One pass over every TU in the batch
+// collects the facts the flow-aware rules in phase 2 consume — classes and
+// their `_`-suffixed fields (with their `domain(...)` ownership
+// annotations), enum definitions with enumerator values, method-definition
+// and free-function body spans, scheduler-sink argument spans (the
+// scheduled-lambda contexts), wire marker constants, and Encode*/Decode* /
+// Write*/Read* codec definitions with their ordered primitive-op sequences.
+//
+// Everything here is a *lexical* approximation — see each collector for its
+// exact contract. The index errs toward omission: a symbol the collectors
+// cannot attribute is dropped, and rules treat absence as "don't know", so
+// parser gaps fail open rather than producing noise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/fargolint/lexer.h"
+#include "tools/fargolint/lint.h"
+
+namespace fargolint {
+
+// ==== annotations ============================================================
+
+struct Annotations {
+  /// line -> rules allowed on that line (and the next).
+  std::map<int, std::set<std::string>> allow;
+  /// line -> domain name declared by a `domain(<name>)` directive (behind
+  /// the `"fargo" ":"` marker, spelled apart here — this file is linted) on
+  /// that line. Attachment to a class or field happens during indexing;
+  /// a directive that attaches to nothing becomes an annotation finding.
+  std::map<int, std::string> domains;
+  /// First line of a `no-pump-region` directive; region runs to EOF.
+  int no_pump_region_start = 0;  // 0 = none
+  std::vector<Finding> bad;      // malformed-annotation findings
+};
+
+Annotations ParseAnnotations(const std::string& file, const Lexed& lx);
+
+// ==== path helpers ===========================================================
+
+bool PathContains(const std::string& path, std::string_view needle);
+std::string Stem(const std::string& path);
+std::string Basename(const std::string& path);
+
+// ==== indexed symbols ========================================================
+
+/// A `Cls::Name(...) { ... }` out-of-line method definition; attributes the
+/// lambdas inside its body to the class.
+struct MethodDef {
+  std::string cls;
+  std::string name;
+  int line = 0;
+  std::size_t body_open = 0, body_close = 0;  // token indices
+};
+
+struct FileCtx {
+  const SourceFile* src = nullptr;
+  Lexed lx;
+  Annotations ann;
+  /// Identifiers declared (in this file or its header/impl sibling) with an
+  /// unordered_map/unordered_set type.
+  std::set<std::string> unordered_ids;
+  /// Argument spans of calls to scheduler/future sinks (Then/OnSettle/...):
+  /// the contexts whose lambdas run later as scheduled continuations.
+  std::vector<Span> sink_spans;
+  /// Body spans of every detected function definition (free or method).
+  std::vector<Span> fn_bodies;
+  std::vector<MethodDef> methods;
+};
+
+struct FieldSym {
+  std::string name;
+  std::string domain;  // field-level override; "" = inherit class domain
+  int line = 0;
+};
+
+struct ClassSym {
+  std::string name;
+  std::string domain;  // "" = unannotated
+  int line = 0;
+  std::size_t file = 0;  // index into Index::files
+  std::size_t body_open = 0, body_close = 0;
+  bool nested = false;  // defined inside another class body
+  std::vector<FieldSym> fields;
+};
+
+struct Enumerator {
+  std::string name;
+  std::int64_t value = 0;
+  bool value_known = true;  // false once an initializer is not a literal
+};
+
+struct EnumSym {
+  std::string name;  // qualified by the enclosing class: "Expr::Kind"
+  int line = 0;
+  std::size_t file = 0;
+  std::size_t tok = 0;  // index of the `enum` keyword
+  bool scoped = false;  // enum class
+  std::vector<Enumerator> enumerators;
+};
+
+/// `constexpr std::uint8_t kName = <literal>;` — the one-byte discriminators
+/// protocols branch on. Wider constants (magics, masks) are out of scope.
+struct MarkerConst {
+  std::string name;
+  std::uint64_t value = 0;
+  std::string file;
+  int line = 0;
+};
+
+/// An Encode*/Decode*/Write*/Read* function definition. `fields` are the
+/// member accesses its body touches (the symmetric-fields check);  `ops` is
+/// the ordered sequence of primitive read/write operations it performs
+/// (varint, u8, string, ... or a nested codec's name) — the wire schema.
+struct CodecDef {
+  std::string verb;    // Encode / Decode / Write / Read
+  std::string suffix;  // message name
+  std::size_t file = 0;
+  int line = 0;
+  std::size_t body_open = 0, body_close = 0;
+  std::set<std::string> fields;
+  std::vector<std::string> ops;
+};
+
+struct Index {
+  std::vector<FileCtx> files;
+  std::vector<ClassSym> classes;
+  std::vector<EnumSym> enums;
+  std::vector<MarkerConst> markers;
+  std::vector<CodecDef> codecs;
+  /// Every identifier called (followed by `(`) anywhere in the batch.
+  std::set<std::string> called;
+  /// Field name -> indices of classes declaring a field with that name.
+  std::map<std::string, std::vector<std::size_t>> field_owners;
+
+  /// Innermost class whose body (in file `fi`) contains token `tok`, or the
+  /// class named by the enclosing out-of-line method definition; nullptr if
+  /// the position cannot be attributed to a class.
+  const ClassSym* EnclosingClass(std::size_t fi, std::size_t tok) const;
+};
+
+Index BuildIndex(const std::vector<SourceFile>& files);
+
+/// Collects per-file markers (shared by the wire rules and the schema).
+std::vector<MarkerConst> CollectMarkers(const FileCtx& f);
+
+}  // namespace fargolint

@@ -1,0 +1,211 @@
+#include "tools/fargolint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fargolint {
+namespace {
+
+bool IdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+Lexed Tokenize(const std::string& src) {
+  Lexed out;
+  {
+    std::string cur;
+    for (char c : src) {
+      if (c == '\n') {
+        out.lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    out.lines.push_back(cur);
+  }
+
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back({line, src.substr(start, i - start)});
+      continue;
+    }
+    // Block comment (attributed to its starting line).
+    if (c == '/' && peek(1) == '*') {
+      int start_line = line;
+      std::size_t start = i + 2;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      out.comments.push_back({start_line, src.substr(start, i - start)});
+      if (i < n) i += 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"' && (out.toks.empty() || out.toks.back().text != "\"")) {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(' && src[d] != '\n') delim += src[d++];
+      if (d < n && src[d] == '(') {
+        std::string close = ")" + delim + "\"";
+        std::size_t end = src.find(close, d + 1);
+        if (end == std::string::npos) end = n;
+        for (std::size_t k = i; k < std::min(end + close.size(), n); ++k)
+          if (src[k] == '\n') ++line;
+        out.toks.push_back({Tok::kString, "<raw-string>", line});
+        i = std::min(end + close.size(), n);
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int start_line = line;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        else if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.toks.push_back({Tok::kString, "<literal>", start_line});
+      continue;
+    }
+    if (IdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IdentChar(src[i])) ++i;
+      out.toks.push_back({Tok::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && (IdentChar(src[i]) || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')) ||
+                       src[i] == '.'))
+        ++i;
+      out.toks.push_back({Tok::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // `::` is one token so a lone `:` unambiguously marks a range-for.
+    if (c == ':' && peek(1) == ':') {
+      out.toks.push_back({Tok::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool IsPunct(const Token& t, std::string_view s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+
+std::size_t MatchingClose(const std::vector<Token>& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kPunct) continue;
+    if (t[i].text == o) ++depth;
+    else if (t[i].text == c && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+std::string Trim(std::string s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+std::string ExcerptAt(const Lexed& lx, int line) {
+  if (line >= 1 && line <= static_cast<int>(lx.lines.size()))
+    return Trim(lx.lines[line - 1]);
+  return "";
+}
+
+bool IsLambdaIntro(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 < t.size() && IsPunct(t[i + 1], "[")) return false;  // [[attr]]
+  if (i == 0) return true;
+  const Token& p = t[i - 1];
+  if (p.kind == Tok::kIdent)
+    return p.text == "return" || p.text == "case" || p.text == "co_return" ||
+           p.text == "co_yield" || p.text == "else";
+  if (p.kind == Tok::kNumber || p.kind == Tok::kString) return false;
+  if (p.kind == Tok::kPunct)
+    return !(p.text == ")" || p.text == "]");
+  return true;
+}
+
+Lambda ParseLambda(const std::vector<Token>& t, std::size_t intro) {
+  Lambda lam;
+  lam.intro = intro;
+  lam.capture_end = MatchingClose(t, intro);
+  std::size_t i = lam.capture_end + 1;
+  if (i < t.size() && IsPunct(t[i], "("))  // parameter list
+    i = MatchingClose(t, i) + 1;
+  // Skip specifiers / trailing return type up to the body brace. Bail at
+  // tokens that prove this was not a lambda after all.
+  int angle = 0;
+  while (i < t.size()) {
+    if (IsPunct(t[i], "{") && angle == 0) {
+      lam.body_open = i;
+      lam.body_close = MatchingClose(t, i);
+      return lam;
+    }
+    if (t[i].kind == Tok::kPunct) {
+      if (t[i].text == "<") ++angle;
+      else if (t[i].text == ">" && angle > 0) --angle;
+      else if ((t[i].text == ";" || t[i].text == ")" || t[i].text == "]" ||
+                t[i].text == ",") && angle == 0)
+        return lam;  // subscript or expression, not a lambda
+    }
+    ++i;
+  }
+  return lam;
+}
+
+}  // namespace fargolint

@@ -1,0 +1,71 @@
+// fargolint lexer: a deliberately small C++ tokenizer — no libclang, no
+// compile database — so the linter builds everywhere the repo builds and its
+// verdicts depend only on the bytes of the sources. Comments are collected
+// with their line numbers (annotations live there), preprocessor lines are
+// skipped, raw strings are collapsed, and `::` is one token so a lone `:`
+// unambiguously marks a range-for or a label.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fargolint {
+
+enum class Tok { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+struct Lexed {
+  std::vector<Token> toks;
+  std::vector<Comment> comments;
+  std::vector<std::string> lines;  // raw source lines, for excerpts
+};
+
+Lexed Tokenize(const std::string& src);
+
+// ==== token helpers ==========================================================
+
+bool IsPunct(const Token& t, std::string_view s);
+
+/// Index of the token matching the opener at `open` ('(' / '{' / '[').
+std::size_t MatchingClose(const std::vector<Token>& t, std::size_t open);
+
+std::string Trim(std::string s);
+
+/// The offending source line (trimmed), for CI annotations and editors.
+std::string ExcerptAt(const Lexed& lx, int line);
+
+/// True when the `[` at index i opens a lambda capture list rather than a
+/// subscript or attribute: subscripts follow a value (identifier, literal,
+/// `)`, `]`), attributes are `[[`.
+bool IsLambdaIntro(const std::vector<Token>& t, std::size_t i);
+
+struct Lambda {
+  std::size_t intro = 0;        // '[' index
+  std::size_t capture_end = 0;  // ']' index
+  std::size_t body_open = 0;    // '{' index (0 = no body found)
+  std::size_t body_close = 0;
+};
+
+/// Parses the lambda whose capture list opens at `intro`.
+Lambda ParseLambda(const std::vector<Token>& t, std::size_t intro);
+
+/// A half-open token range (begin/end are delimiter indices; Contains is
+/// strict, i.e. the delimiters themselves are outside).
+struct Span {
+  std::size_t begin = 0, end = 0;
+  bool Contains(std::size_t i) const { return i > begin && i < end; }
+};
+
+}  // namespace fargolint

@@ -1,914 +1,94 @@
-#include "tools/fargolint/lint.h"
-
+// fargolint orchestration: builds the phase-1 index, runs every registered
+// rule family over it, applies suppression annotations, and merges in the
+// annotation-hygiene findings produced during indexing. Rule families live
+// in rules/<family>.cpp and register here; adding a family is one table row.
 #include <algorithm>
-#include <cctype>
-#include <cstdint>
-#include <cstdlib>
-#include <cstring>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string_view>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "tools/fargolint/lint.h"
+#include "tools/fargolint/rules.h"
 
 namespace fargolint {
 namespace {
 
-// ==== rule table =============================================================
-
-const RuleInfo kRules[] = {
-    {"wallclock",
-     "wall-clock time source (system_clock/steady_clock/time()/clock()) in "
-     "deterministic code"},
-    {"unseeded-rng",
-     "nondeterministic randomness: std::rand/srand/random_device, or an "
-     "mt19937 engine constructed without an explicit seed"},
-    {"thread",
-     "real concurrency (std::thread/jthread/async) outside src/sim/ and the "
-     "metrics registry"},
-    {"unordered-iter",
-     "range-for over an unordered_map/unordered_set: iteration order is "
-     "hash-seed dependent and must not reach wire, trace or shell output"},
-    {"no-pump",
-     "blocking call (Invoke/Move/Await/Pump/RunUntil/...) inside a scheduled "
-     "continuation or a declared no-pump region"},
-    {"capture-ref",
-     "default reference capture [&] in a lambda handed to the scheduler or "
-     "future layer"},
-    {"capture-this",
-     "bare `this` captured into a scheduled continuation without an "
-     "owner-keepalive (shared_from_this / alive-flag / keepalive capture)"},
-    {"wire-asymmetry",
-     "message field encoded but never decoded (or vice versa) in an "
-     "Encode*/Decode* or Write*/Read* pair"},
-    {"wire-dup-marker",
-     "duplicate wire marker byte: two k-constants share a value, or a "
-     "constant collides with a marker reserved in wire.h"},
-    {"wal-record-coverage",
-     "WAL record discriminator (kWal* constant) without a matching "
-     "Write<Kind>Record / Read<Kind>Record codec pair in the batch: a record "
-     "that can be logged but not replayed is silent data loss on recovery"},
-    {"annotation",
-     "malformed fargolint annotation: unknown directive or rule id, or an "
-     "allow(...) without a written reason"},
-};
-
-bool KnownRule(std::string_view id) {
-  for (const RuleInfo& r : kRules)
-    if (r.id == id) return true;
-  return false;
-}
-
-// ==== lexer ==================================================================
-
-enum class Tok { kIdent, kNumber, kString, kPunct };
-
-struct Token {
-  Tok kind;
-  std::string text;
-  int line = 0;
-};
-
-struct Comment {
-  int line = 0;
-  std::string text;
-};
-
-struct Lexed {
-  std::vector<Token> toks;
-  std::vector<Comment> comments;
-  std::vector<std::string> lines;  // raw source lines, for excerpts
-};
-
-bool IdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool IdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-Lexed Tokenize(const std::string& src) {
-  Lexed out;
-  {
-    std::string cur;
-    for (char c : src) {
-      if (c == '\n') {
-        out.lines.push_back(cur);
-        cur.clear();
-      } else {
-        cur += c;
-      }
-    }
-    out.lines.push_back(cur);
-  }
-
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  int line = 1;
-  bool at_line_start = true;
-
-  auto peek = [&](std::size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
-
-  while (i < n) {
-    char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip to end of line, honoring continuations.
-    if (c == '#' && at_line_start) {
-      while (i < n) {
-        if (src[i] == '\\' && peek(1) == '\n') {
-          i += 2;
-          ++line;
-          continue;
-        }
-        if (src[i] == '\n') break;
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Line comment.
-    if (c == '/' && peek(1) == '/') {
-      std::size_t start = i + 2;
-      while (i < n && src[i] != '\n') ++i;
-      out.comments.push_back({line, src.substr(start, i - start)});
-      continue;
-    }
-    // Block comment (attributed to its starting line).
-    if (c == '/' && peek(1) == '*') {
-      int start_line = line;
-      std::size_t start = i + 2;
-      i += 2;
-      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      out.comments.push_back({start_line, src.substr(start, i - start)});
-      if (i < n) i += 2;
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"' && (out.toks.empty() || out.toks.back().text != "\"")) {
-      std::size_t d = i + 2;
-      std::string delim;
-      while (d < n && src[d] != '(' && src[d] != '\n') delim += src[d++];
-      if (d < n && src[d] == '(') {
-        std::string close = ")" + delim + "\"";
-        std::size_t end = src.find(close, d + 1);
-        if (end == std::string::npos) end = n;
-        for (std::size_t k = i; k < std::min(end + close.size(), n); ++k)
-          if (src[k] == '\n') ++line;
-        out.toks.push_back({Tok::kString, "<raw-string>", line});
-        i = std::min(end + close.size(), n);
-        continue;
-      }
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      int start_line = line;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\') ++i;
-        else if (src[i] == '\n') ++line;
-        ++i;
-      }
-      if (i < n) ++i;
-      out.toks.push_back({Tok::kString, "<literal>", start_line});
-      continue;
-    }
-    if (IdentStart(c)) {
-      std::size_t start = i;
-      while (i < n && IdentChar(src[i])) ++i;
-      out.toks.push_back({Tok::kIdent, src.substr(start, i - start), line});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t start = i;
-      while (i < n && (IdentChar(src[i]) || src[i] == '\'' ||
-                       ((src[i] == '+' || src[i] == '-') && i > start &&
-                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
-                         src[i - 1] == 'p' || src[i - 1] == 'P')) ||
-                       src[i] == '.'))
-        ++i;
-      out.toks.push_back({Tok::kNumber, src.substr(start, i - start), line});
-      continue;
-    }
-    // `::` is one token so a lone `:` unambiguously marks a range-for.
-    if (c == ':' && peek(1) == ':') {
-      out.toks.push_back({Tok::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    out.toks.push_back({Tok::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// ==== annotations ============================================================
-
-struct Annotations {
-  /// line -> rules allowed on that line (and the next).
-  std::map<int, std::set<std::string>> allow;
-  /// First line of a `no-pump-region` directive; region runs to EOF.
-  int no_pump_region_start = 0;  // 0 = none
-  std::vector<Finding> bad;      // malformed-annotation findings
-};
-
-std::string Trim(std::string s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  std::size_t e = s.find_last_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  return s.substr(b, e - b + 1);
-}
-
-Annotations ParseAnnotations(const std::string& file, const Lexed& lx) {
-  Annotations out;
-  for (const Comment& c : lx.comments) {
-    std::size_t at = c.text.find("fargolint:");
-    if (at == std::string::npos) continue;
-    std::string rest = Trim(c.text.substr(at + 10));
-    auto bad = [&](const std::string& why) {
-      out.bad.push_back({"annotation", file, c.line, why, Trim(c.text)});
-    };
-    if (rest.rfind("allow(", 0) == 0) {
-      std::size_t close = rest.find(')');
-      if (close == std::string::npos) {
-        bad("unterminated allow(...)");
-        continue;
-      }
-      std::string rule = Trim(rest.substr(6, close - 6));
-      std::string reason = Trim(rest.substr(close + 1));
-      if (!KnownRule(rule)) {
-        bad("allow() names unknown rule '" + rule + "'");
-        continue;
-      }
-      if (reason.empty()) {
-        bad("allow(" + rule + ") carries no reason; write why the finding is safe");
-        continue;
-      }
-      out.allow[c.line].insert(rule);
-    } else if (rest.rfind("order-insensitive", 0) == 0) {
-      // Loop-level alias for allow(unordered-iter); reason lives in parens.
-      std::size_t open = rest.find('(');
-      std::size_t close = rest.rfind(')');
-      std::string reason;
-      if (open != std::string::npos && close != std::string::npos && close > open)
-        reason = Trim(rest.substr(open + 1, close - open - 1));
-      if (reason.empty()) {
-        bad("order-insensitive(<reason>) requires a written reason");
-        continue;
-      }
-      out.allow[c.line].insert("unordered-iter");
-    } else if (rest.rfind("no-pump-region", 0) == 0) {
-      if (out.no_pump_region_start == 0) out.no_pump_region_start = c.line;
-    } else {
-      bad("unknown fargolint directive '" + rest.substr(0, rest.find(' ')) + "'");
-    }
-  }
-  return out;
-}
-
-// ==== token helpers ==========================================================
-
-/// Index of the token matching the opener at `open` ('(' / '{' / '[').
-std::size_t MatchingClose(const std::vector<Token>& t, std::size_t open) {
-  const std::string& o = t[open].text;
-  std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].kind != Tok::kPunct) continue;
-    if (t[i].text == o) ++depth;
-    else if (t[i].text == c && --depth == 0) return i;
-  }
-  return t.size();
-}
-
-bool IsPunct(const Token& t, std::string_view s) {
-  return t.kind == Tok::kPunct && t.text == s;
-}
-
-std::string ExcerptAt(const Lexed& lx, int line) {
-  if (line >= 1 && line <= static_cast<int>(lx.lines.size()))
-    return Trim(lx.lines[line - 1]);
-  return "";
-}
-
-/// True when the `[` at index i opens a lambda capture list rather than a
-/// subscript or attribute: subscripts follow a value (identifier, literal,
-/// `)`, `]`), attributes are `[[`.
-bool IsLambdaIntro(const std::vector<Token>& t, std::size_t i) {
-  if (i + 1 < t.size() && IsPunct(t[i + 1], "[")) return false;  // [[attr]]
-  if (i == 0) return true;
-  const Token& p = t[i - 1];
-  if (p.kind == Tok::kIdent)
-    return p.text == "return" || p.text == "case" || p.text == "co_return" ||
-           p.text == "co_yield" || p.text == "else";
-  if (p.kind == Tok::kNumber || p.kind == Tok::kString) return false;
-  if (p.kind == Tok::kPunct)
-    return !(p.text == ")" || p.text == "]");
-  return true;
-}
-
-struct Lambda {
-  std::size_t intro = 0;        // '[' index
-  std::size_t capture_end = 0;  // ']' index
-  std::size_t body_open = 0;    // '{' index (0 = no body found)
-  std::size_t body_close = 0;
-};
-
-/// Parses the lambda whose capture list opens at `intro`.
-Lambda ParseLambda(const std::vector<Token>& t, std::size_t intro) {
-  Lambda lam;
-  lam.intro = intro;
-  lam.capture_end = MatchingClose(t, intro);
-  std::size_t i = lam.capture_end + 1;
-  if (i < t.size() && IsPunct(t[i], "("))  // parameter list
-    i = MatchingClose(t, i) + 1;
-  // Skip specifiers / trailing return type up to the body brace. Bail at
-  // tokens that prove this was not a lambda after all.
-  int angle = 0;
-  while (i < t.size()) {
-    if (IsPunct(t[i], "{") && angle == 0) {
-      lam.body_open = i;
-      lam.body_close = MatchingClose(t, i);
-      return lam;
-    }
-    if (t[i].kind == Tok::kPunct) {
-      if (t[i].text == "<") ++angle;
-      else if (t[i].text == ">" && angle > 0) --angle;
-      else if ((t[i].text == ";" || t[i].text == ")" || t[i].text == "]" ||
-                t[i].text == ",") && angle == 0)
-        return lam;  // subscript or expression, not a lambda
-    }
-    ++i;
-  }
-  return lam;
-}
-
-// ==== per-file context =======================================================
-
-struct FileCtx {
-  const SourceFile* src = nullptr;
-  Lexed lx;
-  Annotations ann;
-  /// Identifiers declared (in this file or its header/impl sibling) with an
-  /// unordered_map/unordered_set type.
-  std::set<std::string> unordered_ids;
-};
-
-bool PathContains(const std::string& path, std::string_view needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-std::string Stem(const std::string& path) {
-  std::size_t dot = path.rfind('.');
-  return dot == std::string::npos ? path : path.substr(0, dot);
-}
-
-std::string Basename(const std::string& path) {
-  std::size_t slash = path.find_last_of('/');
-  return slash == std::string::npos ? path : path.substr(slash + 1);
-}
-
-/// Collects names declared with an unordered container type:
-/// `std::unordered_map<K, V> name`, including reference/pointer/const forms
-/// and function parameters.
-void CollectUnorderedDecls(const Lexed& lx, std::set<std::string>& out) {
-  const std::vector<Token>& t = lx.toks;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Tok::kIdent) continue;
-    const std::string& s = t[i].text;
-    if (s != "unordered_map" && s != "unordered_set" &&
-        s != "unordered_multimap" && s != "unordered_multiset")
-      continue;
-    std::size_t j = i + 1;
-    if (j < t.size() && IsPunct(t[j], "<")) {
-      int depth = 0;
-      for (; j < t.size(); ++j) {
-        if (IsPunct(t[j], "<")) ++depth;
-        else if (IsPunct(t[j], ">") && --depth == 0) {
-          ++j;
-          break;
-        }
-      }
-    }
-    while (j < t.size() &&
-           (IsPunct(t[j], "&") || IsPunct(t[j], "*") ||
-            (t[j].kind == Tok::kIdent && t[j].text == "const")))
-      ++j;
-    if (j < t.size() && t[j].kind == Tok::kIdent) out.insert(t[j].text);
-  }
-}
-
-// ==== determinism: banned identifiers ========================================
-
-void CheckBannedIdents(const FileCtx& f, std::vector<Finding>& out) {
-  const std::string& path = f.src->path;
-  const bool in_sim = PathContains(path, "src/sim/");
-  const bool in_metrics = PathContains(path, "monitor/metrics.");
-  const std::vector<Token>& t = f.lx.toks;
-
-  auto next_is_call = [&](std::size_t i) {
-    return i + 1 < t.size() && IsPunct(t[i + 1], "(");
+/// The annotation family has no phase-2 check: its findings (unknown
+/// directives, allow() without a reason, unattached domain()) are produced
+/// while parsing comments during indexing and merged unconditionally —
+/// a malformed annotation can never suppress itself.
+std::vector<RuleInfo> AnnotationRules() {
+  return {
+      {"annotation",
+       "malformed fargolint annotation — unknown directive or rule id, an "
+       "allow(...) without a written reason, or a domain(...) that attaches "
+       "to no class or field"},
   };
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Tok::kIdent) continue;
-    const std::string& s = t[i].text;
-    const int line = t[i].line;
-
-    if (!in_sim) {
-      if (s == "system_clock" || s == "steady_clock" ||
-          s == "high_resolution_clock") {
-        out.push_back({"wallclock", path, line,
-                       "std::chrono::" + s +
-                           " breaks seed-determinism; use the simulated "
-                           "clock (Scheduler::Now)",
-                       ExcerptAt(f.lx, line)});
-      } else if ((s == "time" || s == "clock" || s == "gettimeofday" ||
-                  s == "clock_gettime") &&
-                 next_is_call(i) &&
-                 // `x.time(` / `x->clock(` are member calls on app types;
-                 // the C library forms are bare or std::-qualified.
-                 (i == 0 || !IsPunct(t[i - 1], ".")) &&
-                 !(i >= 2 && IsPunct(t[i - 1], ">") && IsPunct(t[i - 2], "-"))) {
-        out.push_back({"wallclock", path, line,
-                       s + "() reads the wall clock; use the simulated clock "
-                           "(Scheduler::Now)",
-                       ExcerptAt(f.lx, line)});
-      }
-
-      if (s == "rand" || s == "srand" || s == "random_device") {
-        if (s != "random_device" && !next_is_call(i)) continue;
-        out.push_back({"unseeded-rng", path, line,
-                       "std::" + s +
-                           " is not seed-deterministic; derive randomness "
-                           "from the run seed (see net::chaos)",
-                       ExcerptAt(f.lx, line)});
-      } else if (s == "mt19937" || s == "mt19937_64") {
-        // Seeded construction `mt19937 rng(seed)` / `mt19937 rng{seed}` is
-        // fine; a default-constructed engine always yields the same stream
-        // yet reads as random, and `mt19937 rng(random_device{}())` is
-        // caught by the random_device ban above.
-        std::size_t j = i + 1;
-        if (j < t.size() && t[j].kind == Tok::kIdent) ++j;  // variable name
-        bool seeded = false;
-        if (j < t.size() && (IsPunct(t[j], "(") || IsPunct(t[j], "{")))
-          seeded = MatchingClose(t, j) > j + 1;  // non-empty argument list
-        if (!seeded)
-          out.push_back({"unseeded-rng", path, line,
-                         s + " constructed without an explicit seed",
-                         ExcerptAt(f.lx, line)});
-      }
-    }
-
-    if (!in_sim && !in_metrics &&
-        (s == "thread" || s == "jthread" || s == "async")) {
-      // Only the std:: forms: require a `std ::` qualifier so members like
-      // `x.async(...)` or the identifier `thread` in comments/names pass.
-      if (i >= 2 && IsPunct(t[i - 1], "::") && t[i - 2].kind == Tok::kIdent &&
-          t[i - 2].text == "std") {
-        out.push_back({"thread", path, line,
-                       "std::" + s +
-                           " introduces real concurrency; the simulation is "
-                           "single-threaded by contract (only src/sim/ and "
-                           "the metrics registry may differ)",
-                       ExcerptAt(f.lx, line)});
-      }
-    }
-  }
-}
-
-// ==== determinism: unordered iteration =======================================
-
-void CheckUnorderedIteration(const FileCtx& f, std::vector<Finding>& out) {
-  const std::vector<Token>& t = f.lx.toks;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].kind != Tok::kIdent || t[i].text != "for") continue;
-    if (!IsPunct(t[i + 1], "(")) continue;
-    std::size_t open = i + 1;
-    std::size_t close = MatchingClose(t, open);
-    // Find the range-for `:` at depth 1 (`::` is a distinct token).
-    std::size_t colon = 0;
-    int depth = 0;
-    for (std::size_t j = open; j < close; ++j) {
-      if (t[j].kind != Tok::kPunct) continue;
-      if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++depth;
-      else if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") --depth;
-      else if (t[j].text == ":" && depth == 1) {
-        colon = j;
-        break;
-      }
-    }
-    if (colon == 0) continue;  // classic for loop
-    for (std::size_t j = colon + 1; j < close; ++j) {
-      if (t[j].kind != Tok::kIdent) continue;
-      const bool declared_unordered = f.unordered_ids.count(t[j].text) > 0;
-      const bool literally_unordered = t[j].text.rfind("unordered_", 0) == 0;
-      if (!declared_unordered && !literally_unordered) continue;
-      out.push_back(
-          {"unordered-iter", f.src->path, t[i].line,
-           "range-for over unordered container '" + t[j].text +
-               "': iteration order is hash-seed/pointer dependent. Sort the "
-               "elements first, use an ordered container, or annotate "
-               "`// fargolint: order-insensitive(<reason>)`",
-           ExcerptAt(f.lx, t[i].line)});
-      break;  // one finding per loop
-    }
-  }
-}
-
-// ==== no-pump & capture rules ================================================
-
-const std::set<std::string>& SinkNames() {
-  // Entry points that take a closure the scheduler will run later: future
-  // continuations and raw scheduler tasks.
-  static const std::set<std::string> kSinks = {
-      "Then", "OrElse", "OnSettle", "ScheduleAt", "ScheduleAfter", "ExpireAfter"};
-  return kSinks;
-}
-
-const std::set<std::string>& BlockingNames() {
-  static const std::set<std::string> kBlocking = {
-      "Invoke", "Move",       "Await",        "Pump",   "PumpUntil",
-      "RunUntil", "RunUntilOr", "RunUntilIdle", "RunFor", "RunOne"};
-  return kBlocking;
-}
-
-struct Span {
-  std::size_t begin = 0, end = 0;
-  bool Contains(std::size_t i) const { return i > begin && i < end; }
-};
-
-/// Argument spans of every call to a scheduler/future sink.
-std::vector<Span> SinkArgSpans(const std::vector<Token>& t) {
-  std::vector<Span> spans;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].kind != Tok::kIdent || SinkNames().count(t[i].text) == 0) continue;
-    if (!IsPunct(t[i + 1], "(")) continue;
-    spans.push_back({i + 1, MatchingClose(t, i + 1)});
-  }
-  return spans;
-}
-
-void CheckBlockingCallsIn(const FileCtx& f, std::size_t begin, std::size_t end,
-                          const char* where, std::vector<Finding>& out) {
-  const std::vector<Token>& t = f.lx.toks;
-  for (std::size_t i = begin; i < end && i + 1 < t.size(); ++i) {
-    if (t[i].kind != Tok::kIdent || BlockingNames().count(t[i].text) == 0)
-      continue;
-    if (!IsPunct(t[i + 1], "(")) continue;
-    out.push_back({"no-pump", f.src->path, t[i].line,
-                   "blocking call '" + t[i].text + "' " + where +
-                       "; use the *Async form or restructure as a "
-                       "continuation (DESIGN.md §5)",
-                   ExcerptAt(f.lx, t[i].line)});
-  }
-}
-
-void CheckContinuations(const FileCtx& f, std::vector<Finding>& out) {
-  const std::vector<Token>& t = f.lx.toks;
-  const std::vector<Span> sinks = SinkArgSpans(t);
-  auto in_sink = [&](std::size_t i) {
-    for (const Span& s : sinks)
-      if (s.Contains(i)) return true;
-    return false;
-  };
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!IsPunct(t[i], "[") || !IsLambdaIntro(t, i) || !in_sink(i)) continue;
-    Lambda lam = ParseLambda(t, i);
-    if (lam.body_open == 0) continue;  // not actually a lambda
-
-    // -- capture list inspection ------------------------------------------
-    bool has_keepalive = false;
-    for (std::size_t j = i + 1; j < lam.capture_end; ++j) {
-      if (t[j].kind != Tok::kIdent) continue;
-      const std::string& s = t[j].text;
-      if (s == "shared_from_this") has_keepalive = true;
-      // An init-capture whose name says "I am the lifetime guard":
-      // `alive = alive_`, `keepalive = anchor`, `self = shared_from_this()`.
-      if (j + 1 < t.size() && IsPunct(t[j + 1], "=") &&
-          (s == "self" || s.find("alive") != std::string::npos ||
-           s.find("keep") != std::string::npos || s.find("guard") != std::string::npos))
-        has_keepalive = true;
-    }
-    for (std::size_t j = i + 1; j < lam.capture_end; ++j) {
-      if (IsPunct(t[j], "&") &&
-          (IsPunct(t[j + 1], "]") || IsPunct(t[j + 1], ","))) {
-        out.push_back(
-            {"capture-ref", f.src->path, t[j].line,
-             "[&] default reference capture in a scheduled continuation: "
-             "everything captured must outlive the event queue. Capture "
-             "explicitly by value (move handles/ids in) instead",
-             ExcerptAt(f.lx, t[j].line)});
-      }
-      if (t[j].kind == Tok::kIdent && t[j].text == "this" &&
-          !(j > 0 && IsPunct(t[j - 1], "*")) && !has_keepalive) {
-        out.push_back(
-            {"capture-this", f.src->path, t[j].line,
-             "bare `this` captured into a scheduled continuation without an "
-             "owner-keepalive: pair it with `self = shared_from_this()`, an "
-             "`alive`-flag capture, or annotate allow(capture-this) with the "
-             "lifetime argument",
-             ExcerptAt(f.lx, t[j].line)});
-      }
-    }
-
-    // -- body: no blocking calls inside a continuation ---------------------
-    CheckBlockingCallsIn(f, lam.body_open, lam.body_close,
-                         "inside a scheduled continuation", out);
-  }
-
-  // -- declared no-pump region -------------------------------------------
-  if (f.ann.no_pump_region_start != 0) {
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (t[i].line > f.ann.no_pump_region_start) {
-        CheckBlockingCallsIn(f, i, t.size(), "inside a no-pump region", out);
-        break;
-      }
-    }
-  }
-}
-
-// ==== wire symmetry ==========================================================
-
-struct CodecFn {
-  std::string verb;    // Encode / Decode / Write / Read
-  std::string suffix;  // message name
-  int line = 0;
-  std::set<std::string> fields;
-};
-
-/// Member accesses `x.y` where y is not immediately called — i.e. the data
-/// fields a codec touches, as opposed to writer/reader method calls.
-std::set<std::string> FieldAccesses(const std::vector<Token>& t,
-                                    std::size_t begin, std::size_t end) {
-  std::set<std::string> fields;
-  for (std::size_t i = begin; i + 1 < end; ++i) {
-    if (!IsPunct(t[i], ".")) continue;
-    if (t[i + 1].kind != Tok::kIdent) continue;
-    if (i + 2 < t.size() && IsPunct(t[i + 2], "(")) continue;  // method call
-    fields.insert(t[i + 1].text);
-  }
-  return fields;
-}
-
-void CheckWireSymmetry(const FileCtx& f, std::vector<Finding>& out) {
-  const std::vector<Token>& t = f.lx.toks;
-  std::vector<CodecFn> fns;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].kind != Tok::kIdent || !IsPunct(t[i + 1], "(")) continue;
-    // A call site, not a definition: `wire::WriteHandle(w, h)` — only match
-    // names at definition position (next non-qualifier tokens reach a `{`).
-    const std::string& name = t[i].text;
-    std::string verb;
-    for (const char* v : {"Encode", "Decode", "Write", "Read"})
-      if (name.rfind(v, 0) == 0 && name.size() > std::strlen(v)) verb = v;
-    if (verb.empty()) continue;
-    if (i > 0 && (IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "&"))) continue;
-    std::size_t close = MatchingClose(t, i + 1);
-    // Definition: `{` within the next few tokens (allowing const/noexcept),
-    // before any `;` or `)`.
-    std::size_t body_open = 0;
-    for (std::size_t j = close + 1; j < std::min(close + 5, t.size()); ++j) {
-      if (IsPunct(t[j], "{")) {
-        body_open = j;
-        break;
-      }
-      if (t[j].kind == Tok::kPunct && t[j].text != "{") break;
-    }
-    if (body_open == 0) continue;
-    CodecFn fn;
-    fn.verb = verb;
-    fn.suffix = name.substr(verb.size());
-    fn.line = t[i].line;
-    fn.fields = FieldAccesses(t, body_open, MatchingClose(t, body_open));
-    fns.push_back(std::move(fn));
-    }
-  auto pair_of = [](const std::string& verb) -> std::string {
-    if (verb == "Encode") return "Decode";
-    if (verb == "Decode") return "Encode";
-    if (verb == "Write") return "Read";
-    return "Write";
-  };
-  for (const CodecFn& a : fns) {
-    if (a.verb != "Encode" && a.verb != "Write") continue;
-    for (const CodecFn& b : fns) {
-      if (b.verb != pair_of(a.verb) || b.suffix != a.suffix) continue;
-      // Only verifiable when both sides visibly touch fields.
-      if (a.fields.empty() || b.fields.empty()) continue;
-      for (const std::string& fld : a.fields) {
-        if (b.fields.count(fld)) continue;
-        out.push_back({"wire-asymmetry", f.src->path, a.line,
-                       "field '" + fld + "' is written by " + a.verb +
-                           a.suffix + " but never read by " + b.verb +
-                           b.suffix + " — the formats have drifted",
-                       ExcerptAt(f.lx, a.line)});
-      }
-      for (const std::string& fld : b.fields) {
-        if (a.fields.count(fld)) continue;
-        out.push_back({"wire-asymmetry", f.src->path, b.line,
-                       "field '" + fld + "' is read by " + b.verb + b.suffix +
-                           " but never written by " + a.verb + a.suffix +
-                           " — the formats have drifted",
-                       ExcerptAt(f.lx, b.line)});
-      }
-    }
-  }
-}
-
-// ==== wire marker constants ==================================================
-
-struct MarkerConst {
-  std::string name;
-  std::uint64_t value = 0;
-  std::string file;
-  int line = 0;
-};
-
-/// `constexpr std::uint8_t kName = <literal>;` — the one-byte discriminators
-/// protocols branch on. Wider constants (magics, masks) are out of scope.
-std::vector<MarkerConst> CollectMarkers(const FileCtx& f) {
-  std::vector<MarkerConst> out;
-  const std::vector<Token>& t = f.lx.toks;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Tok::kIdent || t[i].text != "constexpr") continue;
-    bool u8 = false;
-    MarkerConst mc;
-    for (std::size_t j = i + 1; j < t.size() && !IsPunct(t[j], ";"); ++j) {
-      if (t[j].kind == Tok::kIdent && t[j].text == "uint8_t") u8 = true;
-      if (t[j].kind == Tok::kIdent && t[j].text.size() > 1 &&
-          t[j].text[0] == 'k' &&
-          std::isupper(static_cast<unsigned char>(t[j].text[1])) &&
-          j + 2 < t.size() && IsPunct(t[j + 1], "=") &&
-          t[j + 2].kind == Tok::kNumber) {
-        mc.name = t[j].text;
-        mc.value = std::strtoull(t[j + 2].text.c_str(), nullptr, 0);
-        mc.line = t[j].line;
-      }
-    }
-    if (u8 && !mc.name.empty()) {
-      mc.file = f.src->path;
-      out.push_back(std::move(mc));
-    }
-  }
-  return out;
-}
-
-void CheckMarkers(const std::vector<FileCtx>& files, std::vector<Finding>& out) {
-  std::vector<MarkerConst> all;
-  std::vector<MarkerConst> reserved;  // declared in a file named wire.h
-  std::map<std::string, std::vector<MarkerConst>> per_file;
-  for (const FileCtx& f : files) {
-    std::vector<MarkerConst> mcs = CollectMarkers(f);
-    for (MarkerConst& m : mcs) {
-      if (Basename(f.src->path) == "wire.h") reserved.push_back(m);
-      per_file[f.src->path].push_back(m);
-    }
-  }
-  // Same-file duplicate values: two branches of one protocol can never share
-  // a discriminator.
-  for (auto& [path, mcs] : per_file) {
-    for (std::size_t i = 0; i < mcs.size(); ++i)
-      for (std::size_t j = i + 1; j < mcs.size(); ++j)
-        if (mcs[i].value == mcs[j].value) {
-          const FileCtx* fc = nullptr;
-          for (const FileCtx& f : files)
-            if (f.src->path == path) fc = &f;
-          out.push_back({"wire-dup-marker", path, mcs[j].line,
-                         "marker " + mcs[j].name + " duplicates the value of " +
-                             mcs[i].name + " (line " +
-                             std::to_string(mcs[i].line) + ") in the same file",
-                         fc ? ExcerptAt(fc->lx, mcs[j].line) : ""});
-        }
-  }
-  // Cross-file: wire.h markers (e.g. the 0x54 trace tail) are appended to
-  // other payloads, so no other protocol byte may collide with them.
-  for (auto& [path, mcs] : per_file) {
-    if (Basename(path) == "wire.h") continue;
-    for (const MarkerConst& m : mcs)
-      for (const MarkerConst& r : reserved)
-        if (m.value == r.value) {
-          const FileCtx* fc = nullptr;
-          for (const FileCtx& f : files)
-            if (f.src->path == path) fc = &f;
-          out.push_back(
-              {"wire-dup-marker", path, m.line,
-               "marker " + m.name + " collides with " + r.name +
-                   " reserved in wire.h (value " + std::to_string(r.value) +
-                   "): trace tails share the payload space of every message",
-               fc ? ExcerptAt(fc->lx, m.line) : ""});
-        }
-  }
-}
-
-// ==== WAL record coverage ====================================================
-
-/// Every `constexpr std::uint8_t kWalXxx = N;` discriminator must have a
-/// `WriteXxxRecord` and a `ReadXxxRecord` function somewhere in the batch
-/// (an identifier followed by `(` — declaration, definition or call all
-/// count). The WAL's replay switch can only dispatch kinds that have a
-/// decoder; a marker with a writer but no reader appends records recovery
-/// cannot apply.
-void CheckWalRecordCoverage(const std::vector<FileCtx>& files,
-                            std::vector<Finding>& out) {
-  std::set<std::string> called;
-  for (const FileCtx& f : files) {
-    const std::vector<Token>& t = f.lx.toks;
-    for (std::size_t i = 0; i + 1 < t.size(); ++i)
-      if (t[i].kind == Tok::kIdent && IsPunct(t[i + 1], "("))
-        called.insert(t[i].text);
-  }
-  for (const FileCtx& f : files) {
-    for (const MarkerConst& m : CollectMarkers(f)) {
-      // `kWal` + an uppercase kind name; `kWalrusByte` is not a WAL marker.
-      if (m.name.rfind("kWal", 0) != 0 || m.name.size() <= 4 ||
-          !std::isupper(static_cast<unsigned char>(m.name[4])))
-        continue;
-      const std::string kind = m.name.substr(4);
-      for (const char* verb : {"Write", "Read"}) {
-        const std::string codec = verb + kind + "Record";
-        if (called.count(codec)) continue;
-        out.push_back(
-            {"wal-record-coverage", f.src->path, m.line,
-             "WAL record kind " + m.name + " has no " + codec +
-                 " in this batch: every kind needs a Write/Read codec pair "
-                 "or recovery cannot replay (or ever produce) it",
-             ExcerptAt(f.lx, m.line)});
-      }
-    }
-  }
 }
 
 }  // namespace
 
-// ==== public API =============================================================
+const std::vector<RuleFamily>& Families() {
+  static const std::vector<RuleFamily> kFamilies = {
+      {"determinism", &DeterminismRules, &CheckDeterminism},
+      {"async", &AsyncRules, &CheckAsync},
+      {"wire", &WireRules, &CheckWire},
+      {"domains", &DomainRules, &CheckDomains},
+      {"barrier", &BarrierRules, &CheckBarrier},
+      {"switches", &SwitchRules, &CheckSwitches},
+      {"annotation", &AnnotationRules, nullptr},
+  };
+  return kFamilies;
+}
 
 std::vector<RuleInfo> AllRules() {
-  return std::vector<RuleInfo>(std::begin(kRules), std::end(kRules));
+  std::vector<RuleInfo> rules;
+  for (const RuleFamily& fam : Families())
+    for (RuleInfo& r : fam.rules()) rules.push_back(std::move(r));
+  std::sort(rules.begin(), rules.end(),
+            [](const RuleInfo& a, const RuleInfo& b) { return a.id < b.id; });
+  return rules;
+}
+
+bool KnownRule(std::string_view id) {
+  for (const RuleInfo& r : AllRules())
+    if (r.id == id) return true;
+  return false;
 }
 
 std::vector<Finding> Lint(const std::vector<SourceFile>& files) {
-  std::vector<FileCtx> ctxs;
-  ctxs.reserve(files.size());
-  for (const SourceFile& f : files) {
-    FileCtx c;
-    c.src = &f;
-    c.lx = Tokenize(f.content);
-    c.ann = ParseAnnotations(f.path, c.lx);
-    ctxs.push_back(std::move(c));
-  }
+  const Index idx = BuildIndex(files);
 
-  // Header/impl pairing: tracker.cpp iterating `entries_` must know the
-  // member was declared unordered in tracker.h.
-  std::map<std::string, std::set<std::string>> by_stem;
-  for (FileCtx& c : ctxs) CollectUnorderedDecls(c.lx, by_stem[Stem(c.src->path)]);
-  for (FileCtx& c : ctxs) c.unordered_ids = by_stem[Stem(c.src->path)];
+  std::vector<Finding> raw;
+  for (const RuleFamily& fam : Families())
+    if (fam.check != nullptr) fam.check(idx, raw);
 
-  std::vector<Finding> findings;
-  for (const FileCtx& c : ctxs) {
-    CheckBannedIdents(c, findings);
-    CheckUnorderedIteration(c, findings);
-    CheckContinuations(c, findings);
-    CheckWireSymmetry(c, findings);
-  }
-  CheckMarkers(ctxs, findings);
-  CheckWalRecordCoverage(ctxs, findings);
-
-  // Apply suppressions: an allow(rule) annotation covers findings on its own
-  // line and the line directly below it.
-  std::vector<Finding> kept;
-  for (Finding& fd : findings) {
-    const Annotations* ann = nullptr;
-    for (const FileCtx& c : ctxs)
-      if (c.src->path == fd.file) ann = &c.ann;
-    bool suppressed = false;
-    if (ann != nullptr) {
-      for (int l : {fd.line, fd.line - 1}) {
-        auto it = ann->allow.find(l);
-        if (it != ann->allow.end() && it->second.count(fd.rule)) suppressed = true;
-      }
+  // Suppression: an allow(<rule>) annotation covers findings on its own line
+  // and the line directly below it, in the file it appears in.
+  std::map<std::string, const Annotations*> ann_by_path;
+  for (const FileCtx& f : idx.files) ann_by_path[f.src->path] = &f.ann;
+  auto suppressed = [&](const Finding& fd) {
+    auto it = ann_by_path.find(fd.file);
+    if (it == ann_by_path.end()) return false;
+    const auto& allow = it->second->allow;
+    for (int line : {fd.line, fd.line - 1}) {
+      auto al = allow.find(line);
+      if (al != allow.end() && al->second.count(fd.rule)) return true;
     }
-    if (!suppressed) kept.push_back(std::move(fd));
-  }
-  // Annotation hygiene findings are never suppressible.
-  for (const FileCtx& c : ctxs)
-    for (const Finding& fd : c.ann.bad) kept.push_back(fd);
+    return false;
+  };
 
-  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+  std::vector<Finding> out;
+  for (Finding& fd : raw)
+    if (!suppressed(fd)) out.push_back(std::move(fd));
+  // Annotation-hygiene findings bypass suppression entirely.
+  for (const FileCtx& f : idx.files)
+    for (const Finding& fd : f.ann.bad) out.push_back(fd);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
   });
-  return kept;
+  return out;
 }
 
 }  // namespace fargolint

@@ -1,14 +1,19 @@
 // fargolint — a repo-specific static checker for FarGo's determinism,
-// no-pump, capture-lifetime and wire-symmetry invariants (docs/INVARIANTS.md).
+// no-pump, capture-lifetime, wire-schema, ownership-domain and
+// barrier-before-reply invariants (docs/INVARIANTS.md).
 //
-// The checker is deliberately a token-level tool built on its own small C++
-// lexer — no libclang, no compile database — so it builds and runs everywhere
-// the repo builds and its verdicts depend only on the bytes of the sources.
-// That buys determinism and zero dependencies at the price of lexical
-// heuristics; every rule documents its exact lexical contract and ships an
-// escape hatch — a comment of the form `"fargolint" ":"` followed by one of
-// (spelled apart here so this header, which is itself linted, does not
-// parse its own documentation as directives):
+// v2 runs in two phases: phase 1 (index.h) builds a lightweight symbol index
+// across every TU in the batch — classes and their fields, enum definitions,
+// method bodies, scheduled-lambda contexts, codec op sequences — and phase 2
+// (rules.h) runs the rule families over it. The checker remains a token-level
+// tool built on its own small C++ lexer — no libclang, no compile database —
+// so it builds and runs everywhere the repo builds and its verdicts depend
+// only on the bytes of the sources. That buys determinism and zero
+// dependencies at the price of lexical heuristics; every rule documents its
+// exact lexical contract and ships an escape hatch — a comment of the form
+// `"fargolint" ":"` followed by one of (spelled apart here so this header,
+// which is itself linted, does not parse its own documentation as
+// directives):
 //
 //   allow(<rule>) <reason>        suppress one finding of the named rule on
 //                                 this or the next line; the written reason
@@ -16,6 +21,10 @@
 //   order-insensitive(<reason>)   loop-level form of allow(unordered-iter)
 //   no-pump-region                from here to end of file, blocking calls
 //                                 are banned even outside lambdas
+//
+// Separately, a comment of the form `"fargo" ":"` followed by
+// `domain(<name>)` declares the ownership domain of the class or field on
+// that (or the next) line — consumed by the domain rule family.
 #pragma once
 
 #include <string>
@@ -47,13 +56,20 @@ struct RuleInfo {
   std::string summary;
 };
 
-/// Every rule the checker knows, in stable order.
+/// Every rule the checker knows, sorted by id (stable for goldens and for
+/// --list-rules output).
 std::vector<RuleInfo> AllRules();
 
 /// Lints a batch of files as one unit. Batch-wide state: header/impl pairs
-/// share their unordered-container declarations, and wire marker constants
-/// declared in a file named wire.h are reserved across the whole batch.
-/// Findings come back sorted by (file, line, rule).
+/// share their unordered-container declarations, wire marker constants
+/// declared in a file named wire.h are reserved across the whole batch, and
+/// codec op sequences pair across files. Findings come back sorted by
+/// (file, line, rule).
 std::vector<Finding> Lint(const std::vector<SourceFile>& files);
+
+/// Machine-readable wire schema (markers, enums, codec op sequences) of the
+/// batch as deterministic JSON — the `--emit-schema` output that CI diffs
+/// against docs/wire_schema.json to gate format drift.
+std::string ExtractWireSchema(const std::vector<SourceFile>& files);
 
 }  // namespace fargolint

@@ -1,7 +1,18 @@
 // fargolint CLI: scans the given files/directories (default rules, see
 // docs/INVARIANTS.md) and exits non-zero on any unsuppressed finding.
 //
-//   fargolint [--json] [--list-rules] <file-or-dir>...
+//   fargolint [--json] [--list-rules] [--emit-schema] [--fix-annotations]
+//             <file-or-dir>...
+//
+//   --json             emit findings as a SARIF 2.1.0 log instead of text
+//   --emit-schema      print the machine-readable wire schema of the batch
+//                      (markers, enums, codec op sequences) and exit; CI
+//                      diffs this against docs/wire_schema.json
+//   --fix-annotations  insert an ownership-domain annotation stub above every
+//                      domain-missing finding (default derived from the
+//                      path: src/core -> core, src/net -> net, src/sim ->
+//                      sim), rewrite the files in place, and report what
+//                      changed
 //
 // Directories are walked recursively for .h/.hpp/.cpp/.cc files; the file
 // list is sorted so output and exit status are byte-deterministic.
@@ -9,6 +20,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,21 +52,115 @@ void JsonEscape(std::ostream& os, const std::string& s) {
   }
 }
 
+/// SARIF 2.1.0 log: one run, rules[] from AllRules(), one result per
+/// finding. Keyed so GitHub code scanning and SARIF viewers ingest it.
+void EmitSarif(const std::vector<fargolint::Finding>& findings) {
+  std::cout << "{\n"
+            << "  \"$schema\": "
+               "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+            << "  \"version\": \"2.1.0\",\n"
+            << "  \"runs\": [\n    {\n"
+            << "      \"tool\": {\n        \"driver\": {\n"
+            << "          \"name\": \"fargolint\",\n"
+            << "          \"informationUri\": \"docs/INVARIANTS.md\",\n"
+            << "          \"rules\": [\n";
+  const std::vector<fargolint::RuleInfo> rules = fargolint::AllRules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    std::cout << "            {\"id\": \"";
+    JsonEscape(std::cout, rules[i].id);
+    std::cout << "\", \"shortDescription\": {\"text\": \"";
+    JsonEscape(std::cout, rules[i].summary);
+    std::cout << "\"}}" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  std::cout << "          ]\n        }\n      },\n"
+            << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const fargolint::Finding& f = findings[i];
+    std::cout << "        {\"ruleId\": \"";
+    JsonEscape(std::cout, f.rule);
+    std::cout << "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    JsonEscape(std::cout, f.message);
+    std::cout << "\"}, \"locations\": [{\"physicalLocation\": "
+                 "{\"artifactLocation\": {\"uri\": \"";
+    JsonEscape(std::cout, f.file);
+    std::cout << "\"}, \"region\": {\"startLine\": " << f.line;
+    if (!f.excerpt.empty()) {
+      std::cout << ", \"snippet\": {\"text\": \"";
+      JsonEscape(std::cout, f.excerpt);
+      std::cout << "\"}";
+    }
+    std::cout << "}}}]}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  std::cout << "      ]\n    }\n  ]\n}\n";
+}
+
+/// Default domain for a path, mirroring the annotation-sweep convention.
+std::string DefaultDomain(const std::string& path) {
+  if (path.find("src/core/") != std::string::npos) return "core";
+  if (path.find("src/net/") != std::string::npos) return "net";
+  if (path.find("src/sim/") != std::string::npos) return "sim";
+  return "core";
+}
+
+/// Inserts a domain(<default>) annotation above every domain-missing finding,
+/// preserving the flagged line's indentation. Returns files rewritten.
+int FixAnnotations(const std::vector<fargolint::SourceFile>& files,
+                   const std::vector<fargolint::Finding>& findings) {
+  std::map<std::string, std::vector<int>> lines_by_file;
+  for (const fargolint::Finding& f : findings)
+    if (f.rule == "domain-missing") lines_by_file[f.file].push_back(f.line);
+
+  int rewritten = 0;
+  for (const fargolint::SourceFile& src : files) {
+    auto it = lines_by_file.find(src.path);
+    if (it == lines_by_file.end()) continue;
+    std::vector<std::string> lines;
+    std::istringstream in(src.content);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    // Bottom-up so earlier insertions do not shift later line numbers.
+    std::vector<int> targets = it->second;
+    std::sort(targets.rbegin(), targets.rend());
+    const std::string domain = DefaultDomain(src.path);
+    for (int ln : targets) {
+      if (ln < 1 || ln > static_cast<int>(lines.size())) continue;
+      const std::string& at = lines[ln - 1];
+      const std::string indent = at.substr(0, at.find_first_not_of(" \t"));
+      lines.insert(lines.begin() + (ln - 1),
+                   indent + "// fargo: domain(" + domain + ")");
+    }
+    std::ofstream out(src.path, std::ios::binary | std::ios::trunc);
+    for (const std::string& l : lines) out << l << "\n";
+    std::cout << "fargolint: annotated " << src.path << " (" << targets.size()
+              << " class" << (targets.size() == 1 ? "" : "es") << ", domain '"
+              << domain << "')\n";
+    ++rewritten;
+  }
+  return rewritten;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
+  bool json = false, emit_schema = false, fix_annotations = false;
   std::vector<std::string> roots;
+  const char* usage =
+      "usage: fargolint [--json] [--list-rules] [--emit-schema] "
+      "[--fix-annotations] <file-or-dir>...\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--emit-schema") {
+      emit_schema = true;
+    } else if (arg == "--fix-annotations") {
+      fix_annotations = true;
     } else if (arg == "--list-rules") {
       for (const fargolint::RuleInfo& r : fargolint::AllRules())
         std::cout << r.id << "\n    " << r.summary << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: fargolint [--json] [--list-rules] <file-or-dir>...\n";
+      std::cout << usage;
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "fargolint: unknown option " << arg << "\n";
@@ -64,7 +170,7 @@ int main(int argc, char** argv) {
     }
   }
   if (roots.empty()) {
-    std::cerr << "usage: fargolint [--json] [--list-rules] <file-or-dir>...\n";
+    std::cerr << usage;
     return 2;
   }
 
@@ -98,25 +204,21 @@ int main(int argc, char** argv) {
     files.push_back({p, ss.str()});
   }
 
+  if (emit_schema) {
+    std::cout << fargolint::ExtractWireSchema(files);
+    return 0;
+  }
+
   const std::vector<fargolint::Finding> findings = fargolint::Lint(files);
 
+  if (fix_annotations) {
+    const int n = FixAnnotations(files, findings);
+    std::cout << "fargolint: rewrote " << n << " file(s)\n";
+    return 0;
+  }
+
   if (json) {
-    std::cout << "[";
-    bool first = true;
-    for (const fargolint::Finding& f : findings) {
-      if (!first) std::cout << ",";
-      first = false;
-      std::cout << "\n  {\"rule\":\"";
-      JsonEscape(std::cout, f.rule);
-      std::cout << "\",\"file\":\"";
-      JsonEscape(std::cout, f.file);
-      std::cout << "\",\"line\":" << f.line << ",\"message\":\"";
-      JsonEscape(std::cout, f.message);
-      std::cout << "\",\"excerpt\":\"";
-      JsonEscape(std::cout, f.excerpt);
-      std::cout << "\"}";
-    }
-    std::cout << (findings.empty() ? "]\n" : "\n]\n");
+    EmitSarif(findings);
   } else {
     for (const fargolint::Finding& f : findings) {
       std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "

@@ -1,0 +1,59 @@
+// fargolint phase 2: the rule families. Each family lives in its own TU
+// under rules/ and exposes two entry points — its RuleInfo list and a check
+// over the phase-1 Index — registered in the table returned by Families()
+// (defined in lint.cpp). Rule ids are append-only; AllRules() serves them
+// sorted so --list-rules output is stable for goldens.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/fargolint/index.h"
+#include "tools/fargolint/lint.h"
+
+namespace fargolint {
+
+struct RuleFamily {
+  const char* name;
+  std::vector<RuleInfo> (*rules)();
+  /// nullptr for families whose findings are produced during indexing
+  /// (annotation hygiene).
+  void (*check)(const Index&, std::vector<Finding>&);
+};
+
+const std::vector<RuleFamily>& Families();
+
+bool KnownRule(std::string_view id);
+
+// ---- shared vocabularies ----------------------------------------------------
+
+/// Entry points that take a closure the scheduler will run later: future
+/// continuations and raw scheduler tasks.
+const std::set<std::string>& SinkNames();
+
+/// Calls that pump the event loop or block on it.
+const std::set<std::string>& BlockingNames();
+
+// ---- family entry points (rules/<family>.cpp) -------------------------------
+
+std::vector<RuleInfo> DeterminismRules();
+void CheckDeterminism(const Index& idx, std::vector<Finding>& out);
+
+std::vector<RuleInfo> AsyncRules();
+void CheckAsync(const Index& idx, std::vector<Finding>& out);
+
+std::vector<RuleInfo> WireRules();
+void CheckWire(const Index& idx, std::vector<Finding>& out);
+
+std::vector<RuleInfo> DomainRules();
+void CheckDomains(const Index& idx, std::vector<Finding>& out);
+
+std::vector<RuleInfo> BarrierRules();
+void CheckBarrier(const Index& idx, std::vector<Finding>& out);
+
+std::vector<RuleInfo> SwitchRules();
+void CheckSwitches(const Index& idx, std::vector<Finding>& out);
+
+}  // namespace fargolint

@@ -1,0 +1,138 @@
+// Barrier-before-reply family: on any path from a WAL append of an
+// exec/commit/abort/move-in/dir-publish record to a raw reply/ack egress,
+// the send must be dominated by a durability barrier. This is the rule that
+// would have caught the PR 6 review bugs — a peer that observes a reply or
+// ack treats the state behind it as settled, so sending before the record
+// is durable lets a crash un-happen an acknowledged effect.
+//
+// Lexical contract (documented in docs/INVARIANTS.md):
+//   - Checked appends: AppendExec, AppendCommit, AppendAbort, AppendMoveIn,
+//     AppendDirPublish — called, not defined (a `::`-qualified definition
+//     does not arm the rule).
+//   - Raw sends: SendReply, SendReplyOut, SendSlotAck, SendMoveAck. The
+//     sanctioned wrappers (Core::Reply, Core::AckSlotDurable) barrier
+//     internally and are not in the send set.
+//   - A send is guarded when it sits inside the continuation argument of a
+//     durability barrier: Sync() / WhenDurable() / WhenSequencesDurable()
+//     followed by .OnSettle(...) or .Then(...).
+//   - Path approximation: scan forward from the append to the end of the
+//     enclosing function. An unconditional `return`/`throw` at the append's
+//     block level ends the path; leaving a block rebases to the enclosing
+//     level (fall-through). `if (...) return;` (no braces, recognized by the
+//     preceding `)` or `else`) is conditional and does not end the path.
+#include "tools/fargolint/rules.h"
+
+namespace fargolint {
+namespace {
+
+const std::set<std::string>& CheckedAppends() {
+  static const std::set<std::string> kAppends = {
+      "AppendExec", "AppendCommit", "AppendAbort", "AppendMoveIn",
+      "AppendDirPublish"};
+  return kAppends;
+}
+
+const std::set<std::string>& RawSends() {
+  static const std::set<std::string> kSends = {"SendReply", "SendReplyOut",
+                                               "SendSlotAck", "SendMoveAck"};
+  return kSends;
+}
+
+/// Argument spans of barrier continuations:
+/// `Sync().OnSettle(<span>)` / `WhenDurable().Then(<span>)` / ...
+std::vector<Span> BarrierRegions(const std::vector<Token>& t) {
+  static const std::set<std::string> kBarriers = {"Sync", "WhenDurable",
+                                                  "WhenSequencesDurable"};
+  static const std::set<std::string> kConts = {"OnSettle", "Then"};
+  std::vector<Span> regions;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || kBarriers.count(t[i].text) == 0) continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    std::size_t close = MatchingClose(t, i + 1);
+    if (close + 2 >= t.size()) continue;
+    if (!IsPunct(t[close + 1], ".")) continue;
+    if (t[close + 2].kind != Tok::kIdent || kConts.count(t[close + 2].text) == 0)
+      continue;
+    if (close + 3 >= t.size() || !IsPunct(t[close + 3], "(")) continue;
+    regions.push_back({close + 3, MatchingClose(t, close + 3)});
+  }
+  return regions;
+}
+
+void CheckFile(const FileCtx& f, std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.lx.toks;
+  const std::vector<Span> regions = BarrierRegions(t);
+  auto guarded = [&](std::size_t i) {
+    for (const Span& r : regions)
+      if (r.Contains(i)) return true;
+    return false;
+  };
+  auto enclosing_fn = [&](std::size_t i) -> const Span* {
+    const Span* best = nullptr;
+    for (const Span& s : f.fn_bodies)
+      if (s.Contains(i) && (best == nullptr || s.begin > best->begin))
+        best = &s;
+    return best;
+  };
+
+  std::set<std::size_t> flagged;  // one finding per send, however many appends
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || CheckedAppends().count(t[i].text) == 0)
+      continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    if (i > 0 && IsPunct(t[i - 1], "::")) continue;  // definition, not a call
+    const Span* fn = enclosing_fn(i);
+    if (fn == nullptr) continue;  // declaration or unattributed position
+    // Walk the path from the append to the end of the function.
+    int depth = 0;
+    for (std::size_t j = MatchingClose(t, i + 1) + 1; j < fn->end; ++j) {
+      if (IsPunct(t[j], "{")) {
+        ++depth;
+        continue;
+      }
+      if (IsPunct(t[j], "}")) {
+        if (--depth < 0) depth = 0;  // left the append's block: fall through
+        continue;
+      }
+      if (t[j].kind != Tok::kIdent) continue;
+      if ((t[j].text == "return" || t[j].text == "throw") && depth == 0) {
+        const bool conditional =
+            j > 0 && (IsPunct(t[j - 1], ")") ||
+                      (t[j - 1].kind == Tok::kIdent && t[j - 1].text == "else"));
+        if (!conditional) break;  // every path from the append ends here
+        continue;
+      }
+      if (RawSends().count(t[j].text) == 0) continue;
+      if (j + 1 >= t.size() || !IsPunct(t[j + 1], "(")) continue;
+      if (j > 0 && IsPunct(t[j - 1], "::")) continue;  // definition
+      if (guarded(j)) continue;
+      if (!flagged.insert(j).second) continue;
+      out.push_back(
+          {"barrier-before-reply", f.src->path, t[j].line,
+           "'" + t[j].text + "' is reachable after '" + t[i].text +
+               "' without a durability barrier: the peer may observe this "
+               "reply/ack while the record is still volatile. Dominate the "
+               "send with wal->WhenDurable().OnSettle(...) (or "
+               "WhenSequencesDurable), or route it through Core::Reply",
+           ExcerptAt(f.lx, t[j].line)});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RuleInfo> BarrierRules() {
+  return {
+      {"barrier-before-reply",
+       "reply/ack egress (SendReply*/SendSlotAck/SendMoveAck) reachable after "
+       "a WAL append of an exec/commit/abort/move-in/dir-publish record "
+       "without an intervening durability barrier "
+       "(WhenDurable/WhenSequencesDurable continuation)"},
+  };
+}
+
+void CheckBarrier(const Index& idx, std::vector<Finding>& out) {
+  for (const FileCtx& f : idx.files) CheckFile(f, out);
+}
+
+}  // namespace fargolint

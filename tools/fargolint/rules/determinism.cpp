@@ -1,0 +1,150 @@
+// Determinism family: wall-clock sources, nondeterministic randomness, real
+// threads, and hash-order-dependent iteration. The simulation's verdicts
+// must be a pure function of the seed; these rules ban the library features
+// that would smuggle in host entropy.
+#include "tools/fargolint/rules.h"
+
+namespace fargolint {
+namespace {
+
+void CheckBannedIdents(const FileCtx& f, std::vector<Finding>& out) {
+  const std::string& path = f.src->path;
+  const bool in_sim = PathContains(path, "src/sim/");
+  const bool in_metrics = PathContains(path, "monitor/metrics.");
+  const std::vector<Token>& t = f.lx.toks;
+
+  auto next_is_call = [&](std::size_t i) {
+    return i + 1 < t.size() && IsPunct(t[i + 1], "(");
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const std::string& s = t[i].text;
+    const int line = t[i].line;
+
+    if (!in_sim) {
+      if (s == "system_clock" || s == "steady_clock" ||
+          s == "high_resolution_clock") {
+        out.push_back({"wallclock", path, line,
+                       "std::chrono::" + s +
+                           " breaks seed-determinism; use the simulated "
+                           "clock (Scheduler::Now)",
+                       ExcerptAt(f.lx, line)});
+      } else if ((s == "time" || s == "clock" || s == "gettimeofday" ||
+                  s == "clock_gettime") &&
+                 next_is_call(i) &&
+                 // `x.time(` / `x->clock(` are member calls on app types;
+                 // the C library forms are bare or std::-qualified.
+                 (i == 0 || !IsPunct(t[i - 1], ".")) &&
+                 !(i >= 2 && IsPunct(t[i - 1], ">") && IsPunct(t[i - 2], "-"))) {
+        out.push_back({"wallclock", path, line,
+                       s + "() reads the wall clock; use the simulated clock "
+                           "(Scheduler::Now)",
+                       ExcerptAt(f.lx, line)});
+      }
+
+      if (s == "rand" || s == "srand" || s == "random_device") {
+        if (s != "random_device" && !next_is_call(i)) continue;
+        out.push_back({"unseeded-rng", path, line,
+                       "std::" + s +
+                           " is not seed-deterministic; derive randomness "
+                           "from the run seed (see net::chaos)",
+                       ExcerptAt(f.lx, line)});
+      } else if (s == "mt19937" || s == "mt19937_64") {
+        // Seeded construction `mt19937 rng(seed)` / `mt19937 rng{seed}` is
+        // fine; a default-constructed engine always yields the same stream
+        // yet reads as random, and `mt19937 rng(random_device{}())` is
+        // caught by the random_device ban above.
+        std::size_t j = i + 1;
+        if (j < t.size() && t[j].kind == Tok::kIdent) ++j;  // variable name
+        bool seeded = false;
+        if (j < t.size() && (IsPunct(t[j], "(") || IsPunct(t[j], "{")))
+          seeded = MatchingClose(t, j) > j + 1;  // non-empty argument list
+        if (!seeded)
+          out.push_back({"unseeded-rng", path, line,
+                         s + " constructed without an explicit seed",
+                         ExcerptAt(f.lx, line)});
+      }
+    }
+
+    if (!in_sim && !in_metrics &&
+        (s == "thread" || s == "jthread" || s == "async")) {
+      // Only the std:: forms: require a `std ::` qualifier so members like
+      // `x.async(...)` or the identifier `thread` in comments/names pass.
+      if (i >= 2 && IsPunct(t[i - 1], "::") && t[i - 2].kind == Tok::kIdent &&
+          t[i - 2].text == "std") {
+        out.push_back({"thread", path, line,
+                       "std::" + s +
+                           " introduces real concurrency; the simulation is "
+                           "single-threaded by contract (only src/sim/ and "
+                           "the metrics registry may differ)",
+                       ExcerptAt(f.lx, line)});
+      }
+    }
+  }
+}
+
+void CheckUnorderedIteration(const FileCtx& f, std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.lx.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || t[i].text != "for") continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    std::size_t open = i + 1;
+    std::size_t close = MatchingClose(t, open);
+    // Find the range-for `:` at depth 1 (`::` is a distinct token).
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = open; j < close; ++j) {
+      if (t[j].kind != Tok::kPunct) continue;
+      if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++depth;
+      else if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") --depth;
+      else if (t[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;  // classic for loop
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (t[j].kind != Tok::kIdent) continue;
+      const bool declared_unordered = f.unordered_ids.count(t[j].text) > 0;
+      const bool literally_unordered = t[j].text.rfind("unordered_", 0) == 0;
+      if (!declared_unordered && !literally_unordered) continue;
+      out.push_back(
+          {"unordered-iter", f.src->path, t[i].line,
+           "range-for over unordered container '" + t[j].text +
+               "': iteration order is hash-seed/pointer dependent. Sort the "
+               "elements first, use an ordered container, or annotate "
+               "`// fargolint: order-insensitive(<reason>)`",
+           ExcerptAt(f.lx, t[i].line)});
+      break;  // one finding per loop
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RuleInfo> DeterminismRules() {
+  return {
+      {"wallclock",
+       "wall-clock time source (system_clock/steady_clock/time()/clock()) in "
+       "deterministic code"},
+      {"unseeded-rng",
+       "nondeterministic randomness: std::rand/srand/random_device, or an "
+       "mt19937 engine constructed without an explicit seed"},
+      {"thread",
+       "real concurrency (std::thread/jthread/async) outside src/sim/ and the "
+       "metrics registry"},
+      {"unordered-iter",
+       "range-for over an unordered_map/unordered_set: iteration order is "
+       "hash-seed dependent and must not reach wire, trace or shell output"},
+  };
+}
+
+void CheckDeterminism(const Index& idx, std::vector<Finding>& out) {
+  for (const FileCtx& f : idx.files) {
+    CheckBannedIdents(f, out);
+    CheckUnorderedIteration(f, out);
+  }
+}
+
+}  // namespace fargolint

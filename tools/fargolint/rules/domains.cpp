@@ -1,0 +1,135 @@
+// Ownership-domain family: the locality-confinement precondition for the
+// planned parallel execution engine (FARGO_PARALLEL). Classes declare an
+// ownership domain with a `domain(<name>)` annotation; a scheduled continuation
+// inherits the domain of the class whose method handed it to the scheduler
+// (the sink API — Then/OnSettle/Schedule*), and may only touch fields whose
+// effective domain matches. Today every domain runs on the one simulated
+// thread, so violations are latent, not live — which is exactly when they
+// are cheap to fix.
+//
+// Lexical contract:
+//   - A continuation is a lambda inside a scheduler-sink argument span; its
+//     domain is the domain of the innermost enclosing class (class body for
+//     headers, `Cls::Method` definition for .cpp files).
+//   - A field access is an unqualified `_`-suffixed identifier in the lambda
+//     body (the implicit-this convention); `obj.field_` accesses go through
+//     the object and are the object's own domain's business.
+//   - The access is flagged when the identifier resolves to exactly one
+//     indexed field-owning class and the field's effective domain (its own
+//     annotation, else its class's) differs from the continuation's. An
+//     identifier owned by several classes is ambiguous and skipped.
+//   - domain-missing: a class with `_`-suffixed state under src/core/,
+//     src/net/ or src/sim/ must declare a domain (nested classes inherit).
+//     `fargolint --fix-annotations` inserts the path-derived default.
+#include "tools/fargolint/rules.h"
+
+namespace fargolint {
+namespace {
+
+const ClassSym* SoleOwner(const Index& idx, const std::string& name) {
+  auto it = idx.field_owners.find(name);
+  if (it == idx.field_owners.end() || it->second.size() != 1) return nullptr;
+  return &idx.classes[it->second[0]];
+}
+
+std::string EffectiveDomain(const ClassSym& cls, const std::string& field) {
+  for (const FieldSym& fs : cls.fields)
+    if (fs.name == field && !fs.domain.empty()) return fs.domain;
+  return cls.domain;
+}
+
+void CheckConfinement(const Index& idx, std::size_t fi,
+                      std::vector<Finding>& out) {
+  const FileCtx& f = idx.files[fi];
+  const std::vector<Token>& t = f.lx.toks;
+  auto in_sink = [&](std::size_t i) {
+    for (const Span& s : f.sink_spans)
+      if (s.Contains(i)) return true;
+    return false;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!IsPunct(t[i], "[") || !IsLambdaIntro(t, i) || !in_sink(i)) continue;
+    Lambda lam = ParseLambda(t, i);
+    if (lam.body_open == 0) continue;
+    const ClassSym* encl = idx.EnclosingClass(fi, i);
+    if (encl == nullptr || encl->domain.empty()) continue;
+
+    std::set<int> reported_lines;
+    for (std::size_t j = lam.body_open + 1; j < lam.body_close; ++j) {
+      if (t[j].kind != Tok::kIdent) continue;
+      const std::string& name = t[j].text;
+      if (name.size() < 2 || name.back() != '_') continue;
+      // Qualified accesses (`obj.field_`, `p->field_`) go through the
+      // object; only implicit-this accesses bind to a domain here.
+      if (j > 0 && (IsPunct(t[j - 1], ".") || IsPunct(t[j - 1], "::") ||
+                    (j >= 2 && IsPunct(t[j - 1], ">") && IsPunct(t[j - 2], "-"))))
+        continue;
+      std::string field_domain;
+      std::string owner_name;
+      bool own_field = false;
+      for (const FieldSym& fs : encl->fields)
+        if (fs.name == name) own_field = true;
+      if (own_field) {
+        field_domain = EffectiveDomain(*encl, name);
+        owner_name = encl->name;
+      } else {
+        const ClassSym* owner = SoleOwner(idx, name);
+        if (owner == nullptr) continue;
+        field_domain = EffectiveDomain(*owner, name);
+        owner_name = owner->name;
+      }
+      if (field_domain.empty() || field_domain == encl->domain) continue;
+      if (!reported_lines.insert(t[j].line).second) continue;
+      out.push_back(
+          {"domain", f.src->path, t[j].line,
+           "field '" + name + "' belongs to domain '" + field_domain +
+               "' (class " + owner_name +
+               ") but this continuation runs in domain '" + encl->domain +
+               "' (class " + encl->name +
+               "): cross-domain state must move via messages, not shared "
+               "fields (locality confinement for FARGO_PARALLEL)",
+           ExcerptAt(f.lx, t[j].line)});
+    }
+  }
+}
+
+void CheckMissing(const Index& idx, std::vector<Finding>& out) {
+  for (const ClassSym& cs : idx.classes) {
+    if (!cs.domain.empty() || cs.fields.empty()) continue;
+    const std::string& path = idx.files[cs.file].src->path;
+    if (!PathContains(path, "src/core/") && !PathContains(path, "src/net/") &&
+        !PathContains(path, "src/sim/"))
+      continue;
+    out.push_back(
+        {"domain-missing", path, cs.line,
+         "class " + cs.name + " holds mutable state (" +
+             std::to_string(cs.fields.size()) +
+             " '_'-suffixed fields) but declares no ownership domain; add "
+             "a domain annotation (see docs/INVARIANTS.md) or run fargolint "
+             "--fix-annotations",
+         ExcerptAt(idx.files[cs.file].lx, cs.line)});
+  }
+}
+
+}  // namespace
+
+std::vector<RuleInfo> DomainRules() {
+  return {
+      {"domain",
+       "field access from a scheduled continuation whose ownership domain "
+       "differs from the field's owner (locality-confinement precondition "
+       "for FARGO_PARALLEL)"},
+      {"domain-missing",
+       "stateful class under src/core/, src/net/ or src/sim/ without a "
+       "declared ownership domain annotation"},
+  };
+}
+
+void CheckDomains(const Index& idx, std::vector<Finding>& out) {
+  for (std::size_t fi = 0; fi < idx.files.size(); ++fi)
+    CheckConfinement(idx, fi, out);
+  CheckMissing(idx, out);
+}
+
+}  // namespace fargolint

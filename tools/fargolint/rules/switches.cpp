@@ -1,0 +1,192 @@
+// Switch-exhaustiveness family: switches over indexed enums (wire kinds,
+// unit states) and over WAL record discriminators (kWal* constants) must
+// name every member, and a `default:` may only throw — a silent default
+// swallows the next kind someone adds, which for wire and WAL dispatch means
+// a message or record silently dropped instead of loudly rejected.
+//
+// Lexical contract: a switch is checked when every one of its case labels
+// resolves to an enumerator of a single indexed enum, or when at least one
+// label is a kWal* marker (then all kWal* markers in the batch are the
+// family). Switches with numeric or unresolvable labels — e.g. raw protocol
+// bytes like the kCtrl* subkinds, where a corrupt byte legitimately falls
+// through — are not checked. A default whose statements contain
+// throw/abort/unreachable counts as rejecting, not swallowing.
+#include <algorithm>
+#include <cctype>
+
+#include "tools/fargolint/rules.h"
+
+namespace fargolint {
+namespace {
+
+struct CaseLabel {
+  std::string name;  // last identifier of the label ("" for numeric labels)
+  bool numeric = false;
+};
+
+struct SwitchInfo {
+  std::size_t kw = 0;  // 'switch' token
+  std::vector<CaseLabel> labels;
+  bool has_default = false;
+  bool default_throws = false;
+  bool parsed = true;
+};
+
+SwitchInfo ParseSwitch(const std::vector<Token>& t, std::size_t kw) {
+  SwitchInfo sw;
+  sw.kw = kw;
+  std::size_t open = kw + 1;
+  if (open >= t.size() || !IsPunct(t[open], "(")) {
+    sw.parsed = false;
+    return sw;
+  }
+  std::size_t close = MatchingClose(t, open);
+  std::size_t body = close + 1;
+  if (body >= t.size() || !IsPunct(t[body], "{")) {
+    sw.parsed = false;
+    return sw;
+  }
+  std::size_t body_close = MatchingClose(t, body);
+  int depth = 0;
+  for (std::size_t j = body; j < body_close; ++j) {
+    if (IsPunct(t[j], "{")) {
+      ++depth;
+      continue;
+    }
+    if (IsPunct(t[j], "}")) {
+      --depth;
+      continue;
+    }
+    if (depth != 1 || t[j].kind != Tok::kIdent) continue;
+    if (t[j].text == "case") {
+      CaseLabel lbl;
+      std::size_t k = j + 1;
+      for (; k < body_close && !IsPunct(t[k], ":"); ++k) {
+        if (t[k].kind == Tok::kIdent) lbl.name = t[k].text;
+        if (t[k].kind == Tok::kNumber) lbl.numeric = true;
+      }
+      sw.labels.push_back(std::move(lbl));
+      j = k;
+    } else if (t[j].text == "default") {
+      sw.has_default = true;
+      // Scan the default's statements up to the next case/default at this
+      // level or the end of the switch body.
+      int d2 = 0;
+      for (std::size_t k = j + 1; k < body_close; ++k) {
+        if (IsPunct(t[k], "{")) ++d2;
+        else if (IsPunct(t[k], "}")) --d2;
+        else if (d2 == 0 && t[k].kind == Tok::kIdent &&
+                 (t[k].text == "case" || t[k].text == "default"))
+          break;
+        else if (t[k].kind == Tok::kIdent &&
+                 (t[k].text == "throw" || t[k].text == "abort" ||
+                  t[k].text == "Unreachable" || t[k].text == "unreachable"))
+          sw.default_throws = true;
+      }
+    }
+  }
+  return sw;
+}
+
+void CheckFile(const Index& idx, const FileCtx& f, std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.lx.toks;
+  // Enumerator name -> enum indices (for family resolution).
+  std::map<std::string, std::vector<std::size_t>> by_enumerator;
+  for (std::size_t e = 0; e < idx.enums.size(); ++e)
+    for (const Enumerator& en : idx.enums[e].enumerators)
+      by_enumerator[en.name].push_back(e);
+
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || t[i].text != "switch") continue;
+    SwitchInfo sw = ParseSwitch(t, i);
+    if (!sw.parsed || sw.labels.empty()) continue;
+
+    // Resolve the family. Every ident label votes for the enums defining it;
+    // the family is the enum (or the kWal marker set) covering ALL labels.
+    std::map<std::size_t, int> votes;
+    bool any_numeric = false, any_wal = false;
+    for (const CaseLabel& l : sw.labels) {
+      if (l.numeric && l.name.empty()) any_numeric = true;
+      if (l.name.rfind("kWal", 0) == 0 && l.name.size() > 4 &&
+          std::isupper(static_cast<unsigned char>(l.name[4])))
+        any_wal = true;
+      auto it = by_enumerator.find(l.name);
+      if (it != by_enumerator.end())
+        for (std::size_t e : it->second) ++votes[e];
+    }
+    if (any_numeric) continue;  // raw-byte switch: not a checked family
+
+    std::vector<std::string> family;  // member names
+    std::string family_name;
+    std::size_t best = idx.enums.size();
+    int best_votes = 0;
+    for (const auto& [e, v] : votes)
+      if (v > best_votes) {
+        best = e;
+        best_votes = v;
+      }
+    if (best < idx.enums.size() &&
+        best_votes == static_cast<int>(sw.labels.size())) {
+      for (const Enumerator& en : idx.enums[best].enumerators)
+        family.push_back(en.name);
+      family_name = "enum " + idx.enums[best].name;
+    } else if (any_wal) {
+      bool all_wal = true;
+      for (const CaseLabel& l : sw.labels)
+        if (l.name.rfind("kWal", 0) != 0) all_wal = false;
+      if (!all_wal) continue;
+      for (const MarkerConst& m : idx.markers)
+        if (m.name.rfind("kWal", 0) == 0 && m.name.size() > 4 &&
+            std::isupper(static_cast<unsigned char>(m.name[4])))
+          family.push_back(m.name);
+      std::sort(family.begin(), family.end());
+      family.erase(std::unique(family.begin(), family.end()), family.end());
+      family_name = "the kWal* record kinds";
+    } else {
+      continue;  // labels don't all resolve to one family
+    }
+
+    std::set<std::string> covered;
+    for (const CaseLabel& l : sw.labels) covered.insert(l.name);
+    std::vector<std::string> missing;
+    for (const std::string& m : family)
+      if (!covered.count(m)) missing.push_back(m);
+
+    // A throwing default is an explicit rejection of future members; a
+    // silent default swallows them. No default + full coverage lets
+    // -Wswitch (and this rule) flag the next addition.
+    if (sw.has_default && !sw.default_throws) {
+      out.push_back(
+          {"switch-exhaustiveness", f.src->path, t[i].line,
+           "switch over " + family_name +
+               " has a default: that silently swallows newly added kinds; "
+               "enumerate every member and make the default throw (or drop "
+               "it)",
+           ExcerptAt(f.lx, t[i].line)});
+    }
+    if (!missing.empty() && !sw.has_default) {
+      std::string list;
+      for (const std::string& m : missing)
+        list += (list.empty() ? "" : ", ") + m;
+      out.push_back({"switch-exhaustiveness", f.src->path, t[i].line,
+                     "switch over " + family_name + " does not handle: " + list,
+                     ExcerptAt(f.lx, t[i].line)});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RuleInfo> SwitchRules() {
+  return {
+      {"switch-exhaustiveness",
+       "switch over a wire kind, WAL record kind or state enum that misses "
+       "members or swallows unknown ones in a non-throwing default"},
+  };
+}
+
+void CheckSwitches(const Index& idx, std::vector<Finding>& out) {
+  for (const FileCtx& f : idx.files) CheckFile(idx, f, out);
+}
+
+}  // namespace fargolint

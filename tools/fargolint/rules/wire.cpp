@@ -1,0 +1,194 @@
+// Wire family: codec symmetry, marker uniqueness, WAL record coverage, and
+// the op-sequence schema check. The first three are the original token-level
+// rules; wire-schema is the v2 superseding check — it compares the ordered
+// primitive operations (varint vs u8 vs string...) of each Encode/Decode and
+// Write/Read pair batch-wide, so a width or field-order drift that keeps the
+// field *names* symmetric still fails. The same op extraction feeds the
+// machine-readable schema (`fargolint --emit-schema`, docs/wire_schema.json).
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "tools/fargolint/rules.h"
+
+namespace fargolint {
+namespace {
+
+std::string PairVerb(const std::string& verb) {
+  if (verb == "Encode") return "Decode";
+  if (verb == "Decode") return "Encode";
+  if (verb == "Write") return "Read";
+  return "Write";
+}
+
+/// Field-set symmetry within one file (the original rule): every field
+/// written must be read and vice versa. Only verifiable when both sides
+/// visibly touch fields.
+void CheckWireSymmetry(const Index& idx, std::vector<Finding>& out) {
+  for (const CodecDef& a : idx.codecs) {
+    if (a.verb != "Encode" && a.verb != "Write") continue;
+    const FileCtx& fa = idx.files[a.file];
+    for (const CodecDef& b : idx.codecs) {
+      if (b.file != a.file) continue;  // pairing is per-file, as before
+      if (b.verb != PairVerb(a.verb) || b.suffix != a.suffix) continue;
+      if (a.fields.empty() || b.fields.empty()) continue;
+      for (const std::string& fld : a.fields) {
+        if (b.fields.count(fld)) continue;
+        out.push_back({"wire-asymmetry", fa.src->path, a.line,
+                       "field '" + fld + "' is written by " + a.verb +
+                           a.suffix + " but never read by " + b.verb +
+                           b.suffix + " — the formats have drifted",
+                       ExcerptAt(fa.lx, a.line)});
+      }
+      for (const std::string& fld : b.fields) {
+        if (a.fields.count(fld)) continue;
+        out.push_back({"wire-asymmetry", fa.src->path, b.line,
+                       "field '" + fld + "' is read by " + b.verb + b.suffix +
+                           " but never written by " + a.verb + a.suffix +
+                           " — the formats have drifted",
+                       ExcerptAt(fa.lx, b.line)});
+      }
+    }
+  }
+}
+
+/// Op-sequence symmetry batch-wide: the encode side's ordered primitive
+/// operations must equal the decode side's. Catches varint<->fixed width
+/// changes and reordering that the field-set check cannot see.
+void CheckWireSchema(const Index& idx, std::vector<Finding>& out) {
+  for (const CodecDef& a : idx.codecs) {
+    if (a.verb != "Encode" && a.verb != "Write") continue;
+    if (a.ops.empty()) continue;
+    for (const CodecDef& b : idx.codecs) {
+      if (b.verb != PairVerb(a.verb) || b.suffix != a.suffix) continue;
+      if (b.ops.empty()) continue;
+      const FileCtx& fa = idx.files[a.file];
+      const std::size_t n = std::min(a.ops.size(), b.ops.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (a.ops[i] == b.ops[i]) continue;
+        out.push_back(
+            {"wire-schema", fa.src->path, a.line,
+             "codec pair " + a.suffix + ": operation #" + std::to_string(i + 1) +
+                 " is '" + a.ops[i] + "' on the " + a.verb + " side but '" +
+                 b.ops[i] + "' on the " + b.verb +
+                 " side — wire widths or field order have drifted",
+             ExcerptAt(fa.lx, a.line)});
+        break;  // one finding per pair; later ops are offset anyway
+      }
+      if (a.ops.size() != b.ops.size() &&
+          std::equal(a.ops.begin(), a.ops.begin() + n, b.ops.begin())) {
+        const CodecDef& longer = a.ops.size() > b.ops.size() ? a : b;
+        out.push_back(
+            {"wire-schema", fa.src->path, a.line,
+             "codec pair " + a.suffix + ": " + longer.verb + longer.suffix +
+                 " performs " + std::to_string(longer.ops.size()) +
+                 " wire operations but its counterpart performs " +
+                 std::to_string(std::min(a.ops.size(), b.ops.size())) +
+                 " — a field exists on only one side",
+             ExcerptAt(fa.lx, a.line)});
+      }
+    }
+  }
+}
+
+void CheckMarkers(const Index& idx, std::vector<Finding>& out) {
+  std::vector<MarkerConst> reserved;  // declared in a file named wire.h
+  std::map<std::string, std::vector<MarkerConst>> per_file;
+  for (const MarkerConst& m : idx.markers) {
+    if (Basename(m.file) == "wire.h") reserved.push_back(m);
+    per_file[m.file].push_back(m);
+  }
+  auto excerpt = [&](const std::string& path, int line) -> std::string {
+    for (const FileCtx& f : idx.files)
+      if (f.src->path == path) return ExcerptAt(f.lx, line);
+    return "";
+  };
+  // Same-file duplicate values: two branches of one protocol can never share
+  // a discriminator.
+  for (auto& [path, mcs] : per_file) {
+    for (std::size_t i = 0; i < mcs.size(); ++i)
+      for (std::size_t j = i + 1; j < mcs.size(); ++j)
+        if (mcs[i].value == mcs[j].value) {
+          out.push_back({"wire-dup-marker", path, mcs[j].line,
+                         "marker " + mcs[j].name + " duplicates the value of " +
+                             mcs[i].name + " (line " +
+                             std::to_string(mcs[i].line) + ") in the same file",
+                         excerpt(path, mcs[j].line)});
+        }
+  }
+  // Cross-file: wire.h markers (e.g. the 0x54 trace tail) are appended to
+  // other payloads, so no other protocol byte may collide with them.
+  for (auto& [path, mcs] : per_file) {
+    if (Basename(path) == "wire.h") continue;
+    for (const MarkerConst& m : mcs)
+      for (const MarkerConst& r : reserved)
+        if (m.value == r.value) {
+          out.push_back(
+              {"wire-dup-marker", path, m.line,
+               "marker " + m.name + " collides with " + r.name +
+                   " reserved in wire.h (value " + std::to_string(r.value) +
+                   "): trace tails share the payload space of every message",
+               excerpt(path, m.line)});
+        }
+  }
+}
+
+/// Every `constexpr std::uint8_t kWalXxx = N;` discriminator must have a
+/// `WriteXxxRecord` and a `ReadXxxRecord` function somewhere in the batch
+/// (an identifier followed by `(` — declaration, definition or call all
+/// count). The WAL's replay switch can only dispatch kinds that have a
+/// decoder; a marker with a writer but no reader appends records recovery
+/// cannot apply.
+void CheckWalRecordCoverage(const Index& idx, std::vector<Finding>& out) {
+  for (const MarkerConst& m : idx.markers) {
+    // `kWal` + an uppercase kind name; `kWalrusByte` is not a WAL marker.
+    if (m.name.rfind("kWal", 0) != 0 || m.name.size() <= 4 ||
+        !std::isupper(static_cast<unsigned char>(m.name[4])))
+      continue;
+    const std::string kind = m.name.substr(4);
+    for (const char* verb : {"Write", "Read"}) {
+      const std::string codec = verb + kind + "Record";
+      if (idx.called.count(codec)) continue;
+      std::string excerpt;
+      for (const FileCtx& f : idx.files)
+        if (f.src->path == m.file) excerpt = ExcerptAt(f.lx, m.line);
+      out.push_back(
+          {"wal-record-coverage", m.file, m.line,
+           "WAL record kind " + m.name + " has no " + codec +
+               " in this batch: every kind needs a Write/Read codec pair "
+               "or recovery cannot replay (or ever produce) it",
+           excerpt});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RuleInfo> WireRules() {
+  return {
+      {"wire-asymmetry",
+       "message field encoded but never decoded (or vice versa) in an "
+       "Encode*/Decode* or Write*/Read* pair"},
+      {"wire-dup-marker",
+       "duplicate wire marker byte: two k-constants share a value, or a "
+       "constant collides with a marker reserved in wire.h"},
+      {"wal-record-coverage",
+       "WAL record discriminator (kWal* constant) without a matching "
+       "Write<Kind>Record / Read<Kind>Record codec pair in the batch: a record "
+       "that can be logged but not replayed is silent data loss on recovery"},
+      {"wire-schema",
+       "encode/decode op-sequence drift: the ordered primitive operations "
+       "(varint/u8/string/nested codec) of a codec pair disagree, so the two "
+       "sides parse different byte layouts"},
+  };
+}
+
+void CheckWire(const Index& idx, std::vector<Finding>& out) {
+  CheckWireSymmetry(idx, out);
+  CheckWireSchema(idx, out);
+  CheckMarkers(idx, out);
+  CheckWalRecordCoverage(idx, out);
+}
+
+}  // namespace fargolint
