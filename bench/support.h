@@ -57,8 +57,14 @@ void Row(const char* fmt, Args... args) {
 
 /// A fresh deployment with n cores on a uniform WAN.
 struct World {
+  /// Benches pin the deterministic sim (localities = 0) regardless of
+  /// FARGO_PARALLEL: every gated metric is defined as the single-threaded
+  /// sim's cost, and must not shift when the environment turns the locality
+  /// engine on. Parallel-engine benches (bench_parallel) construct their
+  /// Runtimes with explicit locality counts instead.
   explicit World(int n, SimTime latency = Millis(10),
-                 double bytes_per_sec = 1.25e6) {
+                 double bytes_per_sec = 1.25e6)
+      : rt(core::RuntimeOptions{0}) {
     testing::RegisterTestComlets();
     for (int i = 0; i < n; ++i)
       cores.push_back(&rt.CreateCore("core" + std::to_string(i)));

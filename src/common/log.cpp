@@ -1,11 +1,15 @@
 #include "src/common/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace fargo {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: locality workers check the level on every LogLine; the shell
+// may raise it concurrently only between pumps, but TSan sees the reads.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 const char* LevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kTrace:
@@ -23,11 +27,16 @@ const char* LevelName(LogLevel l) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void Emit(LogLevel level, const std::string& message) {
+  // Serialize whole lines across locality workers.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
   std::fprintf(stderr, "[fargo %s] %s\n", LevelName(level), message.c_str());
 }
 }  // namespace detail

@@ -122,6 +122,7 @@ std::size_t Core::DumpTrace(const std::string& path) const {
 
 ComletRefBase Core::Install(std::shared_ptr<Anchor> anchor,
                             std::uint64_t hint_epoch) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!alive_) throw FargoError("core " + name_ + " is shut down");
   const bool fresh = !anchor->id_.valid();
   if (fresh) anchor->id_ = MintComletId();
@@ -151,6 +152,7 @@ ComletRefBase Core::Install(std::shared_ptr<Anchor> anchor,
 }
 
 ComletRefBase Core::NewRemote(CoreId dest, std::string_view anchor_type) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (dest == id_) {
     auto obj = serial::TypeRegistry::Instance().Create(anchor_type);
     auto anchor = std::dynamic_pointer_cast<Anchor>(obj);
@@ -198,6 +200,7 @@ sim::Future<sim::Unit> Core::MoveAsync(const ComletRefBase& ref, CoreId dest,
 sim::Future<sim::Unit> Core::MoveIdAsync(ComletId target, CoreId dest,
                                          std::string continuation,
                                          std::vector<Value> args) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (repository_.Contains(target)) {
     return movement_->MoveLocalAsync(target, dest, std::move(continuation),
                                      std::move(args));
@@ -228,6 +231,7 @@ MetaRef& Core::GetMetaRef(const ComletRefBase& ref) {
 }
 
 CoreId Core::ResolveLocation(const ComletRefBase& ref) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!ref.bound()) throw FargoError("resolve of an unbound reference");
   return invocation_->Invoke(ref.handle(), kPingMethod, {}).location;
 }
@@ -246,6 +250,7 @@ ComletRefBase Core::RefFromHandle(const ComletHandle& handle, ComletId owner) {
 // ==== naming =================================================================
 
 void Core::BindName(std::string name, const ComletRefBase& ref) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!ref.bound()) throw FargoError("binding a name to an unbound reference");
   if (wal_) {
     wal_->AppendBind(name, ref.handle());
@@ -256,6 +261,7 @@ void Core::BindName(std::string name, const ComletRefBase& ref) {
 
 std::optional<ComletHandle> Core::LookupAt(CoreId where,
                                            const std::string& name) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (where == id_) return naming_.Lookup(name);
   serial::Writer w;
   w.WriteString(name);
@@ -305,6 +311,7 @@ std::shared_ptr<serial::Serializable> Core::MaterializeObject(
 
 Value Core::DispatchLocal(ComletId target, std::string_view method,
                           const std::vector<Value>& args) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   std::shared_ptr<Anchor> anchor = repository_.Get(target);
   if (!anchor)
     throw FargoError("complet " + ToString(target) + " is not hosted at " +
@@ -366,6 +373,7 @@ std::uint64_t Core::NextCorrelation() {
 
 sim::Future<std::vector<std::uint8_t>> Core::SendAsync(
     CoreId to, net::MessageKind kind, std::vector<std::uint8_t> payload) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   auto rpc = std::make_shared<PendingRpc>(scheduler());
   rpc->to = to;
   rpc->kind = kind;
@@ -471,6 +479,7 @@ std::vector<std::uint8_t> Core::SendAndAwait(
 
 void Core::Reply(CoreId to, net::MessageKind kind, std::uint64_t correlation,
                  std::vector<std::uint8_t> payload, net::SessionKey skey) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   // If this answers a request admitted through its session key, remember
   // the reply in the slot so duplicates can be re-answered without
   // re-executing. The cached copy is the at-most-once tax; it is charged
@@ -554,6 +563,7 @@ bool Core::AdmitOnce(const net::Message& msg) {
 }
 
 void Core::Park(ComletId id, net::Message msg, CoreId error_reply_to) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   const std::uint64_t correlation = msg.correlation;
   parked_[id].push_back(std::move(msg));
   // Expiry: if the complet hasn't arrived by then, fail the request as a
@@ -629,6 +639,7 @@ void Core::DrainParked(ComletId id) {
 }
 
 void Core::HandleMessage(net::Message msg) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!alive_) return;
   // A malformed or unexpected message must not unwind into the scheduler:
   // log and drop (the sender's await times out).
@@ -865,6 +876,7 @@ void Core::HandleControl(net::Message msg) {
 }
 
 void Core::SendMoveAck(CoreId dest, std::uint64_t txn) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   serial::Writer w;
   w.WriteU8(kCtrlMoveAck);
   w.WriteVarint(txn);
@@ -914,6 +926,7 @@ void Core::AckSlotDurable(const net::SessionKey& key) {
 }
 
 void Core::SendHeartbeatPing(CoreId peer) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   inst_.hb_pings->Inc();
   serial::Writer w;
   w.WriteU8(kCtrlPing);
@@ -933,6 +946,7 @@ void Core::SendHeartbeatPing(CoreId peer) {
 }
 
 FailureDetector& Core::EnableHeartbeat(SimTime interval, int k_missed) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   detector_ = std::make_unique<FailureDetector>(*this, interval, k_missed);
   return *detector_;
 }
@@ -952,6 +966,7 @@ CoreId Core::LocateViaHome(ComletId id) {
 }
 
 sim::Future<CoreId> Core::LocateViaHomeAsync(ComletId id) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!id.valid() || !directory_->enabled())
     return sim::MakeReadyFuture(scheduler(), CoreId{});
   return directory_->LookupAsync(id).Then(
@@ -959,6 +974,7 @@ sim::Future<CoreId> Core::LocateViaHomeAsync(ComletId id) {
 }
 
 void Core::Crash() {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!alive_) return;
   LogInfo() << "core " << name_ << " CRASHED";
   detector_.reset();  // a dead Core pings nobody
@@ -974,6 +990,7 @@ void Core::Crash() {
 }
 
 void Core::Restart() {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (alive_) return;
   LogInfo() << "core " << name_ << " RESTARTED";
   // Everything volatile is gone: complets, routes, names, caches, parked
@@ -1011,6 +1028,7 @@ void Core::Restart() {
 }
 
 Wal& Core::EnableWal(SimTime checkpoint_interval) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!wal_) {
     wal_ = std::make_unique<Wal>(*this, runtime_.storage(), checkpoint_interval);
     // A Core made durable mid-life starts from a checkpoint of everything
@@ -1066,6 +1084,7 @@ void Core::HandleNewRequest(const net::Message& msg) {
 
 monitor::SubId Core::ListenAt(CoreId where, monitor::EventKind kind,
                               monitor::Listener listener) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   const monitor::SubId token = next_token_++;
   if (where == id_) {
     monitor::SubId sub = events_->Listen(kind, std::move(listener));
@@ -1090,6 +1109,7 @@ monitor::SubId Core::ListenThresholdAt(CoreId where,
                                        monitor::Trigger trigger,
                                        SimTime interval,
                                        monitor::Listener listener) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   const monitor::SubId token = next_token_++;
   if (where == id_) {
     monitor::SubId sub = events_->ListenThreshold(probe, threshold, trigger,
@@ -1113,6 +1133,7 @@ monitor::SubId Core::ListenThresholdAt(CoreId where,
 }
 
 void Core::UnlistenAt(monitor::SubId token) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   auto it = remote_subs_.find(token);
   if (it == remote_subs_.end()) return;
   RemoteSub sub = std::move(it->second);
@@ -1134,6 +1155,7 @@ void Core::UnlistenAt(monitor::SubId token) {
 // ==== shutdown ================================================================
 
 void Core::Shutdown(SimTime grace) {
+  sim::Scheduler::AffinityScope aff(id_.value);
   if (!alive_) return;
   LogInfo() << "core " << name_ << " shutting down (grace "
             << ToMillis(grace) << " ms)";

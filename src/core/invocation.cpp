@@ -42,6 +42,7 @@ InvokeResult InvocationUnit::Invoke(const ComletHandle& handle,
 sim::Future<InvokeResult> InvocationUnit::InvokeAsync(
     const ComletHandle& handle, std::string_view method,
     std::vector<Value> args) {
+  sim::Scheduler::AffinityScope aff(core_.id().value);
   const std::string m(method);
   // Without the home registry the fallback below could never produce a
   // better route (LocateViaHomeAsync answers "unknown"), so don't pay for
@@ -119,6 +120,10 @@ sim::Future<InvokeResult> InvocationUnit::StartCall(
 }
 
 void InvocationUnit::DispatchLocalCall(const std::shared_ptr<AsyncCall>& call) {
+  if (call->req.method == kMoveMethod) {
+    DispatchLocalMove(call);
+    return;
+  }
   try {
     core_.inst_.execs->Inc();
     Value v;
@@ -405,6 +410,7 @@ void InvocationUnit::FinalizeError(const std::shared_ptr<AsyncCall>& call,
 
 void InvocationUnit::Post(const ComletHandle& handle, std::string_view method,
                           std::vector<Value> args) {
+  sim::Scheduler::AffinityScope aff(core_.id().value);
   TrackerEntry& entry = core_.trackers().Ensure(handle);
   if (entry.is_local()) {
     // Asynchronous even locally: dispatched as a scheduled task, like the
@@ -611,12 +617,6 @@ void InvocationUnit::ForwardRequest(wire::InvokeRequest rq,
 void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
                                      std::uint64_t correlation,
                                      const net::SessionKey& skey) {
-  // NOTE: a routed __fargo.move dispatches into the synchronous MoveLocal
-  // here, which pumps (the executor blocks its "thread" like the paper's
-  // per-request thread). That is deliberate: the move settles — commit or
-  // rollback — before this handler returns, so a synchronous caller that
-  // observes the command failing can rely on the complet existing in
-  // *some* repository. Only the RPC machinery itself is no-pump.
   monitor::Tracer& tracer = core_.tracer();
   const SimTime begin = core_.scheduler().Now();
   const int hops = static_cast<int>(rq.path.size()) + 1;
@@ -624,6 +624,15 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
       tracer.OpenSpan(monitor::SpanKind::kExec, rq.method, rq.trace, begin,
                       rq.trace.retry);
   core_.inst_.execs->Inc();
+  // A routed __fargo.move must not dispatch into the synchronous MoveLocal:
+  // that pumps the scheduler from inside the executor handler, and handlers
+  // are non-blocking state machines (a worker pump would deadlock the
+  // FARGO_PARALLEL round barrier). The move runs async; its reply — and the
+  // at-most-once bookkeeping — ride the settle continuation.
+  if (rq.method == kMoveMethod) {
+    ExecuteMoveAndReply(rq, correlation, skey, exec, hops);
+    return;
+  }
   if (rq.oneway) {
     // Reply-less flow: execute, mark the slot complete (with an empty
     // cached reply — duplicates are dropped, not re-answered) and still
@@ -694,6 +703,129 @@ void InvocationUnit::ExecuteAndReply(const wire::InvokeRequest& rq,
 
   // ...and shorten the whole chain (§3.1).
   SendShorteningUpdates(rq, exec.ctx);
+}
+
+sim::Future<sim::Unit> InvocationUnit::StartLocalMove(
+    const wire::InvokeRequest& rq, const wire::TraceContext& ctx) {
+  // Marshal + transition happen synchronously inside MoveLocalAsync, so
+  // invocations racing the stream park immediately; the returned future
+  // settles once the destination acknowledges (or the move rolls back).
+  try {
+    if (!core_.repository().Contains(rq.handle.id))
+      throw FargoError("complet " + ToString(rq.handle.id) +
+                       " is not hosted at " + core_.name());
+    CoreId dest{static_cast<std::uint32_t>(rq.args.at(0).AsInt())};
+    std::string continuation = rq.args.at(1).AsString();
+    std::vector<Value> cont_args = rq.args.at(2).AsList();
+    monitor::TraceScope scope(core_.tracer(), ctx);
+    return core_.movement().MoveLocalAsync(
+        rq.handle.id, dest, std::move(continuation), std::move(cont_args));
+  } catch (const UnreachableError& e) {
+    return sim::MakeErrorFuture<sim::Unit>(core_.scheduler(), e);
+  } catch (const std::exception& e) {
+    return sim::MakeErrorFuture<sim::Unit>(core_.scheduler(),
+                                           FargoError(e.what()));
+  }
+}
+
+void InvocationUnit::DispatchLocalMove(const std::shared_ptr<AsyncCall>& call) {
+  core_.inst_.execs->Inc();
+  sim::Future<sim::Unit> moved = StartLocalMove(call->req, call->root.ctx);
+  // No extra WAL barrier here (unlike the generic local dispatch): the
+  // movement protocol's own commit barriers gate the settle, so a resolved
+  // future already means the departure is as durable as this Core gets.
+  moved.OnSettle(
+      // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+      [this, call](sim::Future<sim::Unit> f) {
+        if (f.ok()) {
+          FinalizeOk(call, InvokeResult{Value(), core_.id(), 0});
+          return;
+        }
+        try {
+          f.Take();
+        } catch (const UnreachableError&) {
+          FinalizeError(call, std::current_exception(),
+                        monitor::SpanOutcome::kTransportError);
+        } catch (...) {
+          FinalizeError(call, std::current_exception(),
+                        monitor::SpanOutcome::kAppError);
+        }
+      });
+}
+
+void InvocationUnit::ExecuteMoveAndReply(const wire::InvokeRequest& rq,
+                                         std::uint64_t correlation,
+                                         const net::SessionKey& skey,
+                                         const monitor::Tracer::Opened& exec,
+                                         int hops) {
+  sim::Future<sim::Unit> moved = StartLocalMove(rq, exec.ctx);
+  const std::uint64_t epoch_guard = core_.restart_epoch();
+  moved.OnSettle(
+      // fargolint: allow(capture-this) the unit lives inside its Core, which outlives the cleared event queue
+      [this, rq, correlation, skey, exec, hops,
+       epoch_guard](sim::Future<sim::Unit> f) {
+        if (!core_.alive() || core_.restart_epoch() != epoch_guard) return;
+        monitor::Tracer& tracer = core_.tracer();
+        std::string error;
+        if (!f.ok()) {
+          try {
+            f.Take();
+          } catch (const std::exception& e) {
+            error = e.what();
+          } catch (...) {
+            error = "move failed";
+          }
+        }
+        if (rq.oneway) {
+          // Reply-less flow, same contract as the generic oneway branch:
+          // complete the slot, log the exec record, ack, shorten; a failed
+          // move dies here with a log line.
+          tracer.CloseSpan(exec.token, core_.scheduler().Now(),
+                           f.ok() ? monitor::SpanOutcome::kOk
+                                  : monitor::SpanOutcome::kAppError,
+                           hops);
+          if (!f.ok())
+            LogWarn() << "one-way invocation of " << rq.method
+                      << " failed: " << error;
+          core_.replay().Complete(skey, net::MessageKind::kInvokeReply, {});
+          if (Wal* wal = core_.wal(); wal != nullptr && !wal->replaying())
+            wal->AppendExec(skey, net::MessageKind::kInvokeReply, {});
+          core_.AckSlotDurable(skey);
+          SendShorteningUpdates(rq, exec.ctx);
+          return;
+        }
+        if (!f.ok()) {
+          tracer.CloseSpan(exec.token, core_.scheduler().Now(),
+                           monitor::SpanOutcome::kAppError, hops);
+          serial::Writer err;
+          err.WriteBool(false);  // not ok
+          err.WriteBool(false);  // application error: the move DID run
+          err.WriteString(error);
+          wire::WriteTraceTail(err, exec.ctx);
+          core_.Reply(rq.origin, net::MessageKind::kInvokeReply, correlation,
+                      err.Take(), skey);
+          return;
+        }
+        serial::Writer w;
+        wire::WriteOk(w);
+        serial::WriteValue(w, Value());
+        wire::WriteCoreId(w, core_.id());
+        w.WriteVarint(rq.path.size() + 1);
+        // The move just sent the target away: the tracker entry is no longer
+        // local, so the hint rides unstamped (epoch 0) and cannot outrank
+        // the movement's own directory publish — same rule as the generic
+        // path's post-dispatch stamp.
+        {
+          const TrackerEntry* te = core_.trackers().Find(rq.handle.id);
+          w.WriteVarint(te != nullptr && te->is_local() ? te->hint_epoch : 0);
+        }
+        wire::WriteTraceTail(w, exec.ctx);
+        tracer.CloseSpan(exec.token, core_.scheduler().Now(),
+                         monitor::SpanOutcome::kOk, hops);
+        core_.Reply(rq.origin, net::MessageKind::kInvokeReply, correlation,
+                    w.Take(), skey);
+        SendShorteningUpdates(rq, exec.ctx);
+      });
 }
 
 void InvocationUnit::SendShorteningUpdates(const wire::InvokeRequest& rq,

@@ -129,6 +129,15 @@ class InvocationUnit {
                                       std::vector<Value> args);
 
   void DispatchLocalCall(const std::shared_ptr<AsyncCall>& call);
+  /// Origin-side twin of ExecuteMoveAndReply: a kMoveMethod call whose
+  /// target is hosted right here runs through MoveLocalAsync and settles
+  /// from the continuation (never via DispatchLocal's synchronous MoveLocal,
+  /// which pumps).
+  void DispatchLocalMove(const std::shared_ptr<AsyncCall>& call);
+  /// Decodes a routed __fargo.move request and starts the movement; decode
+  /// errors and a vanished target come back as a rejected future.
+  sim::Future<sim::Unit> StartLocalMove(const wire::InvokeRequest& rq,
+                                        const wire::TraceContext& ctx);
   void AwaitRoute(const std::shared_ptr<AsyncCall>& call, SimTime deadline);
   void ResumeAfterRoute(const std::shared_ptr<AsyncCall>& call,
                         SimTime deadline);
@@ -164,6 +173,15 @@ class InvocationUnit {
   void ExecuteAndReply(const wire::InvokeRequest& rq,
                        std::uint64_t correlation,
                        const net::SessionKey& skey);
+  /// Executor side of a routed __fargo.move: runs the movement through
+  /// MoveLocalAsync and sends the reply (or the oneway slot bookkeeping)
+  /// from its settle continuation. Executor handlers are non-blocking state
+  /// machines — under FARGO_PARALLEL a nested pump inside a locality worker
+  /// would deadlock the round barrier — so the move must not block here.
+  void ExecuteMoveAndReply(const wire::InvokeRequest& rq,
+                           std::uint64_t correlation,
+                           const net::SessionKey& skey,
+                           const monitor::Tracer::Opened& exec, int hops);
   void SendShorteningUpdates(const wire::InvokeRequest& rq,
                              const wire::TraceContext& ctx);
 

@@ -157,6 +157,7 @@ sim::Future<sim::Unit> MovementUnit::MoveLocalAsync(ComletId primary,
                                                     CoreId dest,
                                                     std::string continuation,
                                                     std::vector<Value> args) {
+  sim::Scheduler::AffinityScope aff(core_.id().value);
   sim::Scheduler& sched = core_.scheduler();
   std::shared_ptr<Anchor> anchor = core_.repository().Get(primary);
   if (!anchor)

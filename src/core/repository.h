@@ -34,6 +34,12 @@ class Repository {
   /// The Core's "complet load" (§4.1 completLoad profiling service).
   std::size_t size() const { return anchors_.size(); }
 
+  /// Drops every hosted complet. Runtime teardown calls this for all Cores
+  /// before any Core is destroyed: a hosted complet may hold references
+  /// bound to a sibling Core, and releasing it here keeps those stubs from
+  /// unregistering against an already-destroyed Core.
+  void Clear() { anchors_.clear(); }
+
  private:
   std::unordered_map<ComletId, std::shared_ptr<Anchor>> anchors_;
 };

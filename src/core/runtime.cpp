@@ -1,15 +1,36 @@
 #include "src/core/runtime.h"
 
+#include <cstdlib>
 #include <fstream>
 
 #include "src/core/core.h"
 #include "src/core/relocator.h"
 #include "src/monitor/trace.h"
 #include "src/serial/bytes.h"
+#include "src/sim/parallel_sched.h"
 
 namespace fargo::core {
 
-Runtime::Runtime() : network_(scheduler_) {
+namespace {
+/// Engine selection (RuntimeOptions::localities). -1 defers to the
+/// FARGO_PARALLEL environment variable; 0 (or unset/garbage env) is the
+/// deterministic sim; N ≥ 1 spins up the locality engine.
+std::unique_ptr<sim::Scheduler> MakeScheduler(int localities) {
+  if (localities < 0) {
+    localities = 0;
+    if (const char* env = std::getenv("FARGO_PARALLEL"))
+      localities = std::atoi(env);
+    if (localities < 0) localities = 0;
+  }
+  if (localities == 0) return std::make_unique<sim::SimScheduler>();
+  return std::make_unique<sim::ParallelScheduler>(localities);
+}
+}  // namespace
+
+Runtime::Runtime() : Runtime(RuntimeOptions{}) {}
+
+Runtime::Runtime(const RuntimeOptions& options)
+    : scheduler_(MakeScheduler(options.localities)), network_(*scheduler_) {
   RegisterBuiltinRelocators();
   // Scheduled chaos crashes (FaultPlan::crashes) take down the whole Core,
   // not just its network registration.
@@ -41,7 +62,7 @@ Runtime::Runtime() : network_(scheduler_) {
   synced_regrow_bytes_ = at_boot.bytes_copied;
   // Max-gauge of scheduler pump nesting: the async invocation pipeline keeps
   // this at 1; anything deeper means a blocking wait re-entered the pump.
-  scheduler_.SetPumpObserver(
+  scheduler_->SetPumpObserver(
       [&depth = metrics_.gauge("sched.pump_depth")](int d) {
         if (d > static_cast<int>(depth.value())) depth.Set(d);
       });
@@ -51,7 +72,12 @@ Runtime::~Runtime() {
   // Pending events may hold complet references (periodic tasks, parked
   // notifications); destroy them while the Cores they point into are
   // still alive.
-  scheduler_.Clear();
+  scheduler_->Clear();
+  // Same hazard one layer down: a hosted complet may itself hold references
+  // bound to a sibling Core (common after movement, where the final host
+  // depends on the run). Cores are destroyed in creation order, so release
+  // every repository while all Cores are still alive.
+  for (auto& core : cores_) core->repository().Clear();
 }
 
 void Runtime::EnableDirectory(std::vector<CoreId> owners,
@@ -71,6 +97,8 @@ bool Runtime::AdoptShardMap(const ShardMap& map) {
 
 Core& Runtime::CreateCore(std::string name) {
   const CoreId id{++next_core_id_};
+  // Anything the Core schedules at boot belongs on its home locality.
+  sim::Scheduler::AffinityScope aff(id.value);
   cores_.push_back(std::make_unique<Core>(*this, id, std::move(name)));
   return *cores_.back();
 }
@@ -118,6 +146,22 @@ void Runtime::SyncSerialStats() {
       .Inc(now.bytes_copied - synced_regrow_bytes_);
   synced_allocations_ = now.allocations;
   synced_regrow_bytes_ = now.bytes_copied;
+  // Locality-engine telemetry. Only touched in parallel mode so sim-mode
+  // metric dumps (and their gated fingerprints) are byte-identical to
+  // before the engine existed.
+  if (auto* p = dynamic_cast<sim::ParallelScheduler*>(scheduler_.get())) {
+    const sim::ParallelScheduler::Telemetry t = p->telemetry();
+    metrics_.counter("locality.handoffs").Inc(t.handoffs - synced_handoffs_);
+    metrics_.counter("locality.handoff_overflows")
+        .Inc(t.overflows - synced_overflows_);
+    metrics_.counter("locality.rounds").Inc(t.rounds - synced_rounds_);
+    metrics_.counter("locality.steals").Inc(t.steals);  // strict affinity: 0
+    auto& depth = metrics_.gauge("locality.queue_depth");
+    if (t.max_queue_depth > depth.value()) depth.Set(t.max_queue_depth);
+    synced_handoffs_ = t.handoffs;
+    synced_overflows_ = t.overflows;
+    synced_rounds_ = t.rounds;
+  }
 }
 
 std::size_t Runtime::DumpTrace(const std::string& path) const {

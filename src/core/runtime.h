@@ -21,10 +21,20 @@
 
 namespace fargo::core {
 
+/// Deployment knobs. `localities` selects the execution engine:
+///   -1 — honor the FARGO_PARALLEL environment variable (default);
+///    0 — deterministic single-threaded sim (SimScheduler);
+///    N — N locality worker threads (ParallelScheduler), Cores assigned
+///        by `core.id % N` (DESIGN.md §localities).
+struct RuntimeOptions {
+  int localities = -1;
+};
+
 // fargo: domain(core)
 class Runtime {
  public:
   Runtime();
+  explicit Runtime(const RuntimeOptions& options);
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
   ~Runtime();
@@ -39,7 +49,9 @@ class Runtime {
   /// !alive()).
   std::vector<Core*> Cores() const;
 
-  sim::Scheduler& scheduler() { return scheduler_; }
+  sim::Scheduler& scheduler() { return *scheduler_; }
+  /// Locality worker threads (0 = deterministic single-threaded sim).
+  int localities() const { return scheduler_->localities(); }
   net::Network& network() { return network_; }
   /// The deployment's durable storage model: per-Core WALs and checkpoint
   /// blobs live here (Core::EnableWal).
@@ -96,13 +108,13 @@ class Runtime {
   bool AdoptShardMap(const ShardMap& map);
 
   /// Convenience pumps for drivers/tests.
-  void RunFor(SimTime d) { scheduler_.RunFor(d); }
-  void RunUntilIdle() { scheduler_.RunUntilIdle(); }
-  SimTime Now() const { return scheduler_.Now(); }
+  void RunFor(SimTime d) { scheduler_->RunFor(d); }
+  void RunUntilIdle() { scheduler_->RunUntilIdle(); }
+  SimTime Now() const { return scheduler_->Now(); }
 
  private:
-  sim::Scheduler scheduler_;
-  sim::Storage storage_{scheduler_};
+  std::unique_ptr<sim::Scheduler> scheduler_;  ///< engine per RuntimeOptions
+  sim::Storage storage_{*scheduler_};
   monitor::Registry metrics_;  ///< before network_: the drop hook refers here
   net::Network network_;
   std::vector<std::unique_ptr<Core>> cores_;
@@ -114,6 +126,11 @@ class Runtime {
   /// stats are process-global, the registry is per-Runtime.
   std::uint64_t synced_allocations_ = 0;
   std::uint64_t synced_regrow_bytes_ = 0;
+  /// ParallelScheduler telemetry already folded into `locality.*` (only
+  /// touched in parallel mode, so sim-mode metric dumps are unchanged).
+  std::uint64_t synced_handoffs_ = 0;
+  std::uint64_t synced_overflows_ = 0;
+  std::uint64_t synced_rounds_ = 0;
 };
 
 }  // namespace fargo::core

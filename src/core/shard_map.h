@@ -105,6 +105,9 @@ inline ShardMap ReadShardMap(serial::Reader& r) {
   m.version = r.ReadVarint();
   m.vnodes = static_cast<std::uint32_t>(r.ReadVarint());
   std::uint64_t n = r.ReadVarint();
+  // Each owner id is at least one wire byte; a longer claim is corrupt.
+  if (n > r.remaining())
+    throw serial::SerialError("corrupt shard-map owner count");
   m.owners.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     CoreId owner;

@@ -97,6 +97,10 @@ inline void WriteCoreList(serial::Writer& w, const std::vector<CoreId>& ids) {
 }
 inline std::vector<CoreId> ReadCoreList(serial::Reader& r) {
   std::uint64_t n = r.ReadVarint();
+  // Every encoded id occupies at least one byte, so a declared count past
+  // the remaining payload is corrupt; reject it before reserve() turns an
+  // attacker-controlled length into a giant allocation.
+  if (n > r.remaining()) throw serial::SerialError("corrupt core-list length");
   std::vector<CoreId> ids;
   ids.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) ids.push_back(ReadCoreId(r));
@@ -110,6 +114,7 @@ inline void WriteComletList(serial::Writer& w,
 }
 inline std::vector<ComletId> ReadComletList(serial::Reader& r) {
   std::uint64_t n = r.ReadVarint();
+  if (n > r.remaining()) throw serial::SerialError("corrupt comlet-list length");
   std::vector<ComletId> ids;
   ids.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) ids.push_back(ReadComletId(r));

@@ -30,17 +30,22 @@ const char* ToString(DropReason reason) {
   return "?";
 }
 
-double ChaosEngine::Armed::NextUnit() {
+double ChaosEngine::Armed::NextUnit(std::uint64_t link_key) {
+  auto [it, fresh] = streams.try_emplace(link_key, 0);
+  if (fresh) {
+    // Decorrelate nearby link keys by running one mix round over the
+    // (seed, link) combination before the stream's first draw.
+    std::uint64_t s = plan.seed ^ link_key;
+    it->second = NextState(s);
+  }
   // 53 uniform bits -> [0, 1), exactly representable.
-  return static_cast<double>(NextState(state) >> 11) * 0x1.0p-53;
+  return static_cast<double>(NextState(it->second) >> 11) * 0x1.0p-53;
 }
 
-void ChaosEngine::Arm(const FaultPlan& plan) {
-  global_ = Armed{plan, plan.seed};
-}
+void ChaosEngine::Arm(const FaultPlan& plan) { global_ = Armed{plan}; }
 
 void ChaosEngine::ArmLink(CoreId from, CoreId to, const FaultPlan& plan) {
-  links_[LinkKey(from, to)] = Armed{plan, plan.seed};
+  links_[LinkKey(from, to)] = Armed{plan};
 }
 
 void ChaosEngine::Disarm() {
@@ -59,20 +64,21 @@ ChaosEngine::Verdict ChaosEngine::Decide(CoreId from, CoreId to) {
   Armed* armed = PlanFor(from, to);
   if (armed == nullptr || !armed->plan.probabilistic()) return v;
   const FaultPlan& plan = armed->plan;
-  if (plan.drop > 0.0 && armed->NextUnit() < plan.drop) {
+  const std::uint64_t link = LinkKey(from, to);
+  if (plan.drop > 0.0 && armed->NextUnit(link) < plan.drop) {
     v.drop = true;
     ++stats_.drops;
     return v;
   }
-  if (plan.duplicate > 0.0 && armed->NextUnit() < plan.duplicate) {
+  if (plan.duplicate > 0.0 && armed->NextUnit(link) < plan.duplicate) {
     v.copies = 2;
     ++stats_.duplicates;
   }
   if (plan.reorder > 0.0 && plan.reorder_jitter > 0) {
     for (int i = 0; i < v.copies; ++i) {
-      if (armed->NextUnit() < plan.reorder) {
+      if (armed->NextUnit(link) < plan.reorder) {
         v.extra[i] = static_cast<SimTime>(std::llround(
-            armed->NextUnit() * static_cast<double>(plan.reorder_jitter)));
+            armed->NextUnit(link) * static_cast<double>(plan.reorder_jitter)));
         ++stats_.reorders;
       }
     }

@@ -4,9 +4,13 @@
 // network; the seed network could only flip links up/down by hand. A
 // FaultPlan — armed globally or per directed link — injects probabilistic
 // message drop, duplication and reordering (bounded extra-latency jitter),
-// plus *scheduled* link flaps and Core crashes. All randomness comes from a
-// per-plan splitmix64 stream drawn in Send() order, so two runs with the
-// same seed produce byte-identical schedules (the tests rely on this).
+// plus *scheduled* link flaps and Core crashes. All randomness comes from
+// per-directed-link splitmix64 streams, each seeded from (plan seed, link)
+// and drawn in that link's Send() order. A directed link has exactly one
+// sender Core — one locality — so the draw order per stream is the same
+// under the deterministic sim and under FARGO_PARALLEL, and two runs with
+// the same seed produce byte-identical fault schedules in either mode
+// (the tests and the sim-vs-parallel equivalence gate rely on this).
 #pragma once
 
 #include <cstdint>
@@ -98,8 +102,11 @@ class ChaosEngine {
  private:
   struct Armed {
     FaultPlan plan;
-    std::uint64_t state = 0;  ///< splitmix64 stream state
-    double NextUnit();        ///< next draw in [0, 1)
+    /// Per-directed-link splitmix64 stream states, lazily seeded from
+    /// (plan.seed, link key). Keeping the streams independent makes each
+    /// link's fate a pure function of its own message sequence.
+    std::unordered_map<std::uint64_t, std::uint64_t> streams;
+    double NextUnit(std::uint64_t link_key);  ///< next draw in [0, 1)
   };
 
   static std::uint64_t LinkKey(CoreId from, CoreId to) {

@@ -110,7 +110,12 @@ void Formation::Flush(const LaneKey& key) {
 }
 
 void Formation::FlushAll() {
-  while (!queues_.empty()) Flush(queues_.begin()->first);
+  while (!queues_.empty()) {
+    // Copy: Flush erases the node this key lives in, then still reads it
+    // (destination, lane, flush hook).
+    LaneKey key = queues_.begin()->first;
+    Flush(key);
+  }
 }
 
 void Formation::Discard() {

@@ -56,31 +56,44 @@ const char* ToString(MessageKind kind) {
 }
 
 void Network::Register(CoreId id, Handler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
   handlers_[id] = std::move(handler);
 }
 
-void Network::Unregister(CoreId id) { handlers_.erase(id); }
+void Network::Unregister(CoreId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  handlers_.erase(id);
+}
 
 void Network::SetLink(CoreId a, CoreId b, LinkModel model) {
+  std::lock_guard<std::mutex> lk(mu_);
   links_[Key(a, b)] = model;
   links_[Key(b, a)] = model;
 }
 
 void Network::SetLinkOneWay(CoreId from, CoreId to, LinkModel model) {
+  std::lock_guard<std::mutex> lk(mu_);
   links_[Key(from, to)] = model;
 }
 
-LinkModel Network::GetLink(CoreId from, CoreId to) const {
+LinkModel Network::GetLinkLocked(CoreId from, CoreId to) const {
   if (from == to) return LinkModel{.latency = 0, .bytes_per_sec = 1e12};
   if (auto it = links_.find(Key(from, to)); it != links_.end())
     return it->second;
   return default_link_;
 }
 
+LinkModel Network::GetLink(CoreId from, CoreId to) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return GetLinkLocked(from, to);
+}
+
 void Network::SetPartitioned(CoreId a, CoreId b, bool partitioned) {
-  LinkModel m = GetLink(a, b);
+  std::lock_guard<std::mutex> lk(mu_);
+  LinkModel m = GetLinkLocked(a, b);
   m.up = !partitioned;
-  SetLink(a, b, m);
+  links_[Key(a, b)] = m;
+  links_[Key(b, a)] = m;
 }
 
 void Network::CountDrop(const Message& msg, DropReason reason) {
@@ -92,26 +105,38 @@ void Network::CountDrop(const Message& msg, DropReason reason) {
 }
 
 void Network::Deliver(Message msg) {
-  auto it = handlers_.find(msg.to);
-  if (it == handlers_.end()) {
-    CountDrop(msg, DropReason::kUnregistered);
-    return;
+  // Copy the handler out so it runs unlocked: handlers re-enter Send and
+  // may Unregister themselves (crash paths).
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) {
+      CountDrop(msg, DropReason::kUnregistered);
+      return;
+    }
+    handler = it->second;
   }
-  it->second(std::move(msg));
+  handler(std::move(msg));
 }
 
 void Network::Send(Message msg) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (tap_) tap_(msg);
+  // Delivery is Post()ed to the destination Core's home locality: the
+  // receive handler touches that Core's ownership domain, so this is the
+  // sanctioned cross-locality handoff (a no-op routing hint in sim mode).
+  const std::uint64_t dest_affinity = msg.to.value;
   if (msg.from == msg.to) {
     // Intra-Core loopback: free, excluded from link statistics, and immune
     // to chaos (a Core always reaches itself).
     // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
-    sched_.ScheduleAfter(0, [this, msg = std::move(msg)]() mutable {
+    sched_.PostAfter(dest_affinity, 0, [this, msg = std::move(msg)]() mutable {
       Deliver(std::move(msg));
     });
     return;
   }
-  const LinkModel link = GetLink(msg.from, msg.to);
+  const LinkModel link = GetLinkLocked(msg.from, msg.to);
   if (!link.up) {
     CountDrop(msg, DropReason::kLinkDown);
     return;
@@ -138,17 +163,22 @@ void Network::Send(Message msg) {
     const bool duplicate = i + 1 < fate.copies;
     if (duplicate && copy_hook_) copy_hook_(msg.size());
     Message copy = duplicate ? msg : std::move(msg);
-    sched_.ScheduleAfter(arrival_delay,
-                         // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
-                         [this, m = std::move(copy)]() mutable {
-                           Deliver(std::move(m));
-                         });
+    sched_.PostAfter(dest_affinity, arrival_delay,
+                     // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
+                     [this, m = std::move(copy)]() mutable {
+                       Deliver(std::move(m));
+                     });
   }
 }
 
 void Network::SetFaultPlan(const FaultPlan& plan) {
-  chaos_.Arm(plan);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    chaos_.Arm(plan);
+  }
   for (const FaultPlan::LinkFlap& flap : plan.flaps) {
+    // Flaps only touch lock-guarded link state, so any locality may run
+    // them; ScheduleAt keeps them on the caller's (or default) locality.
     // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
     sched_.ScheduleAt(flap.down_at, [this, flap] {
       SetPartitioned(flap.a, flap.b, true);
@@ -161,35 +191,50 @@ void Network::SetFaultPlan(const FaultPlan& plan) {
     }
   }
   for (const FaultPlan::CoreCrash& crash : plan.crashes) {
+    // Crash/restart handlers tear into the Core itself, so they must run
+    // on the Core's home locality.
     // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
-    sched_.ScheduleAt(crash.at, [this, core = crash.core] {
-      if (crash_handler_) {
-        crash_handler_(core);
+    sched_.Post(crash.core.value, crash.at, [this, core = crash.core] {
+      std::function<void(CoreId)> handler;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        handler = crash_handler_;
+      }
+      if (handler) {
+        handler(core);
       } else {
         Unregister(core);
       }
     });
     if (crash.restart_after > 0) {
-      sched_.ScheduleAt(crash.at + crash.restart_after,
-                        // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
-                        [this, core = crash.core] {
-                          if (restart_handler_) restart_handler_(core);
-                        });
+      sched_.Post(crash.core.value, crash.at + crash.restart_after,
+                  // fargolint: allow(capture-this) Runtime clears the queue before the Network dies
+                  [this, core = crash.core] {
+                    std::function<void(CoreId)> handler;
+                    {
+                      std::lock_guard<std::mutex> lk(mu_);
+                      handler = restart_handler_;
+                    }
+                    if (handler) handler(core);
+                  });
     }
   }
 }
 
 void Network::SetLinkFaultPlan(CoreId from, CoreId to, const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lk(mu_);
   chaos_.ArmLink(from, to, plan);
 }
 
 std::uint64_t Network::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::uint64_t sum = 0;
   for (std::uint64_t n : dropped_by_) sum += n;
   return sum;
 }
 
 LinkStats Network::StatsBetween(CoreId from, CoreId to) const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (auto it = stats_.find(Key(from, to)); it != stats_.end())
     return it->second;
   return LinkStats{};
@@ -197,6 +242,7 @@ LinkStats Network::StatsBetween(CoreId from, CoreId to) const {
 
 std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>>
 Network::AllLinkStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>> out;
   out.reserve(stats_.size());
   // fargolint: order-insensitive(rows are sorted by link pair before return)
@@ -212,6 +258,7 @@ Network::AllLinkStats() const {
 }
 
 void Network::ResetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
   stats_.clear();
   total_ = LinkStats{};
   for (std::uint64_t& n : dropped_by_) n = 0;

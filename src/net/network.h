@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -93,6 +94,13 @@ struct LinkStats {
 
 /// The deterministic message fabric. Cores register a handler; Send()
 /// charges the link model and schedules delivery on the shared scheduler.
+///
+/// Thread safety (FARGO_PARALLEL): the fabric is the one shared artery
+/// between localities, so every mutable field is guarded by one mutex.
+/// Send() may be called from any locality; delivery is Post()ed to the
+/// *destination* Core's home locality, which is how a message crosses an
+/// ownership-domain boundary without ever touching foreign Core state
+/// directly. Handlers are invoked outside the lock (they re-enter Send).
 // fargo: domain(net)
 class Network {
  public:
@@ -106,21 +114,30 @@ class Network {
   void Register(CoreId id, Handler handler);
   /// Detaches a Core; in-flight messages to it are dropped on arrival.
   void Unregister(CoreId id);
-  bool IsRegistered(CoreId id) const { return handlers_.contains(id); }
+  bool IsRegistered(CoreId id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return handlers_.contains(id);
+  }
 
   /// Sets the link model in both directions between `a` and `b`.
   void SetLink(CoreId a, CoreId b, LinkModel model);
   /// Sets a single direction only (asymmetric links).
   void SetLinkOneWay(CoreId from, CoreId to, LinkModel model);
   /// Model used for pairs without an explicit link.
-  void SetDefaultLink(LinkModel model) { default_link_ = model; }
+  void SetDefaultLink(LinkModel model) {
+    std::lock_guard<std::mutex> lk(mu_);
+    default_link_ = model;
+  }
   /// Effective model for the directed pair.
   LinkModel GetLink(CoreId from, CoreId to) const;
   /// Cuts or restores both directions.
   void SetPartitioned(CoreId a, CoreId b, bool partitioned);
 
   /// Fixed framing overhead charged per message (default 64 bytes).
-  void SetHeaderBytes(std::size_t n) { header_bytes_ = n; }
+  void SetHeaderBytes(std::size_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    header_bytes_ = n;
+  }
 
   /// Sends `msg`; delivery is scheduled per the link model. Messages on a
   /// down link or to an unregistered Core are counted as dropped.
@@ -128,21 +145,32 @@ class Network {
 
   /// Observability tap: invoked for every message at send time (before
   /// drop/delivery decisions). Used by protocol tests and debug tooling.
+  /// Runs under the fabric lock — serialized across localities, so a tap
+  /// may append to plain containers; it must not call back into Network.
   using Tap = std::function<void(const Message&)>;
-  void SetTap(Tap tap) { tap_ = std::move(tap); }
+  void SetTap(Tap tap) {
+    std::lock_guard<std::mutex> lk(mu_);
+    tap_ = std::move(tap);
+  }
 
   /// Drop hook: invoked for every dropped message, after the per-reason
   /// counters update. Keeps the Network monitor-agnostic — the Runtime
   /// installs a hook that feeds the metrics registry.
   using DropHook = std::function<void(const Message&, DropReason)>;
-  void SetDropHook(DropHook hook) { drop_hook_ = std::move(hook); }
+  void SetDropHook(DropHook hook) {
+    std::lock_guard<std::mutex> lk(mu_);
+    drop_hook_ = std::move(hook);
+  }
 
   /// Copy hook: invoked with the payload size whenever the fabric must
   /// duplicate a message instead of moving it (chaos duplication is the
   /// only such site — the normal Send → chaos → link queue → Deliver path
   /// moves the payload end to end). Feeds `net.bytes_copied`.
   using CopyHook = std::function<void(std::size_t)>;
-  void SetCopyHook(CopyHook hook) { copy_hook_ = std::move(hook); }
+  void SetCopyHook(CopyHook hook) {
+    std::lock_guard<std::mutex> lk(mu_);
+    copy_hook_ = std::move(hook);
+  }
 
   // -- fault injection -------------------------------------------------------
   /// Arms `plan` for every directed link and schedules its flaps/crashes.
@@ -154,24 +182,38 @@ class Network {
   void SetLinkFaultPlan(CoreId from, CoreId to, const FaultPlan& plan);
   /// Disarms all probabilistic fault plans. Already-scheduled flaps and
   /// crashes still fire.
-  void ClearFaults() { chaos_.Disarm(); }
+  void ClearFaults() {
+    std::lock_guard<std::mutex> lk(mu_);
+    chaos_.Disarm();
+  }
+  /// Direct chaos-engine access (tests, between pumps only in parallel
+  /// mode — the engine itself is guarded by the fabric lock during Send).
   ChaosEngine& chaos() { return chaos_; }
   void SetCrashHandler(std::function<void(CoreId)> handler) {
+    std::lock_guard<std::mutex> lk(mu_);
     crash_handler_ = std::move(handler);
   }
   /// Handler for scheduled crash+restart cycles (FaultPlan::CoreCrash with
   /// restart_after > 0). The Runtime installs one that calls Core::Restart.
   void SetRestartHandler(std::function<void(CoreId)> handler) {
+    std::lock_guard<std::mutex> lk(mu_);
     restart_handler_ = std::move(handler);
   }
 
   // -- telemetry -------------------------------------------------------------
   LinkStats StatsBetween(CoreId from, CoreId to) const;
-  std::uint64_t total_messages() const { return total_.messages; }
-  std::uint64_t total_bytes() const { return total_.bytes; }
+  std::uint64_t total_messages() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return total_.messages;
+  }
+  std::uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return total_.bytes;
+  }
   /// Total drops, all reasons (sum of the per-reason counters).
   std::uint64_t dropped() const;
   std::uint64_t dropped_by(DropReason reason) const {
+    std::lock_guard<std::mutex> lk(mu_);
     return dropped_by_[static_cast<int>(reason)];
   }
   std::uint64_t dropped_link_down() const {
@@ -183,8 +225,14 @@ class Network {
   std::uint64_t dropped_chaos() const {
     return dropped_by(DropReason::kChaos);
   }
-  std::uint64_t duplicates() const { return chaos_.stats().duplicates; }
-  std::uint64_t reorders() const { return chaos_.stats().reorders; }
+  std::uint64_t duplicates() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return chaos_.stats().duplicates;
+  }
+  std::uint64_t reorders() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return chaos_.stats().reorders;
+  }
   /// Per-directed-pair stats, sorted by (from, to) for deterministic output.
   std::vector<std::pair<std::pair<CoreId, CoreId>, LinkStats>> AllLinkStats()
       const;
@@ -199,9 +247,15 @@ class Network {
   }
 
   void Deliver(Message msg);
+  /// Callers hold mu_.
   void CountDrop(const Message& msg, DropReason reason);
+  LinkModel GetLinkLocked(CoreId from, CoreId to) const;
 
   sim::Scheduler& sched_;
+  /// Guards every mutable field below (FARGO_PARALLEL: Send and Deliver
+  /// run on locality workers). Handlers/hooks are copied out and invoked
+  /// unlocked; the tap runs under the lock (see SetTap).
+  mutable std::mutex mu_;
   std::unordered_map<CoreId, Handler> handlers_;
   std::unordered_map<PairKey, LinkModel> links_;
   std::unordered_map<PairKey, LinkStats> stats_;

@@ -71,6 +71,8 @@ Value ReadValue(Reader& r) {
       return Value(r.ReadBytes());
     case Value::Tag::kList: {
       std::uint64_t n = r.ReadVarint();
+      // Each element is at least one wire byte; a longer claim is corrupt.
+      if (n > r.remaining()) throw SerialError("corrupt list length");
       Value::List l;
       l.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) l.push_back(ReadValue(r));
@@ -110,6 +112,7 @@ void WriteValues(Writer& w, const std::vector<Value>& vs) {
 
 std::vector<Value> ReadValues(Reader& r) {
   std::uint64_t n = r.ReadVarint();
+  if (n > r.remaining()) throw SerialError("corrupt value-list length");
   std::vector<Value> vs;
   vs.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) vs.push_back(ReadValue(r));

@@ -1,0 +1,468 @@
+#include "src/sim/parallel_sched.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/value.h"  // FargoError
+#include "src/sim/handoff.h"
+
+namespace fargo::sim {
+
+namespace {
+
+constexpr std::uint32_t kConductorRank = 0xFFFFFFFFu;
+constexpr SimTime kNoDue = std::numeric_limits<SimTime>::max();
+
+// TaskId layout: [8b destination locality | 8b producer tag | 48b counter].
+// The destination routes Cancel; the producer tag + per-producer counter
+// make ids unique without shared state (tag 0 = conductor, i+1 = worker i).
+TaskId MakeId(int dest, unsigned producer_tag, std::uint64_t n) {
+  return (static_cast<TaskId>(dest) << 56) |
+         (static_cast<TaskId>(producer_tag & 0xFFu) << 48) |
+         (n & 0x0000FFFFFFFFFFFFull);
+}
+int IdDest(TaskId id) { return static_cast<int>(id >> 56); }
+
+/// Routing context while a worker executes a round; null sched otherwise.
+struct WorkerCtx {
+  ParallelScheduler* sched = nullptr;
+  int loc = -1;
+  std::uint64_t round = 0;
+  bool* pushed = nullptr;
+};
+thread_local WorkerCtx tl_ctx;
+
+}  // namespace
+
+struct ParallelScheduler::Barrier {
+  std::mutex mu;
+  std::condition_variable cv_go;
+  std::condition_variable cv_done;
+  std::uint64_t go_round = 0;  ///< bumped by the conductor to release a round
+  SimTime limit = 0;           ///< the round's execution horizon
+  int arrived = 0;             ///< workers parked since the last release
+  bool stop = false;
+};
+
+struct ParallelScheduler::Locality {
+  struct Entry {
+    SimTime at;
+    std::uint64_t prio;  // local insertion order: same-time FIFO tiebreak
+    TaskId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.prio > b.prio;
+    }
+  };
+
+  explicit Locality(std::size_t cap) : inbox0(cap), inbox1(cap) {}
+
+  HandoffQueue& inbox(unsigned parity) { return parity ? inbox1 : inbox0; }
+
+  // -- worker-confined (the conductor touches these only while every
+  // -- worker is parked; the barrier mutex is the happens-before edge) ----
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+  std::unordered_set<TaskId> cancelled;
+  std::uint64_t prio_seq = 0;   ///< queue insertion order
+  std::uint64_t merge_seq = 0;  ///< producer stamp on outgoing handoffs
+  std::uint64_t id_seq = 1;     ///< TaskId counter (producer-private)
+  std::uint64_t handoffs = 0;   ///< cross-locality tasks sent
+
+  // Ping-pong MPSC inboxes: producers fill inbox(round & 1) during round
+  // `round`; the owner drains inbox((round + 1) & 1) — last round's —
+  // exclusively at the start of its round (see handoff.h).
+  HandoffQueue inbox0;
+  HandoffQueue inbox1;
+
+  // Conductor-side scheduling between pumps + cross-thread cancels.
+  mutable std::mutex staging_mu;
+  std::vector<HandoffQueue::Item> staged;
+  std::vector<TaskId> staged_cancels;
+
+  // Round results, published at park under the barrier mutex.
+  SimTime next_due = kNoDue;
+  std::uint64_t executed = 0;
+  bool did_work = false;
+  std::exception_ptr error;
+
+  std::thread thread;
+};
+
+ParallelScheduler::ParallelScheduler(int localities,
+                                     std::size_t handoff_capacity)
+    : num_localities_(localities < 1 ? 1 : localities),
+      handoff_capacity_(handoff_capacity),
+      barrier_(std::make_unique<Barrier>()) {
+  locs_.reserve(static_cast<std::size_t>(num_localities_));
+  for (int i = 0; i < num_localities_; ++i)
+    locs_.push_back(std::make_unique<Locality>(handoff_capacity_));
+}
+
+ParallelScheduler::~ParallelScheduler() {
+  if (started_) {
+    {
+      std::lock_guard<std::mutex> lk(barrier_->mu);
+      barrier_->stop = true;
+    }
+    barrier_->cv_go.notify_all();
+    for (auto& l : locs_)
+      if (l->thread.joinable()) l->thread.join();
+  }
+}
+
+void ParallelScheduler::EnsureStarted() {
+  if (started_) return;
+  started_ = true;
+  for (int i = 0; i < num_localities_; ++i)
+    locs_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+}
+
+void ParallelScheduler::WorkerLoop(int idx) {
+  detail::tl_worker_locality = idx;
+  Locality& self = *locs_[static_cast<std::size_t>(idx)];
+  Barrier& b = *barrier_;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(b.mu);
+  for (;;) {
+    b.cv_go.wait(lk, [&] { return b.stop || b.go_round != seen; });
+    if (b.stop) return;
+    seen = b.go_round;
+    const SimTime limit = b.limit;
+    lk.unlock();
+
+    std::uint64_t exec = 0;
+    bool pushed = false;
+    std::exception_ptr err;
+    tl_ctx = WorkerCtx{this, idx, seen, &pushed};
+
+    // Merge: conductor-staged work, cross-thread cancels, and the inbox
+    // the producers filled last round — in deterministic (at, src, seq)
+    // order, so the queue insertion order (the same-time tiebreak) is a
+    // pure function of the workload, not of thread timing.
+    std::vector<HandoffQueue::Item> batch;
+    std::vector<TaskId> cancels;
+    {
+      std::lock_guard<std::mutex> sl(self.staging_mu);
+      batch.swap(self.staged);
+      cancels.swap(self.staged_cancels);
+    }
+    self.inbox((seen + 1) & 1).DrainInto(batch);
+    std::sort(batch.begin(), batch.end(),
+              [](const HandoffQueue::Item& a, const HandoffQueue::Item& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    for (auto& item : batch)
+      self.queue.push(Locality::Entry{item.at, self.prio_seq++, item.id,
+                                      std::move(item.fn)});
+    for (TaskId id : cancels) self.cancelled.insert(id);
+
+    // Execute everything due at the horizon. Locally-scheduled same-time
+    // work runs within this round (matching the sim's run-to-completion at
+    // a timestamp); handoffs land in peers' inboxes for the next round.
+    try {
+      while (!self.queue.empty() && self.queue.top().at <= limit) {
+        Locality::Entry e =
+            std::move(const_cast<Locality::Entry&>(self.queue.top()));
+        self.queue.pop();
+        if (auto it = self.cancelled.find(e.id);
+            it != self.cancelled.end()) {
+          self.cancelled.erase(it);
+          continue;
+        }
+        ++exec;
+        e.fn();
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+    // Prune cancelled heads so next_due names a live event (a cancelled
+    // timestamp must not drag the global clock forward).
+    while (!self.queue.empty()) {
+      auto it = self.cancelled.find(self.queue.top().id);
+      if (it == self.cancelled.end()) break;
+      self.cancelled.erase(it);
+      self.queue.pop();
+    }
+    tl_ctx = WorkerCtx{};
+
+    lk.lock();
+    self.executed += exec;
+    self.did_work = exec > 0 || pushed;
+    self.next_due = self.queue.empty() ? kNoDue : self.queue.top().at;
+    if (err && !self.error) self.error = err;
+    if (++b.arrived == num_localities_) b.cv_done.notify_all();
+  }
+}
+
+TaskId ParallelScheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  std::uint64_t aff = 0;
+  const bool has_aff = Scheduler::AffinityScope::Current(aff);
+  if (tl_ctx.sched == this) {
+    const int dest = has_aff ? LocalityOf(aff) : tl_ctx.loc;
+    return WorkerEnqueue(dest, t, std::move(fn));
+  }
+  const int dest = has_aff ? LocalityOf(aff) : 0;
+  return StageEnqueue(dest, t, std::move(fn));
+}
+
+TaskId ParallelScheduler::Post(std::uint64_t affinity, SimTime t,
+                               std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const int dest = LocalityOf(affinity);
+  if (tl_ctx.sched == this) return WorkerEnqueue(dest, t, std::move(fn));
+  return StageEnqueue(dest, t, std::move(fn));
+}
+
+TaskId ParallelScheduler::WorkerEnqueue(int dest, SimTime t,
+                                        std::function<void()> fn) {
+  Locality& self = *locs_[static_cast<std::size_t>(tl_ctx.loc)];
+  const TaskId id =
+      MakeId(dest, static_cast<unsigned>(tl_ctx.loc) + 1, self.id_seq++);
+  if (dest == tl_ctx.loc) {
+    self.queue.push(
+        Locality::Entry{t, self.prio_seq++, id, std::move(fn)});
+  } else {
+    locs_[static_cast<std::size_t>(dest)]
+        ->inbox(tl_ctx.round & 1)
+        .Push(HandoffQueue::Item{t, static_cast<std::uint32_t>(tl_ctx.loc),
+                                 self.merge_seq++, id, std::move(fn)});
+    ++self.handoffs;
+    *tl_ctx.pushed = true;
+  }
+  return id;
+}
+
+TaskId ParallelScheduler::StageEnqueue(int dest, SimTime t,
+                                       std::function<void()> fn) {
+  const TaskId id = MakeId(dest, 0, conductor_ids_++);
+  Locality& loc = *locs_[static_cast<std::size_t>(dest)];
+  std::lock_guard<std::mutex> sl(loc.staging_mu);
+  loc.staged.push_back(
+      HandoffQueue::Item{t, kConductorRank, conductor_seq_++, id,
+                         std::move(fn)});
+  return id;
+}
+
+void ParallelScheduler::Cancel(TaskId id) {
+  const int dest = IdDest(id);
+  if (dest < 0 || dest >= num_localities_) return;
+  if (tl_ctx.sched == this && dest == tl_ctx.loc) {
+    locs_[static_cast<std::size_t>(dest)]->cancelled.insert(id);
+    return;
+  }
+  Locality& loc = *locs_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> sl(loc.staging_mu);
+    loc.staged_cancels.push_back(id);
+  }
+  if (tl_ctx.sched == this) *tl_ctx.pushed = true;
+}
+
+bool ParallelScheduler::RunRoundsUntilQuiet(
+    SimTime limit, const std::function<bool()>* pred) {
+  Barrier& b = *barrier_;
+  for (;;) {
+    bool any = false;
+    std::exception_ptr err;
+    {
+      std::unique_lock<std::mutex> lk(b.mu);
+      b.arrived = 0;
+      b.limit = limit;
+      ++b.go_round;
+      b.cv_go.notify_all();
+      b.cv_done.wait(lk, [&] { return b.arrived == num_localities_; });
+      for (auto& l : locs_) {
+        any = any || l->did_work;
+        if (l->error && !err) {
+          err = l->error;
+          l->error = nullptr;
+        }
+      }
+    }
+    ++rounds_;
+    if (err) std::rethrow_exception(err);
+    if (pred && (*pred)()) return true;
+    if (!any) return false;
+  }
+}
+
+bool ParallelScheduler::AnyPendingExternal() const {
+  for (const auto& l : locs_) {
+    {
+      std::lock_guard<std::mutex> sl(l->staging_mu);
+      if (!l->staged.empty() || !l->staged_cancels.empty()) return true;
+    }
+    if (!l->inbox0.Empty() || !l->inbox1.Empty()) return true;
+  }
+  return false;
+}
+
+SimTime ParallelScheduler::MinNextDue() const {
+  SimTime m = kNoDue;
+  for (const auto& l : locs_) m = std::min(m, l->next_due);
+  return m;
+}
+
+std::uint64_t ParallelScheduler::ExecutedLocked() const {
+  std::uint64_t total = 0;
+  for (const auto& l : locs_) total += l->executed;
+  return total;
+}
+
+bool ParallelScheduler::RunOne() {
+  PumpGuard guard(*this);
+  EnsureStarted();
+  const std::uint64_t before = ExecutedLocked();
+  for (;;) {
+    if (AnyPendingExternal()) {
+      RunRoundsUntilQuiet(now_, nullptr);
+      if (ExecutedLocked() > before) return true;
+      continue;
+    }
+    const SimTime due = MinNextDue();
+    if (due == kNoDue) return ExecutedLocked() > before;
+    if (due > now_) now_ = due;
+    RunRoundsUntilQuiet(now_, nullptr);
+    if (ExecutedLocked() > before) return true;
+    // Cancelled-only timestamp: keep advancing.
+  }
+}
+
+void ParallelScheduler::RunUntilIdle() {
+  PumpGuard guard(*this);
+  EnsureStarted();
+  for (;;) {
+    if (AnyPendingExternal()) {
+      RunRoundsUntilQuiet(now_, nullptr);
+      continue;
+    }
+    const SimTime due = MinNextDue();
+    if (due == kNoDue) return;
+    if (due > now_) now_ = due;
+    RunRoundsUntilQuiet(now_, nullptr);
+  }
+}
+
+void ParallelScheduler::RunUntil(const std::function<bool()>& pred) {
+  PumpGuard guard(*this);
+  EnsureStarted();
+  for (;;) {
+    if (pred()) return;
+    if (AnyPendingExternal()) {
+      if (RunRoundsUntilQuiet(now_, &pred)) return;
+      continue;
+    }
+    const SimTime due = MinNextDue();
+    if (due == kNoDue)
+      throw FargoError("scheduler drained while awaiting a condition "
+                       "(lost message or dead peer?)");
+    if (due > now_) now_ = due;
+    if (RunRoundsUntilQuiet(now_, &pred)) return;
+  }
+}
+
+bool ParallelScheduler::RunUntilOr(const std::function<bool()>& pred,
+                                   SimTime deadline) {
+  PumpGuard guard(*this);
+  EnsureStarted();
+  for (;;) {
+    if (pred()) return true;
+    if (AnyPendingExternal()) {
+      if (RunRoundsUntilQuiet(now_, &pred)) return true;
+      continue;
+    }
+    const SimTime due = MinNextDue();
+    if (due == kNoDue || due > deadline) {
+      // No more events before the deadline: advance to it and give up.
+      if (deadline > now_) now_ = deadline;
+      return pred();
+    }
+    if (due > now_) now_ = due;
+    if (RunRoundsUntilQuiet(now_, &pred)) return true;
+  }
+}
+
+void ParallelScheduler::RunFor(SimTime d) {
+  PumpGuard guard(*this);
+  EnsureStarted();
+  const SimTime limit = now_ + d;
+  for (;;) {
+    if (AnyPendingExternal()) {
+      RunRoundsUntilQuiet(now_, nullptr);
+      continue;
+    }
+    const SimTime due = MinNextDue();
+    if (due == kNoDue || due > limit) {
+      now_ = limit;
+      return;
+    }
+    if (due > now_) now_ = due;
+    RunRoundsUntilQuiet(now_, nullptr);
+  }
+}
+
+std::size_t ParallelScheduler::PendingCount() const {
+  std::size_t total = 0;
+  for (const auto& l : locs_) {
+    const std::size_t q = l->queue.size();
+    const std::size_t c = l->cancelled.size();
+    total += q > c ? q - c : 0;
+    {
+      std::lock_guard<std::mutex> sl(l->staging_mu);
+      total += l->staged.size();
+    }
+    total += l->inbox0.ApproxSize() + l->inbox1.ApproxSize();
+  }
+  return total;
+}
+
+void ParallelScheduler::Clear() {
+  // Workers are parked between pumps; the barrier mutex from their park is
+  // the happens-before edge that makes their queues safe to touch here.
+  // Discarded closures are destroyed on this (conductor) thread, while the
+  // Cores they may reference still exist.
+  std::vector<HandoffQueue::Item> discard;
+  for (auto& l : locs_) {
+    {
+      std::lock_guard<std::mutex> sl(l->staging_mu);
+      l->staged.clear();
+      l->staged_cancels.clear();
+    }
+    l->inbox0.DrainInto(discard);
+    l->inbox1.DrainInto(discard);
+    l->queue = {};
+    l->cancelled.clear();
+    l->next_due = kNoDue;
+  }
+}
+
+std::uint64_t ParallelScheduler::executed() const { return ExecutedLocked(); }
+
+ParallelScheduler::Telemetry ParallelScheduler::telemetry() const {
+  Telemetry t;
+  t.rounds = rounds_;
+  for (const auto& l : locs_) {
+    t.handoffs += l->handoffs;
+    t.overflows += l->inbox0.overflows() + l->inbox1.overflows();
+    t.max_queue_depth = std::max(
+        {t.max_queue_depth,
+         static_cast<std::uint64_t>(l->inbox0.max_depth()),
+         static_cast<std::uint64_t>(l->inbox1.max_depth())});
+  }
+  return t;
+}
+
+}  // namespace fargo::sim

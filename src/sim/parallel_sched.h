@@ -1,0 +1,126 @@
+// FARGO_PARALLEL: the real-parallel locality engine (motr reqh/fop-style).
+//
+// N worker threads, each *owning* a disjoint set of Cores by affinity
+// (`affinity % localities()`), execute InvocationUnits/MovementUnits as
+// non-blocking state machines. The engine is a conservative time-stepped
+// parallel discrete-event scheduler:
+//
+//  - The *conductor* (whichever thread calls the Run* pumps — tests, shell,
+//    benches) advances the global virtual clock to the next due timestamp
+//    and releases the workers for one or more barrier-synchronized
+//    *micro-rounds* at that time.
+//  - During a round each worker drains its own priority queue of events due
+//    at the current time. A continuation targeting another Core's ownership
+//    domain is never run in place: it is handed off to the owning locality
+//    through a bounded MPSC inbox (handoff.h) and executes in the next
+//    micro-round.
+//  - Rounds repeat at the same timestamp until no locality executed or
+//    handed anything off; only then does the clock advance. Virtual-time
+//    semantics are therefore identical to the sim engine: an event
+//    scheduled for time T runs at Now() == T, never early, never late.
+//
+// Determinism: each locality's inbox is drained in sorted
+// (time, source-locality, source-seq) order, and every producer stamps a
+// private monotone seq, so the merged execution order per locality is a
+// pure function of the workload — two runs with the same FARGO_PARALLEL=N
+// are identical. (Sim and parallel interleave same-time events across
+// *different* Cores differently; what is mode-invariant is the observable
+// behavior — ledger contents, exactly-once, wire traffic per link — not
+// internal event order. See DESIGN.md §localities.)
+//
+// Pumping is a conductor privilege: a worker entering RunUntil & friends
+// throws FargoError (scheduler.h PumpGuard). Between rounds the workers
+// are parked on the barrier, so the conductor may freely inspect Cores,
+// metrics and futures — that is the happens-before edge that keeps the
+// existing single-threaded test/driver idiom (pump, then assert) safe
+// without any locking in test code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/scheduler.h"
+
+namespace fargo::sim {
+
+// fargo: domain(sim)
+class ParallelScheduler final : public Scheduler {
+ public:
+  /// `localities` worker threads (≥ 1). `handoff_capacity` sizes each
+  /// MPSC inbox's lock-free slot array (overflow spills, never blocks).
+  explicit ParallelScheduler(int localities,
+                             std::size_t handoff_capacity = 1024);
+  ~ParallelScheduler() override;
+
+  SimTime Now() const override { return now_; }
+  TaskId ScheduleAt(SimTime t, std::function<void()> fn) override;
+  TaskId Post(std::uint64_t affinity, SimTime t,
+              std::function<void()> fn) override;
+  void Cancel(TaskId id) override;
+  bool RunOne() override;
+  void RunUntilIdle() override;
+  void RunUntil(const std::function<bool()>& pred) override;
+  bool RunUntilOr(const std::function<bool()>& pred,
+                  SimTime deadline) override;
+  void RunFor(SimTime d) override;
+  std::size_t PendingCount() const override;
+  void Clear() override;
+  std::uint64_t executed() const override;
+  int localities() const override { return num_localities_; }
+
+  /// The locality that owns `affinity` (Cores: `core.id % localities()`).
+  int LocalityOf(std::uint64_t affinity) const {
+    return static_cast<int>(affinity % static_cast<std::uint64_t>(
+                                           num_localities_));
+  }
+
+  /// Engine telemetry, mirrored into the metrics registry by Runtime
+  /// (`locality.*`). Safe to read between pumps.
+  struct Telemetry {
+    std::uint64_t handoffs = 0;   ///< cross-locality tasks enqueued
+    std::uint64_t overflows = 0;  ///< handoffs past the lock-free bound
+    std::uint64_t steals = 0;     ///< always 0: affinity is strict, no
+                                  ///< work stealing — the counter exists
+                                  ///< so the invariant is observable
+    std::uint64_t rounds = 0;     ///< barrier micro-rounds driven
+    std::uint64_t max_queue_depth = 0;  ///< largest single inbox drain
+  };
+  Telemetry telemetry() const;
+
+ private:
+  struct Locality;  // defined in parallel_sched.cpp (owns the thread)
+
+  void EnsureStarted();
+  void WorkerLoop(int idx);
+  TaskId WorkerEnqueue(int dest, SimTime t, std::function<void()> fn);
+  /// Drives barrier micro-rounds at time `limit` until every locality is
+  /// quiescent (nothing executed, nothing handed off). If `pred` is given
+  /// it is checked between rounds; returns true the moment it holds.
+  bool RunRoundsUntilQuiet(SimTime limit, const std::function<bool()>* pred);
+  /// True when any staging area or inbox holds tasks not yet merged into a
+  /// locality queue (conductor-side scheduling between pumps).
+  bool AnyPendingExternal() const;
+  /// Earliest due time across all locality queues (kNoDue when drained).
+  SimTime MinNextDue() const;
+  std::uint64_t ExecutedLocked() const;
+
+  TaskId StageEnqueue(int dest, SimTime t, std::function<void()> fn);
+
+  const int num_localities_;
+  const std::size_t handoff_capacity_;
+  std::vector<std::unique_ptr<Locality>> locs_;
+
+  SimTime now_ = 0;  ///< written by the conductor while workers are parked
+
+  // Barrier state lives behind an opaque impl so <thread> stays out of the
+  // header (the determinism lint confines threading to src/sim/).
+  struct Barrier;
+  std::unique_ptr<Barrier> barrier_;
+  bool started_ = false;
+  std::uint64_t conductor_ids_ = 1;  ///< conductor-minted TaskId counter
+  std::uint64_t conductor_seq_ = 0;  ///< conductor merge-key counter
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace fargo::sim

@@ -6,14 +6,37 @@
 
 namespace fargo::sim {
 
-TaskId Scheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
+namespace detail {
+thread_local int tl_worker_locality = -1;
+thread_local int tl_no_pump = 0;
+}  // namespace detail
+
+thread_local std::uint64_t Scheduler::AffinityScope::ambient_key_ = 0;
+thread_local bool Scheduler::AffinityScope::ambient_set_ = false;
+
+Scheduler::PumpGuard::PumpGuard(Scheduler& s) : sched_(s) {
+  if (detail::tl_no_pump > 0)
+    throw FargoError(
+        "re-entrant scheduler pump inside a no-pump section (the async "
+        "invocation pipeline must use continuations, not blocking waits)");
+  if (detail::tl_worker_locality >= 0)
+    throw FargoError(
+        "scheduler pump from a locality worker thread (only the conductor "
+        "may pump; handlers must be non-blocking state machines)");
+  ++sched_.pump_depth_;
+  if (sched_.pump_depth_ > sched_.max_pump_depth_)
+    sched_.max_pump_depth_ = sched_.pump_depth_;
+  if (sched_.pump_observer_) sched_.pump_observer_(sched_.pump_depth_);
+}
+
+TaskId SimScheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
   if (t < now_) t = now_;
   TaskId id = next_id_++;
   queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
   return id;
 }
 
-bool Scheduler::PopDue(SimTime limit, Entry& out) {
+bool SimScheduler::PopDue(SimTime limit, Entry& out) {
   while (!queue_.empty()) {
     if (queue_.top().at > limit) return false;
     out = std::move(const_cast<Entry&>(queue_.top()));
@@ -27,18 +50,7 @@ bool Scheduler::PopDue(SimTime limit, Entry& out) {
   return false;
 }
 
-Scheduler::PumpGuard::PumpGuard(Scheduler& s) : sched_(s) {
-  if (sched_.no_pump_ > 0)
-    throw FargoError(
-        "re-entrant scheduler pump inside a no-pump section (the async "
-        "invocation pipeline must use continuations, not blocking waits)");
-  ++sched_.pump_depth_;
-  if (sched_.pump_depth_ > sched_.max_pump_depth_)
-    sched_.max_pump_depth_ = sched_.pump_depth_;
-  if (sched_.pump_observer_) sched_.pump_observer_(sched_.pump_depth_);
-}
-
-bool Scheduler::RunOneLocked() {
+bool SimScheduler::RunOneLocked() {
   Entry e;
   if (!PopDue(std::numeric_limits<SimTime>::max(), e)) return false;
   now_ = std::max(now_, e.at);
@@ -47,23 +59,23 @@ bool Scheduler::RunOneLocked() {
   return true;
 }
 
-bool Scheduler::RunOne() {
+bool SimScheduler::RunOne() {
   PumpGuard guard(*this);
   return RunOneLocked();
 }
 
-void Scheduler::RunUntilIdle() {
+void SimScheduler::RunUntilIdle() {
   PumpGuard guard(*this);
   while (RunOneLocked()) {
   }
 }
 
-void Scheduler::Clear() {
+void SimScheduler::Clear() {
   queue_ = {};
   cancelled_.clear();
 }
 
-void Scheduler::RunUntil(const std::function<bool()>& pred) {
+void SimScheduler::RunUntil(const std::function<bool()>& pred) {
   PumpGuard guard(*this);
   while (!pred()) {
     if (!RunOneLocked())
@@ -72,8 +84,8 @@ void Scheduler::RunUntil(const std::function<bool()>& pred) {
   }
 }
 
-bool Scheduler::RunUntilOr(const std::function<bool()>& pred,
-                           SimTime deadline) {
+bool SimScheduler::RunUntilOr(const std::function<bool()>& pred,
+                              SimTime deadline) {
   PumpGuard guard(*this);
   while (!pred()) {
     Entry e;
@@ -89,7 +101,7 @@ bool Scheduler::RunUntilOr(const std::function<bool()>& pred,
   return true;
 }
 
-void Scheduler::RunFor(SimTime d) {
+void SimScheduler::RunFor(SimTime d) {
   PumpGuard guard(*this);
   const SimTime limit = now_ + d;
   Entry e;

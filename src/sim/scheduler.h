@@ -4,12 +4,23 @@
 // notification run on one of these. Virtual time only advances when events
 // are executed, so every test and benchmark is exactly reproducible.
 //
+// `Scheduler` is the engine interface; two implementations exist:
+//
+//  - `SimScheduler` (this file): the single-threaded deterministic pump.
+//    Default for tests, benches and CI — one priority queue, FIFO seq
+//    tiebreak, bit-identical runs.
+//  - `ParallelScheduler` (parallel_sched.h): N locality worker threads in
+//    conservative time-stepped rounds, selected by `FARGO_PARALLEL=N`.
+//    Same virtual-time semantics, same observable results (DESIGN.md
+//    §localities), run-to-run deterministic for a fixed N.
+//
 // The asynchronous invocation pipeline (DESIGN.md §5) never pumps from
 // inside an event handler: RPC machinery is written as scheduled
 // continuations, and NoPumpScope enforces that invariant at run time. Only
 // the top-level synchronous API wrappers pump (RunUntil and friends), and
 // the scheduler keeps pump-depth accounting so tests can assert the
-// invocation path stays at depth ≤ 1.
+// invocation path stays at depth ≤ 1. Pumps are a conductor-thread
+// privilege: a locality worker entering a pump throws.
 #pragma once
 
 #include <cstdint>
@@ -26,55 +37,93 @@ namespace fargo::sim {
 /// Handle used to cancel a scheduled task.
 using TaskId = std::uint64_t;
 
+namespace detail {
+/// -1 on the conductor/main thread; the owning locality index on a
+/// ParallelScheduler worker thread. Workers must never pump.
+extern thread_local int tl_worker_locality;
+/// Per-thread NoPumpScope nesting count. The no-pump invariant is a
+/// property of the *calling thread*'s stack, so the counter is
+/// thread-local rather than per-scheduler.
+extern thread_local int tl_no_pump;
+}  // namespace detail
+
 // fargo: domain(sim)
 class Scheduler {
  public:
   Scheduler() = default;
+  virtual ~Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulated time.
-  SimTime Now() const { return now_; }
+  virtual SimTime Now() const = 0;
 
-  /// Schedules `fn` at absolute time `t` (clamped to Now()).
-  TaskId ScheduleAt(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t` (clamped to Now()). In the
+  /// parallel engine the task lands on the calling thread's locality (or
+  /// the ambient AffinityScope's, if one is active).
+  virtual TaskId ScheduleAt(SimTime t, std::function<void()> fn) = 0;
 
   /// Schedules `fn` after `delay` from now.
   TaskId ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
+    return ScheduleAt(Now() + delay, std::move(fn));
+  }
+
+  /// Affinity-routed scheduling: runs `fn` at `t` on the locality that owns
+  /// `affinity` (localities partition Cores by `key % localities()`). This
+  /// is the *sanctioned cross-locality handoff*: a continuation that
+  /// touches another Core's ownership domain must be posted to that Core's
+  /// home locality rather than run in place. The sim engine ignores the
+  /// key — Post degrades to ScheduleAt, which is what makes the two modes
+  /// observably equivalent.
+  virtual TaskId Post(std::uint64_t affinity, SimTime t,
+                      std::function<void()> fn) {
+    (void)affinity;
+    return ScheduleAt(t, std::move(fn));
+  }
+
+  /// Post after `delay` from now (see Post).
+  TaskId PostAfter(std::uint64_t affinity, SimTime delay,
+                   std::function<void()> fn) {
+    return Post(affinity, Now() + delay, std::move(fn));
   }
 
   /// Cancels a pending task; no-op if it already ran or was cancelled.
-  void Cancel(TaskId id) { cancelled_.insert(id); }
+  virtual void Cancel(TaskId id) = 0;
 
   /// Executes the next due event, advancing the clock. Returns false when
-  /// the queue is empty.
-  bool RunOne();
+  /// the queue is empty. (Parallel engine: executes the next *timestamp*,
+  /// which may run many events across localities.)
+  virtual bool RunOne() = 0;
 
   /// Runs events until the queue drains.
-  void RunUntilIdle();
+  virtual void RunUntilIdle() = 0;
 
   /// Runs events until `pred()` holds; throws FargoError if the queue
   /// drains first (a lost reply would otherwise hang forever). Re-entrant.
-  void RunUntil(const std::function<bool()>& pred);
+  virtual void RunUntil(const std::function<bool()>& pred) = 0;
 
   /// Like RunUntil, but gives up at absolute time `deadline`. Returns true
   /// if the predicate held, false on timeout or drain. Re-entrant.
-  bool RunUntilOr(const std::function<bool()>& pred, SimTime deadline);
+  virtual bool RunUntilOr(const std::function<bool()>& pred,
+                          SimTime deadline) = 0;
 
   /// Runs all events due up to Now()+d, then advances the clock to it.
-  void RunFor(SimTime d);
+  virtual void RunFor(SimTime d) = 0;
 
   /// Number of pending (non-cancelled) events.
-  std::size_t PendingCount() const { return queue_.size() - cancelled_.size(); }
+  virtual std::size_t PendingCount() const = 0;
 
   /// Discards every pending event without running it. Used at runtime
   /// teardown: queued closures may hold references into Cores, so they
   /// must be destroyed while the Cores still exist.
-  void Clear();
+  virtual void Clear() = 0;
 
   /// Total number of events executed (telemetry for benchmarks).
-  std::uint64_t executed() const { return executed_; }
+  virtual std::uint64_t executed() const = 0;
+
+  /// Number of locality worker threads. 0 = deterministic single-threaded
+  /// sim (the conductor thread executes events itself).
+  virtual int localities() const { return 0; }
 
   // -- pump-depth accounting ---------------------------------------------------
 
@@ -93,26 +142,59 @@ class Scheduler {
     pump_observer_ = std::move(obs);
   }
 
-  /// RAII: while alive, entering any pump loop throws FargoError. The async
-  /// RPC machinery holds one of these across its bookkeeping so a blocking
-  /// call can never sneak back into the continuation path. Always on (the
-  /// default build defines NDEBUG, so a plain assert would be vacuous); the
-  /// check is a single integer test per pump entry.
+  /// RAII: while alive, entering any pump loop *on this thread* throws
+  /// FargoError. The async RPC machinery holds one of these across its
+  /// bookkeeping so a blocking call can never sneak back into the
+  /// continuation path. Always on (the default build defines NDEBUG, so a
+  /// plain assert would be vacuous); the check is a single integer test
+  /// per pump entry.
   // fargo: domain(sim)
   class NoPumpScope {
    public:
-    explicit NoPumpScope(Scheduler& s) : sched_(s) { ++sched_.no_pump_; }
-    ~NoPumpScope() { --sched_.no_pump_; }
+    explicit NoPumpScope(Scheduler&) { ++detail::tl_no_pump; }
+    ~NoPumpScope() { --detail::tl_no_pump; }
     NoPumpScope(const NoPumpScope&) = delete;
     NoPumpScope& operator=(const NoPumpScope&) = delete;
-
-   private:
-    Scheduler& sched_;
   };
 
- private:
+  /// RAII: while alive, ScheduleAt on this thread routes to the locality
+  /// owning `affinity` instead of the calling thread's own locality. Core
+  /// public entry points hold one so that work started from the conductor
+  /// (tests, shell, benches) lands on the Core's home locality. A no-op
+  /// under the sim engine. Scopes nest; the innermost wins.
+  // fargo: domain(sim)
+  class AffinityScope {
+   public:
+    explicit AffinityScope(std::uint64_t affinity)
+        : prev_key_(ambient_key_), prev_set_(ambient_set_) {
+      ambient_key_ = affinity;
+      ambient_set_ = true;
+    }
+    ~AffinityScope() {
+      ambient_key_ = prev_key_;
+      ambient_set_ = prev_set_;
+    }
+    AffinityScope(const AffinityScope&) = delete;
+    AffinityScope& operator=(const AffinityScope&) = delete;
+
+    /// The calling thread's ambient affinity, if an AffinityScope is
+    /// active. Returns false otherwise.
+    static bool Current(std::uint64_t& affinity) {
+      if (!ambient_set_) return false;
+      affinity = ambient_key_;
+      return true;
+    }
+
+   private:
+    static thread_local std::uint64_t ambient_key_;
+    static thread_local bool ambient_set_;
+    std::uint64_t prev_key_;
+    bool prev_set_;
+  };
+
+ protected:
   /// RAII around every pump loop: bumps depth, notifies the observer, and
-  /// rejects entry from inside a NoPumpScope.
+  /// rejects entry from inside a NoPumpScope or from a locality worker.
   // fargo: domain(sim)
   class PumpGuard {
    public:
@@ -125,6 +207,34 @@ class Scheduler {
     Scheduler& sched_;
   };
 
+  int pump_depth_ = 0;
+  int max_pump_depth_ = 0;
+  std::function<void(int)> pump_observer_;
+};
+
+/// The single-threaded deterministic pump: one priority queue ordered by
+/// (time, FIFO seq). The default engine for tests, benches and CI.
+// fargo: domain(sim)
+class SimScheduler final : public Scheduler {
+ public:
+  SimScheduler() = default;
+
+  SimTime Now() const override { return now_; }
+  TaskId ScheduleAt(SimTime t, std::function<void()> fn) override;
+  void Cancel(TaskId id) override { cancelled_.insert(id); }
+  bool RunOne() override;
+  void RunUntilIdle() override;
+  void RunUntil(const std::function<bool()>& pred) override;
+  bool RunUntilOr(const std::function<bool()>& pred,
+                  SimTime deadline) override;
+  void RunFor(SimTime d) override;
+  std::size_t PendingCount() const override {
+    return queue_.size() - cancelled_.size();
+  }
+  void Clear() override;
+  std::uint64_t executed() const override { return executed_; }
+
+ private:
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // FIFO tiebreak for same-time events (determinism)
@@ -145,10 +255,6 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   TaskId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  int pump_depth_ = 0;
-  int max_pump_depth_ = 0;
-  int no_pump_ = 0;
-  std::function<void(int)> pump_observer_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<TaskId> cancelled_;
 };

@@ -14,6 +14,7 @@ const Storage::Log* Storage::FindNamed(const std::string& log) const {
 
 std::uint64_t Storage::Append(const std::string& log,
                               std::vector<std::uint8_t> record) {
+  std::lock_guard<std::mutex> lk(mu_);
   Log& l = Named(log);
   ++stats_.appends;
   stats_.appended_bytes += record.size();
@@ -23,22 +24,34 @@ std::uint64_t Storage::Append(const std::string& log,
 }
 
 Future<Unit> Storage::Sync(const std::string& log) {
-  Log& l = Named(log);
-  ++stats_.fsyncs;
   Promise<Unit> done(sched_);
-  const std::uint64_t epoch = l.epoch;
-  const std::size_t covered = l.tail.size();
+  std::uint64_t epoch;
+  std::size_t covered;
+  SimTime latency;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Log& l = Named(log);
+    ++stats_.fsyncs;
+    epoch = l.epoch;
+    covered = l.tail.size();
+    latency = fsync_latency_;
+  }
+  // ScheduleAfter keeps the barrier completion on the issuing Core's
+  // locality, so the settled future's continuations run at home.
   sched_.ScheduleAfter(
-      fsync_latency_,
+      latency,
       // fargolint: allow(capture-this) the Runtime owns Storage and clears the queue before teardown
       [this, log, epoch, covered, done]() mutable {
-        Log& now = Named(log);
-        if (now.epoch == epoch) {
-          const std::size_t n = std::min(covered, now.tail.size());
-          for (std::size_t i = 0; i < n; ++i)
-            now.durable.push_back(std::move(now.tail[i]));
-          now.tail.erase(now.tail.begin(),
-                         now.tail.begin() + static_cast<std::ptrdiff_t>(n));
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          Log& now = Named(log);
+          if (now.epoch == epoch) {
+            const std::size_t n = std::min(covered, now.tail.size());
+            for (std::size_t i = 0; i < n; ++i)
+              now.durable.push_back(std::move(now.tail[i]));
+            now.tail.erase(now.tail.begin(),
+                           now.tail.begin() + static_cast<std::ptrdiff_t>(n));
+          }
         }
         // A crashed log settles too: the records are simply lost, and the
         // caller's restart epoch tells it the barrier no longer matters.
@@ -48,6 +61,7 @@ Future<Unit> Storage::Sync(const std::string& log) {
 }
 
 void Storage::DropVolatile(const std::string& log) {
+  std::lock_guard<std::mutex> lk(mu_);
   Log& l = Named(log);
   stats_.dropped_records += l.tail.size();
   l.tail.clear();
@@ -56,6 +70,7 @@ void Storage::DropVolatile(const std::string& log) {
 }
 
 void Storage::TruncateLog(const std::string& log, std::uint64_t new_base) {
+  std::lock_guard<std::mutex> lk(mu_);
   Log& l = Named(log);
   if (new_base <= l.base) return;
   const std::uint64_t drop =
@@ -68,31 +83,37 @@ void Storage::TruncateLog(const std::string& log, std::uint64_t new_base) {
 
 std::vector<std::vector<std::uint8_t>> Storage::ReadDurable(
     const std::string& log) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const Log* l = FindNamed(log);
   return l != nullptr ? l->durable : std::vector<std::vector<std::uint8_t>>{};
 }
 
 std::uint64_t Storage::NextIndex(const std::string& log) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const Log* l = FindNamed(log);
   return l != nullptr ? l->base + l->durable.size() + l->tail.size() : 0;
 }
 
 std::uint64_t Storage::BaseIndex(const std::string& log) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const Log* l = FindNamed(log);
   return l != nullptr ? l->base : 0;
 }
 
 std::size_t Storage::DurableCount(const std::string& log) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const Log* l = FindNamed(log);
   return l != nullptr ? l->durable.size() : 0;
 }
 
 std::size_t Storage::VolatileCount(const std::string& log) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const Log* l = FindNamed(log);
   return l != nullptr ? l->tail.size() : 0;
 }
 
 std::uint64_t Storage::DurableBytes(const std::string& log) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const Log* l = FindNamed(log);
   if (l == nullptr) return 0;
   std::uint64_t bytes = 0;
@@ -102,19 +123,28 @@ std::uint64_t Storage::DurableBytes(const std::string& log) const {
 
 Future<Unit> Storage::PutBlob(const std::string& name,
                               std::vector<std::uint8_t> bytes) {
-  Log& l = Named(name);
-  l.pending_blob = std::move(bytes);
-  ++stats_.fsyncs;
   Promise<Unit> done(sched_);
-  const std::uint64_t epoch = l.epoch;
+  std::uint64_t epoch;
+  SimTime latency;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Log& l = Named(name);
+    l.pending_blob = std::move(bytes);
+    ++stats_.fsyncs;
+    epoch = l.epoch;
+    latency = fsync_latency_;
+  }
   sched_.ScheduleAfter(
-      fsync_latency_,
+      latency,
       // fargolint: allow(capture-this) the Runtime owns Storage and clears the queue before teardown
       [this, name, epoch, done]() mutable {
-        Log& now = Named(name);
-        if (now.epoch == epoch && now.pending_blob.has_value()) {
-          blobs_[name] = std::move(*now.pending_blob);
-          now.pending_blob.reset();
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          Log& now = Named(name);
+          if (now.epoch == epoch && now.pending_blob.has_value()) {
+            blobs_[name] = std::move(*now.pending_blob);
+            now.pending_blob.reset();
+          }
         }
         done.Resolve(Unit{});
       });
@@ -123,6 +153,7 @@ Future<Unit> Storage::PutBlob(const std::string& name,
 
 std::optional<std::vector<std::uint8_t>> Storage::GetBlob(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = blobs_.find(name);
   if (it == blobs_.end()) return std::nullopt;
   return it->second;
@@ -158,6 +189,7 @@ void Storage::ImportLog(const std::string& log, const std::string& path) {
     bytes.insert(bytes.end(), buf, buf + n);
   std::fclose(f);
 
+  std::lock_guard<std::mutex> lk(mu_);
   Log& l = Named(log);
   l.base = 0;
   l.durable.clear();

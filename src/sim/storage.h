@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +29,9 @@
 
 namespace fargo::sim {
 
+/// Thread safety (FARGO_PARALLEL): per-Core WALs live in one Storage, so
+/// appends/syncs arrive from every locality; one mutex guards the maps and
+/// stats. Barrier completions are scheduled on the issuing locality.
 // fargo: domain(sim)
 class Storage {
  public:
@@ -36,8 +40,14 @@ class Storage {
   Storage& operator=(const Storage&) = delete;
 
   /// Simulated cost of one write barrier (fsync). Applied per Sync/PutBlob.
-  void SetFsyncLatency(SimTime t) { fsync_latency_ = t; }
-  SimTime fsync_latency() const { return fsync_latency_; }
+  void SetFsyncLatency(SimTime t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    fsync_latency_ = t;
+  }
+  SimTime fsync_latency() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return fsync_latency_;
+  }
 
   // ==== logs =================================================================
 
@@ -96,7 +106,10 @@ class Storage {
     std::uint64_t truncated_records = 0;
     std::uint64_t dropped_records = 0;  ///< volatile records lost to crashes
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
 
  private:
   struct Log {
@@ -108,10 +121,12 @@ class Storage {
     std::optional<std::vector<std::uint8_t>> pending_blob;
   };
 
+  /// Callers hold mu_.
   Log& Named(const std::string& log) { return logs_[log]; }
   const Log* FindNamed(const std::string& log) const;
 
   Scheduler& sched_;
+  mutable std::mutex mu_;  ///< guards every field below
   SimTime fsync_latency_ = Micros(100);
   // Ordered map: deterministic iteration for any future all-logs walk.
   std::map<std::string, Log> logs_;

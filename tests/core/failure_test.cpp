@@ -7,6 +7,9 @@ namespace fargo::testing {
 namespace {
 
 class FailureTest : public FargoTest {};
+// For listeners that issue blocking moves from inside an event handler —
+// sim-only (the locality engine requires non-blocking handlers).
+class FailureSimTest : public FargoSimTest {};
 
 TEST_F(FailureTest, InvokeAcrossPartitionTimesOutThenRecovers) {
   auto cores = MakeCores(2);
@@ -85,7 +88,7 @@ TEST_F(FailureTest, ParkedRequestsTimeOutIfTheCompletNeverArrives) {
   EXPECT_THROW(ref.Call("text"), UnreachableError);
 }
 
-TEST_F(FailureTest, ShutdownDuringGraceStillServesMoves) {
+TEST_F(FailureSimTest, ShutdownDuringGraceStillServesMoves) {
   // During the grace window the dying core is fully operative: moves out
   // of it succeed even when requested mid-shutdown by a listener.
   auto cores = MakeCores(3);

@@ -10,6 +10,9 @@ namespace {
 using core::ComletRef;
 
 class InvocationTest : public FargoTest {};
+// Nested *synchronous* invocations block inside an executor handler — a
+// sim-only idiom (the locality engine requires non-blocking handlers).
+class InvocationSimTest : public FargoSimTest {};
 
 /// Echo anchor: returns its arguments, used to round-trip every Value kind
 /// through the full wire path.
@@ -71,7 +74,7 @@ TEST_F(InvocationTest, LargeArgumentsSurvive) {
   EXPECT_EQ(result.AsList().at(0).AsString(), big);
 }
 
-TEST_F(InvocationTest, NestedCrossCoreInvocations) {
+TEST_F(InvocationSimTest, NestedCrossCoreInvocations) {
   // core2 calls echo@core0, whose handler calls a counter@core1.
   auto cores = MakeCores(3);
   auto echo = cores[0]->New<Echo>();

@@ -2,6 +2,8 @@
 // preservation, rollback, racing invocations.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "tests/support/fixture.h"
 
 namespace fargo::testing {
@@ -142,14 +144,19 @@ TEST_F(MovementTest, InvocationRacingTheStreamParksAndCompletes) {
   auto data = cores[0]->New<Data>(std::size_t{200000});
   auto user = cores[2]->RefTo<Data>(data.handle());
 
-  // Fire an async invocation from core2, then immediately move.
-  std::int64_t got = -1;
+  // Fire an async invocation from core2, then immediately move. The
+  // invocation is asynchronous so the race stays valid in parallel mode
+  // (a scheduled closure runs on a locality worker, which may not pump).
+  std::atomic<std::int64_t> got{-1};
   rt.scheduler().ScheduleAfter(Millis(1), [&] {
-    got = user.Invoke<std::int64_t>("read");
+    user.InvokeAsync<std::int64_t>("read").OnSettle(
+        [&](sim::Future<std::int64_t> f) {
+          if (f.ok()) got.store(f.value(), std::memory_order_relaxed);
+        });
   });
   cores[0]->Move(data, cores[1]->id());
   rt.RunUntilIdle();
-  EXPECT_EQ(got, 200000);
+  EXPECT_EQ(got.load(), 200000);
   EXPECT_TRUE(cores[1]->repository().Contains(data.target()));
 }
 

@@ -58,6 +58,13 @@ class ParameterPassingTest : public FargoTest {
   ParameterPassingTest() { (void)kReg; }
 };
 
+// BlobEater.consume invokes the embedded ref synchronously from inside
+// its handler — the blocking idiom the locality engine rejects. Sim-pinned.
+class ParameterPassingSimTest : public FargoSimTest {
+ protected:
+  ParameterPassingSimTest() { (void)kReg; }
+};
+
 TEST_F(ParameterPassingTest, ObjectGraphByValueAcrossTheWire) {
   auto cores = MakeCores(2);
   auto eater = cores[0]->New<BlobEater>();
@@ -85,7 +92,7 @@ TEST_F(ParameterPassingTest, CopyIsDeepTheSenderKeepsItsObject) {
   EXPECT_EQ(remote.Call("consume", {Value(blob)}).AsInt(), 1);
 }
 
-TEST_F(ParameterPassingTest, EmbeddedRefIsLiveAndCompletNotCopied) {
+TEST_F(ParameterPassingSimTest, EmbeddedRefIsLiveAndCompletNotCopied) {
   auto cores = MakeCores(3);
   auto counter = cores[2]->New<Counter>();  // lives at a third core
   auto eater = cores[0]->New<BlobEater>();

@@ -10,7 +10,9 @@ namespace {
 
 using core::ComletRef;
 
-class RelocationTest : public FargoTest {};
+// Worker.work does a nested synchronous Invoke from inside its handler —
+// the blocking idiom the locality engine rejects by design. Sim-pinned.
+class RelocationTest : public FargoSimTest {};
 
 // Builds worker(+relocator kind)->data on cores[0] and returns both refs.
 struct Pair {
@@ -339,7 +341,7 @@ TEST_F(RelocationTest, UserDefinedRelocatorExtendsTheHierarchy) {
   EXPECT_EQ(small.worker.Invoke<std::string>("refType"), "pull-if-small");
 }
 
-class RefTypeSweep : public FargoTest,
+class RefTypeSweep : public FargoSimTest,
                      public ::testing::WithParamInterface<const char*> {};
 
 TEST_P(RefTypeSweep, WorkerRemainsFunctionalAfterMove) {

@@ -8,7 +8,9 @@
 namespace fargo::testing {
 namespace {
 
-class ScenarioTest : public FargoTest {};
+// Scenario scripts drive blocking rule commands and Worker.work-style
+// nested synchronous invokes — sim-pinned (DESIGN.md §localities).
+class ScenarioTest : public FargoSimTest {};
 
 TEST_F(ScenarioTest, ColocationCutsRequestLatency) {
   // A worker separated from its data source by a slow WAN link; colocating

@@ -4,12 +4,31 @@
 // divergence — lost invocation, wrong location, broken reference — fails.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <random>
 
 #include "tests/support/fixture.h"
 
 namespace fargo::testing {
 namespace {
+
+// Re-resolves a complet from ground truth. A move is an asynchronous state
+// machine: when a move command fails at the origin, the executor-side move
+// may still be in flight — departed from the source repository, not yet
+// installed at the destination, rollback pending. Pump in bounded slices
+// until the complet surfaces somewhere; it always does, because an
+// unsettled move either commits (install at dest) or rolls back (reinstall
+// at source) within the executor's own RPC timeout.
+std::optional<std::size_t> FindHost(core::Runtime& rt,
+                                    const std::vector<core::Core*>& cores,
+                                    ComletId id) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    for (std::size_t c = 0; c < cores.size(); ++c)
+      if (cores[c]->repository().Contains(id)) return c;
+    rt.RunFor(Millis(20));
+  }
+  return std::nullopt;
+}
 
 class SoakTest : public FargoTest,
                  public ::testing::WithParamInterface<std::uint32_t> {};
@@ -52,13 +71,9 @@ TEST_P(SoakTest, RandomOperationStreamStaysConsistent) {
       } catch (const UnreachableError&) {
         // Stale route with no naming help: re-resolve from the ground
         // truth (what an external naming service would provide).
-        bool found = false;
-        for (std::size_t c = 0; c < static_cast<std::size_t>(kCores); ++c)
-          if (cores[c]->repository().Contains(e.ref.target())) {
-            e.at = c;
-            found = true;
-          }
-        ASSERT_TRUE(found) << "complet vanished at op " << op;
+        auto found = FindHost(rt, cores, e.ref.target());
+        ASSERT_TRUE(found.has_value()) << "complet vanished at op " << op;
+        e.at = *found;
       }
     } else if (kind < 85) {
       // Invoke from a random core through a fresh or existing stub.
@@ -164,13 +179,9 @@ TEST_P(PartitionSoakTest, FlappingLinksNeverCorruptState) {
       } catch (const FargoError&) {
         // Rolled back or unreachable: the complet is at model_at or dest.
         // Re-resolve below before trusting the model again.
-        bool found = false;
-        for (std::size_t c = 0; c < static_cast<std::size_t>(kCores); ++c)
-          if (cores[c]->repository().Contains(counter.target())) {
-            model_at = c;
-            found = true;
-          }
-        ASSERT_TRUE(found) << "complet vanished at op " << op;
+        auto found = FindHost(rt, cores, counter.target());
+        ASSERT_TRUE(found.has_value()) << "complet vanished at op " << op;
+        model_at = *found;
       }
     } else {
       try {
@@ -364,13 +375,17 @@ TEST_P(ChaosSoakTest, TenThousandInvocationsNeverDoubleExecute) {
   EXPECT_GT(out.retries, 0u);
   // Zero double-executions, cross-checked through the metrics layer: the
   // dispatch-site exec counter must account for every ledger execution,
-  // exceeding it only by the handful of routed move-command executions
-  // (at most one per periodic re-layout — any more would mean a replayed
-  // request re-executed), and the duplicate-hit counters must show the
-  // at-most-once machinery actually absorbing the duplicate deliveries.
+  // exceeding it only by the handful of move-command executions. A move
+  // whose reply is lost may legitimately execute at TWO hosts — the first
+  // executor moves the ledger away, the retry is forwarded to the new host
+  // whose replay window has no record of the slot, and it runs a benign
+  // no-op move there — so allow up to two per periodic re-layout. Ledger
+  // applies can never do this: out.dups is the exact detector for those,
+  // and the duplicate-hit counters below must show the at-most-once
+  // machinery actually absorbing the duplicate deliveries.
   EXPECT_GE(out.metric_execs, static_cast<std::uint64_t>(out.applied_ops));
   EXPECT_LE(out.metric_execs,
-            static_cast<std::uint64_t>(out.applied_ops) + 10000 / 500);
+            static_cast<std::uint64_t>(out.applied_ops) + 2 * (10000 / 500));
   EXPECT_GT(out.metric_replays + out.metric_suppressed, 0u)
       << "chaos produced duplicates but slot replay never fired";
 }

@@ -15,6 +15,9 @@ using monitor::InvocationRateProbe;
 using monitor::Trigger;
 
 class EventsTest : public FargoTest {};
+// For listeners that run blocking moves/invokes inside the event handler
+// (evacuation, migration churn) — sim-only by design.
+class EventsSimTest : public FargoSimTest {};
 
 TEST_F(EventsTest, ArrivalAndDepartureFireOnMovement) {
   auto cores = MakeCores(2);
@@ -165,7 +168,7 @@ TEST_F(EventsTest, RemoteThresholdListener) {
   EXPECT_EQ(fires, 1);
 }
 
-TEST_F(EventsTest, CompletListenerSurvivesMigration) {
+TEST_F(EventsSimTest, CompletListenerSurvivesMigration) {
   // A complet registers for remote events, then migrates; it keeps
   // receiving them because delivery goes through its tracked reference.
   auto cores = MakeCores(3);
@@ -191,7 +194,7 @@ TEST_F(EventsTest, CompletListenerSurvivesMigration) {
   EXPECT_EQ(counter.Invoke<std::int64_t>("get"), 2);
 }
 
-TEST_F(EventsTest, ShutdownEventEnablesEvacuation) {
+TEST_F(EventsSimTest, ShutdownEventEnablesEvacuation) {
   // The paper's reliability use case: on CoreShutdown, migrate complets to
   // a safe core to keep the application alive.
   auto cores = MakeCores(3);
@@ -215,7 +218,7 @@ TEST_F(EventsTest, ShutdownEventEnablesEvacuation) {
   EXPECT_EQ(survivor.Call("text").AsString(), "a");
 }
 
-TEST_F(EventsTest, GracefulShutdownFlushesForwardingKnowledge) {
+TEST_F(EventsSimTest, GracefulShutdownFlushesForwardingKnowledge) {
   // Chains that pass through a gracefully shut-down core keep resolving:
   // the dying core broadcasts its tracker knowledge before detaching.
   auto cores = MakeCores(4);

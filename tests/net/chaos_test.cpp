@@ -26,7 +26,7 @@ class ChaosNetworkTest : public ::testing::Test {
     return m;
   }
 
-  sim::Scheduler sched;
+  sim::SimScheduler sched;
   Network net;
   CoreId a{1}, b{2}, c{3};
 };

@@ -55,7 +55,7 @@ class FormationTest : public ::testing::Test {
     Message msg;
     SimTime at = 0;
   };
-  sim::Scheduler sched;
+  sim::SimScheduler sched;
   Network net;
   Formation formation;
   CoreId a{1}, b{2};

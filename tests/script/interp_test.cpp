@@ -11,7 +11,9 @@ namespace {
 using script::Engine;
 using script::ScriptError;
 
-class InterpTest : public FargoTest {};
+// Script rule commands (move, invoke) block by definition — the DSL is a
+// conductor-side synchronous layer, so the whole suite is sim-pinned.
+class InterpTest : public FargoSimTest {};
 
 TEST_F(InterpTest, AssignmentsAndArgsBind) {
   auto cores = MakeCores(1);

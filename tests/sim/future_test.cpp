@@ -14,7 +14,7 @@ namespace fargo::sim {
 namespace {
 
 TEST(FutureTest, ResolveSettlesAndDeliversValue) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> f = p.future();
   EXPECT_TRUE(f.valid());
@@ -26,7 +26,7 @@ TEST(FutureTest, ResolveSettlesAndDeliversValue) {
 }
 
 TEST(FutureTest, SettlementIsFirstWins) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   EXPECT_TRUE(p.Resolve(1));
   EXPECT_FALSE(p.Resolve(2));
@@ -35,7 +35,7 @@ TEST(FutureTest, SettlementIsFirstWins) {
 }
 
 TEST(FutureTest, TakeRethrowsSettlementError) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   p.RejectWith(FargoError("boom"));
   Future<int> f = p.future();
@@ -45,14 +45,14 @@ TEST(FutureTest, TakeRethrowsSettlementError) {
 }
 
 TEST(FutureTest, ObservingBeforeSettlementThrows) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   EXPECT_THROW(p.future().value(), FargoError);
   EXPECT_THROW(Future<int>().settled(), FargoError);  // invalid future
 }
 
 TEST(FutureTest, ContinuationsNeverRunInline) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   bool ran = false;
   p.future().OnSettle([&](Future<int> f) {
@@ -74,7 +74,7 @@ TEST(FutureTest, ContinuationsNeverRunInline) {
 }
 
 TEST(FutureTest, ContinuationsRunInRegistrationOrder) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   std::vector<int> order;
   for (int i = 0; i < 4; ++i)
@@ -85,7 +85,7 @@ TEST(FutureTest, ContinuationsRunInRegistrationOrder) {
 }
 
 TEST(FutureTest, ThenMapsValues) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<std::string> mapped =
       p.future().Then([](int& v) { return std::to_string(v * 2); });
@@ -95,7 +95,7 @@ TEST(FutureTest, ThenMapsValues) {
 }
 
 TEST(FutureTest, ThenFlattensFutureReturningFunctions) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> outer(sched);
   Promise<int> inner(sched);
   Future<int> chained = outer.future().Then(
@@ -109,7 +109,7 @@ TEST(FutureTest, ThenFlattensFutureReturningFunctions) {
 }
 
 TEST(FutureTest, ThenMapsVoidToUnit) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   int seen = 0;
   Future<Unit> done = p.future().Then([&seen](int& v) { seen = v; });
@@ -120,7 +120,7 @@ TEST(FutureTest, ThenMapsVoidToUnit) {
 }
 
 TEST(FutureTest, ErrorsPropagateThroughThenChains) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> chained = p.future()
                             .Then([](int& v) { return v + 1; })
@@ -132,7 +132,7 @@ TEST(FutureTest, ErrorsPropagateThroughThenChains) {
 }
 
 TEST(FutureTest, ThrowingContinuationRejectsDownstream) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> chained =
       p.future().Then([](int&) -> int { throw FargoError("mapper failed"); });
@@ -142,7 +142,7 @@ TEST(FutureTest, ThrowingContinuationRejectsDownstream) {
 }
 
 TEST(FutureTest, OrElseRecoversFromErrors) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> recovered =
       p.future().OrElse([](std::exception_ptr) { return -1; });
@@ -160,7 +160,7 @@ TEST(FutureTest, OrElseRecoversFromErrors) {
 }
 
 TEST(FutureTest, OrElseCanRethrowToKeepTheError) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> kept = p.future().OrElse(
       [](std::exception_ptr e) -> int { std::rethrow_exception(e); });
@@ -170,7 +170,7 @@ TEST(FutureTest, OrElseCanRethrowToKeepTheError) {
 }
 
 TEST(FutureTest, ExpireAfterRejectsUnsettledFutures) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> f = p.future().ExpireAfter(100, "gave up");
   sched.RunUntilIdle();
@@ -181,7 +181,7 @@ TEST(FutureTest, ExpireAfterRejectsUnsettledFutures) {
 }
 
 TEST(FutureTest, ExpiryIsCancelledOnSettlement) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> f = p.future().ExpireAfter(100, "gave up");
   sched.ScheduleAfter(10, [&p] { p.Resolve(3); });
@@ -193,7 +193,7 @@ TEST(FutureTest, ExpiryIsCancelledOnSettlement) {
 }
 
 TEST(FutureTest, AwaitPumpsUntilSettledAndReturnsValue) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   sched.ScheduleAfter(50, [&p] { p.Resolve(8); });
   EXPECT_EQ(Await(p.future()), 8);
@@ -201,21 +201,21 @@ TEST(FutureTest, AwaitPumpsUntilSettledAndReturnsValue) {
 }
 
 TEST(FutureTest, AwaitRethrowsSettlementError) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   sched.ScheduleAfter(5, [&p] { p.RejectWith(UnreachableError("down")); });
   EXPECT_THROW(Await(p.future()), UnreachableError);
 }
 
 TEST(FutureTest, MakeReadyAndErrorFutures) {
-  Scheduler sched;
+  SimScheduler sched;
   EXPECT_EQ(MakeReadyFuture<int>(sched, 4).value(), 4);
   Future<int> bad = MakeErrorFuture<int>(sched, FargoError("nope"));
   EXPECT_THROW(bad.Take(), FargoError);
 }
 
 TEST(FutureTest, CancelSettlesWithError) {
-  Scheduler sched;
+  SimScheduler sched;
   Promise<int> p(sched);
   Future<int> f = p.future();
   EXPECT_TRUE(f.Cancel("aborted by test"));
@@ -226,7 +226,7 @@ TEST(FutureTest, CancelSettlesWithError) {
 // ---- pump-depth accounting --------------------------------------------------
 
 TEST(PumpDepthTest, TopLevelPumpIsDepthOne) {
-  Scheduler sched;
+  SimScheduler sched;
   sched.ScheduleAfter(1, [] {});
   EXPECT_EQ(sched.PumpDepth(), 0);
   sched.RunUntilIdle();
@@ -234,7 +234,7 @@ TEST(PumpDepthTest, TopLevelPumpIsDepthOne) {
 }
 
 TEST(PumpDepthTest, NestedPumpInsideAnEventIsDepthTwo) {
-  Scheduler sched;
+  SimScheduler sched;
   sched.ScheduleAfter(1, [&sched] {
     EXPECT_EQ(sched.PumpDepth(), 1);
     Promise<int> p(sched);
@@ -246,7 +246,7 @@ TEST(PumpDepthTest, NestedPumpInsideAnEventIsDepthTwo) {
 }
 
 TEST(PumpDepthTest, NoPumpScopeForbidsReentrantPumping) {
-  Scheduler sched;
+  SimScheduler sched;
   bool threw = false;
   sched.ScheduleAfter(1, [&] {
     Scheduler::NoPumpScope guard(sched);
@@ -261,7 +261,7 @@ TEST(PumpDepthTest, NoPumpScopeForbidsReentrantPumping) {
 }
 
 TEST(PumpDepthTest, PumpObserverSeesDepth) {
-  Scheduler sched;
+  SimScheduler sched;
   int max_seen = 0;
   sched.SetPumpObserver([&max_seen](int d) {
     if (d > max_seen) max_seen = d;

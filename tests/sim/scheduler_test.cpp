@@ -8,7 +8,7 @@ namespace fargo::sim {
 namespace {
 
 TEST(SchedulerTest, ExecutesInTimeOrder) {
-  Scheduler s;
+  SimScheduler s;
   std::vector<int> order;
   s.ScheduleAt(Millis(30), [&] { order.push_back(3); });
   s.ScheduleAt(Millis(10), [&] { order.push_back(1); });
@@ -19,7 +19,7 @@ TEST(SchedulerTest, ExecutesInTimeOrder) {
 }
 
 TEST(SchedulerTest, SameTimeIsFifo) {
-  Scheduler s;
+  SimScheduler s;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i)
     s.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
@@ -28,7 +28,7 @@ TEST(SchedulerTest, SameTimeIsFifo) {
 }
 
 TEST(SchedulerTest, PastTimesClampToNow) {
-  Scheduler s;
+  SimScheduler s;
   s.ScheduleAt(Millis(10), [] {});
   s.RunUntilIdle();
   bool ran = false;
@@ -39,7 +39,7 @@ TEST(SchedulerTest, PastTimesClampToNow) {
 }
 
 TEST(SchedulerTest, CancelPreventsExecution) {
-  Scheduler s;
+  SimScheduler s;
   bool ran = false;
   TaskId id = s.ScheduleAfter(Millis(1), [&] { ran = true; });
   s.Cancel(id);
@@ -48,7 +48,7 @@ TEST(SchedulerTest, CancelPreventsExecution) {
 }
 
 TEST(SchedulerTest, RunForAdvancesClockExactly) {
-  Scheduler s;
+  SimScheduler s;
   int count = 0;
   s.ScheduleAt(Millis(5), [&] { ++count; });
   s.ScheduleAt(Millis(15), [&] { ++count; });
@@ -61,13 +61,13 @@ TEST(SchedulerTest, RunForAdvancesClockExactly) {
 }
 
 TEST(SchedulerTest, RunUntilThrowsOnDrain) {
-  Scheduler s;
+  SimScheduler s;
   s.ScheduleAfter(Millis(1), [] {});
   EXPECT_THROW(s.RunUntil([] { return false; }), FargoError);
 }
 
 TEST(SchedulerTest, RunUntilOrTimesOut) {
-  Scheduler s;
+  SimScheduler s;
   int ticks = 0;
   // Self-rescheduling ticker keeps the queue non-empty.
   std::function<void()> tick = [&] {
@@ -82,7 +82,7 @@ TEST(SchedulerTest, RunUntilOrTimesOut) {
 }
 
 TEST(SchedulerTest, RunUntilOrStopsEarlyWhenPredicateHolds) {
-  Scheduler s;
+  SimScheduler s;
   bool flag = false;
   s.ScheduleAfter(Millis(3), [&] { flag = true; });
   s.ScheduleAfter(Millis(100), [] {});
@@ -92,7 +92,7 @@ TEST(SchedulerTest, RunUntilOrStopsEarlyWhenPredicateHolds) {
 
 TEST(SchedulerTest, NestedPumpingWorks) {
   // An event that itself pumps the scheduler (blocking-RPC pattern).
-  Scheduler s;
+  SimScheduler s;
   bool inner_done = false;
   bool outer_done = false;
   s.ScheduleAfter(Millis(1), [&] {
@@ -106,7 +106,7 @@ TEST(SchedulerTest, NestedPumpingWorks) {
 }
 
 TEST(PeriodicTaskTest, FiresAtInterval) {
-  Scheduler s;
+  SimScheduler s;
   int fires = 0;
   PeriodicTask task(s, Millis(10), [&] { ++fires; });
   s.RunFor(Millis(100));
@@ -114,7 +114,7 @@ TEST(PeriodicTaskTest, FiresAtInterval) {
 }
 
 TEST(PeriodicTaskTest, StopHaltsFiring) {
-  Scheduler s;
+  SimScheduler s;
   int fires = 0;
   PeriodicTask task(s, Millis(10), [&] { ++fires; });
   s.RunFor(Millis(35));
@@ -125,7 +125,7 @@ TEST(PeriodicTaskTest, StopHaltsFiring) {
 }
 
 TEST(PeriodicTaskTest, DestroyFromOwnCallbackIsSafe) {
-  Scheduler s;
+  SimScheduler s;
   std::unique_ptr<PeriodicTask> task;
   int fires = 0;
   task = std::make_unique<PeriodicTask>(s, Millis(10), [&] {
@@ -137,7 +137,7 @@ TEST(PeriodicTaskTest, DestroyFromOwnCallbackIsSafe) {
 }
 
 TEST(SchedulerTest, ExecutedCounterCounts) {
-  Scheduler s;
+  SimScheduler s;
   for (int i = 0; i < 5; ++i) s.ScheduleAfter(Millis(1), [] {});
   s.RunUntilIdle();
   EXPECT_EQ(s.executed(), 5u);

@@ -17,7 +17,7 @@ std::vector<std::uint8_t> Rec(std::uint8_t tag, std::size_t len = 4) {
 
 class StorageTest : public ::testing::Test {
  protected:
-  Scheduler sched;
+  SimScheduler sched;
   Storage disk{sched};
 };
 
@@ -122,7 +122,7 @@ TEST_F(StorageTest, ExportImportRoundTripsTheDurablePrefix) {
   const std::string path = ::testing::TempDir() + "fargo_wal_export.bin";
   disk.ExportLog("log", path);
 
-  Scheduler sched2;
+  SimScheduler sched2;
   Storage disk2{sched2};
   disk2.ImportLog("log", path);
   const auto records = disk2.ReadDurable("log");

@@ -57,8 +57,9 @@ TEST(Rules, StableIdsInStableOrder) {
   const std::vector<RuleInfo> rules = AllRules();
   const std::vector<std::string> expect = {
       "annotation",     "barrier-before-reply", "capture-ref",
-      "capture-this",   "domain",               "domain-missing",
-      "no-pump",        "switch-exhaustiveness", "thread",
+      "capture-this",   "domain",               "domain-handoff",
+      "domain-missing", "no-pump",              "switch-exhaustiveness",
+      "thread",
       "unordered-iter", "unseeded-rng",         "wal-record-coverage",
       "wallclock",      "wire-asymmetry",       "wire-dup-marker",
       "wire-schema"};
@@ -891,6 +892,88 @@ class MovementUnit {
 )";
   auto fs = Lint1("src/core/x.h", src);
   EXPECT_EQ(CountRule(fs, "domain"), 0) << Dump(fs);
+  EXPECT_EQ(CountRule(fs, "annotation"), 0) << Dump(fs);
+}
+
+// ==== cross-locality handoffs (FARGO_PARALLEL) ===============================
+
+TEST(DomainHandoff, FlagsUnlockedFieldAccessInHandoffClosure) {
+  // A closure handed to Post runs on the destination locality's worker:
+  // even the enclosing class's own same-domain field is cross-thread there.
+  const std::string src = R"(// fargo: domain(net)
+class Network {
+ public:
+  void Send(Message msg) {
+    sched_.Post(msg.to.value, 0, [this] {
+      delivered_ += 1;
+    });
+  }
+ private:
+  int delivered_ = 0;
+};
+)";
+  auto fs = Lint1("src/net/x.h", src);
+  EXPECT_TRUE(Has(fs, "domain-handoff", LineOf(src, "delivered_ += 1")))
+      << Dump(fs);
+  // The handoff semantics replace the inheritance-based check: no double
+  // report from the plain `domain` rule.
+  EXPECT_EQ(CountRule(fs, "domain"), 0) << Dump(fs);
+}
+
+TEST(DomainHandoff, LockedAccessIsClean) {
+  const std::string src = R"(// fargo: domain(net)
+class Network {
+ public:
+  void Send(Message msg) {
+    sched_.PostAfter(msg.to.value, delay, [this] {
+      std::lock_guard<std::mutex> lk(mu_);
+      delivered_ += 1;
+    });
+  }
+ private:
+  std::mutex mu_;
+  int delivered_ = 0;
+};
+)";
+  auto fs = Lint1("src/net/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain-handoff"), 0) << Dump(fs);
+}
+
+TEST(DomainHandoff, ValueCaptureIsClean) {
+  // Moving the data into the closure is the sanctioned handoff shape:
+  // nothing implicit-this remains to race.
+  const std::string src = R"(// fargo: domain(net)
+class Network {
+ public:
+  void Send(Message msg) {
+    sched_.Post(msg.to.value, 0, [m = std::move(msg)]() mutable {
+      Deliver(std::move(m));
+    });
+  }
+ private:
+  int delivered_ = 0;
+};
+)";
+  auto fs = Lint1("src/net/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain-handoff"), 0) << Dump(fs);
+}
+
+TEST(DomainHandoff, SuppressedWithReason) {
+  const std::string src = R"(// fargo: domain(net)
+class Network {
+ public:
+  void Send(Message msg) {
+    sched_.Post(msg.to.value, 0, [this] {
+      // fargolint: allow(domain-handoff) counter is a relaxed atomic
+      delivered_ += 1;
+    });
+  }
+ private:
+  std::atomic<int> delivered_{0};
+};
+)";
+  auto fs = Lint1("src/net/x.h", src);
+  EXPECT_EQ(CountRule(fs, "domain-handoff"), 0) << Dump(fs);
   EXPECT_EQ(CountRule(fs, "annotation"), 0) << Dump(fs);
 }
 

@@ -90,7 +90,12 @@ void CheckContinuations(const FileCtx& f, std::vector<Finding>& out) {
 
 const std::set<std::string>& SinkNames() {
   static const std::set<std::string> kSinks = {
-      "Then", "OrElse", "OnSettle", "ScheduleAt", "ScheduleAfter", "ExpireAfter"};
+      "Then",       "OrElse",    "OnSettle", "ScheduleAt",
+      "ScheduleAfter", "ExpireAfter",
+      // The affinity-routed cross-locality handoffs (FARGO_PARALLEL): a
+      // closure handed to Post runs on another locality's worker thread,
+      // so every continuation rule applies with extra force.
+      "Post", "PostAfter"};
   return kSinks;
 }
 

@@ -26,6 +26,28 @@
 namespace fargolint {
 namespace {
 
+/// The cross-locality handoff wrappers: a closure handed to Post/PostAfter
+/// runs on the *destination* locality's worker thread, not the enclosing
+/// class's. Inside one, the domain-inheritance premise of the `domain` rule
+/// does not hold — instead every implicit-this field access is a live
+/// cross-thread access and must sit under a lock (or an allow() with the
+/// safety argument).
+bool IsHandoffSink(const std::string& name) {
+  return name == "Post" || name == "PostAfter";
+}
+
+/// True when a lock is taken between the lambda's body-open and the access:
+/// the lexical approximation of "this access is guarded". A guard released
+/// before the access still matches — fail-open, like the rest of the linter.
+bool LockTakenBefore(const std::vector<Token>& t, std::size_t body_open,
+                     std::size_t access) {
+  static const std::set<std::string> kGuards = {"lock_guard", "scoped_lock",
+                                                "unique_lock", "shared_lock"};
+  for (std::size_t j = body_open; j < access; ++j)
+    if (t[j].kind == Tok::kIdent && kGuards.count(t[j].text)) return true;
+  return false;
+}
+
 const ClassSym* SoleOwner(const Index& idx, const std::string& name) {
   auto it = idx.field_owners.find(name);
   if (it == idx.field_owners.end() || it->second.size() != 1) return nullptr;
@@ -42,14 +64,22 @@ void CheckConfinement(const Index& idx, std::size_t fi,
                       std::vector<Finding>& out) {
   const FileCtx& f = idx.files[fi];
   const std::vector<Token>& t = f.lx.toks;
-  auto in_sink = [&](std::size_t i) {
+  // Innermost sink span containing token i, or nullptr. The token just
+  // before the span's opening paren is the sink's name.
+  auto innermost_sink = [&](std::size_t i) -> const Span* {
+    const Span* best = nullptr;
     for (const Span& s : f.sink_spans)
-      if (s.Contains(i)) return true;
-    return false;
+      if (s.Contains(i) && (best == nullptr || s.begin > best->begin))
+        best = &s;
+    return best;
   };
 
   for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!IsPunct(t[i], "[") || !IsLambdaIntro(t, i) || !in_sink(i)) continue;
+    if (!IsPunct(t[i], "[") || !IsLambdaIntro(t, i)) continue;
+    const Span* sink = innermost_sink(i);
+    if (sink == nullptr) continue;
+    const bool handoff =
+        sink->begin > 0 && IsHandoffSink(t[sink->begin - 1].text);
     Lambda lam = ParseLambda(t, i);
     if (lam.body_open == 0) continue;
     const ClassSym* encl = idx.EnclosingClass(fi, i);
@@ -65,6 +95,25 @@ void CheckConfinement(const Index& idx, std::size_t fi,
       if (j > 0 && (IsPunct(t[j - 1], ".") || IsPunct(t[j - 1], "::") ||
                     (j >= 2 && IsPunct(t[j - 1], ">") && IsPunct(t[j - 2], "-"))))
         continue;
+      if (handoff) {
+        // Handoff closures run wherever the affinity key routes them, so
+        // even the enclosing class's own fields are cross-thread state
+        // there: require a lock in scope.
+        bool is_field = false;
+        for (const FieldSym& fs : encl->fields)
+          if (fs.name == name) is_field = true;
+        if (!is_field && SoleOwner(idx, name) == nullptr) continue;
+        if (LockTakenBefore(t, lam.body_open, j)) continue;
+        if (!reported_lines.insert(t[j].line).second) continue;
+        out.push_back(
+            {"domain-handoff", f.src->path, t[j].line,
+             "field '" + name + "' touched inside a cross-locality handoff "
+             "closure (" + t[sink->begin - 1].text + ") without a lock: the "
+             "closure runs on the destination locality's worker thread, so "
+             "guard the access or move the data in by value-capture",
+             ExcerptAt(f.lx, t[j].line)});
+        continue;
+      }
       std::string field_domain;
       std::string owner_name;
       bool own_field = false;
@@ -120,6 +169,10 @@ std::vector<RuleInfo> DomainRules() {
        "field access from a scheduled continuation whose ownership domain "
        "differs from the field's owner (locality-confinement precondition "
        "for FARGO_PARALLEL)"},
+      {"domain-handoff",
+       "unlocked field access inside a cross-locality handoff closure "
+       "(Post/PostAfter): the closure runs on the destination locality's "
+       "worker thread, so even same-domain fields are cross-thread there"},
       {"domain-missing",
        "stateful class under src/core/, src/net/ or src/sim/ without a "
        "declared ownership domain annotation"},
